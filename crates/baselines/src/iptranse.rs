@@ -1,0 +1,150 @@
+//! IPTransE (Zhu et al., IJCAI 2017) — iterative shared-space TransE.
+//!
+//! Both KGs are embedded into **one** space by collapsing seed pairs into
+//! single nodes; between training rounds, confidently-aligned entity pairs
+//! are promoted into the seed set and the space is re-anchored ("iterative
+//! training process to improve the alignment results", paper §VII-B).
+//! Unlike BootEA, promotion has **no** one-to-one constraint — a threshold
+//! alone decides (IPTransE's soft/hard alignment strategies simplified to
+//! hard-threshold promotion; documented in DESIGN.md §3).
+
+use crate::method::{AlignmentMethod, BaselineInput};
+use crate::transe::{train_shared, TranseConfig};
+use crate::util::test_cosine_matrix;
+use ceaff_graph::EntityId;
+use ceaff_sim::{cosine_similarity_matrix, SimilarityMatrix};
+use ceaff_tensor::Matrix;
+
+/// IPTransE with threshold-based iterative promotion.
+#[derive(Debug, Clone)]
+pub struct IpTransE {
+    /// TransE configuration for each round.
+    pub transe: TranseConfig,
+    /// Number of train → promote rounds.
+    pub rounds: usize,
+    /// Cosine threshold above which a best match is promoted to a seed.
+    pub promote_threshold: f32,
+}
+
+impl Default for IpTransE {
+    fn default() -> Self {
+        Self {
+            transe: TranseConfig::default(),
+            rounds: 3,
+            promote_threshold: 0.85,
+        }
+    }
+}
+
+/// Promote confident pairs: every unseeded test source whose best test
+/// target scores above `threshold` (no one-to-one constraint — IPTransE's
+/// characteristic difference from BootEA).
+pub(crate) fn promote_unconstrained(
+    sim: &SimilarityMatrix,
+    sources: &[EntityId],
+    targets: &[EntityId],
+    already: &[(EntityId, EntityId)],
+    threshold: f32,
+) -> Vec<(EntityId, EntityId)> {
+    let used_src: std::collections::HashSet<EntityId> =
+        already.iter().map(|&(u, _)| u).collect();
+    let mut out = Vec::new();
+    for (i, &u) in sources.iter().enumerate() {
+        if used_src.contains(&u) {
+            continue;
+        }
+        if let Some(j) = sim.row_argmax(i) {
+            if sim.get(i, j) >= threshold {
+                out.push((u, targets[j]));
+            }
+        }
+    }
+    out
+}
+
+impl IpTransE {
+    fn embed(&self, input: &BaselineInput<'_>) -> (Matrix, Matrix) {
+        let pair = input.pair;
+        let mut seeds: Vec<(EntityId, EntityId)> = pair.seeds().to_vec();
+        let sources = pair.test_sources();
+        let targets = pair.test_targets();
+        let epochs_per_round = (self.transe.epochs / self.rounds.max(1)).max(1);
+        let round_cfg = TranseConfig {
+            epochs: epochs_per_round,
+            ..self.transe
+        };
+        let mut z = train_shared(pair, &seeds, &round_cfg);
+        for round in 1..self.rounds {
+            // Promote confident alignments from the current embeddings.
+            let src_rows: Vec<usize> = sources.iter().map(|e| e.index()).collect();
+            let tgt_rows: Vec<usize> = targets.iter().map(|e| e.index()).collect();
+            let sim = cosine_similarity_matrix(
+                &z.0.gather_rows(&src_rows),
+                &z.1.gather_rows(&tgt_rows),
+            );
+            let promoted =
+                promote_unconstrained(&sim, &sources, &targets, &seeds, self.promote_threshold);
+            seeds.extend(promoted);
+            let cfg = TranseConfig {
+                seed: round_cfg.seed ^ (round as u64),
+                ..round_cfg
+            };
+            z = train_shared(pair, &seeds, &cfg);
+        }
+        z
+    }
+}
+
+impl AlignmentMethod for IpTransE {
+    fn name(&self) -> &'static str {
+        "IPTransE"
+    }
+
+    fn align(&self, input: &BaselineInput<'_>) -> SimilarityMatrix {
+        let (z1, z2) = self.embed(input);
+        test_cosine_matrix(input.pair, &z1, &z2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::test_support::{dataset, run_on};
+    use crate::mtranse::MTransE;
+    use ceaff_datagen::NameChannel;
+
+    #[test]
+    fn promotion_respects_threshold_and_existing_seeds() {
+        let sim = SimilarityMatrix::new(ceaff_tensor::Matrix::from_rows(&[
+            &[0.95, 0.1],
+            &[0.2, 0.5],
+        ]));
+        let s = [EntityId::new(10), EntityId::new(11)];
+        let t = [EntityId::new(20), EntityId::new(21)];
+        let promoted = promote_unconstrained(&sim, &s, &t, &[], 0.9);
+        assert_eq!(promoted, vec![(EntityId::new(10), EntityId::new(20))]);
+        // Already-seeded sources are skipped.
+        let promoted =
+            promote_unconstrained(&sim, &s, &t, &[(EntityId::new(10), EntityId::new(20))], 0.9);
+        assert!(promoted.is_empty());
+    }
+
+    #[test]
+    fn iptranse_is_competitive_with_mtranse_on_dense_structure() {
+        // The paper's §VII-B ordering (shared-space iterative training
+        // beats the two-space transform) emerges at benchmark scale — see
+        // the Table III/IV harnesses and EXPERIMENTS.md. On this tiny
+        // 120-entity unit-test graph the two are merely comparable, so the
+        // unit test asserts a loose band rather than strict ordering.
+        let ds = dataset(NameChannel::Identical { typo_rate: 0.0 });
+        let ip = run_on(&IpTransE::default(), &ds, 16);
+        let mt = run_on(&MTransE::default(), &ds, 16);
+        assert!(
+            ip.accuracy >= mt.accuracy * 0.5,
+            "IPTransE {} collapsed relative to MTransE {}",
+            ip.accuracy,
+            mt.accuracy
+        );
+        assert!(ip.accuracy > 0.2, "IPTransE too weak: {}", ip.accuracy);
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # ceaff-baselines
+//!
+//! Simplified-but-faithful reimplementations of the entity-alignment
+//! methods CEAFF is evaluated against (paper §VII-A "Competitors"), behind
+//! one [`AlignmentMethod`] trait. Each method keeps the *defining
+//! mechanism* the paper credits it for; heavyweight architectural detail
+//! that does not change the comparative story is simplified and documented
+//! per method in the workspace DESIGN.md §3.
+//!
+//! Structure-only group: [`MTransE`], [`IpTransE`], [`BootEa`],
+//! [`RsnLite`], [`MuGnnLite`], [`NaeaLite`]. Multi-feature group:
+//! [`Jape`], [`GcnAlign`], [`RdgcnLite`], [`GmAlignLite`], [`MultiKeLite`]
+//! (mono-lingual only, as in the paper).
+
+pub mod bootea;
+pub mod gcn_align;
+pub mod gm_align_lite;
+pub mod iptranse;
+pub mod jape;
+pub mod method;
+pub mod mtranse;
+pub mod mugnn_lite;
+pub mod multike_lite;
+pub mod naea_lite;
+pub mod rdgcn_lite;
+pub mod rsn_lite;
+pub mod transe;
+pub mod util;
+
+pub use bootea::BootEa;
+pub use gcn_align::GcnAlign;
+pub use gm_align_lite::GmAlignLite;
+pub use iptranse::IpTransE;
+pub use jape::Jape;
+pub use method::{evaluate, AlignmentMethod, BaselineInput, MethodResult};
+pub use mtranse::MTransE;
+pub use mugnn_lite::MuGnnLite;
+pub use multike_lite::MultiKeLite;
+pub use naea_lite::NaeaLite;
+pub use rdgcn_lite::RdgcnLite;
+pub use rsn_lite::{RsnLite, RsnLiteConfig};
+pub use transe::{train_kg, train_shared, train_triples, SharedSpace, TranseConfig, TranseModel};

@@ -1,0 +1,248 @@
+//! RDGCN-lite — relation-aware dual-graph convolutional network
+//! (Wu et al., IJCAI 2019), simplified.
+//!
+//! What makes RDGCN (and GM-Align) strong in the paper's second group is
+//! that **entity-name embeddings are the inputs** of the graph network, so
+//! the learned representation fuses semantic and structural signals at
+//! representation level (§II). This lite variant keeps exactly that: the
+//! GCN input feature matrix `X` is the entity-name embedding matrix `N`
+//! instead of random noise, propagated over the relation-aware
+//! (functionality-weighted) adjacency — the dual-graph attention is folded
+//! into that relation weighting (documented in DESIGN.md §3).
+//!
+//! Its characteristic behaviour reproduces: strong wherever names carry
+//! signal, but — fusing at representation level — it cedes ground to
+//! CEAFF's outcome-level fusion (paper Tables III–IV).
+
+use crate::method::{AlignmentMethod, BaselineInput};
+use crate::util::test_cosine_matrix;
+use ceaff_embed::name_embedding_matrix;
+use ceaff_graph::{build_adjacency, KgPair};
+use ceaff_tensor::{init, Graph, Matrix, Optimizer, ParamSet};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::rc::Rc;
+
+pub use ceaff_core::gcn::GcnConfig;
+
+/// RDGCN-lite: name-initialised relation-aware GCN.
+#[derive(Debug, Clone)]
+pub struct RdgcnLite {
+    /// GCN configuration (adjacency kind is honoured; `train_input`
+    /// controls whether the name inputs are fine-tuned).
+    pub gcn: GcnConfig,
+    /// Mixing weight of the propagated representation against the raw name
+    /// embedding in the final representation (RDGCN concatenates; we mix).
+    pub propagated_weight: f32,
+}
+
+impl Default for RdgcnLite {
+    fn default() -> Self {
+        Self {
+            gcn: GcnConfig::default(),
+            propagated_weight: 0.5,
+        }
+    }
+}
+
+/// Train the name-initialised GCN and return final representations.
+fn train_name_gcn(
+    pair: &KgPair,
+    n1: Matrix,
+    n2: Matrix,
+    cfg: &GcnConfig,
+    propagated_weight: f32,
+) -> (Matrix, Matrix) {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let a1 = Rc::new(build_adjacency(&pair.source, cfg.adjacency));
+    let a2 = Rc::new(build_adjacency(&pair.target, cfg.adjacency));
+    let mut params = ParamSet::new();
+    let mut n1_in = n1.clone();
+    n1_in.l2_normalize_rows();
+    let mut n2_in = n2.clone();
+    n2_in.l2_normalize_rows();
+    let d = n1_in.cols();
+    let x1 = params.add(n1_in);
+    let x2 = params.add(n2_in);
+    let w1 = params.add(init::xavier_uniform(d, d, &mut rng));
+    let w2 = params.add(init::xavier_uniform(d, d, &mut rng));
+    let mut opt: Box<dyn Optimizer> = match cfg.optimizer {
+        ceaff_core::gcn::OptimKind::Sgd { lr } => Box::new(ceaff_tensor::Sgd::new(lr)),
+        ceaff_core::gcn::OptimKind::Adam { lr } => Box::new(ceaff_tensor::Adam::new(lr)),
+    };
+
+    let seeds = pair.seeds();
+    let pos_u: Rc<Vec<usize>> = Rc::new(
+        seeds
+            .iter()
+            .flat_map(|&(u, _)| std::iter::repeat_n(u.index(), cfg.negatives))
+            .collect(),
+    );
+    let pos_v: Rc<Vec<usize>> = Rc::new(
+        seeds
+            .iter()
+            .flat_map(|&(_, v)| std::iter::repeat_n(v.index(), cfg.negatives))
+            .collect(),
+    );
+    use rand::Rng;
+    let nn1 = pair.source.num_entities();
+    let nn2 = pair.target.num_entities();
+
+    for _ in 0..cfg.epochs {
+        if seeds.is_empty() {
+            break;
+        }
+        let mut neg_u = Vec::with_capacity(pos_u.len());
+        let mut neg_v = Vec::with_capacity(pos_v.len());
+        for i in 0..pos_u.len() {
+            if rng.gen_bool(0.5) {
+                neg_u.push(rng.gen_range(0..nn1));
+                neg_v.push(pos_v[i]);
+            } else {
+                neg_u.push(pos_u[i]);
+                neg_v.push(rng.gen_range(0..nn2));
+            }
+        }
+        let mut g = Graph::new();
+        let xv1 = g.leaf(params.get(x1).clone());
+        let xv2 = g.leaf(params.get(x2).clone());
+        let wv1 = g.leaf(params.get(w1).clone());
+        let wv2 = g.leaf(params.get(w2).clone());
+        let forward = |g: &mut Graph, a: &Rc<ceaff_graph::CsrMatrix>, x, wa, wb| {
+            let h = g.spmm(Rc::clone(a), x);
+            let h = g.matmul(h, wa);
+            let h = g.relu(h);
+            let h = g.spmm(Rc::clone(a), h);
+            g.matmul(h, wb)
+        };
+        let z1 = forward(&mut g, &a1, xv1, wv1, wv2);
+        let z2 = forward(&mut g, &a2, xv2, wv1, wv2);
+        let pu = g.gather_rows(z1, Rc::clone(&pos_u));
+        let pv = g.gather_rows(z2, Rc::clone(&pos_v));
+        let nu = g.gather_rows(z1, Rc::new(neg_u));
+        let nv = g.gather_rows(z2, Rc::new(neg_v));
+        let pd = g.row_l1_diff(pu, pv);
+        let nd = g.row_l1_diff(nu, nv);
+        let loss = g.margin_ranking_loss(pd, nd, cfg.margin);
+        g.backward(loss);
+        let mut grads = Vec::new();
+        if cfg.train_input {
+            if let Some(gx) = g.grad(xv1) {
+                grads.push((x1, gx));
+            }
+            if let Some(gx) = g.grad(xv2) {
+                grads.push((x2, gx));
+            }
+        }
+        if let Some(gw) = g.grad(wv1) {
+            grads.push((w1, gw));
+        }
+        if let Some(gw) = g.grad(wv2) {
+            grads.push((w2, gw));
+        }
+        opt.step(&mut params, &grads);
+    }
+
+    // Final representation: mix of propagated output and raw names
+    // (RDGCN's concatenation of input and output layers, as a blend).
+    let mut g = Graph::new();
+    let xv1 = g.leaf(params.get(x1).clone());
+    let xv2 = g.leaf(params.get(x2).clone());
+    let wv1 = g.leaf(params.get(w1).clone());
+    let wv2 = g.leaf(params.get(w2).clone());
+    let h1 = g.spmm(Rc::clone(&a1), xv1);
+    let h1 = g.matmul(h1, wv1);
+    let h1 = g.relu(h1);
+    let h1 = g.spmm(Rc::clone(&a1), h1);
+    let z1v = g.matmul(h1, wv2);
+    let h2 = g.spmm(Rc::clone(&a2), xv2);
+    let h2 = g.matmul(h2, wv1);
+    let h2 = g.relu(h2);
+    let h2 = g.spmm(Rc::clone(&a2), h2);
+    let z2v = g.matmul(h2, wv2);
+
+    let blend = |z: &Matrix, n: &Matrix| -> Matrix {
+        let mut zz = z.clone();
+        zz.l2_normalize_rows();
+        let mut nn = n.clone();
+        nn.l2_normalize_rows();
+        zz.scale_assign(propagated_weight);
+        zz.add_scaled_assign(&nn, 1.0 - propagated_weight);
+        zz
+    };
+    (
+        blend(g.value(z1v), &n1),
+        blend(g.value(z2v), &n2),
+    )
+}
+
+impl AlignmentMethod for RdgcnLite {
+    fn name(&self) -> &'static str {
+        "RDGCN"
+    }
+
+    fn align(&self, input: &BaselineInput<'_>) -> ceaff_sim::SimilarityMatrix {
+        let pair = input.pair;
+        let names = |kg: &ceaff_graph::KnowledgeGraph| -> Vec<String> {
+            kg.entity_ids()
+                .map(|e| kg.entity_name(e).expect("interned").to_owned())
+                .collect()
+        };
+        let n1 = name_embedding_matrix(input.source_embedder, &names(&pair.source));
+        let n2 = name_embedding_matrix(input.target_embedder, &names(&pair.target));
+        let (z1, z2) = train_name_gcn(pair, n1, n2, &self.gcn, self.propagated_weight);
+        test_cosine_matrix(pair, &z1, &z2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::test_support::{dataset, run_on};
+    use ceaff_datagen::NameChannel;
+
+    fn fast() -> RdgcnLite {
+        RdgcnLite {
+            gcn: GcnConfig {
+                dim: 32,
+                epochs: 40,
+                ..GcnConfig::default()
+            },
+            ..RdgcnLite::default()
+        }
+    }
+
+    #[test]
+    fn rdgcn_lite_is_strong_when_names_help() {
+        let ds = dataset(NameChannel::CloseLingual { morph_rate: 0.5, replace_rate: 0.2 });
+        let res = run_on(&fast(), &ds, 32);
+        assert!(
+            res.accuracy > 0.4,
+            "RDGCN-lite should be strong with informative names: {}",
+            res.accuracy
+        );
+    }
+
+    #[test]
+    fn name_inputs_beat_random_inputs() {
+        // The defining property: name-initialised GCN outperforms the
+        // random-initialised structural GCN of group 1.
+        let ds = dataset(NameChannel::CloseLingual { morph_rate: 0.5, replace_rate: 0.2 });
+        let rdgcn = run_on(&fast(), &ds, 32);
+        let plain = crate::gcn_align::GcnAlign {
+            gcn: GcnConfig {
+                dim: 32,
+                epochs: 40,
+                ..GcnConfig::default()
+            },
+            ..crate::gcn_align::GcnAlign::default()
+        };
+        let plain_res = run_on(&plain, &ds, 32);
+        assert!(
+            rdgcn.accuracy > plain_res.accuracy,
+            "RDGCN-lite {} should beat GCN-Align {}",
+            rdgcn.accuracy,
+            plain_res.accuracy
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Small shared helpers for the baseline implementations.
+
+use ceaff_graph::KgPair;
+use ceaff_sim::{cosine_similarity_matrix, SimilarityMatrix};
+use ceaff_tensor::Matrix;
+
+/// Cosine test matrix from full per-KG embedding matrices: gathers the test
+/// source/target rows (in test order) and computes pairwise cosine.
+pub fn test_cosine_matrix(pair: &KgPair, z_source: &Matrix, z_target: &Matrix) -> SimilarityMatrix {
+    let src: Vec<usize> = pair.test_sources().iter().map(|e| e.index()).collect();
+    let tgt: Vec<usize> = pair.test_targets().iter().map(|e| e.index()).collect();
+    cosine_similarity_matrix(&z_source.gather_rows(&src), &z_target.gather_rows(&tgt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::test_support::dataset;
+    use ceaff_datagen::NameChannel;
+
+    #[test]
+    fn gathers_in_test_order() {
+        let ds = dataset(NameChannel::Identical { typo_rate: 0.0 });
+        let n1 = ds.pair.source.num_entities();
+        let n2 = ds.pair.target.num_entities();
+        // Identity-style embeddings: entity i -> one-hot-ish unique row.
+        let mut z1 = Matrix::zeros(n1, 8);
+        let mut z2 = Matrix::zeros(n2, 8);
+        for i in 0..n1 {
+            z1[(i, i % 8)] = 1.0 + i as f32;
+        }
+        for i in 0..n2 {
+            z2[(i, i % 8)] = 1.0 + i as f32;
+        }
+        let m = test_cosine_matrix(&ds.pair, &z1, &z2);
+        assert_eq!(m.sources(), ds.pair.test_pairs().len());
+        assert_eq!(m.targets(), ds.pair.test_pairs().len());
+    }
+}

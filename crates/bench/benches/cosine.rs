@@ -1,0 +1,30 @@
+//! Pairwise-cosine kernel: the similarity-matrix product behind the
+//! structural and semantic features.
+
+use ceaff::sim::cosine_similarity_matrix;
+use ceaff::tensor::{init, Matrix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn random(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    init::uniform(rows, cols, 1.0, &mut rng)
+}
+
+fn bench_cosine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cosine");
+    for n in [200usize, 500, 1000] {
+        let a = random(n, 64, 1);
+        let b = random(n, 64, 2);
+        group.bench_with_input(BenchmarkId::new("matrix-64d", n), &n, |bch, _| {
+            bch.iter(|| {
+                cosine_similarity_matrix(std::hint::black_box(&a), std::hint::black_box(&b))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cosine);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Structural-encoder cost: GCN training epochs over a generated KG pair
+//! (the dominant cost of the CEAFF pipeline and of the GNN baselines).
+
+use ceaff::datagen::Preset;
+use ceaff::GcnConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_gcn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gcn");
+    group.sample_size(10);
+    let ds = Preset::Dbp15kFrEn.generate(0.15);
+    for dim in [32usize, 64] {
+        let cfg = GcnConfig {
+            dim,
+            epochs: 5,
+            ..GcnConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("train-5-epochs", dim), &cfg, |b, cfg| {
+            b.iter(|| ceaff::gcn::train(std::hint::black_box(&ds.pair), cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gcn);
+criterion_main!(benches);

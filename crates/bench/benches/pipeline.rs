@@ -1,0 +1,39 @@
+//! End-to-end pipeline benches: decision stage (fusion + matching) on
+//! precomputed features, and a small full run including feature training.
+
+use ceaff::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    let task = DatasetTask::from_preset(Preset::SrprsEnFr, 0.2, 64);
+    let mut cfg = CeaffConfig::default();
+    cfg.gcn.dim = 32;
+    cfg.gcn.epochs = 30;
+    let features = FeatureSet::compute_all(&task.input(), &cfg);
+
+    group.bench_function("decision-stage", |b| {
+        b.iter(|| {
+            run_with_features(
+                std::hint::black_box(&task.dataset.pair),
+                std::hint::black_box(&features),
+                &cfg,
+            )
+        })
+    });
+
+    let small = DatasetTask::from_preset(Preset::SrprsDbpWd, 0.08, 32);
+    let mut small_cfg = CeaffConfig::default();
+    small_cfg.gcn.dim = 16;
+    small_cfg.gcn.epochs = 15;
+    small_cfg.embed_dim = 32;
+    group.bench_function("full-run-small", |b| {
+        b.iter(|| ceaff::run(std::hint::black_box(&small.input()), &small_cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

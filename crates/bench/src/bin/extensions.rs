@@ -1,0 +1,89 @@
+//! **Extension experiments** beyond the paper's evaluation section,
+//! covering its §VIII future-work directions:
+//!
+//! 1. **Other collective matching methods** — deferred acceptance (the
+//!    paper) vs Hungarian (discussed) vs greedy one-to-one (new) vs
+//!    independent greedy, on the same fused matrices;
+//! 2. **A more challenging mono-lingual benchmark** — the `HARD-MONO`
+//!    preset where names differ by abbreviation, word drops and
+//!    reordering, so the string feature no longer saturates at 1.0;
+//! 3. **CSLS hubness correction** — attacking the many-sources-one-target
+//!    pathology at similarity level, and how it composes with collective
+//!    matching.
+
+use ceaff::bootstrap::{run_bootstrapped, BootstrapConfig};
+use ceaff::prelude::*;
+use ceaff_bench::{fmt_acc, maybe_write_json, print_table, HarnessOpts};
+use serde_json::json;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let presets = [Preset::HardMonoDbpWd, Preset::SrprsDbpWd, Preset::Dbp15kZhEn];
+    let columns: Vec<String> = presets.iter().map(|p| p.label().to_string()).collect();
+    let cfg = opts.ceaff_config();
+
+    let variants: Vec<(&str, CeaffConfig)> = vec![
+        ("CEAFF (DAA)", cfg.clone()),
+        ("+ Hungarian", {
+            let mut c = cfg.clone();
+            c.matcher = MatcherKind::Hungarian;
+            c
+        }),
+        ("+ greedy 1-to-1", {
+            let mut c = cfg.clone();
+            c.matcher = MatcherKind::GreedyOneToOne;
+            c
+        }),
+        ("w/o C (greedy)", cfg.clone().without_collective()),
+        ("+ CSLS(10)", cfg.clone().with_csls(10)),
+        ("+ CSLS, w/o C", cfg.clone().with_csls(10).without_collective()),
+    ];
+
+    let mut names: Vec<&str> = variants.iter().map(|(n, _)| *n).collect();
+    names.push("bootstrapped x3");
+    let mut table: Vec<Vec<String>> = vec![Vec::new(); names.len()];
+    let mut jout = Vec::new();
+    for preset in presets {
+        let task = opts.task(preset);
+        eprintln!("[{}] computing features ...", task.dataset.config.name);
+        let features = FeatureSet::compute_all(&task.input(), &cfg);
+        let mut jcol = Vec::new();
+        for (i, (name, variant)) in variants.iter().enumerate() {
+            let out = run_with_features(&task.dataset.pair, &features, variant);
+            eprintln!("  {:<16} {:.3}", name, out.accuracy);
+            table[i].push(fmt_acc(Some(out.accuracy)));
+            jcol.push(json!({ "variant": name, "accuracy": out.accuracy }));
+        }
+        // Bootstrapped CEAFF (3 self-training rounds).
+        let boot = run_bootstrapped(&task.input(), &cfg, &BootstrapConfig::default());
+        eprintln!("  {:<16} {:.3}", "bootstrapped x3", boot.final_output.accuracy);
+        table
+            .last_mut()
+            .expect("bootstrap row allocated")
+            .push(fmt_acc(Some(boot.final_output.accuracy)));
+        jcol.push(json!({
+            "variant": "bootstrapped x3",
+            "accuracy": boot.final_output.accuracy,
+            "per_round": boot.accuracy_per_round,
+        }));
+        jout.push(json!({ "dataset": preset.label(), "rows": jcol }));
+    }
+    let rows: Vec<(String, Vec<String>)> = names
+        .iter()
+        .zip(table)
+        .map(|(n, cells)| (n.to_string(), cells))
+        .collect();
+    print_table(
+        "Extensions: collective matchers, CSLS, and the hard mono-lingual benchmark",
+        &columns,
+        &rows,
+    );
+    println!(
+        "\nShapes to check: the hard-mono column stays clearly below 1.0 for every\n\
+         variant (the paper's future-work benchmark is genuinely harder than Table IV's\n\
+         mono-lingual pairs); all three one-to-one strategies beat independent greedy;\n\
+         CSLS helps greedy most — it attacks the same hubness that collective matching\n\
+         resolves at decision level."
+    );
+    maybe_write_json(&opts, "extensions", &json!(jout));
+}

@@ -1,0 +1,89 @@
+//! **Table IV** — accuracy of mono-lingual EA.
+//!
+//! The four mono-lingual pairs (DBP100K DBP-WD/DBP-YG, SRPRS DBP-WD/
+//! DBP-YG), all baselines plus `CEAFF w/o Ml` and `CEAFF`. The paper's
+//! missing cells are mirrored: MultiKE has no SRPRS results (those
+//! datasets lack the aligned relations it needs) and GM-Align has no
+//! DBP100K results (training took days).
+//!
+//! Shapes to check: CEAFF reaches ~1.0 everywhere thanks to the string
+//! feature; `CEAFF w/o Ml` drops measurably; name-using methods dominate
+//! the structure-only group.
+
+use ceaff::baselines::evaluate;
+use ceaff::prelude::*;
+use ceaff_bench::{baseline_roster, fmt_acc, maybe_write_json, print_table, HarnessOpts};
+use serde_json::json;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let presets = Preset::MONO_LINGUAL;
+    let columns: Vec<String> = presets.iter().map(|p| p.label().to_string()).collect();
+    let tasks: Vec<DatasetTask> = presets.iter().map(|&p| opts.task(p)).collect();
+
+    let mut rows: Vec<(String, Vec<String>)> = Vec::new();
+    let mut jrows = Vec::new();
+    for (group, method) in baseline_roster(&opts) {
+        let mut cells = Vec::new();
+        let mut jcells = Vec::new();
+        for (task, preset) in tasks.iter().zip(presets) {
+            // Mirror the paper's missing cells.
+            let is_srprs = matches!(preset, Preset::SrprsDbpWd | Preset::SrprsDbpYg);
+            let skip = (method.name() == "MultiKE" && is_srprs)
+                || (method.name() == "GM-Align" && !is_srprs);
+            if skip {
+                cells.push(fmt_acc(None));
+                jcells.push(json!(null));
+                continue;
+            }
+            let res = evaluate(method.as_ref(), &task.baseline_input());
+            eprintln!(
+                "  [{}] {} = {:.3} ({:.1}s)",
+                task.dataset.config.name,
+                method.name(),
+                res.accuracy,
+                res.seconds
+            );
+            cells.push(fmt_acc(Some(res.accuracy)));
+            jcells.push(json!(res.accuracy));
+        }
+        rows.push((format!("{} ({group:?})", method.name()), cells));
+        jrows.push(json!({ "method": method.name(), "accuracies": jcells }));
+    }
+
+    // CEAFF w/o Ml and CEAFF share one feature computation per dataset.
+    let cfg = opts.ceaff_config();
+    let mut wo_ml_cells = Vec::new();
+    let mut full_cells = Vec::new();
+    let mut j_wo = Vec::new();
+    let mut j_full = Vec::new();
+    for task in &tasks {
+        let features = FeatureSet::compute_all(&task.input(), &cfg);
+        let wo_ml = run_with_features(
+            &task.dataset.pair,
+            &features,
+            &cfg.clone().without_string(),
+        );
+        let full = run_with_features(&task.dataset.pair, &features, &cfg);
+        eprintln!(
+            "  [{}] CEAFF w/o Ml = {:.3}, CEAFF = {:.3}",
+            task.dataset.config.name, wo_ml.accuracy, full.accuracy
+        );
+        wo_ml_cells.push(fmt_acc(Some(wo_ml.accuracy)));
+        full_cells.push(fmt_acc(Some(full.accuracy)));
+        j_wo.push(json!(wo_ml.accuracy));
+        j_full.push(json!(full.accuracy));
+    }
+    rows.push(("CEAFF w/o Ml".to_string(), wo_ml_cells));
+    rows.push(("CEAFF".to_string(), full_cells));
+    jrows.push(json!({ "method": "CEAFF w/o Ml", "accuracies": j_wo }));
+    jrows.push(json!({ "method": "CEAFF", "accuracies": j_full }));
+
+    print_table("Table IV (sim): accuracy of mono-lingual EA", &columns, &rows);
+    println!(
+        "\nPaper reference: CEAFF row is 1.000 everywhere; CEAFF w/o Ml is\n\
+         0.992 / 0.955 / 0.915 / 0.937 — the string feature is extremely\n\
+         effective on near-identical names."
+    );
+    maybe_write_json(&opts, "table4_mono_lingual", &json!(jrows));
+}

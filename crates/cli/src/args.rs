@@ -1,0 +1,117 @@
+//! Minimal flag parsing (keeps the pre-approved dependency set: no clap).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand, `--key value` flags, and bare
+/// positional arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: Option<String>,
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    /// Parse from an iterator of arguments (excluding the program name).
+    /// `--key value` becomes a flag; `--key` followed by another `--flag`
+    /// or nothing becomes a switch; everything else is positional, with
+    /// the first positional taken as the subcommand.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let value = iter.next().expect("peeked");
+                        out.flags.insert(key.to_owned(), value);
+                    }
+                    _ => out.switches.push(key.to_owned()),
+                }
+            } else if out.command.is_none() {
+                out.command = Some(arg);
+            } else {
+                out.positional.push(arg);
+            }
+        }
+        out
+    }
+
+    /// String flag value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Parsed flag value with a default; exits with a message on a
+    /// malformed value.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.flags.get(key) {
+            None => default,
+            Some(raw) => raw.parse().unwrap_or_else(|_| {
+                eprintln!("error: --{key} expects a {}", std::any::type_name::<T>());
+                std::process::exit(2);
+            }),
+        }
+    }
+
+    /// Whether a value-less switch was given.
+    pub fn has_switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    /// Positional arguments after the subcommand.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// Flag keys that were provided (for unknown-flag diagnostics).
+    #[allow(dead_code)] // diagnostic helper, exercised in tests
+    pub fn flag_keys(&self) -> impl Iterator<Item = &str> {
+        self.flags
+            .keys()
+            .map(String::as_str)
+            .chain(self.switches.iter().map(String::as_str))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Args {
+        Args::parse(line.split_whitespace().map(str::to_owned))
+    }
+
+    #[test]
+    fn parses_command_flags_and_switches() {
+        let a = parse("align --dir data --scale 0.5 --verbose");
+        assert_eq!(a.command.as_deref(), Some("align"));
+        assert_eq!(a.get("dir"), Some("data"));
+        assert_eq!(a.get_parsed::<f64>("scale", 1.0), 0.5);
+        assert!(a.has_switch("verbose"));
+        assert!(!a.has_switch("quiet"));
+    }
+
+    #[test]
+    fn defaults_apply_when_flags_missing() {
+        let a = parse("stats");
+        assert_eq!(a.get_parsed::<usize>("dim", 64), 64);
+        assert_eq!(a.get("dir"), None);
+    }
+
+    #[test]
+    fn positional_arguments_after_command() {
+        let a = parse("generate dbp15k-zh-en --scale 0.2");
+        assert_eq!(a.command.as_deref(), Some("generate"));
+        assert_eq!(a.positional(), &["dbp15k-zh-en".to_string()]);
+    }
+
+    #[test]
+    fn switch_followed_by_flag() {
+        let a = parse("align --verbose --dir data");
+        assert!(a.has_switch("verbose"));
+        assert_eq!(a.get("dir"), Some("data"));
+    }
+}

@@ -1,0 +1,307 @@
+//! `ceaff` — command-line entity alignment.
+//!
+//! ```text
+//! ceaff generate <preset> --scale 0.3 --out DIR     write a synthetic benchmark
+//! ceaff stats --dir DIR                             inspect a benchmark directory
+//! ceaff align --dir DIR [--lexicon TSV] [...]       align and evaluate/emit pairs
+//! ceaff presets                                     list available presets
+//! ```
+//!
+//! `align` reads the OpenEA-style directory layout (`triples_1`,
+//! `triples_2`, `links`, optional `entities_*`), runs the full CEAFF
+//! pipeline, writes the predicted pairs as TSV, and — because the gold
+//! links are present — reports accuracy and, when `--threshold` is given,
+//! precision/recall/F1 of the abstaining matching.
+
+mod args;
+
+use args::Args;
+use ceaff::embed::{BilingualLexicon, LexiconEmbedder, SubwordEmbedder, WordEmbedder};
+use ceaff::graph::io;
+use ceaff::prelude::*;
+use rand::SeedableRng;
+use std::io::Write as _;
+
+const USAGE: &str = "\
+ceaff — collective entity alignment via adaptive features (ICDE 2020)
+
+USAGE:
+  ceaff presets
+      List the built-in benchmark presets.
+
+  ceaff generate <preset> [--scale F] [--out DIR] [--seed-fraction F]
+      Generate a synthetic benchmark; write TSVs to DIR (and a lexicon
+      file when the pair is cross-lingual).
+
+  ceaff stats --dir DIR
+      Print statistics of a benchmark directory.
+
+  ceaff align --dir DIR [options]
+      Align a benchmark directory with CEAFF and report metrics.
+        --out FILE        write predicted pairs as TSV
+        --lexicon FILE    foreign→pivot word dictionary (MUSE format) for
+                          cross-lingual names
+        --dim N           embedding dimension        [default 64]
+        --epochs N        GCN epochs                 [default 100]
+        --seed-fraction F seed split on load         [default 0.3]
+        --matcher NAME    daa | hungarian | greedy1to1 | greedy [default daa]
+        --threshold F     abstain below this fused similarity
+        --csls K          CSLS hubness correction
+        --no-structural / --no-semantic / --no-string
+        --equal-weights   fixed equal weights instead of adaptive fusion
+";
+
+fn main() {
+    let args = Args::parse(std::env::args().skip(1));
+    match args.command.as_deref() {
+        Some("presets") => cmd_presets(),
+        Some("generate") => cmd_generate(&args),
+        Some("stats") => cmd_stats(&args),
+        Some("align") => cmd_align(&args),
+        Some(other) => {
+            eprintln!("error: unknown command '{other}'\n\n{USAGE}");
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn all_presets() -> Vec<Preset> {
+    let mut v = Preset::ALL.to_vec();
+    v.extend(Preset::EXTENSIONS);
+    v
+}
+
+/// CLI slug of a preset: lowercase, spaces → dashes.
+fn slug(p: Preset) -> String {
+    p.label().to_lowercase().replace(' ', "-")
+}
+
+fn find_preset(name: &str) -> Option<Preset> {
+    all_presets().into_iter().find(|p| slug(*p) == name)
+}
+
+fn cmd_presets() {
+    println!("{:<22} description", "preset");
+    for p in all_presets() {
+        let cfg = p.config(1.0);
+        println!(
+            "{:<22} {} — {} aligned pairs at scale 1.0",
+            slug(p),
+            cfg.name,
+            cfg.aligned_entities
+        );
+    }
+}
+
+fn cmd_generate(args: &Args) {
+    let Some(name) = args.positional().first() else {
+        eprintln!("error: generate needs a preset name (see `ceaff presets`)");
+        std::process::exit(2);
+    };
+    let Some(preset) = find_preset(name) else {
+        eprintln!("error: unknown preset '{name}' (see `ceaff presets`)");
+        std::process::exit(2);
+    };
+    let scale = args.get_parsed("scale", 0.3f64);
+    let ds = preset.generate(scale);
+    let pair = &ds.pair;
+    println!(
+        "{}: {}+{} entities, {}+{} triples, {} gold pairs ({} seed / {} test)",
+        ds.config.name,
+        pair.source.num_entities(),
+        pair.target.num_entities(),
+        pair.source.num_triples(),
+        pair.target.num_triples(),
+        pair.alignment.len(),
+        pair.seeds().len(),
+        pair.test_pairs().len()
+    );
+    if let Some(dir) = args.get("out") {
+        io::save_pair_to_dir(pair, dir).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {dir}: {e}");
+            std::process::exit(1);
+        });
+        // Cross-lingual pairs also get their word dictionary, so `align`
+        // can reconstruct the shared semantic space.
+        if !ds.lexicon.is_empty() {
+            let path = std::path::Path::new(dir).join("lexicon.tsv");
+            let mut f = std::fs::File::create(&path).expect("create lexicon file");
+            ds.lexicon.to_tsv_writer(&mut f).expect("write lexicon");
+            println!("wrote {dir}/{{triples_*, entities_*, links, lexicon.tsv}}");
+        } else {
+            println!("wrote {dir}/{{triples_*, entities_*, links}}");
+        }
+    }
+}
+
+fn cmd_stats(args: &Args) {
+    let dir = require_dir(args);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+    let pair = io::load_pair_from_dir(&dir, args.get_parsed("seed-fraction", 0.3), &mut rng)
+        .unwrap_or_else(|e| {
+            eprintln!("error: cannot load {dir}: {e}");
+            std::process::exit(1);
+        });
+    println!(
+        "{:<6} {:>9} {:>10} {:>7} {:>9} {:>6}",
+        "KG", "#triples", "#entities", "#rels", "mean-deg", "tail%"
+    );
+    for (tag, kg) in [("KG1", &pair.source), ("KG2", &pair.target)] {
+        let s = ceaff::graph::stats::KgStats::of(kg);
+        println!(
+            "{:<6} {:>9} {:>10} {:>7} {:>9.2} {:>5.0}%",
+            tag,
+            s.triples,
+            s.entities,
+            s.relations,
+            s.mean_degree,
+            s.tail_fraction * 100.0
+        );
+    }
+    println!(
+        "gold: {} pairs ({} seed / {} test at the chosen split)",
+        pair.alignment.len(),
+        pair.seeds().len(),
+        pair.test_pairs().len()
+    );
+}
+
+fn require_dir(args: &Args) -> String {
+    match args.get("dir") {
+        Some(d) => d.to_owned(),
+        None => {
+            eprintln!("error: --dir is required");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_align(args: &Args) {
+    let dir = require_dir(args);
+    let dim = args.get_parsed("dim", 64usize);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(args.get_parsed("rng-seed", 7u64));
+    let pair = io::load_pair_from_dir(&dir, args.get_parsed("seed-fraction", 0.3), &mut rng)
+        .unwrap_or_else(|e| {
+            eprintln!("error: cannot load {dir}: {e}");
+            std::process::exit(1);
+        });
+
+    // Embedders: a subword embedder for the source side; the target side
+    // routes through a lexicon when one is provided (or found in the
+    // directory), otherwise uses the same subword embedder (mono-lingual).
+    let base = SubwordEmbedder::new(dim, 0x736f7572);
+    let lexicon_path = args
+        .get("lexicon")
+        .map(str::to_owned)
+        .or_else(|| {
+            let candidate = std::path::Path::new(&dir).join("lexicon.tsv");
+            candidate.exists().then(|| candidate.display().to_string())
+        });
+    let lexicon_embedder: Option<LexiconEmbedder> = lexicon_path.map(|path| {
+        let file = std::fs::File::open(&path).unwrap_or_else(|e| {
+            eprintln!("error: cannot open lexicon {path}: {e}");
+            std::process::exit(1);
+        });
+        let lex = BilingualLexicon::from_tsv_reader(std::io::BufReader::new(file))
+            .unwrap_or_else(|e| {
+                eprintln!("error: bad lexicon {path}: {e}");
+                std::process::exit(1);
+            });
+        eprintln!("using lexicon {path} ({} entries)", lex.len());
+        LexiconEmbedder::new(base.clone(), lex, 0.0)
+    });
+    let target_embedder: &dyn WordEmbedder = match &lexicon_embedder {
+        Some(l) => l,
+        None => &base,
+    };
+
+    let mut cfg = CeaffConfig::default();
+    cfg.gcn.dim = dim;
+    cfg.gcn.epochs = args.get_parsed("epochs", 100usize);
+    cfg.embed_dim = dim;
+    cfg.use_structural = !args.has_switch("no-structural");
+    cfg.use_semantic = !args.has_switch("no-semantic");
+    cfg.use_string = !args.has_switch("no-string");
+    if args.has_switch("equal-weights") {
+        cfg = cfg.without_adaptive_fusion();
+    }
+    if let Some(k) = args.get("csls") {
+        cfg.csls = Some(k.parse().unwrap_or_else(|_| {
+            eprintln!("error: --csls expects an integer");
+            std::process::exit(2);
+        }));
+    }
+    cfg.matcher = match args.get("matcher").unwrap_or("daa") {
+        "daa" => MatcherKind::StableMarriage,
+        "hungarian" => MatcherKind::Hungarian,
+        "greedy1to1" => MatcherKind::GreedyOneToOne,
+        "greedy" => MatcherKind::Greedy,
+        other => {
+            eprintln!("error: unknown matcher '{other}'");
+            std::process::exit(2);
+        }
+    };
+
+    let input = EaInput {
+        pair: &pair,
+        source_embedder: &base,
+        target_embedder,
+    };
+    eprintln!(
+        "aligning {} test sources against {} test targets ...",
+        pair.test_pairs().len(),
+        pair.test_pairs().len()
+    );
+    let start = std::time::Instant::now();
+    let out = ceaff::run(&input, &cfg);
+    eprintln!("done in {:.1}s", start.elapsed().as_secs_f64());
+
+    println!("accuracy: {:.4}", out.accuracy);
+    println!(
+        "ranking (w/o collective): Hits@1 {:.4}, Hits@10 {:.4}, MRR {:.4}",
+        out.ranking.hits1, out.ranking.hits10, out.ranking.mrr
+    );
+    let final_matching = if let Some(threshold) = args.get("threshold") {
+        let threshold: f32 = threshold.parse().unwrap_or_else(|_| {
+            eprintln!("error: --threshold expects a float");
+            std::process::exit(2);
+        });
+        let kept = out.matching.filter_by_threshold(&out.fused, threshold);
+        let pr = ceaff::precision_recall(&kept, out.fused.sources());
+        println!(
+            "at threshold {threshold}: matched {} of {}, precision {:.4}, recall {:.4}, F1 {:.4}",
+            kept.len(),
+            out.fused.sources(),
+            pr.precision,
+            pr.recall,
+            pr.f1
+        );
+        kept
+    } else {
+        out.matching.clone()
+    };
+
+    if let Some(path) = args.get("out") {
+        let sources = pair.test_sources();
+        let targets = pair.test_targets();
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }));
+        for &(i, j) in final_matching.pairs() {
+            writeln!(
+                f,
+                "{}\t{}\t{:.4}",
+                pair.source.entity_name(sources[i]).expect("interned"),
+                pair.target.entity_name(targets[j]).expect("interned"),
+                out.fused.get(i, j)
+            )
+            .expect("write pair");
+        }
+        println!("wrote {} pairs to {path}", final_matching.len());
+    }
+}

@@ -1,0 +1,130 @@
+//! End-to-end tests driving the real `ceaff` binary.
+
+use std::process::Command;
+
+fn ceaff() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ceaff"))
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ceaff-cli-e2e-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn presets_lists_all_ten() {
+    let out = ceaff().arg("presets").output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for slug in [
+        "dbp15k-zh-en",
+        "dbp100k-dbp-wd",
+        "srprs-en-fr",
+        "hard-mono-dbp-wd",
+    ] {
+        assert!(text.contains(slug), "missing preset {slug} in:\n{text}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = ceaff().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn generate_stats_align_roundtrip() {
+    let dir = tmp_dir("roundtrip");
+    let dir_s = dir.display().to_string();
+
+    // generate
+    let out = ceaff()
+        .args(["generate", "srprs-dbp-wd", "--scale", "0.1", "--out", &dir_s])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("triples_1").exists());
+    assert!(dir.join("links").exists());
+
+    // stats
+    let out = ceaff()
+        .args(["stats", "--dir", &dir_s])
+        .output()
+        .expect("run stats");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("gold: 100 pairs"), "{text}");
+
+    // align with output file and threshold
+    let pred = dir.join("pred.tsv");
+    let out = ceaff()
+        .args([
+            "align",
+            "--dir",
+            &dir_s,
+            "--dim",
+            "16",
+            "--epochs",
+            "15",
+            "--threshold",
+            "0.5",
+            "--out",
+            pred.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run align");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("accuracy:"), "{text}");
+    assert!(text.contains("precision"), "{text}");
+    // Mono-lingual tiny dataset: should align very well.
+    let acc: f64 = text
+        .lines()
+        .find(|l| l.starts_with("accuracy:"))
+        .and_then(|l| l.split(':').nth(1))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("parse accuracy");
+    assert!(acc > 0.8, "CLI accuracy {acc} too low:\n{text}");
+    // Predicted pairs file has tab-separated rows with scores.
+    let pred_text = std::fs::read_to_string(&pred).unwrap();
+    let first = pred_text.lines().next().expect("at least one pair");
+    assert_eq!(first.split('\t').count(), 3, "line: {first}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn align_uses_generated_lexicon_for_cross_lingual_pairs() {
+    let dir = tmp_dir("lexicon");
+    let dir_s = dir.display().to_string();
+    let out = ceaff()
+        .args(["generate", "dbp15k-zh-en", "--scale", "0.1", "--out", &dir_s])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success());
+    assert!(dir.join("lexicon.tsv").exists(), "cross-lingual generate must emit a lexicon");
+
+    let out = ceaff()
+        .args(["align", "--dir", &dir_s, "--dim", "16", "--epochs", "15"])
+        .output()
+        .expect("run align");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("using lexicon"),
+        "align should auto-discover the lexicon: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn matcher_flag_is_validated() {
+    let out = ceaff()
+        .args(["align", "--dir", "/nonexistent", "--matcher", "bogus"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+}

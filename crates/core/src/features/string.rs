@@ -1,0 +1,116 @@
+//! The string feature `Ml` (paper §IV-C): pairwise Levenshtein ratio
+//! between entity names, with substitution cost 2 (`lev*`).
+//!
+//! The paper's argument for this "largely overlooked" feature: it needs no
+//! external resources, has no out-of-vocabulary failure mode, and is
+//! extremely effective when the two KGs share a script — mono-lingual pairs
+//! and close language pairs (§VII-C, §VII-D).
+
+use super::Feature;
+use ceaff_graph::{EntityId, KgPair};
+use ceaff_sim::{levenshtein_ratio, string_similarity_matrix, SimilarityMatrix};
+
+/// A computed string feature. Entity names are retained so arbitrary pairs
+/// can be scored on demand (used by the logistic-regression baseline).
+#[derive(Debug, Clone)]
+pub struct StringFeature {
+    source_names: Vec<String>,
+    target_names: Vec<String>,
+    test: SimilarityMatrix,
+}
+
+impl StringFeature {
+    /// Compute the test-set Levenshtein-ratio matrix.
+    pub fn compute(pair: &KgPair) -> Self {
+        let source_names: Vec<String> = pair
+            .source
+            .entity_ids()
+            .map(|e| pair.source.entity_name(e).expect("interned").to_owned())
+            .collect();
+        let target_names: Vec<String> = pair
+            .target
+            .entity_ids()
+            .map(|e| pair.target.entity_name(e).expect("interned").to_owned())
+            .collect();
+        let src_test: Vec<&str> = pair
+            .test_sources()
+            .iter()
+            .map(|e| source_names[e.index()].as_str())
+            .collect();
+        let tgt_test: Vec<&str> = pair
+            .test_targets()
+            .iter()
+            .map(|e| target_names[e.index()].as_str())
+            .collect();
+        let test = string_similarity_matrix(&src_test, &tgt_test);
+        Self {
+            source_names,
+            target_names,
+            test,
+        }
+    }
+}
+
+impl Feature for StringFeature {
+    fn name(&self) -> &'static str {
+        "string"
+    }
+
+    fn test_matrix(&self) -> &SimilarityMatrix {
+        &self.test
+    }
+
+    fn score(&self, u: EntityId, v: EntityId) -> f32 {
+        levenshtein_ratio(&self.source_names[u.index()], &self.target_names[v.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::test_support::{dataset, diagonal_margin};
+    use ceaff_datagen::NameChannel;
+
+    #[test]
+    fn mono_lingual_string_is_nearly_perfect() {
+        let ds = dataset(NameChannel::Identical { typo_rate: 0.02 });
+        let f = StringFeature::compute(&ds.pair);
+        let margin = diagonal_margin(f.test_matrix());
+        assert!(margin > 0.5, "mono string margin too small: {margin}");
+        // Diagonal should be ~1.
+        let m = f.test_matrix();
+        let mean_diag: f32 =
+            (0..m.sources()).map(|i| m.get(i, i)).sum::<f32>() / m.sources() as f32;
+        assert!(mean_diag > 0.95, "mean diagonal {mean_diag}");
+    }
+
+    #[test]
+    fn close_lingual_string_still_separates() {
+        let ds = dataset(NameChannel::CloseLingual { morph_rate: 0.5, replace_rate: 0.2 });
+        let f = StringFeature::compute(&ds.pair);
+        let margin = diagonal_margin(f.test_matrix());
+        assert!(margin > 0.2, "close-lingual string margin: {margin}");
+    }
+
+    #[test]
+    fn distant_lingual_string_is_useless() {
+        let ds = dataset(NameChannel::DistantLingual);
+        let f = StringFeature::compute(&ds.pair);
+        let margin = diagonal_margin(f.test_matrix());
+        assert!(
+            margin.abs() < 0.1,
+            "distant-lingual string should carry no signal: {margin}"
+        );
+    }
+
+    #[test]
+    fn score_matches_matrix_and_names() {
+        let ds = dataset(NameChannel::Identical { typo_rate: 0.0 });
+        let f = StringFeature::compute(&ds.pair);
+        let s = ds.pair.test_sources();
+        let t = ds.pair.test_targets();
+        assert!((f.test_matrix().get(1, 1) - f.score(s[1], t[1])).abs() < 1e-6);
+        // With a zero typo rate aligned names are identical: ratio 1.
+        assert_eq!(f.score(s[1], t[1]), 1.0);
+    }
+}

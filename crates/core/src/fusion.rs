@@ -1,0 +1,446 @@
+//! Adaptive feature fusion (paper §V).
+//!
+//! Given `k` feature similarity matrices, the strategy assigns each feature
+//! a weight *without training data*, in five stages:
+//!
+//! 1. **Candidate correspondence generation** — a cell that is maximal both
+//!    along its row and its column of feature `k`'s matrix is a *candidate
+//!    confident correspondence* of feature `k`;
+//! 2. **Candidate filtering** — (a) if features disagree about a source
+//!    entity, all of that entity's candidates are dropped; (b) a candidate
+//!    shared by *all* `k` features is dropped (it cannot characterise any
+//!    feature);
+//! 3. **Correspondence weights** — an occurrence of a correspondence found
+//!    by `n` features weighs `1/n`; an occurrence whose score exceeds `θ1`
+//!    weighs `θ2` instead (capping runaway features so "less effective
+//!    features can always contribute", §VII-E);
+//! 4. **Feature weights** — feature `k`'s weighting score is the sum of its
+//!    retained occurrence weights; weights are the normalised scores (equal
+//!    weights when nothing is retained);
+//! 5. **Fusion** — the weighted sum of the matrices.
+//!
+//! [`two_stage_fuse`] applies the paper's composition: semantic and string
+//! matrices fuse into a textual matrix first, which then fuses with the
+//! structural matrix (§V, "Feature Fusion with Adaptive Weight").
+
+use ceaff_sim::SimilarityMatrix;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Thresholds of the adaptive strategy. Paper defaults: `θ1 = 0.98`,
+/// `θ2 = 0.1`, tuned on a validation set (§VII-A).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FusionConfig {
+    /// Scores above this are considered "extremely high" and down-weighted.
+    pub theta1: f32,
+    /// The weight assigned to such extremely-high-score occurrences.
+    pub theta2: f32,
+    /// Disables the θ1/θ2 cap (the "w/o θ1, θ2" ablation of Table V).
+    pub cap_enabled: bool,
+}
+
+impl Default for FusionConfig {
+    fn default() -> Self {
+        Self {
+            theta1: 0.98,
+            theta2: 0.1,
+            cap_enabled: true,
+        }
+    }
+}
+
+/// One candidate confident correspondence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// Source row.
+    pub source: usize,
+    /// Target column.
+    pub target: usize,
+    /// The score in the producing feature's matrix.
+    pub score: f32,
+}
+
+/// Diagnostic record of one fusion run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FusionReport {
+    /// Final normalised feature weights (sum to 1).
+    pub weights: Vec<f32>,
+    /// Candidate counts per feature before filtering.
+    pub candidates_per_feature: Vec<usize>,
+    /// Retained (post-filter) occurrence counts per feature.
+    pub retained_per_feature: Vec<usize>,
+    /// Whether the equal-weight fallback fired (nothing retained).
+    pub fallback_equal: bool,
+}
+
+/// Stage 1: the candidate confident correspondences of one feature matrix —
+/// cells maximal along both their row and their column. The double-max
+/// constraint is deliberately strong; such cells are very likely correct
+/// matches (§V).
+pub fn confident_correspondences(m: &SimilarityMatrix) -> Vec<Candidate> {
+    if m.sources() == 0 || m.targets() == 0 {
+        return Vec::new();
+    }
+    let row_best = m.row_argmaxes();
+    let col_best = m.col_argmaxes();
+    (0..m.sources())
+        .filter_map(|i| {
+            let j = row_best[i];
+            (col_best[j] == i).then(|| Candidate {
+                source: i,
+                target: j,
+                score: m.get(i, j),
+            })
+        })
+        .collect()
+}
+
+/// Stages 1–4: compute adaptive feature weights for `mats`.
+///
+/// Returns the normalised weights and the diagnostic report.
+///
+/// # Panics
+/// Panics if `mats` is empty or shapes disagree.
+pub fn adaptive_weights(mats: &[&SimilarityMatrix], cfg: &FusionConfig) -> FusionReport {
+    assert!(!mats.is_empty(), "need at least one feature matrix");
+    let shape = (mats[0].sources(), mats[0].targets());
+    assert!(
+        mats.iter().all(|m| (m.sources(), m.targets()) == shape),
+        "all feature matrices must share one shape"
+    );
+    let k = mats.len();
+    if k == 1 {
+        return FusionReport {
+            weights: vec![1.0],
+            candidates_per_feature: vec![confident_correspondences(mats[0]).len()],
+            retained_per_feature: vec![0],
+            fallback_equal: false,
+        };
+    }
+
+    // Stage 1.
+    let per_feature: Vec<Vec<Candidate>> =
+        mats.iter().map(|m| confident_correspondences(m)).collect();
+    let candidates_per_feature: Vec<usize> = per_feature.iter().map(Vec::len).collect();
+
+    // Stage 2a: drop every candidate of a source entity on which features
+    // conflict (propose different targets).
+    let mut target_of: HashMap<usize, usize> = HashMap::new();
+    let mut conflicted: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    for cands in &per_feature {
+        for c in cands {
+            match target_of.get(&c.source) {
+                Some(&t) if t != c.target => {
+                    conflicted.insert(c.source);
+                }
+                _ => {
+                    target_of.insert(c.source, c.target);
+                }
+            }
+        }
+    }
+    // Stage 2b: count how many features produced each (source, target) pair;
+    // pairs produced by all k features are dropped.
+    let mut appearances: HashMap<(usize, usize), usize> = HashMap::new();
+    for cands in &per_feature {
+        for c in cands {
+            *appearances.entry((c.source, c.target)).or_insert(0) += 1;
+        }
+    }
+
+    // Stages 3–4.
+    let mut scores = vec![0.0f64; k];
+    let mut retained_per_feature = vec![0usize; k];
+    for (f, cands) in per_feature.iter().enumerate() {
+        for c in cands {
+            if conflicted.contains(&c.source) {
+                continue;
+            }
+            let n = appearances[&(c.source, c.target)];
+            if n == k {
+                continue; // shared by every feature: characterises none
+            }
+            let w = if cfg.cap_enabled && c.score > cfg.theta1 {
+                cfg.theta2
+            } else {
+                1.0 / n as f32
+            };
+            scores[f] += w as f64;
+            retained_per_feature[f] += 1;
+        }
+    }
+    let total: f64 = scores.iter().sum();
+    let (weights, fallback_equal) = if total > 0.0 {
+        (
+            scores.iter().map(|&s| (s / total) as f32).collect(),
+            false,
+        )
+    } else {
+        (vec![1.0 / k as f32; k], true)
+    };
+    FusionReport {
+        weights,
+        candidates_per_feature,
+        retained_per_feature,
+        fallback_equal,
+    }
+}
+
+/// Stage 5: the weighted sum of the matrices.
+///
+/// # Panics
+/// Panics if lengths or shapes disagree.
+pub fn fuse(mats: &[&SimilarityMatrix], weights: &[f32]) -> SimilarityMatrix {
+    assert_eq!(mats.len(), weights.len(), "one weight per matrix");
+    assert!(!mats.is_empty(), "need at least one matrix");
+    let mut out = SimilarityMatrix::zeros(mats[0].sources(), mats[0].targets());
+    for (m, &w) in mats.iter().zip(weights) {
+        out.add_scaled(m, w);
+    }
+    out
+}
+
+/// Adaptive fusion in one call: weights from [`adaptive_weights`], result
+/// from [`fuse`].
+///
+/// ```
+/// use ceaff_core::fusion::{adaptive_fuse, FusionConfig};
+/// use ceaff_sim::SimilarityMatrix;
+/// use ceaff_tensor::Matrix;
+///
+/// // One sharp feature, one flat feature: the sharp one earns the weight.
+/// let sharp = SimilarityMatrix::new(Matrix::from_rows(&[&[0.9, 0.0], &[0.0, 0.9]]));
+/// let flat = SimilarityMatrix::new(Matrix::from_rows(&[&[0.5, 0.5], &[0.5, 0.5]]));
+/// let (fused, report) = adaptive_fuse(&[&sharp, &flat], &FusionConfig::default());
+/// assert!(report.weights[0] > report.weights[1]);
+/// assert_eq!(fused.sources(), 2);
+/// ```
+pub fn adaptive_fuse(
+    mats: &[&SimilarityMatrix],
+    cfg: &FusionConfig,
+) -> (SimilarityMatrix, FusionReport) {
+    let report = adaptive_weights(mats, cfg);
+    (fuse(mats, &report.weights), report)
+}
+
+/// The paper's two-stage composition: `Mn + Ml → Mt`, then `Ms + Mt → M`.
+///
+/// "Compared with fusing all features simultaneously, our proposed
+/// two-stage fusion framework can better adjust weight assignment" (§V).
+/// Any of the three inputs may be absent (the feature ablations of
+/// Table V); with a single present input it is returned unchanged.
+///
+/// Returns the fused matrix plus the reports of the textual and final
+/// stages (when they ran).
+pub fn two_stage_fuse(
+    structural: Option<&SimilarityMatrix>,
+    semantic: Option<&SimilarityMatrix>,
+    string: Option<&SimilarityMatrix>,
+    cfg: &FusionConfig,
+) -> (SimilarityMatrix, Option<FusionReport>, Option<FusionReport>) {
+    let textual: Option<(SimilarityMatrix, Option<FusionReport>)> = match (semantic, string) {
+        (Some(n), Some(l)) => {
+            let (t, rep) = adaptive_fuse(&[n, l], cfg);
+            Some((t, Some(rep)))
+        }
+        (Some(n), None) => Some((n.clone(), None)),
+        (None, Some(l)) => Some((l.clone(), None)),
+        (None, None) => None,
+    };
+    match (structural, textual) {
+        (Some(s), Some((t, trep))) => {
+            let (m, rep) = adaptive_fuse(&[s, &t], cfg);
+            (m, trep, Some(rep))
+        }
+        (Some(s), None) => (s.clone(), None, None),
+        (None, Some((t, trep))) => (t, trep, None),
+        (None, None) => panic!("two_stage_fuse needs at least one feature matrix"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceaff_tensor::Matrix;
+    use proptest::prelude::*;
+
+    fn sm(rows: &[&[f32]]) -> SimilarityMatrix {
+        SimilarityMatrix::new(Matrix::from_rows(rows))
+    }
+
+    #[test]
+    fn confident_correspondences_exact() {
+        // (0,0)=0.9 is maximal in both its row and its column -> candidate.
+        // Row 1's max (0.7) sits in column 0, whose column max is row 0, so
+        // row 1 contributes nothing: the double-max constraint is strong.
+        let m = sm(&[&[0.9, 0.1], &[0.7, 0.2]]);
+        let c = confident_correspondences(&m);
+        assert_eq!(c.len(), 1);
+        assert_eq!((c[0].source, c[0].target, c[0].score), (0, 0, 0.9));
+
+        // A diagonal-dominant matrix yields one candidate per row.
+        let m = sm(&[&[0.9, 0.0], &[0.0, 0.8]]);
+        let c = confident_correspondences(&m);
+        assert_eq!(c.len(), 2);
+    }
+
+    /// The paper's Figure 3 walk-through, with matrices constructed to
+    /// produce exactly the figure's candidate sets:
+    /// Ms → {(u2,v2,1.0), (u3,v3,0.4)}, Mn → {(u1,v1,1.0), (u2,v2,1.0)},
+    /// Ml → {(u1,v1,0.6), (u2,v3,0.6)}.
+    ///
+    /// Filtering drops all u2 candidates (Ms/Mn say v2, Ml says v3).
+    /// (u3,v3) is unique to Ms → weight 1. (u1,v1) is shared by Mn and Ml →
+    /// 1/2 each, but the Mn occurrence scores 1.0 > θ1 → θ2.
+    /// Final scores: Ms = 1, Mn = θ2, Ml = 0.5; weights are their
+    /// normalisation — exactly the figure's
+    /// 1/(1+0.5+θ2), θ2/(1+0.5+θ2), 0.5/(1+0.5+θ2).
+    #[test]
+    fn figure3_walkthrough() {
+        let ms = sm(&[
+            &[0.6, 0.5, 0.2],
+            &[0.7, 1.0, 0.1],
+            &[0.2, 0.2, 0.4],
+        ]);
+        let mn = sm(&[
+            &[1.0, 0.5, 0.1],
+            &[0.5, 1.0, 0.2],
+            &[0.2, 0.2, 0.15],
+        ]);
+        let ml = sm(&[
+            &[0.6, 0.5, 0.4],
+            &[0.1, 0.3, 0.6],
+            &[0.4, 0.4, 0.3],
+        ]);
+        // Verify the candidate sets match the figure.
+        let cs: Vec<_> = confident_correspondences(&ms)
+            .iter()
+            .map(|c| (c.source, c.target))
+            .collect();
+        assert_eq!(cs, vec![(1, 1), (2, 2)]);
+        let cn: Vec<_> = confident_correspondences(&mn)
+            .iter()
+            .map(|c| (c.source, c.target))
+            .collect();
+        assert_eq!(cn, vec![(0, 0), (1, 1)]);
+        let cl: Vec<_> = confident_correspondences(&ml)
+            .iter()
+            .map(|c| (c.source, c.target))
+            .collect();
+        assert_eq!(cl, vec![(0, 0), (1, 2)]);
+
+        let cfg = FusionConfig::default(); // θ1 = 0.98, θ2 = 0.1
+        let report = adaptive_weights(&[&ms, &mn, &ml], &cfg);
+        let denom = 1.0 + 0.5 + 0.1;
+        let expect = [1.0 / denom, 0.1 / denom, 0.5 / denom];
+        for (w, e) in report.weights.iter().zip(expect) {
+            assert!((w - e).abs() < 1e-5, "weights {:?}", report.weights);
+        }
+        assert!(!report.fallback_equal);
+        assert_eq!(report.retained_per_feature, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn cap_disabled_restores_raw_shares() {
+        let ms = sm(&[&[0.6, 0.5, 0.2], &[0.7, 1.0, 0.1], &[0.2, 0.2, 0.4]]);
+        let mn = sm(&[&[1.0, 0.5, 0.1], &[0.5, 1.0, 0.2], &[0.2, 0.2, 0.15]]);
+        let ml = sm(&[&[0.6, 0.5, 0.4], &[0.1, 0.3, 0.6], &[0.4, 0.4, 0.3]]);
+        let cfg = FusionConfig {
+            cap_enabled: false,
+            ..FusionConfig::default()
+        };
+        let report = adaptive_weights(&[&ms, &mn, &ml], &cfg);
+        // Without the cap, Mn's (u1,v1) occurrence weighs 0.5 like Ml's.
+        let denom = 1.0 + 0.5 + 0.5;
+        let expect = [1.0 / denom, 0.5 / denom, 0.5 / denom];
+        for (w, e) in report.weights.iter().zip(expect) {
+            assert!((w - e).abs() < 1e-5, "weights {:?}", report.weights);
+        }
+    }
+
+    #[test]
+    fn correspondences_shared_by_all_features_are_dropped() {
+        // Both features produce exactly (0,0): nothing characterises either.
+        let a = sm(&[&[0.9, 0.1], &[0.2, 0.1]]);
+        let b = sm(&[&[0.8, 0.3], &[0.1, 0.2]]);
+        // b's candidates: (0,0) and (1,1) — (1,1)=0.2 is row-1 max? 0.2 > 0.1
+        // yes, col-1 max? 0.3 > 0.2 no. So only (0,0).
+        let report = adaptive_weights(&[&a, &b], &FusionConfig::default());
+        assert!(report.fallback_equal);
+        assert_eq!(report.weights, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn single_feature_gets_full_weight() {
+        let a = sm(&[&[0.9, 0.1], &[0.2, 0.8]]);
+        let report = adaptive_weights(&[&a], &FusionConfig::default());
+        assert_eq!(report.weights, vec![1.0]);
+    }
+
+    #[test]
+    fn fuse_weighted_sum() {
+        let a = sm(&[&[1.0, 0.0]]);
+        let b = sm(&[&[0.0, 1.0]]);
+        let f = fuse(&[&a, &b], &[0.75, 0.25]);
+        assert!((f.get(0, 0) - 0.75).abs() < 1e-6);
+        assert!((f.get(0, 1) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_stage_handles_ablations() {
+        let s = sm(&[&[0.9, 0.1], &[0.1, 0.8]]);
+        let n = sm(&[&[0.7, 0.2], &[0.3, 0.9]]);
+        let l = sm(&[&[0.8, 0.0], &[0.0, 0.6]]);
+        let (full, trep, frep) = two_stage_fuse(Some(&s), Some(&n), Some(&l), &FusionConfig::default());
+        assert!(trep.is_some());
+        assert!(frep.is_some());
+        assert_eq!(full.sources(), 2);
+
+        // w/o structural: only the textual stage runs.
+        let (_, trep, frep) = two_stage_fuse(None, Some(&n), Some(&l), &FusionConfig::default());
+        assert!(trep.is_some());
+        assert!(frep.is_none());
+
+        // w/o semantic and string: the structural matrix passes through.
+        let (only_s, trep, frep) = two_stage_fuse(Some(&s), None, None, &FusionConfig::default());
+        assert_eq!(only_s, s);
+        assert!(trep.is_none());
+        assert!(frep.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one feature")]
+    fn two_stage_rejects_empty() {
+        let _ = two_stage_fuse(None, None, None, &FusionConfig::default());
+    }
+
+    proptest! {
+        /// Adaptive weights always lie on the probability simplex.
+        #[test]
+        fn weights_form_simplex(
+            a in proptest::collection::vec(0.0f32..1.0, 9),
+            b in proptest::collection::vec(0.0f32..1.0, 9),
+            c in proptest::collection::vec(0.0f32..1.0, 9),
+        ) {
+            let ma = SimilarityMatrix::new(Matrix::from_vec(3, 3, a));
+            let mb = SimilarityMatrix::new(Matrix::from_vec(3, 3, b));
+            let mc = SimilarityMatrix::new(Matrix::from_vec(3, 3, c));
+            let report = adaptive_weights(&[&ma, &mb, &mc], &FusionConfig::default());
+            let sum: f32 = report.weights.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "weights {:?}", report.weights);
+            prop_assert!(report.weights.iter().all(|&w| (0.0..=1.0 + 1e-6).contains(&w)));
+        }
+
+        /// Fusing a matrix with itself under any simplex weights returns it.
+        #[test]
+        fn self_fusion_is_identity(vals in proptest::collection::vec(0.0f32..1.0, 9), w in 0.0f32..1.0) {
+            let m = SimilarityMatrix::new(Matrix::from_vec(3, 3, vals));
+            let f = fuse(&[&m, &m], &[w, 1.0 - w]);
+            for i in 0..3 {
+                for j in 0..3 {
+                    prop_assert!((f.get(i, j) - m.get(i, j)).abs() < 1e-5);
+                }
+            }
+        }
+    }
+}

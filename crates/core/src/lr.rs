@@ -1,0 +1,257 @@
+//! The learning-based weighting baseline (paper §VII-E, "LR").
+//!
+//! EA is cast as binary classification: seed pairs are positives, and each
+//! seed is corrupted into 10 negatives by replacing the target entity with
+//! a random one. Logistic regression over the per-feature similarity
+//! scores yields feature weights, which are then used to combine the
+//! feature matrices before collective matching — the paper's stronger
+//! baseline against which the training-free adaptive fusion is compared.
+
+use crate::features::Feature;
+use ceaff_graph::{EntityId, KgPair};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Logistic-regression training configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LrConfig {
+    /// Negatives generated per seed pair (paper: 10).
+    pub negatives_per_positive: usize,
+    /// Full-batch gradient-descent epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// RNG seed for negative sampling.
+    pub seed: u64,
+}
+
+impl Default for LrConfig {
+    fn default() -> Self {
+        Self {
+            negatives_per_positive: 10,
+            epochs: 300,
+            lr: 0.5,
+            seed: 0x11,
+        }
+    }
+}
+
+/// Learned fusion weights.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LearnedWeights {
+    /// One weight per feature, in input order.
+    pub weights: Vec<f32>,
+    /// Intercept (unused for fusion — a constant offset does not change
+    /// preference orders — but reported for inspection).
+    pub bias: f32,
+    /// Final training loss (mean binary cross-entropy).
+    pub final_loss: f32,
+}
+
+fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Train logistic regression on seed pairs vs corrupted pairs.
+///
+/// # Panics
+/// Panics if `features` is empty.
+pub fn learn_weights(features: &[&dyn Feature], pair: &KgPair, cfg: &LrConfig) -> LearnedWeights {
+    assert!(!features.is_empty(), "need at least one feature");
+    let k = features.len();
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let n_targets = pair.target.num_entities();
+
+    // Build the design matrix.
+    let mut xs: Vec<Vec<f32>> = Vec::new();
+    let mut ys: Vec<f32> = Vec::new();
+    for &(u, v) in pair.seeds() {
+        xs.push(features.iter().map(|f| f.score(u, v)).collect());
+        ys.push(1.0);
+        for _ in 0..cfg.negatives_per_positive {
+            let v_neg = loop {
+                let cand = EntityId::new(rng.gen_range(0..n_targets) as u32);
+                if cand != v {
+                    break cand;
+                }
+            };
+            xs.push(features.iter().map(|f| f.score(u, v_neg)).collect());
+            ys.push(0.0);
+        }
+    }
+    if xs.is_empty() {
+        // No seeds: fall back to equal weights.
+        return LearnedWeights {
+            weights: vec![1.0 / k as f32; k],
+            bias: 0.0,
+            final_loss: f32::NAN,
+        };
+    }
+
+    let n = xs.len() as f32;
+    let mut w = vec![0.0f32; k];
+    let mut b = 0.0f32;
+    let mut final_loss = 0.0f32;
+    for _ in 0..cfg.epochs {
+        let mut gw = vec![0.0f32; k];
+        let mut gb = 0.0f32;
+        let mut loss = 0.0f32;
+        for (x, &y) in xs.iter().zip(&ys) {
+            let z: f32 = x.iter().zip(&w).map(|(xi, wi)| xi * wi).sum::<f32>() + b;
+            let p = sigmoid(z);
+            let err = p - y;
+            for (g, xi) in gw.iter_mut().zip(x) {
+                *g += err * xi;
+            }
+            gb += err;
+            // Clamped BCE for numerical safety.
+            let p_c = p.clamp(1e-7, 1.0 - 1e-7);
+            loss += -(y * p_c.ln() + (1.0 - y) * (1.0 - p_c).ln());
+        }
+        for (wi, g) in w.iter_mut().zip(&gw) {
+            *wi -= cfg.lr * g / n;
+        }
+        b -= cfg.lr * gb / n;
+        final_loss = loss / n;
+    }
+    LearnedWeights {
+        weights: w,
+        bias: b,
+        final_loss,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceaff_sim::SimilarityMatrix;
+    use ceaff_tensor::Matrix;
+
+    /// A synthetic feature whose score is high exactly on the diagonal.
+    struct DiagFeature {
+        n: usize,
+        strength: f32,
+        test: SimilarityMatrix,
+    }
+
+    impl DiagFeature {
+        fn new(n: usize, strength: f32) -> Self {
+            let mut m = Matrix::zeros(n, n);
+            for i in 0..n {
+                m[(i, i)] = strength;
+            }
+            Self {
+                n,
+                strength,
+                test: SimilarityMatrix::new(m),
+            }
+        }
+    }
+
+    impl Feature for DiagFeature {
+        fn name(&self) -> &'static str {
+            "diag"
+        }
+        fn test_matrix(&self) -> &SimilarityMatrix {
+            &self.test
+        }
+        fn score(&self, u: EntityId, v: EntityId) -> f32 {
+            if u == v && u.index() < self.n {
+                self.strength
+            } else {
+                0.0
+            }
+        }
+    }
+
+    /// A useless feature: constant score everywhere.
+    struct NoiseFeature;
+    impl Feature for NoiseFeature {
+        fn name(&self) -> &'static str {
+            "noise"
+        }
+        fn test_matrix(&self) -> &SimilarityMatrix {
+            unimplemented!("not needed for weight learning")
+        }
+        fn score(&self, _: EntityId, _: EntityId) -> f32 {
+            0.5
+        }
+    }
+
+    fn toy_pair(n: usize) -> KgPair {
+        use rand::SeedableRng;
+        let mut g1 = ceaff_graph::KnowledgeGraph::new();
+        let mut g2 = ceaff_graph::KnowledgeGraph::new();
+        for i in 0..n {
+            g1.add_entity(&format!("s{i}"));
+            g2.add_entity(&format!("t{i}"));
+        }
+        let gold = (0..n as u32)
+            .map(|i| (EntityId::new(i), EntityId::new(i)))
+            .collect();
+        let alignment = ceaff_graph::Alignment::new(gold).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        KgPair::new(g1, g2, alignment, 0.5, &mut rng)
+    }
+
+    #[test]
+    fn informative_feature_gets_positive_weight() {
+        let pair = toy_pair(60);
+        let good = DiagFeature::new(60, 1.0);
+        let lw = learn_weights(&[&good, &NoiseFeature], &pair, &LrConfig::default());
+        assert!(
+            lw.weights[0] > 0.5,
+            "informative feature weight {:?}",
+            lw.weights
+        );
+        assert!(
+            lw.weights[0] > lw.weights[1].abs(),
+            "noise should not dominate: {:?}",
+            lw.weights
+        );
+        assert!(lw.final_loss < 0.7, "loss should fall below chance");
+    }
+
+    #[test]
+    fn stronger_feature_outweighs_weaker() {
+        let pair = toy_pair(60);
+        let strong = DiagFeature::new(60, 1.0);
+        let weak = DiagFeature::new(60, 0.2);
+        let lw = learn_weights(&[&strong, &weak], &pair, &LrConfig::default());
+        assert!(
+            lw.weights[0] > lw.weights[1],
+            "weights {:?}",
+            lw.weights
+        );
+    }
+
+    #[test]
+    fn no_seeds_falls_back_to_equal() {
+        let mut pair = toy_pair(10);
+        use rand::SeedableRng;
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        pair = KgPair::new(
+            pair.source.clone(),
+            pair.target.clone(),
+            pair.alignment.clone(),
+            0.0,
+            &mut rng,
+        );
+        let lw = learn_weights(&[&NoiseFeature, &NoiseFeature], &pair, &LrConfig::default());
+        assert_eq!(lw.weights, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one feature")]
+    fn empty_features_rejected() {
+        let pair = toy_pair(10);
+        let _ = learn_weights(&[], &pair, &LrConfig::default());
+    }
+}

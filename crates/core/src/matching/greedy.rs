@@ -1,0 +1,57 @@
+//! Independent per-source argmax — how prior embedding-based EA methods
+//! decide alignments, and the paper's "w/o C" ablation.
+
+use super::{Matcher, Matching};
+use ceaff_sim::SimilarityMatrix;
+
+/// For every source row, pick the most similar target, independently of all
+/// other decisions. Multiple sources may claim the same target — exactly
+/// the failure mode of Figure 1 in the paper.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Greedy;
+
+impl Matcher for Greedy {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn matching(&self, m: &SimilarityMatrix) -> Matching {
+        let pairs = (0..m.sources())
+            .filter_map(|i| m.row_argmax(i).map(|j| (i, j)))
+            .collect();
+        Matching::from_pairs(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceaff_tensor::Matrix;
+
+    /// The paper's Figure 1: independent decisions produce two mismatches.
+    #[test]
+    fn figure1_greedy_collides() {
+        let m = SimilarityMatrix::new(Matrix::from_rows(&[
+            &[0.9, 0.6, 0.1],
+            &[0.7, 0.5, 0.2],
+            &[0.2, 0.4, 0.2],
+        ]));
+        let matching = Greedy.matching(&m);
+        // u1->v1 (correct), u2->v1 (wrong), u3->v2 (wrong).
+        assert_eq!(matching.pairs(), &[(0, 0), (1, 0), (2, 1)]);
+        assert!(!matching.is_one_to_one());
+        assert!((crate::eval::accuracy(&matching, 3) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_matrix_yields_empty_matching() {
+        let m = SimilarityMatrix::zeros(0, 0);
+        assert!(Greedy.matching(&m).is_empty());
+    }
+
+    #[test]
+    fn single_row() {
+        let m = SimilarityMatrix::new(Matrix::from_rows(&[&[0.1, 0.9, 0.3]]));
+        assert_eq!(Greedy.matching(&m).pairs(), &[(0, 1)]);
+    }
+}

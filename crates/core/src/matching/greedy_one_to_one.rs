@@ -1,0 +1,131 @@
+//! Greedy one-to-one matching — an additional collective strategy in the
+//! direction of the paper's future work ("explore other collective
+//! matching methods", §VIII).
+//!
+//! All cells are visited in descending similarity; a pair is matched when
+//! both sides are still free. This is the matching analogue of BootEA's
+//! bootstrapping constraint: cheaper than deferred acceptance to reason
+//! about, not stable in the SMP sense (a later-visited source may prefer
+//! an earlier-taken target), but one-to-one and strong in practice when
+//! scores are well calibrated.
+
+use super::{Matcher, Matching};
+use ceaff_sim::SimilarityMatrix;
+
+/// Descending-score greedy one-to-one assignment.
+///
+/// Complexity `O(n·m·log(n·m))` for the global sort.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyOneToOne;
+
+impl Matcher for GreedyOneToOne {
+    fn name(&self) -> &'static str {
+        "greedy-one-to-one"
+    }
+
+    fn matching(&self, m: &SimilarityMatrix) -> Matching {
+        let (n, t) = (m.sources(), m.targets());
+        if n == 0 || t == 0 {
+            return Matching::from_pairs(Vec::new());
+        }
+        let mut cells: Vec<(f32, u32, u32)> = Vec::with_capacity(n * t);
+        for i in 0..n {
+            for (j, &v) in m.row(i).iter().enumerate() {
+                cells.push((v, i as u32, j as u32));
+            }
+        }
+        cells.sort_unstable_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("similarity scores must not be NaN")
+                .then(a.1.cmp(&b.1))
+                .then(a.2.cmp(&b.2))
+        });
+        let mut src_taken = vec![false; n];
+        let mut tgt_taken = vec![false; t];
+        let mut pairs = Vec::with_capacity(n.min(t));
+        for (_, i, j) in cells {
+            let (i, j) = (i as usize, j as usize);
+            if src_taken[i] || tgt_taken[j] {
+                continue;
+            }
+            src_taken[i] = true;
+            tgt_taken[j] = true;
+            pairs.push((i, j));
+            if pairs.len() == n.min(t) {
+                break;
+            }
+        }
+        pairs.sort_unstable();
+        Matching::from_pairs(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceaff_tensor::Matrix;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solves_figure1() {
+        let m = SimilarityMatrix::new(Matrix::from_rows(&[
+            &[0.9, 0.6, 0.1],
+            &[0.7, 0.5, 0.2],
+            &[0.2, 0.4, 0.2],
+        ]));
+        let matching = GreedyOneToOne.matching(&m);
+        assert_eq!(matching.pairs(), &[(0, 0), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn takes_global_best_first() {
+        // (1,0)=0.95 is globally best, so source 0 must settle for col 1
+        // even though it slightly prefers col 0.
+        let m = SimilarityMatrix::new(Matrix::from_rows(&[&[0.9, 0.8], &[0.95, 0.1]]));
+        let matching = GreedyOneToOne.matching(&m);
+        assert_eq!(matching.pairs(), &[(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn rectangular_matches_min_side() {
+        let m = SimilarityMatrix::new(Matrix::from_rows(&[&[0.9, 0.1, 0.5]]));
+        assert_eq!(GreedyOneToOne.matching(&m).pairs(), &[(0, 0)]);
+        let m = SimilarityMatrix::new(Matrix::from_rows(&[&[0.9], &[0.5]]));
+        assert_eq!(GreedyOneToOne.matching(&m).pairs(), &[(0, 0)]);
+    }
+
+    #[test]
+    fn empty() {
+        assert!(GreedyOneToOne.matching(&SimilarityMatrix::zeros(0, 0)).is_empty());
+    }
+
+    proptest! {
+        /// Always a perfect one-to-one matching on square inputs, with
+        /// total weight between stable matching's and Hungarian's bounds
+        /// not guaranteed — but one-to-one-ness and perfection are.
+        #[test]
+        fn perfect_and_one_to_one(vals in proptest::collection::vec(0.0f32..1.0, 25)) {
+            let m = SimilarityMatrix::new(Matrix::from_vec(5, 5, vals));
+            let matching = GreedyOneToOne.matching(&m);
+            prop_assert_eq!(matching.len(), 5);
+            prop_assert!(matching.is_one_to_one());
+        }
+
+        /// The first (highest) cell of the matrix is always matched.
+        #[test]
+        fn global_max_is_matched(vals in proptest::collection::vec(0.0f32..1.0, 16)) {
+            let m = SimilarityMatrix::new(Matrix::from_vec(4, 4, vals));
+            // Find global max cell.
+            let mut best = (0usize, 0usize);
+            for i in 0..4 {
+                for j in 0..4 {
+                    if m.get(i, j) > m.get(best.0, best.1) {
+                        best = (i, j);
+                    }
+                }
+            }
+            let matching = GreedyOneToOne.matching(&m);
+            prop_assert!(matching.pairs().contains(&best));
+        }
+    }
+}

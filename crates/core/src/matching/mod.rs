@@ -1,0 +1,216 @@
+//! Collective EA decision making (paper §VI).
+//!
+//! Given the fused similarity matrix, three decision strategies are
+//! implemented behind the [`Matcher`] trait:
+//!
+//! * [`Greedy`] — the independent per-source argmax used by prior
+//!   embedding-based EA work (and by "CEAFF w/o C" in the ablation);
+//! * [`StableMarriage`] — the paper's proposal: EA as the stable matching
+//!   problem, solved by the deferred acceptance algorithm;
+//! * [`Hungarian`] — maximum-weight bipartite matching, the alternative
+//!   formulation discussed (and argued against on efficiency grounds) in
+//!   §VI.
+
+mod greedy;
+mod greedy_one_to_one;
+mod hungarian;
+mod stable_marriage;
+
+pub use greedy::Greedy;
+pub use greedy_one_to_one::GreedyOneToOne;
+pub use hungarian::Hungarian;
+pub use stable_marriage::StableMarriage;
+
+use ceaff_sim::SimilarityMatrix;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of a matcher: `(source index, target index)` pairs in the
+/// similarity matrix's index space. Greedy matchings may repeat targets;
+/// collective matchings are one-to-one.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Matching {
+    pairs: Vec<(usize, usize)>,
+}
+
+impl Matching {
+    /// Wrap raw pairs.
+    pub fn from_pairs(pairs: Vec<(usize, usize)>) -> Self {
+        Self { pairs }
+    }
+
+    /// The matched pairs.
+    pub fn pairs(&self) -> &[(usize, usize)] {
+        &self.pairs
+    }
+
+    /// Number of matched pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no pair was matched.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The target matched to source `i`, if any.
+    pub fn target_of(&self, i: usize) -> Option<usize> {
+        self.pairs
+            .iter()
+            .find(|&&(s, _)| s == i)
+            .map(|&(_, t)| t)
+    }
+
+    /// Whether the matching is one-to-one on both sides.
+    pub fn is_one_to_one(&self) -> bool {
+        let mut src: Vec<usize> = self.pairs.iter().map(|&(s, _)| s).collect();
+        let mut tgt: Vec<usize> = self.pairs.iter().map(|&(_, t)| t).collect();
+        src.sort_unstable();
+        tgt.sort_unstable();
+        src.windows(2).all(|w| w[0] != w[1]) && tgt.windows(2).all(|w| w[0] != w[1])
+    }
+
+    /// Sum of similarity scores over the matched pairs.
+    pub fn total_weight(&self, m: &SimilarityMatrix) -> f64 {
+        self.pairs.iter().map(|&(i, j)| m.get(i, j) as f64).sum()
+    }
+
+    /// Whether `(u, v)` is a *blocking pair*: both prefer each other over
+    /// their current partners (unmatched counts as least preferred). The
+    /// paper's stability criterion — a stable matching has none.
+    pub fn is_blocking_pair(&self, m: &SimilarityMatrix, u: usize, v: usize) -> bool {
+        if self.pairs.contains(&(u, v)) {
+            return false;
+        }
+        let u_current = self.target_of(u).map(|t| m.get(u, t));
+        let v_current = self
+            .pairs
+            .iter()
+            .find(|&&(_, t)| t == v)
+            .map(|&(s, _)| m.get(s, v));
+        let u_prefers = u_current.is_none_or(|c| m.get(u, v) > c);
+        let v_prefers = v_current.is_none_or(|c| m.get(u, v) > c);
+        u_prefers && v_prefers
+    }
+
+    /// Keep only pairs whose similarity clears `min_similarity` — the
+    /// "no-match" decision real deployments need: benchmark test sets are
+    /// 1-to-1 by construction, but production KGs contain entities with no
+    /// counterpart, and matching them anyway trades precision for recall.
+    /// Evaluate the filtered matching with
+    /// [`crate::eval::precision_recall`].
+    pub fn filter_by_threshold(&self, m: &SimilarityMatrix, min_similarity: f32) -> Matching {
+        Matching::from_pairs(
+            self.pairs
+                .iter()
+                .copied()
+                .filter(|&(i, j)| m.get(i, j) >= min_similarity)
+                .collect(),
+        )
+    }
+
+    /// Exhaustively search for any blocking pair (test/diagnostic helper;
+    /// O(n·m)).
+    pub fn find_blocking_pair(&self, m: &SimilarityMatrix) -> Option<(usize, usize)> {
+        for u in 0..m.sources() {
+            for v in 0..m.targets() {
+                if self.is_blocking_pair(m, u, v) {
+                    return Some((u, v));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A strategy turning a similarity matrix into an alignment decision.
+pub trait Matcher {
+    /// Human-readable strategy name.
+    fn name(&self) -> &'static str;
+
+    /// Compute the matching.
+    fn matching(&self, m: &SimilarityMatrix) -> Matching;
+}
+
+/// Which matcher a pipeline should use (config-friendly enum mirror).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MatcherKind {
+    /// Independent per-source argmax.
+    Greedy,
+    /// Deferred acceptance (the paper's choice).
+    StableMarriage,
+    /// Maximum-weight bipartite matching.
+    Hungarian,
+    /// Descending-score greedy one-to-one assignment (an additional
+    /// collective strategy in the spirit of the paper's future work).
+    GreedyOneToOne,
+}
+
+impl MatcherKind {
+    /// Instantiate the matcher.
+    pub fn build(self) -> Box<dyn Matcher> {
+        match self {
+            MatcherKind::Greedy => Box::new(Greedy),
+            MatcherKind::StableMarriage => Box::new(StableMarriage),
+            MatcherKind::Hungarian => Box::new(Hungarian),
+            MatcherKind::GreedyOneToOne => Box::new(GreedyOneToOne),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceaff_tensor::Matrix;
+
+    #[test]
+    fn matching_accessors() {
+        let m = Matching::from_pairs(vec![(0, 1), (1, 0)]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.target_of(0), Some(1));
+        assert_eq!(m.target_of(5), None);
+        assert!(m.is_one_to_one());
+        let dup = Matching::from_pairs(vec![(0, 1), (1, 1)]);
+        assert!(!dup.is_one_to_one());
+    }
+
+    #[test]
+    fn blocking_pair_detection() {
+        // Matrix where (0,0) is clearly best for both but they are matched
+        // elsewhere.
+        let sim = SimilarityMatrix::new(Matrix::from_rows(&[&[0.9, 0.1], &[0.2, 0.3]]));
+        let bad = Matching::from_pairs(vec![(0, 1), (1, 0)]);
+        assert!(bad.is_blocking_pair(&sim, 0, 0));
+        assert_eq!(bad.find_blocking_pair(&sim), Some((0, 0)));
+        let good = Matching::from_pairs(vec![(0, 0), (1, 1)]);
+        assert_eq!(good.find_blocking_pair(&sim), None);
+    }
+
+    #[test]
+    fn total_weight_sums_scores() {
+        let sim = SimilarityMatrix::new(Matrix::from_rows(&[&[0.5, 0.0], &[0.0, 0.25]]));
+        let m = Matching::from_pairs(vec![(0, 0), (1, 1)]);
+        assert!((m.total_weight(&sim) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_filter_drops_weak_pairs() {
+        let sim = SimilarityMatrix::new(Matrix::from_rows(&[&[0.9, 0.0], &[0.0, 0.2]]));
+        let m = Matching::from_pairs(vec![(0, 0), (1, 1)]);
+        let kept = m.filter_by_threshold(&sim, 0.5);
+        assert_eq!(kept.pairs(), &[(0, 0)]);
+        // Zero threshold keeps everything.
+        assert_eq!(m.filter_by_threshold(&sim, 0.0).len(), 2);
+    }
+
+    #[test]
+    fn kind_builds_named_matchers() {
+        assert_eq!(MatcherKind::Greedy.build().name(), "greedy");
+        assert_eq!(MatcherKind::StableMarriage.build().name(), "stable-marriage");
+        assert_eq!(MatcherKind::Hungarian.build().name(), "hungarian");
+        assert_eq!(
+            MatcherKind::GreedyOneToOne.build().name(),
+            "greedy-one-to-one"
+        );
+    }
+}

@@ -1,0 +1,616 @@
+//! The end-to-end CEAFF pipeline (paper Figure 2): feature generation →
+//! adaptive feature fusion → collective EA — with a switch for every
+//! ablation of Table V.
+
+use crate::eval::{accuracy, ranking_metrics, RankingMetrics};
+use crate::features::{Feature, SemanticFeature, StringFeature, StructuralFeature};
+
+use crate::fusion::{adaptive_fuse, fuse, two_stage_fuse, FusionConfig, FusionReport};
+use crate::gcn::GcnConfig;
+use crate::lr::{learn_weights, LrConfig};
+use crate::matching::{MatcherKind, Matching};
+use ceaff_embed::WordEmbedder;
+use ceaff_graph::KgPair;
+use ceaff_sim::SimilarityMatrix;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// How feature matrices are weighted before matching.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub enum WeightingMode {
+    /// The paper's adaptive feature fusion, composed two-stage
+    /// (`Mn + Ml → Mt`, then `Ms + Mt → M`).
+    Adaptive,
+    /// Fixed equal weights ("w/o AFF" in Table V).
+    Equal,
+    /// Logistic-regression-learned weights (the "LR" baseline of §VII-E).
+    LogisticRegression(LrConfig),
+}
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CeaffConfig {
+    /// GCN training configuration for the structural feature.
+    pub gcn: GcnConfig,
+    /// Word-embedding dimensionality for the semantic feature.
+    pub embed_dim: usize,
+    /// Adaptive fusion thresholds (θ1, θ2 and the cap switch).
+    pub fusion: FusionConfig,
+    /// Include the structural feature `Ms` (`false` = "w/o Ms").
+    pub use_structural: bool,
+    /// Include the semantic feature `Mn` (`false` = "w/o Mn").
+    pub use_semantic: bool,
+    /// Include the string feature `Ml` (`false` = "w/o Ml").
+    pub use_string: bool,
+    /// Weighting strategy.
+    pub weighting: WeightingMode,
+    /// Decision strategy (`Greedy` = "w/o C").
+    pub matcher: MatcherKind,
+    /// Min–max rescale each feature matrix to `[0, 1]` before fusion so
+    /// features on different score scales (cosine vs ratio) are comparable.
+    pub normalize_features: bool,
+    /// Apply CSLS hubness correction (`Some(k)` = neighbourhood size) to
+    /// each feature matrix before fusion — an extension beyond the paper
+    /// attacking the many-sources-one-target pathology at similarity level
+    /// rather than (only) at decision level.
+    pub csls: Option<usize>,
+}
+
+impl Default for CeaffConfig {
+    fn default() -> Self {
+        Self {
+            gcn: GcnConfig::default(),
+            embed_dim: 64,
+            fusion: FusionConfig::default(),
+            use_structural: true,
+            use_semantic: true,
+            use_string: true,
+            weighting: WeightingMode::Adaptive,
+            matcher: MatcherKind::StableMarriage,
+            normalize_features: true,
+            csls: None,
+        }
+    }
+}
+
+impl CeaffConfig {
+    /// Builder-style: disable the structural feature.
+    pub fn without_structural(mut self) -> Self {
+        self.use_structural = false;
+        self
+    }
+
+    /// Builder-style: disable the semantic feature.
+    pub fn without_semantic(mut self) -> Self {
+        self.use_semantic = false;
+        self
+    }
+
+    /// Builder-style: disable the string feature.
+    pub fn without_string(mut self) -> Self {
+        self.use_string = false;
+        self
+    }
+
+    /// Builder-style: equal weights instead of adaptive fusion ("w/o AFF").
+    pub fn without_adaptive_fusion(mut self) -> Self {
+        self.weighting = WeightingMode::Equal;
+        self
+    }
+
+    /// Builder-style: independent greedy decisions ("w/o C").
+    pub fn without_collective(mut self) -> Self {
+        self.matcher = MatcherKind::Greedy;
+        self
+    }
+
+    /// Builder-style: disable the θ1/θ2 cap ("w/o θ1, θ2").
+    pub fn without_theta_cap(mut self) -> Self {
+        self.fusion.cap_enabled = false;
+        self
+    }
+
+    /// Builder-style: logistic-regression weighting (the "LR" variant).
+    pub fn with_lr_weighting(mut self, lr: LrConfig) -> Self {
+        self.weighting = WeightingMode::LogisticRegression(lr);
+        self
+    }
+
+    /// Builder-style: enable CSLS hubness correction with neighbourhood
+    /// size `k` (10 is the conventional choice).
+    pub fn with_csls(mut self, k: usize) -> Self {
+        self.csls = Some(k);
+        self
+    }
+}
+
+/// One alignment problem plus the word embedders its semantic feature
+/// should use (the cross-lingual shared space).
+pub struct EaInput<'a> {
+    /// The KG pair with its seed/test split.
+    pub pair: &'a KgPair,
+    /// Embedder for source-KG entity names.
+    pub source_embedder: &'a dyn WordEmbedder,
+    /// Embedder for target-KG entity names (same vector space).
+    pub target_embedder: &'a dyn WordEmbedder,
+}
+
+/// The computed features of one problem. Computing this once and running
+/// many configurations against it (see [`run_with_features`]) is how the
+/// ablation harness avoids retraining the GCN per table row.
+pub struct FeatureSet {
+    /// `Ms`, when computed.
+    pub structural: Option<StructuralFeature>,
+    /// `Mn`, when computed.
+    pub semantic: Option<SemanticFeature>,
+    /// `Ml`, when computed.
+    pub string: Option<StringFeature>,
+    /// Additional features beyond the paper's three (e.g.
+    /// [`crate::features::AttributeFeature`]). In adaptive mode these join
+    /// the *textual* fusion stage (the natural slot for complementary
+    /// evidence about entity identity); in Equal/LR modes they are
+    /// weighted like any other feature — the paper's "increasing numbers
+    /// of features" scenario.
+    pub extra: Vec<Box<dyn Feature>>,
+    /// Wall-clock time spent computing the features.
+    pub elapsed: Duration,
+}
+
+impl FeatureSet {
+    /// Compute every feature the configuration might need.
+    pub fn compute(input: &EaInput<'_>, cfg: &CeaffConfig) -> Self {
+        let start = Instant::now();
+        let structural = cfg
+            .use_structural
+            .then(|| StructuralFeature::compute(input.pair, &cfg.gcn));
+        let semantic = cfg.use_semantic.then(|| {
+            SemanticFeature::compute(input.pair, input.source_embedder, input.target_embedder)
+        });
+        let string = cfg.use_string.then(|| StringFeature::compute(input.pair));
+        Self {
+            structural,
+            semantic,
+            string,
+            extra: Vec::new(),
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Attach an additional feature (see [`FeatureSet::extra`]).
+    pub fn with_extra(mut self, feature: Box<dyn Feature>) -> Self {
+        self.extra.push(feature);
+        self
+    }
+
+    /// Compute all three features regardless of the flags in `cfg` (for
+    /// ablation sweeps that will toggle them afterwards).
+    pub fn compute_all(input: &EaInput<'_>, cfg: &CeaffConfig) -> Self {
+        let mut full = cfg.clone();
+        full.use_structural = true;
+        full.use_semantic = true;
+        full.use_string = true;
+        Self::compute(input, &full)
+    }
+
+    /// The active features under `cfg`, as trait objects in
+    /// structural/semantic/string order.
+    fn active<'s>(&'s self, cfg: &CeaffConfig) -> Vec<&'s dyn Feature> {
+        let mut v: Vec<&dyn Feature> = Vec::with_capacity(3);
+        if cfg.use_structural {
+            if let Some(f) = &self.structural {
+                v.push(f);
+            }
+        }
+        if cfg.use_semantic {
+            if let Some(f) = &self.semantic {
+                v.push(f);
+            }
+        }
+        if cfg.use_string {
+            if let Some(f) = &self.string {
+                v.push(f);
+            }
+        }
+        for f in &self.extra {
+            v.push(f.as_ref());
+        }
+        v
+    }
+}
+
+/// Everything a pipeline run produces.
+#[derive(Debug, Clone)]
+pub struct CeaffOutput {
+    /// The fused similarity matrix `M`.
+    pub fused: SimilarityMatrix,
+    /// The alignment decision.
+    pub matching: Matching,
+    /// Accuracy against the diagonal ground truth (the paper's metric).
+    pub accuracy: f64,
+    /// Hits@1/Hits@10/MRR of the *fused matrix rows* — i.e. the ranking
+    /// evaluation of "CEAFF w/o C" (Table VI); the collective matching
+    /// itself produces pairs, not ranked lists.
+    pub ranking: RankingMetrics,
+    /// Report of the textual fusion stage (`Mn + Ml`), when it ran.
+    pub textual_fusion: Option<FusionReport>,
+    /// Report of the final fusion stage (`Ms + Mt`), when it ran.
+    pub final_fusion: Option<FusionReport>,
+    /// Weights actually applied per active feature (order: structural,
+    /// semantic, string, restricted to active ones) for Equal/LR modes;
+    /// `None` in two-stage adaptive mode (see the stage reports instead).
+    pub flat_weights: Option<Vec<f32>>,
+    /// Wall-clock time of fusion + matching (excludes feature computation).
+    pub decision_elapsed: Duration,
+}
+
+/// Run fusion + matching on precomputed features.
+///
+/// # Panics
+/// Panics if `cfg` enables no feature that `features` actually contains.
+pub fn run_with_features(
+    pair: &KgPair,
+    features: &FeatureSet,
+    cfg: &CeaffConfig,
+) -> CeaffOutput {
+    let start = Instant::now();
+    let active = features.active(cfg);
+    assert!(
+        !active.is_empty(),
+        "configuration enables no computed feature"
+    );
+
+    let normalized: Vec<SimilarityMatrix> = active
+        .iter()
+        .map(|f| preprocess(f.test_matrix(), cfg))
+        .collect();
+
+    // Map back to named slots for the two-stage composition.
+    let mut slot: std::collections::HashMap<&str, &SimilarityMatrix> =
+        std::collections::HashMap::new();
+    for (f, m) in active.iter().zip(&normalized) {
+        slot.insert(f.name(), m);
+    }
+
+    let (fused, textual_fusion, final_fusion, flat_weights) = match &cfg.weighting {
+        WeightingMode::Adaptive => {
+            if features.extra.is_empty() {
+                let (m, t, f) = two_stage_fuse(
+                    slot.get("structural").copied(),
+                    slot.get("semantic").copied(),
+                    slot.get("string").copied(),
+                    &cfg.fusion,
+                );
+                (m, t, f, None)
+            } else {
+                // Extra features join the textual stage (semantic +
+                // string + extras -> Mt), then Mt fuses with Ms.
+                let mut textual: Vec<&SimilarityMatrix> = Vec::new();
+                if let Some(m) = slot.get("semantic") {
+                    textual.push(m);
+                }
+                if let Some(m) = slot.get("string") {
+                    textual.push(m);
+                }
+                let extra_start = active.len() - features.extra.len();
+                textual.extend(normalized[extra_start..].iter());
+                let (mt, trep) = adaptive_fuse(&textual, &cfg.fusion);
+                match slot.get("structural").copied() {
+                    Some(ms) => {
+                        let (m, frep) = adaptive_fuse(&[ms, &mt], &cfg.fusion);
+                        (m, Some(trep), Some(frep), None)
+                    }
+                    None => (mt, Some(trep), None, None),
+                }
+            }
+        }
+        WeightingMode::Equal => {
+            let mats: Vec<&SimilarityMatrix> = normalized.iter().collect();
+            let w = vec![1.0 / mats.len() as f32; mats.len()];
+            (fuse(&mats, &w), None, None, Some(w))
+        }
+        WeightingMode::LogisticRegression(lr_cfg) => {
+            let lw = learn_weights(&active, pair, lr_cfg);
+            let mats: Vec<&SimilarityMatrix> = normalized.iter().collect();
+            (fuse(&mats, &lw.weights), None, None, Some(lw.weights))
+        }
+    };
+
+    let matcher = cfg.matcher.build();
+    let matching = matcher.matching(&fused);
+    let acc = accuracy(&matching, fused.sources());
+    let ranking = ranking_metrics(&fused);
+    CeaffOutput {
+        fused,
+        matching,
+        accuracy: acc,
+        ranking,
+        textual_fusion,
+        final_fusion,
+        flat_weights,
+        decision_elapsed: start.elapsed(),
+    }
+}
+
+/// Per-feature matrix preprocessing: optional CSLS hubness correction,
+/// then optional min–max normalisation (order matters — CSLS operates on
+/// the raw geometry, normalisation makes scales comparable for fusion).
+fn preprocess(m: &SimilarityMatrix, cfg: &CeaffConfig) -> SimilarityMatrix {
+    let m = match cfg.csls {
+        Some(k) => ceaff_sim::csls_adjusted(m, k),
+        None => m.clone(),
+    };
+    if cfg.normalize_features {
+        m.min_max_normalized()
+    } else {
+        m
+    }
+}
+
+/// Compute features and run the pipeline in one call.
+pub fn run(input: &EaInput<'_>, cfg: &CeaffConfig) -> CeaffOutput {
+    let features = FeatureSet::compute(input, cfg);
+    run_with_features(input.pair, &features, cfg)
+}
+
+/// A single-adaptive-stage variant fusing all active features at once —
+/// kept public to make the paper's claim that *two-stage* fusion adjusts
+/// weights better directly testable (see the `fusion` bench and the
+/// ablation experiments).
+pub fn run_single_stage(features: &FeatureSet, cfg: &CeaffConfig) -> CeaffOutput {
+    let start = Instant::now();
+    let active = features.active(cfg);
+    assert!(!active.is_empty(), "configuration enables no computed feature");
+    let normalized: Vec<SimilarityMatrix> = active
+        .iter()
+        .map(|f| preprocess(f.test_matrix(), cfg))
+        .collect();
+    let mats: Vec<&SimilarityMatrix> = normalized.iter().collect();
+    let (fused, report) = adaptive_fuse(&mats, &cfg.fusion);
+    let matching = cfg.matcher.build().matching(&fused);
+    let acc = accuracy(&matching, fused.sources());
+    let ranking = ranking_metrics(&fused);
+    CeaffOutput {
+        fused,
+        matching,
+        accuracy: acc,
+        ranking,
+        textual_fusion: None,
+        final_fusion: Some(report),
+        flat_weights: None,
+        decision_elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceaff_datagen::{GenConfig, GeneratedDataset, NameChannel, Preset};
+
+    fn dataset() -> GeneratedDataset {
+        ceaff_datagen::generate(&GenConfig {
+            aligned_entities: 150,
+            extra_frac: 0.1,
+            avg_degree: 8.0,
+            overlap: 0.8,
+            channel: NameChannel::CloseLingual { morph_rate: 0.5, replace_rate: 0.2 },
+            vocab_size: 400,
+            lexicon_coverage: 0.9,
+            ..GenConfig::default()
+        })
+    }
+
+    fn fast_cfg() -> CeaffConfig {
+        CeaffConfig {
+            gcn: GcnConfig {
+                dim: 32,
+                epochs: 50,
+                ..GcnConfig::default()
+            },
+            embed_dim: 32,
+            ..CeaffConfig::default()
+        }
+    }
+
+    #[test]
+    fn full_pipeline_beats_greedy_and_single_features() {
+        let ds = dataset();
+        let src = ds.source_embedder(32);
+        let tgt = ds.target_embedder(32);
+        let input = EaInput {
+            pair: &ds.pair,
+            source_embedder: &src,
+            target_embedder: &tgt,
+        };
+        let cfg = fast_cfg();
+        let features = FeatureSet::compute_all(&input, &cfg);
+
+        let full = run_with_features(&ds.pair, &features, &cfg);
+        let greedy = run_with_features(&ds.pair, &features, &cfg.clone().without_collective());
+        assert!(
+            full.accuracy >= greedy.accuracy,
+            "collective {} must not lose to greedy {}",
+            full.accuracy,
+            greedy.accuracy
+        );
+        assert!(full.accuracy > 0.5, "full pipeline accuracy {}", full.accuracy);
+        assert!(full.matching.is_one_to_one());
+    }
+
+    #[test]
+    fn ablation_switches_produce_different_configs() {
+        let cfg = fast_cfg();
+        assert!(!cfg.clone().without_structural().use_structural);
+        assert!(!cfg.clone().without_semantic().use_semantic);
+        assert!(!cfg.clone().without_string().use_string);
+        assert!(matches!(
+            cfg.clone().without_adaptive_fusion().weighting,
+            WeightingMode::Equal
+        ));
+        assert!(matches!(
+            cfg.clone().without_collective().matcher,
+            MatcherKind::Greedy
+        ));
+        assert!(!cfg.clone().without_theta_cap().fusion.cap_enabled);
+    }
+
+    #[test]
+    fn feature_ablations_run_end_to_end() {
+        let ds = dataset();
+        let src = ds.source_embedder(32);
+        let tgt = ds.target_embedder(32);
+        let input = EaInput {
+            pair: &ds.pair,
+            source_embedder: &src,
+            target_embedder: &tgt,
+        };
+        let cfg = fast_cfg();
+        let features = FeatureSet::compute_all(&input, &cfg);
+        for variant in [
+            cfg.clone().without_structural(),
+            cfg.clone().without_semantic(),
+            cfg.clone().without_string(),
+            cfg.clone().without_adaptive_fusion(),
+            cfg.clone().without_theta_cap(),
+            cfg.clone().with_lr_weighting(crate::lr::LrConfig {
+                epochs: 50,
+                ..Default::default()
+            }),
+        ] {
+            let out = run_with_features(&ds.pair, &features, &variant);
+            assert!(
+                out.accuracy > 0.1,
+                "variant should still align something: {}",
+                out.accuracy
+            );
+            assert_eq!(out.fused.sources(), ds.pair.test_pairs().len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "enables no computed feature")]
+    fn no_features_panics() {
+        let ds = dataset();
+        let src = ds.source_embedder(32);
+        let tgt = ds.target_embedder(32);
+        let input = EaInput {
+            pair: &ds.pair,
+            source_embedder: &src,
+            target_embedder: &tgt,
+        };
+        let mut cfg = fast_cfg();
+        cfg.use_structural = false;
+        cfg.use_semantic = false;
+        cfg.use_string = false;
+        let features = FeatureSet::compute(&input, &cfg);
+        let _ = run_with_features(&ds.pair, &features, &cfg);
+    }
+
+    #[test]
+    fn fourth_feature_joins_adaptive_fusion() {
+        // The paper's motivation: the adaptive strategy extends to more
+        // features without hand-tuning. Attach the attribute feature and
+        // verify the pipeline runs, weights stay on the simplex, and
+        // accuracy does not collapse.
+        let ds = dataset();
+        let src = ds.source_embedder(32);
+        let tgt = ds.target_embedder(32);
+        let input = EaInput {
+            pair: &ds.pair,
+            source_embedder: &src,
+            target_embedder: &tgt,
+        };
+        let cfg = fast_cfg();
+        let base = FeatureSet::compute_all(&input, &cfg);
+        let baseline = run_with_features(&ds.pair, &base, &cfg);
+
+        let features = FeatureSet::compute_all(&input, &cfg).with_extra(Box::new(
+            crate::features::AttributeFeature::compute(
+                &ds.pair,
+                &ds.source_attributes,
+                &ds.target_attributes,
+            ),
+        ));
+        let out = run_with_features(&ds.pair, &features, &cfg);
+        let trep = out.textual_fusion.expect("textual stage ran");
+        assert_eq!(trep.weights.len(), 3, "semantic + string + attribute");
+        let total: f32 = trep.weights.iter().sum();
+        assert!((total - 1.0).abs() < 1e-4);
+        assert!(
+            out.accuracy >= baseline.accuracy - 0.1,
+            "a weak fourth feature must not wreck fusion: {} vs {}",
+            out.accuracy,
+            baseline.accuracy
+        );
+
+        // Equal and LR modes also accept the fourth feature.
+        let eq = run_with_features(&ds.pair, &features, &cfg.clone().without_adaptive_fusion());
+        assert_eq!(eq.flat_weights.as_ref().map(Vec::len), Some(4));
+        let lr = run_with_features(
+            &ds.pair,
+            &features,
+            &cfg.clone().with_lr_weighting(crate::lr::LrConfig {
+                epochs: 50,
+                ..Default::default()
+            }),
+        );
+        assert_eq!(lr.flat_weights.as_ref().map(Vec::len), Some(4));
+    }
+
+    #[test]
+    fn csls_option_runs_and_preserves_shapes() {
+        let ds = dataset();
+        let src = ds.source_embedder(32);
+        let tgt = ds.target_embedder(32);
+        let input = EaInput {
+            pair: &ds.pair,
+            source_embedder: &src,
+            target_embedder: &tgt,
+        };
+        let cfg = fast_cfg().with_csls(10);
+        assert_eq!(cfg.csls, Some(10));
+        let features = FeatureSet::compute_all(&input, &cfg);
+        let out = run_with_features(&ds.pair, &features, &cfg);
+        assert_eq!(out.fused.sources(), ds.pair.test_pairs().len());
+        assert!(out.accuracy > 0.3, "CSLS run accuracy {}", out.accuracy);
+    }
+
+    #[test]
+    fn greedy_one_to_one_matcher_is_one_to_one() {
+        let ds = dataset();
+        let src = ds.source_embedder(32);
+        let tgt = ds.target_embedder(32);
+        let input = EaInput {
+            pair: &ds.pair,
+            source_embedder: &src,
+            target_embedder: &tgt,
+        };
+        let mut cfg = fast_cfg();
+        cfg.matcher = MatcherKind::GreedyOneToOne;
+        let features = FeatureSet::compute_all(&input, &cfg);
+        let out = run_with_features(&ds.pair, &features, &cfg);
+        assert!(out.matching.is_one_to_one());
+        assert_eq!(out.matching.len(), ds.pair.test_pairs().len());
+    }
+
+    #[test]
+    fn mono_lingual_preset_reaches_high_accuracy() {
+        // The headline mono-lingual result (Table IV): with the string
+        // feature and collective matching, accuracy approaches 1.
+        let ds = Preset::SrprsDbpWd.generate(0.15);
+        let src = ds.source_embedder(32);
+        let tgt = ds.target_embedder(32);
+        let input = EaInput {
+            pair: &ds.pair,
+            source_embedder: &src,
+            target_embedder: &tgt,
+        };
+        let cfg = fast_cfg();
+        let features = FeatureSet::compute_all(&input, &cfg);
+        let out = run_with_features(&ds.pair, &features, &cfg);
+        assert!(
+            out.accuracy > 0.9,
+            "mono-lingual CEAFF accuracy {} below 0.9",
+            out.accuracy
+        );
+    }
+}

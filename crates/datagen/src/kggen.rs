@@ -1,0 +1,654 @@
+//! Synthetic KG-pair generation.
+//!
+//! A dataset is generated in three steps:
+//!
+//! 1. **World graph** — one latent KG over the aligned entities, grown with
+//!    a mixture of preferential attachment (heavy-tailed, real-life-like
+//!    degrees, as in SRPRS) and uniform attachment (even degrees, as in the
+//!    dense DBP15K/DBP100K benchmarks), controlled by `degree_skew`.
+//! 2. **Two views** — each KG keeps every world triple independently with
+//!    probability `overlap` (structural heterogeneity between the KGs) and
+//!    is padded with unaligned extra entities, mirroring the size asymmetry
+//!    of the real benchmarks.
+//! 3. **Names, lexicon and attributes** — the source KG uses pivot-language
+//!    names; target names derive from them through the configured
+//!    [`NameChannel`]; the word-level channel mapping becomes the synthetic
+//!    bilingual lexicon (with imperfect `lexicon_coverage`, the MUSE OOV
+//!    simulation); noisy attribute-type tables are drawn for the attribute
+//!    baselines.
+
+use crate::names::{generate_entity_names_with_seen, generate_relation_names, Vocabulary};
+use crate::translate::NameChannel;
+use ceaff_embed::{BilingualLexicon, LexiconEmbedder, SubwordEmbedder};
+use ceaff_graph::{Alignment, AttributeTable, EntityId, KgPair, KnowledgeGraph, Triple};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Full configuration of one synthetic EA dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GenConfig {
+    /// Human-readable dataset label (e.g. `"DBP15K-ZH-EN (sim)"`).
+    pub name: String,
+    /// Number of aligned entity pairs (the gold standard size).
+    pub aligned_entities: usize,
+    /// Unaligned padding entities per KG, as a fraction of
+    /// `aligned_entities`.
+    pub extra_frac: f64,
+    /// Number of relations in the world graph.
+    pub relations: usize,
+    /// Average *world* total degree (in+out) per aligned entity.
+    pub avg_degree: f64,
+    /// Probability that an endpoint is chosen by preferential attachment
+    /// rather than uniformly; 0 = even degrees (dense benchmarks),
+    /// → 1 = heavy tail (SRPRS-style real-life distribution).
+    pub degree_skew: f64,
+    /// Probability each KG view keeps a world triple.
+    pub overlap: f64,
+    /// How target names derive from pivot names.
+    pub channel: NameChannel,
+    /// Fraction of target words covered by the bilingual lexicon (semantic
+    /// feature OOV control; 1.0 = perfect MUSE coverage).
+    pub lexicon_coverage: f64,
+    /// Cross-lingual embedding perturbation passed to [`LexiconEmbedder`].
+    pub semantic_noise: f32,
+    /// Seed fraction of the gold standard (paper: 0.3).
+    pub seed_fraction: f64,
+    /// Pivot vocabulary size.
+    pub vocab_size: usize,
+    /// Attribute-type vocabulary size (0 disables attribute generation).
+    pub attribute_types: usize,
+    /// Probability that a view keeps each world attribute (attribute
+    /// noisiness; the paper cites 69–99% attribute incompleteness).
+    pub attribute_keep: f64,
+    /// When set, the world graph is grown oversized and sampled back down
+    /// with the SRPRS degree-grouped random-PageRank protocol (§VII-A).
+    pub srprs_sampling: Option<SrprsSampling>,
+    /// RNG seed — generation is fully deterministic given the config.
+    pub seed: u64,
+}
+
+/// Parameters of the SRPRS sampling step.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SrprsSampling {
+    /// The world graph is grown with `world_factor ×` the aligned entity
+    /// count before sampling down.
+    pub world_factor: f64,
+    /// Kolmogorov–Smirnov threshold the sampled degree distribution should
+    /// meet against the oversized world's.
+    pub max_ks: f64,
+    /// Sampling attempts; the best (lowest-K-S) sample is kept even if the
+    /// threshold is not met, and the achieved value is reported in
+    /// [`GeneratedDataset::srprs_ks`].
+    pub attempts: usize,
+}
+
+impl Default for SrprsSampling {
+    fn default() -> Self {
+        Self {
+            world_factor: 2.0,
+            max_ks: 0.2,
+            attempts: 5,
+        }
+    }
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        Self {
+            name: "synthetic".into(),
+            aligned_entities: 1000,
+            extra_frac: 0.3,
+            relations: 32,
+            avg_degree: 8.0,
+            degree_skew: 0.3,
+            overlap: 0.75,
+            channel: NameChannel::Identical { typo_rate: 0.02 },
+            lexicon_coverage: 0.95,
+            semantic_noise: 0.05,
+            seed_fraction: 0.3,
+            vocab_size: 2000,
+            attribute_types: 64,
+            attribute_keep: 0.6,
+            srprs_sampling: None,
+            seed: 0x000C_EAFF,
+        }
+    }
+}
+
+/// A generated dataset: the alignment problem plus the side resources the
+/// features need (bilingual lexicon, attribute tables).
+#[derive(Debug, Clone)]
+pub struct GeneratedDataset {
+    /// The configuration that produced this dataset.
+    pub config: GenConfig,
+    /// The alignment problem instance.
+    pub pair: KgPair,
+    /// Target-word → pivot-word lexicon (the MUSE substitute).
+    pub lexicon: BilingualLexicon,
+    /// Attribute types of source-KG entities.
+    pub source_attributes: AttributeTable,
+    /// Attribute types of target-KG entities.
+    pub target_attributes: AttributeTable,
+    /// Kolmogorov–Smirnov statistic achieved by the SRPRS sampling step,
+    /// when it was enabled.
+    pub srprs_ks: Option<f64>,
+}
+
+impl GeneratedDataset {
+    /// Word embedder for source-KG (pivot-language) names.
+    pub fn source_embedder(&self, dim: usize) -> SubwordEmbedder {
+        SubwordEmbedder::new(dim, self.config.seed ^ 0x736f7572)
+    }
+
+    /// Word embedder for target-KG names, routed through the bilingual
+    /// lexicon into the pivot space (shared space, imperfect coverage).
+    ///
+    /// When the channel keeps the script identical (mono-lingual), unmapped
+    /// words still embed reasonably via the subword embedder — handled by
+    /// the caller composing embedders; here we return the lexicon embedder
+    /// exactly as a MUSE user would.
+    pub fn target_embedder(&self, dim: usize) -> LexiconEmbedder {
+        LexiconEmbedder::new(
+            self.source_embedder(dim),
+            self.lexicon.clone(),
+            self.config.semantic_noise,
+        )
+    }
+
+    /// Names of the test source entities, in test order.
+    pub fn test_source_names(&self) -> Vec<&str> {
+        self.pair
+            .test_sources()
+            .iter()
+            .map(|&e| self.pair.source.entity_name(e).expect("interned"))
+            .collect()
+    }
+
+    /// Names of the test target entities, in test order.
+    pub fn test_target_names(&self) -> Vec<&str> {
+        self.pair
+            .test_targets()
+            .iter()
+            .map(|&e| self.pair.target.entity_name(e).expect("interned"))
+            .collect()
+    }
+}
+
+/// One latent world triple, in aligned-entity index space.
+#[derive(Debug, Clone, Copy)]
+struct WorldTriple {
+    head: usize,
+    rel: usize,
+    tail: usize,
+}
+
+/// Grow the world graph's triple list.
+fn grow_world<R: Rng>(cfg: &GenConfig, rng: &mut R) -> Vec<WorldTriple> {
+    let n = cfg.aligned_entities;
+    let num_triples = ((n as f64) * cfg.avg_degree / 2.0).round() as usize;
+    let mut triples = Vec::with_capacity(num_triples);
+    // Endpoint multiset for preferential attachment.
+    let mut endpoints: Vec<usize> = Vec::with_capacity(num_triples * 2);
+    let mut seen: HashSet<(usize, usize, usize)> = HashSet::with_capacity(num_triples);
+    // Zipf-ish relation sampling: relation r with weight 1/(r+1)^0.7.
+    let rel_cum: Vec<f64> = {
+        let mut acc = 0.0;
+        (0..cfg.relations)
+            .map(|r| {
+                acc += 1.0 / ((r + 1) as f64).powf(0.7);
+                acc
+            })
+            .collect()
+    };
+    let sample_rel = |rng: &mut R, cum: &[f64]| -> usize {
+        let total = *cum.last().expect("non-empty relations");
+        let x = rng.gen_range(0.0..total);
+        cum.partition_point(|&c| c < x).min(cum.len() - 1)
+    };
+    let pick = |rng: &mut R, endpoints: &[usize]| -> usize {
+        if !endpoints.is_empty() && rng.gen_bool(cfg.degree_skew) {
+            endpoints[rng.gen_range(0..endpoints.len())]
+        } else {
+            rng.gen_range(0..n)
+        }
+    };
+    let mut attempts = 0usize;
+    while triples.len() < num_triples && attempts < num_triples * 20 {
+        attempts += 1;
+        let h = pick(rng, &endpoints);
+        let t = pick(rng, &endpoints);
+        if h == t {
+            continue;
+        }
+        let r = sample_rel(rng, &rel_cum);
+        if !seen.insert((h, r, t)) {
+            continue;
+        }
+        endpoints.push(h);
+        endpoints.push(t);
+        triples.push(WorldTriple {
+            head: h,
+            rel: r,
+            tail: t,
+        });
+    }
+    triples
+}
+
+/// Assemble one KG view.
+#[allow(clippy::too_many_arguments)]
+fn build_view<R: Rng>(
+    cfg: &GenConfig,
+    world: &[WorldTriple],
+    aligned_names: &[String],
+    relation_names: &[String],
+    extra_names: &[String],
+    translate: impl Fn(&str) -> String,
+    vocab: &Vocabulary,
+    rng: &mut R,
+) -> (KnowledgeGraph, Vec<EntityId>) {
+    let mut kg = KnowledgeGraph::new();
+    // Distinct pivot names can collide after translation (hash-based word
+    // mappings are not injective); disambiguate so entity counts stay exact.
+    let mut used: HashSet<String> = HashSet::new();
+    let mut add_unique = |kg: &mut KnowledgeGraph, name: String| -> EntityId {
+        if used.insert(name.clone()) {
+            return kg.add_entity(&name);
+        }
+        let mut k = 2;
+        loop {
+            let candidate = format!("{name} ~{k}");
+            if used.insert(candidate.clone()) {
+                return kg.add_entity(&candidate);
+            }
+            k += 1;
+        }
+    };
+    // Aligned entities first, so their view ids are 0..n in gold order.
+    let ids: Vec<EntityId> = aligned_names
+        .iter()
+        .map(|name| add_unique(&mut kg, translate(name)))
+        .collect();
+    let rel_ids: Vec<_> = relation_names
+        .iter()
+        .map(|r| kg.add_relation(&translate(r)))
+        .collect();
+    for t in world {
+        if rng.gen_bool(cfg.overlap) {
+            kg.add_triple(Triple::new(ids[t.head], rel_ids[t.rel], ids[t.tail]))
+                .expect("fresh ids are valid");
+        }
+    }
+    // Unaligned padding entities: 1–3 triples each onto random aligned
+    // entities.
+    for name in extra_names {
+        let e = add_unique(&mut kg, translate(name));
+        for _ in 0..rng.gen_range(1..=3) {
+            let other = ids[rng.gen_range(0..ids.len())];
+            let r = rel_ids[rng.gen_range(0..rel_ids.len())];
+            let (h, t) = if rng.gen_bool(0.5) { (e, other) } else { (other, e) };
+            kg.add_triple(Triple::new(h, r, t)).expect("fresh ids are valid");
+        }
+    }
+    let _ = vocab;
+    (kg, ids)
+}
+
+/// Draw the latent attribute-type sets of the aligned entities.
+fn world_attributes<R: Rng>(cfg: &GenConfig, rng: &mut R) -> Vec<Vec<u32>> {
+    (0..cfg.aligned_entities)
+        .map(|_| {
+            let k = rng.gen_range(1..=6);
+            let mut tys: Vec<u32> = (0..k)
+                .map(|_| {
+                    // Zipf-ish: square a uniform so low type-ids dominate.
+                    let u: f64 = rng.gen::<f64>();
+                    ((u * u) * cfg.attribute_types as f64) as u32
+                })
+                .map(|t| t.min(cfg.attribute_types as u32 - 1))
+                .collect();
+            tys.sort_unstable();
+            tys.dedup();
+            tys
+        })
+        .collect()
+}
+
+/// Project world attributes into one noisy view.
+fn view_attributes<R: Rng>(
+    cfg: &GenConfig,
+    world: &[Vec<u32>],
+    total_entities: usize,
+    rng: &mut R,
+) -> AttributeTable {
+    let mut table = AttributeTable::new(total_entities, cfg.attribute_types.max(1));
+    if cfg.attribute_types == 0 {
+        return table;
+    }
+    for (e, tys) in world.iter().enumerate() {
+        for &ty in tys {
+            if rng.gen_bool(cfg.attribute_keep) {
+                table.add(EntityId::new(e as u32), ty);
+            }
+        }
+        // Small chance of a spurious extra attribute (noise).
+        if rng.gen_bool(0.15) {
+            table.add(
+                EntityId::new(e as u32),
+                rng.gen_range(0..cfg.attribute_types) as u32,
+            );
+        }
+    }
+    table
+}
+
+/// Grow an oversized world and sample it down with the SRPRS protocol.
+/// Returns the re-indexed world triples (entities `0..aligned_entities`)
+/// and the achieved K-S statistic (best across attempts).
+fn srprs_world<R: Rng>(
+    cfg: &GenConfig,
+    sampling: SrprsSampling,
+    rng: &mut R,
+) -> (Vec<WorldTriple>, f64) {
+    use crate::sampling::{degree_grouped_pagerank_sample, induced_subgraph};
+    use ceaff_graph::stats::{degree_sequence, ks_statistic};
+
+    let n_big = ((cfg.aligned_entities as f64) * sampling.world_factor.max(1.0)).round() as usize;
+    let big_cfg = GenConfig {
+        aligned_entities: n_big,
+        ..cfg.clone()
+    };
+    let big_world = grow_world(&big_cfg, rng);
+
+    // Materialise a throwaway KG (numeric labels) to run the sampler on.
+    let mut big_kg = KnowledgeGraph::new();
+    for i in 0..n_big {
+        big_kg.add_entity(&i.to_string());
+    }
+    for r in 0..cfg.relations {
+        big_kg.add_relation(&r.to_string());
+    }
+    for t in &big_world {
+        big_kg
+            .add_triple(Triple::new(
+                EntityId::new(t.head as u32),
+                ceaff_graph::RelationId::new(t.rel as u32),
+                EntityId::new(t.tail as u32),
+            ))
+            .expect("world indices are in bounds");
+    }
+
+    let original = degree_sequence(&big_kg);
+    let mut best: Option<(Vec<EntityId>, f64)> = None;
+    for _ in 0..sampling.attempts.max(1) {
+        let keep = degree_grouped_pagerank_sample(&big_kg, cfg.aligned_entities, rng);
+        let (sub, _) = induced_subgraph(&big_kg, &keep);
+        let ks = ks_statistic(&original, &degree_sequence(&sub));
+        if best.as_ref().is_none_or(|(_, b)| ks < *b) {
+            best = Some((keep, ks));
+        }
+        if ks <= sampling.max_ks {
+            break;
+        }
+    }
+    let (keep, ks) = best.expect("at least one sampling attempt ran");
+    let mut old_to_new: Vec<Option<usize>> = vec![None; n_big];
+    for (new, old) in keep.iter().enumerate() {
+        old_to_new[old.index()] = Some(new);
+    }
+    let world = big_world
+        .into_iter()
+        .filter_map(|t| {
+            let h = old_to_new[t.head]?;
+            let ta = old_to_new[t.tail]?;
+            Some(WorldTriple {
+                head: h,
+                rel: t.rel,
+                tail: ta,
+            })
+        })
+        .collect();
+    (world, ks)
+}
+
+/// Generate a complete synthetic EA dataset from `cfg`.
+pub fn generate(cfg: &GenConfig) -> GeneratedDataset {
+    assert!(cfg.aligned_entities >= 10, "need at least 10 aligned entities");
+    assert!(cfg.relations > 0, "need at least one relation");
+    assert!(
+        (0.0..=1.0).contains(&cfg.overlap) && cfg.overlap > 0.0,
+        "overlap must be in (0, 1]"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+
+    let vocab = Vocabulary::generate(cfg.vocab_size, &mut rng);
+    let mut seen_names = HashSet::new();
+    let aligned_names =
+        generate_entity_names_with_seen(&vocab, cfg.aligned_entities, &mut rng, &mut seen_names);
+    let relation_names = generate_relation_names(&vocab, cfg.relations, &mut rng);
+    let n_extra = (cfg.aligned_entities as f64 * cfg.extra_frac).round() as usize;
+    // Distinct extra-name pools per side (unaligned entities differ between
+    // real KGs), kept disjoint from the aligned names.
+    let extra_src = generate_entity_names_with_seen(&vocab, n_extra, &mut rng, &mut seen_names);
+    let extra_tgt = generate_entity_names_with_seen(&vocab, n_extra, &mut rng, &mut seen_names);
+
+    let (world, srprs_ks) = match cfg.srprs_sampling {
+        None => (grow_world(cfg, &mut rng), None),
+        Some(sampling) => {
+            let (world, ks) = srprs_world(cfg, sampling, &mut rng);
+            (world, Some(ks))
+        }
+    };
+
+    let salt = cfg.seed ^ 0x6368616e;
+    let (source, src_ids) = build_view(
+        cfg,
+        &world,
+        &aligned_names,
+        &relation_names,
+        &extra_src,
+        |s| s.to_owned(),
+        &vocab,
+        &mut rng,
+    );
+    let channel = cfg.channel;
+    let (target, tgt_ids) = build_view(
+        cfg,
+        &world,
+        &aligned_names,
+        &relation_names,
+        &extra_tgt,
+        |s| channel.translate_name(s, salt),
+        &vocab,
+        &mut rng,
+    );
+
+    // Bilingual lexicon over every pivot word that can occur in target
+    // names, with imperfect coverage.
+    let mut lexicon = BilingualLexicon::new();
+    for word in vocab.words() {
+        if rng.gen_bool(cfg.lexicon_coverage) {
+            let foreign = channel.translate_word(word, salt);
+            lexicon.insert(&foreign, word);
+        }
+    }
+
+    let world_attrs = world_attributes(cfg, &mut rng);
+    let source_attributes =
+        view_attributes(cfg, &world_attrs, source.num_entities(), &mut rng);
+    let target_attributes =
+        view_attributes(cfg, &world_attrs, target.num_entities(), &mut rng);
+
+    let gold: Vec<(EntityId, EntityId)> = src_ids.into_iter().zip(tgt_ids).collect();
+    let alignment = Alignment::new(gold).expect("gold pairs are one-to-one by construction");
+    let pair = KgPair::new(source, target, alignment, cfg.seed_fraction, &mut rng);
+
+    GeneratedDataset {
+        config: cfg.clone(),
+        pair,
+        lexicon,
+        source_attributes,
+        target_attributes,
+        srprs_ks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceaff_graph::stats::KgStats;
+
+    fn small_cfg() -> GenConfig {
+        GenConfig {
+            aligned_entities: 200,
+            vocab_size: 400,
+            ..GenConfig::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&small_cfg());
+        let b = generate(&small_cfg());
+        assert_eq!(a.pair.source.num_triples(), b.pair.source.num_triples());
+        assert_eq!(
+            a.pair.source.entity_name(EntityId::new(0)),
+            b.pair.source.entity_name(EntityId::new(0))
+        );
+        assert_eq!(a.pair.seeds(), b.pair.seeds());
+    }
+
+    #[test]
+    fn sizes_match_config() {
+        let ds = generate(&small_cfg());
+        let n = 200;
+        let extra = 60;
+        assert_eq!(ds.pair.alignment.len(), n);
+        assert_eq!(ds.pair.source.num_entities(), n + extra);
+        assert_eq!(ds.pair.target.num_entities(), n + extra);
+        assert_eq!(ds.pair.seeds().len(), 60); // 30% of 200
+        assert_eq!(ds.pair.test_pairs().len(), 140);
+    }
+
+    #[test]
+    fn aligned_names_correspond_through_channel() {
+        let mut cfg = small_cfg();
+        cfg.channel = NameChannel::Identical { typo_rate: 0.0 };
+        let ds = generate(&cfg);
+        for &(u, v) in ds.pair.alignment.pairs().iter().take(20) {
+            assert_eq!(
+                ds.pair.source.entity_name(u),
+                ds.pair.target.entity_name(v),
+                "identical channel with zero typo rate must preserve names"
+            );
+        }
+    }
+
+    #[test]
+    fn distant_channel_changes_script() {
+        let mut cfg = small_cfg();
+        cfg.channel = NameChannel::DistantLingual;
+        let ds = generate(&cfg);
+        let (u, v) = ds.pair.alignment.pairs()[0];
+        let s = ds.pair.source.entity_name(u).unwrap();
+        let t = ds.pair.target.entity_name(v).unwrap();
+        assert!(s.is_ascii());
+        assert!(t.chars().any(|c| (c as u32) >= 0x4E00));
+    }
+
+    #[test]
+    fn density_tracks_avg_degree() {
+        let mut cfg = small_cfg();
+        cfg.avg_degree = 10.0;
+        cfg.overlap = 1.0;
+        cfg.extra_frac = 0.0;
+        let ds = generate(&cfg);
+        let stats = KgStats::of(&ds.pair.source);
+        assert!(
+            (stats.mean_degree - 10.0).abs() < 1.5,
+            "mean degree {} too far from 10",
+            stats.mean_degree
+        );
+    }
+
+    #[test]
+    fn skew_increases_tail_fraction() {
+        let mut even = small_cfg();
+        even.degree_skew = 0.0;
+        even.avg_degree = 6.0;
+        let mut skewed = small_cfg();
+        skewed.degree_skew = 0.8;
+        skewed.avg_degree = 6.0;
+        let tail_even = KgStats::of(&generate(&even).pair.source).tail_fraction;
+        let tail_skewed = KgStats::of(&generate(&skewed).pair.source).tail_fraction;
+        assert!(
+            tail_skewed > tail_even,
+            "skewed tail {tail_skewed} should exceed even tail {tail_even}"
+        );
+    }
+
+    #[test]
+    fn lexicon_coverage_controls_size() {
+        let mut full = small_cfg();
+        full.lexicon_coverage = 1.0;
+        let mut half = small_cfg();
+        half.lexicon_coverage = 0.5;
+        let l_full = generate(&full).lexicon.len();
+        let l_half = generate(&half).lexicon.len();
+        assert!(l_half < l_full);
+        assert!(l_full <= 400);
+    }
+
+    #[test]
+    fn attributes_are_generated_and_noisy() {
+        let ds = generate(&small_cfg());
+        assert_eq!(
+            ds.source_attributes.num_entities(),
+            ds.pair.source.num_entities()
+        );
+        // Dropout must leave some entities without attributes.
+        assert!(ds.source_attributes.empty_fraction() > 0.0);
+        // Aligned entities should still share more attributes than random
+        // pairs, on average.
+        let pairs = ds.pair.alignment.pairs();
+        let mut aligned_sim = 0.0f32;
+        let mut random_sim = 0.0f32;
+        let k = 50;
+        for i in 0..k {
+            let (u, v) = pairs[i];
+            aligned_sim += ds.source_attributes.jaccard(u, &ds.target_attributes, v);
+            let (x, _) = pairs[i];
+            let (_, y) = pairs[(i + 7) % k];
+            random_sim += ds.source_attributes.jaccard(x, &ds.target_attributes, y);
+        }
+        assert!(
+            aligned_sim > random_sim,
+            "aligned {aligned_sim} vs random {random_sim}"
+        );
+    }
+
+    #[test]
+    fn embedders_share_space_through_lexicon() {
+        use ceaff_embed::{embed_name, WordEmbedder};
+        let mut cfg = small_cfg();
+        cfg.channel = NameChannel::DistantLingual;
+        cfg.lexicon_coverage = 1.0;
+        cfg.semantic_noise = 0.0;
+        let ds = generate(&cfg);
+        let src_emb = ds.source_embedder(32);
+        let tgt_emb = ds.target_embedder(32);
+        let (u, v) = ds.pair.alignment.pairs()[3];
+        let sn = ds.pair.source.entity_name(u).unwrap();
+        let tn = ds.pair.target.entity_name(v).unwrap();
+        let sv = embed_name(&src_emb, sn);
+        let tv = embed_name(&tgt_emb, tn);
+        if let (Some(sv), Some(tv)) = (sv, tv) {
+            let cos = ceaff_sim::cosine(&sv, &tv);
+            assert!(cos > 0.9, "aligned names should embed together, cos={cos}");
+        }
+        let _ = tgt_emb.embed_word("zzz-unmapped");
+    }
+}

@@ -1,0 +1,213 @@
+//! Pivot-language vocabulary and entity-name generation.
+//!
+//! Entity names in the synthetic benchmarks are short sequences of words
+//! drawn from a generated pivot-language vocabulary (pronounceable
+//! consonant–vowel syllable words, Zipf-weighted like natural language).
+//! Target-KG names are derived from these pivot names by a
+//! [`crate::translate::NameChannel`].
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+const ONSETS: &[&str] = &[
+    "b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "br", "dr", "gr", "kr",
+    "st", "tr", "ch", "sh",
+];
+const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "ou"];
+const CODAS: &[&str] = &["", "", "", "n", "r", "s", "l", "m", "t", "k"];
+
+/// A generated pivot-language vocabulary with Zipf-like sampling weights.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    words: Vec<String>,
+    /// Cumulative Zipf weights for sampling.
+    cumulative: Vec<f64>,
+}
+
+impl Vocabulary {
+    /// Generate `size` distinct pronounceable words.
+    pub fn generate<R: Rng>(size: usize, rng: &mut R) -> Self {
+        assert!(size > 0, "vocabulary must be non-empty");
+        let mut seen = HashSet::with_capacity(size);
+        let mut words = Vec::with_capacity(size);
+        while words.len() < size {
+            let syllables = rng.gen_range(2..=4);
+            let mut w = String::new();
+            for _ in 0..syllables {
+                w.push_str(ONSETS.choose(rng).expect("non-empty"));
+                w.push_str(VOWELS.choose(rng).expect("non-empty"));
+                w.push_str(CODAS.choose(rng).expect("non-empty"));
+            }
+            if seen.insert(w.clone()) {
+                words.push(w);
+            }
+        }
+        // Zipf weights: rank r gets weight 1/r^0.8 (mildly skewed so common
+        // words repeat across names without dominating).
+        let mut cumulative = Vec::with_capacity(size);
+        let mut total = 0.0f64;
+        for r in 0..size {
+            total += 1.0 / ((r + 1) as f64).powf(0.8);
+            cumulative.push(total);
+        }
+        Self { words, cumulative }
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the vocabulary is empty (never true after `generate`).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// All words in rank order.
+    pub fn words(&self) -> &[String] {
+        &self.words
+    }
+
+    /// Sample one word with Zipf weighting.
+    pub fn sample<'a, R: Rng>(&'a self, rng: &mut R) -> &'a str {
+        let total = *self.cumulative.last().expect("non-empty vocabulary");
+        let x = rng.gen_range(0.0..total);
+        let idx = self.cumulative.partition_point(|&c| c < x);
+        &self.words[idx.min(self.words.len() - 1)]
+    }
+}
+
+/// Generate `n` distinct entity names of 1–3 words each. Collisions are
+/// disambiguated with a numeric suffix (mirroring Wikipedia-style
+/// `Name (2)` disambiguation).
+pub fn generate_entity_names<R: Rng>(vocab: &Vocabulary, n: usize, rng: &mut R) -> Vec<String> {
+    let mut seen = HashSet::with_capacity(n);
+    generate_entity_names_with_seen(vocab, n, rng, &mut seen)
+}
+
+/// Like [`generate_entity_names`], but drawing uniqueness against (and
+/// extending) a caller-provided set — used when several name pools (aligned
+/// entities plus per-KG padding entities) must stay mutually distinct.
+pub fn generate_entity_names_with_seen<R: Rng>(
+    vocab: &Vocabulary,
+    n: usize,
+    rng: &mut R,
+    seen: &mut HashSet<String>,
+) -> Vec<String> {
+    let mut names = Vec::with_capacity(n);
+    while names.len() < n {
+        let words = rng.gen_range(1..=3);
+        let mut name = String::new();
+        for i in 0..words {
+            if i > 0 {
+                name.push(' ');
+            }
+            name.push_str(vocab.sample(rng));
+        }
+        let name = if seen.contains(&name) {
+            let mut k = 2;
+            loop {
+                let candidate = format!("{name} ({k})");
+                if !seen.contains(&candidate) {
+                    break candidate;
+                }
+                k += 1;
+            }
+        } else {
+            name
+        };
+        seen.insert(name.clone());
+        names.push(name);
+    }
+    names
+}
+
+/// Generate `n` distinct relation names (single words, prefixed so they are
+/// disjoint from entity names).
+pub fn generate_relation_names<R: Rng>(vocab: &Vocabulary, n: usize, rng: &mut R) -> Vec<String> {
+    let mut seen = HashSet::with_capacity(n);
+    let mut names = Vec::with_capacity(n);
+    while names.len() < n {
+        let w = format!("rel_{}", vocab.sample(rng));
+        let name = if seen.contains(&w) {
+            format!("{w}_{}", names.len())
+        } else {
+            w
+        };
+        seen.insert(name.clone());
+        names.push(name);
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn vocabulary_is_distinct_and_sized() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let v = Vocabulary::generate(500, &mut rng);
+        assert_eq!(v.len(), 500);
+        let set: HashSet<_> = v.words().iter().collect();
+        assert_eq!(set.len(), 500);
+    }
+
+    #[test]
+    fn words_are_lowercase_ascii() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let v = Vocabulary::generate(100, &mut rng);
+        for w in v.words() {
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()), "word {w}");
+            assert!(w.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn zipf_sampling_prefers_low_ranks() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let v = Vocabulary::generate(200, &mut rng);
+        let mut low = 0;
+        for _ in 0..2000 {
+            let w = v.sample(&mut rng);
+            let rank = v.words().iter().position(|x| x == w).unwrap();
+            if rank < 50 {
+                low += 1;
+            }
+        }
+        // Top quarter of ranks should collect well over a quarter of mass.
+        assert!(low > 700, "low-rank draws: {low}");
+    }
+
+    #[test]
+    fn entity_names_are_distinct() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let v = Vocabulary::generate(50, &mut rng); // small vocab forces collisions
+        let names = generate_entity_names(&v, 500, &mut rng);
+        assert_eq!(names.len(), 500);
+        let set: HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), 500, "names must be unique");
+    }
+
+    #[test]
+    fn relation_names_are_distinct_and_prefixed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let v = Vocabulary::generate(30, &mut rng);
+        let names = generate_relation_names(&v, 40, &mut rng);
+        let set: HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), 40);
+        assert!(names.iter().all(|n| n.starts_with("rel_")));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut r1 = ChaCha8Rng::seed_from_u64(9);
+        let mut r2 = ChaCha8Rng::seed_from_u64(9);
+        let v1 = Vocabulary::generate(50, &mut r1);
+        let v2 = Vocabulary::generate(50, &mut r2);
+        assert_eq!(v1.words(), v2.words());
+    }
+}

@@ -1,0 +1,378 @@
+//! Name channels: how target-KG entity names derive from pivot names.
+//!
+//! The paper's nine KG pairs fall into three name regimes, which drive
+//! which features work where (§VII-B, §VII-C):
+//!
+//! * **mono-lingual** (DBP-WD, DBP-YG): names nearly identical — the string
+//!   feature is "extremely effective" (accuracy 1.0 with it, ~0.9 without);
+//! * **closely-related languages** (FR-EN, EN-FR, EN-DE): words are
+//!   recognisable variants — string still strong, semantics strong;
+//! * **distantly-related languages** (ZH-EN, JA-EN): different scripts —
+//!   string useless, semantics dependent on cross-lingual word coverage.
+//!
+//! Every transform here is *deterministic per word* (keyed by a hash of the
+//! word), so the same word translates identically everywhere it occurs, and
+//! the word-level translation table doubles as the synthetic bilingual
+//! lexicon for the semantic feature.
+
+use serde::{Deserialize, Serialize};
+
+/// How target names are derived from pivot names.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NameChannel {
+    /// Mono-lingual: identical words except for rare typos/format noise.
+    Identical {
+        /// Per-word probability of one small character edit.
+        typo_rate: f64,
+    },
+    /// Closely-related language: per-word morphological perturbation
+    /// (suffixes, vowel shifts, consonant swaps) applied at `morph_rate`,
+    /// and full lexical replacement at `replace_rate` — closely-related
+    /// languages share many cognates but also have entirely different
+    /// words ("king" → "roi"), which is what actually limits the string
+    /// feature on EN-FR/EN-DE (paper Table V).
+    CloseLingual {
+        /// Per-word probability of being morphed (unmorphed words pass
+        /// through unchanged, as cognates do).
+        morph_rate: f64,
+        /// Per-word probability of being replaced by an unrelated word
+        /// (checked before `morph_rate`).
+        replace_rate: f64,
+    },
+    /// Distantly-related language: every word is rewritten into a disjoint
+    /// (CJK) script, destroying string similarity entirely.
+    DistantLingual,
+    /// The paper's future-work "more challenging mono-lingual EA
+    /// benchmark" (§VIII): same language, but names differ by
+    /// abbreviation, word dropping and word reordering — the regimes where
+    /// a plain Levenshtein ratio stops saturating at 1.0.
+    HardMonoLingual {
+        /// Per-word probability of being abbreviated to its initial.
+        abbrev_rate: f64,
+        /// Per-name probability of dropping one non-initial word.
+        drop_rate: f64,
+        /// Per-name probability of swapping the first two words.
+        swap_rate: f64,
+    },
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Uniform in [0,1) derived from a word and a salt.
+fn word_unit(word: &str, salt: u64) -> f64 {
+    let h = fnv1a(word.as_bytes()) ^ salt.wrapping_mul(0x9e3779b97f4a7c15);
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+const VOWELS: &[char] = &['a', 'e', 'i', 'o', 'u'];
+
+fn apply_typo(word: &str, h: u64) -> String {
+    let chars: Vec<char> = word.chars().collect();
+    if chars.len() < 3 {
+        return word.to_owned();
+    }
+    let pos = 1 + (h as usize) % (chars.len() - 2);
+    let mut out: Vec<char> = chars.clone();
+    match (h >> 8) % 3 {
+        0 => {
+            out.remove(pos); // deletion
+        }
+        1 => out.swap(pos, pos + 1), // transposition
+        _ => out.insert(pos, chars[pos]), // duplication
+    }
+    out.into_iter().collect()
+}
+
+fn morph_word(word: &str, h: u64) -> String {
+    let mut out: String = word.to_owned();
+    // 1) consonant shift.
+    match (h >> 4) % 4 {
+        0 => out = out.replace('k', "c"),
+        1 => out = out.replace('s', "z"),
+        2 => out = out.replace('f', "ph"),
+        _ => out = out.replace("sh", "sch"),
+    }
+    // 2) vowel shift on the last vowel.
+    if let Some((idx, c)) = out
+        .char_indices()
+        .rev()
+        .find(|&(_, c)| VOWELS.contains(&c))
+    {
+        let vi = VOWELS.iter().position(|&v| v == c).expect("vowel");
+        let replacement = VOWELS[(vi + 1 + (h as usize >> 16) % 3) % VOWELS.len()];
+        out.replace_range(idx..idx + c.len_utf8(), &replacement.to_string());
+    }
+    // 3) suffix.
+    const SUFFIXES: &[&str] = &["", "e", "en", "re", "o", "ia"];
+    out.push_str(SUFFIXES[(h as usize >> 24) % SUFFIXES.len()]);
+    out
+}
+
+/// A pseudo-word sharing no intended surface form with the source word —
+/// the non-cognate replacement of the close-lingual channel.
+fn replacement_word(h: u64) -> String {
+    const ONSETS: &[&str] = &["b", "ch", "d", "f", "g", "j", "l", "m", "n", "p", "qu", "r", "s", "t", "v"];
+    const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ou", "eau", "ie"];
+    let mut state = h ^ 0x7265706c;
+    let mut next = || {
+        state = state
+            .wrapping_mul(0x5851f42d4c957f2d)
+            .wrapping_add(0x14057b7ef767814f);
+        (state >> 33) as usize
+    };
+    let syllables = 2 + next() % 2;
+    let mut out = String::new();
+    for _ in 0..syllables {
+        out.push_str(ONSETS[next() % ONSETS.len()]);
+        out.push_str(VOWELS[next() % VOWELS.len()]);
+    }
+    out
+}
+
+fn cjk_word(word: &str, h: u64) -> String {
+    // 1–4 codepoints from the CJK Unified Ideographs block, keyed on the
+    // word hash so the mapping is a consistent "dictionary". The length is
+    // hash-driven (not derived from the source word), so no Latin↔CJK
+    // length correlation leaks into the string feature — real translation
+    // does not preserve word lengths.
+    let n = 1 + (h % 4) as usize;
+    let mut out = String::new();
+    let mut state = h;
+    for _ in 0..n {
+        state = state
+            .wrapping_mul(0x5851f42d4c957f2d)
+            .wrapping_add(0x14057b7ef767814f);
+        let cp = 0x4E00 + (state >> 33) % 2500;
+        out.push(char::from_u32(cp as u32).expect("CJK block codepoint"));
+    }
+    let _ = word;
+    out
+}
+
+impl NameChannel {
+    /// Translate a single pivot word. Deterministic: equal inputs always
+    /// produce equal outputs, so the induced word mapping is a function.
+    pub fn translate_word(&self, word: &str, salt: u64) -> String {
+        let h = fnv1a(word.as_bytes()) ^ salt;
+        match *self {
+            NameChannel::Identical { typo_rate } => {
+                if word_unit(word, salt ^ 0x7970) < typo_rate {
+                    apply_typo(word, h)
+                } else {
+                    word.to_owned()
+                }
+            }
+            NameChannel::CloseLingual {
+                morph_rate,
+                replace_rate,
+            } => {
+                if word_unit(word, salt ^ 0x7265) < replace_rate {
+                    replacement_word(h)
+                } else if word_unit(word, salt ^ 0x6d6f) < morph_rate {
+                    morph_word(word, h)
+                } else {
+                    word.to_owned()
+                }
+            }
+            NameChannel::DistantLingual => cjk_word(word, h),
+            NameChannel::HardMonoLingual { abbrev_rate, .. } => {
+                if word_unit(word, salt ^ 0x6162) < abbrev_rate {
+                    let mut it = word.chars();
+                    match it.next() {
+                        Some(c) => format!("{c}."),
+                        None => word.to_owned(),
+                    }
+                } else {
+                    word.to_owned()
+                }
+            }
+        }
+    }
+
+    /// Translate a whole (space-separated) name word by word. Parenthesised
+    /// disambiguation suffixes (`"(2)"`) are preserved verbatim for
+    /// same-script channels and transliterated into the target script for
+    /// distant ones (a Chinese title does not carry a Latin suffix).
+    pub fn translate_name(&self, name: &str, salt: u64) -> String {
+        let mut words: Vec<String> = name
+            .split(' ')
+            .map(|word| {
+                if word.starts_with('(') && self.same_script() {
+                    word.to_owned()
+                } else {
+                    self.translate_word(word, salt)
+                }
+            })
+            .collect();
+        if let NameChannel::HardMonoLingual {
+            drop_rate,
+            swap_rate,
+            ..
+        } = *self
+        {
+            // Name-level perturbations, keyed on the whole name so they
+            // are deterministic per entity.
+            let content = words.iter().filter(|w| !w.starts_with('(')).count();
+            if content >= 2 && word_unit(name, salt ^ 0x64726f70) < drop_rate {
+                // Drop the last content word (keep the head word: real
+                // title truncation drops qualifiers, not subjects).
+                if let Some(pos) = words.iter().rposition(|w| !w.starts_with('(')) {
+                    if pos > 0 {
+                        words.remove(pos);
+                    }
+                }
+            }
+            if words.len() >= 2
+                && !words[1].starts_with('(')
+                && word_unit(name, salt ^ 0x73776170) < swap_rate
+            {
+                words.swap(0, 1);
+            }
+        }
+        words.join(" ")
+    }
+
+    /// Whether this channel leaves the script Latin (string feature viable).
+    pub fn same_script(&self) -> bool {
+        !matches!(self, NameChannel::DistantLingual)
+    }
+
+    /// Whether this is the hard mono-lingual (future-work) channel.
+    pub fn is_hard_mono(&self) -> bool {
+        matches!(self, NameChannel::HardMonoLingual { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceaff_sim::levenshtein_ratio;
+
+    #[test]
+    fn identical_channel_mostly_passes_through() {
+        let ch = NameChannel::Identical { typo_rate: 0.0 };
+        assert_eq!(ch.translate_name("gavora benat", 1), "gavora benat");
+    }
+
+    #[test]
+    fn typos_keep_names_recognisable() {
+        let ch = NameChannel::Identical { typo_rate: 1.0 };
+        let out = ch.translate_name("gavora benatil", 1);
+        assert_ne!(out, "gavora benatil");
+        assert!(levenshtein_ratio("gavora benatil", &out) > 0.75, "got {out}");
+    }
+
+    #[test]
+    fn close_lingual_is_similar_but_not_identical() {
+        let ch = NameChannel::CloseLingual { morph_rate: 1.0, replace_rate: 0.0 };
+        let out = ch.translate_name("gavora benatil", 3);
+        assert_ne!(out, "gavora benatil");
+        let r = levenshtein_ratio("gavora benatil", &out);
+        assert!(r > 0.5, "close-lingual too destructive: {out} (r={r})");
+        assert!(r < 1.0);
+    }
+
+    #[test]
+    fn distant_lingual_destroys_string_similarity() {
+        let ch = NameChannel::DistantLingual;
+        let out = ch.translate_name("gavora benatil", 3);
+        // Only the separating space can match, so the ratio stays tiny.
+        let r = levenshtein_ratio("gavora benatil", &out);
+        assert!(r <= 0.15, "distant names must not share script: {out} (r={r})");
+        assert!(out.chars().any(|c| (0x4E00..=0x9FFF).contains(&(c as u32))));
+    }
+
+    #[test]
+    fn translation_is_deterministic_per_word() {
+        for ch in [
+            NameChannel::Identical { typo_rate: 0.5 },
+            NameChannel::CloseLingual { morph_rate: 0.7, replace_rate: 0.0 },
+            NameChannel::DistantLingual,
+        ] {
+            let a = ch.translate_word("gavora", 42);
+            let b = ch.translate_word("gavora", 42);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn different_words_map_to_different_cjk() {
+        let ch = NameChannel::DistantLingual;
+        let a = ch.translate_word("gavora", 1);
+        let b = ch.translate_word("benatil", 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn disambiguation_suffix_preserved_only_within_script() {
+        let close = NameChannel::CloseLingual { morph_rate: 1.0, replace_rate: 0.0 };
+        let out = close.translate_name("gavora (2)", 1);
+        assert!(out.ends_with(" (2)"), "got {out}");
+        let distant = NameChannel::DistantLingual;
+        let out = distant.translate_name("gavora (2)", 1);
+        assert!(!out.contains("(2)"), "distant suffix must transliterate: {out}");
+    }
+
+    #[test]
+    fn hard_mono_abbreviates_words() {
+        let ch = NameChannel::HardMonoLingual {
+            abbrev_rate: 1.0,
+            drop_rate: 0.0,
+            swap_rate: 0.0,
+        };
+        assert_eq!(ch.translate_name("gavora benat", 1), "g. b.");
+        assert!(ch.same_script());
+        assert!(ch.is_hard_mono());
+    }
+
+    #[test]
+    fn hard_mono_drops_trailing_content_word() {
+        let ch = NameChannel::HardMonoLingual {
+            abbrev_rate: 0.0,
+            drop_rate: 1.0,
+            swap_rate: 0.0,
+        };
+        assert_eq!(ch.translate_name("gavora benat triskel", 1), "gavora benat");
+        // Single-word names cannot drop.
+        assert_eq!(ch.translate_name("gavora", 1), "gavora");
+        // Disambiguation suffixes are not content words.
+        assert_eq!(ch.translate_name("gavora (2)", 1), "gavora (2)");
+    }
+
+    #[test]
+    fn hard_mono_swaps_leading_words() {
+        let ch = NameChannel::HardMonoLingual {
+            abbrev_rate: 0.0,
+            drop_rate: 0.0,
+            swap_rate: 1.0,
+        };
+        assert_eq!(ch.translate_name("gavora benat", 1), "benat gavora");
+        assert_eq!(ch.translate_name("solo", 1), "solo");
+    }
+
+    #[test]
+    fn hard_mono_is_deterministic() {
+        let ch = NameChannel::HardMonoLingual {
+            abbrev_rate: 0.5,
+            drop_rate: 0.5,
+            swap_rate: 0.5,
+        };
+        assert_eq!(
+            ch.translate_name("gavora benat triskel", 7),
+            ch.translate_name("gavora benat triskel", 7)
+        );
+    }
+
+    #[test]
+    fn salt_changes_the_mapping() {
+        let ch = NameChannel::DistantLingual;
+        assert_ne!(ch.translate_word("gavora", 1), ch.translate_word("gavora", 2));
+    }
+}

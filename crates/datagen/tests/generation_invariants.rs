@@ -1,0 +1,121 @@
+//! Property-based invariants of the synthetic benchmark generator.
+
+use ceaff_datagen::{generate, GenConfig, NameChannel, Preset};
+use proptest::prelude::*;
+
+fn small_config(
+    aligned: usize,
+    avg_degree: f64,
+    skew: f64,
+    overlap: f64,
+    channel: NameChannel,
+    seed: u64,
+) -> GenConfig {
+    GenConfig {
+        aligned_entities: aligned,
+        extra_frac: 0.2,
+        avg_degree,
+        degree_skew: skew,
+        overlap,
+        channel,
+        vocab_size: 300,
+        seed,
+        ..GenConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Structural invariants hold for arbitrary generator parameters:
+    /// alignment is a bijection over the aligned prefix, triples reference
+    /// valid entities (guaranteed by construction, checked via counts),
+    /// and the seed/test split partitions the gold standard.
+    #[test]
+    fn generated_datasets_are_well_formed(
+        aligned in 30usize..120,
+        avg_degree in 3.0f64..10.0,
+        skew in 0.0f64..0.9,
+        overlap in 0.4f64..1.0,
+        seed in 0u64..1000,
+        channel_pick in 0usize..3,
+    ) {
+        let channel = match channel_pick {
+            0 => NameChannel::Identical { typo_rate: 0.05 },
+            1 => NameChannel::CloseLingual { morph_rate: 0.5, replace_rate: 0.2 },
+            _ => NameChannel::DistantLingual,
+        };
+        let cfg = small_config(aligned, avg_degree, skew, overlap, channel, seed);
+        let ds = generate(&cfg);
+        let pair = &ds.pair;
+
+        // Gold standard size and split partition.
+        prop_assert_eq!(pair.alignment.len(), aligned);
+        prop_assert_eq!(pair.seeds().len() + pair.test_pairs().len(), aligned);
+
+        // Alignment ids lie in the aligned prefix (build_view interned them
+        // first) and are unique on both sides.
+        let mut src: Vec<_> = pair.alignment.pairs().iter().map(|&(u, _)| u).collect();
+        let mut tgt: Vec<_> = pair.alignment.pairs().iter().map(|&(_, v)| v).collect();
+        src.sort_unstable();
+        src.dedup();
+        tgt.sort_unstable();
+        tgt.dedup();
+        prop_assert_eq!(src.len(), aligned);
+        prop_assert_eq!(tgt.len(), aligned);
+        prop_assert!(src.iter().all(|e| e.index() < aligned));
+        prop_assert!(tgt.iter().all(|e| e.index() < aligned));
+
+        // Entity counts include the padding entities.
+        let expected = aligned + ((aligned as f64) * cfg.extra_frac).round() as usize;
+        prop_assert_eq!(pair.source.num_entities(), expected);
+        prop_assert_eq!(pair.target.num_entities(), expected);
+
+        // Attribute tables cover all entities.
+        prop_assert_eq!(ds.source_attributes.num_entities(), pair.source.num_entities());
+        prop_assert_eq!(ds.target_attributes.num_entities(), pair.target.num_entities());
+
+        // Determinism: the same config generates the same dataset.
+        let again = generate(&cfg);
+        prop_assert_eq!(again.pair.source.num_triples(), pair.source.num_triples());
+        prop_assert_eq!(again.pair.seeds(), pair.seeds());
+    }
+
+    /// The lexicon never maps a word that the channel could not have
+    /// produced: every key is the channel translation of some vocabulary
+    /// word (spot-checked via round-trip through the pivot).
+    #[test]
+    fn lexicon_entries_are_channel_consistent(seed in 0u64..200) {
+        let cfg = small_config(
+            40,
+            6.0,
+            0.3,
+            0.8,
+            NameChannel::DistantLingual,
+            seed,
+        );
+        let ds = generate(&cfg);
+        let salt = cfg.seed ^ 0x6368616e;
+        for (foreign, pivot) in ds.lexicon.iter().take(50) {
+            prop_assert_eq!(
+                cfg.channel.translate_word(pivot, salt),
+                foreign,
+                "lexicon key must be the channel image of its pivot"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_preset_generates_at_tiny_scale() {
+    for preset in Preset::ALL.iter().chain(Preset::EXTENSIONS.iter()) {
+        let ds = preset.generate(0.06);
+        assert!(
+            ds.pair.alignment.len() >= 50,
+            "{}: gold too small",
+            preset.label()
+        );
+        assert!(!ds.pair.seeds().is_empty(), "{}", preset.label());
+        assert!(!ds.pair.test_pairs().is_empty(), "{}", preset.label());
+    }
+}

@@ -1,0 +1,253 @@
+//! Synthetic bilingual lexicon — the MUSE substitute for cross-lingual EA.
+//!
+//! The paper obtains multilingual word embeddings from MUSE so that entity
+//! names of two languages live in one shared vector space (§IV-B, §VII-A).
+//! What the semantic feature needs from MUSE is:
+//!
+//! 1. a translated word pair lands close together in the shared space;
+//! 2. coverage is imperfect — rare words are out of vocabulary, degrading
+//!    the signal (the paper's own caveat in §IV-C and §VII-C).
+//!
+//! [`BilingualLexicon`] maps foreign words to pivot-language words, and
+//! [`LexiconEmbedder`] embeds a foreign word as its translation's vector
+//! plus a small deterministic perturbation (imperfect cross-lingual
+//! alignment), returning `None` for unmapped words. The pivot side keeps
+//! using the base [`SubwordEmbedder`] directly, so both languages share one
+//! space exactly as with MUSE.
+
+use crate::name::WordEmbedder;
+use crate::subword::SubwordEmbedder;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A foreign→pivot word translation table.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BilingualLexicon {
+    entries: HashMap<String, String>,
+}
+
+impl BilingualLexicon {
+    /// Empty lexicon.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from `(foreign, pivot)` pairs; later duplicates win.
+    pub fn from_pairs<I, S1, S2>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (S1, S2)>,
+        S1: Into<String>,
+        S2: Into<String>,
+    {
+        Self {
+            entries: pairs
+                .into_iter()
+                .map(|(f, p)| (f.into(), p.into()))
+                .collect(),
+        }
+    }
+
+    /// Add a translation pair.
+    pub fn insert(&mut self, foreign: &str, pivot: &str) {
+        self.entries.insert(foreign.to_owned(), pivot.to_owned());
+    }
+
+    /// Translate a foreign word, if covered.
+    pub fn translate(&self, foreign: &str) -> Option<&str> {
+        self.entries.get(foreign).map(String::as_str)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterate over `(foreign, pivot)` entries (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(f, p)| (f.as_str(), p.as_str()))
+    }
+
+    /// Parse a lexicon from `foreign \t pivot` lines (the MUSE dictionary
+    /// format, tab- or space-separated). Blank lines and `#` comments are
+    /// skipped; malformed lines are reported with their line number.
+    pub fn from_tsv_reader<R: std::io::BufRead>(reader: R) -> std::io::Result<Self> {
+        let mut lex = Self::new();
+        for (lineno, line) in reader.lines().enumerate() {
+            let line = line?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let mut parts = trimmed.split(['\t', ' ']).filter(|p| !p.is_empty());
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(f), Some(p), None) => lex.insert(f, p),
+                _ => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("lexicon line {}: expected 'foreign<TAB>pivot'", lineno + 1),
+                    ))
+                }
+            }
+        }
+        Ok(lex)
+    }
+
+    /// Serialise as `foreign \t pivot` lines (sorted for determinism).
+    pub fn to_tsv_writer<W: std::io::Write>(&self, mut writer: W) -> std::io::Result<()> {
+        let mut entries: Vec<_> = self.iter().collect();
+        entries.sort_unstable();
+        for (f, p) in entries {
+            writeln!(writer, "{f}\t{p}")?;
+        }
+        Ok(())
+    }
+
+    /// Whether the lexicon is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Embeds foreign-language words into the pivot language's vector space via
+/// a [`BilingualLexicon`]. Unmapped words are out of vocabulary.
+#[derive(Debug, Clone)]
+pub struct LexiconEmbedder {
+    base: SubwordEmbedder,
+    lexicon: BilingualLexicon,
+    /// Standard scale of the deterministic per-word perturbation simulating
+    /// imperfect cross-lingual alignment (0 = perfect MUSE mapping).
+    noise: f32,
+}
+
+impl LexiconEmbedder {
+    /// Wrap a base embedder and a lexicon. `noise` perturbs translated
+    /// vectors (relative to their norm); `0.05`–`0.2` are realistic.
+    pub fn new(base: SubwordEmbedder, lexicon: BilingualLexicon, noise: f32) -> Self {
+        assert!(noise >= 0.0, "noise must be non-negative");
+        Self {
+            base,
+            lexicon,
+            noise,
+        }
+    }
+
+    /// The underlying lexicon.
+    pub fn lexicon(&self) -> &BilingualLexicon {
+        &self.lexicon
+    }
+}
+
+impl WordEmbedder for LexiconEmbedder {
+    fn dim(&self) -> usize {
+        self.base.dim()
+    }
+
+    fn embed_word(&self, word: &str) -> Option<Vec<f32>> {
+        let pivot = self.lexicon.translate(word)?;
+        let mut v = self
+            .base
+            .embed_word(pivot)
+            .expect("subword base embedder is total");
+        if self.noise > 0.0 {
+            // Deterministic perturbation keyed on the foreign word, so the
+            // same word always maps to the same (slightly offset) point.
+            let noise_src = SubwordEmbedder::new(self.dim(), 0x6e6f697365);
+            let n = noise_src
+                .embed_word(word)
+                .expect("subword base embedder is total");
+            let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+            for (a, b) in v.iter_mut().zip(n) {
+                *a += self.noise * norm * b;
+            }
+        }
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceaff_sim::cosine;
+
+    fn setup() -> (SubwordEmbedder, LexiconEmbedder) {
+        let base = SubwordEmbedder::new(64, 7);
+        let lex = BilingualLexicon::from_pairs([("ville", "city"), ("roi", "king")]);
+        let foreign = LexiconEmbedder::new(base.clone(), lex, 0.1);
+        (base, foreign)
+    }
+
+    #[test]
+    fn lexicon_translation() {
+        let lex = BilingualLexicon::from_pairs([("ville", "city")]);
+        assert_eq!(lex.translate("ville"), Some("city"));
+        assert_eq!(lex.translate("roi"), None);
+        assert_eq!(lex.len(), 1);
+    }
+
+    #[test]
+    fn translated_words_land_near_pivot() {
+        let (base, foreign) = setup();
+        let ville = foreign.embed_word("ville").unwrap();
+        let city = base.embed_word("city").unwrap();
+        let king = base.embed_word("king").unwrap();
+        assert!(cosine(&ville, &city) > 0.9, "translation should be near pivot");
+        assert!(cosine(&ville, &city) > cosine(&ville, &king));
+    }
+
+    #[test]
+    fn uncovered_words_are_oov() {
+        let (_, foreign) = setup();
+        assert!(foreign.embed_word("inconnu").is_none());
+    }
+
+    #[test]
+    fn noise_is_deterministic() {
+        let (_, foreign) = setup();
+        assert_eq!(foreign.embed_word("ville"), foreign.embed_word("ville"));
+    }
+
+    #[test]
+    fn zero_noise_reproduces_pivot_exactly() {
+        let base = SubwordEmbedder::new(32, 3);
+        let lex = BilingualLexicon::from_pairs([("ville", "city")]);
+        let foreign = LexiconEmbedder::new(base.clone(), lex, 0.0);
+        assert_eq!(
+            foreign.embed_word("ville").unwrap(),
+            base.embed_word("city").unwrap()
+        );
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let lex = BilingualLexicon::from_pairs([("ville", "city"), ("roi", "king")]);
+        let mut buf = Vec::new();
+        lex.to_tsv_writer(&mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert_eq!(text, "roi\tking\nville\tcity\n");
+        let back = BilingualLexicon::from_tsv_reader(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.translate("ville"), Some("city"));
+    }
+
+    #[test]
+    fn tsv_parser_accepts_space_separation_and_comments() {
+        let input = "# MUSE-style dictionary\nville city\n\nroi\tking\n";
+        let lex = BilingualLexicon::from_tsv_reader(std::io::Cursor::new(input)).unwrap();
+        assert_eq!(lex.len(), 2);
+    }
+
+    #[test]
+    fn tsv_parser_rejects_malformed_lines() {
+        let input = "one_field_only\n";
+        assert!(BilingualLexicon::from_tsv_reader(std::io::Cursor::new(input)).is_err());
+        let input = "too many fields here\n";
+        assert!(BilingualLexicon::from_tsv_reader(std::io::Cursor::new(input)).is_err());
+    }
+
+    #[test]
+    fn later_duplicates_win() {
+        let lex =
+            BilingualLexicon::from_pairs([("a", "x"), ("a", "y")]);
+        assert_eq!(lex.translate("a"), Some("y"));
+    }
+}

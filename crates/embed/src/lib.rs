@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! # ceaff-embed
+//!
+//! Word-embedding substrate for CEAFF's semantic feature (§IV-B of the
+//! paper): a deterministic hashed-subword embedder standing in for fastText
+//! ([`SubwordEmbedder`]), a synthetic bilingual lexicon standing in for
+//! MUSE multilingual embeddings ([`BilingualLexicon`], [`LexiconEmbedder`]),
+//! and averaged entity-name embeddings ([`name`]).
+//!
+//! Both substitutions are documented in the workspace DESIGN.md: the
+//! properties the pipeline relies on (subword surface similarity, shared
+//! cross-lingual space, imperfect OOV coverage) are preserved; the trained
+//! corpora are not required.
+
+pub mod lexicon;
+pub mod name;
+pub mod subword;
+
+pub use lexicon::{BilingualLexicon, LexiconEmbedder};
+pub use name::{embed_name, name_embedding_matrix, tokenize, WordEmbedder};
+pub use subword::SubwordEmbedder;

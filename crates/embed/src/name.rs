@@ -1,0 +1,174 @@
+//! Entity-name embeddings: tokenisation and averaged word vectors.
+//!
+//! The paper (§IV-B) embeds an entity name of `l` words as the average of
+//! the word embeddings, `ne(e) = (1/l) Σ w_i`, collecting all entities of a
+//! KG into the name-embedding matrix `N`.
+
+use ceaff_tensor::Matrix;
+
+/// Anything that can embed a single word into a fixed-dimension vector.
+///
+/// `embed_word` returns `None` for out-of-vocabulary words — the failure
+/// mode the paper calls out for semantic features (§IV-C: "there might not
+/// be corresponding word embeddings for some rare words").
+pub trait WordEmbedder {
+    /// Embedding dimensionality.
+    fn dim(&self) -> usize;
+
+    /// The vector of `word`, or `None` if the word is out of vocabulary.
+    fn embed_word(&self, word: &str) -> Option<Vec<f32>>;
+}
+
+/// Split an entity name into lowercase word tokens.
+///
+/// Splits on whitespace, underscores and punctuation; URI-style names such
+/// as `New_York_City` and `http://dbpedia.org/resource/New_York` tokenize
+/// to their trailing words. Consecutive CJK codepoints form one token and a
+/// script change (CJK ↔ Latin) acts as a boundary — full word segmentation
+/// is out of scope, and space-delimited CJK words (as produced by the
+/// synthetic cross-lingual name channel, and common in bilingual KG labels)
+/// round-trip through a word lexicon this way.
+pub fn tokenize(name: &str) -> Vec<String> {
+    // Strip a URI prefix if present.
+    let name = name.rsplit('/').next().unwrap_or(name);
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    let mut cur_cjk = false;
+    for c in name.chars() {
+        if c.is_alphanumeric() {
+            let cjk = is_cjk(c);
+            if !cur.is_empty() && cjk != cur_cjk {
+                tokens.push(std::mem::take(&mut cur));
+            }
+            cur_cjk = cjk;
+            if cjk {
+                cur.push(c);
+            } else {
+                cur.extend(c.to_lowercase());
+            }
+        } else if !cur.is_empty() {
+            tokens.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+fn is_cjk(c: char) -> bool {
+    matches!(c as u32,
+        0x4E00..=0x9FFF | 0x3400..=0x4DBF | 0x3040..=0x30FF | 0xAC00..=0xD7AF)
+}
+
+/// Averaged word embedding of a whole name (`ne(e)` in the paper).
+/// Out-of-vocabulary words are skipped; returns `None` when *no* word of the
+/// name is embeddable.
+pub fn embed_name<E: WordEmbedder + ?Sized>(embedder: &E, name: &str) -> Option<Vec<f32>> {
+    let tokens = tokenize(name);
+    let mut acc = vec![0.0f32; embedder.dim()];
+    let mut count = 0usize;
+    for tok in &tokens {
+        if let Some(v) = embedder.embed_word(tok) {
+            for (a, x) in acc.iter_mut().zip(&v) {
+                *a += x;
+            }
+            count += 1;
+        }
+    }
+    if count == 0 {
+        return None;
+    }
+    let inv = 1.0 / count as f32;
+    for a in &mut acc {
+        *a *= inv;
+    }
+    Some(acc)
+}
+
+/// The name-embedding matrix `N`: one row per name, in order. Names whose
+/// every word is out of vocabulary get a zero row (cosine 0 against
+/// everything).
+pub fn name_embedding_matrix<E, S>(embedder: &E, names: &[S]) -> Matrix
+where
+    E: WordEmbedder + ?Sized,
+    S: AsRef<str>,
+{
+    let d = embedder.dim();
+    let mut m = Matrix::zeros(names.len(), d);
+    for (i, name) in names.iter().enumerate() {
+        if let Some(v) = embed_name(embedder, name.as_ref()) {
+            m.row_mut(i).copy_from_slice(&v);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Toy;
+    impl WordEmbedder for Toy {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn embed_word(&self, word: &str) -> Option<Vec<f32>> {
+            match word {
+                "new" => Some(vec![1.0, 0.0]),
+                "york" => Some(vec![0.0, 1.0]),
+                _ => None,
+            }
+        }
+    }
+
+    #[test]
+    fn tokenize_handles_separators_and_case() {
+        assert_eq!(tokenize("New_York_City"), vec!["new", "york", "city"]);
+        assert_eq!(tokenize("Jean-Pierre"), vec!["jean", "pierre"]);
+        assert_eq!(tokenize("  spaced   out "), vec!["spaced", "out"]);
+        assert_eq!(tokenize(""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn tokenize_strips_uri_prefix() {
+        assert_eq!(
+            tokenize("http://dbpedia.org/resource/New_York"),
+            vec!["new", "york"]
+        );
+    }
+
+    #[test]
+    fn tokenize_cjk_runs_are_single_tokens() {
+        assert_eq!(tokenize("北京abc"), vec!["北京", "abc"]);
+        assert_eq!(tokenize("東京"), vec!["東京"]);
+        assert_eq!(tokenize("北京 東京"), vec!["北京", "東京"]);
+    }
+
+    #[test]
+    fn embed_name_averages_known_words() {
+        let v = embed_name(&Toy, "New York").unwrap();
+        assert_eq!(v, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn embed_name_skips_oov_words() {
+        // "new zzz" -> only "new" embeddable.
+        let v = embed_name(&Toy, "New Zzz").unwrap();
+        assert_eq!(v, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn embed_name_none_when_fully_oov() {
+        assert!(embed_name(&Toy, "Zzz Qqq").is_none());
+        assert!(embed_name(&Toy, "").is_none());
+    }
+
+    #[test]
+    fn matrix_has_zero_rows_for_oov() {
+        let m = name_embedding_matrix(&Toy, &["New York", "Qqq"]);
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m.row(0), &[0.5, 0.5]);
+        assert_eq!(m.row(1), &[0.0, 0.0]);
+    }
+}

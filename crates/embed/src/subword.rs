@@ -1,0 +1,204 @@
+//! Hashed character-n-gram word embeddings — the fastText substitute.
+//!
+//! The paper uses fastText vectors (trained with character 5-grams) as word
+//! embeddings for the semantic feature (§VII-A). What the EA pipeline relies
+//! on is the *subword property*: words with similar surface forms receive
+//! nearby vectors, and every word receives a vector (no hard OOV for the
+//! base embedder). This module reproduces exactly that property without a
+//! trained model: each character n-gram of `<word>` is hashed into one of
+//! `buckets` pseudo-random unit-scale vectors (deterministically derived
+//! from the hash), and the word vector is the average of its n-gram
+//! vectors.
+//!
+//! The substitution is documented in DESIGN.md §1.
+
+use crate::name::WordEmbedder;
+
+/// FNV-1a 64-bit hash.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// SplitMix64 — expands one 64-bit state into a stream of well-mixed words.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Map a 64-bit word to a float in `(-1, 1)`.
+fn to_unit_float(x: u64) -> f32 {
+    // Use 24 mantissa-sized bits for an unbiased uniform in [0,1), then shift.
+    let u = (x >> 40) as f32 / (1u64 << 24) as f32;
+    2.0 * u - 1.0
+}
+
+/// A deterministic hashed-subword word embedder.
+///
+/// ```
+/// use ceaff_embed::{SubwordEmbedder, WordEmbedder};
+///
+/// let e = SubwordEmbedder::new(64, 42);
+/// let a = e.embed_word("alignment").unwrap();
+/// let b = e.embed_word("alignment").unwrap();
+/// assert_eq!(a, b); // deterministic
+/// assert_eq!(a.len(), 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubwordEmbedder {
+    dim: usize,
+    min_n: usize,
+    max_n: usize,
+    seed: u64,
+}
+
+impl SubwordEmbedder {
+    /// Build an embedder with fastText-like defaults: n-grams of length 3–5.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        Self::with_ngrams(dim, 3, 5, seed)
+    }
+
+    /// Build with an explicit n-gram length range.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `min_n == 0` or `min_n > max_n`.
+    pub fn with_ngrams(dim: usize, min_n: usize, max_n: usize, seed: u64) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        assert!(min_n > 0 && min_n <= max_n, "invalid n-gram range");
+        Self {
+            dim,
+            min_n,
+            max_n,
+            seed,
+        }
+    }
+
+    /// Deterministic pseudo-random vector of one n-gram hash, accumulated
+    /// into `acc`.
+    fn accumulate_bucket(&self, hash: u64, acc: &mut [f32]) {
+        let mut state = hash ^ self.seed;
+        for a in acc.iter_mut() {
+            *a += to_unit_float(splitmix64(&mut state));
+        }
+    }
+
+    /// Character n-grams of `<word>` (with boundary markers, as fastText).
+    fn ngram_hashes(&self, word: &str) -> Vec<u64> {
+        let chars: Vec<char> = std::iter::once('<')
+            .chain(word.chars())
+            .chain(std::iter::once('>'))
+            .collect();
+        let mut hashes = Vec::new();
+        for n in self.min_n..=self.max_n {
+            if chars.len() < n {
+                break;
+            }
+            for w in chars.windows(n) {
+                let s: String = w.iter().collect();
+                hashes.push(fnv1a(s.as_bytes()));
+            }
+        }
+        if hashes.is_empty() {
+            // Shorter than the smallest n-gram: hash the whole marked word.
+            let s: String = chars.iter().collect();
+            hashes.push(fnv1a(s.as_bytes()));
+        }
+        hashes
+    }
+}
+
+impl WordEmbedder for SubwordEmbedder {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn embed_word(&self, word: &str) -> Option<Vec<f32>> {
+        let hashes = self.ngram_hashes(word);
+        let mut v = vec![0.0f32; self.dim];
+        for h in &hashes {
+            self.accumulate_bucket(*h, &mut v);
+        }
+        let inv = 1.0 / hashes.len() as f32;
+        for x in &mut v {
+            *x *= inv;
+        }
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceaff_sim::cosine;
+
+    fn emb() -> SubwordEmbedder {
+        SubwordEmbedder::new(64, 42)
+    }
+
+    #[test]
+    fn deterministic() {
+        let e = emb();
+        assert_eq!(e.embed_word("paris"), e.embed_word("paris"));
+        let e2 = SubwordEmbedder::new(64, 42);
+        assert_eq!(e.embed_word("paris"), e2.embed_word("paris"));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SubwordEmbedder::new(64, 1).embed_word("paris").unwrap();
+        let b = SubwordEmbedder::new(64, 2).embed_word("paris").unwrap();
+        assert!(cosine(&a, &b).abs() < 0.5);
+    }
+
+    #[test]
+    fn similar_surface_forms_are_closer_than_dissimilar() {
+        let e = emb();
+        let paris = e.embed_word("paris").unwrap();
+        let pariz = e.embed_word("pariz").unwrap();
+        let tokyo = e.embed_word("tokyo").unwrap();
+        let sim_close = cosine(&paris, &pariz);
+        let sim_far = cosine(&paris, &tokyo);
+        assert!(
+            sim_close > sim_far + 0.2,
+            "subword property violated: close {sim_close}, far {sim_far}"
+        );
+    }
+
+    #[test]
+    fn short_words_are_embeddable() {
+        let e = emb();
+        assert!(e.embed_word("a").is_some());
+        assert!(e.embed_word("").is_some());
+        assert!(e.embed_word("北").is_some());
+    }
+
+    #[test]
+    fn identical_words_have_cosine_one() {
+        let e = emb();
+        let a = e.embed_word("knowledge").unwrap();
+        let b = e.embed_word("knowledge").unwrap();
+        assert!((cosine(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vectors_are_not_degenerate() {
+        let e = emb();
+        let v = e.embed_word("entity").unwrap();
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!(norm > 1e-3, "vector collapsed to zero");
+        assert_eq!(v.len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn zero_dim_rejected() {
+        let _ = SubwordEmbedder::new(0, 1);
+    }
+}

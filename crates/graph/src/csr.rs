@@ -1,0 +1,334 @@
+//! Compressed-sparse-row matrices.
+//!
+//! The GCN encoder multiplies a (sparse) normalised adjacency matrix with a
+//! dense feature matrix every layer; CSR keeps that product at
+//! `O(nnz · d)` instead of `O(n² · d)`.
+
+use crate::error::GraphError;
+use serde::{Deserialize, Serialize};
+
+/// A sparse `rows × cols` matrix of `f32` in compressed-sparse-row layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// `row_ptr[i]..row_ptr[i+1]` indexes the entries of row `i`.
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Build from COO triplets `(row, col, value)`. Duplicate coordinates are
+    /// summed. Entries with value exactly `0.0` are kept out.
+    ///
+    /// Returns an error if any coordinate is out of bounds.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f32)],
+    ) -> Result<Self, GraphError> {
+        for &(r, c, _) in triplets {
+            if r >= rows {
+                return Err(GraphError::Dimension {
+                    expected: rows,
+                    got: r,
+                });
+            }
+            if c >= cols {
+                return Err(GraphError::Dimension {
+                    expected: cols,
+                    got: c,
+                });
+            }
+        }
+        // Sort by (row, col) then merge duplicates.
+        let mut sorted: Vec<(usize, usize, f32)> = triplets.to_vec();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut merged: Vec<(usize, usize, f32)> = Vec::with_capacity(sorted.len());
+        for (r, c, v) in sorted {
+            match merged.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        merged.retain(|&(_, _, v)| v != 0.0);
+
+        let mut row_ptr = vec![0usize; rows + 1];
+        for &(r, _, _) in &merged {
+            row_ptr[r + 1] += 1;
+        }
+        for i in 0..rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx = merged.iter().map(|&(_, c, _)| c as u32).collect();
+        let values = merged.iter().map(|&(_, _, v)| v).collect();
+        Ok(Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// An identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let triplets: Vec<_> = (0..n).map(|i| (i, i, 1.0)).collect();
+        Self::from_triplets(n, n, &triplets).expect("identity coordinates are in bounds")
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The `(column, value)` entries of row `i`.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Iterate over all `(row, col, value)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        (0..self.rows).flat_map(move |r| self.row(r).map(move |(c, v)| (r, c, v)))
+    }
+
+    /// Sum of each row.
+    pub fn row_sums(&self) -> Vec<f32> {
+        (0..self.rows)
+            .map(|r| self.row(r).map(|(_, v)| v).sum())
+            .collect()
+    }
+
+    /// Sparse × dense product: `out = self · dense`, where `dense` is a
+    /// row-major `cols × d` matrix and `out` a row-major `rows × d` buffer.
+    ///
+    /// # Panics
+    /// Panics if buffer sizes disagree with the matrix dimensions.
+    pub fn mul_dense(&self, dense: &[f32], d: usize, out: &mut [f32]) {
+        assert_eq!(
+            dense.len(),
+            self.cols * d,
+            "dense operand must be cols×d row-major"
+        );
+        assert_eq!(out.len(), self.rows * d, "output must be rows×d row-major");
+        out.fill(0.0);
+        for r in 0..self.rows {
+            let out_row = &mut out[r * d..(r + 1) * d];
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            for k in lo..hi {
+                let c = self.col_idx[k] as usize;
+                let v = self.values[k];
+                let src = &dense[c * d..(c + 1) * d];
+                for (o, &s) in out_row.iter_mut().zip(src) {
+                    *o += v * s;
+                }
+            }
+        }
+    }
+
+    /// Transposed sparse × dense product: `out = selfᵀ · dense`, with
+    /// `dense` a `rows × d` matrix and `out` a `cols × d` buffer. Used in
+    /// the backward pass of sparse–dense products.
+    pub fn transpose_mul_dense(&self, dense: &[f32], d: usize, out: &mut [f32]) {
+        assert_eq!(
+            dense.len(),
+            self.rows * d,
+            "dense operand must be rows×d row-major"
+        );
+        assert_eq!(out.len(), self.cols * d, "output must be cols×d row-major");
+        out.fill(0.0);
+        for r in 0..self.rows {
+            let src = &dense[r * d..(r + 1) * d];
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            for k in lo..hi {
+                let c = self.col_idx[k] as usize;
+                let v = self.values[k];
+                let out_row = &mut out[c * d..(c + 1) * d];
+                for (o, &s) in out_row.iter_mut().zip(src) {
+                    *o += v * s;
+                }
+            }
+        }
+    }
+
+    /// Symmetric degree normalisation `D^{-1/2} (self) D^{-1/2}` where `D` is
+    /// the diagonal of row sums. Rows/columns with zero sum are left zero.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn symmetric_normalized(&self) -> Self {
+        assert_eq!(self.rows, self.cols, "symmetric normalisation needs a square matrix");
+        let sums = self.row_sums();
+        let inv_sqrt: Vec<f32> = sums
+            .iter()
+            .map(|&s| if s > 0.0 { 1.0 / s.sqrt() } else { 0.0 })
+            .collect();
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            let lo = out.row_ptr[r];
+            let hi = out.row_ptr[r + 1];
+            for k in lo..hi {
+                let c = out.col_idx[k] as usize;
+                out.values[k] *= inv_sqrt[r] * inv_sqrt[c];
+            }
+        }
+        out
+    }
+
+    /// Row-stochastic normalisation `D^{-1} (self)`.
+    pub fn row_normalized(&self) -> Self {
+        let sums = self.row_sums();
+        let mut out = self.clone();
+        for (r, &sum) in sums.iter().enumerate() {
+            if sum <= 0.0 {
+                continue;
+            }
+            let lo = out.row_ptr[r];
+            let hi = out.row_ptr[r + 1];
+            for k in lo..hi {
+                out.values[k] /= sum;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn from_triplets_merges_duplicates() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (0, 1, 2.0), (1, 0, 4.0)]).unwrap();
+        assert_eq!(m.nnz(), 2);
+        let row0: Vec<_> = m.row(0).collect();
+        assert_eq!(row0, vec![(1, 3.0)]);
+    }
+
+    #[test]
+    fn zero_values_are_dropped() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, -1.0), (1, 1, 1.0)]).unwrap();
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        assert!(CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).is_err());
+        assert!(CsrMatrix::from_triplets(2, 2, &[(0, 5, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn identity_times_dense_is_dense() {
+        let m = CsrMatrix::identity(3);
+        let dense = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 3x2
+        let mut out = vec![0.0; 6];
+        m.mul_dense(&dense, 2, &mut out);
+        assert_eq!(out, dense);
+    }
+
+    #[test]
+    fn mul_dense_small_example() {
+        // [[1, 2], [0, 3]] * [[1], [10]] = [[21], [30]]
+        let m =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0)]).unwrap();
+        let mut out = vec![0.0; 2];
+        m.mul_dense(&[1.0, 10.0], 1, &mut out);
+        assert_eq!(out, vec![21.0, 30.0]);
+    }
+
+    #[test]
+    fn transpose_mul_matches_explicit_transpose() {
+        let m = CsrMatrix::from_triplets(
+            2,
+            3,
+            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (1, 2, 4.0)],
+        )
+        .unwrap();
+        let dense = vec![1.0, 2.0]; // 2x1
+        let mut out = vec![0.0; 3];
+        m.transpose_mul_dense(&dense, 1, &mut out);
+        // Mᵀ = [[1,0],[0,3],[2,4]]; Mᵀ·[1,2] = [1, 6, 10]
+        assert_eq!(out, vec![1.0, 6.0, 10.0]);
+    }
+
+    #[test]
+    fn symmetric_normalization_of_path_graph() {
+        // A + I for the path 0-1: [[1,1],[1,1]] -> each row sum 2
+        let m = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0)],
+        )
+        .unwrap();
+        let n = m.symmetric_normalized();
+        for (_, _, v) in n.iter() {
+            assert!((v - 0.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn row_normalized_rows_sum_to_one() {
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 0, 2.0), (0, 2, 2.0), (1, 1, 5.0)]).unwrap();
+        let n = m.row_normalized();
+        let sums = n.row_sums();
+        assert!((sums[0] - 1.0).abs() < 1e-6);
+        assert!((sums[1] - 1.0).abs() < 1e-6);
+    }
+
+    proptest! {
+        /// spmm against a dense reference implementation.
+        #[test]
+        fn mul_dense_matches_dense_reference(
+            rows in 1usize..8,
+            cols in 1usize..8,
+            d in 1usize..5,
+            entries in proptest::collection::vec((0usize..8, 0usize..8, -5.0f32..5.0), 0..20),
+            dense_vals in proptest::collection::vec(-3.0f32..3.0, 64),
+        ) {
+            let entries: Vec<_> = entries
+                .into_iter()
+                .filter(|&(r, c, _)| r < rows && c < cols)
+                .collect();
+            let m = CsrMatrix::from_triplets(rows, cols, &entries).unwrap();
+            let dense: Vec<f32> = dense_vals.into_iter().take(cols * d).collect();
+            prop_assume!(dense.len() == cols * d);
+
+            let mut out = vec![0.0f32; rows * d];
+            m.mul_dense(&dense, d, &mut out);
+
+            // Dense reference.
+            let mut full = vec![0.0f32; rows * cols];
+            for &(r, c, v) in &entries {
+                full[r * cols + c] += v;
+            }
+            for r in 0..rows {
+                for j in 0..d {
+                    let mut acc = 0.0f32;
+                    for c in 0..cols {
+                        acc += full[r * cols + c] * dense[c * d + j];
+                    }
+                    prop_assert!((acc - out[r * d + j]).abs() < 1e-3);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Compact, type-safe identifiers for entities and relations.
+//!
+//! Entity-alignment pipelines shuffle large index-aligned matrices around;
+//! newtype ids prevent the classic bug of indexing a target-KG matrix with a
+//! source-KG entity (or an entity id with a relation id) while compiling down
+//! to a bare `u32`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw index, usable to address rows of index-aligned matrices.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u32 {
+            #[inline]
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of an entity within one knowledge graph.
+    ///
+    /// Ids are dense: a graph with `n` entities uses ids `0..n`, so an
+    /// `EntityId` doubles as a row index into embedding and similarity
+    /// matrices.
+    EntityId,
+    "e"
+);
+
+define_id!(
+    /// Identifier of a relation within one knowledge graph.
+    RelationId,
+    "r"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_raw() {
+        let e = EntityId::new(42);
+        assert_eq!(e.index(), 42);
+        assert_eq!(u32::from(e), 42);
+        assert_eq!(EntityId::from(42u32), e);
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(EntityId::new(3).to_string(), "e3");
+        assert_eq!(RelationId::new(9).to_string(), "r9");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(EntityId::new(1) < EntityId::new(2));
+        assert!(RelationId::new(5) > RelationId::new(0));
+    }
+
+    #[test]
+    fn ids_are_usable_as_map_keys() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(EntityId::new(1), "a");
+        assert_eq!(m[&EntityId::new(1)], "a");
+    }
+}

@@ -1,0 +1,122 @@
+//! String interner mapping URIs / surface names to dense integer ids.
+//!
+//! Both entity and relation vocabularies of a KG are interned so that the
+//! rest of the pipeline works on dense `u32` ids (usable as matrix row
+//! indices) while names remain recoverable for the semantic and string
+//! features, which operate on entity *names* (paper §IV-B, §IV-C).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A bijection between strings and dense indices `0..len`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Interner {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Interner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an interner with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            names: Vec::with_capacity(cap),
+            index: HashMap::with_capacity(cap),
+        }
+    }
+
+    /// Intern `name`, returning its id. Re-interning an existing name
+    /// returns the original id.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("interner overflow: more than u32::MAX names");
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Look up the id of an already-interned name.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// Resolve an id back to its name.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as u32, n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("Paris");
+        let b = i.intern("Paris");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern("a"), 0);
+        assert_eq!(i.intern("b"), 1);
+        assert_eq!(i.intern("c"), 2);
+        assert_eq!(i.resolve(1), Some("b"));
+        assert_eq!(i.get("c"), Some(2));
+        assert_eq!(i.get("missing"), None);
+        assert_eq!(i.resolve(99), None);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut i = Interner::new();
+        i.intern("x");
+        i.intern("y");
+        let v: Vec<_> = i.iter().collect();
+        assert_eq!(v, vec![(0, "x"), (1, "y")]);
+    }
+
+    proptest! {
+        /// Interning any sequence of strings yields a bijection: every name
+        /// resolves back to itself and ids stay below `len`.
+        #[test]
+        fn intern_resolve_bijection(names in proptest::collection::vec("[a-zA-Z0-9 ]{0,12}", 0..50)) {
+            let mut i = Interner::new();
+            let ids: Vec<u32> = names.iter().map(|n| i.intern(n)).collect();
+            for (name, id) in names.iter().zip(&ids) {
+                prop_assert_eq!(i.resolve(*id), Some(name.as_str()));
+                prop_assert_eq!(i.get(name), Some(*id));
+                prop_assert!((*id as usize) < i.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! OpenEA-style tab-separated I/O.
+//!
+//! The de-facto interchange format of EA benchmarks (DBP15K, SRPRS, OpenEA)
+//! is a directory of TSV files: `triples_1` / `triples_2` with one
+//! `head \t relation \t tail` fact per line, and a `links` file with one
+//! `source \t target` gold pair per line. This module reads and writes that
+//! format through generic readers/writers (testable in memory) with
+//! path-based conveniences.
+
+use crate::error::GraphError;
+use crate::kg::KnowledgeGraph;
+use crate::pair::{Alignment, KgPair};
+use rand::Rng;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Parse a KG from `head \t relation \t tail` lines. Blank lines and lines
+/// starting with `#` are skipped.
+pub fn read_triples<R: BufRead>(reader: R) -> Result<KnowledgeGraph, GraphError> {
+    let mut kg = KnowledgeGraph::new();
+    read_triples_into(reader, &mut kg)?;
+    Ok(kg)
+}
+
+/// Parse triples into an existing graph (whose entities may be
+/// pre-interned from an entity list).
+fn read_triples_into<R: BufRead>(reader: R, kg: &mut KnowledgeGraph) -> Result<(), GraphError> {
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split('\t');
+        let (h, r, t) = match (fields.next(), fields.next(), fields.next()) {
+            (Some(h), Some(r), Some(t)) if fields.next().is_none() => (h, r, t),
+            _ => {
+                return Err(GraphError::Malformed {
+                    line: lineno + 1,
+                    reason: "expected exactly 3 tab-separated fields".into(),
+                })
+            }
+        };
+        kg.add_fact(h, r, t);
+    }
+    Ok(())
+}
+
+/// Serialise a KG as `head \t relation \t tail` lines.
+pub fn write_triples<W: Write>(kg: &KnowledgeGraph, mut writer: W) -> Result<(), GraphError> {
+    for t in kg.triples() {
+        let h = kg.entity_name(t.head).expect("triple head is interned");
+        let r = kg
+            .relation_name(t.relation)
+            .expect("triple relation is interned");
+        let ta = kg.entity_name(t.tail).expect("triple tail is interned");
+        writeln!(writer, "{h}\t{r}\t{ta}")?;
+    }
+    Ok(())
+}
+
+/// Parse gold links `source \t target` against two already-loaded KGs.
+///
+/// Every referenced name must exist in the corresponding KG.
+pub fn read_links<R: BufRead>(
+    reader: R,
+    source: &KnowledgeGraph,
+    target: &KnowledgeGraph,
+) -> Result<Alignment, GraphError> {
+    let mut pairs = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split('\t');
+        let (s, t) = match (fields.next(), fields.next()) {
+            (Some(s), Some(t)) if fields.next().is_none() => (s, t),
+            _ => {
+                return Err(GraphError::Malformed {
+                    line: lineno + 1,
+                    reason: "expected exactly 2 tab-separated fields".into(),
+                })
+            }
+        };
+        let u = source.entity_id(s).ok_or_else(|| GraphError::Malformed {
+            line: lineno + 1,
+            reason: format!("unknown source entity '{s}'"),
+        })?;
+        let v = target.entity_id(t).ok_or_else(|| GraphError::Malformed {
+            line: lineno + 1,
+            reason: format!("unknown target entity '{t}'"),
+        })?;
+        pairs.push((u, v));
+    }
+    Alignment::new(pairs)
+}
+
+/// Serialise gold links as `source \t target` lines.
+pub fn write_links<W: Write>(
+    alignment: &Alignment,
+    source: &KnowledgeGraph,
+    target: &KnowledgeGraph,
+    mut writer: W,
+) -> Result<(), GraphError> {
+    for &(u, v) in alignment.pairs() {
+        let s = source.entity_name(u).ok_or(GraphError::UnknownEntity(u.0))?;
+        let t = target.entity_name(v).ok_or(GraphError::UnknownEntity(v.0))?;
+        writeln!(writer, "{s}\t{t}")?;
+    }
+    Ok(())
+}
+
+/// Pre-intern entity names from an `entities_*` file (one name per line),
+/// preserving isolated entities — sparse real-life KGs contain aligned
+/// entities with no triples, which a triples-only file cannot represent.
+fn preload_entities<R: BufRead>(reader: R, kg: &mut KnowledgeGraph) -> Result<(), GraphError> {
+    for line in reader.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if !trimmed.is_empty() && !trimmed.starts_with('#') {
+            kg.add_entity(trimmed);
+        }
+    }
+    Ok(())
+}
+
+/// Load a full alignment problem from a benchmark directory containing
+/// `triples_1`, `triples_2` and `links` (plus optional `entities_1` /
+/// `entities_2` listing all entity names, which preserves isolated
+/// entities and id order), splitting seeds with `seed_fraction` (the paper
+/// uses 0.3).
+pub fn load_pair_from_dir<P: AsRef<Path>, R: Rng>(
+    dir: P,
+    seed_fraction: f64,
+    rng: &mut R,
+) -> Result<KgPair, GraphError> {
+    let dir = dir.as_ref();
+    let load_side = |triples: &str, entities: &str| -> Result<KnowledgeGraph, GraphError> {
+        let mut kg = KnowledgeGraph::new();
+        let entity_file = dir.join(entities);
+        if entity_file.exists() {
+            preload_entities(BufReader::new(File::open(entity_file)?), &mut kg)?;
+        }
+        read_triples_into(BufReader::new(File::open(dir.join(triples))?), &mut kg)?;
+        Ok(kg)
+    };
+    let source = load_side("triples_1", "entities_1")?;
+    let target = load_side("triples_2", "entities_2")?;
+    let alignment = read_links(
+        BufReader::new(File::open(dir.join("links"))?),
+        &source,
+        &target,
+    )?;
+    Ok(KgPair::new(source, target, alignment, seed_fraction, rng))
+}
+
+/// Write a full alignment problem into a benchmark directory in the
+/// `triples_1` / `triples_2` / `links` layout, plus `entities_1` /
+/// `entities_2` files so isolated entities and id order survive a round
+/// trip.
+pub fn save_pair_to_dir<P: AsRef<Path>>(pair: &KgPair, dir: P) -> Result<(), GraphError> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    for (kg, triples, entities) in [
+        (&pair.source, "triples_1", "entities_1"),
+        (&pair.target, "triples_2", "entities_2"),
+    ] {
+        write_triples(kg, BufWriter::new(File::create(dir.join(triples))?))?;
+        let mut w = BufWriter::new(File::create(dir.join(entities))?);
+        for (_, name) in kg.entities().iter() {
+            writeln!(w, "{name}")?;
+        }
+    }
+    write_links(
+        &pair.alignment,
+        &pair.source,
+        &pair.target,
+        BufWriter::new(File::create(dir.join("links"))?),
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn read_triples_parses_and_skips_comments() {
+        let input = "# comment\nParis\tcapitalOf\tFrance\n\nLyon\tlocatedIn\tFrance\n";
+        let kg = read_triples(Cursor::new(input)).unwrap();
+        assert_eq!(kg.num_triples(), 2);
+        assert_eq!(kg.num_entities(), 3);
+        assert_eq!(kg.num_relations(), 2);
+        assert!(kg.entity_id("Paris").is_some());
+    }
+
+    #[test]
+    fn read_triples_rejects_wrong_arity() {
+        let err = read_triples(Cursor::new("a\tb\n")).unwrap_err();
+        assert!(matches!(err, GraphError::Malformed { line: 1, .. }));
+        let err = read_triples(Cursor::new("a\tb\tc\td\n")).unwrap_err();
+        assert!(matches!(err, GraphError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn triples_roundtrip() {
+        let input = "Paris\tcapitalOf\tFrance\nLyon\tlocatedIn\tFrance\n";
+        let kg = read_triples(Cursor::new(input)).unwrap();
+        let mut out = Vec::new();
+        write_triples(&kg, &mut out).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), input);
+    }
+
+    #[test]
+    fn links_roundtrip_and_validation() {
+        let kg1 = read_triples(Cursor::new("Paris\tr\tFrance\n")).unwrap();
+        let kg2 = read_triples(Cursor::new("Paris@fr\tr\tFrance@fr\n")).unwrap();
+        let a = read_links(Cursor::new("Paris\tParis@fr\nFrance\tFrance@fr\n"), &kg1, &kg2)
+            .unwrap();
+        assert_eq!(a.len(), 2);
+        let mut out = Vec::new();
+        write_links(&a, &kg1, &kg2, &mut out).unwrap();
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "Paris\tParis@fr\nFrance\tFrance@fr\n"
+        );
+
+        let err = read_links(Cursor::new("Ghost\tParis@fr\n"), &kg1, &kg2).unwrap_err();
+        assert!(matches!(err, GraphError::Malformed { .. }));
+    }
+
+    #[test]
+    fn dir_roundtrip() {
+        use rand::SeedableRng;
+        let dir = std::env::temp_dir().join(format!("ceaff-io-test-{}", std::process::id()));
+        let kg1 = read_triples(Cursor::new("a\tr\tb\nb\tr\tc\n")).unwrap();
+        let kg2 = read_triples(Cursor::new("a2\tr\tb2\nb2\tr\tc2\n")).unwrap();
+        let align = read_links(
+            Cursor::new("a\ta2\nb\tb2\nc\tc2\n"),
+            &kg1,
+            &kg2,
+        )
+        .unwrap();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let pair = KgPair::new(kg1, kg2, align, 0.3, &mut rng);
+        save_pair_to_dir(&pair, &dir).unwrap();
+        let loaded = load_pair_from_dir(&dir, 0.3, &mut rng).unwrap();
+        assert_eq!(loaded.source.num_triples(), 2);
+        assert_eq!(loaded.target.num_triples(), 2);
+        assert_eq!(loaded.alignment.len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

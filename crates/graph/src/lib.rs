@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # ceaff-graph
+//!
+//! Knowledge-graph substrate for the CEAFF entity-alignment framework
+//! (Zeng et al., *Collective Embedding-based Entity Alignment via Adaptive
+//! Features*, ICDE 2020).
+//!
+//! A knowledge graph here follows the paper's task definition (§III): a
+//! directed graph `G = (E, R, T)` of entities `E`, relations `R` and triples
+//! `T ⊆ E × R × E`. This crate provides:
+//!
+//! * compact, type-safe identifiers ([`EntityId`], [`RelationId`]) and a
+//!   string [`Interner`] mapping them to and from URIs / surface names;
+//! * an indexed triple store ([`KnowledgeGraph`]) with neighbourhood and
+//!   degree queries;
+//! * entity-alignment task containers ([`KgPair`], [`Alignment`],
+//!   [`SeedSplit`]) holding two graphs plus gold-standard links split into
+//!   seed (train) and test portions;
+//! * sparse-matrix machinery ([`CsrMatrix`]) and the adjacency builders used
+//!   by graph-convolutional encoders, including the relation-functionality
+//!   weighting of GCN-Align ([`adjacency`]);
+//! * degree-distribution statistics and the two-sample Kolmogorov–Smirnov
+//!   test used by the SRPRS benchmark construction protocol ([`stats`]);
+//! * OpenEA-style tab-separated I/O ([`io`]).
+
+pub mod adjacency;
+pub mod attributes;
+pub mod csr;
+pub mod error;
+pub mod ids;
+pub mod interner;
+pub mod io;
+pub mod kg;
+pub mod pair;
+pub mod stats;
+pub mod triple;
+pub mod walks;
+
+pub use adjacency::{build_adjacency, AdjacencyKind};
+pub use attributes::AttributeTable;
+pub use csr::CsrMatrix;
+pub use error::GraphError;
+pub use ids::{EntityId, RelationId};
+pub use interner::Interner;
+pub use kg::KnowledgeGraph;
+pub use pair::{Alignment, KgPair, SeedSplit};
+pub use triple::Triple;
+pub use walks::WalkIndex;

@@ -1,0 +1,236 @@
+//! Entity-alignment task containers: a pair of KGs plus gold-standard links.
+
+use crate::error::GraphError;
+use crate::ids::EntityId;
+use crate::kg::KnowledgeGraph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A gold-standard one-to-one alignment between entities of two KGs.
+///
+/// The paper's task definition (§III): the reference links
+/// `{(u, v) | u ∈ E1, v ∈ E2, u ↔ v}`. Both sides must be duplicate-free so
+/// that the alignment is a partial bijection.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Alignment {
+    pairs: Vec<(EntityId, EntityId)>,
+}
+
+impl Alignment {
+    /// Build an alignment, validating one-to-one-ness.
+    pub fn new(pairs: Vec<(EntityId, EntityId)>) -> Result<Self, GraphError> {
+        let mut src = HashSet::with_capacity(pairs.len());
+        let mut tgt = HashSet::with_capacity(pairs.len());
+        for &(u, v) in &pairs {
+            if !src.insert(u) {
+                return Err(GraphError::InvalidAlignment(format!(
+                    "source entity {u} aligned twice"
+                )));
+            }
+            if !tgt.insert(v) {
+                return Err(GraphError::InvalidAlignment(format!(
+                    "target entity {v} aligned twice"
+                )));
+            }
+        }
+        Ok(Self { pairs })
+    }
+
+    /// The aligned pairs.
+    pub fn pairs(&self) -> &[(EntityId, EntityId)] {
+        &self.pairs
+    }
+
+    /// Number of aligned pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether there are no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterate over the pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &(EntityId, EntityId)> {
+        self.pairs.iter()
+    }
+}
+
+/// A train/test split of gold links into *seed* alignment (available to the
+/// aligner) and *test* alignment (what the aligner is evaluated on).
+///
+/// The paper uses 30% of the gold standard as seeds (§VII-A).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeedSplit {
+    seed: Vec<(EntityId, EntityId)>,
+    test: Vec<(EntityId, EntityId)>,
+}
+
+impl SeedSplit {
+    /// Randomly split `alignment` with the given seed fraction.
+    ///
+    /// # Panics
+    /// Panics if `seed_fraction` is not within `[0, 1]`.
+    pub fn random<R: Rng>(alignment: &Alignment, seed_fraction: f64, rng: &mut R) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&seed_fraction),
+            "seed fraction must lie in [0,1], got {seed_fraction}"
+        );
+        let mut pairs = alignment.pairs().to_vec();
+        pairs.shuffle(rng);
+        let n_seed = ((pairs.len() as f64) * seed_fraction).round() as usize;
+        let test = pairs.split_off(n_seed.min(pairs.len()));
+        Self { seed: pairs, test }
+    }
+
+    /// Construct from explicit seed/test lists (used by dataset loaders).
+    pub fn from_parts(
+        seed: Vec<(EntityId, EntityId)>,
+        test: Vec<(EntityId, EntityId)>,
+    ) -> Self {
+        Self { seed, test }
+    }
+
+    /// Seed (training) pairs `S`.
+    pub fn seed(&self) -> &[(EntityId, EntityId)] {
+        &self.seed
+    }
+
+    /// Test pairs.
+    pub fn test(&self) -> &[(EntityId, EntityId)] {
+        &self.test
+    }
+}
+
+/// An entity-alignment problem instance: source KG `G1`, target KG `G2`,
+/// and the gold alignment with its seed/test split.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KgPair {
+    /// Source knowledge graph `G1`.
+    pub source: KnowledgeGraph,
+    /// Target knowledge graph `G2`.
+    pub target: KnowledgeGraph,
+    /// Full gold-standard alignment.
+    pub alignment: Alignment,
+    /// Seed/test split of the gold alignment.
+    pub split: SeedSplit,
+}
+
+impl KgPair {
+    /// Build a pair, splitting the alignment with `seed_fraction` using `rng`.
+    pub fn new<R: Rng>(
+        source: KnowledgeGraph,
+        target: KnowledgeGraph,
+        alignment: Alignment,
+        seed_fraction: f64,
+        rng: &mut R,
+    ) -> Self {
+        let split = SeedSplit::random(&alignment, seed_fraction, rng);
+        Self {
+            source,
+            target,
+            alignment,
+            split,
+        }
+    }
+
+    /// Seed (training) pairs.
+    pub fn seeds(&self) -> &[(EntityId, EntityId)] {
+        self.split.seed()
+    }
+
+    /// Test pairs (the evaluation set).
+    pub fn test_pairs(&self) -> &[(EntityId, EntityId)] {
+        self.split.test()
+    }
+
+    /// Source entities of the test set, in test order. These are the rows of
+    /// every feature similarity matrix.
+    pub fn test_sources(&self) -> Vec<EntityId> {
+        self.test_pairs().iter().map(|&(u, _)| u).collect()
+    }
+
+    /// Target entities of the test set, in test order. These are the columns
+    /// of every feature similarity matrix.
+    ///
+    /// Following the evaluation protocol of the paper (and GCN-Align /
+    /// BootEA), the candidate space for each source test entity is the set
+    /// of target test entities.
+    pub fn test_targets(&self) -> Vec<EntityId> {
+        self.test_pairs().iter().map(|&(_, v)| v).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn eid(i: u32) -> EntityId {
+        EntityId::new(i)
+    }
+
+    #[test]
+    fn alignment_rejects_duplicates() {
+        let err = Alignment::new(vec![(eid(0), eid(0)), (eid(0), eid(1))]);
+        assert!(err.is_err());
+        let err = Alignment::new(vec![(eid(0), eid(5)), (eid(1), eid(5))]);
+        assert!(err.is_err());
+        let ok = Alignment::new(vec![(eid(0), eid(5)), (eid(1), eid(6))]);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn split_partitions_all_pairs() {
+        let pairs: Vec<_> = (0..100).map(|i| (eid(i), eid(i))).collect();
+        let a = Alignment::new(pairs).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let s = SeedSplit::random(&a, 0.3, &mut rng);
+        assert_eq!(s.seed().len(), 30);
+        assert_eq!(s.test().len(), 70);
+        let all: HashSet<_> = s.seed().iter().chain(s.test()).collect();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn split_extremes() {
+        let pairs: Vec<_> = (0..10).map(|i| (eid(i), eid(i))).collect();
+        let a = Alignment::new(pairs).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let s = SeedSplit::random(&a, 0.0, &mut rng);
+        assert!(s.seed().is_empty());
+        assert_eq!(s.test().len(), 10);
+        let s = SeedSplit::random(&a, 1.0, &mut rng);
+        assert_eq!(s.seed().len(), 10);
+        assert!(s.test().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "seed fraction")]
+    fn split_rejects_bad_fraction() {
+        let a = Alignment::new(vec![]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let _ = SeedSplit::random(&a, 1.5, &mut rng);
+    }
+
+    #[test]
+    fn kg_pair_accessors() {
+        let mut g1 = KnowledgeGraph::new();
+        let mut g2 = KnowledgeGraph::new();
+        for i in 0..4 {
+            g1.add_entity(&format!("s{i}"));
+            g2.add_entity(&format!("t{i}"));
+        }
+        let a = Alignment::new((0..4).map(|i| (eid(i), eid(i))).collect()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let p = KgPair::new(g1, g2, a, 0.5, &mut rng);
+        assert_eq!(p.seeds().len(), 2);
+        assert_eq!(p.test_pairs().len(), 2);
+        assert_eq!(p.test_sources().len(), 2);
+        assert_eq!(p.test_targets().len(), 2);
+    }
+}

@@ -1,0 +1,235 @@
+//! Graph statistics: degree distributions, the two-sample
+//! Kolmogorov–Smirnov statistic (used by the SRPRS construction protocol to
+//! verify that sampled KGs preserve the source degree distribution, §VII-A),
+//! and PageRank (used by SRPRS' degree-grouped random PageRank sampling).
+
+use crate::ids::EntityId;
+use crate::kg::KnowledgeGraph;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one KG, mirroring the columns of the paper's
+/// Table II plus degree information.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KgStats {
+    /// `|T|`.
+    pub triples: usize,
+    /// `|E|`.
+    pub entities: usize,
+    /// `|R|`.
+    pub relations: usize,
+    /// Mean total degree.
+    pub mean_degree: f64,
+    /// Maximum total degree.
+    pub max_degree: usize,
+    /// Fraction of entities with total degree ≤ 2 ("long tail" mass; real-life
+    /// KGs like those in SRPRS have a heavy tail, dense benchmarks do not).
+    pub tail_fraction: f64,
+}
+
+impl KgStats {
+    /// Compute the statistics of `kg`.
+    pub fn of(kg: &KnowledgeGraph) -> Self {
+        let n = kg.num_entities();
+        let degrees: Vec<usize> = kg.entity_ids().map(|e| kg.degree(e)).collect();
+        let total: usize = degrees.iter().sum();
+        let max_degree = degrees.iter().copied().max().unwrap_or(0);
+        let tail = degrees.iter().filter(|&&d| d <= 2).count();
+        Self {
+            triples: kg.num_triples(),
+            entities: n,
+            relations: kg.num_relations(),
+            mean_degree: if n == 0 { 0.0 } else { total as f64 / n as f64 },
+            max_degree,
+            tail_fraction: if n == 0 { 0.0 } else { tail as f64 / n as f64 },
+        }
+    }
+}
+
+/// The degree sequence of a KG, sorted ascending.
+pub fn degree_sequence(kg: &KnowledgeGraph) -> Vec<usize> {
+    let mut d: Vec<usize> = kg.entity_ids().map(|e| kg.degree(e)).collect();
+    d.sort_unstable();
+    d
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic between two empirical
+/// distributions given as (not necessarily sorted) samples.
+///
+/// Returns `sup_x |F₁(x) − F₂(x)| ∈ [0, 1]`. Empty samples yield `1.0`
+/// against non-empty ones and `0.0` against each other.
+pub fn ks_statistic(a: &[usize], b: &[usize]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 1.0;
+    }
+    let mut xa = a.to_vec();
+    let mut xb = b.to_vec();
+    xa.sort_unstable();
+    xb.sort_unstable();
+    let (na, nb) = (xa.len() as f64, xb.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d = 0.0f64;
+    while i < xa.len() && j < xb.len() {
+        let x = xa[i].min(xb[j]);
+        while i < xa.len() && xa[i] <= x {
+            i += 1;
+        }
+        while j < xb.len() && xb[j] <= x {
+            j += 1;
+        }
+        let diff = (i as f64 / na - j as f64 / nb).abs();
+        if diff > d {
+            d = diff;
+        }
+    }
+    d
+}
+
+/// PageRank over the undirected entity graph of `kg`.
+///
+/// `damping` is the usual teleport factor (0.85 in the SRPRS protocol);
+/// iteration stops after `max_iter` rounds or when the L1 change drops
+/// below `tol`. Returns one score per entity, summing to 1.
+pub fn pagerank(kg: &KnowledgeGraph, damping: f64, max_iter: usize, tol: f64) -> Vec<f64> {
+    let n = kg.num_entities();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Undirected neighbour lists (with multiplicity collapsed).
+    let neighbours: Vec<Vec<EntityId>> = kg.entity_ids().map(|e| kg.neighbors(e)).collect();
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..max_iter {
+        next.fill((1.0 - damping) * uniform);
+        let mut dangling = 0.0f64;
+        for (i, nbrs) in neighbours.iter().enumerate() {
+            if nbrs.is_empty() {
+                dangling += rank[i];
+                continue;
+            }
+            let share = damping * rank[i] / nbrs.len() as f64;
+            for &nb in nbrs {
+                next[nb.index()] += share;
+            }
+        }
+        if dangling > 0.0 {
+            let share = damping * dangling * uniform;
+            for v in next.iter_mut() {
+                *v += share;
+            }
+        }
+        let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut rank, &mut next);
+        if delta < tol {
+            break;
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn star(leaves: usize) -> KnowledgeGraph {
+        let mut g = KnowledgeGraph::new();
+        for i in 0..leaves {
+            g.add_fact("hub", "r", &format!("leaf{i}"));
+        }
+        g
+    }
+
+    #[test]
+    fn stats_of_star() {
+        let g = star(4);
+        let s = KgStats::of(&g);
+        assert_eq!(s.entities, 5);
+        assert_eq!(s.triples, 4);
+        assert_eq!(s.relations, 1);
+        assert_eq!(s.max_degree, 4);
+        // 4 leaves with degree 1 out of 5 entities.
+        assert!((s.tail_fraction - 0.8).abs() < 1e-9);
+        assert!((s.mean_degree - 8.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ks_identical_samples_is_zero() {
+        let a = vec![1, 2, 3, 4, 5];
+        assert_eq!(ks_statistic(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn ks_disjoint_samples_is_one() {
+        let a = vec![1, 2, 3];
+        let b = vec![10, 11, 12];
+        assert!((ks_statistic(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ks_is_symmetric_and_bounded() {
+        let a = vec![1, 1, 2, 3, 8];
+        let b = vec![2, 3, 3, 4];
+        let d1 = ks_statistic(&a, &b);
+        let d2 = ks_statistic(&b, &a);
+        assert!((d1 - d2).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&d1));
+    }
+
+    #[test]
+    fn ks_empty_edge_cases() {
+        assert_eq!(ks_statistic(&[], &[]), 0.0);
+        assert_eq!(ks_statistic(&[1], &[]), 1.0);
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_favours_hub() {
+        let g = star(6);
+        let pr = pagerank(&g, 0.85, 100, 1e-10);
+        let total: f64 = pr.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+        let hub = g.entity_id("hub").unwrap().index();
+        for (i, &score) in pr.iter().enumerate() {
+            if i != hub {
+                assert!(pr[hub] > score, "hub should dominate leaves");
+            }
+        }
+    }
+
+    #[test]
+    fn pagerank_uniform_on_cycle() {
+        let mut g = KnowledgeGraph::new();
+        for i in 0..5 {
+            g.add_fact(&format!("n{i}"), "r", &format!("n{}", (i + 1) % 5));
+        }
+        let pr = pagerank(&g, 0.85, 200, 1e-12);
+        for &p in &pr {
+            assert!((p - 0.2).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pagerank_handles_isolated_entities() {
+        let mut g = star(2);
+        g.add_entity("isolated");
+        let pr = pagerank(&g, 0.85, 100, 1e-10);
+        let total: f64 = pr.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+        assert!(pr.iter().all(|&p| p > 0.0));
+    }
+
+    proptest! {
+        /// KS statistic stays in [0,1] and equals 0 on identical samples.
+        #[test]
+        fn ks_properties(a in proptest::collection::vec(0usize..20, 1..40),
+                         b in proptest::collection::vec(0usize..20, 1..40)) {
+            let d = ks_statistic(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&d));
+            prop_assert!(ks_statistic(&a, &a) < 1e-12);
+            prop_assert!((d - ks_statistic(&b, &a)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Relational triples `(head, relation, tail)`.
+
+use crate::ids::{EntityId, RelationId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A directed relational fact: head entity connected to tail entity via a
+/// relation (paper §III: `t = (e_i, r_ij, e_j) ∈ T`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Triple {
+    /// Head (subject) entity.
+    pub head: EntityId,
+    /// Relation (predicate).
+    pub relation: RelationId,
+    /// Tail (object) entity.
+    pub tail: EntityId,
+}
+
+impl Triple {
+    /// Construct a triple.
+    #[inline]
+    pub const fn new(head: EntityId, relation: RelationId, tail: EntityId) -> Self {
+        Self {
+            head,
+            relation,
+            tail,
+        }
+    }
+
+    /// The triple with head and tail swapped (the inverse fact).
+    #[inline]
+    pub const fn inverse(self) -> Self {
+        Self {
+            head: self.tail,
+            relation: self.relation,
+            tail: self.head,
+        }
+    }
+
+    /// Whether the triple is a self-loop (head equals tail).
+    #[inline]
+    pub const fn is_loop(self) -> bool {
+        self.head.0 == self.tail.0
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.head, self.relation, self.tail)
+    }
+}
+
+/// Convenience constructor from raw indices, used heavily in tests and the
+/// synthetic generator.
+pub fn t(h: u32, r: u32, ta: u32) -> Triple {
+    Triple::new(EntityId::new(h), RelationId::new(r), EntityId::new(ta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_swaps_head_and_tail() {
+        let tr = t(1, 2, 3);
+        let inv = tr.inverse();
+        assert_eq!(inv, t(3, 2, 1));
+        assert_eq!(inv.inverse(), tr);
+    }
+
+    #[test]
+    fn loop_detection() {
+        assert!(t(5, 0, 5).is_loop());
+        assert!(!t(5, 0, 6).is_loop());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(t(1, 2, 3).to_string(), "(e1, r2, e3)");
+    }
+}

@@ -1,0 +1,135 @@
+//! Random walks over the undirected entity graph.
+//!
+//! Path-based EA methods (the paper's RSNs reference, DeepWalk-style
+//! skip-gram baselines) consume corpora of entity walks; this module
+//! provides the walk machinery over a [`KnowledgeGraph`] so those methods
+//! need only the sampling loop.
+
+use crate::ids::EntityId;
+use crate::kg::KnowledgeGraph;
+use rand::Rng;
+
+/// Precomputed undirected neighbour lists for fast repeated walking.
+#[derive(Debug, Clone)]
+pub struct WalkIndex {
+    neighbors: Vec<Vec<EntityId>>,
+}
+
+impl WalkIndex {
+    /// Build the index (O(|T|)).
+    pub fn new(kg: &KnowledgeGraph) -> Self {
+        Self {
+            neighbors: kg.entity_ids().map(|e| kg.neighbors(e)).collect(),
+        }
+    }
+
+    /// Neighbours of `e`.
+    pub fn neighbors(&self, e: EntityId) -> &[EntityId] {
+        &self.neighbors[e.index()]
+    }
+
+    /// One random walk of up to `length` entities starting at `start`
+    /// (shorter if a dead end is reached). The start is included.
+    pub fn walk<R: Rng>(&self, start: EntityId, length: usize, rng: &mut R) -> Vec<EntityId> {
+        let mut out = Vec::with_capacity(length);
+        out.push(start);
+        let mut cur = start;
+        for _ in 1..length {
+            let nbrs = self.neighbors(cur);
+            if nbrs.is_empty() {
+                break;
+            }
+            cur = nbrs[rng.gen_range(0..nbrs.len())];
+            out.push(cur);
+        }
+        out
+    }
+
+    /// A full walk corpus: `walks_per_entity` walks of `length` from every
+    /// non-isolated entity.
+    pub fn corpus<R: Rng>(
+        &self,
+        walks_per_entity: usize,
+        length: usize,
+        rng: &mut R,
+    ) -> Vec<Vec<EntityId>> {
+        let mut corpus = Vec::new();
+        for (i, nbrs) in self.neighbors.iter().enumerate() {
+            if nbrs.is_empty() {
+                continue;
+            }
+            for _ in 0..walks_per_entity {
+                corpus.push(self.walk(EntityId::new(i as u32), length, rng));
+            }
+        }
+        corpus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn path_graph(n: usize) -> KnowledgeGraph {
+        let mut kg = KnowledgeGraph::new();
+        for i in 0..n - 1 {
+            kg.add_fact(&format!("n{i}"), "r", &format!("n{}", i + 1));
+        }
+        kg
+    }
+
+    #[test]
+    fn walks_follow_edges() {
+        let kg = path_graph(6);
+        let idx = WalkIndex::new(&kg);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..50 {
+            let w = idx.walk(EntityId::new(2), 8, &mut rng);
+            assert_eq!(w[0], EntityId::new(2));
+            for pair in w.windows(2) {
+                assert!(
+                    idx.neighbors(pair[0]).contains(&pair[1]),
+                    "walk stepped off an edge: {pair:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dead_ends_truncate_walks() {
+        let mut kg = KnowledgeGraph::new();
+        kg.add_entity("isolated");
+        let idx = WalkIndex::new(&kg);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let w = idx.walk(EntityId::new(0), 5, &mut rng);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn corpus_skips_isolated_entities() {
+        let mut kg = path_graph(4);
+        kg.add_entity("isolated");
+        let idx = WalkIndex::new(&kg);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let corpus = idx.corpus(3, 5, &mut rng);
+        assert_eq!(corpus.len(), 4 * 3);
+        assert!(corpus
+            .iter()
+            .all(|w| w[0] != kg.entity_id("isolated").unwrap()));
+    }
+
+    #[test]
+    fn long_walks_cover_the_path() {
+        // From one end of a path, long enough walks reach the middle often.
+        let kg = path_graph(5);
+        let idx = WalkIndex::new(&kg);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mid = EntityId::new(2);
+        let hits = (0..100)
+            .filter(|_| idx.walk(EntityId::new(0), 10, &mut rng).contains(&mid))
+            .count();
+        assert!(hits > 20, "walks should reach the middle: {hits}/100");
+    }
+}

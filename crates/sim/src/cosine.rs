@@ -1,0 +1,116 @@
+//! Pairwise cosine similarity between two embedding matrices.
+
+use crate::matrix::SimilarityMatrix;
+use ceaff_tensor::Matrix;
+
+/// Cosine similarity between every row of `a` and every row of `b`:
+/// `out[i][j] = a_i · b_j / (‖a_i‖ ‖b_j‖)`.
+///
+/// This is the paper's `Sim_s` / `Sim_t` (§IV-A, §IV-B) applied to a whole
+/// test set at once: both operands are L2-row-normalised copies, then a
+/// single `A · Bᵀ` product yields the full matrix. Zero rows yield zero
+/// similarity against everything.
+///
+/// # Panics
+/// Panics if the embedding dimensions differ.
+pub fn cosine_similarity_matrix(a: &Matrix, b: &Matrix) -> SimilarityMatrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "cosine requires equal embedding dimensions ({} vs {})",
+        a.cols(),
+        b.cols()
+    );
+    let mut an = a.clone();
+    an.l2_normalize_rows();
+    let mut bn = b.clone();
+    bn.l2_normalize_rows();
+    SimilarityMatrix::new(an.matmul_transpose(&bn))
+}
+
+/// Cosine similarity between two vectors.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine requires equal lengths");
+    let dot = ceaff_tensor::dot(a, b);
+    let na = ceaff_tensor::dot(a, a).sqrt();
+    let nb = ceaff_tensor::dot(b, b).sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_rows_have_similarity_one() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 3.0]]);
+        let m = cosine_similarity_matrix(&a, &a);
+        assert!((m.get(0, 0) - 1.0).abs() < 1e-6);
+        assert!((m.get(1, 1) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn orthogonal_rows_have_similarity_zero() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let b = Matrix::from_rows(&[&[0.0, 5.0]]);
+        let m = cosine_similarity_matrix(&a, &b);
+        assert!(m.get(0, 0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn opposite_rows_have_similarity_minus_one() {
+        let a = Matrix::from_rows(&[&[2.0, -1.0]]);
+        let b = Matrix::from_rows(&[&[-4.0, 2.0]]);
+        let m = cosine_similarity_matrix(&a, &b);
+        assert!((m.get(0, 0) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_rows_give_zero_similarity() {
+        let a = Matrix::from_rows(&[&[0.0, 0.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let m = cosine_similarity_matrix(&a, &b);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn matrix_matches_pairwise_scalar() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-1.0, 0.5, 2.0]]);
+        let b = Matrix::from_rows(&[&[4.0, 0.0, 1.0], &[2.0, 2.0, 2.0], &[0.1, -0.3, 0.8]]);
+        let m = cosine_similarity_matrix(&a, &b);
+        for i in 0..2 {
+            for j in 0..3 {
+                let expect = cosine(a.row(i), b.row(j));
+                assert!((m.get(i, j) - expect).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_invariance() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 1.0]]);
+        let mut a2 = a.clone();
+        a2.scale_assign(17.0);
+        let m1 = cosine_similarity_matrix(&a, &b);
+        let m2 = cosine_similarity_matrix(&a2, &b);
+        assert!((m1.get(0, 0) - m2.get(0, 0)).abs() < 1e-6);
+    }
+
+    proptest! {
+        /// Cosine stays within [-1, 1] and is symmetric.
+        #[test]
+        fn cosine_bounds(a in proptest::collection::vec(-5.0f32..5.0, 4),
+                         b in proptest::collection::vec(-5.0f32..5.0, 4)) {
+            let c = cosine(&a, &b);
+            prop_assert!((-1.0 - 1e-4..=1.0 + 1e-4).contains(&c));
+            prop_assert!((c - cosine(&b, &a)).abs() < 1e-6);
+        }
+    }
+}

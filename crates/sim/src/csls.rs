@@ -1,0 +1,122 @@
+//! Cross-domain Similarity Local Scaling (CSLS; Conneau et al., ICLR 2018).
+//!
+//! An optional extension beyond the paper: cosine retrieval in embedding
+//! spaces suffers from *hubness* — a few target "hubs" are everyone's
+//! nearest neighbour, exactly the many-sources-one-target pathology the
+//! paper's collective matching combats at decision level. CSLS corrects it
+//! at similarity level by penalising cells whose row/column neighbourhoods
+//! are dense:
+//!
+//! `csls(i, j) = 2·m(i, j) − r_src(i) − r_tgt(j)`
+//!
+//! where `r_src(i)` is the mean of row `i`'s top-`k` scores and `r_tgt(j)`
+//! the mean of column `j`'s top-`k` scores. It composes with everything
+//! downstream (fusion, matching) since it is just another similarity
+//! matrix — see the ablation bench for its interaction with collective
+//! matching.
+
+use crate::matrix::SimilarityMatrix;
+
+/// Mean of the `k` largest values of a slice (`k` clamped to the length).
+fn mean_top_k(values: &[f32], k: usize) -> f32 {
+    let k = k.min(values.len()).max(1);
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.select_nth_unstable_by(k - 1, |a, b| b.partial_cmp(a).expect("scores are not NaN"));
+    v[..k].iter().sum::<f32>() / k as f32
+}
+
+/// Apply CSLS rescaling with neighbourhood size `k` (10 is the standard
+/// choice; the original paper uses 10 for word translation).
+pub fn csls_adjusted(m: &SimilarityMatrix, k: usize) -> SimilarityMatrix {
+    let (n, t) = (m.sources(), m.targets());
+    if n == 0 || t == 0 {
+        return m.clone();
+    }
+    let r_src: Vec<f32> = (0..n).map(|i| mean_top_k(m.row(i), k)).collect();
+    let mut cols: Vec<Vec<f32>> = vec![Vec::with_capacity(n); t];
+    for i in 0..n {
+        for (j, &v) in m.row(i).iter().enumerate() {
+            cols[j].push(v);
+        }
+    }
+    let r_tgt: Vec<f32> = cols.iter().map(|c| mean_top_k(c, k)).collect();
+    let mut out = SimilarityMatrix::zeros(n, t);
+    for (i, &rs) in r_src.iter().enumerate() {
+        for (j, &rt) in r_tgt.iter().enumerate() {
+            out.set(i, j, 2.0 * m.get(i, j) - rs - rt);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceaff_tensor::Matrix;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_top_k_basics() {
+        assert_eq!(mean_top_k(&[1.0, 5.0, 3.0], 1), 5.0);
+        assert_eq!(mean_top_k(&[1.0, 5.0, 3.0], 2), 4.0);
+        assert_eq!(mean_top_k(&[1.0], 10), 1.0);
+    }
+
+    #[test]
+    fn penalizes_hub_columns() {
+        // Column 0 is a hub: the raw nearest neighbour of every source.
+        // Each source also has a competitive exclusive target (columns 1
+        // and 2) that nobody else scores. CSLS demotes the hub because its
+        // column neighbourhood is dense while the exclusive columns' are
+        // not.
+        let m = SimilarityMatrix::new(Matrix::from_rows(&[
+            &[0.90, 0.80, 0.00],
+            &[0.92, 0.00, 0.89],
+        ]));
+        // Raw greedy sends both sources to the hub.
+        assert_eq!(m.row_argmax(0), Some(0));
+        assert_eq!(m.row_argmax(1), Some(0));
+        let c = csls_adjusted(&m, 2);
+        assert_eq!(
+            c.row_argmax(0),
+            Some(1),
+            "source 0 must switch to its exclusive target: {:?}",
+            c.row(0)
+        );
+        assert_eq!(
+            c.row_argmax(1),
+            Some(2),
+            "source 1 must switch to its exclusive target: {:?}",
+            c.row(1)
+        );
+    }
+
+    #[test]
+    fn empty_matrix_passes_through() {
+        let m = SimilarityMatrix::zeros(0, 0);
+        let c = csls_adjusted(&m, 5);
+        assert_eq!(c.sources(), 0);
+    }
+
+    proptest! {
+        /// CSLS preserves the *relative order within a row* of cells in
+        /// identical column neighbourhoods: specifically, a constant shift
+        /// of all scores leaves CSLS argmaxes unchanged.
+        #[test]
+        fn shift_invariance(vals in proptest::collection::vec(0.0f32..1.0, 12), shift in -1.0f32..1.0) {
+            let m = SimilarityMatrix::new(Matrix::from_vec(3, 4, vals.clone()));
+            let shifted = SimilarityMatrix::new(Matrix::from_vec(
+                3, 4, vals.iter().map(|v| v + shift).collect()));
+            let c1 = csls_adjusted(&m, 2);
+            let c2 = csls_adjusted(&shifted, 2);
+            for i in 0..3 {
+                for j in 0..4 {
+                    prop_assert!((c1.get(i, j) - c2.get(i, j)).abs() < 1e-4);
+                }
+            }
+        }
+    }
+}

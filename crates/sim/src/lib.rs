@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! # ceaff-sim
+//!
+//! Similarity machinery for entity alignment: the dense
+//! [`SimilarityMatrix`] container shared by every feature, pairwise
+//! [`cosine`] similarity over embedding matrices, and the paper's
+//! string-level feature — Levenshtein distance with unit and
+//! substitution-cost-2 variants plus the Levenshtein ratio (§IV-C).
+
+pub mod blocking;
+pub mod cosine;
+pub mod csls;
+pub mod levenshtein;
+pub mod matrix;
+
+pub use blocking::{blocked_string_similarity_matrix, BlockingConfig, BlockingStats};
+pub use cosine::{cosine, cosine_similarity_matrix};
+pub use csls::csls_adjusted;
+pub use levenshtein::{
+    levenshtein, levenshtein_ratio, levenshtein_sub2, string_similarity_matrix,
+};
+pub use matrix::SimilarityMatrix;

@@ -1,0 +1,300 @@
+//! The similarity-matrix container shared by all features.
+
+use ceaff_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A `sources × targets` matrix of similarity scores, higher = more similar.
+///
+/// Rows are source (test) entities, columns target (test) entities, matching
+/// the paper's `M^k` notation where `M^k_ij` is the similarity between
+/// source entity `u_i` and target entity `v_j` under feature `k`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimilarityMatrix {
+    inner: Matrix,
+}
+
+impl SimilarityMatrix {
+    /// Wrap a dense matrix of scores.
+    pub fn new(inner: Matrix) -> Self {
+        Self { inner }
+    }
+
+    /// A zero matrix.
+    pub fn zeros(sources: usize, targets: usize) -> Self {
+        Self {
+            inner: Matrix::zeros(sources, targets),
+        }
+    }
+
+    /// Number of source entities (rows).
+    pub fn sources(&self) -> usize {
+        self.inner.rows()
+    }
+
+    /// Number of target entities (columns).
+    pub fn targets(&self) -> usize {
+        self.inner.cols()
+    }
+
+    /// Score between source `i` and target `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.inner[(i, j)]
+    }
+
+    /// Set the score between source `i` and target `j`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        self.inner[(i, j)] = v;
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f32] {
+        self.inner.row(i)
+    }
+
+    /// The underlying dense matrix.
+    pub fn as_matrix(&self) -> &Matrix {
+        &self.inner
+    }
+
+    /// Consume into the underlying dense matrix.
+    pub fn into_matrix(self) -> Matrix {
+        self.inner
+    }
+
+    /// Index of the maximal entry in row `i` (ties broken towards the lower
+    /// index). `None` for an empty row.
+    pub fn row_argmax(&self, i: usize) -> Option<usize> {
+        argmax(self.inner.row(i))
+    }
+
+    /// Index of the maximal entry in column `j`.
+    pub fn col_argmax(&self, j: usize) -> Option<usize> {
+        if self.sources() == 0 {
+            return None;
+        }
+        let mut best = 0usize;
+        let mut best_v = self.get(0, j);
+        for i in 1..self.sources() {
+            let v = self.get(i, j);
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// All row argmaxes at once.
+    pub fn row_argmaxes(&self) -> Vec<usize> {
+        (0..self.sources())
+            .map(|i| self.row_argmax(i).expect("non-empty rows"))
+            .collect()
+    }
+
+    /// All column argmaxes at once (single pass over the matrix).
+    pub fn col_argmaxes(&self) -> Vec<usize> {
+        assert!(self.sources() > 0, "col_argmaxes needs at least one row");
+        let t = self.targets();
+        let mut best = vec![0usize; t];
+        let mut best_v: Vec<f32> = self.inner.row(0).to_vec();
+        for i in 1..self.sources() {
+            for (j, &v) in self.inner.row(i).iter().enumerate() {
+                if v > best_v[j] {
+                    best_v[j] = v;
+                    best[j] = i;
+                }
+            }
+        }
+        best
+    }
+
+    /// Global minimum and maximum score.
+    pub fn min_max(&self) -> (f32, f32) {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &v in self.inner.as_slice() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
+    }
+
+    /// Min–max rescale all scores into `[0, 1]` (constant matrices map to 0).
+    ///
+    /// Feature matrices live on different scales (cosine in `[-1, 1]`,
+    /// Levenshtein ratio in `[0, 1]`); rescaling makes the fused weighted sum
+    /// meaningful and the confident-correspondence threshold θ1 comparable
+    /// across features.
+    pub fn min_max_normalized(&self) -> Self {
+        let (lo, hi) = self.min_max();
+        let range = hi - lo;
+        if range <= 0.0 {
+            return Self::zeros(self.sources(), self.targets());
+        }
+        Self {
+            inner: self.inner.map(|v| (v - lo) / range),
+        }
+    }
+
+    /// `self * w` as a new matrix.
+    pub fn scaled(&self, w: f32) -> Self {
+        let mut inner = self.inner.clone();
+        inner.scale_assign(w);
+        Self { inner }
+    }
+
+    /// In-place `self += w * other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&mut self, other: &SimilarityMatrix, w: f32) {
+        self.inner.add_scaled_assign(&other.inner, w);
+    }
+
+    /// Indices of the `k` largest entries of row `i`, in descending score
+    /// order. `k` is clamped to the row length.
+    pub fn top_k_row(&self, i: usize, k: usize) -> Vec<usize> {
+        let row = self.inner.row(i);
+        let k = k.min(row.len());
+        let mut idx: Vec<usize> = (0..row.len()).collect();
+        if k < row.len() {
+            idx.select_nth_unstable_by(k - 1, |&a, &b| {
+                row[b].partial_cmp(&row[a]).expect("similarity scores must not be NaN")
+            });
+            idx.truncate(k);
+        }
+        idx.sort_by(|&a, &b| {
+            row[b]
+                .partial_cmp(&row[a])
+                .expect("similarity scores must not be NaN")
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+
+    /// Rank (1-based) of target `j` within row `i` when sorted descending.
+    /// Used by Hits@k / MRR evaluation. Ties are counted pessimistically
+    /// (tied competitors rank ahead), so a degenerate constant row ranks
+    /// its ground truth last rather than first — an uninformative feature
+    /// scores 0, not 1.
+    pub fn rank_of(&self, i: usize, j: usize) -> usize {
+        let row = self.inner.row(i);
+        let v = row[j];
+        let greater = row.iter().filter(|&&x| x > v).count();
+        let ties = row
+            .iter()
+            .enumerate()
+            .filter(|&(k, &x)| k != j && x == v)
+            .count();
+        1 + greater + ties
+    }
+}
+
+fn argmax(xs: &[f32]) -> Option<usize> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate().skip(1) {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn example() -> SimilarityMatrix {
+        // The fused matrix of the paper's Figure 1(b).
+        SimilarityMatrix::new(Matrix::from_rows(&[
+            &[0.9, 0.6, 0.1],
+            &[0.7, 0.5, 0.2],
+            &[0.2, 0.4, 0.2],
+        ]))
+    }
+
+    #[test]
+    fn argmaxes_match_figure1() {
+        let m = example();
+        // Independent (greedy) decisions per the paper: u1->v1, u2->v1, u3->v2.
+        assert_eq!(m.row_argmaxes(), vec![0, 0, 1]);
+        assert_eq!(m.col_argmaxes(), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn min_max_normalization() {
+        let m = example().min_max_normalized();
+        let (lo, hi) = m.min_max();
+        assert_eq!(lo, 0.0);
+        assert_eq!(hi, 1.0);
+        assert!((m.get(0, 0) - 1.0).abs() < 1e-6);
+        assert!((m.get(0, 2) - 0.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_matrix_normalizes_to_zero() {
+        let m = SimilarityMatrix::new(Matrix::filled(2, 2, 0.7)).min_max_normalized();
+        assert_eq!(m.min_max(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn top_k_row_orders_descending() {
+        let m = example();
+        assert_eq!(m.top_k_row(0, 2), vec![0, 1]);
+        assert_eq!(m.top_k_row(2, 3), vec![1, 0, 2]);
+        assert_eq!(m.top_k_row(0, 99), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rank_of_ground_truth() {
+        let m = example();
+        assert_eq!(m.rank_of(0, 0), 1);
+        // 0.4 is greater, and the tie at column 0 also counts ahead.
+        assert_eq!(m.rank_of(2, 2), 3);
+        assert_eq!(m.rank_of(1, 2), 3);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut m = SimilarityMatrix::zeros(2, 2);
+        let other = SimilarityMatrix::new(Matrix::filled(2, 2, 1.0));
+        m.add_scaled(&other, 0.25);
+        m.add_scaled(&other, 0.25);
+        assert_eq!(m.get(1, 1), 0.5);
+    }
+
+    proptest! {
+        /// Row argmax really is a maximal element and top-k starts with it.
+        #[test]
+        fn argmax_and_topk_consistent(vals in proptest::collection::vec(-1.0f32..1.0, 9)) {
+            let m = SimilarityMatrix::new(Matrix::from_vec(3, 3, vals));
+            for i in 0..3 {
+                let a = m.row_argmax(i).unwrap();
+                for j in 0..3 {
+                    prop_assert!(m.get(i, a) >= m.get(i, j));
+                }
+                prop_assert_eq!(m.top_k_row(i, 1)[0], a);
+            }
+        }
+
+        /// rank_of is within [1, targets] and rank 1 iff no strictly larger.
+        #[test]
+        fn rank_bounds(vals in proptest::collection::vec(-1.0f32..1.0, 12)) {
+            let m = SimilarityMatrix::new(Matrix::from_vec(3, 4, vals));
+            for i in 0..3 {
+                for j in 0..4 {
+                    let r = m.rank_of(i, j);
+                    prop_assert!((1..=4).contains(&r));
+                }
+                let a = m.row_argmax(i).unwrap();
+                prop_assert_eq!(m.rank_of(i, a), 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Weight initialisation schemes.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Draw one standard-normal sample via the Box–Muller transform.
+///
+/// Implemented locally to keep the dependency set to the pre-approved
+/// crates (`rand` 0.8 ships the uniform primitives but not `Normal`).
+fn standard_normal<R: Rng>(rng: &mut R) -> f32 {
+    // Avoid ln(0) by sampling u1 from the open interval (0, 1].
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+/// Sample a `rows × cols` matrix from a truncated normal distribution
+/// (values beyond two standard deviations are resampled) — the paper's
+/// initialisation for the GCN input feature matrix `X` (§IV-A), which is
+/// then L2-normalised on rows by the caller.
+pub fn truncated_normal<R: Rng>(rows: usize, cols: usize, std: f32, rng: &mut R) -> Matrix {
+    assert!(std > 0.0, "standard deviation must be positive");
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = loop {
+            let x = standard_normal(rng);
+            if x.abs() <= 2.0 {
+                break x * std;
+            }
+        };
+    }
+    m
+}
+
+/// Xavier/Glorot uniform initialisation: `U(-l, l)` with
+/// `l = sqrt(6 / (fan_in + fan_out))`. Used for GCN layer weights.
+pub fn xavier_uniform<R: Rng>(fan_in: usize, fan_out: usize, rng: &mut R) -> Matrix {
+    let limit = (6.0f32 / (fan_in + fan_out) as f32).sqrt();
+    uniform(fan_in, fan_out, limit, rng)
+}
+
+/// Uniform initialisation `U(-bound, bound)`; the classic TransE scheme uses
+/// `bound = 6/sqrt(d)`.
+pub fn uniform<R: Rng>(rows: usize, cols: usize, bound: f32, rng: &mut R) -> Matrix {
+    assert!(bound > 0.0, "bound must be positive");
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = rng.gen_range(-bound..=bound);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn truncated_normal_respects_bound() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let m = truncated_normal(50, 20, 1.0, &mut rng);
+        for &v in m.as_slice() {
+            assert!(v.abs() <= 2.0, "value {v} beyond 2 sigma");
+        }
+        // Not all zero and roughly centred.
+        let mean = m.sum() / 1000.0;
+        assert!(mean.abs() < 0.2);
+        assert!(m.frobenius_norm() > 1.0);
+    }
+
+    #[test]
+    fn truncated_normal_scales_with_std() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let m = truncated_normal(50, 20, 0.1, &mut rng);
+        for &v in m.as_slice() {
+            assert!(v.abs() <= 0.2 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn xavier_uniform_respects_limit() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let m = xavier_uniform(30, 30, &mut rng);
+        let limit = (6.0f32 / 60.0).sqrt();
+        for &v in m.as_slice() {
+            assert!(v.abs() <= limit + 1e-6);
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bound() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let m = uniform(10, 10, 0.5, &mut rng);
+        for &v in m.as_slice() {
+            assert!(v.abs() <= 0.5 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seeded_rng() {
+        let mut r1 = ChaCha8Rng::seed_from_u64(9);
+        let mut r2 = ChaCha8Rng::seed_from_u64(9);
+        let a = truncated_normal(4, 4, 1.0, &mut r1);
+        let b = truncated_normal(4, 4, 1.0, &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normal_samples_have_unit_variance_roughly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let n = 20_000;
+        let mut sum = 0.0f64;
+        let mut sumsq = 0.0f64;
+        for _ in 0..n {
+            let x = standard_normal(&mut rng) as f64;
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+}

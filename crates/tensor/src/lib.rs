@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # ceaff-tensor
+//!
+//! The numeric substrate behind CEAFF's neural feature encoders: dense
+//! row-major [`Matrix`] kernels, a define-by-run reverse-mode autograd
+//! [`Graph`], weight [`init`]ialisers, and first-order [`optim`]izers.
+//!
+//! The paper's structural feature is a 2-layer GCN trained with a
+//! margin-based ranking loss (§IV-A); its baselines add translational
+//! (TransE-family) models and logistic losses. The op set here is exactly
+//! what those models require — sparse·dense propagation, dense matmul,
+//! ReLU/sigmoid/tanh/softplus, row gathers, row-wise L1/L2 distances,
+//! row softmax and reductions — each with a finite-difference-verified
+//! gradient.
+
+pub mod graph;
+pub mod init;
+pub mod matrix;
+pub mod optim;
+
+pub use graph::{Graph, Var};
+pub use matrix::{dot, Matrix};
+pub use optim::{Adam, AdaGrad, Optimizer, ParamId, ParamSet, Sgd};

@@ -1,0 +1,482 @@
+//! Dense row-major `f32` matrices with the kernels the EA encoders need.
+//!
+//! Kernel notes (per the Rust Performance Book): the inner loops are written
+//! in `ikj` order so the innermost traversal is contiguous in both operand
+//! and output, and large matmuls parallelise over output rows with rayon.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Minimum number of rows before a kernel bothers spawning rayon tasks.
+const PAR_ROW_THRESHOLD: usize = 64;
+
+/// A dense `rows × cols` matrix of `f32`, row-major.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 36 {
+            for r in 0..self.rows {
+                write!(f, "\n  {:?}", self.row(r))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// A matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// A matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Build from a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Build from nested rows (test convenience).
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self::from_vec(r, c, data)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let n = other.cols;
+        let k_dim = self.cols;
+        let apply = |(r, out_row): (usize, &mut [f32])| {
+            let a_row = &self.data[r * k_dim..(r + 1) * k_dim];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * n..(k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        };
+        if self.rows >= PAR_ROW_THRESHOLD {
+            out.data
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(r, row)| apply((r, row)));
+        } else {
+            out.data
+                .chunks_mut(n)
+                .enumerate()
+                .for_each(|(r, row)| apply((r, row)));
+        }
+        out
+    }
+
+    /// `self · otherᵀ` without materialising the transpose. The workhorse of
+    /// pairwise similarity matrices (every output cell is a row·row dot).
+    pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose needs matching column counts: {}x{} · ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        let n = other.rows;
+        let apply = |(r, out_row): (usize, &mut [f32])| {
+            let a_row = self.row(r);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &other.data[j * other.cols..(j + 1) * other.cols];
+                *o = dot(a_row, b_row);
+            }
+        };
+        if self.rows >= PAR_ROW_THRESHOLD {
+            out.data
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(r, row)| apply((r, row)));
+        } else {
+            out.data
+                .chunks_mut(n)
+                .enumerate()
+                .for_each(|(r, row)| apply((r, row)));
+        }
+        out
+    }
+
+    /// `selfᵀ · other`, used by matmul backward passes.
+    pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "transpose_matmul needs matching row counts"
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Elementwise in-place addition.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += scale * other`.
+    pub fn add_scaled_assign(&mut self, other: &Matrix, scale: f32) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Elementwise in-place subtraction.
+    pub fn sub_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "sub_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a -= b;
+        }
+    }
+
+    /// Multiply every element by `s` in place.
+    pub fn scale_assign(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Set all elements to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Apply `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Normalise every row to unit L2 norm in place; zero rows are left zero.
+    /// (Paper §IV-A: the GCN input matrix is L2-normalised on rows.)
+    pub fn l2_normalize_rows(&mut self) {
+        for r in 0..self.rows {
+            let row = self.row_mut(r);
+            let norm = dot(row, row).sqrt();
+            if norm > 0.0 {
+                for v in row {
+                    *v /= norm;
+                }
+            }
+        }
+    }
+
+    /// L2 norm of row `r`.
+    pub fn row_norm(&self, r: usize) -> f32 {
+        let row = self.row(r);
+        dot(row, row).sqrt()
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        dot(&self.data, &self.data).sqrt()
+    }
+
+    /// Gather `indices` rows into a new matrix (embedding lookup).
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (i, &idx) in indices.iter().enumerate() {
+            assert!(idx < self.rows, "gather index {idx} out of {} rows", self.rows);
+            out.row_mut(i).copy_from_slice(self.row(idx));
+        }
+        out
+    }
+
+    /// Maximum absolute difference to another matrix (test helper).
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!(self.shape(), other.shape());
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    // Chunked accumulation: lets the compiler vectorise and improves
+    // numerical behaviour over naive left-to-right summation.
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc[0] += a[j] * b[j];
+        acc[1] += a[j + 1] * b[j + 1];
+        acc[2] += a[j + 2] * b[j + 2];
+        acc[3] += a[j + 3] * b[j + 3];
+    }
+    let mut total = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        total += a[i] * b[i];
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let mut m = Matrix::zeros(2, 3);
+        m[(1, 2)] = 5.0;
+        assert_eq!(m[(1, 2)], 5.0);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_checks_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_transpose_matches_explicit() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.0, 1.0], &[0.0, 2.0, 0.0], &[1.0, 1.0, 1.0]]);
+        let c1 = a.matmul_transpose(&b);
+        let c2 = a.matmul(&b.transpose());
+        assert!(c1.max_abs_diff(&c2) < 1e-6);
+    }
+
+    #[test]
+    fn transpose_matmul_matches_explicit() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let c1 = a.transpose_matmul(&b);
+        let c2 = a.transpose().matmul(&b);
+        assert!(c1.max_abs_diff(&c2) < 1e-6);
+    }
+
+    #[test]
+    fn l2_normalize_rows_gives_unit_rows() {
+        let mut m = Matrix::from_rows(&[&[3.0, 4.0], &[0.0, 0.0], &[1.0, 0.0]]);
+        m.l2_normalize_rows();
+        assert!((m.row_norm(0) - 1.0).abs() < 1e-6);
+        assert_eq!(m.row(1), &[0.0, 0.0]); // zero row untouched
+        assert!((m.row_norm(2) - 1.0).abs() < 1e-6);
+        assert!((m[(0, 0)] - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gather_rows_selects() {
+        let m = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let g = m.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.as_slice(), &[3.0, 3.0, 1.0, 1.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gather index")]
+    fn gather_rows_bounds() {
+        let m = Matrix::zeros(2, 2);
+        let _ = m.gather_rows(&[5]);
+    }
+
+    #[test]
+    fn inplace_arithmetic() {
+        let mut a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 2.0);
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[3.0; 4]);
+        a.sub_assign(&b);
+        assert_eq!(a.as_slice(), &[1.0; 4]);
+        a.scale_assign(4.0);
+        assert_eq!(a.as_slice(), &[4.0; 4]);
+        a.add_scaled_assign(&b, 0.5);
+        assert_eq!(a.as_slice(), &[5.0; 4]);
+    }
+
+    #[test]
+    fn dot_handles_non_multiple_of_four() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [1.0, 1.0, 1.0, 1.0, 1.0];
+        assert_eq!(dot(&a, &b), 15.0);
+    }
+
+    proptest! {
+        /// (A·B)·C == A·(B·C) within float tolerance.
+        #[test]
+        fn matmul_is_associative(
+            vals_a in proptest::collection::vec(-2.0f32..2.0, 6),
+            vals_b in proptest::collection::vec(-2.0f32..2.0, 6),
+            vals_c in proptest::collection::vec(-2.0f32..2.0, 4),
+        ) {
+            let a = Matrix::from_vec(2, 3, vals_a);
+            let b = Matrix::from_vec(3, 2, vals_b);
+            let c = Matrix::from_vec(2, 2, vals_c);
+            let left = a.matmul(&b).matmul(&c);
+            let right = a.matmul(&b.matmul(&c));
+            prop_assert!(left.max_abs_diff(&right) < 1e-3);
+        }
+
+        /// Transposing twice is the identity.
+        #[test]
+        fn transpose_involution(rows in 1usize..6, cols in 1usize..6,
+                                seed in proptest::collection::vec(-10.0f32..10.0, 36)) {
+            let data: Vec<f32> = seed.into_iter().take(rows * cols).collect();
+            prop_assume!(data.len() == rows * cols);
+            let m = Matrix::from_vec(rows, cols, data);
+            prop_assert_eq!(m.transpose().transpose(), m);
+        }
+    }
+}

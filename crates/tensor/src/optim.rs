@@ -1,0 +1,264 @@
+//! Parameter storage and first-order optimizers.
+//!
+//! Training loops keep their parameters in a [`ParamSet`], copy them onto a
+//! fresh [`crate::Graph`] every step, and hand the resulting gradients to an
+//! [`Optimizer`]. The paper trains its GCN with plain SGD (§IV-A); Adam and
+//! AdaGrad are provided for the baselines and extensions.
+
+use crate::matrix::Matrix;
+use std::collections::HashMap;
+
+/// Handle to a parameter in a [`ParamSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(usize);
+
+/// A bag of named model parameters.
+#[derive(Debug, Default)]
+pub struct ParamSet {
+    mats: Vec<Matrix>,
+}
+
+impl ParamSet {
+    /// Create an empty parameter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter, returning its handle.
+    pub fn add(&mut self, value: Matrix) -> ParamId {
+        self.mats.push(value);
+        ParamId(self.mats.len() - 1)
+    }
+
+    /// Current value of a parameter.
+    pub fn get(&self, id: ParamId) -> &Matrix {
+        &self.mats[id.0]
+    }
+
+    /// Mutable access (e.g. for L2-renormalisation between epochs, the
+    /// classic TransE projection step).
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.mats[id.0]
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.mats.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.mats.is_empty()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.mats.iter().map(|m| m.rows() * m.cols()).sum()
+    }
+}
+
+/// A first-order optimizer consuming `(parameter, gradient)` updates.
+pub trait Optimizer {
+    /// Apply one update step.
+    fn step(&mut self, params: &mut ParamSet, grads: &[(ParamId, &Matrix)]);
+}
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables).
+    pub momentum: f32,
+    velocity: HashMap<ParamId, Matrix>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Self::with_momentum(lr, 0.0)
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        Self {
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut ParamSet, grads: &[(ParamId, &Matrix)]) {
+        for &(id, grad) in grads {
+            if self.momentum > 0.0 {
+                let vel = self
+                    .velocity
+                    .entry(id)
+                    .or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
+                vel.scale_assign(self.momentum);
+                vel.add_scaled_assign(grad, 1.0);
+                params.get_mut(id).add_scaled_assign(vel, -self.lr);
+            } else {
+                params.get_mut(id).add_scaled_assign(grad, -self.lr);
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba, 2015).
+#[derive(Debug)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: i32,
+    m: HashMap<ParamId, Matrix>,
+    v: HashMap<ParamId, Matrix>,
+}
+
+impl Adam {
+    /// Adam with the standard (0.9, 0.999, 1e-8) moments.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut ParamSet, grads: &[(ParamId, &Matrix)]) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for &(id, grad) in grads {
+            let m = self
+                .m
+                .entry(id)
+                .or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
+            let v = self
+                .v
+                .entry(id)
+                .or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
+            let p = params.get_mut(id);
+            for i in 0..grad.as_slice().len() {
+                let g = grad.as_slice()[i];
+                let mi = self.beta1 * m.as_slice()[i] + (1.0 - self.beta1) * g;
+                let vi = self.beta2 * v.as_slice()[i] + (1.0 - self.beta2) * g * g;
+                m.as_mut_slice()[i] = mi;
+                v.as_mut_slice()[i] = vi;
+                let mhat = mi / bc1;
+                let vhat = vi / bc2;
+                p.as_mut_slice()[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// AdaGrad (Duchi et al., 2011) — the optimizer of the original GCN-Align
+/// release.
+#[derive(Debug)]
+pub struct AdaGrad {
+    /// Learning rate.
+    pub lr: f32,
+    eps: f32,
+    accum: HashMap<ParamId, Matrix>,
+}
+
+impl AdaGrad {
+    /// AdaGrad with epsilon 1e-8.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            eps: 1e-8,
+            accum: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for AdaGrad {
+    fn step(&mut self, params: &mut ParamSet, grads: &[(ParamId, &Matrix)]) {
+        for &(id, grad) in grads {
+            let acc = self
+                .accum
+                .entry(id)
+                .or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
+            let p = params.get_mut(id);
+            for i in 0..grad.as_slice().len() {
+                let g = grad.as_slice()[i];
+                acc.as_mut_slice()[i] += g * g;
+                p.as_mut_slice()[i] -= self.lr * g / (acc.as_slice()[i].sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimise f(x) = (x - 3)² with each optimizer; all must converge.
+    fn converges(opt: &mut dyn Optimizer, steps: usize, tol: f32) {
+        let mut params = ParamSet::new();
+        let x = params.add(Matrix::from_vec(1, 1, vec![0.0]));
+        for _ in 0..steps {
+            let xv = params.get(x)[(0, 0)];
+            let grad = Matrix::from_vec(1, 1, vec![2.0 * (xv - 3.0)]);
+            opt.step(&mut params, &[(x, &grad)]);
+        }
+        let xv = params.get(x)[(0, 0)];
+        assert!((xv - 3.0).abs() < tol, "did not converge: x = {xv}");
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        converges(&mut Sgd::new(0.1), 100, 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges_on_quadratic() {
+        converges(&mut Sgd::with_momentum(0.05, 0.9), 200, 1e-2);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        converges(&mut Adam::new(0.1), 500, 1e-2);
+    }
+
+    #[test]
+    fn adagrad_converges_on_quadratic() {
+        converges(&mut AdaGrad::new(0.7), 500, 1e-2);
+    }
+
+    #[test]
+    fn param_set_accounting() {
+        let mut p = ParamSet::new();
+        assert!(p.is_empty());
+        let a = p.add(Matrix::zeros(2, 3));
+        let b = p.add(Matrix::zeros(1, 4));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.num_scalars(), 10);
+        p.get_mut(a)[(0, 0)] = 7.0;
+        assert_eq!(p.get(a)[(0, 0)], 7.0);
+        assert_eq!(p.get(b)[(0, 0)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn sgd_rejects_nonpositive_lr() {
+        let _ = Sgd::new(0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Edge-case and contract tests for the autograd substrate, beyond the
+//! in-module gradient checks.
+
+use ceaff_tensor::{Graph, Matrix};
+use std::rc::Rc;
+
+#[test]
+#[should_panic(expected = "matmul dimension mismatch")]
+fn matmul_shape_mismatch_panics() {
+    let mut g = Graph::new();
+    let a = g.leaf(Matrix::zeros(2, 3));
+    let b = g.leaf(Matrix::zeros(2, 3));
+    let _ = g.matmul(a, b);
+}
+
+#[test]
+#[should_panic(expected = "spmm dimension mismatch")]
+fn spmm_shape_mismatch_panics() {
+    let mut g = Graph::new();
+    let csr = Rc::new(ceaff_graph::CsrMatrix::identity(3));
+    let b = g.leaf(Matrix::zeros(4, 2));
+    let _ = g.spmm(csr, b);
+}
+
+#[test]
+fn softplus_is_stable_at_extremes() {
+    let mut g = Graph::new();
+    let x = g.leaf(Matrix::from_vec(1, 3, vec![-100.0, 0.0, 100.0]));
+    let y = g.softplus(x);
+    let v = g.value(y);
+    assert!(v[(0, 0)] >= 0.0 && v[(0, 0)] < 1e-20);
+    assert!((v[(0, 1)] - std::f32::consts::LN_2).abs() < 1e-5);
+    assert!((v[(0, 2)] - 100.0).abs() < 1e-3);
+    let loss = g.sum(y);
+    g.backward(loss);
+    for &gi in g.grad(x).unwrap().as_slice() {
+        assert!(gi.is_finite());
+    }
+}
+
+#[test]
+fn sigmoid_is_stable_at_extremes() {
+    let mut g = Graph::new();
+    let x = g.leaf(Matrix::from_vec(1, 2, vec![-80.0, 80.0]));
+    let y = g.sigmoid(x);
+    let v = g.value(y);
+    assert!(v[(0, 0)] >= 0.0 && v[(0, 0)] < 1e-6);
+    assert!(v[(0, 1)] > 1.0 - 1e-6 && v[(0, 1)] <= 1.0);
+}
+
+#[test]
+fn backward_through_diamond_graph_accumulates_once_per_path() {
+    // y = x + x; z = y ⊙ y; loss = sum(z). dz/dx = 2·y·2 = 8x per element.
+    let mut g = Graph::new();
+    let x = g.leaf(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+    let y = g.add(x, x);
+    let z = g.mul(y, y);
+    let loss = g.sum(z);
+    g.backward(loss);
+    let gx = g.grad(x).unwrap();
+    assert_eq!(gx.as_slice(), &[8.0, 16.0]);
+}
+
+#[test]
+fn second_backward_resets_gradients() {
+    let mut g = Graph::new();
+    let x = g.leaf(Matrix::filled(1, 2, 3.0));
+    let loss = g.sum(x);
+    g.backward(loss);
+    g.backward(loss);
+    // Gradients must not double-accumulate across backward calls.
+    assert_eq!(g.grad(x).unwrap().as_slice(), &[1.0, 1.0]);
+}
+
+#[test]
+fn gather_of_repeated_indices_scatters_sum() {
+    let mut g = Graph::new();
+    let x = g.leaf(Matrix::from_rows(&[&[1.0], &[2.0]]));
+    let picked = g.gather_rows(x, Rc::new(vec![0, 0, 1]));
+    let loss = g.sum(picked);
+    g.backward(loss);
+    // Row 0 gathered twice accumulates gradient 2.
+    assert_eq!(g.grad(x).unwrap().as_slice(), &[2.0, 1.0]);
+}
+
+#[test]
+fn scale_and_add_scalar_compose() {
+    let mut g = Graph::new();
+    let x = g.leaf(Matrix::from_vec(1, 2, vec![1.0, -1.0]));
+    let y = g.scale(x, 3.0);
+    let z = g.add_scalar(y, 1.0);
+    assert_eq!(g.value(z).as_slice(), &[4.0, -2.0]);
+    let loss = g.sum(z);
+    g.backward(loss);
+    assert_eq!(g.grad(x).unwrap().as_slice(), &[3.0, 3.0]);
+}
+
+#[test]
+fn mean_of_single_element_equals_sum() {
+    let mut g = Graph::new();
+    let x = g.leaf(Matrix::from_vec(1, 1, vec![5.0]));
+    let m = g.mean(x);
+    let s = g.sum(x);
+    assert_eq!(g.value(m)[(0, 0)], g.value(s)[(0, 0)]);
+}
+
+#[test]
+fn softmax_rows_are_probability_distributions() {
+    let mut g = Graph::new();
+    let x = g.leaf(Matrix::from_rows(&[&[1000.0, 1000.0, 999.0], &[-5.0, 0.0, 5.0]]));
+    let s = g.softmax_rows(x);
+    let v = g.value(s);
+    for r in 0..2 {
+        let total: f32 = v.row(r).iter().sum();
+        assert!((total - 1.0).abs() < 1e-5, "row {r} sums to {total}");
+        assert!(v.row(r).iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+    // Large-magnitude logits must not produce NaN (max-subtraction).
+    assert!(v.as_slice().iter().all(|p| p.is_finite()));
+}

@@ -1,0 +1,59 @@
+//! Iterative (bootstrapped) CEAFF: confident collective matches are
+//! promoted into the seed alignment and the structural feature retrains —
+//! combining the paper's framework with the self-training loop of its
+//! IPTransE/BootEA baselines.
+//!
+//! ```sh
+//! cargo run --release --example bootstrapped
+//! ```
+
+use ceaff::bootstrap::{run_bootstrapped, BootstrapConfig};
+use ceaff::prelude::*;
+
+fn main() {
+    // A hard cross-lingual pair where the structural feature matters and
+    // extra (promoted) anchors should therefore help.
+    let task = DatasetTask::from_preset(Preset::Dbp15kZhEn, 0.5, 64);
+    println!(
+        "dataset: {} ({} seed / {} test pairs)",
+        task.dataset.config.name,
+        task.dataset.pair.seeds().len(),
+        task.dataset.pair.test_pairs().len()
+    );
+    let cfg = CeaffConfig::default();
+    let boot = BootstrapConfig {
+        rounds: 3,
+        threshold: 0.75,
+        max_promotions_per_round: 0.3,
+    };
+    println!(
+        "bootstrapping: {} rounds, promotion threshold {}, per-round cap {:.0}% of the test set\n",
+        boot.rounds,
+        boot.threshold,
+        boot.max_promotions_per_round * 100.0
+    );
+    let start = std::time::Instant::now();
+    let out = run_bootstrapped(&task.input(), &cfg, &boot);
+    for (round, (acc, promoted)) in out
+        .accuracy_per_round
+        .iter()
+        .zip(&out.promotions_per_round)
+        .enumerate()
+    {
+        println!(
+            "round {}: accuracy {:.3}{}",
+            round + 1,
+            acc,
+            if *promoted > 0 {
+                format!(", promoted {promoted} confident matches into the seeds")
+            } else {
+                String::new()
+            }
+        );
+    }
+    println!(
+        "\nfinal accuracy {:.3} in {:.1}s (round 1 is plain CEAFF)",
+        out.final_output.accuracy,
+        start.elapsed().as_secs_f64()
+    );
+}

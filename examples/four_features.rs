@@ -1,0 +1,54 @@
+//! Adaptive fusion with a *fourth* feature — the paper's motivating
+//! scenario: hand-tuned weights "become impractical with the increase of
+//! features" (§I), while the adaptive strategy extends unchanged. Here the
+//! attribute-type Jaccard feature joins structural/semantic/string, and
+//! the run prints the dynamically assigned weights.
+//!
+//! ```sh
+//! cargo run --release --example four_features
+//! ```
+
+use ceaff::prelude::*;
+use ceaff::AttributeFeature;
+
+fn main() {
+    let task = DatasetTask::from_preset(Preset::SrprsDbpYg, 0.3, 64);
+    let ds = &task.dataset;
+    println!(
+        "dataset: {} — attribute tables cover {} + {} entities ({}% / {}% without any attribute)",
+        ds.config.name,
+        ds.source_attributes.num_entities(),
+        ds.target_attributes.num_entities(),
+        (ds.source_attributes.empty_fraction() * 100.0).round(),
+        (ds.target_attributes.empty_fraction() * 100.0).round(),
+    );
+
+    let cfg = CeaffConfig::default();
+    let three = FeatureSet::compute_all(&task.input(), &cfg);
+    let baseline = run_with_features(&ds.pair, &three, &cfg);
+    println!("\nthree features (paper): accuracy {:.3}", baseline.accuracy);
+
+    let four = FeatureSet::compute_all(&task.input(), &cfg).with_extra(Box::new(
+        AttributeFeature::compute(&ds.pair, &ds.source_attributes, &ds.target_attributes),
+    ));
+    let out = run_with_features(&ds.pair, &four, &cfg);
+    println!("four features (+Ma):    accuracy {:.3}", out.accuracy);
+    if let Some(rep) = &out.textual_fusion {
+        println!(
+            "  textual-stage weights (semantic, string, attribute): {:?}",
+            rep.weights
+        );
+        println!(
+            "  candidates per feature: {:?}, retained: {:?}",
+            rep.candidates_per_feature, rep.retained_per_feature
+        );
+    }
+    if let Some(rep) = &out.final_fusion {
+        println!("  final-stage weights (structural, textual): {:?}", rep.weights);
+    }
+    println!(
+        "\nNo weight was hand-tuned: the noisy attribute feature receives whatever\n\
+         share its confident correspondences earn — the scenario the paper argues\n\
+         outcome-level adaptive fusion exists for."
+    );
+}

@@ -1,0 +1,50 @@
+//! Generate the nine synthetic benchmarks and print their statistics —
+//! the executable counterpart of the paper's Table II — optionally writing
+//! each pair to disk in the OpenEA-style TSV layout.
+//!
+//! ```sh
+//! cargo run --release --example generate_benchmark            # stats only
+//! cargo run --release --example generate_benchmark -- ./data  # also write
+//! ```
+
+use ceaff::datagen::Preset;
+use ceaff::graph::stats::KgStats;
+use ceaff::graph::io;
+
+fn main() {
+    let out_dir = std::env::args().nth(1);
+    let scale = 0.2; // keep this example quick; the bench harness scales up
+
+    println!(
+        "{:<22} {:>9} {:>9} {:>7} {:>8} {:>6}",
+        "dataset (KG1/KG2)", "#triples", "#entities", "#rels", "mean-deg", "tail"
+    );
+    for preset in Preset::ALL {
+        let ds = preset.generate(scale);
+        for (tag, kg) in [("KG1", &ds.pair.source), ("KG2", &ds.pair.target)] {
+            let s = KgStats::of(kg);
+            println!(
+                "{:<22} {:>9} {:>9} {:>7} {:>8.2} {:>5.0}%",
+                format!("{} {tag}", preset.label()),
+                s.triples,
+                s.entities,
+                s.relations,
+                s.mean_degree,
+                s.tail_fraction * 100.0
+            );
+        }
+        if let Some(ks) = ds.srprs_ks {
+            println!("{:<22} degree-distribution K-S vs world: {ks:.3}", "");
+        }
+        if let Some(dir) = &out_dir {
+            let path = std::path::Path::new(dir)
+                .join(preset.label().replace(' ', "_").to_lowercase());
+            io::save_pair_to_dir(&ds.pair, &path).expect("write dataset dir");
+            println!("{:<22} written to {}", "", path.display());
+        }
+    }
+    println!(
+        "\nShape to check against the paper's Table II: DBP15K/DBP100K rows are dense \
+         (high mean degree, small tail), SRPRS rows are sparse with a heavy tail."
+    );
+}

@@ -1,0 +1,180 @@
+//! Integration tests over the baseline suite: every method runs end to end
+//! on a shared benchmark, produces well-formed matrices, and the paper's
+//! group-level orderings hold.
+
+use ceaff::baselines::*;
+use ceaff::prelude::*;
+
+fn task() -> DatasetTask {
+    DatasetTask::from_preset(Preset::Dbp15kFrEn, 0.12, 32)
+}
+
+/// All eleven baselines with debug-CI-sized training budgets.
+fn all_methods() -> Vec<Box<dyn AlignmentMethod>> {
+    let transe = TranseConfig {
+        dim: 32,
+        epochs: 120,
+        ..TranseConfig::default()
+    };
+    let gcn = ceaff::GcnConfig {
+        dim: 16,
+        epochs: 30,
+        ..ceaff::GcnConfig::default()
+    };
+    vec![
+        Box::new(MTransE {
+            transe,
+            ..MTransE::default()
+        }),
+        Box::new(IpTransE {
+            transe,
+            ..IpTransE::default()
+        }),
+        Box::new(BootEa {
+            transe,
+            ..BootEa::default()
+        }),
+        Box::new(RsnLite {
+            config: RsnLiteConfig {
+                dim: 32,
+                epochs: 1,
+                ..RsnLiteConfig::default()
+            },
+        }),
+        Box::new(MuGnnLite { gcn }),
+        Box::new(NaeaLite {
+            gcn,
+            ..NaeaLite::default()
+        }),
+        Box::new(Jape {
+            transe,
+            ..Jape::default()
+        }),
+        Box::new(GcnAlign {
+            gcn,
+            ..GcnAlign::default()
+        }),
+        Box::new(RdgcnLite {
+            gcn,
+            ..RdgcnLite::default()
+        }),
+        Box::new(GmAlignLite::default()),
+        Box::new(MultiKeLite {
+            transe,
+            ..MultiKeLite::default()
+        }),
+    ]
+}
+
+#[test]
+fn every_baseline_runs_and_produces_well_formed_matrices() {
+    let task = task();
+    let input = task.baseline_input();
+    let n = task.dataset.pair.test_pairs().len();
+    let mut names = std::collections::HashSet::new();
+    for method in all_methods() {
+        let m = method.align(&input);
+        assert_eq!(m.sources(), n, "{}: wrong row count", method.name());
+        assert_eq!(m.targets(), n, "{}: wrong column count", method.name());
+        // Scores must be finite.
+        for i in 0..n.min(10) {
+            for &v in m.row(i) {
+                assert!(v.is_finite(), "{}: non-finite score", method.name());
+            }
+        }
+        assert!(names.insert(method.name()), "duplicate method name");
+    }
+    assert_eq!(names.len(), 11);
+}
+
+#[test]
+fn name_based_methods_beat_structure_only_methods_when_names_help() {
+    // The paper's group-level story (Tables III/IV): RDGCN/GM-Align
+    // (name-initialised) clearly outperform the structure-only group when
+    // entity names carry signal.
+    let task = task();
+    let input = task.baseline_input();
+    let gcn = ceaff::GcnConfig {
+        dim: 16,
+        epochs: 30,
+        ..ceaff::GcnConfig::default()
+    };
+    let rdgcn = evaluate(
+        &RdgcnLite {
+            gcn,
+            ..RdgcnLite::default()
+        },
+        &input,
+    );
+    let gm = evaluate(&GmAlignLite::default(), &input);
+    let mtranse = evaluate(
+        &MTransE {
+            transe: TranseConfig {
+                dim: 32,
+                epochs: 120,
+                ..TranseConfig::default()
+            },
+            ..MTransE::default()
+        },
+        &input,
+    );
+    assert!(
+        rdgcn.accuracy > mtranse.accuracy,
+        "RDGCN {} must beat MTransE {}",
+        rdgcn.accuracy,
+        mtranse.accuracy
+    );
+    assert!(
+        gm.accuracy > mtranse.accuracy,
+        "GM-Align {} must beat MTransE {}",
+        gm.accuracy,
+        mtranse.accuracy
+    );
+}
+
+#[test]
+fn ceaff_beats_every_baseline_on_a_close_lingual_pair() {
+    // The paper's headline claim (Tables III/IV): CEAFF consistently
+    // outperforms all baselines.
+    let task = task();
+    let input = task.baseline_input();
+    let mut cfg = CeaffConfig::default();
+    cfg.gcn.dim = 16;
+    cfg.gcn.epochs = 30;
+    let ceaff_out = ceaff::run(&task.input(), &cfg);
+    for method in all_methods() {
+        let res = evaluate(method.as_ref(), &input);
+        assert!(
+            ceaff_out.accuracy >= res.accuracy,
+            "CEAFF {} lost to {} at {}",
+            ceaff_out.accuracy,
+            res.method,
+            res.accuracy
+        );
+    }
+}
+
+#[test]
+fn structure_only_methods_degrade_on_sparse_real_life_kgs() {
+    // §VII-B: "the overall performance on SRPRS are worse than DBP15K, as
+    // the KGs in DBP15K are much denser".
+    let dense = DatasetTask::from_preset(Preset::Dbp15kFrEn, 0.12, 32);
+    let sparse = DatasetTask::from_preset(Preset::SrprsEnFr, 0.12, 32);
+    let transe = TranseConfig {
+        dim: 32,
+        epochs: 150,
+        ..TranseConfig::default()
+    };
+    let method = BootEa {
+        transe,
+        ..BootEa::default()
+    };
+    let on_dense = evaluate(&method, &dense.baseline_input());
+    let on_sparse = evaluate(&method, &sparse.baseline_input());
+    assert!(
+        on_dense.accuracy > on_sparse.accuracy,
+        "BootEA should degrade on sparse KGs: dense {} vs sparse {}",
+        on_dense.accuracy,
+        on_sparse.accuracy
+    );
+}

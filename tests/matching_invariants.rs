@@ -1,0 +1,59 @@
+//! Cross-crate matching invariants on *real* fused matrices (not synthetic
+//! random ones): stability, perfection, and the §VI utility relations.
+
+use ceaff::matching::{Greedy, Hungarian, Matcher, StableMarriage};
+use ceaff::prelude::*;
+
+fn fused_matrix(preset: Preset) -> (ceaff::sim::SimilarityMatrix, usize) {
+    let task = DatasetTask::from_preset(preset, 0.1, 32);
+    let mut cfg = CeaffConfig::default();
+    cfg.gcn.dim = 16;
+    cfg.gcn.epochs = 25;
+    let out = ceaff::run(&task.input(), &cfg);
+    let n = task.dataset.pair.test_pairs().len();
+    (out.fused, n)
+}
+
+#[test]
+fn stable_matching_on_real_fused_matrices_has_no_blocking_pairs() {
+    for preset in [Preset::Dbp15kJaEn, Preset::SrprsEnDe] {
+        let (m, n) = fused_matrix(preset);
+        let matching = StableMarriage.matching(&m);
+        assert_eq!(matching.len(), n, "stable matching must be perfect");
+        assert!(matching.is_one_to_one());
+        assert_eq!(
+            matching.find_blocking_pair(&m),
+            None,
+            "stable matching must contain no blocking pair"
+        );
+    }
+}
+
+#[test]
+fn utility_ordering_hungarian_ge_stable_ge_each_nonnegative() {
+    let (m, _) = fused_matrix(Preset::SrprsEnDe);
+    let h = Hungarian.matching(&m).total_weight(&m);
+    let s = StableMarriage.matching(&m).total_weight(&m);
+    assert!(h >= s - 1e-4, "hungarian {h} < stable {s}");
+    assert!(s >= 0.0);
+    // Greedy picks each source's maximum, so its (possibly conflicting)
+    // total is an upper bound on any one-to-one assignment.
+    let g = Greedy.matching(&m).total_weight(&m);
+    assert!(g >= h - 1e-4, "greedy row-max sum {g} < hungarian {h}");
+}
+
+#[test]
+fn one_to_one_constraint_fixes_greedy_collisions() {
+    // On a harder instance greedy collides; the collective matchers must
+    // resolve every collision (one-to-one) without losing accuracy.
+    let (m, n) = fused_matrix(Preset::Dbp15kJaEn);
+    let greedy = Greedy.matching(&m);
+    let stable = StableMarriage.matching(&m);
+    let greedy_acc = ceaff::accuracy(&greedy, n);
+    let stable_acc = ceaff::accuracy(&stable, n);
+    assert!(stable.is_one_to_one());
+    assert!(
+        stable_acc >= greedy_acc - 1e-9,
+        "stable {stable_acc} must not lose to greedy {greedy_acc}"
+    );
+}

@@ -1,0 +1,185 @@
+//! End-to-end integration tests: the full CEAFF pipeline over generated
+//! benchmarks, asserting the paper's headline *comparative* claims.
+
+use ceaff::prelude::*;
+
+/// A configuration small enough for debug-mode CI.
+fn tiny_cfg() -> CeaffConfig {
+    let mut cfg = CeaffConfig::default();
+    cfg.gcn.dim = 16;
+    cfg.gcn.epochs = 30;
+    cfg.embed_dim = 32;
+    cfg
+}
+
+fn tiny_task(preset: Preset) -> DatasetTask {
+    DatasetTask::from_preset(preset, 0.12, 32)
+}
+
+#[test]
+fn collective_matching_never_loses_to_greedy() {
+    for preset in [Preset::Dbp15kZhEn, Preset::SrprsEnFr, Preset::SrprsDbpWd] {
+        let task = tiny_task(preset);
+        let cfg = tiny_cfg();
+        let features = FeatureSet::compute_all(&task.input(), &cfg);
+        let full = run_with_features(&task.dataset.pair, &features, &cfg);
+        let greedy = run_with_features(
+            &task.dataset.pair,
+            &features,
+            &cfg.clone().without_collective(),
+        );
+        assert!(
+            full.accuracy >= greedy.accuracy - 1e-9,
+            "{}: collective {} < greedy {}",
+            task.dataset.config.name,
+            full.accuracy,
+            greedy.accuracy
+        );
+        assert!(full.matching.is_one_to_one());
+    }
+}
+
+#[test]
+fn mono_lingual_with_string_feature_is_near_perfect() {
+    // Table IV's headline: CEAFF reaches ~1.0 on mono-lingual pairs, and
+    // removing the string feature costs measurable accuracy.
+    let task = tiny_task(Preset::SrprsDbpWd);
+    let cfg = tiny_cfg();
+    let features = FeatureSet::compute_all(&task.input(), &cfg);
+    let full = run_with_features(&task.dataset.pair, &features, &cfg);
+    let wo_string = run_with_features(
+        &task.dataset.pair,
+        &features,
+        &cfg.clone().without_string(),
+    );
+    assert!(full.accuracy > 0.9, "CEAFF mono accuracy {}", full.accuracy);
+    assert!(
+        full.accuracy >= wo_string.accuracy,
+        "string feature must not hurt mono-lingual EA: {} vs {}",
+        full.accuracy,
+        wo_string.accuracy
+    );
+}
+
+#[test]
+fn distant_language_pair_depends_on_semantic_feature() {
+    // §VII-D: semantic information matters most on distantly-related pairs.
+    let task = tiny_task(Preset::Dbp15kZhEn);
+    let cfg = tiny_cfg();
+    let features = FeatureSet::compute_all(&task.input(), &cfg);
+    let full = run_with_features(&task.dataset.pair, &features, &cfg);
+    let wo_sem = run_with_features(
+        &task.dataset.pair,
+        &features,
+        &cfg.clone().without_semantic(),
+    );
+    let wo_str = run_with_features(
+        &task.dataset.pair,
+        &features,
+        &cfg.clone().without_string(),
+    );
+    assert!(
+        wo_sem.accuracy < full.accuracy,
+        "dropping semantics must hurt ZH-EN: {} vs {}",
+        wo_sem.accuracy,
+        full.accuracy
+    );
+    assert!(
+        wo_sem.accuracy < wo_str.accuracy,
+        "on ZH-EN the semantic feature must matter more than string: {} vs {}",
+        wo_sem.accuracy,
+        wo_str.accuracy
+    );
+}
+
+#[test]
+fn string_feature_matters_on_close_language_pair() {
+    // Paper Table V, EN-FR column: removing the string feature costs
+    // accuracy on a closely-related language pair. (The stricter claim —
+    // string mattering *more* than semantics — holds at scale 1.0 but is
+    // noisy on the tiny CI-sized split, so the integration test asserts
+    // the direction only; EXPERIMENTS.md records the full-scale ordering.)
+    let task = DatasetTask::from_preset(Preset::SrprsEnFr, 0.3, 32);
+    let cfg = tiny_cfg();
+    let features = FeatureSet::compute_all(&task.input(), &cfg);
+    let full = run_with_features(&task.dataset.pair, &features, &cfg);
+    let wo_str = run_with_features(
+        &task.dataset.pair,
+        &features,
+        &cfg.clone().without_string(),
+    );
+    assert!(
+        wo_str.accuracy < full.accuracy,
+        "removing string must hurt EN-FR: w/o string {} vs full {}",
+        wo_str.accuracy,
+        full.accuracy
+    );
+}
+
+#[test]
+fn adaptive_fusion_weights_follow_language_distance() {
+    // The textual-stage weights should favour semantics on distant pairs
+    // and string on close/mono pairs.
+    let distant = tiny_task(Preset::Dbp15kZhEn);
+    let cfg = tiny_cfg();
+    let f = FeatureSet::compute_all(&distant.input(), &cfg);
+    let out = run_with_features(&distant.dataset.pair, &f, &cfg);
+    let distant_weights = out.textual_fusion.expect("textual stage ran").weights;
+    assert!(
+        distant_weights[0] > distant_weights[1],
+        "ZH-EN textual weights should favour semantics: {distant_weights:?}"
+    );
+
+    let mono = tiny_task(Preset::SrprsDbpYg);
+    let f = FeatureSet::compute_all(&mono.input(), &cfg);
+    let out = run_with_features(&mono.dataset.pair, &f, &cfg);
+    let mono_weights = out.textual_fusion.expect("textual stage ran").weights;
+    assert!(
+        mono_weights[1] >= mono_weights[0] - 0.3,
+        "mono-lingual textual weights should not bury the string feature: {mono_weights:?}"
+    );
+}
+
+#[test]
+fn lr_weighting_is_competitive_but_not_better_than_adaptive() {
+    // §VII-E: the LR baseline is close to (but not better than) adaptive
+    // fusion. We assert the weaker, robust direction: LR does not beat
+    // adaptive by a wide margin.
+    let task = tiny_task(Preset::SrprsEnFr);
+    let cfg = tiny_cfg();
+    let features = FeatureSet::compute_all(&task.input(), &cfg);
+    let adaptive = run_with_features(&task.dataset.pair, &features, &cfg);
+    let lr = run_with_features(
+        &task.dataset.pair,
+        &features,
+        &cfg.clone().with_lr_weighting(ceaff::LrConfig::default()),
+    );
+    assert!(
+        lr.accuracy <= adaptive.accuracy + 0.05,
+        "LR {} should not significantly beat adaptive {}",
+        lr.accuracy,
+        adaptive.accuracy
+    );
+    assert!(lr.accuracy > 0.3, "LR should still work: {}", lr.accuracy);
+}
+
+#[test]
+fn hungarian_and_stable_agree_on_easy_instances() {
+    let task = tiny_task(Preset::SrprsDbpWd);
+    let mut cfg = tiny_cfg();
+    let features = FeatureSet::compute_all(&task.input(), &cfg);
+    let stable = run_with_features(&task.dataset.pair, &features, &cfg);
+    cfg.matcher = MatcherKind::Hungarian;
+    let hungarian = run_with_features(&task.dataset.pair, &features, &cfg);
+    assert!(
+        (stable.accuracy - hungarian.accuracy).abs() < 0.1,
+        "stable {} vs hungarian {}",
+        stable.accuracy,
+        hungarian.accuracy
+    );
+    // §VI: Hungarian maximises total utility.
+    assert!(
+        hungarian.matching.total_weight(&hungarian.fused)
+            >= stable.matching.total_weight(&stable.fused) - 1e-4
+    );
+}
