@@ -46,10 +46,8 @@ pub(crate) fn promote_one_to_one(
     already: &[(EntityId, EntityId)],
     threshold: f32,
 ) -> Vec<(EntityId, EntityId)> {
-    let used_src: std::collections::HashSet<EntityId> =
-        already.iter().map(|&(u, _)| u).collect();
-    let used_tgt: std::collections::HashSet<EntityId> =
-        already.iter().map(|&(_, v)| v).collect();
+    let used_src: std::collections::HashSet<EntityId> = already.iter().map(|&(u, _)| u).collect();
+    let used_tgt: std::collections::HashSet<EntityId> = already.iter().map(|&(_, v)| v).collect();
     let mut cells: Vec<(f32, usize, usize)> = Vec::new();
     for (i, &u) in sources.iter().enumerate() {
         if used_src.contains(&u) {
@@ -99,10 +97,8 @@ impl AlignmentMethod for BootEa {
         for round in 1..self.rounds {
             let src_rows: Vec<usize> = sources.iter().map(|e| e.index()).collect();
             let tgt_rows: Vec<usize> = targets.iter().map(|e| e.index()).collect();
-            let sim = cosine_similarity_matrix(
-                &z.0.gather_rows(&src_rows),
-                &z.1.gather_rows(&tgt_rows),
-            );
+            let sim =
+                cosine_similarity_matrix(&z.0.gather_rows(&src_rows), &z.1.gather_rows(&tgt_rows));
             let promoted = promote_one_to_one(&sim, &sources, &targets, &seeds, self.threshold);
             seeds.extend(promoted);
             let cfg = TranseConfig {
@@ -125,10 +121,7 @@ mod tests {
     #[test]
     fn promotion_is_one_to_one_and_best_first() {
         // Source 0 and 1 both prefer target 0; only the stronger gets it.
-        let sim = SimilarityMatrix::new(Matrix::from_rows(&[
-            &[0.9, 0.75],
-            &[0.95, 0.1],
-        ]));
+        let sim = SimilarityMatrix::new(Matrix::from_rows(&[&[0.9, 0.75], &[0.95, 0.1]]));
         let s = [EntityId::new(0), EntityId::new(1)];
         let t = [EntityId::new(10), EntityId::new(11)];
         let promoted = promote_one_to_one(&sim, &s, &t, &[], 0.7);
@@ -144,13 +137,7 @@ mod tests {
     #[test]
     fn promotion_respects_threshold() {
         let sim = SimilarityMatrix::new(Matrix::from_rows(&[&[0.5]]));
-        let promoted = promote_one_to_one(
-            &sim,
-            &[EntityId::new(0)],
-            &[EntityId::new(1)],
-            &[],
-            0.7,
-        );
+        let promoted = promote_one_to_one(&sim, &[EntityId::new(0)], &[EntityId::new(1)], &[], 0.7);
         assert!(promoted.is_empty());
     }
 

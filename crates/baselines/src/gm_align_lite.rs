@@ -112,7 +112,10 @@ mod tests {
 
     #[test]
     fn gm_align_lite_is_strong_with_names() {
-        let ds = dataset(NameChannel::CloseLingual { morph_rate: 0.5, replace_rate: 0.2 });
+        let ds = dataset(NameChannel::CloseLingual {
+            morph_rate: 0.5,
+            replace_rate: 0.2,
+        });
         let res = run_on(&GmAlignLite::default(), &ds, 32);
         assert!(
             res.accuracy > 0.4,

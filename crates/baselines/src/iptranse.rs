@@ -46,8 +46,7 @@ pub(crate) fn promote_unconstrained(
     already: &[(EntityId, EntityId)],
     threshold: f32,
 ) -> Vec<(EntityId, EntityId)> {
-    let used_src: std::collections::HashSet<EntityId> =
-        already.iter().map(|&(u, _)| u).collect();
+    let used_src: std::collections::HashSet<EntityId> = already.iter().map(|&(u, _)| u).collect();
     let mut out = Vec::new();
     for (i, &u) in sources.iter().enumerate() {
         if used_src.contains(&u) {
@@ -78,10 +77,8 @@ impl IpTransE {
             // Promote confident alignments from the current embeddings.
             let src_rows: Vec<usize> = sources.iter().map(|e| e.index()).collect();
             let tgt_rows: Vec<usize> = targets.iter().map(|e| e.index()).collect();
-            let sim = cosine_similarity_matrix(
-                &z.0.gather_rows(&src_rows),
-                &z.1.gather_rows(&tgt_rows),
-            );
+            let sim =
+                cosine_similarity_matrix(&z.0.gather_rows(&src_rows), &z.1.gather_rows(&tgt_rows));
             let promoted =
                 promote_unconstrained(&sim, &sources, &targets, &seeds, self.promote_threshold);
             seeds.extend(promoted);

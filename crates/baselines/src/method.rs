@@ -84,11 +84,7 @@ pub(crate) mod test_support {
     }
 
     /// Evaluate `method` on `ds` and return its accuracy.
-    pub fn run_on(
-        method: &dyn AlignmentMethod,
-        ds: &GeneratedDataset,
-        dim: usize,
-    ) -> MethodResult {
+    pub fn run_on(method: &dyn AlignmentMethod, ds: &GeneratedDataset, dim: usize) -> MethodResult {
         let src = ds.source_embedder(dim);
         let tgt = ds.target_embedder(dim);
         let input = BaselineInput {

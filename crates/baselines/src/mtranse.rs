@@ -96,12 +96,7 @@ mod tests {
     #[test]
     fn transform_recovers_a_known_rotation() {
         // V = U·R for a fixed rotation R: the learned W should reproduce V.
-        let u = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[0.0, 1.0],
-            &[1.0, 1.0],
-            &[2.0, -1.0],
-        ]);
+        let u = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[2.0, -1.0]]);
         let r = Matrix::from_rows(&[&[0.0, -1.0], &[1.0, 0.0]]);
         let v = u.matmul(&r);
         let w = learn_transform(&u, &v, 500, 0.1, 0.0);

@@ -60,11 +60,7 @@ pub(crate) fn unify_views(views: &[(&Matrix, f32)]) -> Matrix {
 }
 
 fn attribute_multi_hot(kg: &KnowledgeGraph, attrs: &AttributeTable) -> Matrix {
-    Matrix::from_vec(
-        kg.num_entities(),
-        attrs.num_types(),
-        attrs.to_multi_hot(),
-    )
+    Matrix::from_vec(kg.num_entities(), attrs.num_types(), attrs.to_multi_hot())
 }
 
 impl AlignmentMethod for MultiKeLite {

@@ -61,9 +61,7 @@ pub(crate) fn attend_neighbors(
         // Softmax attention over neighbours.
         let scores: Vec<f32> = nbrs
             .iter()
-            .map(|&v| {
-                ceaff_tensor::dot(normed.row(e.index()), normed.row(v.index())) / temperature
-            })
+            .map(|&v| ceaff_tensor::dot(normed.row(e.index()), normed.row(v.index())) / temperature)
             .collect();
         let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = scores.iter().map(|&s| (s - max).exp()).collect();

@@ -170,10 +170,7 @@ fn train_name_gcn(
         zz.add_scaled_assign(&nn, 1.0 - propagated_weight);
         zz
     };
-    (
-        blend(g.value(z1v), &n1),
-        blend(g.value(z2v), &n2),
-    )
+    (blend(g.value(z1v), &n1), blend(g.value(z2v), &n2))
 }
 
 impl AlignmentMethod for RdgcnLite {
@@ -214,7 +211,10 @@ mod tests {
 
     #[test]
     fn rdgcn_lite_is_strong_when_names_help() {
-        let ds = dataset(NameChannel::CloseLingual { morph_rate: 0.5, replace_rate: 0.2 });
+        let ds = dataset(NameChannel::CloseLingual {
+            morph_rate: 0.5,
+            replace_rate: 0.2,
+        });
         let res = run_on(&fast(), &ds, 32);
         assert!(
             res.accuracy > 0.4,
@@ -227,7 +227,10 @@ mod tests {
     fn name_inputs_beat_random_inputs() {
         // The defining property: name-initialised GCN outperforms the
         // random-initialised structural GCN of group 1.
-        let ds = dataset(NameChannel::CloseLingual { morph_rate: 0.5, replace_rate: 0.2 });
+        let ds = dataset(NameChannel::CloseLingual {
+            morph_rate: 0.5,
+            replace_rate: 0.2,
+        });
         let rdgcn = run_on(&fast(), &ds, 32);
         let plain = crate::gcn_align::GcnAlign {
             gcn: GcnConfig {

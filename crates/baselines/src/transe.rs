@@ -123,7 +123,13 @@ pub fn train_triples(
 }
 
 /// One hinge-loss SGD step on a (positive, negative) triple pair.
-fn sgd_step(e: &mut Matrix, r: &mut Matrix, pos: IndexTriple, neg: IndexTriple, cfg: &TranseConfig) {
+fn sgd_step(
+    e: &mut Matrix,
+    r: &mut Matrix,
+    pos: IndexTriple,
+    neg: IndexTriple,
+    cfg: &TranseConfig,
+) {
     let d = cfg.dim;
     let dist = |e: &Matrix, r: &Matrix, t: IndexTriple| -> f32 {
         let (h, rr, ta) = (e.row(t.head), r.row(t.rel), e.row(t.tail));

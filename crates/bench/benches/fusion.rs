@@ -27,14 +27,7 @@ fn bench_fusion(c: &mut Criterion) {
             b.iter(|| adaptive_fuse(std::hint::black_box(&[&ms, &mn, &ml]), &cfg))
         });
         group.bench_with_input(BenchmarkId::new("two-stage", n), &n, |b, _| {
-            b.iter(|| {
-                two_stage_fuse(
-                    std::hint::black_box(Some(&ms)),
-                    Some(&mn),
-                    Some(&ml),
-                    &cfg,
-                )
-            })
+            b.iter(|| two_stage_fuse(std::hint::black_box(Some(&ms)), Some(&mn), Some(&ml), &cfg))
         });
     }
     group.finish();

@@ -14,13 +14,16 @@ fn bench_pipeline(c: &mut Criterion) {
     cfg.gcn.epochs = 30;
     let features = FeatureSet::compute_all(&task.input(), &cfg);
 
+    let telemetry = Telemetry::disabled();
     group.bench_function("decision-stage", |b| {
         b.iter(|| {
-            run_with_features(
+            try_run_with_features(
                 std::hint::black_box(&task.dataset.pair),
                 std::hint::black_box(&features),
                 &cfg,
+                &telemetry,
             )
+            .expect("pipeline runs")
         })
     });
 
@@ -30,7 +33,9 @@ fn bench_pipeline(c: &mut Criterion) {
     small_cfg.gcn.epochs = 15;
     small_cfg.embed_dim = 32;
     group.bench_function("full-run-small", |b| {
-        b.iter(|| ceaff::run(std::hint::black_box(&small.input()), &small_cfg))
+        b.iter(|| {
+            ceaff::try_run(std::hint::black_box(&small.input()), &small_cfg).expect("pipeline runs")
+        })
     });
     group.finish();
 }

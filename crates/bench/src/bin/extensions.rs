@@ -11,16 +11,21 @@
 //!    pathology at similarity level, and how it composes with collective
 //!    matching.
 
-use ceaff::bootstrap::{run_bootstrapped, BootstrapConfig};
+use ceaff::bootstrap::{try_run_bootstrapped, BootstrapConfig};
 use ceaff::prelude::*;
-use ceaff_bench::{fmt_acc, maybe_write_json, print_table, HarnessOpts};
+use ceaff_bench::{fmt_acc, maybe_write_json, print_table, run_ceaff, HarnessOpts};
 use serde_json::json;
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let presets = [Preset::HardMonoDbpWd, Preset::SrprsDbpWd, Preset::Dbp15kZhEn];
+    let presets = [
+        Preset::HardMonoDbpWd,
+        Preset::SrprsDbpWd,
+        Preset::Dbp15kZhEn,
+    ];
     let columns: Vec<String> = presets.iter().map(|p| p.label().to_string()).collect();
     let cfg = opts.ceaff_config();
+    let telemetry = opts.telemetry();
 
     let variants: Vec<(&str, CeaffConfig)> = vec![
         ("CEAFF (DAA)", cfg.clone()),
@@ -36,7 +41,10 @@ fn main() {
         }),
         ("w/o C (greedy)", cfg.clone().without_collective()),
         ("+ CSLS(10)", cfg.clone().with_csls(10)),
-        ("+ CSLS, w/o C", cfg.clone().with_csls(10).without_collective()),
+        (
+            "+ CSLS, w/o C",
+            cfg.clone().with_csls(10).without_collective(),
+        ),
     ];
 
     let mut names: Vec<&str> = variants.iter().map(|(n, _)| *n).collect();
@@ -49,14 +57,18 @@ fn main() {
         let features = FeatureSet::compute_all(&task.input(), &cfg);
         let mut jcol = Vec::new();
         for (i, (name, variant)) in variants.iter().enumerate() {
-            let out = run_with_features(&task.dataset.pair, &features, variant);
+            let out = run_ceaff(&task.dataset.pair, &features, variant, &telemetry);
             eprintln!("  {:<16} {:.3}", name, out.accuracy);
             table[i].push(fmt_acc(Some(out.accuracy)));
             jcol.push(json!({ "variant": name, "accuracy": out.accuracy }));
         }
         // Bootstrapped CEAFF (3 self-training rounds).
-        let boot = run_bootstrapped(&task.input(), &cfg, &BootstrapConfig::default());
-        eprintln!("  {:<16} {:.3}", "bootstrapped x3", boot.final_output.accuracy);
+        let boot = try_run_bootstrapped(&task.input(), &cfg, &BootstrapConfig::default())
+            .expect("bootstrapping runs");
+        eprintln!(
+            "  {:<16} {:.3}",
+            "bootstrapped x3", boot.final_output.accuracy
+        );
         table
             .last_mut()
             .expect("bootstrap row allocated")

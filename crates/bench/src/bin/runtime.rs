@@ -34,7 +34,8 @@ fn main() {
         let t_features = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
-        let out = run_with_features(pair, &features, &cfg);
+        let out = try_run_with_features(pair, &features, &cfg, &Telemetry::disabled())
+            .expect("pipeline runs");
         let t_decide = t1.elapsed().as_secs_f64();
         println!(
             "CEAFF: features {t_features:.2}s + fusion/matching {t_decide:.3}s  \

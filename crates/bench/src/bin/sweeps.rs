@@ -11,7 +11,7 @@
 //! ```
 
 use ceaff::prelude::*;
-use ceaff_bench::{maybe_write_json, HarnessOpts};
+use ceaff_bench::{maybe_write_json, run_ceaff, HarnessOpts};
 use rand::SeedableRng;
 use serde_json::json;
 
@@ -59,6 +59,7 @@ fn parse_opts(args: &[String]) -> HarnessOpts {
             "--dim" => opts.dim = val().parse().expect("--dim takes an integer"),
             "--epochs" => opts.epochs = val().parse().expect("--epochs takes an integer"),
             "--json" => opts.json = Some(val()),
+            "--trace" => opts.trace = Some(val()),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -68,7 +69,10 @@ fn parse_opts(args: &[String]) -> HarnessOpts {
 /// Accuracy vs seed fraction on one cross-lingual pair: how much training
 /// alignment CEAFF needs (the paper fixes 30%).
 fn sweep_seed_fraction(opts: &HarnessOpts) {
-    println!("seed-fraction sweep on DBP15K ZH-EN (sim), scale {}", opts.scale);
+    println!(
+        "seed-fraction sweep on DBP15K ZH-EN (sim), scale {}",
+        opts.scale
+    );
     println!("{:>8} {:>10} {:>10}", "seeds", "CEAFF", "w/o C");
     let mut jout = Vec::new();
     for fraction in [0.1f64, 0.2, 0.3, 0.4, 0.5] {
@@ -84,15 +88,17 @@ fn sweep_seed_fraction(opts: &HarnessOpts) {
         );
         let src = ds.source_embedder(opts.dim);
         let tgt = ds.target_embedder(opts.dim);
-        let input = EaInput {
-            pair: &pair,
-            source_embedder: &src,
-            target_embedder: &tgt,
-        };
+        let input = EaInput::new(&pair, &src, &tgt);
         let cfg = opts.ceaff_config();
+        let telemetry = Telemetry::disabled();
         let features = FeatureSet::compute_all(&input, &cfg);
-        let full = run_with_features(&pair, &features, &cfg);
-        let greedy = run_with_features(&pair, &features, &cfg.clone().without_collective());
+        let full = run_ceaff(&pair, &features, &cfg, &telemetry);
+        let greedy = run_ceaff(
+            &pair,
+            &features,
+            &cfg.clone().without_collective(),
+            &telemetry,
+        );
         println!(
             "{:>7.0}% {:>10.3} {:>10.3}",
             fraction * 100.0,
@@ -117,6 +123,7 @@ fn sweep_theta(opts: &HarnessOpts) {
     println!("theta sweep on DBP15K ZH-EN (sim), scale {}", opts.scale);
     let task = opts.task(Preset::Dbp15kZhEn);
     let base = opts.ceaff_config();
+    let telemetry = opts.telemetry();
     let features = FeatureSet::compute_all(&task.input(), &base);
     println!("{:>8} {:>8} {:>10}", "theta1", "theta2", "accuracy");
     let mut jout = Vec::new();
@@ -125,7 +132,7 @@ fn sweep_theta(opts: &HarnessOpts) {
             let mut cfg = base.clone();
             cfg.fusion.theta1 = theta1;
             cfg.fusion.theta2 = theta2;
-            let out = run_with_features(&task.dataset.pair, &features, &cfg);
+            let out = run_ceaff(&task.dataset.pair, &features, &cfg, &telemetry);
             println!("{theta1:>8} {theta2:>8} {:>10.3}", out.accuracy);
             jout.push(json!({
                 "theta1": theta1,
@@ -136,7 +143,7 @@ fn sweep_theta(opts: &HarnessOpts) {
     }
     let mut cfg = base.clone();
     cfg.fusion.cap_enabled = false;
-    let out = run_with_features(&task.dataset.pair, &features, &cfg);
+    let out = run_ceaff(&task.dataset.pair, &features, &cfg, &telemetry);
     println!("{:>8} {:>8} {:>10.3}", "-", "-", out.accuracy);
     jout.push(json!({ "cap": false, "accuracy": out.accuracy }));
     println!(
@@ -157,9 +164,8 @@ fn sweep_dim(opts: &HarnessOpts) {
         let mut cfg = opts.ceaff_config();
         cfg.gcn.dim = dim;
         cfg.embed_dim = dim;
-        let start = std::time::Instant::now();
-        let out = ceaff::run(&task.input(), &cfg);
-        let secs = start.elapsed().as_secs_f64();
+        let out = ceaff::try_run(&task.input(), &cfg).expect("pipeline runs");
+        let secs = out.trace.total_seconds();
         println!("{dim:>6} {:>10.3} {secs:>10.2}", out.accuracy);
         jout.push(json!({ "dim": dim, "accuracy": out.accuracy, "seconds": secs }));
     }

@@ -50,7 +50,7 @@ fn main() {
     let mut cells = Vec::new();
     let mut jcells = Vec::new();
     for task in &tasks {
-        let out = ceaff::run(&task.input(), &cfg);
+        let out = ceaff::try_run(&task.input(), &cfg).expect("pipeline runs");
         eprintln!(
             "  [{}] CEAFF = {:.3}",
             task.dataset.config.name, out.accuracy
@@ -61,7 +61,11 @@ fn main() {
     rows.push(("CEAFF".to_string(), cells));
     jrows.push(json!({ "method": "CEAFF", "accuracies": jcells }));
 
-    print_table("Table III (sim): accuracy of cross-lingual EA", &columns, &rows);
+    print_table(
+        "Table III (sim): accuracy of cross-lingual EA",
+        &columns,
+        &rows,
+    );
     println!(
         "\nPaper reference (who should win): CEAFF > RDGCN/GM-Align > structure-only;\n\
          paper CEAFF row: 0.795 / 0.860 / 0.964 / 0.964 / 0.977."

@@ -12,7 +12,9 @@
 
 use ceaff::baselines::evaluate;
 use ceaff::prelude::*;
-use ceaff_bench::{baseline_roster, fmt_acc, maybe_write_json, print_table, HarnessOpts};
+use ceaff_bench::{
+    baseline_roster, fmt_acc, maybe_write_json, print_table, run_ceaff, HarnessOpts,
+};
 use serde_json::json;
 
 fn main() {
@@ -57,14 +59,16 @@ fn main() {
     let mut full_cells = Vec::new();
     let mut j_wo = Vec::new();
     let mut j_full = Vec::new();
+    let telemetry = opts.telemetry();
     for task in &tasks {
         let features = FeatureSet::compute_all(&task.input(), &cfg);
-        let wo_ml = run_with_features(
+        let wo_ml = run_ceaff(
             &task.dataset.pair,
             &features,
             &cfg.clone().without_string(),
+            &telemetry,
         );
-        let full = run_with_features(&task.dataset.pair, &features, &cfg);
+        let full = run_ceaff(&task.dataset.pair, &features, &cfg, &telemetry);
         eprintln!(
             "  [{}] CEAFF w/o Ml = {:.3}, CEAFF = {:.3}",
             task.dataset.config.name, wo_ml.accuracy, full.accuracy
@@ -79,7 +83,11 @@ fn main() {
     jrows.push(json!({ "method": "CEAFF w/o Ml", "accuracies": j_wo }));
     jrows.push(json!({ "method": "CEAFF", "accuracies": j_full }));
 
-    print_table("Table IV (sim): accuracy of mono-lingual EA", &columns, &rows);
+    print_table(
+        "Table IV (sim): accuracy of mono-lingual EA",
+        &columns,
+        &rows,
+    );
     println!(
         "\nPaper reference: CEAFF row is 1.000 everywhere; CEAFF w/o Ml is\n\
          0.992 / 0.955 / 0.915 / 0.937 — the string feature is extremely\n\

@@ -9,7 +9,7 @@
 
 use ceaff::prelude::*;
 use ceaff::LrConfig;
-use ceaff_bench::{fmt_acc, maybe_write_json, print_table, HarnessOpts};
+use ceaff_bench::{fmt_acc, maybe_write_json, print_table, run_ceaff, HarnessOpts};
 use serde_json::json;
 
 fn variants(cfg: &CeaffConfig) -> Vec<(&'static str, CeaffConfig)> {
@@ -55,6 +55,7 @@ fn main() {
         .map(|s| s.to_string())
         .collect();
     let cfg = opts.ceaff_config();
+    let telemetry = opts.telemetry();
     let names: Vec<&str> = variants(&cfg).iter().map(|(n, _)| *n).collect();
     let mut table: Vec<Vec<String>> = vec![Vec::new(); names.len()];
     let mut jcols = Vec::new();
@@ -65,7 +66,7 @@ fn main() {
         let features = FeatureSet::compute_all(&task.input(), &cfg);
         let mut jcol = Vec::new();
         for (i, (name, variant)) in variants(&cfg).into_iter().enumerate() {
-            let out = run_with_features(&task.dataset.pair, &features, &variant);
+            let out = run_ceaff(&task.dataset.pair, &features, &variant, &telemetry);
             eprintln!("  {:<12} {:.3}", name, out.accuracy);
             table[i].push(fmt_acc(Some(out.accuracy)));
             jcol.push(json!({ "variant": name, "accuracy": out.accuracy }));

@@ -7,7 +7,7 @@
 
 use ceaff::baselines::evaluate;
 use ceaff::prelude::*;
-use ceaff_bench::{baseline_roster, maybe_write_json, print_table, HarnessOpts};
+use ceaff_bench::{baseline_roster, maybe_write_json, print_table, run_ceaff, HarnessOpts};
 use serde_json::json;
 
 fn main() {
@@ -59,9 +59,10 @@ fn main() {
     let mut ceaff_cells = Vec::new();
     let mut j_wo = Vec::new();
     let mut j_full = Vec::new();
+    let telemetry = opts.telemetry();
     for task in &tasks {
         let features = FeatureSet::compute_all(&task.input(), &cfg);
-        let full = run_with_features(&task.dataset.pair, &features, &cfg);
+        let full = run_ceaff(&task.dataset.pair, &features, &cfg, &telemetry);
         eprintln!(
             "  [{}] CEAFF w/o C H@1 {:.3} H@10 {:.3} MRR {:.3}; CEAFF acc {:.3}",
             task.dataset.config.name,

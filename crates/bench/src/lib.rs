@@ -17,8 +17,9 @@
 //!
 //! Every binary accepts `--scale <f64>` (dataset size multiplier, default
 //! 0.3), `--dim <usize>` (GCN/TransE dimension, default 64), `--epochs
-//! <usize>` (encoder epochs, default 100) and `--json <path>` (also dump
-//! machine-readable results).
+//! <usize>` (encoder epochs, default 100), `--json <path>` (also dump
+//! machine-readable results) and `--trace <path>` (stream telemetry
+//! events as JSON lines).
 
 use ceaff::baselines::*;
 use ceaff::prelude::*;
@@ -36,6 +37,8 @@ pub struct HarnessOpts {
     pub epochs: usize,
     /// Optional JSON output path.
     pub json: Option<String>,
+    /// Optional telemetry trace path (JSON lines).
+    pub trace: Option<String>,
 }
 
 impl Default for HarnessOpts {
@@ -45,6 +48,7 @@ impl Default for HarnessOpts {
             dim: 64,
             epochs: 100,
             json: None,
+            trace: None,
         }
     }
 }
@@ -67,10 +71,15 @@ impl HarnessOpts {
                 "--scale" => opts.scale = value("--scale").parse().expect("--scale takes a float"),
                 "--dim" => opts.dim = value("--dim").parse().expect("--dim takes an integer"),
                 "--epochs" => {
-                    opts.epochs = value("--epochs").parse().expect("--epochs takes an integer")
+                    opts.epochs = value("--epochs")
+                        .parse()
+                        .expect("--epochs takes an integer")
                 }
                 "--json" => opts.json = Some(value("--json")),
-                other => panic!("unknown flag {other}; known: --scale --dim --epochs --json"),
+                "--trace" => opts.trace = Some(value("--trace")),
+                other => {
+                    panic!("unknown flag {other}; known: --scale --dim --epochs --json --trace")
+                }
             }
         }
         opts
@@ -107,6 +116,32 @@ impl HarnessOpts {
     pub fn task(&self, preset: Preset) -> DatasetTask {
         DatasetTask::from_preset(preset, self.scale, self.dim)
     }
+
+    /// The telemetry handle these options imply: a JSON-lines stream when
+    /// `--trace` was given, otherwise disabled (timings only). Call once
+    /// per binary — a second call would truncate the trace file.
+    pub fn telemetry(&self) -> Telemetry {
+        match &self.trace {
+            Some(path) => {
+                let sink = ceaff::telemetry::JsonLinesSink::create(path)
+                    .unwrap_or_else(|e| panic!("cannot write trace {path}: {e}"));
+                Telemetry::with_sink(std::sync::Arc::new(sink))
+            }
+            None => Telemetry::disabled(),
+        }
+    }
+}
+
+/// Shorthand for the experiment binaries: run fusion + matching on
+/// precomputed features, panicking on pipeline errors (an experiment with
+/// a bad configuration should abort loudly).
+pub fn run_ceaff(
+    pair: &ceaff::graph::KgPair,
+    features: &FeatureSet,
+    cfg: &CeaffConfig,
+    telemetry: &Telemetry,
+) -> CeaffOutput {
+    try_run_with_features(pair, features, cfg, telemetry).expect("pipeline runs")
 }
 
 /// Which group a method belongs to in the paper's tables.
@@ -230,8 +265,11 @@ pub fn maybe_write_json(opts: &HarnessOpts, experiment: &str, value: &serde_json
             },
             "results": value,
         });
-        std::fs::write(path, serde_json::to_string_pretty(&payload).expect("serializable"))
-            .expect("write json output");
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&payload).expect("serializable"),
+        )
+        .expect("write json output");
         println!("\n(json results written to {path})");
     }
 }
@@ -249,8 +287,17 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "MTransE", "IPTransE", "BootEA", "RSNs", "MuGNN", "NAEA", "GCN-Align", "JAPE",
-                "RDGCN", "GM-Align", "MultiKE"
+                "MTransE",
+                "IPTransE",
+                "BootEA",
+                "RSNs",
+                "MuGNN",
+                "NAEA",
+                "GCN-Align",
+                "JAPE",
+                "RDGCN",
+                "GM-Align",
+                "MultiKE"
             ]
         );
         // First six are the structure-only group.

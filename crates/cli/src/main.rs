@@ -47,6 +47,9 @@ USAGE:
         --matcher NAME    daa | hungarian | greedy1to1 | greedy [default daa]
         --threshold F     abstain below this fused similarity
         --csls K          CSLS hubness correction
+        --trace FILE      stream telemetry events (stage timings, GCN
+                          epoch losses, fusion weights, matcher counters)
+                          as JSON lines to FILE
         --no-structural / --no-semantic / --no-string
         --equal-weights   fixed equal weights instead of adaptive fusion
 ";
@@ -194,20 +197,17 @@ fn cmd_align(args: &Args) {
     // routes through a lexicon when one is provided (or found in the
     // directory), otherwise uses the same subword embedder (mono-lingual).
     let base = SubwordEmbedder::new(dim, 0x736f7572);
-    let lexicon_path = args
-        .get("lexicon")
-        .map(str::to_owned)
-        .or_else(|| {
-            let candidate = std::path::Path::new(&dir).join("lexicon.tsv");
-            candidate.exists().then(|| candidate.display().to_string())
-        });
+    let lexicon_path = args.get("lexicon").map(str::to_owned).or_else(|| {
+        let candidate = std::path::Path::new(&dir).join("lexicon.tsv");
+        candidate.exists().then(|| candidate.display().to_string())
+    });
     let lexicon_embedder: Option<LexiconEmbedder> = lexicon_path.map(|path| {
         let file = std::fs::File::open(&path).unwrap_or_else(|e| {
             eprintln!("error: cannot open lexicon {path}: {e}");
             std::process::exit(1);
         });
-        let lex = BilingualLexicon::from_tsv_reader(std::io::BufReader::new(file))
-            .unwrap_or_else(|e| {
+        let lex =
+            BilingualLexicon::from_tsv_reader(std::io::BufReader::new(file)).unwrap_or_else(|e| {
                 eprintln!("error: bad lexicon {path}: {e}");
                 std::process::exit(1);
             });
@@ -246,19 +246,35 @@ fn cmd_align(args: &Args) {
         }
     };
 
-    let input = EaInput {
-        pair: &pair,
-        source_embedder: &base,
-        target_embedder,
+    if args.has_switch("trace") {
+        eprintln!("error: --trace expects a file path");
+        std::process::exit(2);
+    }
+    let telemetry = match args.get("trace") {
+        Some(path) => {
+            let sink = ceaff::telemetry::JsonLinesSink::create(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot write trace {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("streaming telemetry to {path}");
+            Telemetry::with_sink(std::sync::Arc::new(sink))
+        }
+        None => Telemetry::disabled(),
     };
+    let input = EaInput::new(&pair, &base, target_embedder).with_telemetry(telemetry);
     eprintln!(
         "aligning {} test sources against {} test targets ...",
         pair.test_pairs().len(),
         pair.test_pairs().len()
     );
-    let start = std::time::Instant::now();
-    let out = ceaff::run(&input, &cfg);
-    eprintln!("done in {:.1}s", start.elapsed().as_secs_f64());
+    let out = ceaff::try_run(&input, &cfg).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("done in {:.1}s", out.trace.total_seconds());
+    for timing in &out.trace.stages {
+        eprintln!("  {:<10} {:>8.2}s", timing.stage, timing.seconds);
+    }
 
     println!("accuracy: {:.4}", out.accuracy);
     println!(

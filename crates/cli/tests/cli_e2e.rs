@@ -42,10 +42,21 @@ fn generate_stats_align_roundtrip() {
 
     // generate
     let out = ceaff()
-        .args(["generate", "srprs-dbp-wd", "--scale", "0.1", "--out", &dir_s])
+        .args([
+            "generate",
+            "srprs-dbp-wd",
+            "--scale",
+            "0.1",
+            "--out",
+            &dir_s,
+        ])
         .output()
         .expect("run generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(dir.join("triples_1").exists());
     assert!(dir.join("links").exists());
 
@@ -76,7 +87,11 @@ fn generate_stats_align_roundtrip() {
         ])
         .output()
         .expect("run align");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("accuracy:"), "{text}");
     assert!(text.contains("precision"), "{text}");
@@ -101,17 +116,31 @@ fn align_uses_generated_lexicon_for_cross_lingual_pairs() {
     let dir = tmp_dir("lexicon");
     let dir_s = dir.display().to_string();
     let out = ceaff()
-        .args(["generate", "dbp15k-zh-en", "--scale", "0.1", "--out", &dir_s])
+        .args([
+            "generate",
+            "dbp15k-zh-en",
+            "--scale",
+            "0.1",
+            "--out",
+            &dir_s,
+        ])
         .output()
         .expect("run generate");
     assert!(out.status.success());
-    assert!(dir.join("lexicon.tsv").exists(), "cross-lingual generate must emit a lexicon");
+    assert!(
+        dir.join("lexicon.tsv").exists(),
+        "cross-lingual generate must emit a lexicon"
+    );
 
     let out = ceaff()
         .args(["align", "--dir", &dir_s, "--dim", "16", "--epochs", "15"])
         .output()
         .expect("run align");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(
         err.contains("using lexicon"),

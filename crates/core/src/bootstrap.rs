@@ -10,8 +10,9 @@
 //! combined, which keeps the self-training noise low. Matches are promoted
 //! when their fused score clears `threshold`.
 
+use crate::error::CeaffError;
 use crate::features::StructuralFeature;
-use crate::pipeline::{run_with_features, CeaffConfig, CeaffOutput, EaInput, FeatureSet};
+use crate::pipeline::{try_run_with_features, CeaffConfig, CeaffOutput, EaInput, FeatureSet};
 use ceaff_graph::{EntityId, KgPair};
 use serde::{Deserialize, Serialize};
 
@@ -42,7 +43,8 @@ impl Default for BootstrapConfig {
 /// Result of a bootstrapped run.
 #[derive(Debug)]
 pub struct BootstrapOutput {
-    /// The final round's pipeline output.
+    /// The final round's pipeline output (its
+    /// [`CeaffOutput::trace`] covers the final round).
     pub final_output: CeaffOutput,
     /// Accuracy after each round (diagnostic).
     pub accuracy_per_round: Vec<f64>,
@@ -56,12 +58,23 @@ pub struct BootstrapOutput {
 /// Each round: compute features on a pair whose seed set is augmented with
 /// the previous round's confident matches, run the full pipeline, promote.
 /// The *evaluation* is always against the original test set.
-pub fn run_bootstrapped(
+///
+/// Per-round progress is reported to `input.telemetry` as `bootstrap`
+/// gauges (`extra_seeds` at round start, `promotions` after the round);
+/// because every round drains the trace into its own [`CeaffOutput`],
+/// those gauges land in that round's trace.
+pub fn try_run_bootstrapped(
     input: &EaInput<'_>,
     cfg: &CeaffConfig,
     boot: &BootstrapConfig,
-) -> BootstrapOutput {
-    assert!(boot.rounds >= 1, "need at least one round");
+) -> Result<BootstrapOutput, CeaffError> {
+    if boot.rounds == 0 {
+        return Err(CeaffError::InvalidConfig(
+            "bootstrapping needs at least one round".into(),
+        ));
+    }
+    cfg.validate()?;
+    let telemetry = &input.telemetry;
     let base_pair = input.pair;
     let test_sources = base_pair.test_sources();
     let test_targets = base_pair.test_targets();
@@ -75,26 +88,30 @@ pub fn run_bootstrapped(
     let mut carried: Option<FeatureSet> = None;
 
     for round in 0..boot.rounds {
+        telemetry.gauge(
+            "bootstrap",
+            "extra_seeds",
+            Some(round as u64),
+            extra_seeds.len() as f64,
+        );
         // Build the augmented problem: same graphs and test split, seeds
         // extended with promotions. The test pairs stay identical so the
         // similarity matrices keep their index space.
         let augmented = augment_seeds(base_pair, &extra_seeds);
-        let aug_input = EaInput {
-            pair: &augmented,
-            source_embedder: input.source_embedder,
-            target_embedder: input.target_embedder,
-        };
+        let aug_input = EaInput::new(&augmented, input.source_embedder, input.target_embedder)
+            .with_telemetry(telemetry.clone());
         let features = match carried.take() {
             None => FeatureSet::compute(&aug_input, cfg),
             Some(mut prev) => {
                 if cfg.use_structural {
-                    prev.structural =
-                        Some(StructuralFeature::compute(&augmented, &cfg.gcn));
+                    prev.structural = Some(StructuralFeature::compute_traced(
+                        &augmented, &cfg.gcn, telemetry,
+                    ));
                 }
                 prev
             }
         };
-        let output = run_with_features(&augmented, &features, cfg);
+        let output = try_run_with_features(&augmented, &features, cfg, telemetry)?;
         carried = Some(features);
         accuracy_per_round.push(output.accuracy);
 
@@ -109,8 +126,7 @@ pub fn run_bootstrapped(
                 .filter_map(|&(i, j)| {
                     let score = output.fused.get(i, j);
                     let (u, v) = (test_sources[i], test_targets[j]);
-                    (score >= boot.threshold && !already.contains(&u))
-                        .then_some((score, u, v))
+                    (score >= boot.threshold && !already.contains(&u)).then_some((score, u, v))
                 })
                 .collect();
             candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("scores are finite"));
@@ -118,6 +134,12 @@ pub fn run_bootstrapped(
                 ((test_sources.len() as f64) * boot.max_promotions_per_round).round() as usize;
             candidates.truncate(cap);
             promotions_per_round.push(candidates.len());
+            telemetry.gauge(
+                "bootstrap",
+                "promotions",
+                Some(round as u64),
+                candidates.len() as f64,
+            );
             extra_seeds.extend(candidates.into_iter().map(|(_, u, v)| (u, v)));
         } else {
             promotions_per_round.push(0);
@@ -125,11 +147,24 @@ pub fn run_bootstrapped(
         last_output = Some(output);
     }
 
-    BootstrapOutput {
+    Ok(BootstrapOutput {
         final_output: last_output.expect("at least one round ran"),
         accuracy_per_round,
         promotions_per_round,
-    }
+    })
+}
+
+/// Deprecated panicking shim over [`try_run_bootstrapped`].
+///
+/// # Panics
+/// Panics when `boot.rounds == 0` or on an invalid configuration.
+#[deprecated(since = "0.1.0", note = "use `try_run_bootstrapped` instead")]
+pub fn run_bootstrapped(
+    input: &EaInput<'_>,
+    cfg: &CeaffConfig,
+    boot: &BootstrapConfig,
+) -> BootstrapOutput {
+    try_run_bootstrapped(input, cfg, boot).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Clone `pair` with `extra` appended to its seed list (test split kept).
@@ -150,6 +185,7 @@ mod tests {
     use super::*;
     use crate::gcn::GcnConfig;
     use ceaff_datagen::{GenConfig, NameChannel};
+    use ceaff_telemetry::Telemetry;
 
     fn dataset() -> ceaff_datagen::GeneratedDataset {
         ceaff_datagen::generate(&GenConfig {
@@ -182,23 +218,27 @@ mod tests {
         let ds = dataset();
         let src = ds.source_embedder(32);
         let tgt = ds.target_embedder(32);
-        let input = EaInput {
-            pair: &ds.pair,
-            source_embedder: &src,
-            target_embedder: &tgt,
-        };
+        let input = EaInput::new(&ds.pair, &src, &tgt);
         let cfg = fast_cfg();
-        let out = run_bootstrapped(&input, &cfg, &BootstrapConfig::default());
+        let out = try_run_bootstrapped(&input, &cfg, &BootstrapConfig::default()).expect("runs");
         assert_eq!(out.accuracy_per_round.len(), 3);
         assert_eq!(out.promotions_per_round.len(), 3);
-        assert_eq!(out.promotions_per_round[2], 0, "final round promotes nothing");
+        assert_eq!(
+            out.promotions_per_round[2], 0,
+            "final round promotes nothing"
+        );
         let first = out.accuracy_per_round[0];
         let last = *out.accuracy_per_round.last().unwrap();
         assert!(
             last >= first - 0.05,
             "bootstrapping degraded badly: {first} -> {last}"
         );
-        assert!(out.promotions_per_round[0] > 0, "confident matches should exist");
+        assert!(
+            out.promotions_per_round[0] > 0,
+            "confident matches should exist"
+        );
+        // The final round's trace carries stage timings as usual.
+        assert!(out.final_output.trace.stage_seconds("matcher").is_some());
     }
 
     #[test]
@@ -206,35 +246,48 @@ mod tests {
         let ds = dataset();
         let src = ds.source_embedder(32);
         let tgt = ds.target_embedder(32);
-        let input = EaInput {
-            pair: &ds.pair,
-            source_embedder: &src,
-            target_embedder: &tgt,
-        };
+        let input = EaInput::new(&ds.pair, &src, &tgt);
         let cfg = fast_cfg();
-        let plain = crate::pipeline::run(&input, &cfg);
-        let boot = run_bootstrapped(
+        let plain = crate::pipeline::try_run(&input, &cfg).expect("runs");
+        let boot = try_run_bootstrapped(
             &input,
             &cfg,
             &BootstrapConfig {
                 rounds: 1,
                 ..BootstrapConfig::default()
             },
-        );
+        )
+        .expect("runs");
         assert!((plain.accuracy - boot.final_output.accuracy).abs() < 1e-9);
     }
 
     #[test]
-    #[should_panic(expected = "at least one round")]
-    fn zero_rounds_rejected() {
+    fn zero_rounds_is_an_error() {
         let ds = dataset();
         let src = ds.source_embedder(16);
         let tgt = ds.target_embedder(16);
-        let input = EaInput {
-            pair: &ds.pair,
-            source_embedder: &src,
-            target_embedder: &tgt,
-        };
+        let input = EaInput::new(&ds.pair, &src, &tgt);
+        let err = try_run_bootstrapped(
+            &input,
+            &fast_cfg(),
+            &BootstrapConfig {
+                rounds: 0,
+                ..BootstrapConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CeaffError::InvalidConfig(_)));
+        assert!(err.to_string().contains("at least one round"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    #[should_panic(expected = "at least one round")]
+    fn deprecated_shim_panics_on_zero_rounds() {
+        let ds = dataset();
+        let src = ds.source_embedder(16);
+        let tgt = ds.target_embedder(16);
+        let input = EaInput::new(&ds.pair, &src, &tgt);
         let _ = run_bootstrapped(
             &input,
             &fast_cfg(),
@@ -243,5 +296,41 @@ mod tests {
                 ..BootstrapConfig::default()
             },
         );
+    }
+
+    #[test]
+    fn enabled_telemetry_reports_bootstrap_rounds() {
+        let ds = dataset();
+        let src = ds.source_embedder(32);
+        let tgt = ds.target_embedder(32);
+        let sink = std::sync::Arc::new(ceaff_telemetry::InMemorySink::default());
+        let input =
+            EaInput::new(&ds.pair, &src, &tgt).with_telemetry(Telemetry::with_sink(sink.clone()));
+        let cfg = fast_cfg();
+        let out = try_run_bootstrapped(
+            &input,
+            &cfg,
+            &BootstrapConfig {
+                rounds: 2,
+                ..BootstrapConfig::default()
+            },
+        )
+        .expect("runs");
+        // The sink saw every round's events, including the bootstrap
+        // gauges the per-round traces were drained around.
+        let events = sink.snapshot();
+        let rounds: Vec<u64> = events
+            .iter()
+            .filter(|e| e.stage == "bootstrap" && e.name == "extra_seeds")
+            .filter_map(|e| e.step)
+            .collect();
+        assert_eq!(rounds, vec![0, 1]);
+        assert!(
+            events
+                .iter()
+                .any(|e| e.stage == "bootstrap" && e.name == "promotions"),
+            "promotions gauge expected"
+        );
+        assert!(out.final_output.trace.stage_seconds("gcn").is_some());
     }
 }

@@ -1,0 +1,83 @@
+//! Error type of the Result-based pipeline API.
+
+use std::fmt;
+
+/// Everything that can go wrong before a pipeline run produces an output.
+///
+/// Returned by [`crate::pipeline::try_run`],
+/// [`crate::pipeline::try_run_with_features`] and
+/// [`crate::pipeline::try_run_single_stage`]; the deprecated panicking
+/// entry points turn these into panics with the historical messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CeaffError {
+    /// The configuration enables no feature that the feature set actually
+    /// contains — there is nothing to fuse or match.
+    EmptyFeatureSet,
+    /// Two active feature matrices disagree about the test-split shape, so
+    /// they cannot be fused cell-wise.
+    ShapeMismatch {
+        /// Name of the offending feature.
+        feature: String,
+        /// Shape `(sources, targets)` of the first active feature.
+        expected: (usize, usize),
+        /// Shape of the offending feature.
+        found: (usize, usize),
+    },
+    /// A configuration field holds a value the pipeline cannot run with
+    /// (see [`crate::pipeline::CeaffConfig::validate`]).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CeaffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CeaffError::EmptyFeatureSet => {
+                write!(f, "configuration enables no computed feature")
+            }
+            CeaffError::ShapeMismatch {
+                feature,
+                expected,
+                found,
+            } => write!(
+                f,
+                "feature '{feature}' has shape {}x{} but {}x{} was expected",
+                found.0, found.1, expected.0, expected.1
+            ),
+            CeaffError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CeaffError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            CeaffError::EmptyFeatureSet.to_string(),
+            "configuration enables no computed feature"
+        );
+        let e = CeaffError::ShapeMismatch {
+            feature: "string".into(),
+            expected: (10, 10),
+            found: (10, 12),
+        };
+        assert_eq!(
+            e.to_string(),
+            "feature 'string' has shape 10x12 but 10x10 was expected"
+        );
+        assert_eq!(
+            CeaffError::InvalidConfig("gcn.dim must be positive".into()).to_string(),
+            "invalid configuration: gcn.dim must be positive"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&CeaffError::EmptyFeatureSet);
+    }
+}

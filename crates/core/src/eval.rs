@@ -20,11 +20,7 @@ pub fn accuracy(matching: &Matching, n_sources: usize) -> f64 {
     if n_sources == 0 {
         return 0.0;
     }
-    let correct = matching
-        .pairs()
-        .iter()
-        .filter(|&&(i, j)| i == j)
-        .count();
+    let correct = matching.pairs().iter().filter(|&&(i, j)| i == j).count();
     correct as f64 / n_sources as f64
 }
 
@@ -75,7 +71,11 @@ pub struct PrecisionRecall {
 pub fn precision_recall(matching: &Matching, n_sources: usize) -> PrecisionRecall {
     let correct = matching.pairs().iter().filter(|&&(i, j)| i == j).count() as f64;
     let matched = matching.len() as f64;
-    let precision = if matched > 0.0 { correct / matched } else { 0.0 };
+    let precision = if matched > 0.0 {
+        correct / matched
+    } else {
+        0.0
+    };
     let recall = if n_sources > 0 {
         correct / n_sources as f64
     } else {

@@ -78,7 +78,10 @@ mod tests {
         let margin = diagonal_margin(f.test_matrix());
         assert!(margin > 0.02, "attribute margin too small: {margin}");
         // But much weaker than the name features — the realistic profile.
-        assert!(margin < 0.6, "attribute margin implausibly strong: {margin}");
+        assert!(
+            margin < 0.6,
+            "attribute margin implausibly strong: {margin}"
+        );
     }
 
     #[test]

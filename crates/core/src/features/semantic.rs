@@ -151,11 +151,8 @@ mod tests {
     #[test]
     fn score_matches_matrix() {
         let ds = dataset(NameChannel::Identical { typo_rate: 0.02 });
-        let f = SemanticFeature::compute(
-            &ds.pair,
-            &ds.source_embedder(32),
-            &ds.target_embedder(32),
-        );
+        let f =
+            SemanticFeature::compute(&ds.pair, &ds.source_embedder(32), &ds.target_embedder(32));
         let s = ds.pair.test_sources();
         let t = ds.pair.test_targets();
         assert!((f.test_matrix().get(2, 4) - f.score(s[2], t[4])).abs() < 1e-4);

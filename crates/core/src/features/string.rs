@@ -86,7 +86,10 @@ mod tests {
 
     #[test]
     fn close_lingual_string_still_separates() {
-        let ds = dataset(NameChannel::CloseLingual { morph_rate: 0.5, replace_rate: 0.2 });
+        let ds = dataset(NameChannel::CloseLingual {
+            morph_rate: 0.5,
+            replace_rate: 0.2,
+        });
         let f = StringFeature::compute(&ds.pair);
         let margin = diagonal_margin(f.test_matrix());
         assert!(margin > 0.2, "close-lingual string margin: {margin}");

@@ -5,6 +5,7 @@ use super::Feature;
 use crate::gcn::{self, GcnConfig, GcnEncoder};
 use ceaff_graph::{EntityId, KgPair};
 use ceaff_sim::{cosine_similarity_matrix, SimilarityMatrix};
+use ceaff_telemetry::Telemetry;
 use ceaff_tensor::Matrix;
 
 /// A trained structural feature.
@@ -22,7 +23,13 @@ pub struct StructuralFeature {
 impl StructuralFeature {
     /// Train the GCN on `pair`'s seeds and compute the test matrix.
     pub fn compute(pair: &KgPair, cfg: &GcnConfig) -> Self {
-        let encoder = gcn::train(pair, cfg);
+        Self::compute_traced(pair, cfg, &Telemetry::disabled())
+    }
+
+    /// [`StructuralFeature::compute`] with telemetry: encoder training is
+    /// timed under the `"gcn"` stage and emits per-epoch loss gauges.
+    pub fn compute_traced(pair: &KgPair, cfg: &GcnConfig, telemetry: &Telemetry) -> Self {
+        let encoder = gcn::train_traced(pair, cfg, telemetry);
         Self::from_encoder(pair, encoder)
     }
 
@@ -94,7 +101,10 @@ mod tests {
         let ds = dataset(NameChannel::Identical { typo_rate: 0.0 });
         let f = StructuralFeature::compute(&ds.pair, &cfg());
         let margin = diagonal_margin(f.test_matrix());
-        assert!(margin > 0.05, "structural diagonal margin too small: {margin}");
+        assert!(
+            margin > 0.05,
+            "structural diagonal margin too small: {margin}"
+        );
     }
 
     #[test]

@@ -171,10 +171,7 @@ pub fn adaptive_weights(mats: &[&SimilarityMatrix], cfg: &FusionConfig) -> Fusio
     }
     let total: f64 = scores.iter().sum();
     let (weights, fallback_equal) = if total > 0.0 {
-        (
-            scores.iter().map(|&s| (s / total) as f32).collect(),
-            false,
-        )
+        (scores.iter().map(|&s| (s / total) as f32).collect(), false)
     } else {
         (vec![1.0 / k as f32; k], true)
     };
@@ -297,21 +294,9 @@ mod tests {
     /// 1/(1+0.5+θ2), θ2/(1+0.5+θ2), 0.5/(1+0.5+θ2).
     #[test]
     fn figure3_walkthrough() {
-        let ms = sm(&[
-            &[0.6, 0.5, 0.2],
-            &[0.7, 1.0, 0.1],
-            &[0.2, 0.2, 0.4],
-        ]);
-        let mn = sm(&[
-            &[1.0, 0.5, 0.1],
-            &[0.5, 1.0, 0.2],
-            &[0.2, 0.2, 0.15],
-        ]);
-        let ml = sm(&[
-            &[0.6, 0.5, 0.4],
-            &[0.1, 0.3, 0.6],
-            &[0.4, 0.4, 0.3],
-        ]);
+        let ms = sm(&[&[0.6, 0.5, 0.2], &[0.7, 1.0, 0.1], &[0.2, 0.2, 0.4]]);
+        let mn = sm(&[&[1.0, 0.5, 0.1], &[0.5, 1.0, 0.2], &[0.2, 0.2, 0.15]]);
+        let ml = sm(&[&[0.6, 0.5, 0.4], &[0.1, 0.3, 0.6], &[0.4, 0.4, 0.3]]);
         // Verify the candidate sets match the figure.
         let cs: Vec<_> = confident_correspondences(&ms)
             .iter()
@@ -391,7 +376,8 @@ mod tests {
         let s = sm(&[&[0.9, 0.1], &[0.1, 0.8]]);
         let n = sm(&[&[0.7, 0.2], &[0.3, 0.9]]);
         let l = sm(&[&[0.8, 0.0], &[0.0, 0.6]]);
-        let (full, trep, frep) = two_stage_fuse(Some(&s), Some(&n), Some(&l), &FusionConfig::default());
+        let (full, trep, frep) =
+            two_stage_fuse(Some(&s), Some(&n), Some(&l), &FusionConfig::default());
         assert!(trep.is_some());
         assert!(frep.is_some());
         assert_eq!(full.sources(), 2);

@@ -16,6 +16,7 @@
 //! [`GcnConfig::train_input`] `= false` for the strictly-literal variant.
 
 use ceaff_graph::{build_adjacency, AdjacencyKind, KgPair};
+use ceaff_telemetry::Telemetry;
 use ceaff_tensor::{init, Adam, Graph, Matrix, Optimizer, ParamSet, Sgd};
 use rand::Rng;
 use rand::SeedableRng;
@@ -195,19 +196,29 @@ fn identity(dim: usize) -> Matrix {
 
 /// Train the shared-weight GCN pair on `pair`'s seed alignment.
 pub fn train(pair: &KgPair, cfg: &GcnConfig) -> GcnEncoder {
-    assert!(cfg.dim > 0 && cfg.negatives > 0, "invalid GCN configuration");
+    train_traced(pair, cfg, &Telemetry::disabled())
+}
+
+/// [`train`] with telemetry: the whole run is timed under the `"gcn"`
+/// stage, and with an active event stream every epoch emits an
+/// `epoch_loss` and a `grad_norm` gauge.
+pub fn train_traced(pair: &KgPair, cfg: &GcnConfig, telemetry: &Telemetry) -> GcnEncoder {
+    assert!(
+        cfg.dim > 0 && cfg.negatives > 0,
+        "invalid GCN configuration"
+    );
+    let _span = telemetry.span("gcn");
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let n1 = pair.source.num_entities();
     let n2 = pair.target.num_entities();
 
     // Hold out part of the seed alignment for early stopping. Held-out
     // pairs take no part in anchoring, tying, or the loss.
-    let mut all_seeds: Vec<(ceaff_graph::EntityId, ceaff_graph::EntityId)> =
-        pair.seeds().to_vec();
+    let mut all_seeds: Vec<(ceaff_graph::EntityId, ceaff_graph::EntityId)> = pair.seeds().to_vec();
     use rand::seq::SliceRandom;
     all_seeds.shuffle(&mut rng);
-    let n_val = ((all_seeds.len() as f64) * cfg.validation_fraction.clamp(0.0, 0.5)).round()
-        as usize;
+    let n_val =
+        ((all_seeds.len() as f64) * cfg.validation_fraction.clamp(0.0, 0.5)).round() as usize;
     let val_seeds: Vec<_> = all_seeds.split_off(all_seeds.len() - n_val.min(all_seeds.len()));
     let train_seeds = all_seeds;
     let a1 = Rc::new(build_adjacency(&pair.source, cfg.adjacency));
@@ -228,8 +239,7 @@ pub fn train(pair: &KgPair, cfg: &GcnConfig) -> GcnEncoder {
         // `tie_seed_inputs: false` for the literal variant.)
         x1_init.fill_zero();
         x2_init.fill_zero();
-        let mut anchor =
-            init::truncated_normal(train_seeds.len().max(1), cfg.dim, 1.0, &mut rng);
+        let mut anchor = init::truncated_normal(train_seeds.len().max(1), cfg.dim, 1.0, &mut rng);
         anchor.l2_normalize_rows();
         for (i, &(u, v)) in train_seeds.iter().enumerate() {
             x1_init.row_mut(u.index()).copy_from_slice(anchor.row(i));
@@ -356,7 +366,9 @@ pub fn train(pair: &KgPair, cfg: &GcnConfig) -> GcnEncoder {
         let pos_dist = g.row_l1_diff(pu, pv);
         let neg_dist = g.row_l1_diff(nu, nv);
         let loss = g.margin_ranking_loss(pos_dist, neg_dist, cfg.margin);
-        loss_curve.push(g.value(loss)[(0, 0)]);
+        let loss_value = g.value(loss)[(0, 0)];
+        loss_curve.push(loss_value);
+        telemetry.gauge("gcn", "epoch_loss", Some(epoch as u64), loss_value as f64);
         g.backward(loss);
 
         let mut grads: Vec<(ceaff_tensor::ParamId, &Matrix)> = Vec::with_capacity(4);
@@ -373,6 +385,20 @@ pub fn train(pair: &KgPair, cfg: &GcnConfig) -> GcnEncoder {
         }
         if let Some(gw) = g.grad(w2) {
             grads.push((layers.w2, gw));
+        }
+        if telemetry.is_enabled() {
+            // Global gradient L2 norm across every trained parameter —
+            // only computed when someone is listening.
+            let sq: f64 = grads
+                .iter()
+                .map(|(_, m)| {
+                    m.as_slice()
+                        .iter()
+                        .map(|&v| (v as f64) * (v as f64))
+                        .sum::<f64>()
+                })
+                .sum();
+            telemetry.gauge("gcn", "grad_norm", Some(epoch as u64), sq.sqrt());
         }
         opt.step(&mut params, &grads);
 
@@ -459,16 +485,18 @@ fn tie_seeds(
         {
             let x1 = params.get(layers.x1);
             let x2 = params.get(layers.x2);
-            for ((a, &p), &q) in avg
-                .iter_mut()
-                .zip(x1.row(u.index()))
-                .zip(x2.row(v.index()))
-            {
+            for ((a, &p), &q) in avg.iter_mut().zip(x1.row(u.index())).zip(x2.row(v.index())) {
                 *a = 0.5 * (p + q);
             }
         }
-        params.get_mut(layers.x1).row_mut(u.index()).copy_from_slice(&avg);
-        params.get_mut(layers.x2).row_mut(v.index()).copy_from_slice(&avg);
+        params
+            .get_mut(layers.x1)
+            .row_mut(u.index())
+            .copy_from_slice(&avg);
+        params
+            .get_mut(layers.x2)
+            .row_mut(v.index())
+            .copy_from_slice(&avg);
     }
 }
 
@@ -545,14 +573,10 @@ mod tests {
         for i in 0..k {
             let (u, v) = tests[i];
             let (_, v2) = tests[(i + 11) % k];
-            aligned += ceaff_sim::cosine(
-                enc.z_source.row(u.index()),
-                enc.z_target.row(v.index()),
-            ) as f64;
-            random += ceaff_sim::cosine(
-                enc.z_source.row(u.index()),
-                enc.z_target.row(v2.index()),
-            ) as f64;
+            aligned +=
+                ceaff_sim::cosine(enc.z_source.row(u.index()), enc.z_target.row(v.index())) as f64;
+            random +=
+                ceaff_sim::cosine(enc.z_source.row(u.index()), enc.z_target.row(v2.index())) as f64;
         }
         assert!(
             aligned > random + 0.05 * k as f64,
@@ -659,10 +683,7 @@ mod tests {
             train_input: false,
             ..cfg
         };
-        assert_eq!(
-            literal.num_trainable_parameters(1000, 1200),
-            2 * 300 * 300
-        );
+        assert_eq!(literal.num_trainable_parameters(1000, 1200), 2 * 300 * 300);
         // The default (GCN-Align-style) variant also trains the inputs.
         assert_eq!(
             cfg.num_trainable_parameters(1000, 1200),

@@ -24,7 +24,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use ceaff_core::pipeline::{run, CeaffConfig, EaInput};
+//! use ceaff_core::pipeline::{try_run, CeaffConfig, EaInput};
 //! use ceaff_core::gcn::GcnConfig;
 //! use ceaff_datagen::Preset;
 //!
@@ -32,19 +32,20 @@
 //! let ds = Preset::Dbp15kFrEn.generate(0.05);
 //! let src = ds.source_embedder(32);
 //! let tgt = ds.target_embedder(32);
-//! let input = EaInput {
-//!     pair: &ds.pair,
-//!     source_embedder: &src,
-//!     target_embedder: &tgt,
-//! };
-//! let mut cfg = CeaffConfig::default();
-//! cfg.gcn = GcnConfig { dim: 16, epochs: 20, ..GcnConfig::default() };
-//! cfg.embed_dim = 32;
-//! let out = run(&input, &cfg);
+//! let input = EaInput::new(&ds.pair, &src, &tgt);
+//! let cfg = CeaffConfig::builder()
+//!     .gcn(GcnConfig { dim: 16, epochs: 20, ..GcnConfig::default() })
+//!     .embed_dim(32)
+//!     .build()
+//!     .expect("valid configuration");
+//! let out = try_run(&input, &cfg).expect("pipeline runs");
 //! assert!(out.accuracy > 0.0);
+//! // Every run carries a trace of per-stage wall-clock timings.
+//! assert!(out.trace.stage_seconds("gcn").is_some());
 //! ```
 
 pub mod bootstrap;
+pub mod error;
 pub mod eval;
 pub mod features;
 pub mod fusion;
@@ -53,13 +54,17 @@ pub mod lr;
 pub mod matching;
 pub mod pipeline;
 
-pub use bootstrap::{run_bootstrapped, BootstrapConfig, BootstrapOutput};
+#[allow(deprecated)]
+pub use bootstrap::run_bootstrapped;
+pub use bootstrap::{try_run_bootstrapped, BootstrapConfig, BootstrapOutput};
+pub use ceaff_telemetry::{
+    EventKind, InMemorySink, JsonLinesSink, NullSink, RunTrace, Sink, Telemetry, TraceEvent,
+};
+pub use error::CeaffError;
 pub use eval::{
     accuracy, hits_at_k, mrr, precision_recall, ranking_metrics, PrecisionRecall, RankingMetrics,
 };
-pub use features::{
-    AttributeFeature, Feature, SemanticFeature, StringFeature, StructuralFeature,
-};
+pub use features::{AttributeFeature, Feature, SemanticFeature, StringFeature, StructuralFeature};
 pub use fusion::{
     adaptive_fuse, adaptive_weights, confident_correspondences, fuse, two_stage_fuse, Candidate,
     FusionConfig, FusionReport,
@@ -69,9 +74,11 @@ pub use lr::{learn_weights, LearnedWeights, LrConfig};
 pub use matching::{
     Greedy, GreedyOneToOne, Hungarian, Matcher, MatcherKind, Matching, StableMarriage,
 };
+#[allow(deprecated)]
+pub use pipeline::{run, run_single_stage, run_with_features};
 pub use pipeline::{
-    run, run_single_stage, run_with_features, CeaffConfig, CeaffOutput, EaInput, FeatureSet,
-    WeightingMode,
+    try_run, try_run_single_stage, try_run_with_features, CeaffConfig, CeaffConfigBuilder,
+    CeaffOutput, EaInput, FeatureSet, WeightingMode,
 };
 
 #[cfg(test)]

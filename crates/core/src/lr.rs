@@ -225,11 +225,7 @@ mod tests {
         let strong = DiagFeature::new(60, 1.0);
         let weak = DiagFeature::new(60, 0.2);
         let lw = learn_weights(&[&strong, &weak], &pair, &LrConfig::default());
-        assert!(
-            lw.weights[0] > lw.weights[1],
-            "weights {:?}",
-            lw.weights
-        );
+        assert!(lw.weights[0] > lw.weights[1], "weights {:?}", lw.weights);
     }
 
     #[test]

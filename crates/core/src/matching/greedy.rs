@@ -3,6 +3,7 @@
 
 use super::{Matcher, Matching};
 use ceaff_sim::SimilarityMatrix;
+use ceaff_telemetry::Telemetry;
 
 /// For every source row, pick the most similar target, independently of all
 /// other decisions. Multiple sources may claim the same target — exactly
@@ -20,6 +21,24 @@ impl Matcher for Greedy {
             .filter_map(|i| m.row_argmax(i).map(|j| (i, j)))
             .collect();
         Matching::from_pairs(pairs)
+    }
+
+    fn matching_traced(&self, m: &SimilarityMatrix, telemetry: &Telemetry) -> Matching {
+        let _span = telemetry.span("matcher");
+        let matching = self.matching(m);
+        // Conflicts: sources whose independent argmax collided with an
+        // earlier source's choice — Figure 1's failure mode, quantified.
+        let mut taken = vec![false; m.targets()];
+        let mut conflicts = 0u64;
+        for &(_, j) in matching.pairs() {
+            if taken[j] {
+                conflicts += 1;
+            }
+            taken[j] = true;
+        }
+        telemetry.counter_add("matcher", "iterations", matching.len() as u64);
+        telemetry.counter_add("matcher", "conflicts", conflicts);
+        matching
     }
 }
 

@@ -11,6 +11,7 @@
 
 use super::{Matcher, Matching};
 use ceaff_sim::SimilarityMatrix;
+use ceaff_telemetry::Telemetry;
 
 /// Descending-score greedy one-to-one assignment.
 ///
@@ -18,15 +19,15 @@ use ceaff_sim::SimilarityMatrix;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct GreedyOneToOne;
 
-impl Matcher for GreedyOneToOne {
-    fn name(&self) -> &'static str {
-        "greedy-one-to-one"
-    }
-
-    fn matching(&self, m: &SimilarityMatrix) -> Matching {
+impl GreedyOneToOne {
+    /// Run the assignment, returning the matching plus the number of cells
+    /// visited and of cells skipped because a side was already taken.
+    fn solve(&self, m: &SimilarityMatrix) -> (Matching, u64, u64) {
+        let mut visited = 0u64;
+        let mut skipped = 0u64;
         let (n, t) = (m.sources(), m.targets());
         if n == 0 || t == 0 {
-            return Matching::from_pairs(Vec::new());
+            return (Matching::from_pairs(Vec::new()), visited, skipped);
         }
         let mut cells: Vec<(f32, u32, u32)> = Vec::with_capacity(n * t);
         for i in 0..n {
@@ -44,8 +45,10 @@ impl Matcher for GreedyOneToOne {
         let mut tgt_taken = vec![false; t];
         let mut pairs = Vec::with_capacity(n.min(t));
         for (_, i, j) in cells {
+            visited += 1;
             let (i, j) = (i as usize, j as usize);
             if src_taken[i] || tgt_taken[j] {
+                skipped += 1;
                 continue;
             }
             src_taken[i] = true;
@@ -56,7 +59,25 @@ impl Matcher for GreedyOneToOne {
             }
         }
         pairs.sort_unstable();
-        Matching::from_pairs(pairs)
+        (Matching::from_pairs(pairs), visited, skipped)
+    }
+}
+
+impl Matcher for GreedyOneToOne {
+    fn name(&self) -> &'static str {
+        "greedy-one-to-one"
+    }
+
+    fn matching(&self, m: &SimilarityMatrix) -> Matching {
+        self.solve(m).0
+    }
+
+    fn matching_traced(&self, m: &SimilarityMatrix, telemetry: &Telemetry) -> Matching {
+        let _span = telemetry.span("matcher");
+        let (matching, visited, skipped) = self.solve(m);
+        telemetry.counter_add("matcher", "iterations", visited);
+        telemetry.counter_add("matcher", "conflicts", skipped);
+        matching
     }
 }
 
@@ -96,7 +117,9 @@ mod tests {
 
     #[test]
     fn empty() {
-        assert!(GreedyOneToOne.matching(&SimilarityMatrix::zeros(0, 0)).is_empty());
+        assert!(GreedyOneToOne
+            .matching(&SimilarityMatrix::zeros(0, 0))
+            .is_empty());
     }
 
     proptest! {

@@ -7,6 +7,7 @@
 
 use super::{Matcher, Matching};
 use ceaff_sim::SimilarityMatrix;
+use ceaff_telemetry::Telemetry;
 
 /// Kuhn–Munkres assignment maximising total similarity, O(n²·m).
 ///
@@ -15,15 +16,14 @@ use ceaff_sim::SimilarityMatrix;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Hungarian;
 
-impl Matcher for Hungarian {
-    fn name(&self) -> &'static str {
-        "hungarian"
-    }
-
-    fn matching(&self, m: &SimilarityMatrix) -> Matching {
+impl Hungarian {
+    /// Run the assignment, returning the matching plus the number of
+    /// potential-update iterations the augmenting search performed.
+    fn solve(&self, m: &SimilarityMatrix) -> (Matching, u64) {
+        let mut iterations = 0u64;
         let (n, t) = (m.sources(), m.targets());
         if n == 0 || t == 0 {
-            return Matching::from_pairs(Vec::new());
+            return (Matching::from_pairs(Vec::new()), iterations);
         }
         // The potential-based algorithm needs rows ≤ columns; transpose if
         // needed and flip the result.
@@ -46,6 +46,7 @@ impl Matcher for Hungarian {
             let mut minv = vec![INF; cols + 1];
             let mut used = vec![false; cols + 1];
             loop {
+                iterations += 1;
                 used[j0] = true;
                 let i0 = p[j0];
                 let mut delta = INF;
@@ -100,7 +101,24 @@ impl Matcher for Hungarian {
             })
             .collect();
         pairs.sort_unstable();
-        Matching::from_pairs(pairs)
+        (Matching::from_pairs(pairs), iterations)
+    }
+}
+
+impl Matcher for Hungarian {
+    fn name(&self) -> &'static str {
+        "hungarian"
+    }
+
+    fn matching(&self, m: &SimilarityMatrix) -> Matching {
+        self.solve(m).0
+    }
+
+    fn matching_traced(&self, m: &SimilarityMatrix, telemetry: &Telemetry) -> Matching {
+        let _span = telemetry.span("matcher");
+        let (matching, iterations) = self.solve(m);
+        telemetry.counter_add("matcher", "iterations", iterations);
+        matching
     }
 }
 
@@ -149,7 +167,9 @@ mod tests {
 
     #[test]
     fn empty() {
-        assert!(Hungarian.matching(&SimilarityMatrix::zeros(0, 3)).is_empty());
+        assert!(Hungarian
+            .matching(&SimilarityMatrix::zeros(0, 3))
+            .is_empty());
     }
 
     /// Brute-force optimum over all permutations for small n.

@@ -22,6 +22,7 @@ pub use hungarian::Hungarian;
 pub use stable_marriage::StableMarriage;
 
 use ceaff_sim::SimilarityMatrix;
+use ceaff_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
 /// The outcome of a matcher: `(source index, target index)` pairs in the
@@ -55,10 +56,7 @@ impl Matching {
 
     /// The target matched to source `i`, if any.
     pub fn target_of(&self, i: usize) -> Option<usize> {
-        self.pairs
-            .iter()
-            .find(|&&(s, _)| s == i)
-            .map(|&(_, t)| t)
+        self.pairs.iter().find(|&&(s, _)| s == i).map(|&(_, t)| t)
     }
 
     /// Whether the matching is one-to-one on both sides.
@@ -130,6 +128,16 @@ pub trait Matcher {
 
     /// Compute the matching.
     fn matching(&self, m: &SimilarityMatrix) -> Matching;
+
+    /// [`Matcher::matching`] with telemetry: the decision is timed under
+    /// the `"matcher"` stage and implementations add algorithm-specific
+    /// counters — every built-in matcher emits an `iterations` total, plus
+    /// `proposals`/`trade_ups` (deferred acceptance) or `conflicts`
+    /// (greedy strategies). The default implementation only times.
+    fn matching_traced(&self, m: &SimilarityMatrix, telemetry: &Telemetry) -> Matching {
+        let _span = telemetry.span("matcher");
+        self.matching(m)
+    }
 }
 
 /// Which matcher a pipeline should use (config-friendly enum mirror).
@@ -206,7 +214,10 @@ mod tests {
     #[test]
     fn kind_builds_named_matchers() {
         assert_eq!(MatcherKind::Greedy.build().name(), "greedy");
-        assert_eq!(MatcherKind::StableMarriage.build().name(), "stable-marriage");
+        assert_eq!(
+            MatcherKind::StableMarriage.build().name(),
+            "stable-marriage"
+        );
         assert_eq!(MatcherKind::Hungarian.build().name(), "hungarian");
         assert_eq!(
             MatcherKind::GreedyOneToOne.build().name(),

@@ -10,6 +10,7 @@
 
 use super::{Matcher, Matching};
 use ceaff_sim::SimilarityMatrix;
+use ceaff_telemetry::Telemetry;
 use std::collections::VecDeque;
 
 /// Deferred acceptance with source entities proposing.
@@ -38,15 +39,15 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StableMarriage;
 
-impl Matcher for StableMarriage {
-    fn name(&self) -> &'static str {
-        "stable-marriage"
-    }
-
-    fn matching(&self, m: &SimilarityMatrix) -> Matching {
+impl StableMarriage {
+    /// Run deferred acceptance, returning the matching plus the number of
+    /// proposals made and of times a target traded its holder up.
+    fn solve(&self, m: &SimilarityMatrix) -> (Matching, u64, u64) {
+        let mut proposals = 0u64;
+        let mut trade_ups = 0u64;
         let (n, t) = (m.sources(), m.targets());
         if n == 0 || t == 0 {
-            return Matching::from_pairs(Vec::new());
+            return (Matching::from_pairs(Vec::new()), proposals, trade_ups);
         }
         // Descending preference list per source.
         let prefs: Vec<Vec<u32>> = (0..n)
@@ -77,6 +78,7 @@ impl Matcher for StableMarriage {
                     break; // exhausted every target; stays unmatched
                 }
                 next_proposal[u] += 1;
+                proposals += 1;
                 let v = prefs[u][cursor] as usize;
                 match holder[v] {
                     None => {
@@ -87,6 +89,7 @@ impl Matcher for StableMarriage {
                         // Target v trades up if it prefers u over cur.
                         if m.get(u, v) > m.get(cur, v) {
                             holder[v] = Some(u);
+                            trade_ups += 1;
                             u = cur; // the dumped source proposes next
                         }
                         // else: rejected, u proposes to its next choice.
@@ -101,7 +104,26 @@ impl Matcher for StableMarriage {
             .filter_map(|(v, h)| h.map(|u| (u, v)))
             .collect();
         pairs.sort_unstable();
-        Matching::from_pairs(pairs)
+        (Matching::from_pairs(pairs), proposals, trade_ups)
+    }
+}
+
+impl Matcher for StableMarriage {
+    fn name(&self) -> &'static str {
+        "stable-marriage"
+    }
+
+    fn matching(&self, m: &SimilarityMatrix) -> Matching {
+        self.solve(m).0
+    }
+
+    fn matching_traced(&self, m: &SimilarityMatrix, telemetry: &Telemetry) -> Matching {
+        let _span = telemetry.span("matcher");
+        let (matching, proposals, trade_ups) = self.solve(m);
+        telemetry.counter_add("matcher", "iterations", proposals);
+        telemetry.counter_add("matcher", "proposals", proposals);
+        telemetry.counter_add("matcher", "trade_ups", trade_ups);
+        matching
     }
 }
 
@@ -157,8 +179,12 @@ mod tests {
 
     #[test]
     fn empty_matrix() {
-        assert!(StableMarriage.matching(&SimilarityMatrix::zeros(0, 5)).is_empty());
-        assert!(StableMarriage.matching(&SimilarityMatrix::zeros(5, 0)).is_empty());
+        assert!(StableMarriage
+            .matching(&SimilarityMatrix::zeros(0, 5))
+            .is_empty());
+        assert!(StableMarriage
+            .matching(&SimilarityMatrix::zeros(5, 0))
+            .is_empty());
     }
 
     proptest! {

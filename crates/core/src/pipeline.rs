@@ -1,7 +1,14 @@
 //! The end-to-end CEAFF pipeline (paper Figure 2): feature generation →
 //! adaptive feature fusion → collective EA — with a switch for every
 //! ablation of Table V.
+//!
+//! The fallible entry points ([`try_run`], [`try_run_with_features`],
+//! [`try_run_single_stage`]) return `Result<CeaffOutput, CeaffError>` and
+//! thread a [`Telemetry`] handle through every stage; the produced
+//! [`CeaffOutput::trace`] records stage timings, counters and (with an
+//! active event stream) the full event sequence of the run.
 
+use crate::error::CeaffError;
 use crate::eval::{accuracy, ranking_metrics, RankingMetrics};
 use crate::features::{Feature, SemanticFeature, StringFeature, StructuralFeature};
 
@@ -12,8 +19,8 @@ use crate::matching::{MatcherKind, Matching};
 use ceaff_embed::WordEmbedder;
 use ceaff_graph::KgPair;
 use ceaff_sim::SimilarityMatrix;
+use ceaff_telemetry::{RunTrace, Telemetry};
 use serde::{Deserialize, Serialize};
-use std::time::{Duration, Instant};
 
 /// How feature matrices are weighted before matching.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -74,6 +81,48 @@ impl Default for CeaffConfig {
 }
 
 impl CeaffConfig {
+    /// Start a [`CeaffConfigBuilder`] from the default configuration.
+    pub fn builder() -> CeaffConfigBuilder {
+        CeaffConfigBuilder::default()
+    }
+
+    /// Check every field for values the pipeline cannot run with.
+    ///
+    /// Called by the fallible entry points before any work happens, so a
+    /// bad configuration fails fast with [`CeaffError::InvalidConfig`]
+    /// instead of panicking mid-run.
+    pub fn validate(&self) -> Result<(), CeaffError> {
+        if self.gcn.dim == 0 {
+            return Err(CeaffError::InvalidConfig("gcn.dim must be positive".into()));
+        }
+        if self.gcn.negatives == 0 {
+            return Err(CeaffError::InvalidConfig(
+                "gcn.negatives must be positive".into(),
+            ));
+        }
+        if self.embed_dim == 0 {
+            return Err(CeaffError::InvalidConfig(
+                "embed_dim must be positive".into(),
+            ));
+        }
+        if !self.fusion.theta1.is_finite() || !self.fusion.theta2.is_finite() {
+            return Err(CeaffError::InvalidConfig(
+                "fusion thresholds must be finite".into(),
+            ));
+        }
+        if self.fusion.theta2 < 0.0 {
+            return Err(CeaffError::InvalidConfig(
+                "fusion.theta2 must be non-negative".into(),
+            ));
+        }
+        if self.csls == Some(0) {
+            return Err(CeaffError::InvalidConfig(
+                "csls neighbourhood size must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+
     /// Builder-style: disable the structural feature.
     pub fn without_structural(mut self) -> Self {
         self.use_structural = false;
@@ -124,6 +173,98 @@ impl CeaffConfig {
     }
 }
 
+/// A complete builder over every [`CeaffConfig`] field.
+///
+/// [`CeaffConfigBuilder::build`] validates the result, so a configuration
+/// obtained through the builder is guaranteed to pass
+/// [`CeaffConfig::validate`].
+///
+/// ```
+/// use ceaff_core::pipeline::CeaffConfig;
+/// use ceaff_core::matching::MatcherKind;
+///
+/// let cfg = CeaffConfig::builder()
+///     .embed_dim(32)
+///     .matcher(MatcherKind::Hungarian)
+///     .csls(10)
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(cfg.embed_dim, 32);
+/// assert_eq!(cfg.csls, Some(10));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CeaffConfigBuilder {
+    cfg: CeaffConfig,
+}
+
+impl CeaffConfigBuilder {
+    /// GCN training configuration for the structural feature.
+    pub fn gcn(mut self, gcn: GcnConfig) -> Self {
+        self.cfg.gcn = gcn;
+        self
+    }
+
+    /// Word-embedding dimensionality for the semantic feature.
+    pub fn embed_dim(mut self, dim: usize) -> Self {
+        self.cfg.embed_dim = dim;
+        self
+    }
+
+    /// Adaptive fusion thresholds.
+    pub fn fusion(mut self, fusion: FusionConfig) -> Self {
+        self.cfg.fusion = fusion;
+        self
+    }
+
+    /// Toggle the structural feature `Ms`.
+    pub fn structural(mut self, on: bool) -> Self {
+        self.cfg.use_structural = on;
+        self
+    }
+
+    /// Toggle the semantic feature `Mn`.
+    pub fn semantic(mut self, on: bool) -> Self {
+        self.cfg.use_semantic = on;
+        self
+    }
+
+    /// Toggle the string feature `Ml`.
+    pub fn string(mut self, on: bool) -> Self {
+        self.cfg.use_string = on;
+        self
+    }
+
+    /// Feature weighting strategy.
+    pub fn weighting(mut self, weighting: WeightingMode) -> Self {
+        self.cfg.weighting = weighting;
+        self
+    }
+
+    /// Decision strategy.
+    pub fn matcher(mut self, matcher: MatcherKind) -> Self {
+        self.cfg.matcher = matcher;
+        self
+    }
+
+    /// Toggle per-feature min–max normalisation before fusion.
+    pub fn normalize_features(mut self, on: bool) -> Self {
+        self.cfg.normalize_features = on;
+        self
+    }
+
+    /// Enable CSLS hubness correction with neighbourhood size `k`.
+    pub fn csls(mut self, k: usize) -> Self {
+        self.cfg.csls = Some(k);
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<CeaffConfig, CeaffError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 /// One alignment problem plus the word embedders its semantic feature
 /// should use (the cross-lingual shared space).
 pub struct EaInput<'a> {
@@ -133,11 +274,39 @@ pub struct EaInput<'a> {
     pub source_embedder: &'a dyn WordEmbedder,
     /// Embedder for target-KG entity names (same vector space).
     pub target_embedder: &'a dyn WordEmbedder,
+    /// Telemetry receiving feature-computation and pipeline events; the
+    /// default ([`Telemetry::disabled`]) records stage timings and counter
+    /// totals but no event stream.
+    pub telemetry: Telemetry,
+}
+
+impl<'a> EaInput<'a> {
+    /// Bundle an alignment problem with its embedders (telemetry
+    /// disabled; use [`EaInput::with_telemetry`] to attach a handle).
+    pub fn new(
+        pair: &'a KgPair,
+        source_embedder: &'a dyn WordEmbedder,
+        target_embedder: &'a dyn WordEmbedder,
+    ) -> Self {
+        Self {
+            pair,
+            source_embedder,
+            target_embedder,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attach a telemetry handle; every stage run through this input
+    /// reports to it.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
 }
 
 /// The computed features of one problem. Computing this once and running
-/// many configurations against it (see [`run_with_features`]) is how the
-/// ablation harness avoids retraining the GCN per table row.
+/// many configurations against it (see [`try_run_with_features`]) is how
+/// the ablation harness avoids retraining the GCN per table row.
 pub struct FeatureSet {
     /// `Ms`, when computed.
     pub structural: Option<StructuralFeature>,
@@ -152,27 +321,30 @@ pub struct FeatureSet {
     /// weighted like any other feature — the paper's "increasing numbers
     /// of features" scenario.
     pub extra: Vec<Box<dyn Feature>>,
-    /// Wall-clock time spent computing the features.
-    pub elapsed: Duration,
 }
 
 impl FeatureSet {
-    /// Compute every feature the configuration might need.
+    /// Compute every feature the configuration might need, reporting
+    /// per-stage timings (and, with an active event stream, GCN training
+    /// gauges) to `input.telemetry`.
     pub fn compute(input: &EaInput<'_>, cfg: &CeaffConfig) -> Self {
-        let start = Instant::now();
+        let telemetry = &input.telemetry;
         let structural = cfg
             .use_structural
-            .then(|| StructuralFeature::compute(input.pair, &cfg.gcn));
+            .then(|| StructuralFeature::compute_traced(input.pair, &cfg.gcn, telemetry));
         let semantic = cfg.use_semantic.then(|| {
+            let _span = telemetry.span("semantic");
             SemanticFeature::compute(input.pair, input.source_embedder, input.target_embedder)
         });
-        let string = cfg.use_string.then(|| StringFeature::compute(input.pair));
+        let string = cfg.use_string.then(|| {
+            let _span = telemetry.span("string");
+            StringFeature::compute(input.pair)
+        });
         Self {
             structural,
             semantic,
             string,
             extra: Vec::new(),
-            elapsed: start.elapsed(),
         }
     }
 
@@ -239,26 +411,77 @@ pub struct CeaffOutput {
     /// semantic, string, restricted to active ones) for Equal/LR modes;
     /// `None` in two-stage adaptive mode (see the stage reports instead).
     pub flat_weights: Option<Vec<f32>>,
-    /// Wall-clock time of fusion + matching (excludes feature computation).
-    pub decision_elapsed: Duration,
+    /// Everything telemetry recorded for this run: stage timings, counter
+    /// totals, and (with an active event stream) the ordered events.
+    /// Replaces the old bare `decision_elapsed` duration — stage
+    /// wall-clock lives in [`RunTrace::stages`].
+    pub trace: RunTrace,
+}
+
+/// Validate the active feature set: at least one feature, all matrices on
+/// one shape.
+fn check_features(active: &[&dyn Feature]) -> Result<(), CeaffError> {
+    let Some(first) = active.first() else {
+        return Err(CeaffError::EmptyFeatureSet);
+    };
+    let expected = (first.test_matrix().sources(), first.test_matrix().targets());
+    for f in &active[1..] {
+        let found = (f.test_matrix().sources(), f.test_matrix().targets());
+        if found != expected {
+            return Err(CeaffError::ShapeMismatch {
+                feature: f.name().to_owned(),
+                expected,
+                found,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Gauge the chosen weights and count the correspondence statistics of one
+/// fusion stage.
+fn emit_fusion_report(telemetry: &Telemetry, label: &str, report: &FusionReport) {
+    for (i, &w) in report.weights.iter().enumerate() {
+        telemetry.gauge(
+            "fusion",
+            &format!("{label}_weight"),
+            Some(i as u64),
+            w as f64,
+        );
+    }
+    let candidates: usize = report.candidates_per_feature.iter().sum();
+    let retained: usize = report.retained_per_feature.iter().sum();
+    telemetry.counter_add("fusion", "confident_candidates", candidates as u64);
+    telemetry.counter_add("fusion", "retained_correspondences", retained as u64);
+}
+
+/// Gauge a flat (Equal/LR) weight vector.
+fn emit_flat_weights(telemetry: &Telemetry, weights: &[f32]) {
+    for (i, &w) in weights.iter().enumerate() {
+        telemetry.gauge("fusion", "flat_weight", Some(i as u64), w as f64);
+    }
 }
 
 /// Run fusion + matching on precomputed features.
 ///
-/// # Panics
-/// Panics if `cfg` enables no feature that `features` actually contains.
-pub fn run_with_features(
+/// Fails with [`CeaffError::InvalidConfig`] on a bad configuration,
+/// [`CeaffError::EmptyFeatureSet`] when `cfg` enables no feature that
+/// `features` actually contains, and [`CeaffError::ShapeMismatch`] when
+/// the active feature matrices disagree about the test-split shape.
+///
+/// Fusion and matching are timed under the `"fusion"` and `"matcher"`
+/// stages of `telemetry`; the drained trace is attached to the output.
+pub fn try_run_with_features(
     pair: &KgPair,
     features: &FeatureSet,
     cfg: &CeaffConfig,
-) -> CeaffOutput {
-    let start = Instant::now();
+    telemetry: &Telemetry,
+) -> Result<CeaffOutput, CeaffError> {
+    cfg.validate()?;
     let active = features.active(cfg);
-    assert!(
-        !active.is_empty(),
-        "configuration enables no computed feature"
-    );
+    check_features(&active)?;
 
+    let fusion_span = telemetry.span("fusion");
     let normalized: Vec<SimilarityMatrix> = active
         .iter()
         .map(|f| preprocess(f.test_matrix(), cfg))
@@ -314,12 +537,23 @@ pub fn run_with_features(
             (fuse(&mats, &lw.weights), None, None, Some(lw.weights))
         }
     };
+    if let Some(report) = &textual_fusion {
+        emit_fusion_report(telemetry, "textual", report);
+    }
+    if let Some(report) = &final_fusion {
+        emit_fusion_report(telemetry, "final", report);
+    }
+    if let Some(weights) = &flat_weights {
+        emit_flat_weights(telemetry, weights);
+    }
+    fusion_span.finish();
 
-    let matcher = cfg.matcher.build();
-    let matching = matcher.matching(&fused);
+    let matching = cfg.matcher.build().matching_traced(&fused, telemetry);
     let acc = accuracy(&matching, fused.sources());
     let ranking = ranking_metrics(&fused);
-    CeaffOutput {
+    telemetry.gauge("pipeline", "accuracy", None, acc);
+    telemetry.gauge("pipeline", "matched_pairs", None, matching.len() as f64);
+    Ok(CeaffOutput {
         fused,
         matching,
         accuracy: acc,
@@ -327,8 +561,8 @@ pub fn run_with_features(
         textual_fusion,
         final_fusion,
         flat_weights,
-        decision_elapsed: start.elapsed(),
-    }
+        trace: telemetry.take_trace(),
+    })
 }
 
 /// Per-feature matrix preprocessing: optional CSLS hubness correction,
@@ -346,30 +580,41 @@ fn preprocess(m: &SimilarityMatrix, cfg: &CeaffConfig) -> SimilarityMatrix {
     }
 }
 
-/// Compute features and run the pipeline in one call.
-pub fn run(input: &EaInput<'_>, cfg: &CeaffConfig) -> CeaffOutput {
+/// Compute features and run the pipeline in one call, reporting every
+/// stage to `input.telemetry`.
+pub fn try_run(input: &EaInput<'_>, cfg: &CeaffConfig) -> Result<CeaffOutput, CeaffError> {
+    cfg.validate()?;
     let features = FeatureSet::compute(input, cfg);
-    run_with_features(input.pair, &features, cfg)
+    try_run_with_features(input.pair, &features, cfg, &input.telemetry)
 }
 
 /// A single-adaptive-stage variant fusing all active features at once —
 /// kept public to make the paper's claim that *two-stage* fusion adjusts
 /// weights better directly testable (see the `fusion` bench and the
 /// ablation experiments).
-pub fn run_single_stage(features: &FeatureSet, cfg: &CeaffConfig) -> CeaffOutput {
-    let start = Instant::now();
+pub fn try_run_single_stage(
+    features: &FeatureSet,
+    cfg: &CeaffConfig,
+    telemetry: &Telemetry,
+) -> Result<CeaffOutput, CeaffError> {
+    cfg.validate()?;
     let active = features.active(cfg);
-    assert!(!active.is_empty(), "configuration enables no computed feature");
+    check_features(&active)?;
+    let fusion_span = telemetry.span("fusion");
     let normalized: Vec<SimilarityMatrix> = active
         .iter()
         .map(|f| preprocess(f.test_matrix(), cfg))
         .collect();
     let mats: Vec<&SimilarityMatrix> = normalized.iter().collect();
     let (fused, report) = adaptive_fuse(&mats, &cfg.fusion);
-    let matching = cfg.matcher.build().matching(&fused);
+    emit_fusion_report(telemetry, "single", &report);
+    fusion_span.finish();
+    let matching = cfg.matcher.build().matching_traced(&fused, telemetry);
     let acc = accuracy(&matching, fused.sources());
     let ranking = ranking_metrics(&fused);
-    CeaffOutput {
+    telemetry.gauge("pipeline", "accuracy", None, acc);
+    telemetry.gauge("pipeline", "matched_pairs", None, matching.len() as f64);
+    Ok(CeaffOutput {
         fused,
         matching,
         accuracy: acc,
@@ -377,14 +622,44 @@ pub fn run_single_stage(features: &FeatureSet, cfg: &CeaffConfig) -> CeaffOutput
         textual_fusion: None,
         final_fusion: Some(report),
         flat_weights: None,
-        decision_elapsed: start.elapsed(),
-    }
+        trace: telemetry.take_trace(),
+    })
+}
+
+/// Deprecated panicking shim over [`try_run_with_features`].
+///
+/// # Panics
+/// Panics if `cfg` enables no feature that `features` actually contains.
+#[deprecated(since = "0.1.0", note = "use `try_run_with_features` instead")]
+pub fn run_with_features(pair: &KgPair, features: &FeatureSet, cfg: &CeaffConfig) -> CeaffOutput {
+    try_run_with_features(pair, features, cfg, &Telemetry::disabled())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Deprecated panicking shim over [`try_run`].
+///
+/// # Panics
+/// Panics on an invalid configuration or an empty feature set.
+#[deprecated(since = "0.1.0", note = "use `try_run` instead")]
+pub fn run(input: &EaInput<'_>, cfg: &CeaffConfig) -> CeaffOutput {
+    try_run(input, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Deprecated panicking shim over [`try_run_single_stage`].
+///
+/// # Panics
+/// Panics if `cfg` enables no feature that `features` actually contains.
+#[deprecated(since = "0.1.0", note = "use `try_run_single_stage` instead")]
+pub fn run_single_stage(features: &FeatureSet, cfg: &CeaffConfig) -> CeaffOutput {
+    try_run_single_stage(features, cfg, &Telemetry::disabled()).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use ceaff_datagen::{GenConfig, GeneratedDataset, NameChannel, Preset};
+    use ceaff_telemetry::{EventKind, InMemorySink};
+    use std::sync::Arc;
 
     fn dataset() -> GeneratedDataset {
         ceaff_datagen::generate(&GenConfig {
@@ -392,7 +667,10 @@ mod tests {
             extra_frac: 0.1,
             avg_degree: 8.0,
             overlap: 0.8,
-            channel: NameChannel::CloseLingual { morph_rate: 0.5, replace_rate: 0.2 },
+            channel: NameChannel::CloseLingual {
+                morph_rate: 0.5,
+                replace_rate: 0.2,
+            },
             vocab_size: 400,
             lexicon_coverage: 0.9,
             ..GenConfig::default()
@@ -411,28 +689,33 @@ mod tests {
         }
     }
 
+    /// Shorthand: run with precomputed features and disabled telemetry.
+    fn run_wf(pair: &KgPair, features: &FeatureSet, cfg: &CeaffConfig) -> CeaffOutput {
+        try_run_with_features(pair, features, cfg, &Telemetry::disabled()).expect("pipeline runs")
+    }
+
     #[test]
     fn full_pipeline_beats_greedy_and_single_features() {
         let ds = dataset();
         let src = ds.source_embedder(32);
         let tgt = ds.target_embedder(32);
-        let input = EaInput {
-            pair: &ds.pair,
-            source_embedder: &src,
-            target_embedder: &tgt,
-        };
+        let input = EaInput::new(&ds.pair, &src, &tgt);
         let cfg = fast_cfg();
         let features = FeatureSet::compute_all(&input, &cfg);
 
-        let full = run_with_features(&ds.pair, &features, &cfg);
-        let greedy = run_with_features(&ds.pair, &features, &cfg.clone().without_collective());
+        let full = run_wf(&ds.pair, &features, &cfg);
+        let greedy = run_wf(&ds.pair, &features, &cfg.clone().without_collective());
         assert!(
             full.accuracy >= greedy.accuracy,
             "collective {} must not lose to greedy {}",
             full.accuracy,
             greedy.accuracy
         );
-        assert!(full.accuracy > 0.5, "full pipeline accuracy {}", full.accuracy);
+        assert!(
+            full.accuracy > 0.5,
+            "full pipeline accuracy {}",
+            full.accuracy
+        );
         assert!(full.matching.is_one_to_one());
     }
 
@@ -454,15 +737,58 @@ mod tests {
     }
 
     #[test]
+    fn builder_covers_every_field() {
+        let cfg = CeaffConfig::builder()
+            .gcn(GcnConfig {
+                dim: 16,
+                epochs: 10,
+                ..GcnConfig::default()
+            })
+            .embed_dim(16)
+            .fusion(FusionConfig {
+                theta1: 0.9,
+                theta2: 0.2,
+                cap_enabled: false,
+            })
+            .structural(false)
+            .semantic(true)
+            .string(false)
+            .weighting(WeightingMode::Equal)
+            .matcher(MatcherKind::Hungarian)
+            .normalize_features(false)
+            .csls(5)
+            .build()
+            .expect("valid configuration");
+        assert_eq!(cfg.gcn.dim, 16);
+        assert_eq!(cfg.embed_dim, 16);
+        assert!(!cfg.fusion.cap_enabled);
+        assert!(!cfg.use_structural);
+        assert!(cfg.use_semantic);
+        assert!(!cfg.use_string);
+        assert!(matches!(cfg.weighting, WeightingMode::Equal));
+        assert!(matches!(cfg.matcher, MatcherKind::Hungarian));
+        assert!(!cfg.normalize_features);
+        assert_eq!(cfg.csls, Some(5));
+    }
+
+    #[test]
+    fn builder_and_validate_reject_bad_configs() {
+        let err = CeaffConfig::builder().embed_dim(0).build().unwrap_err();
+        assert!(matches!(err, CeaffError::InvalidConfig(_)));
+        let err = CeaffConfig::builder().csls(0).build().unwrap_err();
+        assert!(matches!(err, CeaffError::InvalidConfig(_)));
+        let mut cfg = fast_cfg();
+        cfg.gcn.dim = 0;
+        assert!(cfg.validate().is_err());
+        assert!(fast_cfg().validate().is_ok());
+    }
+
+    #[test]
     fn feature_ablations_run_end_to_end() {
         let ds = dataset();
         let src = ds.source_embedder(32);
         let tgt = ds.target_embedder(32);
-        let input = EaInput {
-            pair: &ds.pair,
-            source_embedder: &src,
-            target_embedder: &tgt,
-        };
+        let input = EaInput::new(&ds.pair, &src, &tgt);
         let cfg = fast_cfg();
         let features = FeatureSet::compute_all(&input, &cfg);
         for variant in [
@@ -476,7 +802,7 @@ mod tests {
                 ..Default::default()
             }),
         ] {
-            let out = run_with_features(&ds.pair, &features, &variant);
+            let out = run_wf(&ds.pair, &features, &variant);
             assert!(
                 out.accuracy > 0.1,
                 "variant should still align something: {}",
@@ -487,22 +813,127 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "enables no computed feature")]
-    fn no_features_panics() {
+    fn no_features_is_an_error() {
         let ds = dataset();
         let src = ds.source_embedder(32);
         let tgt = ds.target_embedder(32);
-        let input = EaInput {
-            pair: &ds.pair,
-            source_embedder: &src,
-            target_embedder: &tgt,
-        };
+        let input = EaInput::new(&ds.pair, &src, &tgt);
+        let mut cfg = fast_cfg();
+        cfg.use_structural = false;
+        cfg.use_semantic = false;
+        cfg.use_string = false;
+        let features = FeatureSet::compute(&input, &cfg);
+        let err =
+            try_run_with_features(&ds.pair, &features, &cfg, &Telemetry::disabled()).unwrap_err();
+        assert_eq!(err, CeaffError::EmptyFeatureSet);
+        let err = try_run_single_stage(&features, &cfg, &Telemetry::disabled()).unwrap_err();
+        assert_eq!(err, CeaffError::EmptyFeatureSet);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    #[should_panic(expected = "enables no computed feature")]
+    fn deprecated_shim_preserves_the_panic() {
+        let ds = dataset();
+        let src = ds.source_embedder(32);
+        let tgt = ds.target_embedder(32);
+        let input = EaInput::new(&ds.pair, &src, &tgt);
         let mut cfg = fast_cfg();
         cfg.use_structural = false;
         cfg.use_semantic = false;
         cfg.use_string = false;
         let features = FeatureSet::compute(&input, &cfg);
         let _ = run_with_features(&ds.pair, &features, &cfg);
+    }
+
+    /// A constant-matrix feature used to provoke a shape mismatch.
+    struct FixedFeature(SimilarityMatrix);
+
+    impl Feature for FixedFeature {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+
+        fn test_matrix(&self) -> &SimilarityMatrix {
+            &self.0
+        }
+
+        fn score(&self, _: ceaff_graph::EntityId, _: ceaff_graph::EntityId) -> f32 {
+            0.0
+        }
+    }
+
+    #[test]
+    fn mismatched_feature_shapes_are_an_error() {
+        let ds = dataset();
+        let src = ds.source_embedder(32);
+        let tgt = ds.target_embedder(32);
+        let input = EaInput::new(&ds.pair, &src, &tgt);
+        let cfg = fast_cfg();
+        let features = FeatureSet::compute_all(&input, &cfg)
+            .with_extra(Box::new(FixedFeature(SimilarityMatrix::zeros(2, 3))));
+        let err =
+            try_run_with_features(&ds.pair, &features, &cfg, &Telemetry::disabled()).unwrap_err();
+        match err {
+            CeaffError::ShapeMismatch { feature, found, .. } => {
+                assert_eq!(feature, "fixed");
+                assert_eq!(found, (2, 3));
+            }
+            other => panic!("expected ShapeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_is_always_populated() {
+        let ds = dataset();
+        let src = ds.source_embedder(32);
+        let tgt = ds.target_embedder(32);
+        let input = EaInput::new(&ds.pair, &src, &tgt);
+        let cfg = fast_cfg();
+        let out = try_run(&input, &cfg).expect("pipeline runs");
+        // Disabled telemetry still records stage timings and counters.
+        for stage in ["gcn", "semantic", "string", "fusion", "matcher"] {
+            assert!(
+                out.trace.stage_seconds(stage).is_some(),
+                "stage '{stage}' missing from trace: {:?}",
+                out.trace.stages
+            );
+        }
+        assert!(out.trace.counter("matcher", "iterations").is_some());
+        // ... but no event stream.
+        assert!(out.trace.events.is_empty());
+    }
+
+    #[test]
+    fn enabled_telemetry_streams_gcn_fusion_and_matcher_events() {
+        let ds = dataset();
+        let src = ds.source_embedder(32);
+        let tgt = ds.target_embedder(32);
+        let sink = Arc::new(InMemorySink::default());
+        let input =
+            EaInput::new(&ds.pair, &src, &tgt).with_telemetry(Telemetry::with_sink(sink.clone()));
+        let cfg = fast_cfg();
+        let out = try_run(&input, &cfg).expect("pipeline runs");
+        let epochs: Vec<_> = out
+            .trace
+            .events_of(EventKind::Gauge, "gcn")
+            .filter(|e| e.name == "epoch_loss")
+            .collect();
+        assert_eq!(epochs.len(), cfg.gcn.epochs, "one loss gauge per epoch");
+        assert!(
+            out.trace
+                .events_of(EventKind::Gauge, "fusion")
+                .any(|e| e.name.ends_with("_weight")),
+            "fusion weights must be gauged"
+        );
+        assert!(
+            out.trace
+                .events_of(EventKind::Counter, "matcher")
+                .any(|e| e.name == "iterations"),
+            "matcher iterations must be counted"
+        );
+        // The sink saw the same stream the trace kept.
+        assert_eq!(sink.len(), out.trace.events.len());
     }
 
     #[test]
@@ -514,14 +945,10 @@ mod tests {
         let ds = dataset();
         let src = ds.source_embedder(32);
         let tgt = ds.target_embedder(32);
-        let input = EaInput {
-            pair: &ds.pair,
-            source_embedder: &src,
-            target_embedder: &tgt,
-        };
+        let input = EaInput::new(&ds.pair, &src, &tgt);
         let cfg = fast_cfg();
         let base = FeatureSet::compute_all(&input, &cfg);
-        let baseline = run_with_features(&ds.pair, &base, &cfg);
+        let baseline = run_wf(&ds.pair, &base, &cfg);
 
         let features = FeatureSet::compute_all(&input, &cfg).with_extra(Box::new(
             crate::features::AttributeFeature::compute(
@@ -530,7 +957,7 @@ mod tests {
                 &ds.target_attributes,
             ),
         ));
-        let out = run_with_features(&ds.pair, &features, &cfg);
+        let out = run_wf(&ds.pair, &features, &cfg);
         let trep = out.textual_fusion.expect("textual stage ran");
         assert_eq!(trep.weights.len(), 3, "semantic + string + attribute");
         let total: f32 = trep.weights.iter().sum();
@@ -543,9 +970,9 @@ mod tests {
         );
 
         // Equal and LR modes also accept the fourth feature.
-        let eq = run_with_features(&ds.pair, &features, &cfg.clone().without_adaptive_fusion());
+        let eq = run_wf(&ds.pair, &features, &cfg.clone().without_adaptive_fusion());
         assert_eq!(eq.flat_weights.as_ref().map(Vec::len), Some(4));
-        let lr = run_with_features(
+        let lr = run_wf(
             &ds.pair,
             &features,
             &cfg.clone().with_lr_weighting(crate::lr::LrConfig {
@@ -561,15 +988,11 @@ mod tests {
         let ds = dataset();
         let src = ds.source_embedder(32);
         let tgt = ds.target_embedder(32);
-        let input = EaInput {
-            pair: &ds.pair,
-            source_embedder: &src,
-            target_embedder: &tgt,
-        };
+        let input = EaInput::new(&ds.pair, &src, &tgt);
         let cfg = fast_cfg().with_csls(10);
         assert_eq!(cfg.csls, Some(10));
         let features = FeatureSet::compute_all(&input, &cfg);
-        let out = run_with_features(&ds.pair, &features, &cfg);
+        let out = run_wf(&ds.pair, &features, &cfg);
         assert_eq!(out.fused.sources(), ds.pair.test_pairs().len());
         assert!(out.accuracy > 0.3, "CSLS run accuracy {}", out.accuracy);
     }
@@ -579,15 +1002,11 @@ mod tests {
         let ds = dataset();
         let src = ds.source_embedder(32);
         let tgt = ds.target_embedder(32);
-        let input = EaInput {
-            pair: &ds.pair,
-            source_embedder: &src,
-            target_embedder: &tgt,
-        };
+        let input = EaInput::new(&ds.pair, &src, &tgt);
         let mut cfg = fast_cfg();
         cfg.matcher = MatcherKind::GreedyOneToOne;
         let features = FeatureSet::compute_all(&input, &cfg);
-        let out = run_with_features(&ds.pair, &features, &cfg);
+        let out = run_wf(&ds.pair, &features, &cfg);
         assert!(out.matching.is_one_to_one());
         assert_eq!(out.matching.len(), ds.pair.test_pairs().len());
     }
@@ -599,14 +1018,10 @@ mod tests {
         let ds = Preset::SrprsDbpWd.generate(0.15);
         let src = ds.source_embedder(32);
         let tgt = ds.target_embedder(32);
-        let input = EaInput {
-            pair: &ds.pair,
-            source_embedder: &src,
-            target_embedder: &tgt,
-        };
+        let input = EaInput::new(&ds.pair, &src, &tgt);
         let cfg = fast_cfg();
         let features = FeatureSet::compute_all(&input, &cfg);
-        let out = run_with_features(&ds.pair, &features, &cfg);
+        let out = run_wf(&ds.pair, &features, &cfg);
         assert!(
             out.accuracy > 0.9,
             "mono-lingual CEAFF accuracy {} below 0.9",

@@ -289,8 +289,13 @@ fn build_view<R: Rng>(
         for _ in 0..rng.gen_range(1..=3) {
             let other = ids[rng.gen_range(0..ids.len())];
             let r = rel_ids[rng.gen_range(0..rel_ids.len())];
-            let (h, t) = if rng.gen_bool(0.5) { (e, other) } else { (other, e) };
-            kg.add_triple(Triple::new(h, r, t)).expect("fresh ids are valid");
+            let (h, t) = if rng.gen_bool(0.5) {
+                (e, other)
+            } else {
+                (other, e)
+            };
+            kg.add_triple(Triple::new(h, r, t))
+                .expect("fresh ids are valid");
         }
     }
     let _ = vocab;
@@ -416,7 +421,10 @@ fn srprs_world<R: Rng>(
 
 /// Generate a complete synthetic EA dataset from `cfg`.
 pub fn generate(cfg: &GenConfig) -> GeneratedDataset {
-    assert!(cfg.aligned_entities >= 10, "need at least 10 aligned entities");
+    assert!(
+        cfg.aligned_entities >= 10,
+        "need at least 10 aligned entities"
+    );
     assert!(cfg.relations > 0, "need at least one relation");
     assert!(
         (0.0..=1.0).contains(&cfg.overlap) && cfg.overlap > 0.0,
@@ -477,10 +485,8 @@ pub fn generate(cfg: &GenConfig) -> GeneratedDataset {
     }
 
     let world_attrs = world_attributes(cfg, &mut rng);
-    let source_attributes =
-        view_attributes(cfg, &world_attrs, source.num_entities(), &mut rng);
-    let target_attributes =
-        view_attributes(cfg, &world_attrs, target.num_entities(), &mut rng);
+    let source_attributes = view_attributes(cfg, &world_attrs, source.num_entities(), &mut rng);
+    let target_attributes = view_attributes(cfg, &world_attrs, target.num_entities(), &mut rng);
 
     let gold: Vec<(EntityId, EntityId)> = src_ids.into_iter().zip(tgt_ids).collect();
     let alignment = Alignment::new(gold).expect("gold pairs are one-to-one by construction");

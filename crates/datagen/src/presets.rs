@@ -176,7 +176,10 @@ impl Preset {
             },
             Preset::Dbp15kFrEn => GenConfig {
                 name: "DBP15K FR-EN (sim)".into(),
-                channel: NameChannel::CloseLingual { morph_rate: 0.6, replace_rate: 0.22 },
+                channel: NameChannel::CloseLingual {
+                    morph_rate: 0.6,
+                    replace_rate: 0.22,
+                },
                 lexicon_coverage: 0.75,
                 semantic_noise: 0.13,
                 seed: 0x1523,
@@ -200,7 +203,10 @@ impl Preset {
             },
             Preset::SrprsEnFr => GenConfig {
                 name: "SRPRS EN-FR (sim)".into(),
-                channel: NameChannel::CloseLingual { morph_rate: 0.55, replace_rate: 0.25 },
+                channel: NameChannel::CloseLingual {
+                    morph_rate: 0.55,
+                    replace_rate: 0.25,
+                },
                 lexicon_coverage: 0.72,
                 semantic_noise: 0.15,
                 seed: 0x5211,
@@ -208,7 +214,10 @@ impl Preset {
             },
             Preset::SrprsEnDe => GenConfig {
                 name: "SRPRS EN-DE (sim)".into(),
-                channel: NameChannel::CloseLingual { morph_rate: 0.5, replace_rate: 0.15 },
+                channel: NameChannel::CloseLingual {
+                    morph_rate: 0.5,
+                    replace_rate: 0.15,
+                },
                 lexicon_coverage: 0.78,
                 semantic_noise: 0.12,
                 seed: 0x5212,
@@ -260,8 +269,7 @@ mod tests {
 
     #[test]
     fn all_presets_have_distinct_labels_and_seeds() {
-        let labels: std::collections::HashSet<_> =
-            Preset::ALL.iter().map(|p| p.label()).collect();
+        let labels: std::collections::HashSet<_> = Preset::ALL.iter().map(|p| p.label()).collect();
         assert_eq!(labels.len(), 9);
         let seeds: std::collections::HashSet<_> =
             Preset::ALL.iter().map(|p| p.config(1.0).seed).collect();
@@ -319,6 +327,9 @@ mod tests {
         let ds = Preset::SrprsDbpWd.generate(0.1);
         let (_, v) = ds.pair.alignment.pairs()[0];
         let name = ds.pair.target.entity_name(v).unwrap();
-        assert!(name.is_ascii(), "mono-lingual names must stay Latin: {name}");
+        assert!(
+            name.is_ascii(),
+            "mono-lingual names must stay Latin: {name}"
+        );
     }
 }

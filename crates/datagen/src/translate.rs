@@ -84,7 +84,7 @@ fn apply_typo(word: &str, h: u64) -> String {
         0 => {
             out.remove(pos); // deletion
         }
-        1 => out.swap(pos, pos + 1), // transposition
+        1 => out.swap(pos, pos + 1),      // transposition
         _ => out.insert(pos, chars[pos]), // duplication
     }
     out.into_iter().collect()
@@ -100,11 +100,7 @@ fn morph_word(word: &str, h: u64) -> String {
         _ => out = out.replace("sh", "sch"),
     }
     // 2) vowel shift on the last vowel.
-    if let Some((idx, c)) = out
-        .char_indices()
-        .rev()
-        .find(|&(_, c)| VOWELS.contains(&c))
-    {
+    if let Some((idx, c)) = out.char_indices().rev().find(|&(_, c)| VOWELS.contains(&c)) {
         let vi = VOWELS.iter().position(|&v| v == c).expect("vowel");
         let replacement = VOWELS[(vi + 1 + (h as usize >> 16) % 3) % VOWELS.len()];
         out.replace_range(idx..idx + c.len_utf8(), &replacement.to_string());
@@ -118,7 +114,9 @@ fn morph_word(word: &str, h: u64) -> String {
 /// A pseudo-word sharing no intended surface form with the source word —
 /// the non-cognate replacement of the close-lingual channel.
 fn replacement_word(h: u64) -> String {
-    const ONSETS: &[&str] = &["b", "ch", "d", "f", "g", "j", "l", "m", "n", "p", "qu", "r", "s", "t", "v"];
+    const ONSETS: &[&str] = &[
+        "b", "ch", "d", "f", "g", "j", "l", "m", "n", "p", "qu", "r", "s", "t", "v",
+    ];
     const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ou", "eau", "ie"];
     let mut state = h ^ 0x7265706c;
     let mut next = || {
@@ -266,12 +264,18 @@ mod tests {
         let ch = NameChannel::Identical { typo_rate: 1.0 };
         let out = ch.translate_name("gavora benatil", 1);
         assert_ne!(out, "gavora benatil");
-        assert!(levenshtein_ratio("gavora benatil", &out) > 0.75, "got {out}");
+        assert!(
+            levenshtein_ratio("gavora benatil", &out) > 0.75,
+            "got {out}"
+        );
     }
 
     #[test]
     fn close_lingual_is_similar_but_not_identical() {
-        let ch = NameChannel::CloseLingual { morph_rate: 1.0, replace_rate: 0.0 };
+        let ch = NameChannel::CloseLingual {
+            morph_rate: 1.0,
+            replace_rate: 0.0,
+        };
         let out = ch.translate_name("gavora benatil", 3);
         assert_ne!(out, "gavora benatil");
         let r = levenshtein_ratio("gavora benatil", &out);
@@ -285,7 +289,10 @@ mod tests {
         let out = ch.translate_name("gavora benatil", 3);
         // Only the separating space can match, so the ratio stays tiny.
         let r = levenshtein_ratio("gavora benatil", &out);
-        assert!(r <= 0.15, "distant names must not share script: {out} (r={r})");
+        assert!(
+            r <= 0.15,
+            "distant names must not share script: {out} (r={r})"
+        );
         assert!(out.chars().any(|c| (0x4E00..=0x9FFF).contains(&(c as u32))));
     }
 
@@ -293,7 +300,10 @@ mod tests {
     fn translation_is_deterministic_per_word() {
         for ch in [
             NameChannel::Identical { typo_rate: 0.5 },
-            NameChannel::CloseLingual { morph_rate: 0.7, replace_rate: 0.0 },
+            NameChannel::CloseLingual {
+                morph_rate: 0.7,
+                replace_rate: 0.0,
+            },
             NameChannel::DistantLingual,
         ] {
             let a = ch.translate_word("gavora", 42);
@@ -312,12 +322,18 @@ mod tests {
 
     #[test]
     fn disambiguation_suffix_preserved_only_within_script() {
-        let close = NameChannel::CloseLingual { morph_rate: 1.0, replace_rate: 0.0 };
+        let close = NameChannel::CloseLingual {
+            morph_rate: 1.0,
+            replace_rate: 0.0,
+        };
         let out = close.translate_name("gavora (2)", 1);
         assert!(out.ends_with(" (2)"), "got {out}");
         let distant = NameChannel::DistantLingual;
         let out = distant.translate_name("gavora (2)", 1);
-        assert!(!out.contains("(2)"), "distant suffix must transliterate: {out}");
+        assert!(
+            !out.contains("(2)"),
+            "distant suffix must transliterate: {out}"
+        );
     }
 
     #[test]
@@ -373,6 +389,9 @@ mod tests {
     #[test]
     fn salt_changes_the_mapping() {
         let ch = NameChannel::DistantLingual;
-        assert_ne!(ch.translate_word("gavora", 1), ch.translate_word("gavora", 2));
+        assert_ne!(
+            ch.translate_word("gavora", 1),
+            ch.translate_word("gavora", 2)
+        );
     }
 }

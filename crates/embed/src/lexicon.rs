@@ -190,7 +190,10 @@ mod tests {
         let ville = foreign.embed_word("ville").unwrap();
         let city = base.embed_word("city").unwrap();
         let king = base.embed_word("king").unwrap();
-        assert!(cosine(&ville, &city) > 0.9, "translation should be near pivot");
+        assert!(
+            cosine(&ville, &city) > 0.9,
+            "translation should be near pivot"
+        );
         assert!(cosine(&ville, &city) > cosine(&ville, &king));
     }
 
@@ -246,8 +249,7 @@ mod tests {
 
     #[test]
     fn later_duplicates_win() {
-        let lex =
-            BilingualLexicon::from_pairs([("a", "x"), ("a", "y")]);
+        let lex = BilingualLexicon::from_pairs([("a", "x"), ("a", "y")]);
         assert_eq!(lex.translate("a"), Some("y"));
     }
 }

@@ -45,7 +45,10 @@ impl AttributeTable {
     /// # Panics
     /// Panics if `e` or `ty` is out of range.
     pub fn add(&mut self, e: EntityId, ty: u32) {
-        assert!((ty as usize) < self.num_types, "attribute type out of range");
+        assert!(
+            (ty as usize) < self.num_types,
+            "attribute type out of range"
+        );
         let row = &mut self.rows[e.index()];
         if let Err(pos) = row.binary_search(&ty) {
             row.insert(pos, ty);

@@ -175,7 +175,10 @@ impl CsrMatrix {
     /// # Panics
     /// Panics if the matrix is not square.
     pub fn symmetric_normalized(&self) -> Self {
-        assert_eq!(self.rows, self.cols, "symmetric normalisation needs a square matrix");
+        assert_eq!(
+            self.rows, self.cols,
+            "symmetric normalisation needs a square matrix"
+        );
         let sums = self.row_sums();
         let inv_sqrt: Vec<f32> = sums
             .iter()
@@ -248,8 +251,7 @@ mod tests {
     #[test]
     fn mul_dense_small_example() {
         // [[1, 2], [0, 3]] * [[1], [10]] = [[21], [30]]
-        let m =
-            CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0)]).unwrap();
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0)]).unwrap();
         let mut out = vec![0.0; 2];
         m.mul_dense(&[1.0, 10.0], 1, &mut out);
         assert_eq!(out, vec![21.0, 30.0]);
@@ -257,12 +259,9 @@ mod tests {
 
     #[test]
     fn transpose_mul_matches_explicit_transpose() {
-        let m = CsrMatrix::from_triplets(
-            2,
-            3,
-            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (1, 2, 4.0)],
-        )
-        .unwrap();
+        let m =
+            CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (1, 2, 4.0)])
+                .unwrap();
         let dense = vec![1.0, 2.0]; // 2x1
         let mut out = vec![0.0; 3];
         m.transpose_mul_dense(&dense, 1, &mut out);
@@ -273,12 +272,9 @@ mod tests {
     #[test]
     fn symmetric_normalization_of_path_graph() {
         // A + I for the path 0-1: [[1,1],[1,1]] -> each row sum 2
-        let m = CsrMatrix::from_triplets(
-            2,
-            2,
-            &[(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0)],
-        )
-        .unwrap();
+        let m =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0)])
+                .unwrap();
         let n = m.symmetric_normalized();
         for (_, _, v) in n.iter() {
             assert!((v - 0.5).abs() < 1e-6);

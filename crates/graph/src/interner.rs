@@ -35,7 +35,8 @@ impl Interner {
         if let Some(&id) = self.index.get(name) {
             return id;
         }
-        let id = u32::try_from(self.names.len()).expect("interner overflow: more than u32::MAX names");
+        let id =
+            u32::try_from(self.names.len()).expect("interner overflow: more than u32::MAX names");
         self.names.push(name.to_owned());
         self.index.insert(name.to_owned(), id);
         id

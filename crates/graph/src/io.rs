@@ -106,8 +106,12 @@ pub fn write_links<W: Write>(
     mut writer: W,
 ) -> Result<(), GraphError> {
     for &(u, v) in alignment.pairs() {
-        let s = source.entity_name(u).ok_or(GraphError::UnknownEntity(u.0))?;
-        let t = target.entity_name(v).ok_or(GraphError::UnknownEntity(v.0))?;
+        let s = source
+            .entity_name(u)
+            .ok_or(GraphError::UnknownEntity(u.0))?;
+        let t = target
+            .entity_name(v)
+            .ok_or(GraphError::UnknownEntity(v.0))?;
         writeln!(writer, "{s}\t{t}")?;
     }
     Ok(())
@@ -219,8 +223,12 @@ mod tests {
     fn links_roundtrip_and_validation() {
         let kg1 = read_triples(Cursor::new("Paris\tr\tFrance\n")).unwrap();
         let kg2 = read_triples(Cursor::new("Paris@fr\tr\tFrance@fr\n")).unwrap();
-        let a = read_links(Cursor::new("Paris\tParis@fr\nFrance\tFrance@fr\n"), &kg1, &kg2)
-            .unwrap();
+        let a = read_links(
+            Cursor::new("Paris\tParis@fr\nFrance\tFrance@fr\n"),
+            &kg1,
+            &kg2,
+        )
+        .unwrap();
         assert_eq!(a.len(), 2);
         let mut out = Vec::new();
         write_links(&a, &kg1, &kg2, &mut out).unwrap();
@@ -239,12 +247,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("ceaff-io-test-{}", std::process::id()));
         let kg1 = read_triples(Cursor::new("a\tr\tb\nb\tr\tc\n")).unwrap();
         let kg2 = read_triples(Cursor::new("a2\tr\tb2\nb2\tr\tc2\n")).unwrap();
-        let align = read_links(
-            Cursor::new("a\ta2\nb\tb2\nc\tc2\n"),
-            &kg1,
-            &kg2,
-        )
-        .unwrap();
+        let align = read_links(Cursor::new("a\ta2\nb\tb2\nc\tc2\n"), &kg1, &kg2).unwrap();
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
         let pair = KgPair::new(kg1, kg2, align, 0.3, &mut rng);
         save_pair_to_dir(&pair, &dir).unwrap();

@@ -87,10 +87,7 @@ impl SeedSplit {
     }
 
     /// Construct from explicit seed/test lists (used by dataset loaders).
-    pub fn from_parts(
-        seed: Vec<(EntityId, EntityId)>,
-        test: Vec<(EntityId, EntityId)>,
-    ) -> Self {
+    pub fn from_parts(seed: Vec<(EntityId, EntityId)>, test: Vec<(EntityId, EntityId)>) -> Self {
         Self { seed, test }
     }
 

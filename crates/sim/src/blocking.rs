@@ -121,8 +121,7 @@ pub fn blocked_string_similarity_matrix<S: AsRef<str>, T: AsRef<str>>(
         }
         for (&j, &count) in &shared {
             if count >= cfg.min_shared_keys {
-                out[(i, j as usize)] =
-                    levenshtein_ratio(s.as_ref(), targets[j as usize].as_ref());
+                out[(i, j as usize)] = levenshtein_ratio(s.as_ref(), targets[j as usize].as_ref());
                 pairs_scored += 1;
             }
         }
@@ -155,8 +154,7 @@ mod tests {
     fn scored_cells_match_the_dense_matrix() {
         let s = ["New York City", "Berlin", "Tokyo Tower"];
         let t = ["New York", "Berlin (city)", "Kyoto"];
-        let (blocked, stats) =
-            blocked_string_similarity_matrix(&s, &t, &BlockingConfig::default());
+        let (blocked, stats) = blocked_string_similarity_matrix(&s, &t, &BlockingConfig::default());
         let dense = string_similarity_matrix(&s, &t);
         for i in 0..3 {
             for j in 0..3 {
@@ -176,7 +174,11 @@ mod tests {
         let s = ["gavora benatil", "triskel dromvou"];
         let t = ["gavora bentail", "triskel dromvuo"];
         let (m, _) = blocked_string_similarity_matrix(&s, &t, &BlockingConfig::default());
-        assert!(m.get(0, 0) > 0.7, "typo pair must be scored: {}", m.get(0, 0));
+        assert!(
+            m.get(0, 0) > 0.7,
+            "typo pair must be scored: {}",
+            m.get(0, 0)
+        );
         assert!(m.get(1, 1) > 0.7);
     }
 

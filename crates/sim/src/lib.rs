@@ -17,7 +17,5 @@ pub mod matrix;
 pub use blocking::{blocked_string_similarity_matrix, BlockingConfig, BlockingStats};
 pub use cosine::{cosine, cosine_similarity_matrix};
 pub use csls::csls_adjusted;
-pub use levenshtein::{
-    levenshtein, levenshtein_ratio, levenshtein_sub2, string_similarity_matrix,
-};
+pub use levenshtein::{levenshtein, levenshtein_ratio, levenshtein_sub2, string_similarity_matrix};
 pub use matrix::SimilarityMatrix;

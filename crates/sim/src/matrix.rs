@@ -161,7 +161,9 @@ impl SimilarityMatrix {
         let mut idx: Vec<usize> = (0..row.len()).collect();
         if k < row.len() {
             idx.select_nth_unstable_by(k - 1, |&a, &b| {
-                row[b].partial_cmp(&row[a]).expect("similarity scores must not be NaN")
+                row[b]
+                    .partial_cmp(&row[a])
+                    .expect("similarity scores must not be NaN")
             });
             idx.truncate(k);
         }

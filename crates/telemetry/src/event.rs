@@ -1,0 +1,173 @@
+//! Event and trace data model.
+
+use serde::{Deserialize, Serialize};
+
+/// What a [`TraceEvent`] measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A monotonic counter increment; `value` is the running total after
+    /// the increment.
+    Counter,
+    /// A point-in-time sample (loss, weight, accuracy, ...).
+    Gauge,
+    /// A completed stage span; `value` is the elapsed time in seconds.
+    Span,
+}
+
+/// One telemetry event, ordered by `seq` within a process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Process-local monotonic sequence number.
+    pub seq: u64,
+    /// Measurement category.
+    pub kind: EventKind,
+    /// Pipeline stage that emitted the event (e.g. `"gcn"`, `"fusion"`,
+    /// `"matcher"`).
+    pub stage: String,
+    /// Metric name within the stage (e.g. `"epoch_loss"`, `"proposals"`).
+    pub name: String,
+    /// Optional step index (epoch, round, iteration).
+    pub step: Option<u64>,
+    /// Measured value; see [`EventKind`] for the per-kind meaning.
+    pub value: f64,
+}
+
+/// Wall-clock duration of one pipeline stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Stage name.
+    pub stage: String,
+    /// Elapsed seconds.
+    pub seconds: f64,
+}
+
+/// Final value of one monotonic counter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterTotal {
+    /// Stage that owns the counter.
+    pub stage: String,
+    /// Counter name.
+    pub name: String,
+    /// Accumulated total.
+    pub total: u64,
+}
+
+/// Everything one pipeline run recorded: always the stage timings and
+/// counter totals (cheap), plus the full event stream when telemetry was
+/// created with sinks ([`crate::Telemetry::new`]).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunTrace {
+    /// Per-stage wall-clock timings, in completion order.
+    pub stages: Vec<StageTiming>,
+    /// Final counter totals, sorted by (stage, name).
+    pub counters: Vec<CounterTotal>,
+    /// Ordered event stream; empty when telemetry was disabled.
+    pub events: Vec<TraceEvent>,
+}
+
+impl RunTrace {
+    /// Seconds spent in `stage`, summed over repeated entries (e.g. a
+    /// stage that runs once per bootstrap round).
+    pub fn stage_seconds(&self, stage: &str) -> Option<f64> {
+        let mut total = 0.0;
+        let mut found = false;
+        for t in self.stages.iter().filter(|t| t.stage == stage) {
+            total += t.seconds;
+            found = true;
+        }
+        found.then_some(total)
+    }
+
+    /// Final total of one counter.
+    pub fn counter(&self, stage: &str, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.stage == stage && c.name == name)
+            .map(|c| c.total)
+    }
+
+    /// Events of one kind emitted by one stage.
+    pub fn events_of<'a>(
+        &'a self,
+        kind: EventKind,
+        stage: &'a str,
+    ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events
+            .iter()
+            .filter(move |e| e.kind == kind && e.stage == stage)
+    }
+
+    /// Total wall-clock seconds across all recorded stages.
+    pub fn total_seconds(&self) -> f64 {
+        self.stages.iter().map(|t| t.seconds).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> RunTrace {
+        RunTrace {
+            stages: vec![
+                StageTiming {
+                    stage: "gcn".into(),
+                    seconds: 1.5,
+                },
+                StageTiming {
+                    stage: "decision".into(),
+                    seconds: 0.25,
+                },
+                StageTiming {
+                    stage: "gcn".into(),
+                    seconds: 0.5,
+                },
+            ],
+            counters: vec![CounterTotal {
+                stage: "matcher".into(),
+                name: "proposals".into(),
+                total: 42,
+            }],
+            events: vec![TraceEvent {
+                seq: 0,
+                kind: EventKind::Gauge,
+                stage: "gcn".into(),
+                name: "epoch_loss".into(),
+                step: Some(3),
+                value: 0.125,
+            }],
+        }
+    }
+
+    #[test]
+    fn stage_seconds_sums_repeats() {
+        let trace = sample_trace();
+        assert_eq!(trace.stage_seconds("gcn"), Some(2.0));
+        assert_eq!(trace.stage_seconds("decision"), Some(0.25));
+        assert_eq!(trace.stage_seconds("missing"), None);
+        assert!((trace.total_seconds() - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_lookup() {
+        let trace = sample_trace();
+        assert_eq!(trace.counter("matcher", "proposals"), Some(42));
+        assert_eq!(trace.counter("matcher", "other"), None);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_trace() {
+        let trace = sample_trace();
+        let json = serde_json::to_string(&trace).expect("serialize");
+        let back: RunTrace = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn event_kind_round_trips_as_string() {
+        let json = serde_json::to_string(&EventKind::Counter).unwrap();
+        assert_eq!(json, "\"Counter\"");
+        let back: EventKind = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, EventKind::Counter);
+    }
+}

@@ -1,0 +1,44 @@
+//! Telemetry for the CEAFF pipeline: span-style stage timers, monotonic
+//! counters, and gauge samples, fanned out to pluggable [`Sink`]s and
+//! assembled into a serializable [`RunTrace`].
+//!
+//! Design goals, in order:
+//!
+//! 1. **Near-zero cost when disabled.** [`Telemetry::disabled`] skips all
+//!    event bookkeeping behind a single branch, so hot loops (matcher
+//!    proposals, GCN epochs) can be instrumented unconditionally. Stage
+//!    spans still record wall-clock timings — a handful of mutex pushes
+//!    per pipeline run — so every [`RunTrace`] carries stage timings even
+//!    without an active sink.
+//! 2. **No heavyweight dependencies.** No `tracing`/`metrics` stacks;
+//!    events are plain structs rendered through the workspace's serde
+//!    layer.
+//! 3. **Deterministic, inspectable output.** Events carry a process-local
+//!    monotonic sequence number rather than wall-clock timestamps, so two
+//!    runs of the same configuration produce comparable traces.
+//!
+//! ```
+//! use ceaff_telemetry::{EventKind, InMemorySink, Telemetry};
+//! use std::sync::Arc;
+//!
+//! let memory = Arc::new(InMemorySink::default());
+//! let telemetry = Telemetry::new(vec![memory.clone()]);
+//!
+//! let span = telemetry.span("fusion");
+//! telemetry.gauge("fusion", "weight", Some(0), 0.42);
+//! telemetry.counter_add("fusion", "confident", 17);
+//! span.finish();
+//!
+//! let trace = telemetry.take_trace();
+//! assert_eq!(trace.stages.len(), 1);
+//! assert_eq!(trace.counter("fusion", "confident"), Some(17));
+//! assert!(memory.snapshot().iter().any(|e| e.kind == EventKind::Gauge));
+//! ```
+
+mod event;
+mod sink;
+mod telemetry;
+
+pub use event::{CounterTotal, EventKind, RunTrace, StageTiming, TraceEvent};
+pub use sink::{InMemorySink, JsonLinesSink, NullSink, Sink};
+pub use telemetry::{Span, Telemetry};

@@ -1,0 +1,165 @@
+//! Event sinks: where emitted [`TraceEvent`]s go.
+
+use crate::event::TraceEvent;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Receives every emitted event. Implementations must be thread-safe; the
+/// pipeline may emit from data-parallel sections.
+pub trait Sink: Send + Sync {
+    /// Record one event.
+    fn record(&self, event: &TraceEvent);
+
+    /// Flush buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// Discards everything. Useful as an explicit "telemetry plumbing is
+/// active but nothing listens" sink in tests and benchmarks.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&self, _event: &TraceEvent) {}
+}
+
+/// Buffers events in memory for later inspection.
+#[derive(Debug, Default)]
+pub struct InMemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl InMemorySink {
+    /// Copy of everything recorded so far.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("telemetry sink poisoned").clone()
+    }
+
+    /// Drain the recorded events, leaving the sink empty.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().expect("telemetry sink poisoned"))
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("telemetry sink poisoned").len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for InMemorySink {
+    fn record(&self, event: &TraceEvent) {
+        self.events
+            .lock()
+            .expect("telemetry sink poisoned")
+            .push(event.clone());
+    }
+}
+
+/// Streams events as JSON Lines (one serialized [`TraceEvent`] object per
+/// line) to any writer — typically a file passed via the CLI's `--trace`.
+pub struct JsonLinesSink {
+    out: Mutex<BufWriter<Box<dyn Write + Send>>>,
+}
+
+impl JsonLinesSink {
+    /// Create (truncate) `path` and stream events to it.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::from_writer(Box::new(file)))
+    }
+
+    /// Stream events to an arbitrary writer.
+    pub fn from_writer(writer: Box<dyn Write + Send>) -> Self {
+        JsonLinesSink {
+            out: Mutex::new(BufWriter::new(writer)),
+        }
+    }
+}
+
+impl Sink for JsonLinesSink {
+    fn record(&self, event: &TraceEvent) {
+        // Serialization through the value model cannot fail; IO errors are
+        // deliberately swallowed — telemetry must never abort a run.
+        if let Ok(line) = serde_json::to_string(event) {
+            let mut out = self.out.lock().expect("telemetry sink poisoned");
+            let _ = writeln!(out, "{line}");
+        }
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("telemetry sink poisoned").flush();
+    }
+}
+
+impl Drop for JsonLinesSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn event(seq: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            kind: EventKind::Gauge,
+            stage: "gcn".into(),
+            name: "epoch_loss".into(),
+            step: Some(seq),
+            value: 0.5 / (seq + 1) as f64,
+        }
+    }
+
+    #[test]
+    fn in_memory_sink_buffers_and_drains() {
+        let sink = InMemorySink::default();
+        assert!(sink.is_empty());
+        sink.record(&event(0));
+        sink.record(&event(1));
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.snapshot().len(), 2);
+        let drained = sink.take();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[1].seq, 1);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn json_lines_round_trip() {
+        let dir = std::env::temp_dir().join(format!("ceaff-tel-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        {
+            let sink = JsonLinesSink::create(&path).expect("create");
+            sink.record(&event(0));
+            sink.record(&event(1));
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (i, line) in lines.iter().enumerate() {
+            let back: TraceEvent = serde_json::from_str(line).expect("parse line");
+            assert_eq!(back, event(i as u64));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let sink = NullSink;
+        for i in 0..100 {
+            sink.record(&event(i));
+        }
+    }
+}

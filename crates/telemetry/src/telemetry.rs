@@ -1,0 +1,292 @@
+//! The [`Telemetry`] handle and stage [`Span`]s.
+
+use crate::event::{CounterTotal, EventKind, RunTrace, StageTiming, TraceEvent};
+use crate::sink::Sink;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+struct Inner {
+    /// When false, counter/gauge/span events are skipped entirely; only
+    /// stage timings and counter totals are kept (both cheap).
+    events_active: bool,
+    sinks: Vec<Arc<dyn Sink>>,
+    events: Mutex<Vec<TraceEvent>>,
+    stages: Mutex<Vec<StageTiming>>,
+    counters: Mutex<BTreeMap<(String, String), u64>>,
+    seq: AtomicU64,
+}
+
+/// Cheaply cloneable telemetry handle threaded through the pipeline.
+///
+/// Two modes:
+/// * [`Telemetry::disabled`] — no event stream; stage spans still record
+///   wall-clock timings so [`RunTrace::stages`] is always populated.
+/// * [`Telemetry::new`] — every counter/gauge/span emits a [`TraceEvent`]
+///   that is teed into the internal buffer (for [`RunTrace::events`]) and
+///   fanned out to the given sinks.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Arc<Inner>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::disabled()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .field("sinks", &self.inner.sinks.len())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// Telemetry that records stage timings and counter totals but no
+    /// event stream. This is the default for all pipeline entry points.
+    pub fn disabled() -> Self {
+        Telemetry {
+            inner: Arc::new(Inner::new(false, Vec::new())),
+        }
+    }
+
+    /// Telemetry that emits the full event stream to `sinks` (and into
+    /// the internal buffer returned by [`Telemetry::take_trace`]).
+    pub fn new(sinks: Vec<Arc<dyn Sink>>) -> Self {
+        Telemetry {
+            inner: Arc::new(Inner::new(true, sinks)),
+        }
+    }
+
+    /// Convenience wrapper for a single sink.
+    pub fn with_sink(sink: Arc<dyn Sink>) -> Self {
+        Telemetry::new(vec![sink])
+    }
+
+    /// Whether the event stream is active. Instrumented code with a
+    /// non-trivial cost to *compute* a metric (not just report it) should
+    /// check this first.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.events_active
+    }
+
+    /// Add `delta` to a monotonic counter and return the new total.
+    ///
+    /// Totals always accumulate (they are part of every [`RunTrace`]);
+    /// the per-increment [`EventKind::Counter`] event is only emitted
+    /// when the event stream is active.
+    pub fn counter_add(&self, stage: &str, name: &str, delta: u64) -> u64 {
+        let total = {
+            let mut counters = self.inner.counters.lock().expect("telemetry poisoned");
+            let slot = counters
+                .entry((stage.to_owned(), name.to_owned()))
+                .or_insert(0);
+            *slot += delta;
+            *slot
+        };
+        if self.inner.events_active {
+            self.emit(EventKind::Counter, stage, name, None, total as f64);
+        }
+        total
+    }
+
+    /// Record a point-in-time sample, e.g. a per-epoch loss.
+    pub fn gauge(&self, stage: &str, name: &str, step: Option<u64>, value: f64) {
+        if self.inner.events_active {
+            self.emit(EventKind::Gauge, stage, name, step, value);
+        }
+    }
+
+    /// Start timing a pipeline stage. The timing is recorded when the
+    /// returned [`Span`] is finished or dropped.
+    pub fn span(&self, stage: &str) -> Span {
+        Span {
+            telemetry: self.clone(),
+            stage: stage.to_owned(),
+            start: Instant::now(),
+            done: false,
+        }
+    }
+
+    /// Flush every sink.
+    pub fn flush(&self) {
+        for sink in &self.inner.sinks {
+            sink.flush();
+        }
+    }
+
+    /// Drain everything recorded since the last call into a [`RunTrace`]
+    /// (stage timings, counter totals, and — when the event stream is
+    /// active — the ordered events). Sinks are flushed.
+    pub fn take_trace(&self) -> RunTrace {
+        self.flush();
+        let stages = std::mem::take(&mut *self.inner.stages.lock().expect("telemetry poisoned"));
+        let events = std::mem::take(&mut *self.inner.events.lock().expect("telemetry poisoned"));
+        let counters =
+            std::mem::take(&mut *self.inner.counters.lock().expect("telemetry poisoned"))
+                .into_iter()
+                .map(|((stage, name), total)| CounterTotal { stage, name, total })
+                .collect();
+        RunTrace {
+            stages,
+            counters,
+            events,
+        }
+    }
+
+    fn emit(&self, kind: EventKind, stage: &str, name: &str, step: Option<u64>, value: f64) {
+        let event = TraceEvent {
+            seq: self.inner.seq.fetch_add(1, Ordering::Relaxed),
+            kind,
+            stage: stage.to_owned(),
+            name: name.to_owned(),
+            step,
+            value,
+        };
+        for sink in &self.inner.sinks {
+            sink.record(&event);
+        }
+        self.inner
+            .events
+            .lock()
+            .expect("telemetry poisoned")
+            .push(event);
+    }
+
+    fn record_stage(&self, stage: &str, seconds: f64) {
+        self.inner
+            .stages
+            .lock()
+            .expect("telemetry poisoned")
+            .push(StageTiming {
+                stage: stage.to_owned(),
+                seconds,
+            });
+        if self.inner.events_active {
+            self.emit(EventKind::Span, stage, "elapsed", None, seconds);
+        }
+    }
+}
+
+impl Inner {
+    fn new(events_active: bool, sinks: Vec<Arc<dyn Sink>>) -> Self {
+        Inner {
+            events_active,
+            sinks,
+            events: Mutex::new(Vec::new()),
+            stages: Mutex::new(Vec::new()),
+            counters: Mutex::new(BTreeMap::new()),
+            seq: AtomicU64::new(0),
+        }
+    }
+}
+
+/// An in-flight stage timer; finishes on drop or via [`Span::finish`].
+#[must_use = "a span measures until it is finished or dropped"]
+pub struct Span {
+    telemetry: Telemetry,
+    stage: String,
+    start: Instant,
+    done: bool,
+}
+
+impl Span {
+    /// Stop the timer now and return the elapsed seconds.
+    pub fn finish(mut self) -> f64 {
+        let seconds = self.start.elapsed().as_secs_f64();
+        self.telemetry.record_stage(&self.stage, seconds);
+        self.done = true;
+        seconds
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.done {
+            let seconds = self.start.elapsed().as_secs_f64();
+            self.telemetry.record_stage(&self.stage, seconds);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::InMemorySink;
+
+    #[test]
+    fn counters_are_monotonic_and_totalled() {
+        let telemetry = Telemetry::disabled();
+        assert_eq!(telemetry.counter_add("matcher", "proposals", 3), 3);
+        assert_eq!(telemetry.counter_add("matcher", "proposals", 4), 7);
+        assert_eq!(telemetry.counter_add("matcher", "conflicts", 1), 1);
+
+        let trace = telemetry.take_trace();
+        assert_eq!(trace.counter("matcher", "proposals"), Some(7));
+        assert_eq!(trace.counter("matcher", "conflicts"), Some(1));
+        // Disabled telemetry keeps totals but emits no events.
+        assert!(trace.events.is_empty());
+    }
+
+    #[test]
+    fn gauges_and_spans_emit_ordered_events() {
+        let sink = Arc::new(InMemorySink::default());
+        let telemetry = Telemetry::with_sink(sink.clone());
+
+        let span = telemetry.span("gcn");
+        telemetry.gauge("gcn", "epoch_loss", Some(0), 1.25);
+        telemetry.gauge("gcn", "epoch_loss", Some(1), 0.75);
+        let elapsed = span.finish();
+        assert!(elapsed >= 0.0);
+
+        let trace = telemetry.take_trace();
+        assert_eq!(trace.stages.len(), 1);
+        assert_eq!(trace.stages[0].stage, "gcn");
+        let gauges: Vec<_> = trace.events_of(EventKind::Gauge, "gcn").collect();
+        assert_eq!(gauges.len(), 2);
+        assert_eq!(gauges[0].step, Some(0));
+        assert_eq!(gauges[1].value, 0.75);
+        // seq strictly increases across the whole stream.
+        let seqs: Vec<u64> = trace.events.iter().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+        // The sink saw the same events.
+        assert_eq!(sink.snapshot().len(), trace.events.len());
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let telemetry = Telemetry::disabled();
+        {
+            let _span = telemetry.span("decision");
+        }
+        let trace = telemetry.take_trace();
+        assert_eq!(trace.stages.len(), 1);
+        assert_eq!(trace.stages[0].stage, "decision");
+        assert!(trace.stages[0].seconds >= 0.0);
+    }
+
+    #[test]
+    fn take_trace_drains() {
+        let telemetry = Telemetry::with_sink(Arc::new(InMemorySink::default()));
+        telemetry.counter_add("a", "b", 1);
+        let first = telemetry.take_trace();
+        assert_eq!(first.counter("a", "b"), Some(1));
+        let second = telemetry.take_trace();
+        assert!(second.counters.is_empty());
+        assert!(second.events.is_empty());
+        assert!(second.stages.is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let telemetry = Telemetry::disabled();
+        let clone = telemetry.clone();
+        clone.counter_add("stage", "n", 5);
+        assert_eq!(telemetry.take_trace().counter("stage", "n"), Some(5));
+    }
+}

@@ -137,7 +137,12 @@ impl Graph {
         assert_eq!(self.value(a).shape(), self.value(b).shape());
         let bv = self.value(b).as_slice().to_vec();
         let av = self.value(a);
-        let data: Vec<f32> = av.as_slice().iter().zip(&bv).map(|(&x, &y)| x * y).collect();
+        let data: Vec<f32> = av
+            .as_slice()
+            .iter()
+            .zip(&bv)
+            .map(|(&x, &y)| x * y)
+            .collect();
         let value = Matrix::from_vec(av.rows(), av.cols(), data);
         self.push(value, Op::Mul(a, b))
     }
@@ -340,7 +345,9 @@ impl Graph {
                 }
                 Op::Relu(a) => {
                     let a = *a;
-                    let mask = self.nodes[a.0].value.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                    let mask = self.nodes[a.0]
+                        .value
+                        .map(|x| if x > 0.0 { 1.0 } else { 0.0 });
                     self.accumulate(a, hadamard(&grad, &mask));
                 }
                 Op::Sigmoid(a) => {
@@ -581,13 +588,16 @@ mod tests {
     fn gather_and_l1_gradient() {
         // Keep values apart so |a−b| has stable signs under perturbation.
         let b = Matrix::from_rows(&[&[5.0, -5.0], &[5.0, -5.0]]);
-        grad_check(Matrix::from_rows(&[&[1.0, 2.0], &[-1.0, 0.5], &[0.3, -0.2]]), move |g, x| {
-            let idx = Rc::new(vec![0usize, 2]);
-            let picked = g.gather_rows(x, idx);
-            let bv = g.leaf(b.clone());
-            let d = g.row_l1_diff(picked, bv);
-            g.sum(d)
-        });
+        grad_check(
+            Matrix::from_rows(&[&[1.0, 2.0], &[-1.0, 0.5], &[0.3, -0.2]]),
+            move |g, x| {
+                let idx = Rc::new(vec![0usize, 2]);
+                let picked = g.gather_rows(x, idx);
+                let bv = g.leaf(b.clone());
+                let d = g.row_l1_diff(picked, bv);
+                g.sum(d)
+            },
+        );
     }
 
     #[test]

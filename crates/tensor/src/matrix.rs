@@ -308,7 +308,11 @@ impl Matrix {
     pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(indices.len(), self.cols);
         for (i, &idx) in indices.iter().enumerate() {
-            assert!(idx < self.rows, "gather index {idx} out of {} rows", self.rows);
+            assert!(
+                idx < self.rows,
+                "gather index {idx} out of {} rows",
+                self.rows
+            );
             out.row_mut(i).copy_from_slice(self.row(idx));
         }
         out

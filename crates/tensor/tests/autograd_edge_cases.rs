@@ -107,7 +107,10 @@ fn mean_of_single_element_equals_sum() {
 #[test]
 fn softmax_rows_are_probability_distributions() {
     let mut g = Graph::new();
-    let x = g.leaf(Matrix::from_rows(&[&[1000.0, 1000.0, 999.0], &[-5.0, 0.0, 5.0]]));
+    let x = g.leaf(Matrix::from_rows(&[
+        &[1000.0, 1000.0, 999.0],
+        &[-5.0, 0.0, 5.0],
+    ]));
     let s = g.softmax_rows(x);
     let v = g.value(s);
     for r in 0..2 {

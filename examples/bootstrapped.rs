@@ -7,7 +7,7 @@
 //! cargo run --release --example bootstrapped
 //! ```
 
-use ceaff::bootstrap::{run_bootstrapped, BootstrapConfig};
+use ceaff::bootstrap::{try_run_bootstrapped, BootstrapConfig};
 use ceaff::prelude::*;
 
 fn main() {
@@ -33,7 +33,7 @@ fn main() {
         boot.max_promotions_per_round * 100.0
     );
     let start = std::time::Instant::now();
-    let out = run_bootstrapped(&task.input(), &cfg, &boot);
+    let out = try_run_bootstrapped(&task.input(), &cfg, &boot).expect("bootstrapping runs");
     for (round, (acc, promoted)) in out
         .accuracy_per_round
         .iter()

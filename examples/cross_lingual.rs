@@ -20,13 +20,20 @@ fn run_variants(label: &str, task: &DatasetTask) {
     let features = FeatureSet::compute_all(&task.input(), &cfg);
     let pair = &task.dataset.pair;
 
+    let telemetry = Telemetry::disabled();
     println!("\n=== {label} ===");
-    let full = run_with_features(pair, &features, &cfg);
+    let full = try_run_with_features(pair, &features, &cfg, &telemetry).expect("pipeline runs");
     if let Some(rep) = &full.textual_fusion {
-        println!("  textual-stage weights (semantic, string): {:?}", rep.weights);
+        println!(
+            "  textual-stage weights (semantic, string): {:?}",
+            rep.weights
+        );
     }
     if let Some(rep) = &full.final_fusion {
-        println!("  final-stage weights (structural, textual): {:?}", rep.weights);
+        println!(
+            "  final-stage weights (structural, textual): {:?}",
+            rep.weights
+        );
     }
     println!("  CEAFF            accuracy {:.3}", full.accuracy);
     for (name, variant) in [
@@ -35,7 +42,8 @@ fn run_variants(label: &str, task: &DatasetTask) {
         ("w/o string", cfg.clone().without_string()),
         ("w/o collective", cfg.clone().without_collective()),
     ] {
-        let out = run_with_features(pair, &features, &variant);
+        let out =
+            try_run_with_features(pair, &features, &variant, &telemetry).expect("pipeline runs");
         println!("  CEAFF {name:<14} accuracy {:.3}", out.accuracy);
     }
 }

@@ -103,15 +103,11 @@ fn main() {
     // Tiny graphs carry little structural signal; lean on names. Both KGs
     // are English, so one subword embedder serves both sides.
     let embedder = SubwordEmbedder::new(64, 42);
-    let input = EaInput {
-        pair: &pair,
-        source_embedder: &embedder,
-        target_embedder: &embedder,
-    };
+    let input = EaInput::new(&pair, &embedder, &embedder);
     let mut cfg = CeaffConfig::default();
     cfg.gcn.dim = 16;
     cfg.gcn.epochs = 40;
-    let out = ceaff::run(&input, &cfg);
+    let out = ceaff::try_run(&input, &cfg).expect("pipeline runs");
     println!("\ntest pairs: {}", pair.test_pairs().len());
     for &(i, j) in out.matching.pairs() {
         let u = pair.test_sources()[i];

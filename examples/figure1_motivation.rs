@@ -40,11 +40,7 @@ fn main() {
     ]));
     println!("fused similarity matrix (Figure 1b):");
     for i in 0..3 {
-        println!(
-            "  u{}: {:?}",
-            i + 1,
-            m.row(i).to_vec()
-        );
+        println!("  u{}: {:?}", i + 1, m.row(i).to_vec());
     }
     println!();
     show("independent:", &Greedy, &m);

@@ -24,14 +24,19 @@ fn main() {
     );
 
     let cfg = CeaffConfig::default();
+    let telemetry = Telemetry::disabled();
     let three = FeatureSet::compute_all(&task.input(), &cfg);
-    let baseline = run_with_features(&ds.pair, &three, &cfg);
-    println!("\nthree features (paper): accuracy {:.3}", baseline.accuracy);
+    let baseline =
+        try_run_with_features(&ds.pair, &three, &cfg, &telemetry).expect("pipeline runs");
+    println!(
+        "\nthree features (paper): accuracy {:.3}",
+        baseline.accuracy
+    );
 
     let four = FeatureSet::compute_all(&task.input(), &cfg).with_extra(Box::new(
         AttributeFeature::compute(&ds.pair, &ds.source_attributes, &ds.target_attributes),
     ));
-    let out = run_with_features(&ds.pair, &four, &cfg);
+    let out = try_run_with_features(&ds.pair, &four, &cfg, &telemetry).expect("pipeline runs");
     println!("four features (+Ma):    accuracy {:.3}", out.accuracy);
     if let Some(rep) = &out.textual_fusion {
         println!(
@@ -44,7 +49,10 @@ fn main() {
         );
     }
     if let Some(rep) = &out.final_fusion {
-        println!("  final-stage weights (structural, textual): {:?}", rep.weights);
+        println!(
+            "  final-stage weights (structural, textual): {:?}",
+            rep.weights
+        );
     }
     println!(
         "\nNo weight was hand-tuned: the noisy attribute feature receives whatever\n\

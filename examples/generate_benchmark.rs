@@ -8,8 +8,8 @@
 //! ```
 
 use ceaff::datagen::Preset;
-use ceaff::graph::stats::KgStats;
 use ceaff::graph::io;
+use ceaff::graph::stats::KgStats;
 
 fn main() {
     let out_dir = std::env::args().nth(1);
@@ -37,8 +37,8 @@ fn main() {
             println!("{:<22} degree-distribution K-S vs world: {ks:.3}", "");
         }
         if let Some(dir) = &out_dir {
-            let path = std::path::Path::new(dir)
-                .join(preset.label().replace(' ', "_").to_lowercase());
+            let path =
+                std::path::Path::new(dir).join(preset.label().replace(' ', "_").to_lowercase());
             io::save_pair_to_dir(&ds.pair, &path).expect("write dataset dir");
             println!("{:<22} written to {}", "", path.display());
         }

@@ -34,10 +34,15 @@ fn main() {
     // margin ranking loss, adaptive two-stage fusion (θ1=0.98, θ2=0.1),
     // deferred-acceptance collective matching.
     let cfg = CeaffConfig::default();
-    println!("\nrunning CEAFF (GCN dim {}, {} epochs) ...", cfg.gcn.dim, cfg.gcn.epochs);
-    let start = std::time::Instant::now();
-    let out = ceaff::run(&task.input(), &cfg);
-    println!("  finished in {:.1}s", start.elapsed().as_secs_f64());
+    println!(
+        "\nrunning CEAFF (GCN dim {}, {} epochs) ...",
+        cfg.gcn.dim, cfg.gcn.epochs
+    );
+    let out = ceaff::try_run(&task.input(), &cfg).expect("pipeline runs");
+    println!("  finished in {:.1}s", out.trace.total_seconds());
+    for timing in &out.trace.stages {
+        println!("    {:<10} {:>6.2}s", timing.stage, timing.seconds);
+    }
 
     if let Some(rep) = &out.textual_fusion {
         println!(

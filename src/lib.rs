@@ -31,9 +31,11 @@
 //! let mut cfg = CeaffConfig::default();
 //! cfg.gcn.dim = 16;
 //! cfg.gcn.epochs = 20;
-//! let out = ceaff::run(&task.input(), &cfg);
+//! let out = ceaff::try_run(&task.input(), &cfg).expect("pipeline runs");
 //! println!("accuracy = {:.3}", out.accuracy);
 //! assert!(out.accuracy > 0.0);
+//! // Per-stage wall-clock timings ride along on every output.
+//! assert!(out.trace.stage_seconds("matcher").is_some());
 //! ```
 
 pub use ceaff_core::*;
@@ -68,12 +70,17 @@ pub mod baselines {
     pub use ceaff_baselines::*;
 }
 
+/// Telemetry layer ([`ceaff_telemetry`]): spans, counters, gauges, sinks.
+pub mod telemetry {
+    pub use ceaff_telemetry::*;
+}
+
 /// One-stop imports for applications.
 pub mod prelude {
     pub use crate::task::DatasetTask;
     pub use ceaff_core::{
-        run, run_with_features, CeaffConfig, CeaffOutput, EaInput, FeatureSet, FusionConfig,
-        GcnConfig, MatcherKind, WeightingMode,
+        try_run, try_run_with_features, CeaffConfig, CeaffError, CeaffOutput, EaInput, FeatureSet,
+        FusionConfig, GcnConfig, MatcherKind, RunTrace, Telemetry, WeightingMode,
     };
     pub use ceaff_datagen::{GenConfig, GeneratedDataset, NameChannel, Preset};
 }
@@ -113,13 +120,14 @@ pub mod task {
             Self::new(preset.generate(scale), embed_dim)
         }
 
-        /// Borrow as a CEAFF pipeline input.
+        /// Borrow as a CEAFF pipeline input (telemetry disabled; chain
+        /// [`EaInput::with_telemetry`] to attach a handle).
         pub fn input(&self) -> EaInput<'_> {
-            EaInput {
-                pair: &self.dataset.pair,
-                source_embedder: &self.source_embedder,
-                target_embedder: &self.target_embedder,
-            }
+            EaInput::new(
+                &self.dataset.pair,
+                &self.source_embedder,
+                &self.target_embedder,
+            )
         }
 
         /// Borrow as a baseline-method input (attributes included).

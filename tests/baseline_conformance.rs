@@ -141,7 +141,7 @@ fn ceaff_beats_every_baseline_on_a_close_lingual_pair() {
     let mut cfg = CeaffConfig::default();
     cfg.gcn.dim = 16;
     cfg.gcn.epochs = 30;
-    let ceaff_out = ceaff::run(&task.input(), &cfg);
+    let ceaff_out = ceaff::try_run(&task.input(), &cfg).expect("pipeline runs");
     for method in all_methods() {
         let res = evaluate(method.as_ref(), &input);
         assert!(

@@ -38,15 +38,11 @@ fn reloaded_pair_supports_the_full_pipeline() {
     // Mono-lingual: one subword embedder for both sides works on reload
     // (the lexicon is a generator artefact; real users bring their own).
     let emb = ceaff::embed::SubwordEmbedder::new(32, 9);
-    let input = EaInput {
-        pair: &loaded,
-        source_embedder: &emb,
-        target_embedder: &emb,
-    };
+    let input = EaInput::new(&loaded, &emb, &emb);
     let mut cfg = CeaffConfig::default();
     cfg.gcn.dim = 16;
     cfg.gcn.epochs = 20;
-    let out = ceaff::run(&input, &cfg);
+    let out = ceaff::try_run(&input, &cfg).expect("pipeline runs");
     assert!(
         out.accuracy > 0.8,
         "pipeline should work on reloaded data: {}",

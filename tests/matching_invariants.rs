@@ -9,7 +9,7 @@ fn fused_matrix(preset: Preset) -> (ceaff::sim::SimilarityMatrix, usize) {
     let mut cfg = CeaffConfig::default();
     cfg.gcn.dim = 16;
     cfg.gcn.epochs = 25;
-    let out = ceaff::run(&task.input(), &cfg);
+    let out = ceaff::try_run(&task.input(), &cfg).expect("pipeline runs");
     let n = task.dataset.pair.test_pairs().len();
     (out.fused, n)
 }

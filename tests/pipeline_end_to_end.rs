@@ -1,7 +1,13 @@
 //! End-to-end integration tests: the full CEAFF pipeline over generated
 //! benchmarks, asserting the paper's headline *comparative* claims.
 
+use ceaff::graph::KgPair;
 use ceaff::prelude::*;
+
+/// Shorthand over [`try_run_with_features`] with disabled telemetry.
+fn run_with_features(pair: &KgPair, features: &FeatureSet, cfg: &CeaffConfig) -> CeaffOutput {
+    try_run_with_features(pair, features, cfg, &Telemetry::disabled()).expect("pipeline runs")
+}
 
 /// A configuration small enough for debug-mode CI.
 fn tiny_cfg() -> CeaffConfig {
@@ -47,11 +53,7 @@ fn mono_lingual_with_string_feature_is_near_perfect() {
     let cfg = tiny_cfg();
     let features = FeatureSet::compute_all(&task.input(), &cfg);
     let full = run_with_features(&task.dataset.pair, &features, &cfg);
-    let wo_string = run_with_features(
-        &task.dataset.pair,
-        &features,
-        &cfg.clone().without_string(),
-    );
+    let wo_string = run_with_features(&task.dataset.pair, &features, &cfg.clone().without_string());
     assert!(full.accuracy > 0.9, "CEAFF mono accuracy {}", full.accuracy);
     assert!(
         full.accuracy >= wo_string.accuracy,
@@ -73,11 +75,7 @@ fn distant_language_pair_depends_on_semantic_feature() {
         &features,
         &cfg.clone().without_semantic(),
     );
-    let wo_str = run_with_features(
-        &task.dataset.pair,
-        &features,
-        &cfg.clone().without_string(),
-    );
+    let wo_str = run_with_features(&task.dataset.pair, &features, &cfg.clone().without_string());
     assert!(
         wo_sem.accuracy < full.accuracy,
         "dropping semantics must hurt ZH-EN: {} vs {}",
@@ -103,11 +101,7 @@ fn string_feature_matters_on_close_language_pair() {
     let cfg = tiny_cfg();
     let features = FeatureSet::compute_all(&task.input(), &cfg);
     let full = run_with_features(&task.dataset.pair, &features, &cfg);
-    let wo_str = run_with_features(
-        &task.dataset.pair,
-        &features,
-        &cfg.clone().without_string(),
-    );
+    let wo_str = run_with_features(&task.dataset.pair, &features, &cfg.clone().without_string());
     assert!(
         wo_str.accuracy < full.accuracy,
         "removing string must hurt EN-FR: w/o string {} vs full {}",

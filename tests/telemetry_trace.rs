@@ -1,0 +1,125 @@
+//! End-to-end telemetry: a full pipeline run with an active event stream
+//! must trace every stage the ISSUE's observability story names — GCN
+//! epoch losses, adaptive-fusion weights, matcher counters — and the
+//! JSON-lines sink must serialize the same stream losslessly.
+
+use ceaff::prelude::*;
+use ceaff::telemetry::{EventKind, InMemorySink, JsonLinesSink, TraceEvent};
+use std::sync::Arc;
+
+fn tiny_cfg() -> CeaffConfig {
+    let mut cfg = CeaffConfig::default();
+    cfg.gcn.dim = 16;
+    cfg.gcn.epochs = 25;
+    cfg.embed_dim = 32;
+    cfg
+}
+
+#[test]
+fn run_trace_covers_gcn_fusion_and_matcher() {
+    let task = DatasetTask::from_preset(Preset::SrprsDbpWd, 0.1, 32);
+    let sink = Arc::new(InMemorySink::default());
+    let input = task
+        .input()
+        .with_telemetry(Telemetry::with_sink(sink.clone()));
+    let cfg = tiny_cfg();
+    let out = try_run(&input, &cfg).expect("pipeline runs");
+
+    // Stage timings for every phase of the run.
+    for stage in ["gcn", "semantic", "string", "fusion", "matcher"] {
+        assert!(
+            out.trace.stage_seconds(stage).is_some(),
+            "missing stage '{stage}': {:?}",
+            out.trace.stages
+        );
+    }
+
+    // GCN training streamed one loss gauge per epoch.
+    let losses: Vec<&TraceEvent> = out
+        .trace
+        .events_of(EventKind::Gauge, "gcn")
+        .filter(|e| e.name == "epoch_loss")
+        .collect();
+    assert_eq!(losses.len(), cfg.gcn.epochs);
+    assert!(losses.iter().all(|e| e.value.is_finite()));
+    // Steps are the epoch indices, in order.
+    let steps: Vec<u64> = losses.iter().filter_map(|e| e.step).collect();
+    assert_eq!(steps, (0..cfg.gcn.epochs as u64).collect::<Vec<_>>());
+
+    // Adaptive fusion gauged its chosen weights and counted confident
+    // correspondences.
+    let weight_events: Vec<&TraceEvent> = out
+        .trace
+        .events_of(EventKind::Gauge, "fusion")
+        .filter(|e| e.name.ends_with("_weight"))
+        .collect();
+    assert!(!weight_events.is_empty(), "fusion weights must be gauged");
+    let weight_sum: f64 = weight_events
+        .iter()
+        .filter(|e| e.name == "textual_weight")
+        .map(|e| e.value)
+        .sum();
+    assert!(
+        (weight_sum - 1.0).abs() < 1e-3,
+        "textual weights should form a simplex: {weight_sum}"
+    );
+    assert!(out
+        .trace
+        .counter("fusion", "confident_candidates")
+        .is_some());
+
+    // The matcher reported its work.
+    let iterations = out
+        .trace
+        .counter("matcher", "iterations")
+        .expect("matcher iterations counted");
+    assert!(iterations > 0);
+
+    // The sink saw exactly the events the trace kept, in sequence order.
+    let streamed = sink.snapshot();
+    assert_eq!(streamed.len(), out.trace.events.len());
+    assert!(streamed.windows(2).all(|w| w[0].seq < w[1].seq));
+}
+
+#[test]
+fn jsonl_sink_round_trips_at_least_three_event_kinds() {
+    let dir = std::env::temp_dir().join(format!("ceaff-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("trace.jsonl");
+
+    let task = DatasetTask::from_preset(Preset::SrprsDbpWd, 0.1, 32);
+    let sink = JsonLinesSink::create(&path).expect("create trace file");
+    let input = task
+        .input()
+        .with_telemetry(Telemetry::with_sink(Arc::new(sink)));
+    let out = try_run(&input, &tiny_cfg()).expect("pipeline runs");
+
+    let text = std::fs::read_to_string(&path).expect("read trace file");
+    let events: Vec<TraceEvent> = text
+        .lines()
+        .map(|line| serde_json::from_str(line).expect("valid JSONL event"))
+        .collect();
+    assert_eq!(events.len(), out.trace.events.len());
+
+    // The acceptance bar: at least three distinct kinds of observability
+    // in one default run — stage timings (Span), GCN epoch losses (Gauge)
+    // and matcher/fusion counters (Counter).
+    assert!(events
+        .iter()
+        .any(|e| e.kind == EventKind::Span && e.stage == "gcn"));
+    assert!(events
+        .iter()
+        .any(|e| e.kind == EventKind::Gauge && e.name == "epoch_loss"));
+    assert!(events.iter().any(|e| e.kind == EventKind::Counter));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn disabled_telemetry_still_times_stages_but_streams_nothing() {
+    let task = DatasetTask::from_preset(Preset::SrprsDbpWd, 0.1, 32);
+    let out = try_run(&task.input(), &tiny_cfg()).expect("pipeline runs");
+    assert!(out.trace.total_seconds() > 0.0);
+    assert!(out.trace.events.is_empty());
+    assert!(out.trace.counter("matcher", "iterations").is_some());
+}

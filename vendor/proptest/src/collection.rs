@@ -1,0 +1,62 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::ops::Range;
+
+/// Length specification for [`vec`]: an exact size or a half-open range.
+pub trait SizeRange {
+    /// Draw a concrete length.
+    fn sample_len(&self, rng: &mut ChaCha8Rng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_len(&self, _rng: &mut ChaCha8Rng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn sample_len(&self, rng: &mut ChaCha8Rng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy producing a `Vec` whose elements come from `element` and whose
+/// length comes from `size`.
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+        let len = self.size.sample_len(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// `proptest::collection::vec(element_strategy, size)`.
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_ranged_lengths() {
+        let mut rng = crate::rng_for("exact_and_ranged_lengths");
+        let exact = vec(0u32..5, 7usize).sample(&mut rng);
+        assert_eq!(exact.len(), 7);
+        for _ in 0..100 {
+            let ranged = vec(0u32..5, 2..6).sample(&mut rng);
+            assert!((2..6).contains(&ranged.len()));
+            assert!(ranged.iter().all(|&v| v < 5));
+        }
+    }
+}

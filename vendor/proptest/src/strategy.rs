@@ -1,0 +1,138 @@
+//! Value-generation strategies.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::ops::Range;
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike real proptest there is no shrinking: `sample` draws one value
+/// directly from the runner's deterministic RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut ChaCha8Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Character-class regex strategy: the shim supports exactly the shape
+/// `[class]{lo,hi}` (e.g. `"[a-zA-Z0-9 ]{0,12}"`), which is the only form
+/// this workspace's tests use.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> String {
+        let (alphabet, lo, hi) = parse_char_class_regex(self)
+            .unwrap_or_else(|| panic!("proptest shim: unsupported regex strategy {self:?}"));
+        let len = rng.gen_range(lo..=hi);
+        (0..len)
+            .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+            .collect()
+    }
+}
+
+/// Parse `[chars]{lo,hi}` into (alphabet, lo, hi). Supports literal
+/// characters and `a-z` style ranges inside the class.
+fn parse_char_class_regex(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (class, counts) = rest.split_once(']')?;
+    let counts = counts.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match counts.split_once(',') {
+        Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+        None => {
+            let n = counts.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    let chars: Vec<char> = class.chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (start, end) = (chars[i], chars[i + 2]);
+            if start > end {
+                return None;
+            }
+            alphabet.extend(start..=end);
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() || lo > hi {
+        return None;
+    }
+    Some((alphabet, lo, hi))
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+)),+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn char_class_parsing() {
+        let (alpha, lo, hi) = parse_char_class_regex("[a-c]{0,8}").unwrap();
+        assert_eq!(alpha, vec!['a', 'b', 'c']);
+        assert_eq!((lo, hi), (0, 8));
+
+        let (alpha, lo, hi) = parse_char_class_regex("[a-zA-Z0-9 ]{0,12}").unwrap();
+        assert_eq!(alpha.len(), 26 + 26 + 10 + 1);
+        assert!(alpha.contains(&' '));
+        assert_eq!((lo, hi), (0, 12));
+
+        let (alpha, lo, hi) = parse_char_class_regex("[xy]{4}").unwrap();
+        assert_eq!(alpha, vec!['x', 'y']);
+        assert_eq!((lo, hi), (4, 4));
+
+        assert!(parse_char_class_regex("abc*").is_none());
+        assert!(parse_char_class_regex("[z-a]{0,3}").is_none());
+    }
+
+    #[test]
+    fn range_strategies_stay_in_bounds() {
+        let mut rng = crate::rng_for("range_strategies_stay_in_bounds");
+        for _ in 0..200 {
+            let v = (3usize..7).sample(&mut rng);
+            assert!((3..7).contains(&v));
+            let f = (-1.5f32..2.5).sample(&mut rng);
+            assert!((-1.5..2.5).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Case execution: configuration, rejection bookkeeping, failure reporting.
+
+use crate::strategy::Strategy;
+use std::fmt::Debug;
+
+/// Runner configuration (`cases` is the only knob this workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required to pass.
+    pub cases: u32,
+    /// Give up if this many cases are rejected by `prop_assume!`.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Lower than upstream's 256: the shim exists to keep the offline
+        // test suite fast while still exercising each property broadly.
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Run exactly `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assert!` failure — the whole test fails.
+    Fail(String),
+    /// `prop_assume!` rejection — the case is discarded, not counted.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Build a rejection.
+    pub fn reject(assumption: impl Into<String>) -> Self {
+        TestCaseError::Reject(assumption.into())
+    }
+}
+
+/// Drives one property test: draws inputs, runs the body, reports the
+/// first failing input (no shrinking).
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+}
+
+impl TestRunner {
+    /// A runner whose RNG is seeded from `name`, making every run of the
+    /// same test deterministic.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        TestRunner { config, name }
+    }
+
+    /// Execute the property across the configured number of cases.
+    ///
+    /// Panics (failing the enclosing `#[test]`) on the first
+    /// [`TestCaseError::Fail`], or if `prop_assume!` rejects too many
+    /// candidate inputs.
+    pub fn run<S, F>(&mut self, strategy: &S, mut body: F)
+    where
+        S: Strategy,
+        S::Value: Debug,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut rng = crate::rng_for(self.name);
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < self.config.cases {
+            let input = strategy.sample(&mut rng);
+            let shown = format!("{input:?}");
+            match body(input) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(assumption)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        panic!(
+                            "proptest `{}`: too many inputs rejected ({rejected}) by \
+                             assumption `{assumption}` after {passed} passing cases",
+                            self.name
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest `{}` failed after {passed} passing cases\n\
+                         input: {shown}\n{msg}",
+                        self.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_only_passing_cases() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(10), "counts_only_passing");
+        let mut seen = 0u32;
+        runner.run(&(0usize..100), |v| {
+            if v % 2 == 1 {
+                return Err(TestCaseError::reject("even only"));
+            }
+            seen += 1;
+            Ok(())
+        });
+        assert_eq!(seen, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn failure_panics_with_input() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(10), "failure_panics");
+        runner.run(&(0usize..4), |v| {
+            if v >= 2 {
+                return Err(TestCaseError::fail("value too large"));
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "too many inputs rejected")]
+    fn reject_flood_panics() {
+        let cfg = ProptestConfig {
+            cases: 5,
+            max_global_rejects: 8,
+        };
+        let mut runner = TestRunner::new(cfg, "reject_flood");
+        runner.run(&(0usize..4), |_| Err(TestCaseError::reject("never")));
+    }
+}

@@ -1,0 +1,165 @@
+//! Offline shim for `rand_chacha`: a genuine ChaCha stream cipher used as
+//! a deterministic random number generator, with the 8-round variant the
+//! workspace seeds everywhere (`ChaCha8Rng::seed_from_u64`).
+//!
+//! The keystream is standard ChaCha (Bernstein 2008) with a 64-bit block
+//! counter in words 12–13 and a zero nonce: high-quality, splittable,
+//! reproducible streams. Word order within a block follows the cipher's
+//! natural output order. Streams are deterministic for a given seed but
+//! not guaranteed bit-identical to the upstream `rand_chacha` crate.
+
+use rand::{RngCore, SeedableRng};
+
+const ROUNDS: usize = 8;
+
+/// A ChaCha-8 random number generator.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Cipher input state: constants, 8 key words, 64-bit counter, nonce.
+    state: [u32; 16],
+    /// Current 16-word output block.
+    block: [u32; 16],
+    /// Next unread word in `block` (16 = exhausted).
+    cursor: usize,
+}
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// Run the cipher for the current counter value into `self.block`,
+    /// then advance the counter.
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self
+            .block
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(s);
+        }
+        // 64-bit block counter in words 12..14.
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.cursor = 0;
+    }
+
+    /// The position within the keystream, in 32-bit words (diagnostic).
+    pub fn word_pos(&self) -> u64 {
+        let counter = self.state[12] as u64 | ((self.state[13] as u64) << 32);
+        // `counter` blocks were produced, of which `16 - cursor` words of
+        // the current block are still unread.
+        counter
+            .wrapping_mul(16)
+            .wrapping_add(self.cursor as u64)
+            .wrapping_sub(16)
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        // "expand 32-byte k"
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes([
+                seed[4 * i],
+                seed[4 * i + 1],
+                seed[4 * i + 2],
+                seed[4 * i + 3],
+            ]);
+        }
+        // Counter and nonce start at zero.
+        ChaCha8Rng {
+            state,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.cursor];
+        self.cursor += 1;
+        word
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let first_100: Vec<u32> = (0..100).map(|_| c.next_u32()).collect();
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        assert!(first_100.iter().any(|&w| w != a.next_u32()));
+    }
+
+    #[test]
+    fn chacha_rfc_vector() {
+        // RFC 8439 §2.3.2 test vector adapted to ChaCha20 would need 20
+        // rounds; instead verify the zero-key ChaCha8 block is stable and
+        // non-degenerate (changes across blocks, no repeated state).
+        let mut rng = ChaCha8Rng::from_seed([0u8; 32]);
+        let block1: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let block2: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(block1, block2);
+        assert!(block1.iter().any(|&w| w != 0));
+    }
+
+    #[test]
+    fn float_draws_are_spread_out() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn word_pos_tracks_consumption() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let start = rng.word_pos();
+        let _ = rng.next_u32();
+        let _ = rng.next_u64();
+        assert_eq!(rng.word_pos(), start.wrapping_add(3));
+    }
+}

@@ -1,0 +1,43 @@
+//! Offline shim for the `rayon` crate.
+//!
+//! The build environment cannot fetch crates, so this crate provides the
+//! rayon API surface the workspace uses (`par_chunks_mut`) with a
+//! sequential implementation: the "parallel" iterator is the standard
+//! library's `ChunksMut`, which already supports the adapter chain the
+//! kernels apply (`enumerate().for_each(...)`). Results are identical to
+//! the parallel version; only wall-clock scaling differs.
+
+/// Sequential stand-ins for `rayon::prelude`.
+pub mod prelude {
+    pub use crate::slice::ParallelSliceMut;
+}
+
+pub mod slice {
+    /// Mutable slice splitting, mirroring `rayon::slice::ParallelSliceMut`.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential equivalent of rayon's `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_matches_chunks_mut() {
+        let mut data = [0u32; 10];
+        data.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for v in chunk {
+                *v = i as u32;
+            }
+        });
+        assert_eq!(data, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+}

@@ -1,0 +1,234 @@
+//! Deserialization: every type rebuilds itself from a [`Value`] tree.
+
+use crate::{Error, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// A type reconstructible from the shim's [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Alias kept for API compatibility (the shim's `Deserialize` already owns
+/// its data).
+pub trait DeserializeOwned: Deserialize {}
+
+impl<T: Deserialize> DeserializeOwned for T {}
+
+fn type_error<T>(expected: &str, got: &Value) -> Result<T, Error> {
+    Err(Error::custom(format!(
+        "expected {expected}, got {}",
+        got.kind()
+    )))
+}
+
+macro_rules! impl_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v.as_u64() {
+                    Some(n) => <$t>::try_from(n)
+                        .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t)))),
+                    None => type_error("unsigned integer", v),
+                }
+            }
+        }
+    )*};
+}
+
+impl_de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_de_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v.as_i64() {
+                    Some(n) => <$t>::try_from(n)
+                        .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t)))),
+                    None => type_error("integer", v),
+                }
+            }
+        }
+    )*};
+}
+
+impl_de_signed!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            // JSON has no NaN/Infinity literal; serializers write null.
+            Value::Null => Ok(f64::NAN),
+            _ => v.as_f64().ok_or(()).or_else(|()| type_error("number", v)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or(()).or_else(|()| type_error("bool", v))
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or(())
+            .or_else(|()| type_error("string", v))
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = String::from_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_array() {
+            Some(items) => items.iter().map(T::from_value).collect(),
+            None => type_error("array", v),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(v)?;
+        <[T; N]>::try_from(items)
+            .map_err(|items| Error::custom(format!("expected {N} elements, got {}", items.len())))
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($len:literal; $($name:ident . $idx:tt),+)),+) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = match v.as_array() {
+                    Some(items) if items.len() == $len => items,
+                    Some(items) => {
+                        return Err(Error::custom(format!(
+                            "expected {}-tuple, got {} elements", $len, items.len()
+                        )))
+                    }
+                    None => return type_error("array", v),
+                };
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+
+impl_de_tuple!(
+    (2; A.0, B.1),
+    (3; A.0, B.1, C.2),
+    (4; A.0, B.1, C.2, D.3)
+);
+
+/// Map keys parsed back from object-field names.
+pub trait DeserializeKey: Sized {
+    /// Parse from an object-field name.
+    fn from_key(key: &str) -> Result<Self, Error>;
+}
+
+impl DeserializeKey for String {
+    fn from_key(key: &str) -> Result<Self, Error> {
+        Ok(key.to_owned())
+    }
+}
+
+macro_rules! impl_de_key_parse {
+    ($($t:ty),*) => {$(
+        impl DeserializeKey for $t {
+            fn from_key(key: &str) -> Result<Self, Error> {
+                key.parse().map_err(|_| {
+                    Error::custom(format!("bad {} map key: {key:?}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_de_key_parse!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, char, bool);
+
+impl<K: DeserializeKey + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_object() {
+            Some(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            None => type_error("object", v),
+        }
+    }
+}
+
+impl<K: DeserializeKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_object() {
+            Some(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            None => type_error("object", v),
+        }
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let secs = v
+            .get("secs")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| Error::custom("Duration needs a `secs` field"))?;
+        let nanos = v.get("nanos").and_then(Value::as_u64).unwrap_or(0) as u32;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+/// Look up and parse one named field of a struct object. Missing fields
+/// deserialize as `Null`, which lets `Option` fields default to `None`
+/// (matching serde's treatment under `default` only partially, but
+/// sufficient for round-tripping this workspace's configs).
+pub fn field<T: Deserialize>(entries: &[(String, Value)], name: &str) -> Result<T, Error> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v).map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
+        None => T::from_value(&Value::Null)
+            .map_err(|_| Error::custom(format!("missing field `{name}`"))),
+    }
+}

@@ -1,0 +1,40 @@
+//! Offline shim for the parts of `serde` this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a compact serialization framework with serde's *surface*: a
+//! [`Serialize`]/[`Deserialize`] trait pair, `#[derive(Serialize,
+//! Deserialize)]` macros (re-exported from the sibling `serde_derive`
+//! proc-macro shim), and a JSON-shaped [`Value`] tree as the sole data
+//! model. `serde_json` (also vendored) renders and parses that tree.
+//!
+//! Supported shapes mirror serde's defaults: structs become maps, newtype
+//! structs are transparent, tuple structs become sequences, enums use
+//! external tagging (`"Variant"` or `{"Variant": payload}`).
+
+pub mod de;
+pub mod ser;
+mod value;
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Number, Value};
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from any message.
+    pub fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}

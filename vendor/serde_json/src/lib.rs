@@ -1,0 +1,215 @@
+//! Offline shim for the `serde_json` crate: JSON text <-> the vendored
+//! serde [`Value`] model, plus the `json!` literal macro.
+
+pub use serde::{Error, Number, Value};
+
+mod parse;
+
+pub use parse::from_str_value;
+
+/// Serialize any `Serialize` type into its value tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parse JSON text into any `Deserialize` type.
+pub fn from_str<T: serde::de::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse::from_str_value(s)?;
+    T::from_value(&value)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match *n {
+        Number::I64(v) => out.push_str(&v.to_string()),
+        Number::U64(v) => out.push_str(&v.to_string()),
+        // JSON has no NaN/Infinity literal; mirror serde_json and emit null.
+        Number::F64(v) if !v.is_finite() => out.push_str("null"),
+        Number::F64(v) => {
+            let s = format!("{v}");
+            out.push_str(&s);
+            // Keep floats recognisable as floats on re-parse.
+            if !s.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Build a [`Value`] from a JSON-shaped literal. Supports `null`, object
+/// literals with string-literal keys (values may be nested objects,
+/// `null`, or expressions), and plain expressions of any `Serialize`
+/// type.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({}) => { $crate::Value::Object(::std::vec::Vec::new()) };
+    ({ $($body:tt)+ }) => { $crate::Value::Object($crate::json_object!([] $($body)+)) };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Internal token muncher for [`json!`] object bodies.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    ([$($done:expr),*]) => { vec![$($done),*] };
+    ([$($done:expr),*] $key:literal : { $($obj:tt)* } , $($rest:tt)*) => {
+        $crate::json_object!(
+            [$($done,)* (($key).to_string(), $crate::json!({ $($obj)* }))]
+            $($rest)*
+        )
+    };
+    ([$($done:expr),*] $key:literal : { $($obj:tt)* }) => {
+        $crate::json_object!([$($done,)* (($key).to_string(), $crate::json!({ $($obj)* }))])
+    };
+    ([$($done:expr),*] $key:literal : null , $($rest:tt)*) => {
+        $crate::json_object!([$($done,)* (($key).to_string(), $crate::Value::Null)] $($rest)*)
+    };
+    ([$($done:expr),*] $key:literal : null) => {
+        $crate::json_object!([$($done,)* (($key).to_string(), $crate::Value::Null)])
+    };
+    ([$($done:expr),*] $key:literal : $val:expr , $($rest:tt)*) => {
+        $crate::json_object!([$($done,)* (($key).to_string(), $crate::to_value(&$val))] $($rest)*)
+    };
+    ([$($done:expr),*] $key:literal : $val:expr) => {
+        $crate::json_object!([$($done,)* (($key).to_string(), $crate::to_value(&$val))])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(3usize), Value::Number(Number::U64(3)));
+
+        let name = "greedy";
+        let v = json!({
+            "method": name,
+            "nested": { "accuracy": 0.5, "skipped": null },
+            "items": vec![1u32, 2],
+        });
+        assert_eq!(v["method"].as_str(), Some("greedy"));
+        assert_eq!(v["nested"]["accuracy"].as_f64(), Some(0.5));
+        assert!(v["nested"]["skipped"].is_null());
+        assert_eq!(v["items"].as_array().map(Vec::len), Some(2));
+    }
+
+    #[test]
+    fn index_mut_inserts() {
+        let mut row = json!({ "dataset": "d" });
+        row["gold"] = json!(42u64);
+        row["gold"] = json!(43u64);
+        assert_eq!(row["gold"].as_u64(), Some(43));
+        assert_eq!(row["missing"], Value::Null);
+    }
+
+    #[test]
+    fn compact_and_pretty_text() {
+        let v = json!({ "a": 1u32, "b": vec![Value::Bool(true), Value::Null], "s": "x\"y\n" });
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"a":1,"b":[true,null],"s":"x\"y\n"}"#
+        );
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": 1"));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn floats_round_trip_as_floats() {
+        let s = to_string(&2.0f64).unwrap();
+        assert_eq!(s, "2.0");
+        let v: Value = from_str(&s).unwrap();
+        assert_eq!(v.as_f64(), Some(2.0));
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+}
