@@ -52,10 +52,24 @@ USAGE:
                           as JSON lines to FILE
         --no-structural / --no-semantic / --no-string
         --equal-weights   fixed equal weights instead of adaptive fusion
+
+GLOBAL OPTIONS:
+  --threads N
+      Size of the worker pool used by the parallel kernels (matmuls,
+      similarity matrices, preference sorts). Defaults to the CEAFF_THREADS
+      environment variable, then to the number of CPUs. Results are
+      bitwise-identical for any thread count; only wall-clock changes.
 ";
 
 fn main() {
     let args = Args::parse(std::env::args().skip(1));
+    if let Some(threads) = args.get("threads") {
+        let threads: usize = threads.parse().unwrap_or_else(|_| {
+            eprintln!("error: --threads expects a positive integer");
+            std::process::exit(2);
+        });
+        ceaff_parallel::set_default_threads(threads);
+    }
     match args.command.as_deref() {
         Some("presets") => cmd_presets(),
         Some("generate") => cmd_generate(&args),

@@ -17,9 +17,12 @@ impl Matcher for Greedy {
     }
 
     fn matching(&self, m: &SimilarityMatrix) -> Matching {
-        let pairs = (0..m.sources())
-            .filter_map(|i| m.row_argmax(i).map(|j| (i, j)))
-            .collect();
+        if m.targets() == 0 {
+            return Matching::from_pairs(Vec::new());
+        }
+        // `row_argmaxes` fans the independent per-row decisions out across
+        // the pool on large matrices.
+        let pairs = m.row_argmaxes().into_iter().enumerate().collect();
         Matching::from_pairs(pairs)
     }
 

@@ -49,20 +49,27 @@ impl StableMarriage {
         if n == 0 || t == 0 {
             return (Matching::from_pairs(Vec::new()), proposals, trade_ups);
         }
-        // Descending preference list per source.
-        let prefs: Vec<Vec<u32>> = (0..n)
-            .map(|i| {
-                let row = m.row(i);
-                let mut idx: Vec<u32> = (0..t as u32).collect();
-                idx.sort_by(|&a, &b| {
-                    row[b as usize]
-                        .partial_cmp(&row[a as usize])
-                        .expect("similarity scores must not be NaN")
-                        .then(a.cmp(&b))
-                });
-                idx
-            })
-            .collect();
+        // Descending preference list per source. The `O(n·m·log m)` sort
+        // dominates the proposal loop, and rows are independent, so large
+        // instances build their lists across the pool (each row's sort is
+        // a fixed comparison sequence, so the lists — and hence the whole
+        // proposal schedule — are identical at any thread count).
+        let build_prefs = |i: usize| {
+            let row = m.row(i);
+            let mut idx: Vec<u32> = (0..t as u32).collect();
+            idx.sort_by(|&a, &b| {
+                row[b as usize]
+                    .partial_cmp(&row[a as usize])
+                    .expect("similarity scores must not be NaN")
+                    .then(a.cmp(&b))
+            });
+            idx
+        };
+        let prefs: Vec<Vec<u32>> = if n >= 64 {
+            ceaff_parallel::par_map(n, 16, build_prefs)
+        } else {
+            (0..n).map(build_prefs).collect()
+        };
         // next_proposal[i] = cursor into prefs[i].
         let mut next_proposal = vec![0usize; n];
         // holder[j] = source currently provisionally matched to target j.

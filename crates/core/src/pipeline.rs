@@ -329,6 +329,12 @@ impl FeatureSet {
     /// gauges) to `input.telemetry`.
     pub fn compute(input: &EaInput<'_>, cfg: &CeaffConfig) -> Self {
         let telemetry = &input.telemetry;
+        telemetry.gauge(
+            "parallel",
+            "threads",
+            None,
+            ceaff_parallel::current_threads() as f64,
+        );
         let structural = cfg
             .use_structural
             .then(|| StructuralFeature::compute_traced(input.pair, &cfg.gcn, telemetry));
@@ -480,6 +486,12 @@ pub fn try_run_with_features(
     cfg.validate()?;
     let active = features.active(cfg);
     check_features(&active)?;
+    telemetry.gauge(
+        "parallel",
+        "threads",
+        None,
+        ceaff_parallel::current_threads() as f64,
+    );
 
     let fusion_span = telemetry.span("fusion");
     let normalized: Vec<SimilarityMatrix> = active
@@ -600,6 +612,12 @@ pub fn try_run_single_stage(
     cfg.validate()?;
     let active = features.active(cfg);
     check_features(&active)?;
+    telemetry.gauge(
+        "parallel",
+        "threads",
+        None,
+        ceaff_parallel::current_threads() as f64,
+    );
     let fusion_span = telemetry.span("fusion");
     let normalized: Vec<SimilarityMatrix> = active
         .iter()

@@ -1,0 +1,163 @@
+//! End-to-end determinism: feature similarity matrices and the full CEAFF
+//! pipeline must produce bitwise-identical output for 1, 2 and 8 threads.
+//!
+//! This is the integration-level counterpart of the kernel tests in
+//! `ceaff-tensor`: it exercises the real feature stack (GCN training,
+//! name-embedding cosine, Levenshtein string similarity), adaptive
+//! fusion, and collective matching under `ceaff_parallel::with_threads`.
+
+use ceaff_core::features::{Feature, SemanticFeature, StringFeature, StructuralFeature};
+use ceaff_core::pipeline::{try_run, CeaffConfig, EaInput, FeatureSet};
+use ceaff_core::GcnConfig;
+use ceaff_datagen::{GenConfig, GeneratedDataset, NameChannel};
+use ceaff_parallel::with_threads;
+use ceaff_sim::SimilarityMatrix;
+
+fn dataset() -> GeneratedDataset {
+    ceaff_datagen::generate(&GenConfig {
+        aligned_entities: 120,
+        extra_frac: 0.1,
+        avg_degree: 6.0,
+        overlap: 0.8,
+        channel: NameChannel::CloseLingual {
+            morph_rate: 0.5,
+            replace_rate: 0.2,
+        },
+        vocab_size: 300,
+        lexicon_coverage: 0.9,
+        ..GenConfig::default()
+    })
+}
+
+fn fast_cfg() -> CeaffConfig {
+    CeaffConfig {
+        gcn: GcnConfig {
+            dim: 16,
+            epochs: 20,
+            ..GcnConfig::default()
+        },
+        embed_dim: 16,
+        ..CeaffConfig::default()
+    }
+}
+
+/// Assert that `f` yields the same similarity matrix at 1, 2 and 8 threads.
+fn assert_matrix_invariant(label: &str, f: impl Fn() -> SimilarityMatrix) {
+    let baseline = with_threads(1, &f);
+    for threads in [2, 8] {
+        let m = with_threads(threads, &f);
+        assert_eq!(
+            m.as_matrix().as_slice(),
+            baseline.as_matrix().as_slice(),
+            "{label}: similarity matrix differs between 1 and {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn structural_similarity_matrix_is_thread_count_independent() {
+    let ds = dataset();
+    let gcn = GcnConfig {
+        dim: 16,
+        epochs: 20,
+        ..GcnConfig::default()
+    };
+    assert_matrix_invariant("structural", || {
+        StructuralFeature::compute(&ds.pair, &gcn)
+            .test_matrix()
+            .clone()
+    });
+}
+
+#[test]
+fn semantic_similarity_matrix_is_thread_count_independent() {
+    let ds = dataset();
+    let src = ds.source_embedder(16);
+    let tgt = ds.target_embedder(16);
+    assert_matrix_invariant("semantic", || {
+        SemanticFeature::compute(&ds.pair, &src, &tgt)
+            .test_matrix()
+            .clone()
+    });
+}
+
+#[test]
+fn string_similarity_matrix_is_thread_count_independent() {
+    let ds = dataset();
+    assert_matrix_invariant("string", || {
+        StringFeature::compute(&ds.pair).test_matrix().clone()
+    });
+}
+
+#[test]
+fn csls_adjustment_is_thread_count_independent() {
+    let ds = dataset();
+    let string = StringFeature::compute(&ds.pair);
+    assert_matrix_invariant("csls", || {
+        ceaff_sim::csls_adjusted(string.test_matrix(), 10)
+    });
+}
+
+#[test]
+fn full_pipeline_output_is_thread_count_independent() {
+    let ds = dataset();
+    let src = ds.source_embedder(16);
+    let tgt = ds.target_embedder(16);
+    let cfg = fast_cfg();
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let input = EaInput::new(&ds.pair, &src, &tgt);
+            try_run(&input, &cfg).expect("pipeline runs")
+        })
+    };
+    let baseline = run(1);
+    for threads in [2, 8] {
+        let out = run(threads);
+        assert_eq!(
+            out.fused.as_matrix().as_slice(),
+            baseline.fused.as_matrix().as_slice(),
+            "fused matrix differs between 1 and {threads} threads"
+        );
+        assert_eq!(
+            out.matching.pairs(),
+            baseline.matching.pairs(),
+            "matching differs between 1 and {threads} threads"
+        );
+        assert_eq!(out.accuracy, baseline.accuracy);
+        assert_eq!(out.ranking.hits1, baseline.ranking.hits1);
+        assert_eq!(out.ranking.hits10, baseline.ranking.hits10);
+        assert_eq!(out.ranking.mrr, baseline.ranking.mrr);
+    }
+}
+
+#[test]
+fn precomputed_feature_reuse_is_thread_count_independent() {
+    // Features computed at one width, fusion + matching replayed at
+    // several widths — the ablation-harness usage pattern.
+    let ds = dataset();
+    let src = ds.source_embedder(16);
+    let tgt = ds.target_embedder(16);
+    let cfg = fast_cfg();
+    let input = EaInput::new(&ds.pair, &src, &tgt);
+    let features = with_threads(4, || FeatureSet::compute_all(&input, &cfg));
+    let decide = |threads: usize| {
+        with_threads(threads, || {
+            ceaff_core::pipeline::try_run_with_features(
+                &ds.pair,
+                &features,
+                &cfg,
+                &ceaff_telemetry::Telemetry::disabled(),
+            )
+            .expect("pipeline runs")
+        })
+    };
+    let baseline = decide(1);
+    for threads in [2, 8] {
+        let out = decide(threads);
+        assert_eq!(
+            out.fused.as_matrix().as_slice(),
+            baseline.fused.as_matrix().as_slice()
+        );
+        assert_eq!(out.matching.pairs(), baseline.matching.pairs());
+    }
+}

@@ -1,0 +1,172 @@
+//! Property tests pitting every CSR operation against a dense reference
+//! model: a plain `rows × cols` buffer built from the same triplets.
+//!
+//! `mul_dense` / `transpose_mul_dense` feed the GCN encoder every layer
+//! and `row` / `row_sums` drive the normalisations, so each is checked
+//! under randomized shapes, duplicate coordinates and zero entries.
+
+use ceaff_graph::CsrMatrix;
+use proptest::prelude::*;
+
+/// Dense reference of the matrix the triplets describe (duplicates summed).
+fn dense_model(rows: usize, cols: usize, entries: &[(usize, usize, f32)]) -> Vec<f32> {
+    let mut full = vec![0.0f32; rows * cols];
+    for &(r, c, v) in entries {
+        full[r * cols + c] += v;
+    }
+    full
+}
+
+/// Keep only the triplets that fit a `rows × cols` matrix.
+fn clamp_entries(
+    entries: Vec<(usize, usize, f32)>,
+    rows: usize,
+    cols: usize,
+) -> Vec<(usize, usize, f32)> {
+    entries
+        .into_iter()
+        .filter(|&(r, c, _)| r < rows && c < cols)
+        .collect()
+}
+
+proptest! {
+    /// `transpose_mul_dense` equals the dense `Mᵀ · X` computed by hand.
+    #[test]
+    fn transpose_mul_dense_matches_dense_reference(
+        rows in 1usize..9,
+        cols in 1usize..9,
+        entries in proptest::collection::vec((0usize..9, 0usize..9, -4.0f32..4.0), 0..24),
+        d in 1usize..5,
+        dense_vals in proptest::collection::vec(-3.0f32..3.0, 8),
+    ) {
+        let entries = clamp_entries(entries, rows, cols);
+        let m = CsrMatrix::from_triplets(rows, cols, &entries).unwrap();
+        let dense: Vec<f32> = dense_vals.into_iter().cycle().take(rows * d).collect();
+        let mut out = vec![0.0f32; cols * d];
+        m.transpose_mul_dense(&dense, d, &mut out);
+
+        let full = dense_model(rows, cols, &entries);
+        for c in 0..cols {
+            for j in 0..d {
+                let mut acc = 0.0f32;
+                for r in 0..rows {
+                    acc += full[r * cols + c] * dense[r * d + j];
+                }
+                prop_assert!(
+                    (acc - out[c * d + j]).abs() < 1e-3,
+                    "transposed cell ({}, {}): dense {} vs csr {}",
+                    c, j, acc, out[c * d + j]
+                );
+            }
+        }
+    }
+
+    /// Row slices report exactly the non-zero cells of the dense model,
+    /// in ascending column order, without duplicates.
+    #[test]
+    fn row_slices_match_dense_reference(
+        rows in 1usize..9,
+        cols in 1usize..9,
+        entries in proptest::collection::vec((0usize..9, 0usize..9, -4.0f32..4.0), 0..24),
+    ) {
+        let entries = clamp_entries(entries, rows, cols);
+        let m = CsrMatrix::from_triplets(rows, cols, &entries).unwrap();
+        let full = dense_model(rows, cols, &entries);
+        for r in 0..rows {
+            let got: Vec<(usize, f32)> = m.row(r).collect();
+            let expect: Vec<(usize, f32)> = (0..cols)
+                .filter(|&c| full[r * cols + c] != 0.0)
+                .map(|c| (c, full[r * cols + c]))
+                .collect();
+            prop_assert_eq!(&got, &expect, "row {}", r);
+            let cols_only: Vec<usize> = got.iter().map(|&(c, _)| c).collect();
+            let mut sorted = cols_only.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(cols_only, sorted, "row {} not sorted/deduped", r);
+        }
+    }
+
+    /// `row_sums` equals the dense row sums.
+    #[test]
+    fn row_sums_match_dense_reference(
+        rows in 1usize..9,
+        cols in 1usize..9,
+        entries in proptest::collection::vec((0usize..9, 0usize..9, -4.0f32..4.0), 0..24),
+    ) {
+        let entries = clamp_entries(entries, rows, cols);
+        let m = CsrMatrix::from_triplets(rows, cols, &entries).unwrap();
+        let full = dense_model(rows, cols, &entries);
+        let sums = m.row_sums();
+        for r in 0..rows {
+            let expect: f32 = full[r * cols..(r + 1) * cols].iter().sum();
+            prop_assert!(
+                (sums[r] - expect).abs() < 1e-3,
+                "row {}: {} vs {}", r, sums[r], expect
+            );
+        }
+    }
+
+    /// `mul_dense` then `transpose_mul_dense` composes like the dense
+    /// `Mᵀ · (M · X)` — the exact shape of a GCN forward/backward pair.
+    #[test]
+    fn forward_backward_composition_matches_dense(
+        rows in 1usize..9,
+        cols in 1usize..9,
+        entries in proptest::collection::vec((0usize..9, 0usize..9, -2.0f32..2.0), 0..24),
+        d in 1usize..4,
+        dense_vals in proptest::collection::vec(-2.0f32..2.0, 8),
+    ) {
+        let entries = clamp_entries(entries, rows, cols);
+        let m = CsrMatrix::from_triplets(rows, cols, &entries).unwrap();
+        let x: Vec<f32> = dense_vals.into_iter().cycle().take(cols * d).collect();
+        let mut mx = vec![0.0f32; rows * d];
+        m.mul_dense(&x, d, &mut mx);
+        let mut mtmx = vec![0.0f32; cols * d];
+        m.transpose_mul_dense(&mx, d, &mut mtmx);
+
+        let full = dense_model(rows, cols, &entries);
+        // Dense M·X.
+        let mut dense_mx = vec![0.0f32; rows * d];
+        for r in 0..rows {
+            for j in 0..d {
+                for c in 0..cols {
+                    dense_mx[r * d + j] += full[r * cols + c] * x[c * d + j];
+                }
+            }
+        }
+        // Dense Mᵀ·(M·X).
+        for c in 0..cols {
+            for j in 0..d {
+                let mut acc = 0.0f32;
+                for r in 0..rows {
+                    acc += full[r * cols + c] * dense_mx[r * d + j];
+                }
+                prop_assert!((acc - mtmx[c * d + j]).abs() < 1e-2);
+            }
+        }
+    }
+
+    /// `row_normalized` keeps the sparsity pattern and scales values the
+    /// way the dense model predicts.
+    #[test]
+    fn row_normalized_matches_dense_reference(
+        rows in 1usize..9,
+        cols in 1usize..9,
+        entries in proptest::collection::vec((0usize..9, 0usize..9, -4.0f32..4.0), 0..24),
+    ) {
+        let entries = clamp_entries(entries, rows, cols);
+        let m = CsrMatrix::from_triplets(rows, cols, &entries).unwrap();
+        let full = dense_model(rows, cols, &entries);
+        let n = m.row_normalized();
+        for (r, c, v) in n.iter() {
+            let sum: f32 = full[r * cols..(r + 1) * cols].iter().sum();
+            let expect = if sum > 0.0 { full[r * cols + c] / sum } else { full[r * cols + c] };
+            prop_assert!(
+                (v - expect).abs() < 1e-3,
+                "cell ({}, {}): {} vs {}", r, c, v, expect
+            );
+        }
+        prop_assert_eq!(n.nnz(), m.nnz());
+    }
+}

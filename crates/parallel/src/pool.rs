@@ -1,0 +1,200 @@
+//! The worker pool: persistent threads, chunked index-range scheduling.
+//!
+//! One process-wide pool is created lazily on the first parallel dispatch
+//! and lives until exit. Workers park on a condvar between jobs; a job is
+//! a borrowed closure `Fn(usize)` invoked once per chunk index. Chunks are
+//! claimed from a shared atomic cursor, so load-balancing is dynamic while
+//! the *partitioning* (which indices form which chunk) is fixed by the
+//! caller — the foundation of the crate's determinism guarantee.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Hard ceiling on pool size; protects against absurd `CEAFF_THREADS`
+/// values and runaway `with_threads` requests.
+pub(crate) const MAX_THREADS: usize = 256;
+
+/// One dispatched parallel region.
+///
+/// `body` is a borrowed trait object whose lifetime has been erased; see
+/// the safety argument on [`Pool::execute`] for why the raw pointer is
+/// never dereferenced after `execute` returns.
+struct JobCore {
+    body: *const (dyn Fn(usize) + Sync),
+    /// Next unclaimed chunk index.
+    cursor: AtomicUsize,
+    /// Total number of chunks.
+    chunks: usize,
+    /// How many pool workers (beyond the caller) may participate.
+    helpers: usize,
+    /// Chunks not yet finished; the last finisher flips `done`.
+    unfinished: AtomicUsize,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    /// First panic payload raised by a chunk body, if any.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+// SAFETY: `body` points at a `Sync` closure, so invoking it from several
+// threads is sound; the pointer itself is only shared, never mutated.
+unsafe impl Send for JobCore {}
+unsafe impl Sync for JobCore {}
+
+impl JobCore {
+    /// Claim and run chunks until the cursor is exhausted.
+    fn run_chunks(&self) {
+        loop {
+            let c = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if c >= self.chunks {
+                return;
+            }
+            // SAFETY: a chunk index below `chunks` can only be claimed
+            // while `unfinished > 0`, and `Pool::execute` does not return
+            // (ending the borrow of `body`) until `unfinished == 0`.
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| unsafe { (*self.body)(c) }));
+            if let Err(payload) = result {
+                let mut slot = self.panic.lock().unwrap();
+                slot.get_or_insert(payload);
+            }
+            if self.unfinished.fetch_sub(1, Ordering::AcqRel) == 1 {
+                *self.done.lock().unwrap() = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// Block until every chunk has completed.
+    fn wait(&self) {
+        let mut finished = self.done.lock().unwrap();
+        while !*finished {
+            finished = self.done_cv.wait(finished).unwrap();
+        }
+    }
+}
+
+struct PoolState {
+    /// The currently published job, tagged with its epoch.
+    job: Option<(u64, Arc<JobCore>)>,
+    epoch: u64,
+    /// Number of worker threads spawned so far.
+    spawned: usize,
+}
+
+/// The process-wide pool.
+pub(crate) struct Pool {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+impl Pool {
+    fn get() -> &'static Pool {
+        POOL.get_or_init(|| Pool {
+            state: Mutex::new(PoolState {
+                job: None,
+                epoch: 0,
+                spawned: 0,
+            }),
+            work_cv: Condvar::new(),
+        })
+    }
+
+    /// Park-and-serve loop of worker `idx`. Workers remember the last
+    /// epoch they served so a spurious wakeup (or a job already drained by
+    /// faster threads) costs nothing: claiming from an exhausted cursor
+    /// touches only the atomic, never the erased closure.
+    fn worker_loop(&'static self, idx: usize) {
+        let mut last_epoch = 0u64;
+        loop {
+            let job = {
+                let mut state = self.state.lock().unwrap();
+                loop {
+                    match &state.job {
+                        Some((epoch, job)) if *epoch != last_epoch => {
+                            last_epoch = *epoch;
+                            break job.clone();
+                        }
+                        _ => state = self.work_cv.wait(state).unwrap(),
+                    }
+                }
+            };
+            if idx < job.helpers {
+                job.run_chunks();
+            }
+        }
+    }
+
+    /// Run `body(chunk)` for every `chunk in 0..chunks` using up to
+    /// `threads` OS threads (the caller plus `threads - 1` pool workers).
+    ///
+    /// With `threads <= 1` or `chunks <= 1` the body runs inline on the
+    /// caller, in increasing chunk order, with zero synchronisation — the
+    /// single-thread path is exactly the old sequential code.
+    ///
+    /// # Safety argument
+    /// `body`'s lifetime is erased to publish it to the workers. This is
+    /// sound because (a) a worker dereferences the pointer only after
+    /// claiming a chunk index below `chunks`, (b) every claimed chunk is
+    /// accounted for in `unfinished`, and (c) this function blocks until
+    /// `unfinished` reaches zero before returning, so the borrow outlives
+    /// every dereference. Panics inside chunks are caught, the latch is
+    /// still released, and the first payload is re-raised on the caller.
+    pub(crate) fn execute(body: &(dyn Fn(usize) + Sync), chunks: usize, threads: usize) {
+        if chunks == 0 {
+            return;
+        }
+        if threads <= 1 || chunks <= 1 {
+            for c in 0..chunks {
+                body(c);
+            }
+            return;
+        }
+        let pool = Pool::get();
+        let helpers = threads.min(MAX_THREADS).min(chunks) - 1;
+        // SAFETY: lifetime erasure justified above — `execute` does not
+        // return until all chunk executions have finished.
+        let erased: *const (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(body)
+        };
+        let job = Arc::new(JobCore {
+            body: erased,
+            cursor: AtomicUsize::new(0),
+            chunks,
+            helpers,
+            unfinished: AtomicUsize::new(chunks),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        {
+            let mut state = pool.state.lock().unwrap();
+            while state.spawned < helpers {
+                let idx = state.spawned;
+                std::thread::Builder::new()
+                    .name(format!("ceaff-par-{idx}"))
+                    .spawn(move || Pool::get().worker_loop(idx))
+                    .expect("failed to spawn ceaff-parallel worker");
+                state.spawned += 1;
+            }
+            state.epoch += 1;
+            let epoch = state.epoch;
+            state.job = Some((epoch, job.clone()));
+            pool.work_cv.notify_all();
+        }
+        // The caller is a full participant — with a slow worker wakeup the
+        // dispatch degrades gracefully towards sequential execution.
+        job.run_chunks();
+        job.wait();
+        let payload = job.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Entry point used by `lib.rs`.
+pub(crate) fn execute(body: &(dyn Fn(usize) + Sync), chunks: usize, threads: usize) {
+    Pool::execute(body, chunks, threads)
+}

@@ -16,6 +16,8 @@
 //! matching.
 
 use crate::matrix::SimilarityMatrix;
+use ceaff_tensor::Matrix;
+use rayon::prelude::*;
 
 /// Mean of the `k` largest values of a slice (`k` clamped to the length).
 fn mean_top_k(values: &[f32], k: usize) -> f32 {
@@ -35,21 +37,25 @@ pub fn csls_adjusted(m: &SimilarityMatrix, k: usize) -> SimilarityMatrix {
     if n == 0 || t == 0 {
         return m.clone();
     }
-    let r_src: Vec<f32> = (0..n).map(|i| mean_top_k(m.row(i), k)).collect();
-    let mut cols: Vec<Vec<f32>> = vec![Vec::with_capacity(n); t];
-    for i in 0..n {
-        for (j, &v) in m.row(i).iter().enumerate() {
-            cols[j].push(v);
-        }
-    }
-    let r_tgt: Vec<f32> = cols.iter().map(|c| mean_top_k(c, k)).collect();
-    let mut out = SimilarityMatrix::zeros(n, t);
-    for (i, &rs) in r_src.iter().enumerate() {
-        for (j, &rt) in r_tgt.iter().enumerate() {
-            out.set(i, j, 2.0 * m.get(i, j) - rs - rt);
-        }
-    }
-    out
+    // Row and column neighbourhood densities are independent per row /
+    // per column, so both fan out across the pool.
+    let r_src: Vec<f32> = ceaff_parallel::par_map(n, 32, |i| mean_top_k(m.row(i), k));
+    let r_tgt: Vec<f32> = ceaff_parallel::par_map(t, 32, |j| {
+        let col: Vec<f32> = (0..n).map(|i| m.get(i, j)).collect();
+        mean_top_k(&col, k)
+    });
+    let mut out = Matrix::zeros(n, t);
+    out.as_mut_slice()
+        .par_chunks_mut(t)
+        .enumerate()
+        .for_each(|(i, row)| {
+            let rs = r_src[i];
+            let m_row = m.row(i);
+            for ((o, &v), &rt) in row.iter_mut().zip(m_row).zip(&r_tgt) {
+                *o = 2.0 * v - rs - rt;
+            }
+        });
+    SimilarityMatrix::new(out)
 }
 
 #[cfg(test)]

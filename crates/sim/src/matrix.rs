@@ -1,7 +1,21 @@
 //! The similarity-matrix container shared by all features.
+//!
+//! The whole-matrix scans (`row_argmaxes`, `col_argmaxes`, `min_max`) go
+//! parallel above a size threshold via the `ceaff-parallel` pool. Each
+//! splits the row range into fixed bands, computes per-band results, and
+//! merges the bands *in band order* with the same strict comparisons as the
+//! sequential scan — so argmax tie-breaking (towards the lower index) and
+//! every float comparison are reproduced exactly at any thread count.
 
 use ceaff_tensor::Matrix;
 use serde::{Deserialize, Serialize};
+
+/// Minimum number of rows (or element chunks) before the scans above
+/// dispatch to the pool.
+const PAR_SCAN_THRESHOLD: usize = 64;
+
+/// Rows per band for the parallel scans.
+const SCAN_BAND_ROWS: usize = 64;
 
 /// A `sources × targets` matrix of similarity scores, higher = more similar.
 ///
@@ -86,20 +100,60 @@ impl SimilarityMatrix {
         Some(best)
     }
 
-    /// All row argmaxes at once.
+    /// All row argmaxes at once (rows are independent, so large matrices
+    /// fan out across the pool).
     pub fn row_argmaxes(&self) -> Vec<usize> {
-        (0..self.sources())
-            .map(|i| self.row_argmax(i).expect("non-empty rows"))
-            .collect()
+        let n = self.sources();
+        if n < PAR_SCAN_THRESHOLD {
+            return (0..n)
+                .map(|i| self.row_argmax(i).expect("non-empty rows"))
+                .collect();
+        }
+        let mut out = vec![0usize; n];
+        ceaff_parallel::par_chunks_mut(&mut out, SCAN_BAND_ROWS, |band, chunk| {
+            let base = band * SCAN_BAND_ROWS;
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                *slot = self.row_argmax(base + k).expect("non-empty rows");
+            }
+        });
+        out
     }
 
-    /// All column argmaxes at once (single pass over the matrix).
+    /// All column argmaxes at once. Large matrices compute per-band
+    /// running maxima in parallel, then merge the bands in row order with
+    /// the same strict `>` as the sequential scan — ties still resolve to
+    /// the lowest row index.
     pub fn col_argmaxes(&self) -> Vec<usize> {
         assert!(self.sources() > 0, "col_argmaxes needs at least one row");
+        let n = self.sources();
         let t = self.targets();
-        let mut best = vec![0usize; t];
-        let mut best_v: Vec<f32> = self.inner.row(0).to_vec();
-        for i in 1..self.sources() {
+        if n < PAR_SCAN_THRESHOLD || t == 0 {
+            return self.col_argmaxes_band(0, n).0;
+        }
+        let bands = n.div_ceil(SCAN_BAND_ROWS);
+        let partials = ceaff_parallel::par_map(bands, 1, |band| {
+            let lo = band * SCAN_BAND_ROWS;
+            self.col_argmaxes_band(lo, (lo + SCAN_BAND_ROWS).min(n))
+        });
+        let mut iter = partials.into_iter();
+        let (mut best, mut best_v) = iter.next().expect("at least one band");
+        for (band_best, band_v) in iter {
+            for j in 0..t {
+                if band_v[j] > best_v[j] {
+                    best_v[j] = band_v[j];
+                    best[j] = band_best[j];
+                }
+            }
+        }
+        best
+    }
+
+    /// Column argmaxes restricted to rows `lo..hi` (best row index and its
+    /// value per column).
+    fn col_argmaxes_band(&self, lo: usize, hi: usize) -> (Vec<usize>, Vec<f32>) {
+        let mut best = vec![lo; self.targets()];
+        let mut best_v: Vec<f32> = self.inner.row(lo).to_vec();
+        for i in lo + 1..hi {
             for (j, &v) in self.inner.row(i).iter().enumerate() {
                 if v > best_v[j] {
                     best_v[j] = v;
@@ -107,18 +161,35 @@ impl SimilarityMatrix {
                 }
             }
         }
-        best
+        (best, best_v)
     }
 
     /// Global minimum and maximum score.
     pub fn min_max(&self) -> (f32, f32) {
-        let mut lo = f32::INFINITY;
-        let mut hi = f32::NEG_INFINITY;
-        for &v in self.inner.as_slice() {
-            lo = lo.min(v);
-            hi = hi.max(v);
+        let data = self.inner.as_slice();
+        let scan = |slice: &[f32]| {
+            let mut lo = f32::INFINITY;
+            let mut hi = f32::NEG_INFINITY;
+            for &v in slice {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            (lo, hi)
+        };
+        const CHUNK: usize = 16 * 1024;
+        if data.len() <= CHUNK {
+            return scan(data);
         }
-        (lo, hi)
+        let chunks = data.len().div_ceil(CHUNK);
+        let partials = ceaff_parallel::par_map(chunks, 1, |c| {
+            let lo = c * CHUNK;
+            scan(&data[lo..(lo + CHUNK).min(data.len())])
+        });
+        partials
+            .into_iter()
+            .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), (pl, ph)| {
+                (lo.min(pl), hi.max(ph))
+            })
     }
 
     /// Min–max rescale all scores into `[0, 1]` (constant matrices map to 0).

@@ -2,15 +2,65 @@
 //!
 //! Kernel notes (per the Rust Performance Book): the inner loops are written
 //! in `ikj` order so the innermost traversal is contiguous in both operand
-//! and output, and large matmuls parallelise over output rows with rayon.
+//! and output. Large kernels dispatch onto the `ceaff-parallel` work pool
+//! (via the rayon shim): matmuls split over output rows, elementwise ops
+//! over fixed-size element chunks. Partitioning depends only on the problem
+//! shape — never the thread count — and each chunk keeps the sequential
+//! accumulation order, so results are bitwise-identical for any
+//! `CEAFF_THREADS` (asserted by `tests/parallel_determinism.rs`).
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
-/// Minimum number of rows before a kernel bothers spawning rayon tasks.
+/// Minimum number of rows before a kernel bothers dispatching to the pool.
 const PAR_ROW_THRESHOLD: usize = 64;
+
+/// Minimum number of elements before an elementwise op goes parallel.
+const PAR_ELEM_THRESHOLD: usize = 16 * 1024;
+
+/// Elementwise ops are split into fixed chunks of this many elements; fixed
+/// (rather than thread-count-derived) chunking is what keeps the partition,
+/// and hence every rounding decision, independent of parallelism.
+const ELEM_CHUNK: usize = 4 * 1024;
+
+/// Apply `op(dst_elem, src_elem)` over two equal-length buffers, in
+/// parallel above [`PAR_ELEM_THRESHOLD`].
+fn zip_assign(dst: &mut [f32], src: &[f32], op: impl Fn(&mut f32, f32) + Sync) {
+    debug_assert_eq!(dst.len(), src.len());
+    if dst.len() >= PAR_ELEM_THRESHOLD {
+        dst.par_chunks_mut(ELEM_CHUNK)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                let start = ci * ELEM_CHUNK;
+                let len = chunk.len();
+                for (a, &b) in chunk.iter_mut().zip(&src[start..start + len]) {
+                    op(a, b);
+                }
+            });
+    } else {
+        for (a, &b) in dst.iter_mut().zip(src) {
+            op(a, b);
+        }
+    }
+}
+
+/// Apply `op` to every element in place, in parallel above
+/// [`PAR_ELEM_THRESHOLD`].
+fn for_each_elem(dst: &mut [f32], op: impl Fn(&mut f32) + Sync) {
+    if dst.len() >= PAR_ELEM_THRESHOLD {
+        dst.par_chunks_mut(ELEM_CHUNK).for_each(|chunk| {
+            for a in chunk {
+                op(a);
+            }
+        });
+    } else {
+        for a in dst {
+            op(a);
+        }
+    }
+}
 
 /// A dense `rows × cols` matrix of `f32`, row-major.
 #[derive(Clone, PartialEq, Serialize, Deserialize)]
@@ -196,16 +246,38 @@ impl Matrix {
             "transpose_matmul needs matching row counts"
         );
         let mut out = Matrix::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let b_row = other.row(r);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        if self.cols >= PAR_ROW_THRESHOLD {
+            // Each output row `k` accumulates `a[r][k] * b[r][·]` over `r`
+            // in increasing order — the same per-cell summation order as
+            // the sequential loop below, so the results agree bitwise.
+            let n = other.cols;
+            out.data
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(k, out_row)| {
+                    for r in 0..self.rows {
+                        let a = self.data[r * self.cols + k];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let b_row = &other.data[r * n..(r + 1) * n];
+                        for (o, &b) in out_row.iter_mut().zip(b_row) {
+                            *o += a * b;
+                        }
+                    }
+                });
+        } else {
+            for r in 0..self.rows {
+                let a_row = self.row(r);
+                let b_row = other.row(r);
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut out.data[k * other.cols..(k + 1) * other.cols];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
         }
@@ -229,32 +301,24 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn add_assign(&mut self, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        zip_assign(&mut self.data, &other.data, |a, b| *a += b);
     }
 
     /// In-place `self += scale * other`.
     pub fn add_scaled_assign(&mut self, other: &Matrix, scale: f32) {
         assert_eq!(self.shape(), other.shape(), "add_scaled shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += scale * b;
-        }
+        zip_assign(&mut self.data, &other.data, |a, b| *a += scale * b);
     }
 
     /// Elementwise in-place subtraction.
     pub fn sub_assign(&mut self, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "sub_assign shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a -= b;
-        }
+        zip_assign(&mut self.data, &other.data, |a, b| *a -= b);
     }
 
     /// Multiply every element by `s` in place.
     pub fn scale_assign(&mut self, s: f32) {
-        for a in &mut self.data {
-            *a *= s;
-        }
+        for_each_elem(&mut self.data, |a| *a *= s);
     }
 
     /// Set all elements to zero.
@@ -263,25 +327,46 @@ impl Matrix {
     }
 
     /// Apply `f` to every element, returning a new matrix.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        if self.data.len() >= PAR_ELEM_THRESHOLD {
+            let src = &self.data;
+            out.data
+                .par_chunks_mut(ELEM_CHUNK)
+                .enumerate()
+                .for_each(|(ci, chunk)| {
+                    let start = ci * ELEM_CHUNK;
+                    let len = chunk.len();
+                    for (o, &x) in chunk.iter_mut().zip(&src[start..start + len]) {
+                        *o = f(x);
+                    }
+                });
+        } else {
+            for (o, &x) in out.data.iter_mut().zip(&self.data) {
+                *o = f(x);
+            }
         }
+        out
     }
 
     /// Normalise every row to unit L2 norm in place; zero rows are left zero.
     /// (Paper §IV-A: the GCN input matrix is L2-normalised on rows.)
     pub fn l2_normalize_rows(&mut self) {
-        for r in 0..self.rows {
-            let row = self.row_mut(r);
+        if self.cols == 0 {
+            return;
+        }
+        let normalize = |row: &mut [f32]| {
             let norm = dot(row, row).sqrt();
             if norm > 0.0 {
                 for v in row {
                     *v /= norm;
                 }
             }
+        };
+        if self.rows >= PAR_ROW_THRESHOLD {
+            self.data.par_chunks_mut(self.cols).for_each(normalize);
+        } else {
+            self.data.chunks_mut(self.cols).for_each(normalize);
         }
     }
 

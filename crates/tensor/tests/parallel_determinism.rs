@@ -1,0 +1,139 @@
+//! Determinism of the parallel matrix kernels: every kernel must produce
+//! bitwise-identical results for 1, 2 and 8 threads.
+//!
+//! The guarantee comes from fixed chunk partitioning (chunks depend only
+//! on the problem shape, never the thread count) plus per-cell
+//! accumulation order pinned to the sequential loop — these tests are the
+//! executable form of that contract. Shapes are chosen to clear the
+//! parallel-dispatch thresholds so the pool really runs.
+
+use ceaff_parallel::with_threads;
+use ceaff_tensor::Matrix;
+use proptest::prelude::*;
+
+/// A reproducible pseudo-random matrix (no RNG dependency needed).
+fn lcg_matrix(rows: usize, cols: usize, seed: u32) -> Matrix {
+    let mut state = seed | 1;
+    let data = (0..rows * cols)
+        .map(|_| {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            (state >> 8) as f32 / (1u32 << 24) as f32 - 0.5
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Assert that `f` yields bitwise-identical matrices at 1, 2 and 8 threads.
+fn assert_thread_invariant(label: &str, f: impl Fn() -> Matrix) {
+    let baseline = with_threads(1, &f);
+    for threads in [2, 8] {
+        let m = with_threads(threads, &f);
+        assert_eq!(
+            m.as_slice(),
+            baseline.as_slice(),
+            "{label}: results differ between 1 and {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn matmul_is_thread_count_independent() {
+    let a = lcg_matrix(96, 70, 3);
+    let b = lcg_matrix(70, 85, 5);
+    assert_thread_invariant("matmul", || a.matmul(&b));
+}
+
+#[test]
+fn matmul_transpose_is_thread_count_independent() {
+    let a = lcg_matrix(96, 48, 7);
+    let b = lcg_matrix(101, 48, 11);
+    assert_thread_invariant("matmul_transpose", || a.matmul_transpose(&b));
+}
+
+#[test]
+fn transpose_matmul_is_thread_count_independent() {
+    let a = lcg_matrix(90, 96, 13);
+    let b = lcg_matrix(90, 33, 17);
+    assert_thread_invariant("transpose_matmul", || a.transpose_matmul(&b));
+    // And the parallel path agrees with the explicit transpose.
+    let direct = a.transpose_matmul(&b);
+    let explicit = a.transpose().matmul(&b);
+    assert!(direct.max_abs_diff(&explicit) < 1e-4);
+}
+
+#[test]
+fn elementwise_ops_are_thread_count_independent() {
+    // 170 * 130 = 22_100 elements clears the elementwise threshold.
+    let a = lcg_matrix(170, 130, 19);
+    let b = lcg_matrix(170, 130, 23);
+    assert_thread_invariant("add_assign", || {
+        let mut m = a.clone();
+        m.add_assign(&b);
+        m
+    });
+    assert_thread_invariant("sub_assign", || {
+        let mut m = a.clone();
+        m.sub_assign(&b);
+        m
+    });
+    assert_thread_invariant("add_scaled_assign", || {
+        let mut m = a.clone();
+        m.add_scaled_assign(&b, 0.37);
+        m
+    });
+    assert_thread_invariant("scale_assign", || {
+        let mut m = a.clone();
+        m.scale_assign(1.618);
+        m
+    });
+    assert_thread_invariant("map", || a.map(|x| (x * 3.0).tanh()));
+}
+
+#[test]
+fn l2_normalize_rows_is_thread_count_independent() {
+    let a = lcg_matrix(200, 40, 29);
+    assert_thread_invariant("l2_normalize_rows", || {
+        let mut m = a.clone();
+        m.l2_normalize_rows();
+        m
+    });
+}
+
+proptest! {
+    // Randomized shapes straddling the dispatch thresholds: both the
+    // sequential and the parallel paths must agree with themselves at
+    // every thread count.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn matmul_transpose_thread_invariant_on_random_shapes(
+        rows in 1usize..140,
+        inner in 1usize..24,
+        others in 1usize..90,
+        seed in 1u32..1000,
+    ) {
+        let a = lcg_matrix(rows, inner, seed);
+        let b = lcg_matrix(others, inner, seed.wrapping_add(1));
+        let baseline = with_threads(1, || a.matmul_transpose(&b));
+        for threads in [2, 8] {
+            let m = with_threads(threads, || a.matmul_transpose(&b));
+            prop_assert_eq!(m.as_slice(), baseline.as_slice());
+        }
+    }
+
+    #[test]
+    fn matmul_thread_invariant_on_random_shapes(
+        rows in 1usize..140,
+        inner in 1usize..20,
+        cols in 1usize..60,
+        seed in 1u32..1000,
+    ) {
+        let a = lcg_matrix(rows, inner, seed);
+        let b = lcg_matrix(inner, cols, seed.wrapping_add(2));
+        let baseline = with_threads(1, || a.matmul(&b));
+        for threads in [2, 8] {
+            let m = with_threads(threads, || a.matmul(&b));
+            prop_assert_eq!(m.as_slice(), baseline.as_slice());
+        }
+    }
+}

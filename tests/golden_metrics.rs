@@ -1,0 +1,96 @@
+//! Golden regression test: the end-to-end metrics of a small synthetic
+//! preset are snapshotted into `tests/golden/` and every run is compared
+//! against the snapshot field by field.
+//!
+//! The pipeline is fully deterministic (seeded generation, seeded GCN
+//! init, thread-count-independent kernels), so any drift in these numbers
+//! means an intentional algorithmic change — regenerate the snapshot with
+//!
+//! ```text
+//! CEAFF_UPDATE_GOLDEN=1 cargo test -p ceaff --test golden_metrics
+//! ```
+//!
+//! and review the diff alongside the code change that caused it.
+
+use ceaff::prelude::*;
+use serde_json::{json, Value};
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/dbp15k_zh_en_small.json")
+}
+
+/// Round to 6 decimals so the snapshot survives a JSON round-trip exactly.
+fn round6(x: f64) -> f64 {
+    (x * 1e6).round() / 1e6
+}
+
+fn compute_metrics() -> Value {
+    let task = DatasetTask::from_preset(Preset::Dbp15kZhEn, 0.05, 16);
+    let cfg = CeaffConfig {
+        gcn: GcnConfig {
+            dim: 16,
+            epochs: 20,
+            ..GcnConfig::default()
+        },
+        embed_dim: 16,
+        ..CeaffConfig::default()
+    };
+    let out = try_run(&task.input(), &cfg).expect("pipeline runs on the golden preset");
+    json!({
+        "preset": "Dbp15kZhEn",
+        "scale": 0.05,
+        "accuracy": round6(out.accuracy),
+        "hits1": round6(out.ranking.hits1),
+        "hits10": round6(out.ranking.hits10),
+        "mrr": round6(out.ranking.mrr),
+    })
+}
+
+#[test]
+fn metrics_match_golden_snapshot() {
+    let got = compute_metrics();
+    let path = golden_path();
+
+    if std::env::var("CEAFF_UPDATE_GOLDEN").is_ok() {
+        let pretty = serde_json::to_string_pretty(&got).expect("serialize snapshot");
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
+        std::fs::write(&path, pretty + "\n").expect("write golden snapshot");
+        eprintln!("updated golden snapshot at {}", path.display());
+        return;
+    }
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); regenerate with CEAFF_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    let want: Value = serde_json::from_str(&text).expect("parse golden snapshot");
+
+    // Explicit per-field diff so a failure says exactly which metric moved
+    // and by how much, not just "JSON values differ".
+    let mut diffs = Vec::new();
+    for key in ["accuracy", "hits1", "hits10", "mrr"] {
+        let w = want
+            .get(key)
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("golden snapshot missing numeric field {key:?}"));
+        let g = got
+            .get(key)
+            .and_then(Value::as_f64)
+            .expect("computed metrics always carry every field");
+        if w != g {
+            diffs.push(format!(
+                "  {key}: golden {w} -> current {g} (delta {:+e})",
+                g - w
+            ));
+        }
+    }
+    assert!(
+        diffs.is_empty(),
+        "metrics drifted from {}:\n{}\nif the change is intentional, regenerate with CEAFF_UPDATE_GOLDEN=1",
+        path.display(),
+        diffs.join("\n")
+    );
+}

@@ -1,27 +1,159 @@
-//! Offline shim for the `rayon` crate.
+//! Offline shim for the `rayon` crate, backed by a real thread pool.
 //!
 //! The build environment cannot fetch crates, so this crate provides the
-//! rayon API surface the workspace uses (`par_chunks_mut`) with a
-//! sequential implementation: the "parallel" iterator is the standard
-//! library's `ChunksMut`, which already supports the adapter chain the
-//! kernels apply (`enumerate().for_each(...)`). Results are identical to
-//! the parallel version; only wall-clock scaling differs.
+//! rayon API surface the workspace uses (`par_chunks_mut`, `par_chunks`,
+//! plus a `par_range` helper) and dispatches it onto the
+//! [`ceaff_parallel`] work pool: persistent workers, chunked index-range
+//! scheduling, `CEAFF_THREADS` / `ceaff_parallel::with_threads` control.
+//!
+//! Unlike real rayon's work-stealing join tree, chunk *partitioning* here
+//! is fixed by the slice length and chunk size alone — never by the thread
+//! count — and every chunk owns a disjoint output range. Results are
+//! therefore bitwise-identical for any thread count (the determinism
+//! suites in `crates/tensor/tests` and `crates/core/tests` assert this);
+//! only wall-clock scaling varies. With one thread the adapters degrade to
+//! a plain sequential loop with zero synchronisation.
 
-/// Sequential stand-ins for `rayon::prelude`.
+/// Parallel-slice traits, mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use crate::slice::ParallelSliceMut;
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+/// Free-function range helpers (shim extension; real rayon spells this
+/// `(0..n).into_par_iter()`).
+pub mod iter {
+    pub use ceaff_parallel::{par_for, par_range};
 }
 
 pub mod slice {
+    //! Slice splitting, mirroring `rayon::slice`.
+
     /// Mutable slice splitting, mirroring `rayon::slice::ParallelSliceMut`.
-    pub trait ParallelSliceMut<T> {
-        /// Sequential equivalent of rayon's `par_chunks_mut`.
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    pub trait ParallelSliceMut<T: Send> {
+        /// Parallel equivalent of `chunks_mut`: consecutive
+        /// `chunk_size`-element chunks (the last may be shorter), each
+        /// visited exactly once on some pool thread.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
     }
 
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            ParChunksMut {
+                data: self,
+                chunk_size: chunk_size.max(1),
+            }
+        }
+    }
+
+    /// Shared slice splitting, mirroring `rayon::slice::ParallelSlice`.
+    pub trait ParallelSlice<T: Sync> {
+        /// Parallel equivalent of `chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+            ParChunks {
+                data: self,
+                chunk_size: chunk_size.max(1),
+            }
+        }
+    }
+
+    /// Pending parallel iteration over mutable chunks.
+    pub struct ParChunksMut<'a, T> {
+        data: &'a mut [T],
+        chunk_size: usize,
+    }
+
+    impl<'a, T: Send> ParChunksMut<'a, T> {
+        /// Keep only the first `n` chunks (adapter parity with
+        /// `Iterator::take`; the remaining chunks are never visited).
+        pub fn take(self, n: usize) -> Self {
+            let keep = (n * self.chunk_size).min(self.data.len());
+            ParChunksMut {
+                data: &mut self.data[..keep],
+                chunk_size: self.chunk_size,
+            }
+        }
+
+        /// Pair every chunk with its index.
+        pub fn enumerate(self) -> EnumerateChunksMut<'a, T> {
+            EnumerateChunksMut { inner: self }
+        }
+
+        /// Run `f` on every chunk across the pool.
+        pub fn for_each<F: Fn(&mut [T]) + Sync>(self, f: F) {
+            let chunk_size = self.chunk_size;
+            ceaff_parallel::par_chunks_mut(self.data, chunk_size, |_, chunk| f(chunk));
+        }
+    }
+
+    /// Indexed variant of [`ParChunksMut`].
+    pub struct EnumerateChunksMut<'a, T> {
+        inner: ParChunksMut<'a, T>,
+    }
+
+    impl<T: Send> EnumerateChunksMut<'_, T> {
+        /// Keep only the first `n` indexed chunks.
+        pub fn take(self, n: usize) -> Self {
+            EnumerateChunksMut {
+                inner: self.inner.take(n),
+            }
+        }
+
+        /// Run `f((chunk_index, chunk))` on every chunk across the pool.
+        pub fn for_each<F: Fn((usize, &mut [T])) + Sync>(self, f: F) {
+            let chunk_size = self.inner.chunk_size;
+            ceaff_parallel::par_chunks_mut(self.inner.data, chunk_size, |i, chunk| f((i, chunk)));
+        }
+    }
+
+    /// Pending parallel iteration over shared chunks.
+    pub struct ParChunks<'a, T> {
+        data: &'a [T],
+        chunk_size: usize,
+    }
+
+    impl<'a, T: Sync> ParChunks<'a, T> {
+        /// Keep only the first `n` chunks.
+        pub fn take(self, n: usize) -> Self {
+            let keep = (n * self.chunk_size).min(self.data.len());
+            ParChunks {
+                data: &self.data[..keep],
+                chunk_size: self.chunk_size,
+            }
+        }
+
+        /// Pair every chunk with its index.
+        pub fn enumerate(self) -> EnumerateChunks<'a, T> {
+            EnumerateChunks { inner: self }
+        }
+
+        /// Run `f` on every chunk across the pool.
+        pub fn for_each<F: Fn(&[T]) + Sync>(self, f: F) {
+            let chunk_size = self.chunk_size;
+            ceaff_parallel::par_chunks(self.data, chunk_size, |_, chunk| f(chunk));
+        }
+    }
+
+    /// Indexed variant of [`ParChunks`].
+    pub struct EnumerateChunks<'a, T> {
+        inner: ParChunks<'a, T>,
+    }
+
+    impl<T: Sync> EnumerateChunks<'_, T> {
+        /// Keep only the first `n` indexed chunks.
+        pub fn take(self, n: usize) -> Self {
+            EnumerateChunks {
+                inner: self.inner.take(n),
+            }
+        }
+
+        /// Run `f((chunk_index, chunk))` on every chunk across the pool.
+        pub fn for_each<F: Fn((usize, &[T])) + Sync>(self, f: F) {
+            let chunk_size = self.inner.chunk_size;
+            ceaff_parallel::par_chunks(self.inner.data, chunk_size, |i, chunk| f((i, chunk)));
         }
     }
 }
@@ -39,5 +171,48 @@ mod tests {
             }
         });
         assert_eq!(data, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn take_limits_visited_chunks() {
+        let mut data = [0u32; 10];
+        data.par_chunks_mut(3)
+            .enumerate()
+            .take(2)
+            .for_each(|(i, chunk)| {
+                for v in chunk {
+                    *v = i as u32 + 1;
+                }
+            });
+        assert_eq!(data, [1, 1, 1, 2, 2, 2, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn par_chunks_reads_every_chunk() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let data: Vec<u64> = (0..100).collect();
+        let sum = AtomicU64::new(0);
+        data.par_chunks(7).for_each(|chunk| {
+            sum.fetch_add(chunk.iter().sum::<u64>(), Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 99 * 100 / 2);
+    }
+
+    #[test]
+    fn identical_results_across_thread_counts() {
+        let run = |threads: usize| {
+            ceaff_parallel::with_threads(threads, || {
+                let mut data = vec![0.0f32; 257];
+                data.par_chunks_mut(16).enumerate().for_each(|(i, chunk)| {
+                    for (j, v) in chunk.iter_mut().enumerate() {
+                        *v = ((i * 16 + j) as f32 * 0.37).cos();
+                    }
+                });
+                data
+            })
+        };
+        let seq = run(1);
+        assert_eq!(run(2), seq);
+        assert_eq!(run(8), seq);
     }
 }
