@@ -50,6 +50,20 @@ USAGE:
         --trace FILE      stream telemetry events (stage timings, GCN
                           epoch losses, fusion weights, matcher counters)
                           as JSON lines to FILE
+        --lossy           skip malformed TSV lines (wrong arity, invalid
+                          UTF-8, unknown link entities) instead of
+                          aborting; skipped-line counts are reported per
+                          file and surfaced as telemetry counters
+        --checkpoint-dir DIR
+                          persist training/stage checkpoints to DIR so an
+                          interrupted run can be resumed; resumed results
+                          are bitwise-identical to an uninterrupted run
+        --checkpoint-every N
+                          save GCN training state every N epochs
+                          [default 10; 0 = stage boundaries only]
+        --resume          resume from --checkpoint-dir (configuration is
+                          restored from the checkpoint; pass the same
+                          --dim and data directory as the original run)
         --no-structural / --no-semantic / --no-string
         --equal-weights   fixed equal weights instead of adaptive fusion
 
@@ -158,11 +172,7 @@ fn cmd_generate(args: &Args) {
 fn cmd_stats(args: &Args) {
     let dir = require_dir(args);
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
-    let pair = io::load_pair_from_dir(&dir, args.get_parsed("seed-fraction", 0.3), &mut rng)
-        .unwrap_or_else(|e| {
-            eprintln!("error: cannot load {dir}: {e}");
-            std::process::exit(1);
-        });
+    let (pair, _) = load_dir(args, &dir, &mut rng);
     println!(
         "{:<6} {:>9} {:>10} {:>7} {:>9} {:>6}",
         "KG", "#triples", "#entities", "#rels", "mean-deg", "tail%"
@@ -197,15 +207,39 @@ fn require_dir(args: &Args) -> String {
     }
 }
 
+/// Load a benchmark directory honouring `--lossy`, reporting any skipped
+/// lines on stderr.
+fn load_dir(
+    args: &Args,
+    dir: &str,
+    rng: &mut rand_chacha::ChaCha8Rng,
+) -> (ceaff::graph::KgPair, io::LoadReport) {
+    let mode = if args.has_switch("lossy") {
+        io::LoadMode::Lossy
+    } else {
+        io::LoadMode::Strict
+    };
+    let (pair, report) =
+        io::load_pair_from_dir_with(dir, args.get_parsed("seed-fraction", 0.3), rng, mode)
+            .unwrap_or_else(|e| {
+                eprintln!("error: cannot load {dir}: {e}");
+                std::process::exit(1);
+            });
+    for (file, n) in &report.skipped {
+        eprintln!("warning: skipped {n} malformed line(s) in {dir}/{file}");
+    }
+    (pair, report)
+}
+
 fn cmd_align(args: &Args) {
     let dir = require_dir(args);
+    if args.has_switch("resume") && args.get("checkpoint-dir").is_none() {
+        eprintln!("error: --resume requires --checkpoint-dir");
+        std::process::exit(2);
+    }
     let dim = args.get_parsed("dim", 64usize);
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(args.get_parsed("rng-seed", 7u64));
-    let pair = io::load_pair_from_dir(&dir, args.get_parsed("seed-fraction", 0.3), &mut rng)
-        .unwrap_or_else(|e| {
-            eprintln!("error: cannot load {dir}: {e}");
-            std::process::exit(1);
-        });
+    let (pair, load_report) = load_dir(args, &dir, &mut rng);
 
     // Embedders: a subword embedder for the source side; the target side
     // routes through a lexicon when one is provided (or found in the
@@ -275,13 +309,35 @@ fn cmd_align(args: &Args) {
         }
         None => Telemetry::disabled(),
     };
+    // Skipped-line counts from a lossy load ride along on the run trace.
+    for (file, n) in &load_report.skipped {
+        telemetry.counter_add("io", &format!("skipped_lines:{file}"), *n as u64);
+    }
     let input = EaInput::new(&pair, &base, target_embedder).with_telemetry(telemetry);
     eprintln!(
         "aligning {} test sources against {} test targets ...",
         pair.test_pairs().len(),
         pair.test_pairs().len()
     );
-    let out = ceaff::try_run(&input, &cfg).unwrap_or_else(|e| {
+    let result = match (args.get("checkpoint-dir"), args.has_switch("resume")) {
+        (Some(ckdir), true) => {
+            eprintln!("resuming from {ckdir}");
+            ceaff::resume_from(ckdir, &input)
+        }
+        (Some(ckdir), false) => {
+            let every = args.get_parsed("checkpoint-every", 10usize);
+            let policy = if every == 0 {
+                ceaff::CheckpointPolicy::PerStage
+            } else {
+                ceaff::CheckpointPolicy::EveryNEpochs(every)
+            };
+            eprintln!("checkpointing to {ckdir}");
+            ceaff::try_run_checkpointed(&input, &cfg, ckdir, policy)
+        }
+        // `--resume` without `--checkpoint-dir` was rejected up front.
+        (None, _) => ceaff::try_run(&input, &cfg),
+    };
+    let out = result.unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);
     });

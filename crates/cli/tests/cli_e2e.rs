@@ -149,6 +149,165 @@ fn align_uses_generated_lexicon_for_cross_lingual_pairs() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Metric lines of an align run's stdout (accuracy + ranking), which must
+/// be byte-identical between an uninterrupted and a killed-and-resumed run.
+fn metric_lines(stdout: &[u8]) -> String {
+    String::from_utf8_lossy(stdout)
+        .lines()
+        .filter(|l| l.starts_with("accuracy:") || l.starts_with("ranking"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn kill_and_resume_is_bitwise_identical() {
+    let dir = tmp_dir("kill-resume");
+    let dir_s = dir.display().to_string();
+    let out = ceaff()
+        .args([
+            "generate",
+            "srprs-dbp-wd",
+            "--scale",
+            "0.1",
+            "--out",
+            &dir_s,
+        ])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success());
+
+    let align = |extra: &[&str], threads: &str, envs: &[(&str, &str)]| {
+        let mut cmd = ceaff();
+        cmd.args(["align", "--dir", &dir_s, "--dim", "16", "--epochs", "25"])
+            .args(extra)
+            .env("CEAFF_THREADS", threads);
+        for (k, v) in envs {
+            cmd.env(k, v);
+        }
+        cmd.output().expect("run align")
+    };
+
+    // Reference: uninterrupted run at 1 thread writing predicted pairs.
+    let ref_pred = dir.join("pred-ref.tsv");
+    let reference = align(&["--out", ref_pred.to_str().unwrap()], "1", &[]);
+    assert!(
+        reference.status.success(),
+        "{}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+
+    // Kill the process for real (std::process::abort) mid-GCN-training,
+    // with checkpoints every 5 epochs.
+    let ck = dir.join("ckpt");
+    let ck_s = ck.display().to_string();
+    let crashed = align(
+        &["--checkpoint-dir", &ck_s, "--checkpoint-every", "5"],
+        "1",
+        &[("CEAFF_FI_ABORT_AT_EPOCH", "12")],
+    );
+    assert!(
+        !crashed.status.success(),
+        "the injected abort must kill the run"
+    );
+    assert!(
+        ck.join("gcn_train.ckpt").exists(),
+        "a training checkpoint must survive the crash"
+    );
+
+    // Resume at 4 threads: metrics and the pairs file must match the
+    // uninterrupted single-thread reference byte for byte.
+    let res_pred = dir.join("pred-res.tsv");
+    let resumed = align(
+        &[
+            "--checkpoint-dir",
+            &ck_s,
+            "--resume",
+            "--out",
+            res_pred.to_str().unwrap(),
+        ],
+        "4",
+        &[],
+    );
+    assert!(
+        resumed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        metric_lines(&reference.stdout),
+        metric_lines(&resumed.stdout),
+        "resumed metrics diverge from the uninterrupted run"
+    );
+    let (ref_bytes, res_bytes) = (
+        std::fs::read(&ref_pred).unwrap(),
+        std::fs::read(&res_pred).unwrap(),
+    );
+    assert!(!ref_bytes.is_empty());
+    assert_eq!(ref_bytes, res_bytes, "predicted-pairs files differ");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lossy_flag_skips_malformed_lines_strict_rejects_them() {
+    use std::io::Write as _;
+    let dir = tmp_dir("lossy");
+    let dir_s = dir.display().to_string();
+    let out = ceaff()
+        .args([
+            "generate",
+            "srprs-dbp-wd",
+            "--scale",
+            "0.1",
+            "--out",
+            &dir_s,
+        ])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success());
+
+    // Mangle the dataset: a wrong-arity line and an invalid-UTF-8 line.
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(dir.join("triples_1"))
+        .unwrap();
+    f.write_all(b"mangled line without tabs\n").unwrap();
+    f.write_all(b"bad\xff\xfeutf8\tr\tx\n").unwrap();
+    drop(f);
+
+    let strict = ceaff()
+        .args(["stats", "--dir", &dir_s])
+        .output()
+        .expect("run stats");
+    assert!(!strict.status.success(), "strict load must reject the file");
+
+    let lossy = ceaff()
+        .args(["stats", "--dir", &dir_s, "--lossy"])
+        .output()
+        .expect("run stats --lossy");
+    assert!(
+        lossy.status.success(),
+        "{}",
+        String::from_utf8_lossy(&lossy.stderr)
+    );
+    let err = String::from_utf8_lossy(&lossy.stderr);
+    assert!(
+        err.contains("skipped 2 malformed line(s)") && err.contains("triples_1"),
+        "skip counts must be reported: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_without_checkpoint_dir_is_a_usage_error() {
+    let out = ceaff()
+        .args(["align", "--dir", "/nonexistent", "--resume"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--resume requires --checkpoint-dir"), "{err}");
+}
+
 #[test]
 fn matcher_flag_is_validated() {
     let out = ceaff()

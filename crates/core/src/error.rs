@@ -26,6 +26,27 @@ pub enum CeaffError {
     /// A configuration field holds a value the pipeline cannot run with
     /// (see [`crate::pipeline::CeaffConfig::validate`]).
     InvalidConfig(String),
+    /// A checkpoint artifact could not be written, read, or verified
+    /// (I/O failure, checksum mismatch, truncated file, or a manifest
+    /// that does not match the run's configuration). Nothing partial is
+    /// loaded when this is returned.
+    Checkpoint {
+        /// The artifact (file name within the run directory, or the
+        /// directory itself for manifest-level failures).
+        file: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// GCN training produced a non-finite loss or gradient and the
+    /// bounded rollback-and-halve-the-learning-rate retries ran out.
+    NumericDivergence {
+        /// Pipeline stage that diverged (currently always `"gcn"`).
+        stage: String,
+        /// Epoch at which the last non-finite value appeared.
+        epoch: usize,
+        /// Recovery attempts performed before giving up.
+        retries: usize,
+    },
 }
 
 impl fmt::Display for CeaffError {
@@ -44,6 +65,18 @@ impl fmt::Display for CeaffError {
                 found.0, found.1, expected.0, expected.1
             ),
             CeaffError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CeaffError::Checkpoint { file, reason } => {
+                write!(f, "checkpoint failure in '{file}': {reason}")
+            }
+            CeaffError::NumericDivergence {
+                stage,
+                epoch,
+                retries,
+            } => write!(
+                f,
+                "stage '{stage}' diverged numerically at epoch {epoch} \
+                 after {retries} recovery attempts"
+            ),
         }
     }
 }
@@ -73,6 +106,21 @@ mod tests {
             CeaffError::InvalidConfig("gcn.dim must be positive".into()).to_string(),
             "invalid configuration: gcn.dim must be positive"
         );
+        assert_eq!(
+            CeaffError::Checkpoint {
+                file: "gcn_train.ckpt".into(),
+                reason: "crc32 mismatch".into(),
+            }
+            .to_string(),
+            "checkpoint failure in 'gcn_train.ckpt': crc32 mismatch"
+        );
+        let e = CeaffError::NumericDivergence {
+            stage: "gcn".into(),
+            epoch: 42,
+            retries: 3,
+        };
+        assert!(e.to_string().contains("epoch 42"));
+        assert!(e.to_string().contains("3 recovery attempts"));
     }
 
     #[test]

@@ -56,6 +56,17 @@ impl SemanticFeature {
         }
     }
 
+    /// Rebuild from checkpointed parts without recomputing anything. The
+    /// embedding matrices must already be L2-row-normalised (saved that
+    /// way; re-normalising is not bitwise-stable).
+    pub fn from_saved_parts(n_source: Matrix, n_target: Matrix, test: SimilarityMatrix) -> Self {
+        Self {
+            n_source,
+            n_target,
+            test,
+        }
+    }
+
     /// The full source name-embedding matrix `N₁`.
     pub fn source_embeddings(&self) -> &Matrix {
         &self.n_source

@@ -49,6 +49,27 @@ impl StringFeature {
             test,
         }
     }
+
+    /// Rebuild from a checkpointed test matrix. Names are cheap to derive
+    /// from the KG pair again; only the O(n²·len²) similarity matrix is
+    /// worth saving.
+    pub fn from_saved_parts(pair: &KgPair, test: SimilarityMatrix) -> Self {
+        let source_names: Vec<String> = pair
+            .source
+            .entity_ids()
+            .map(|e| pair.source.entity_name(e).expect("interned").to_owned())
+            .collect();
+        let target_names: Vec<String> = pair
+            .target
+            .entity_ids()
+            .map(|e| pair.target.entity_name(e).expect("interned").to_owned())
+            .collect();
+        Self {
+            source_names,
+            target_names,
+            test,
+        }
+    }
 }
 
 impl Feature for StringFeature {

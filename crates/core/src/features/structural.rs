@@ -2,6 +2,8 @@
 //! GCN-encoded entity embeddings.
 
 use super::Feature;
+use crate::checkpoint::Checkpointer;
+use crate::error::CeaffError;
 use crate::gcn::{self, GcnConfig, GcnEncoder};
 use ceaff_graph::{EntityId, KgPair};
 use ceaff_sim::{cosine_similarity_matrix, SimilarityMatrix};
@@ -33,6 +35,20 @@ impl StructuralFeature {
         Self::from_encoder(pair, encoder)
     }
 
+    /// Fallible, checkpoint-aware variant of
+    /// [`StructuralFeature::compute_traced`]: with a [`Checkpointer`] the
+    /// GCN saves/resumes its training state, and numeric divergence comes
+    /// back as a typed error instead of a panic.
+    pub fn try_compute_traced(
+        pair: &KgPair,
+        cfg: &GcnConfig,
+        telemetry: &Telemetry,
+        checkpointer: Option<&Checkpointer>,
+    ) -> Result<Self, CeaffError> {
+        let encoder = gcn::try_train_traced(pair, cfg, telemetry, checkpointer)?;
+        Ok(Self::from_encoder(pair, encoder))
+    }
+
     /// Build from an already-trained encoder (lets callers reuse one
     /// training run across ablations).
     pub fn from_encoder(pair: &KgPair, encoder: GcnEncoder) -> Self {
@@ -48,6 +64,26 @@ impl StructuralFeature {
         let zs = z_source.gather_rows(&src_idx);
         let zt = z_target.gather_rows(&tgt_idx);
         let test = cosine_similarity_matrix(&zs, &zt);
+        Self {
+            z_source,
+            z_target,
+            test,
+            loss_curve,
+        }
+    }
+
+    /// Rebuild from checkpointed parts without recomputing anything.
+    ///
+    /// The embeddings must already be L2-row-normalised (they are saved
+    /// that way): re-normalising an already-normalised matrix is *not*
+    /// bitwise-stable, and a restored stage must be bit-identical to the
+    /// run that saved it.
+    pub fn from_saved_parts(
+        z_source: Matrix,
+        z_target: Matrix,
+        test: SimilarityMatrix,
+        loss_curve: Vec<f32>,
+    ) -> Self {
         Self {
             z_source,
             z_target,

@@ -15,6 +15,8 @@
 //! two disjoint random feature spaces. Set
 //! [`GcnConfig::train_input`] `= false` for the strictly-literal variant.
 
+use crate::checkpoint::{self, Checkpointer, GcnTrainState};
+use crate::error::CeaffError;
 use ceaff_graph::{build_adjacency, AdjacencyKind, KgPair};
 use ceaff_telemetry::Telemetry;
 use ceaff_tensor::{init, Adam, Graph, Matrix, Optimizer, ParamSet, Sgd};
@@ -23,6 +25,16 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::rc::Rc;
+
+/// Bounded numeric-recovery attempts before training gives up with
+/// [`CeaffError::NumericDivergence`]. A module constant (not a
+/// [`GcnConfig`] field) so existing serialized configurations stay valid.
+pub const MAX_NUMERIC_RETRIES: usize = 3;
+
+/// Epoch cadence of the in-memory rollback snapshot when no checkpoint
+/// interval is armed; with [`crate::checkpoint::CheckpointPolicy::EveryNEpochs`]
+/// the snapshot follows the checkpoint cadence instead.
+const RECOVERY_SNAPSHOT_INTERVAL: usize = 10;
 
 /// Inter-layer activation of the GCN.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -207,6 +219,121 @@ pub fn train_traced(pair: &KgPair, cfg: &GcnConfig, telemetry: &Telemetry) -> Gc
         cfg.dim > 0 && cfg.negatives > 0,
         "invalid GCN configuration"
     );
+    try_train_traced(pair, cfg, telemetry, None).expect("GCN training failed")
+}
+
+/// Capture everything needed to re-enter the training loop at an epoch
+/// boundary — used both for the on-disk checkpoint artifact and for the
+/// in-memory numeric-recovery rollback snapshot.
+#[allow(clippy::too_many_arguments)]
+fn capture_state(
+    next_epoch: usize,
+    retries: usize,
+    params: &ParamSet,
+    layers: &Layers,
+    opt: &dyn Optimizer,
+    rng: &ChaCha8Rng,
+    loss_curve: &[f32],
+    pool_u: &[Vec<u32>],
+    pool_v: &[Vec<u32>],
+    best: &Option<(f64, Matrix, Matrix)>,
+) -> GcnTrainState {
+    GcnTrainState {
+        next_epoch,
+        retries,
+        params: [layers.x1, layers.x2, layers.w1, layers.w2]
+            .iter()
+            .map(|&id| params.get(id).clone())
+            .collect(),
+        opt: opt.state(),
+        rng_words: rng.state_words(),
+        loss_curve: loss_curve.to_vec(),
+        pool_u: pool_u.to_vec(),
+        pool_v: pool_v.to_vec(),
+        best: best.clone(),
+    }
+}
+
+/// Overwrite the live training state with a snapshot. The prologue
+/// (splits, adjacencies, index lists) is deterministic and already
+/// replayed by the caller; only the mutable trajectory is restored here.
+#[allow(clippy::too_many_arguments)]
+fn restore_state(
+    state: &GcnTrainState,
+    params: &mut ParamSet,
+    layers: &Layers,
+    opt: &mut dyn Optimizer,
+    rng: &mut ChaCha8Rng,
+    loss_curve: &mut Vec<f32>,
+    pool_u: &mut Vec<Vec<u32>>,
+    pool_v: &mut Vec<Vec<u32>>,
+    best: &mut Option<(f64, Matrix, Matrix)>,
+) -> Result<(), CeaffError> {
+    let ids = [layers.x1, layers.x2, layers.w1, layers.w2];
+    if state.params.len() != ids.len() {
+        return Err(CeaffError::Checkpoint {
+            file: checkpoint::TRAIN_FILE.into(),
+            reason: format!(
+                "expected {} parameter matrices, found {}",
+                ids.len(),
+                state.params.len()
+            ),
+        });
+    }
+    for (&id, saved) in ids.iter().zip(&state.params) {
+        let live = params.get(id);
+        if (live.rows(), live.cols()) != (saved.rows(), saved.cols()) {
+            return Err(CeaffError::Checkpoint {
+                file: checkpoint::TRAIN_FILE.into(),
+                reason: format!(
+                    "parameter shape {}x{} does not match the run's {}x{}",
+                    saved.rows(),
+                    saved.cols(),
+                    live.rows(),
+                    live.cols()
+                ),
+            });
+        }
+        *params.get_mut(id) = saved.clone();
+    }
+    opt.restore(&state.opt)
+        .map_err(|reason| CeaffError::Checkpoint {
+            file: checkpoint::TRAIN_FILE.into(),
+            reason,
+        })?;
+    *rng = ChaCha8Rng::from_state_words(state.rng_words);
+    *loss_curve = state.loss_curve.clone();
+    *pool_u = state.pool_u.clone();
+    *pool_v = state.pool_v.clone();
+    *best = state.best.clone();
+    Ok(())
+}
+
+/// Fallible, checkpoint-aware training (the fault-tolerant entry point).
+///
+/// With a [`Checkpointer`] whose policy has an epoch interval, the full
+/// training state (parameters, optimizer moments, RNG stream, loss curve,
+/// negative pools, early-stopping snapshot) is atomically saved every `N`
+/// epochs; a later call on the same run directory replays the
+/// deterministic prologue and then continues from the saved boundary,
+/// producing **bitwise-identical** embeddings to an uninterrupted run.
+///
+/// Every epoch's loss and gradients are scanned for non-finite values. On
+/// the first bad value the loop rolls back to the last good in-memory
+/// snapshot, halves the learning rate, and bumps the `numeric_recovery`
+/// telemetry counter; after [`MAX_NUMERIC_RETRIES`] failed recoveries it
+/// returns [`CeaffError::NumericDivergence`].
+pub fn try_train_traced(
+    pair: &KgPair,
+    cfg: &GcnConfig,
+    telemetry: &Telemetry,
+    checkpointer: Option<&Checkpointer>,
+) -> Result<GcnEncoder, CeaffError> {
+    if cfg.dim == 0 || cfg.negatives == 0 {
+        return Err(CeaffError::InvalidConfig(
+            "gcn.dim and gcn.negatives must be positive".into(),
+        ));
+    }
     let _span = telemetry.span("gcn");
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let n1 = pair.source.num_entities();
@@ -270,11 +397,11 @@ pub fn train_traced(pair: &KgPair, cfg: &GcnConfig, telemetry: &Telemetry) -> Gc
     if seeds.is_empty() {
         // Nothing to train on: return the (normalised) random propagation.
         let (z1, z2) = final_forward(&params, &layers, &a1, &a2, cfg.activation);
-        return GcnEncoder {
+        return Ok(GcnEncoder {
             z_source: z1,
             z_target: z2,
             loss_curve,
-        };
+        });
     }
 
     // Positive index lists, repeated once per negative sample.
@@ -310,11 +437,73 @@ pub fn train_traced(pair: &KgPair, cfg: &GcnConfig, telemetry: &Telemetry) -> Gc
             *best = Some((score, z1, z2));
         }
     };
-    validate(&params, &mut best);
 
-    for epoch in 0..cfg.epochs {
+    // Resume: the prologue above replayed every deterministic draw from a
+    // fresh seeded RNG; a verified training checkpoint now overwrites the
+    // whole mutable trajectory, continuing the run at the saved boundary.
+    let mut start_epoch = 0usize;
+    let mut retries = 0usize;
+    let mut resumed = false;
+    if let Some(ck) = checkpointer {
+        if let Some(bytes) = ck.load(checkpoint::TRAIN_FILE)? {
+            let state = checkpoint::decode_train_state(&bytes).map_err(|reason| {
+                CeaffError::Checkpoint {
+                    file: checkpoint::TRAIN_FILE.into(),
+                    reason,
+                }
+            })?;
+            restore_state(
+                &state,
+                &mut params,
+                &layers,
+                &mut *opt,
+                &mut rng,
+                &mut loss_curve,
+                &mut pool_u,
+                &mut pool_v,
+                &mut best,
+            )?;
+            start_epoch = state.next_epoch.min(cfg.epochs);
+            retries = state.retries;
+            resumed = true;
+            telemetry.counter_add("checkpoint", "train_resumed", 1);
+        }
+    }
+    if !resumed {
+        // Only a fresh run scores the initial parameters: the resumed
+        // trajectory already contains every validation snapshot up to the
+        // boundary, and an extra comparison would change which epoch wins.
+        validate(&params, &mut best);
+    }
+
+    let disk_interval = checkpointer.and_then(|c| c.policy().epoch_interval());
+    let snap_interval = disk_interval.unwrap_or(RECOVERY_SNAPSHOT_INTERVAL).max(1);
+    // The rollback target for numeric recovery (always armed, even without
+    // a run directory — recovery is in-memory).
+    let mut snap = capture_state(
+        start_epoch,
+        retries,
+        &params,
+        &layers,
+        &*opt,
+        &rng,
+        &loss_curve,
+        &pool_u,
+        &pool_v,
+        &best,
+    );
+
+    let mut epoch = start_epoch;
+    while epoch < cfg.epochs {
+        ceaff_faultinject::abort_point(epoch);
+        if ceaff_faultinject::simulated_crash(epoch) {
+            return Err(CeaffError::Checkpoint {
+                file: checkpoint::TRAIN_FILE.into(),
+                reason: format!("fault injection: simulated crash at epoch {epoch}"),
+            });
+        }
         if cfg.hard_negative_pool > 0
-            && (epoch == 0 || epoch % cfg.hard_negative_refresh.max(1) == 0)
+            && (epoch == 0 || epoch.is_multiple_of(cfg.hard_negative_refresh.max(1)))
             && epoch + 1 < cfg.epochs
         {
             let (z1, z2) = final_forward(&params, &layers, &a1, &a2, cfg.activation);
@@ -366,26 +555,76 @@ pub fn train_traced(pair: &KgPair, cfg: &GcnConfig, telemetry: &Telemetry) -> Gc
         let pos_dist = g.row_l1_diff(pu, pv);
         let neg_dist = g.row_l1_diff(nu, nv);
         let loss = g.margin_ranking_loss(pos_dist, neg_dist, cfg.margin);
-        let loss_value = g.value(loss)[(0, 0)];
-        loss_curve.push(loss_value);
-        telemetry.gauge("gcn", "epoch_loss", Some(epoch as u64), loss_value as f64);
-        g.backward(loss);
+        let mut loss_value = g.value(loss)[(0, 0)];
+        if ceaff_faultinject::nan_loss(epoch) {
+            loss_value = f32::NAN;
+        }
 
         let mut grads: Vec<(ceaff_tensor::ParamId, &Matrix)> = Vec::with_capacity(4);
-        if cfg.train_input {
-            if let Some(gx) = g.grad(x1) {
-                grads.push((layers.x1, gx));
+        let healthy = loss_value.is_finite() && {
+            g.backward(loss);
+            if cfg.train_input {
+                if let Some(gx) = g.grad(x1) {
+                    grads.push((layers.x1, gx));
+                }
+                if let Some(gx) = g.grad(x2) {
+                    grads.push((layers.x2, gx));
+                }
             }
-            if let Some(gx) = g.grad(x2) {
-                grads.push((layers.x2, gx));
+            if let Some(gw) = g.grad(w1) {
+                grads.push((layers.w1, gw));
             }
+            if let Some(gw) = g.grad(w2) {
+                grads.push((layers.w2, gw));
+            }
+            grads.iter().all(|(_, m)| m.all_finite())
+        };
+        if !healthy {
+            // Non-finite loss or gradient: roll back to the last good
+            // boundary, halve the learning rate, and replay — bounded by
+            // MAX_NUMERIC_RETRIES before the typed divergence error.
+            drop(grads);
+            retries += 1;
+            telemetry.counter_add("gcn", "numeric_recovery", 1);
+            if retries > MAX_NUMERIC_RETRIES {
+                return Err(CeaffError::NumericDivergence {
+                    stage: "gcn".into(),
+                    epoch,
+                    retries: retries - 1,
+                });
+            }
+            restore_state(
+                &snap,
+                &mut params,
+                &layers,
+                &mut *opt,
+                &mut rng,
+                &mut loss_curve,
+                &mut pool_u,
+                &mut pool_v,
+                &mut best,
+            )?;
+            let halved = opt.learning_rate() * 0.5;
+            opt.set_learning_rate(halved);
+            // Re-capture so a second rollback to this boundary keeps the
+            // decayed learning rate instead of undoing it.
+            snap = capture_state(
+                snap.next_epoch,
+                retries,
+                &params,
+                &layers,
+                &*opt,
+                &rng,
+                &loss_curve,
+                &pool_u,
+                &pool_v,
+                &best,
+            );
+            epoch = snap.next_epoch;
+            continue;
         }
-        if let Some(gw) = g.grad(w1) {
-            grads.push((layers.w1, gw));
-        }
-        if let Some(gw) = g.grad(w2) {
-            grads.push((layers.w2, gw));
-        }
+        loss_curve.push(loss_value);
+        telemetry.gauge("gcn", "epoch_loss", Some(epoch as u64), loss_value as f64);
         if telemetry.is_enabled() {
             // Global gradient L2 norm across every trained parameter —
             // only computed when someone is listening.
@@ -405,8 +644,32 @@ pub fn train_traced(pair: &KgPair, cfg: &GcnConfig, telemetry: &Telemetry) -> Gc
         if cfg.tie_seed_inputs && cfg.train_input {
             tie_seeds(&mut params, &layers, seeds);
         }
-        if epoch + 1 == cfg.epochs || (epoch + 1) % cfg.validate_every.max(1) == 0 {
+        if epoch + 1 == cfg.epochs || (epoch + 1).is_multiple_of(cfg.validate_every.max(1)) {
             validate(&params, &mut best);
+        }
+        epoch += 1;
+        if epoch.is_multiple_of(snap_interval) || epoch == cfg.epochs {
+            snap = capture_state(
+                epoch,
+                retries,
+                &params,
+                &layers,
+                &*opt,
+                &rng,
+                &loss_curve,
+                &pool_u,
+                &pool_v,
+                &best,
+            );
+            if disk_interval.is_some() {
+                if let Some(ck) = checkpointer {
+                    ck.save(
+                        checkpoint::TRAIN_FILE,
+                        &checkpoint::encode_train_state(&snap),
+                    )?;
+                    telemetry.counter_add("checkpoint", "train_saved", 1);
+                }
+            }
         }
     }
 
@@ -414,11 +677,11 @@ pub fn train_traced(pair: &KgPair, cfg: &GcnConfig, telemetry: &Telemetry) -> Gc
         Some((_, z1, z2)) => (z1, z2),
         None => final_forward(&params, &layers, &a1, &a2, cfg.activation),
     };
-    GcnEncoder {
+    Ok(GcnEncoder {
         z_source,
         z_target,
         loss_curve,
-    }
+    })
 }
 
 /// Hits@1 of held-out pairs: each validation source must rank its true

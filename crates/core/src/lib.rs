@@ -45,6 +45,7 @@
 //! ```
 
 pub mod bootstrap;
+pub mod checkpoint;
 pub mod error;
 pub mod eval;
 pub mod features;
@@ -60,6 +61,7 @@ pub use bootstrap::{try_run_bootstrapped, BootstrapConfig, BootstrapOutput};
 pub use ceaff_telemetry::{
     EventKind, InMemorySink, JsonLinesSink, NullSink, RunTrace, Sink, Telemetry, TraceEvent,
 };
+pub use checkpoint::{CheckpointPolicy, Checkpointer};
 pub use error::CeaffError;
 pub use eval::{
     accuracy, hits_at_k, mrr, precision_recall, ranking_metrics, PrecisionRecall, RankingMetrics,
@@ -69,17 +71,19 @@ pub use fusion::{
     adaptive_fuse, adaptive_weights, confident_correspondences, fuse, two_stage_fuse, Candidate,
     FusionConfig, FusionReport,
 };
-pub use gcn::{Activation, GcnConfig, GcnEncoder, OptimKind};
+pub use gcn::{
+    try_train_traced, Activation, GcnConfig, GcnEncoder, OptimKind, MAX_NUMERIC_RETRIES,
+};
 pub use lr::{learn_weights, LearnedWeights, LrConfig};
 pub use matching::{
     Greedy, GreedyOneToOne, Hungarian, Matcher, MatcherKind, Matching, StableMarriage,
 };
+pub use pipeline::{
+    resume_from, try_run, try_run_checkpointed, try_run_single_stage, try_run_with_features,
+    CeaffConfig, CeaffConfigBuilder, CeaffOutput, EaInput, FeatureSet, WeightingMode,
+};
 #[allow(deprecated)]
 pub use pipeline::{run, run_single_stage, run_with_features};
-pub use pipeline::{
-    try_run, try_run_single_stage, try_run_with_features, CeaffConfig, CeaffConfigBuilder,
-    CeaffOutput, EaInput, FeatureSet, WeightingMode,
-};
 
 #[cfg(test)]
 mod doc_support {

@@ -8,12 +8,13 @@
 //! [`CeaffOutput::trace`] records stage timings, counters and (with an
 //! active event stream) the full event sequence of the run.
 
+use crate::checkpoint::{self, CheckpointPolicy, Checkpointer};
 use crate::error::CeaffError;
 use crate::eval::{accuracy, ranking_metrics, RankingMetrics};
 use crate::features::{Feature, SemanticFeature, StringFeature, StructuralFeature};
 
 use crate::fusion::{adaptive_fuse, fuse, two_stage_fuse, FusionConfig, FusionReport};
-use crate::gcn::GcnConfig;
+use crate::gcn::{GcnConfig, OptimKind};
 use crate::lr::{learn_weights, LrConfig};
 use crate::matching::{MatcherKind, Matching};
 use ceaff_embed::WordEmbedder;
@@ -98,6 +99,24 @@ impl CeaffConfig {
         if self.gcn.negatives == 0 {
             return Err(CeaffError::InvalidConfig(
                 "gcn.negatives must be positive".into(),
+            ));
+        }
+        if self.gcn.epochs == 0 {
+            return Err(CeaffError::InvalidConfig(
+                "gcn.epochs must be positive".into(),
+            ));
+        }
+        let lr = match self.gcn.optimizer {
+            OptimKind::Sgd { lr } | OptimKind::Adam { lr } => lr,
+        };
+        if !lr.is_finite() || lr <= 0.0 {
+            return Err(CeaffError::InvalidConfig(
+                "gcn optimizer learning rate must be finite and positive".into(),
+            ));
+        }
+        if !self.gcn.margin.is_finite() || self.gcn.margin <= 0.0 {
+            return Err(CeaffError::InvalidConfig(
+                "gcn.margin must be finite and positive".into(),
             ));
         }
         if self.embed_dim == 0 {
@@ -360,6 +379,139 @@ impl FeatureSet {
         self
     }
 
+    /// Checkpoint-aware [`FeatureSet::compute`]: each stage whose verified
+    /// artifact already exists in the run directory is restored *without
+    /// recomputation* (counted as `checkpoint/stages_resumed`); each stage
+    /// that runs saves its output on completion
+    /// (`checkpoint/stages_saved`). The GCN additionally saves/resumes its
+    /// epoch-level training state when the policy has an epoch interval.
+    ///
+    /// Restored stage outputs are bit-identical to freshly computed ones —
+    /// artifacts store the *normalised* matrices, so no floating-point
+    /// operation is repeated on the resume path.
+    pub fn try_compute_checkpointed(
+        input: &EaInput<'_>,
+        cfg: &CeaffConfig,
+        ck: &Checkpointer,
+    ) -> Result<Self, CeaffError> {
+        let telemetry = &input.telemetry;
+        telemetry.gauge(
+            "parallel",
+            "threads",
+            None,
+            ceaff_parallel::current_threads() as f64,
+        );
+        let stage_err = |file: &str| {
+            let file = file.to_owned();
+            move |reason: String| CeaffError::Checkpoint { file, reason }
+        };
+
+        let structural = if cfg.use_structural {
+            Some(match ck.load(checkpoint::STAGE_STRUCTURAL)? {
+                Some(bytes) => {
+                    let (zs, zt, test, loss_curve) = checkpoint::decode_structural(&bytes)
+                        .map_err(stage_err(checkpoint::STAGE_STRUCTURAL))?;
+                    telemetry.counter_add("checkpoint", "stages_resumed", 1);
+                    StructuralFeature::from_saved_parts(
+                        zs,
+                        zt,
+                        SimilarityMatrix::new(test),
+                        loss_curve,
+                    )
+                }
+                None => {
+                    let f = StructuralFeature::try_compute_traced(
+                        input.pair,
+                        &cfg.gcn,
+                        telemetry,
+                        Some(ck),
+                    )?;
+                    ck.save(
+                        checkpoint::STAGE_STRUCTURAL,
+                        &checkpoint::encode_structural(
+                            f.source_embeddings(),
+                            f.target_embeddings(),
+                            f.test_matrix().as_matrix(),
+                            &f.loss_curve,
+                        ),
+                    )?;
+                    // The in-flight training state is subsumed by the
+                    // completed stage artifact.
+                    ck.remove(checkpoint::TRAIN_FILE)?;
+                    telemetry.counter_add("checkpoint", "stages_saved", 1);
+                    f
+                }
+            })
+        } else {
+            None
+        };
+
+        let semantic = if cfg.use_semantic {
+            Some(match ck.load(checkpoint::STAGE_SEMANTIC)? {
+                Some(bytes) => {
+                    let (ns, nt, test) = checkpoint::decode_embedding_stage(&bytes)
+                        .map_err(stage_err(checkpoint::STAGE_SEMANTIC))?;
+                    telemetry.counter_add("checkpoint", "stages_resumed", 1);
+                    SemanticFeature::from_saved_parts(ns, nt, SimilarityMatrix::new(test))
+                }
+                None => {
+                    let f = {
+                        let _span = telemetry.span("semantic");
+                        SemanticFeature::compute(
+                            input.pair,
+                            input.source_embedder,
+                            input.target_embedder,
+                        )
+                    };
+                    ck.save(
+                        checkpoint::STAGE_SEMANTIC,
+                        &checkpoint::encode_embedding_stage(
+                            f.source_embeddings(),
+                            f.target_embeddings(),
+                            f.test_matrix().as_matrix(),
+                        ),
+                    )?;
+                    telemetry.counter_add("checkpoint", "stages_saved", 1);
+                    f
+                }
+            })
+        } else {
+            None
+        };
+
+        let string = if cfg.use_string {
+            Some(match ck.load(checkpoint::STAGE_STRING)? {
+                Some(bytes) => {
+                    let test = checkpoint::decode_matrix_stage(&bytes)
+                        .map_err(stage_err(checkpoint::STAGE_STRING))?;
+                    telemetry.counter_add("checkpoint", "stages_resumed", 1);
+                    StringFeature::from_saved_parts(input.pair, SimilarityMatrix::new(test))
+                }
+                None => {
+                    let f = {
+                        let _span = telemetry.span("string");
+                        StringFeature::compute(input.pair)
+                    };
+                    ck.save(
+                        checkpoint::STAGE_STRING,
+                        &checkpoint::encode_matrix_stage(f.test_matrix().as_matrix()),
+                    )?;
+                    telemetry.counter_add("checkpoint", "stages_saved", 1);
+                    f
+                }
+            })
+        } else {
+            None
+        };
+
+        Ok(Self {
+            structural,
+            semantic,
+            string,
+            extra: Vec::new(),
+        })
+    }
+
     /// Compute all three features regardless of the flags in `cfg` (for
     /// ablation sweeps that will toggle them afterwards).
     pub fn compute_all(input: &EaInput<'_>, cfg: &CeaffConfig) -> Self {
@@ -600,6 +752,47 @@ pub fn try_run(input: &EaInput<'_>, cfg: &CeaffConfig) -> Result<CeaffOutput, Ce
     try_run_with_features(input.pair, &features, cfg, &input.telemetry)
 }
 
+/// [`try_run`] with crash-safe checkpointing: stage outputs (and, with
+/// [`CheckpointPolicy::EveryNEpochs`], the GCN training state) are saved
+/// to `dir` as the run progresses. Call [`resume_from`] on the same
+/// directory after an interruption — the continued run skips completed
+/// work and produces **bitwise-identical** final metrics to an
+/// uninterrupted run at any thread count.
+///
+/// The directory is created if absent and pins the configuration: calling
+/// again with a different `cfg` is a [`CeaffError::Checkpoint`] error.
+pub fn try_run_checkpointed(
+    input: &EaInput<'_>,
+    cfg: &CeaffConfig,
+    dir: impl AsRef<std::path::Path>,
+    policy: CheckpointPolicy,
+) -> Result<CeaffOutput, CeaffError> {
+    cfg.validate()?;
+    if matches!(policy, CheckpointPolicy::Off) {
+        return try_run(input, cfg);
+    }
+    let ck = Checkpointer::create(dir, policy, cfg)?;
+    let features = FeatureSet::try_compute_checkpointed(input, cfg, &ck)?;
+    try_run_with_features(input.pair, &features, cfg, &input.telemetry)
+}
+
+/// Resume an interrupted [`try_run_checkpointed`] run from its directory.
+///
+/// The configuration (and policy) travel with the run directory, so the
+/// caller supplies only the input data. Completed stages are restored
+/// verified-and-verbatim; an interrupted GCN training continues from its
+/// last saved epoch boundary. Corrupt or truncated artifacts fail with
+/// [`CeaffError::Checkpoint`] before anything partial is used.
+pub fn resume_from(
+    dir: impl AsRef<std::path::Path>,
+    input: &EaInput<'_>,
+) -> Result<CeaffOutput, CeaffError> {
+    let (ck, cfg) = Checkpointer::open(dir)?;
+    cfg.validate()?;
+    let features = FeatureSet::try_compute_checkpointed(input, &cfg, &ck)?;
+    try_run_with_features(input.pair, &features, &cfg, &input.telemetry)
+}
+
 /// A single-adaptive-stage variant fusing all active features at once —
 /// kept public to make the paper's claim that *two-stage* fusion adjusts
 /// weights better directly testable (see the `fusion` bench and the
@@ -799,6 +992,41 @@ mod tests {
         cfg.gcn.dim = 0;
         assert!(cfg.validate().is_err());
         assert!(fast_cfg().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_training_hyperparameters() {
+        let expect_invalid = |mutate: fn(&mut CeaffConfig), what: &str| {
+            let mut cfg = fast_cfg();
+            mutate(&mut cfg);
+            match cfg.validate() {
+                Err(CeaffError::InvalidConfig(msg)) => {
+                    assert!(!msg.is_empty(), "{what}: empty message")
+                }
+                other => panic!("{what}: expected InvalidConfig, got {other:?}"),
+            }
+        };
+        expect_invalid(|c| c.gcn.epochs = 0, "zero epochs");
+        expect_invalid(
+            |c| c.gcn.optimizer = OptimKind::Adam { lr: 0.0 },
+            "zero learning rate",
+        );
+        expect_invalid(
+            |c| c.gcn.optimizer = OptimKind::Adam { lr: -0.01 },
+            "negative learning rate",
+        );
+        expect_invalid(
+            |c| c.gcn.optimizer = OptimKind::Sgd { lr: f32::NAN },
+            "NaN learning rate",
+        );
+        expect_invalid(
+            |c| c.gcn.optimizer = OptimKind::Sgd { lr: f32::INFINITY },
+            "infinite learning rate",
+        );
+        expect_invalid(|c| c.gcn.margin = 0.0, "zero margin");
+        expect_invalid(|c| c.gcn.margin = f32::NAN, "NaN margin");
+        expect_invalid(|c| c.gcn.margin = -1.0, "negative margin");
+        expect_invalid(|c| c.gcn.dim = 0, "zero dimension");
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! Checkpoint/resume end-to-end: a run interrupted mid-GCN-training and
+//! resumed from its run directory must produce **bitwise-identical**
+//! embeddings and metrics to the same run executed uninterrupted — at any
+//! thread count.
+
+use ceaff_core::checkpoint::{CheckpointPolicy, Checkpointer};
+use ceaff_core::gcn::GcnConfig;
+use ceaff_core::pipeline::{
+    resume_from, try_run, try_run_checkpointed, CeaffConfig, CeaffOutput, EaInput,
+};
+use ceaff_core::CeaffError;
+use ceaff_datagen::{GenConfig, GeneratedDataset, NameChannel};
+use ceaff_faultinject::FaultPlan;
+use std::path::PathBuf;
+
+fn dataset() -> GeneratedDataset {
+    ceaff_datagen::generate(&GenConfig {
+        aligned_entities: 120,
+        extra_frac: 0.1,
+        avg_degree: 8.0,
+        overlap: 0.8,
+        channel: NameChannel::CloseLingual {
+            morph_rate: 0.5,
+            replace_rate: 0.2,
+        },
+        vocab_size: 400,
+        lexicon_coverage: 0.9,
+        ..GenConfig::default()
+    })
+}
+
+fn cfg() -> CeaffConfig {
+    CeaffConfig {
+        gcn: GcnConfig {
+            dim: 16,
+            epochs: 30,
+            ..GcnConfig::default()
+        },
+        embed_dim: 16,
+        ..CeaffConfig::default()
+    }
+}
+
+fn run_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ceaff-resume-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Bit-level equality of two runs' outputs: the fused matrix, the
+/// matching, and every metric.
+fn assert_bitwise_equal(a: &CeaffOutput, b: &CeaffOutput) {
+    let (ma, mb) = (a.fused.as_matrix(), b.fused.as_matrix());
+    assert_eq!((ma.rows(), ma.cols()), (mb.rows(), mb.cols()));
+    for (x, y) in ma.as_slice().iter().zip(mb.as_slice()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "fused matrices diverge");
+    }
+    assert_eq!(a.matching.pairs(), b.matching.pairs());
+    assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+    assert_eq!(a.ranking.hits1.to_bits(), b.ranking.hits1.to_bits());
+    assert_eq!(a.ranking.hits10.to_bits(), b.ranking.hits10.to_bits());
+    assert_eq!(a.ranking.mrr.to_bits(), b.ranking.mrr.to_bits());
+}
+
+/// Crash at a given epoch via fault injection, then resume; compare
+/// against an uninterrupted plain run. `threads` controls the worker pool
+/// of every run in the round trip.
+fn crash_and_resume_matches(threads: usize, crash_epoch: usize) {
+    let ds = dataset();
+    let src = ds.source_embedder(16);
+    let tgt = ds.target_embedder(16);
+    let cfg = cfg();
+    let dir = run_dir(&format!("t{threads}e{crash_epoch}"));
+
+    // Every phase holds a fault scope: the armed plan is process-global,
+    // and an inert default plan both serializes concurrent tests and
+    // shields fault-free runs from another test's injections.
+    let uninterrupted = {
+        let _quiet = FaultPlan::default().activate();
+        ceaff_parallel::with_threads(threads, || {
+            let input = EaInput::new(&ds.pair, &src, &tgt);
+            try_run(&input, &cfg).expect("uninterrupted run")
+        })
+    };
+
+    // First attempt dies mid-training (graceful simulated crash — the
+    // checkpoint on disk is whatever the every-5-epochs cadence saved).
+    let crashed = {
+        let _scope = FaultPlan {
+            fail_train_at_epoch: Some(crash_epoch),
+            ..FaultPlan::default()
+        }
+        .activate();
+        ceaff_parallel::with_threads(threads, || {
+            let input = EaInput::new(&ds.pair, &src, &tgt);
+            try_run_checkpointed(&input, &cfg, &dir, CheckpointPolicy::EveryNEpochs(5))
+        })
+    };
+    match crashed {
+        Err(CeaffError::Checkpoint { reason, .. }) => {
+            assert!(reason.contains("simulated crash"), "{reason}")
+        }
+        other => panic!("expected the injected crash, got {other:?}"),
+    }
+
+    let resumed = {
+        let _quiet = FaultPlan::default().activate();
+        ceaff_parallel::with_threads(threads, || {
+            let input = EaInput::new(&ds.pair, &src, &tgt);
+            resume_from(&dir, &input).expect("resumed run")
+        })
+    };
+    assert_bitwise_equal(&uninterrupted, &resumed);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crash_and_resume_is_bitwise_identical_single_thread() {
+    crash_and_resume_matches(1, 17);
+}
+
+#[test]
+fn crash_and_resume_is_bitwise_identical_four_threads() {
+    crash_and_resume_matches(4, 17);
+}
+
+#[test]
+fn crash_before_any_checkpoint_restarts_from_scratch() {
+    // Epoch 3 < the first every-5 boundary: nothing saved for training,
+    // resume re-trains from epoch 0 — still bitwise-equal.
+    crash_and_resume_matches(1, 3);
+}
+
+#[test]
+fn resume_across_thread_counts_is_bitwise_identical() {
+    // The determinism contract makes thread count irrelevant: crash at 1
+    // thread, resume at 4 — results still match an uninterrupted run.
+    let ds = dataset();
+    let src = ds.source_embedder(16);
+    let tgt = ds.target_embedder(16);
+    let cfg = cfg();
+    let dir = run_dir("cross");
+
+    let uninterrupted = {
+        let _quiet = FaultPlan::default().activate();
+        ceaff_parallel::with_threads(1, || {
+            let input = EaInput::new(&ds.pair, &src, &tgt);
+            try_run(&input, &cfg).expect("uninterrupted run")
+        })
+    };
+    let crashed = {
+        let _scope = FaultPlan {
+            fail_train_at_epoch: Some(12),
+            ..FaultPlan::default()
+        }
+        .activate();
+        ceaff_parallel::with_threads(1, || {
+            let input = EaInput::new(&ds.pair, &src, &tgt);
+            try_run_checkpointed(&input, &cfg, &dir, CheckpointPolicy::EveryNEpochs(5))
+        })
+    };
+    assert!(crashed.is_err());
+    let resumed = {
+        let _quiet = FaultPlan::default().activate();
+        ceaff_parallel::with_threads(4, || {
+            let input = EaInput::new(&ds.pair, &src, &tgt);
+            resume_from(&dir, &input).expect("resumed run")
+        })
+    };
+    assert_bitwise_equal(&uninterrupted, &resumed);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn completed_stages_are_not_recomputed_on_resume() {
+    let _quiet = FaultPlan::default().activate();
+    let ds = dataset();
+    let src = ds.source_embedder(16);
+    let tgt = ds.target_embedder(16);
+    let cfg = cfg();
+    let dir = run_dir("stages");
+
+    let input = EaInput::new(&ds.pair, &src, &tgt);
+    let first = try_run_checkpointed(&input, &cfg, &dir, CheckpointPolicy::PerStage)
+        .expect("first run completes");
+    assert_eq!(first.trace.counter("checkpoint", "stages_saved"), Some(3));
+    assert_eq!(first.trace.counter("checkpoint", "stages_resumed"), None);
+
+    // A second pass over the same directory restores all three stages.
+    let input = EaInput::new(&ds.pair, &src, &tgt);
+    let second = resume_from(&dir, &input).expect("second run completes");
+    assert_eq!(
+        second.trace.counter("checkpoint", "stages_resumed"),
+        Some(3)
+    );
+    assert_eq!(second.trace.counter("checkpoint", "stages_saved"), None);
+    assert_bitwise_equal(&first, &second);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpointed_run_matches_plain_run_even_uninterrupted() {
+    // Checkpointing itself must not perturb results.
+    let _quiet = FaultPlan::default().activate();
+    let ds = dataset();
+    let src = ds.source_embedder(16);
+    let tgt = ds.target_embedder(16);
+    let cfg = cfg();
+    let dir = run_dir("noop");
+
+    let input = EaInput::new(&ds.pair, &src, &tgt);
+    let plain = try_run(&input, &cfg).expect("plain run");
+    let input = EaInput::new(&ds.pair, &src, &tgt);
+    let checkpointed = try_run_checkpointed(&input, &cfg, &dir, CheckpointPolicy::EveryNEpochs(5))
+        .expect("checkpointed run");
+    assert_bitwise_equal(&plain, &checkpointed);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn off_policy_runs_without_touching_disk() {
+    let _quiet = FaultPlan::default().activate();
+    let ds = dataset();
+    let src = ds.source_embedder(16);
+    let tgt = ds.target_embedder(16);
+    let dir = run_dir("off");
+    let input = EaInput::new(&ds.pair, &src, &tgt);
+    let out =
+        try_run_checkpointed(&input, &cfg(), &dir, CheckpointPolicy::Off).expect("off-policy run");
+    assert!(out.accuracy > 0.0);
+    assert!(!dir.exists(), "Off policy must not create a run directory");
+}
+
+#[test]
+fn resume_rejects_a_directory_from_another_config() {
+    let _quiet = FaultPlan::default().activate();
+    let ds = dataset();
+    let src = ds.source_embedder(16);
+    let tgt = ds.target_embedder(16);
+    let dir = run_dir("mismatch");
+    let base = cfg();
+    Checkpointer::create(&dir, CheckpointPolicy::PerStage, &base).unwrap();
+    let mut other = base;
+    other.gcn.seed ^= 1;
+    let input = EaInput::new(&ds.pair, &src, &tgt);
+    let err = try_run_checkpointed(&input, &other, &dir, CheckpointPolicy::PerStage).unwrap_err();
+    assert!(matches!(err, CeaffError::Checkpoint { .. }));
+    std::fs::remove_dir_all(&dir).ok();
+}

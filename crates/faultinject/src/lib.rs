@@ -1,0 +1,256 @@
+#![warn(missing_docs)]
+
+//! # ceaff-faultinject
+//!
+//! Test-support fault injection for the CEAFF fault-tolerance layer. The
+//! production code calls the cheap hooks in this crate at its recovery
+//! points (epoch boundaries of the GCN training loop, TSV loader opens);
+//! the hooks do nothing unless a fault plan is active, so every recovery
+//! path can be exercised by real tests without `#[cfg(test)]` seams in the
+//! pipeline itself.
+//!
+//! Two ways to arm a plan:
+//!
+//! * **Programmatic** — build a [`FaultPlan`] and call
+//!   [`FaultPlan::activate`]. The returned [`FaultScope`] guard holds a
+//!   global lock (so concurrent tests serialize) and disarms the plan on
+//!   drop.
+//! * **Environment** — set `CEAFF_FI_*` variables before the process
+//!   starts. This is how the kill-and-resume e2e test drives a *child*
+//!   process into a mid-training abort:
+//!   - `CEAFF_FI_ABORT_AT_EPOCH=N` — `std::process::abort()` when the
+//!     training loop reaches epoch `N` (simulates SIGKILL mid-run),
+//!   - `CEAFF_FI_FAIL_TRAIN_AT_EPOCH=N` — the training loop returns a
+//!     typed error at epoch `N` (graceful simulated crash, one-shot),
+//!   - `CEAFF_FI_NAN_LOSS_EPOCH=N` — force a NaN loss at epoch `N`
+//!     (one-shot),
+//!   - `CEAFF_FI_NAN_LOSS_ALWAYS=1` — force a NaN loss every epoch,
+//!   - `CEAFF_FI_IO_ERROR_MATCH=SUBSTR` — hooked file reads whose path
+//!     contains `SUBSTR` fail with an injected `io::Error`.
+//!
+//! [`truncate_file`] and [`flip_byte`] round the harness out for
+//! corrupted-checkpoint tests.
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// What faults to inject, and where.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Abort the whole process (no unwinding — like SIGKILL) when the
+    /// training loop reaches this epoch.
+    pub abort_at_epoch: Option<usize>,
+    /// Make the training loop return a typed error when it reaches this
+    /// epoch — a graceful simulated crash, testable in-process (one-shot).
+    pub fail_train_at_epoch: Option<usize>,
+    /// Force a non-finite loss at this epoch (one-shot), exercising the
+    /// rollback + learning-rate-halving recovery.
+    pub nan_loss_at_epoch: Option<usize>,
+    /// Force a non-finite loss at *every* epoch, exhausting the bounded
+    /// retries into `NumericDivergence`.
+    pub nan_loss_always: bool,
+    /// Fail any hooked I/O whose path contains this substring.
+    pub io_error_substring: Option<String>,
+}
+
+/// Serializes fault-injection tests within one process.
+static SCOPE_LOCK: Mutex<()> = Mutex::new(());
+/// The programmatically armed plan, if any.
+static ACTIVE: Mutex<Option<FaultPlan>> = Mutex::new(None);
+/// One-shot latches (true = already fired).
+static FIRED_FAIL_TRAIN: AtomicBool = AtomicBool::new(false);
+static FIRED_NAN: AtomicBool = AtomicBool::new(false);
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// The plan described by `CEAFF_FI_*` environment variables, read once per
+/// process (a child launched with the variables set keeps them for life).
+fn env_plan() -> &'static FaultPlan {
+    static PLAN: OnceLock<FaultPlan> = OnceLock::new();
+    PLAN.get_or_init(|| FaultPlan {
+        abort_at_epoch: env_usize("CEAFF_FI_ABORT_AT_EPOCH"),
+        fail_train_at_epoch: env_usize("CEAFF_FI_FAIL_TRAIN_AT_EPOCH"),
+        nan_loss_at_epoch: env_usize("CEAFF_FI_NAN_LOSS_EPOCH"),
+        nan_loss_always: std::env::var("CEAFF_FI_NAN_LOSS_ALWAYS").as_deref() == Ok("1"),
+        io_error_substring: std::env::var("CEAFF_FI_IO_ERROR_MATCH").ok(),
+    })
+}
+
+/// The effective plan right now: the programmatic one wins over the
+/// environment one.
+fn effective() -> FaultPlan {
+    let armed = ACTIVE.lock().expect("fault plan lock");
+    match &*armed {
+        Some(plan) => plan.clone(),
+        None => env_plan().clone(),
+    }
+}
+
+/// Guard of an armed [`FaultPlan`]; dropping it disarms the plan and
+/// releases the global test lock.
+pub struct FaultScope {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl FaultPlan {
+    /// Arm this plan process-wide until the returned guard drops.
+    /// One-shot latches reset, so consecutive tests start fresh.
+    pub fn activate(self) -> FaultScope {
+        // A panicking previous test may have poisoned the lock; the plan
+        // state is reset below either way.
+        let lock = SCOPE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        FIRED_FAIL_TRAIN.store(false, Ordering::SeqCst);
+        FIRED_NAN.store(false, Ordering::SeqCst);
+        *ACTIVE.lock().expect("fault plan lock") = Some(self);
+        FaultScope { _lock: lock }
+    }
+}
+
+impl Drop for FaultScope {
+    fn drop(&mut self) {
+        *ACTIVE.lock().expect("fault plan lock") = None;
+    }
+}
+
+/// Training-loop hook: abort the process when the armed plan says this
+/// epoch dies. No unwinding, no destructors — the closest in-process
+/// approximation of a kill signal.
+pub fn abort_point(epoch: usize) {
+    if effective().abort_at_epoch == Some(epoch) {
+        eprintln!("ceaff-faultinject: aborting at epoch {epoch}");
+        std::process::abort();
+    }
+}
+
+/// Training-loop hook: whether to simulate a graceful crash (typed error)
+/// at this epoch. One-shot — fires at most once per armed plan.
+pub fn simulated_crash(epoch: usize) -> bool {
+    if effective().fail_train_at_epoch == Some(epoch) {
+        return !FIRED_FAIL_TRAIN.swap(true, Ordering::SeqCst);
+    }
+    false
+}
+
+/// Training-loop hook: whether the loss of this epoch must be forced to
+/// NaN. `nan_loss_at_epoch` is one-shot; `nan_loss_always` fires forever.
+pub fn nan_loss(epoch: usize) -> bool {
+    let plan = effective();
+    if plan.nan_loss_always {
+        return true;
+    }
+    if plan.nan_loss_at_epoch == Some(epoch) {
+        return !FIRED_NAN.swap(true, Ordering::SeqCst);
+    }
+    false
+}
+
+/// I/O hook: an injected error for `path`, when the armed plan matches it.
+pub fn io_error(path: &Path) -> Option<io::Error> {
+    let plan = effective();
+    let pat = plan.io_error_substring.as_deref()?;
+    if !pat.is_empty() && path.to_string_lossy().contains(pat) {
+        Some(io::Error::other(format!(
+            "injected i/o error for {}",
+            path.display()
+        )))
+    } else {
+        None
+    }
+}
+
+/// Truncate a file to its first `keep_bytes` bytes (simulates a crash
+/// mid-write on a filesystem without atomic rename).
+pub fn truncate_file<P: AsRef<Path>>(path: P, keep_bytes: u64) -> io::Result<()> {
+    let f = std::fs::OpenOptions::new().write(true).open(path)?;
+    f.set_len(keep_bytes)
+}
+
+/// Flip every bit of the byte at `offset` (simulates silent corruption;
+/// checksums must catch it).
+pub fn flip_byte<P: AsRef<Path>>(path: P, offset: u64) -> io::Result<()> {
+    use std::io::{Read, Seek, SeekFrom, Write};
+    let mut f = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)?;
+    f.seek(SeekFrom::Start(offset))?;
+    let mut byte = [0u8; 1];
+    f.read_exact(&mut byte)?;
+    byte[0] = !byte[0];
+    f.seek(SeekFrom::Start(offset))?;
+    f.write_all(&byte)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hooks_are_inert_without_a_plan() {
+        let _scope = FaultPlan::default().activate();
+        abort_point(0);
+        assert!(!simulated_crash(0));
+        assert!(!nan_loss(0));
+        assert!(io_error(Path::new("/tmp/anything")).is_none());
+    }
+
+    #[test]
+    fn simulated_crash_fires_once_at_the_chosen_epoch() {
+        let _scope = FaultPlan {
+            fail_train_at_epoch: Some(3),
+            ..FaultPlan::default()
+        }
+        .activate();
+        assert!(!simulated_crash(2));
+        assert!(simulated_crash(3));
+        assert!(!simulated_crash(3), "one-shot: must not fire twice");
+    }
+
+    #[test]
+    fn nan_loss_one_shot_and_always_modes() {
+        {
+            let _scope = FaultPlan {
+                nan_loss_at_epoch: Some(1),
+                ..FaultPlan::default()
+            }
+            .activate();
+            assert!(!nan_loss(0));
+            assert!(nan_loss(1));
+            assert!(!nan_loss(1));
+        }
+        let _scope = FaultPlan {
+            nan_loss_always: true,
+            ..FaultPlan::default()
+        }
+        .activate();
+        assert!(nan_loss(0) && nan_loss(7) && nan_loss(7));
+    }
+
+    #[test]
+    fn io_error_matches_path_substring() {
+        let _scope = FaultPlan {
+            io_error_substring: Some("triples_1".into()),
+            ..FaultPlan::default()
+        }
+        .activate();
+        assert!(io_error(Path::new("/data/bench/triples_1")).is_some());
+        assert!(io_error(Path::new("/data/bench/links")).is_none());
+    }
+
+    #[test]
+    fn corruption_helpers_modify_files() {
+        let dir = std::env::temp_dir().join(format!("ceaff-fi-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("victim.bin");
+        std::fs::write(&path, [1u8, 2, 3, 4, 5]).unwrap();
+        truncate_file(&path, 2).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), vec![1, 2]);
+        flip_byte(&path, 1).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), vec![1, !2u8]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -43,6 +43,7 @@ pub use csr::CsrMatrix;
 pub use error::GraphError;
 pub use ids::{EntityId, RelationId};
 pub use interner::Interner;
+pub use io::{LoadMode, LoadReport};
 pub use kg::KnowledgeGraph;
 pub use pair::{Alignment, KgPair, SeedSplit};
 pub use triple::Triple;

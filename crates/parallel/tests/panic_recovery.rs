@@ -1,0 +1,60 @@
+//! The worker pool must survive panicking jobs: a panic inside one chunk
+//! is re-raised on the caller, and the process-wide pool stays fully
+//! usable for later dispatches — workers are persistent, so a poisoned or
+//! wedged pool would silently serialize (or deadlock) everything after
+//! the first bad job.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn pool_is_reusable_after_a_panicking_job() {
+    ceaff_parallel::with_threads(4, || {
+        // One chunk panics; the caller must observe that panic.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            ceaff_parallel::par_for(8, |chunk| {
+                if chunk == 3 {
+                    panic!("injected chunk failure");
+                }
+            });
+        }));
+        let payload = result.expect_err("the chunk panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .expect("panic payload is the injected message");
+        assert!(msg.contains("injected"), "{msg}");
+
+        // The same pool then serves a healthy job correctly: every chunk
+        // runs exactly once and the mapped output is complete and ordered.
+        let ran = AtomicUsize::new(0);
+        ceaff_parallel::par_for(64, |_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 64);
+
+        let squares = ceaff_parallel::par_map(100, 4, |i| i * i);
+        assert_eq!(squares, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    });
+}
+
+#[test]
+fn repeated_panics_do_not_wedge_the_pool() {
+    ceaff_parallel::with_threads(4, || {
+        for round in 0..5 {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                ceaff_parallel::par_for(16, |chunk| {
+                    if chunk % 2 == 0 {
+                        panic!("round {round}");
+                    }
+                });
+            }));
+            assert!(result.is_err(), "round {round} must re-raise the panic");
+        }
+        // After five consecutive failing jobs the pool still computes.
+        let sum = ceaff_parallel::par_map(1000, 16, |i| i as u64)
+            .into_iter()
+            .sum::<u64>();
+        assert_eq!(sum, 999 * 1000 / 2);
+    });
+}

@@ -21,4 +21,4 @@ pub mod optim;
 
 pub use graph::{Graph, Var};
 pub use matrix::{dot, Matrix};
-pub use optim::{AdaGrad, Adam, Optimizer, ParamId, ParamSet, Sgd};
+pub use optim::{AdaGrad, Adam, OptimSlot, OptimState, Optimizer, ParamId, ParamSet, Sgd};

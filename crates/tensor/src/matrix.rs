@@ -403,6 +403,23 @@ impl Matrix {
         out
     }
 
+    /// Whether every element is finite (no NaN, no ±∞). A cheap linear
+    /// scan — the numeric-health guard the training loop runs on losses
+    /// and gradients before accepting an optimizer step.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Position `(row, col)` and value of the first non-finite element,
+    /// or `None` when the matrix is healthy. Used for diagnostics when
+    /// [`Matrix::all_finite`] fails.
+    pub fn first_non_finite(&self) -> Option<(usize, usize, f32)> {
+        self.data
+            .iter()
+            .position(|v| !v.is_finite())
+            .map(|i| (i / self.cols.max(1), i % self.cols.max(1), self.data[i]))
+    }
+
     /// Maximum absolute difference to another matrix (test helper).
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
         assert_eq!(self.shape(), other.shape());
@@ -533,6 +550,19 @@ mod tests {
         assert_eq!(a.as_slice(), &[4.0; 4]);
         a.add_scaled_assign(&b, 0.5);
         assert_eq!(a.as_slice(), &[5.0; 4]);
+    }
+
+    #[test]
+    fn finite_scan_finds_the_first_bad_element() {
+        let mut m = Matrix::filled(3, 4, 1.0);
+        assert!(m.all_finite());
+        assert_eq!(m.first_non_finite(), None);
+        m[(1, 2)] = f32::NAN;
+        m[(2, 0)] = f32::INFINITY;
+        assert!(!m.all_finite());
+        let (r, c, v) = m.first_non_finite().unwrap();
+        assert_eq!((r, c), (1, 2));
+        assert!(v.is_nan());
     }
 
     #[test]

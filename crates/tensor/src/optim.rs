@@ -57,10 +57,83 @@ impl ParamSet {
     }
 }
 
+/// Moment matrices of one parameter inside an [`OptimState`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimSlot {
+    /// Index of the parameter in [`ParamSet`] registration order.
+    pub param: usize,
+    /// The optimizer's per-parameter moments: `[velocity]` for SGD,
+    /// `[m, v]` for Adam, `[accumulator]` for AdaGrad.
+    pub moments: Vec<Matrix>,
+}
+
+/// A snapshot of an optimizer's mutable state, for checkpoint/resume.
+///
+/// Captured with [`Optimizer::state`] and reapplied with
+/// [`Optimizer::restore`]; a restored optimizer continues the exact update
+/// trajectory of the snapshotted one (bitwise, given identical gradients).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimState {
+    /// Which optimizer family produced the snapshot
+    /// (`"sgd"` / `"adam"` / `"adagrad"`).
+    pub kind: String,
+    /// Step counter (Adam's bias-correction `t`; zero elsewhere).
+    pub step_count: i32,
+    /// Learning rate at snapshot time (rollback may have decayed it).
+    pub lr: f32,
+    /// Per-parameter moments, sorted by parameter index so the snapshot
+    /// serializes deterministically.
+    pub slots: Vec<OptimSlot>,
+}
+
+/// Collect a `ParamId → Matrix` map as index-sorted [`OptimSlot`]s, each
+/// carrying `extra` additional moment maps' entries for the same id.
+fn sorted_slots(maps: &[&HashMap<ParamId, Matrix>]) -> Vec<OptimSlot> {
+    let first = match maps.first() {
+        Some(m) => m,
+        None => return Vec::new(),
+    };
+    let mut ids: Vec<ParamId> = first.keys().copied().collect();
+    ids.sort_by_key(|id| id.0);
+    ids.into_iter()
+        .map(|id| OptimSlot {
+            param: id.0,
+            moments: maps
+                .iter()
+                .filter_map(|m| m.get(&id).cloned())
+                .collect::<Vec<_>>(),
+        })
+        .collect()
+}
+
+/// Rebuild moment maps from slots; `moment` selects which entry of each
+/// slot's `moments` feeds this map.
+fn slots_to_map(slots: &[OptimSlot], moment: usize) -> HashMap<ParamId, Matrix> {
+    slots
+        .iter()
+        .filter_map(|s| s.moments.get(moment).map(|m| (ParamId(s.param), m.clone())))
+        .collect()
+}
+
 /// A first-order optimizer consuming `(parameter, gradient)` updates.
 pub trait Optimizer {
     /// Apply one update step.
     fn step(&mut self, params: &mut ParamSet, grads: &[(ParamId, &Matrix)]);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Override the learning rate (numeric-recovery rollback halves it).
+    fn set_learning_rate(&mut self, lr: f32);
+
+    /// Snapshot the mutable state (moments, step counter, learning rate).
+    fn state(&self) -> OptimState;
+
+    /// Reinstate a snapshot taken from the same optimizer family.
+    ///
+    /// Fails when `state.kind` names a different family — restoring Adam
+    /// moments into SGD would silently corrupt the trajectory.
+    fn restore(&mut self, state: &OptimState) -> Result<(), String>;
 }
 
 /// Stochastic gradient descent with optional momentum.
@@ -106,6 +179,32 @@ impl Optimizer for Sgd {
                 params.get_mut(id).add_scaled_assign(grad, -self.lr);
             }
         }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn state(&self) -> OptimState {
+        OptimState {
+            kind: "sgd".into(),
+            step_count: 0,
+            lr: self.lr,
+            slots: sorted_slots(&[&self.velocity]),
+        }
+    }
+
+    fn restore(&mut self, state: &OptimState) -> Result<(), String> {
+        if state.kind != "sgd" {
+            return Err(format!("cannot restore '{}' state into SGD", state.kind));
+        }
+        self.lr = state.lr;
+        self.velocity = slots_to_map(&state.slots, 0);
+        Ok(())
     }
 }
 
@@ -165,6 +264,34 @@ impl Optimizer for Adam {
             }
         }
     }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn state(&self) -> OptimState {
+        OptimState {
+            kind: "adam".into(),
+            step_count: self.t,
+            lr: self.lr,
+            slots: sorted_slots(&[&self.m, &self.v]),
+        }
+    }
+
+    fn restore(&mut self, state: &OptimState) -> Result<(), String> {
+        if state.kind != "adam" {
+            return Err(format!("cannot restore '{}' state into Adam", state.kind));
+        }
+        self.lr = state.lr;
+        self.t = state.step_count;
+        self.m = slots_to_map(&state.slots, 0);
+        self.v = slots_to_map(&state.slots, 1);
+        Ok(())
+    }
 }
 
 /// AdaGrad (Duchi et al., 2011) — the optimizer of the original GCN-Align
@@ -203,6 +330,35 @@ impl Optimizer for AdaGrad {
                 p.as_mut_slice()[i] -= self.lr * g / (acc.as_slice()[i].sqrt() + self.eps);
             }
         }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn state(&self) -> OptimState {
+        OptimState {
+            kind: "adagrad".into(),
+            step_count: 0,
+            lr: self.lr,
+            slots: sorted_slots(&[&self.accum]),
+        }
+    }
+
+    fn restore(&mut self, state: &OptimState) -> Result<(), String> {
+        if state.kind != "adagrad" {
+            return Err(format!(
+                "cannot restore '{}' state into AdaGrad",
+                state.kind
+            ));
+        }
+        self.lr = state.lr;
+        self.accum = slots_to_map(&state.slots, 0);
+        Ok(())
     }
 }
 
@@ -260,5 +416,65 @@ mod tests {
     #[should_panic(expected = "learning rate")]
     fn sgd_rejects_nonpositive_lr() {
         let _ = Sgd::new(0.0);
+    }
+
+    /// Run `steps` deterministic quadratic-descent steps on `opt`.
+    fn descend(opt: &mut dyn Optimizer, params: &mut ParamSet, x: ParamId, steps: usize) {
+        for _ in 0..steps {
+            let xv = params.get(x)[(0, 0)];
+            let grad = Matrix::from_vec(1, 1, vec![2.0 * (xv - 3.0)]);
+            opt.step(params, &[(x, &grad)]);
+        }
+    }
+
+    /// Snapshot mid-run, keep going, then restore into a fresh optimizer
+    /// and replay: the parameter trajectory must match bitwise.
+    fn snapshot_resumes_exactly(mut make: impl FnMut() -> Box<dyn Optimizer>) {
+        let mut params = ParamSet::new();
+        let x = params.add(Matrix::from_vec(1, 1, vec![0.0]));
+        let mut opt = make();
+        descend(opt.as_mut(), &mut params, x, 7);
+        let snap = opt.state();
+        let params_at_snap = params.get(x).clone();
+        descend(opt.as_mut(), &mut params, x, 5);
+        let expect = params.get(x)[(0, 0)];
+
+        let mut params2 = ParamSet::new();
+        let x2 = params2.add(params_at_snap);
+        let mut opt2 = make();
+        opt2.restore(&snap).expect("same-family restore");
+        descend(opt2.as_mut(), &mut params2, x2, 5);
+        assert_eq!(params2.get(x2)[(0, 0)].to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn sgd_state_roundtrip_is_bitwise() {
+        snapshot_resumes_exactly(|| Box::new(Sgd::with_momentum(0.05, 0.9)));
+    }
+
+    #[test]
+    fn adam_state_roundtrip_is_bitwise() {
+        snapshot_resumes_exactly(|| Box::new(Adam::new(0.1)));
+    }
+
+    #[test]
+    fn adagrad_state_roundtrip_is_bitwise() {
+        snapshot_resumes_exactly(|| Box::new(AdaGrad::new(0.7)));
+    }
+
+    #[test]
+    fn restore_rejects_a_foreign_snapshot() {
+        let snap = Sgd::new(0.1).state();
+        assert!(Adam::new(0.1).restore(&snap).is_err());
+        assert!(AdaGrad::new(0.1).restore(&snap).is_err());
+    }
+
+    #[test]
+    fn learning_rate_can_be_halved() {
+        let mut opt = Adam::new(0.2);
+        assert_eq!(opt.learning_rate(), 0.2);
+        opt.set_learning_rate(opt.learning_rate() * 0.5);
+        assert_eq!(opt.learning_rate(), 0.1);
+        assert_eq!(opt.state().lr, 0.1);
     }
 }
