@@ -4,7 +4,11 @@
 //! * `--sweep theta` — the θ1/θ2 grid the paper says it tuned on a
 //!   validation set (§VII-A; §VII-E motivates the cap);
 //! * `--sweep dim`   — accuracy/runtime vs embedding dimension (the paper
-//!   fixes ds = 300; this repo defaults to 64 on one core).
+//!   fixes ds = 300; this repo defaults to 64 on one core);
+//! * `--sweep budget` — the deadline-vs-quality tradeoff as a
+//!   deterministic step-limit ladder (one granule = one GCN epoch, one
+//!   feature stage, or one matcher round), exactly reproducible on any
+//!   machine unlike a wall-clock deadline.
 //!
 //! ```sh
 //! cargo run --release -p ceaff-bench --bin sweeps -- --sweep theta --scale 0.5
@@ -40,8 +44,9 @@ fn main() {
         "seed" => sweep_seed_fraction(&opts),
         "theta" => sweep_theta(&opts),
         "dim" => sweep_dim(&opts),
+        "budget" => sweep_budget(&opts),
         other => {
-            eprintln!("error: unknown sweep '{other}' (seed | theta | dim)");
+            eprintln!("error: unknown sweep '{other}' (seed | theta | dim | budget)");
             std::process::exit(2);
         }
     }
@@ -152,6 +157,70 @@ fn sweep_theta(opts: &HarnessOpts) {
          is the cap disabled entirely (Table V's \"w/o θ1, θ2\")."
     );
     maybe_write_json(opts, "sweep_theta", &json!(jout));
+}
+
+/// The deadline-vs-quality curve, swept deterministically: instead of a
+/// wall-clock deadline (whose cut point depends on the machine) the
+/// budget is a granule counter — one granule is one GCN epoch, one
+/// non-structural feature stage, or one matcher round — so every rung of
+/// the ladder degrades at exactly the same point everywhere. A full run
+/// consumes `epochs + 2 + n` granules (n = test pairs).
+fn sweep_budget(opts: &HarnessOpts) {
+    println!(
+        "step-budget sweep on DBP15K ZH-EN (sim), scale {}",
+        opts.scale
+    );
+    let task = opts.task(Preset::Dbp15kZhEn);
+    let cfg = opts.ceaff_config();
+    let n = task.dataset.pair.test_pairs().len() as u64;
+    let epochs = cfg.gcn.epochs as u64;
+    let full = epochs + 2 + n;
+    println!(
+        "{:>8} {:>8} {:>10}  degraded stages (% best-effort)",
+        "granules", "of full", "accuracy"
+    );
+    let mut jout = Vec::new();
+    for limit in [
+        0,
+        epochs / 4,
+        epochs / 2,
+        epochs,
+        epochs + 2 + n / 2,
+        full - 1,
+        full,
+    ] {
+        let budget = ExecBudget::unlimited().with_step_limit(limit);
+        let out = ceaff::try_run_with_budget(&task.input(), &cfg, &budget).expect("budgeted run");
+        let degraded: Vec<String> = out
+            .trace
+            .degradations
+            .iter()
+            .map(|d| format!("{} {:.0}%", d.stage, d.fraction_degraded * 100.0))
+            .collect();
+        let label = if degraded.is_empty() {
+            "-".to_string()
+        } else {
+            degraded.join(", ")
+        };
+        println!(
+            "{limit:>8} {:>7.0}% {:>10.3}  {label}",
+            limit as f64 / full as f64 * 100.0,
+            out.accuracy
+        );
+        jout.push(json!({
+            "step_limit": limit,
+            "fraction_of_full": limit as f64 / full as f64,
+            "accuracy": out.accuracy,
+            "degraded": degraded,
+        }));
+    }
+    println!(
+        "\nShape: quality degrades monotonically but *gracefully* — even a zero\n\
+         budget returns a valid one-to-one matching (greedy completion over the\n\
+         untrained structural snapshot), and the curve recovers most of the full\n\
+         accuracy well before the full granule count."
+    );
+    maybe_write_json(opts, "sweep_budget", &json!(jout));
 }
 
 /// Accuracy and runtime vs embedding dimension.

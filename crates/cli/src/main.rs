@@ -48,8 +48,16 @@ USAGE:
         --threshold F     abstain below this fused similarity
         --csls K          CSLS hubness correction
         --trace FILE      stream telemetry events (stage timings, GCN
-                          epoch losses, fusion weights, matcher counters)
-                          as JSON lines to FILE
+                          epoch losses, fusion weights, matcher counters,
+                          watchdog progress heartbeats) as JSON lines to
+                          FILE
+        --deadline-ms N   execution deadline: when it passes, the run
+                          degrades gracefully — GCN stops at its best
+                          snapshot, the matcher completes unmatched rows
+                          greedily — and the partial result is reported
+                          with a degradation record instead of running on
+        --max-mem-mb N    cap the live tensor footprint; crossing the cap
+                          is a clean typed error, never an OOM abort
         --lossy           skip malformed TSV lines (wrong arity, invalid
                           UTF-8, unknown link entities) instead of
                           aborting; skipped-line counts are reported per
@@ -73,7 +81,44 @@ GLOBAL OPTIONS:
       similarity matrices, preference sorts). Defaults to the CEAFF_THREADS
       environment variable, then to the number of CPUs. Results are
       bitwise-identical for any thread count; only wall-clock changes.
+
+SIGNALS:
+  The first SIGINT (Ctrl-C) during `align` cancels cooperatively: the run
+  stops at the next granule, degrades gracefully and reports its partial
+  result. A second SIGINT terminates immediately.
 ";
+
+/// Set by the SIGINT handler; `align` polls it through a
+/// [`CancelToken`](ceaff::CancelToken) so Ctrl-C degrades the run
+/// gracefully instead of killing it.
+static CANCEL_REQUESTED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Route SIGINT onto [`CANCEL_REQUESTED`]. The handler may only touch
+/// statics and async-signal-safe calls, which is exactly why
+/// `CancelToken::from_static` exists: the handler flips the very flag the
+/// budget polls, no relay thread in between. After the first signal the
+/// default disposition is restored, so a second Ctrl-C terminates the
+/// process the ordinary way.
+#[cfg(unix)]
+fn install_sigint_handler() {
+    const SIGINT: i32 = 2;
+    const SIG_DFL: usize = 0;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_sigint(_sig: i32) {
+        CANCEL_REQUESTED.store(true, std::sync::atomic::Ordering::Relaxed);
+        unsafe {
+            signal(2, SIG_DFL);
+        }
+    }
+    unsafe {
+        signal(SIGINT, on_sigint as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint_handler() {}
 
 fn main() {
     let args = Args::parse(std::env::args().skip(1));
@@ -228,6 +273,13 @@ fn load_dir(
     for (file, n) in &report.skipped {
         eprintln!("warning: skipped {n} malformed line(s) in {dir}/{file}");
     }
+    if matches!(mode, io::LoadMode::Lossy) {
+        eprintln!(
+            "lossy load: skipped {} malformed line(s) across {} file(s)",
+            report.total_skipped(),
+            report.skipped.len()
+        );
+    }
     (pair, report)
 }
 
@@ -314,6 +366,27 @@ fn cmd_align(args: &Args) {
         telemetry.counter_add("io", &format!("skipped_lines:{file}"), *n as u64);
     }
     let input = EaInput::new(&pair, &base, target_embedder).with_telemetry(telemetry);
+
+    // Every align run is cancellable (Ctrl-C degrades gracefully); the
+    // deadline and memory cap are opt-in.
+    install_sigint_handler();
+    let mut budget = ceaff::ExecBudget::unlimited()
+        .with_cancel(ceaff::CancelToken::from_static(&CANCEL_REQUESTED));
+    if let Some(ms) = args.get("deadline-ms") {
+        let ms: u64 = ms.parse().unwrap_or_else(|_| {
+            eprintln!("error: --deadline-ms expects a positive integer");
+            std::process::exit(2);
+        });
+        budget = budget.with_deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(mb) = args.get("max-mem-mb") {
+        let mb: usize = mb.parse().unwrap_or_else(|_| {
+            eprintln!("error: --max-mem-mb expects a positive integer");
+            std::process::exit(2);
+        });
+        budget = budget.with_max_mem_bytes(mb.saturating_mul(1024 * 1024));
+    }
+
     eprintln!(
         "aligning {} test sources against {} test targets ...",
         pair.test_pairs().len(),
@@ -322,7 +395,7 @@ fn cmd_align(args: &Args) {
     let result = match (args.get("checkpoint-dir"), args.has_switch("resume")) {
         (Some(ckdir), true) => {
             eprintln!("resuming from {ckdir}");
-            ceaff::resume_from(ckdir, &input)
+            ceaff::resume_from_with_budget(ckdir, &input, &budget)
         }
         (Some(ckdir), false) => {
             let every = args.get_parsed("checkpoint-every", 10usize);
@@ -332,10 +405,10 @@ fn cmd_align(args: &Args) {
                 ceaff::CheckpointPolicy::EveryNEpochs(every)
             };
             eprintln!("checkpointing to {ckdir}");
-            ceaff::try_run_checkpointed(&input, &cfg, ckdir, policy)
+            ceaff::try_run_checkpointed_with_budget(&input, &cfg, ckdir, policy, &budget)
         }
         // `--resume` without `--checkpoint-dir` was rejected up front.
-        (None, _) => ceaff::try_run(&input, &cfg),
+        (None, _) => ceaff::try_run_with_budget(&input, &cfg, &budget),
     };
     let out = result.unwrap_or_else(|e| {
         eprintln!("error: {e}");
@@ -344,6 +417,15 @@ fn cmd_align(args: &Args) {
     eprintln!("done in {:.1}s", out.trace.total_seconds());
     for timing in &out.trace.stages {
         eprintln!("  {:<10} {:>8.2}s", timing.stage, timing.seconds);
+    }
+    for d in &out.trace.degradations {
+        eprintln!(
+            "degraded: {} stopped by {} after {} round(s); {:.1}% of its work was completed best-effort",
+            d.stage,
+            d.reason,
+            d.rounds_completed,
+            d.fraction_degraded * 100.0
+        );
     }
 
     println!("accuracy: {:.4}", out.accuracy);

@@ -297,6 +297,121 @@ fn lossy_flag_skips_malformed_lines_strict_rejects_them() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Generate the srprs-dbp-wd benchmark at `scale` into a fresh temp dir
+/// and return it (budget tests share this setup).
+fn generated_dir(tag: &str, scale: &str) -> std::path::PathBuf {
+    let dir = tmp_dir(tag);
+    let out = ceaff()
+        .args([
+            "generate",
+            "srprs-dbp-wd",
+            "--scale",
+            scale,
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    dir
+}
+
+#[test]
+fn sigint_mid_training_exits_cleanly_with_partial_result() {
+    let dir = generated_dir("sigint", "0.1");
+    // Fault injection raises a real SIGINT against the process at GCN
+    // epoch 5; the CLI's handler must turn it into cooperative
+    // cancellation: training stops, the matcher completes greedily, and
+    // the process exits *successfully* with a partial result.
+    let out = ceaff()
+        .args([
+            "align",
+            "--dir",
+            dir.to_str().unwrap(),
+            "--dim",
+            "16",
+            "--epochs",
+            "25",
+        ])
+        .env("CEAFF_FI_SIGINT_AT_EPOCH", "5")
+        .output()
+        .expect("run align");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "SIGINT must degrade, not kill: {err}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("accuracy:"), "partial result missing: {text}");
+    assert!(
+        err.contains("degraded:") && err.contains("cancelled"),
+        "degradation must be reported: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn deadline_shorter_than_the_run_degrades_but_stays_valid() {
+    let dir = generated_dir("deadline", "0.1");
+    // A 1 ms deadline expires before training can finish; the run must
+    // still produce a valid matching plus a degradation record rather
+    // than erroring or overrunning.
+    let out = ceaff()
+        .args([
+            "align",
+            "--dir",
+            dir.to_str().unwrap(),
+            "--dim",
+            "16",
+            "--epochs",
+            "25",
+            "--deadline-ms",
+            "1",
+        ])
+        .output()
+        .expect("run align");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "deadline must degrade: {err}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("accuracy:"), "{text}");
+    assert!(
+        err.contains("degraded:") && err.contains("deadline"),
+        "deadline degradation must be reported: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tiny_memory_budget_is_a_clean_typed_error() {
+    // At scale 0.3 / dim 64 the GCN's live tensors peak around 1.7 MiB,
+    // so a 1 MiB cap must fail the run with the typed budget error on
+    // stderr — not an allocator abort.
+    let dir = generated_dir("memcap", "0.3");
+    let out = ceaff()
+        .args([
+            "align",
+            "--dir",
+            dir.to_str().unwrap(),
+            "--dim",
+            "64",
+            "--epochs",
+            "25",
+            "--max-mem-mb",
+            "1",
+        ])
+        .output()
+        .expect("run align");
+    assert!(!out.status.success(), "the cap must fail the run");
+    assert_eq!(out.status.code(), Some(1), "clean exit, not a signal");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("memory budget exceeded"),
+        "typed error must reach stderr: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn resume_without_checkpoint_dir_is_a_usage_error() {
     let out = ceaff()

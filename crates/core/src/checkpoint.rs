@@ -371,6 +371,16 @@ impl Checkpointer {
         policy: CheckpointPolicy,
         cfg: &CeaffConfig,
     ) -> Result<Self, CeaffError> {
+        if policy == CheckpointPolicy::EveryNEpochs(0) {
+            // A zero interval silently behaved like PerStage (the
+            // training state was never saved); reject it so the caller
+            // states what they actually want.
+            return Err(CeaffError::InvalidConfig(
+                "checkpoint interval must be at least 1 epoch \
+                 (use CheckpointPolicy::PerStage for stage-only checkpoints)"
+                    .into(),
+            ));
+        }
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)
             .map_err(|e| ckpt_err(dir.display().to_string(), format!("cannot create: {e}")))?;
@@ -905,5 +915,23 @@ mod tests {
     fn open_without_a_run_directory_fails() {
         let err = Checkpointer::open("/definitely/not/a/run/dir").unwrap_err();
         assert!(matches!(err, CeaffError::Checkpoint { .. }));
+    }
+
+    #[test]
+    fn zero_epoch_interval_is_rejected_with_a_typed_error() {
+        let dir = tmp_dir("zero-interval");
+        let err = Checkpointer::create(
+            &dir,
+            CheckpointPolicy::EveryNEpochs(0),
+            &CeaffConfig::default(),
+        )
+        .unwrap_err();
+        match err {
+            CeaffError::InvalidConfig(msg) => assert!(msg.contains("at least 1"), "{msg}"),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        // Nothing was written before the rejection.
+        assert!(!dir.join("config.json").exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -47,6 +47,20 @@ pub enum CeaffError {
         /// Recovery attempts performed before giving up.
         retries: usize,
     },
+    /// The run's live tensor footprint crossed the memory budget
+    /// installed via [`crate::budget::ExecBudget::with_max_mem_bytes`].
+    /// Returned instead of letting the allocator OOM-abort; no partial
+    /// result accompanies it because the over-budget stage's output is
+    /// untrustworthy.
+    BudgetExceeded {
+        /// Stage whose boundary check observed the overrun.
+        stage: String,
+        /// Installed limit in bytes.
+        limit_bytes: usize,
+        /// High-water mark of live tensor bytes inside the budgeted
+        /// scope.
+        peak_bytes: usize,
+    },
 }
 
 impl fmt::Display for CeaffError {
@@ -76,6 +90,15 @@ impl fmt::Display for CeaffError {
                 f,
                 "stage '{stage}' diverged numerically at epoch {epoch} \
                  after {retries} recovery attempts"
+            ),
+            CeaffError::BudgetExceeded {
+                stage,
+                limit_bytes,
+                peak_bytes,
+            } => write!(
+                f,
+                "memory budget exceeded in stage '{stage}': \
+                 peak {peak_bytes} bytes over the {limit_bytes}-byte limit"
             ),
         }
     }
@@ -121,6 +144,15 @@ mod tests {
         };
         assert!(e.to_string().contains("epoch 42"));
         assert!(e.to_string().contains("3 recovery attempts"));
+        let e = CeaffError::BudgetExceeded {
+            stage: "features".into(),
+            limit_bytes: 1 << 20,
+            peak_bytes: 3 << 20,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("memory budget exceeded"), "{msg}");
+        assert!(msg.contains("features"), "{msg}");
+        assert!(msg.contains(&(1usize << 20).to_string()), "{msg}");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! GCN-encoded entity embeddings.
 
 use super::Feature;
+use crate::budget::ExecBudget;
 use crate::checkpoint::Checkpointer;
 use crate::error::CeaffError;
 use crate::gcn::{self, GcnConfig, GcnEncoder};
@@ -46,6 +47,22 @@ impl StructuralFeature {
         checkpointer: Option<&Checkpointer>,
     ) -> Result<Self, CeaffError> {
         let encoder = gcn::try_train_traced(pair, cfg, telemetry, checkpointer)?;
+        Ok(Self::from_encoder(pair, encoder))
+    }
+
+    /// [`StructuralFeature::try_compute_traced`] under an execution
+    /// budget: GCN training consumes one budget step per epoch and stops
+    /// early (at the best snapshot so far, with a degradation record)
+    /// when the budget runs out — see
+    /// [`gcn::try_train_budgeted`](crate::gcn::try_train_budgeted).
+    pub fn try_compute_budgeted(
+        pair: &KgPair,
+        cfg: &GcnConfig,
+        telemetry: &Telemetry,
+        checkpointer: Option<&Checkpointer>,
+        budget: &ExecBudget,
+    ) -> Result<Self, CeaffError> {
+        let encoder = gcn::try_train_budgeted(pair, cfg, telemetry, checkpointer, budget)?;
         Ok(Self::from_encoder(pair, encoder))
     }
 

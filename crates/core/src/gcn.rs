@@ -15,6 +15,7 @@
 //! two disjoint random feature spaces. Set
 //! [`GcnConfig::train_input`] `= false` for the strictly-literal variant.
 
+use crate::budget::ExecBudget;
 use crate::checkpoint::{self, Checkpointer, GcnTrainState};
 use crate::error::CeaffError;
 use ceaff_graph::{build_adjacency, AdjacencyKind, KgPair};
@@ -329,6 +330,31 @@ pub fn try_train_traced(
     telemetry: &Telemetry,
     checkpointer: Option<&Checkpointer>,
 ) -> Result<GcnEncoder, CeaffError> {
+    try_train_budgeted(pair, cfg, telemetry, checkpointer, &ExecBudget::unlimited())
+}
+
+/// [`try_train_traced`] under an execution budget. The granule is one
+/// epoch: each epoch boundary consumes a budget step, polls the memory
+/// cap, and reports a progress heartbeat. When the budget stops the run
+/// before `cfg.epochs`, training ends at the last *completed* epoch, the
+/// epilogue returns the best validation snapshot so far (exactly as if
+/// `epochs` had been configured lower), and a `"gcn"` [`Degradation`]
+/// record is registered with `telemetry`. A cancel or deadline that
+/// fires *inside* an epoch's kernels leaves partially-written gradient
+/// buffers behind — that epoch is discarded wholesale (no optimizer
+/// step, no loss-curve entry) so corrupt data never reaches the
+/// parameters.
+///
+/// An unlimited budget is bitwise-identical to [`try_train_traced`].
+///
+/// [`Degradation`]: ceaff_telemetry::Degradation
+pub fn try_train_budgeted(
+    pair: &KgPair,
+    cfg: &GcnConfig,
+    telemetry: &Telemetry,
+    checkpointer: Option<&Checkpointer>,
+    budget: &ExecBudget,
+) -> Result<GcnEncoder, CeaffError> {
     if cfg.dim == 0 || cfg.negatives == 0 {
         return Err(CeaffError::InvalidConfig(
             "gcn.dim and gcn.negatives must be positive".into(),
@@ -494,14 +520,22 @@ pub fn try_train_traced(
     );
 
     let mut epoch = start_epoch;
+    let mut stopped = None;
     while epoch < cfg.epochs {
         ceaff_faultinject::abort_point(epoch);
+        ceaff_faultinject::sigint_point(epoch);
         if ceaff_faultinject::simulated_crash(epoch) {
             return Err(CeaffError::Checkpoint {
                 file: checkpoint::TRAIN_FILE.into(),
                 reason: format!("fault injection: simulated crash at epoch {epoch}"),
             });
         }
+        if let Some(reason) = budget.consume_step() {
+            stopped = Some(reason);
+            break;
+        }
+        budget.check_mem("gcn")?;
+        telemetry.progress("gcn", epoch as u64, cfg.epochs as u64);
         if cfg.hard_negative_pool > 0
             && (epoch == 0 || epoch.is_multiple_of(cfg.hard_negative_refresh.max(1)))
             && epoch + 1 < cfg.epochs
@@ -579,6 +613,15 @@ pub fn try_train_traced(
             }
             grads.iter().all(|(_, m)| m.all_finite())
         };
+        if budget.interrupt_reason().is_some() {
+            // A cancel or deadline fired while this epoch's kernels ran:
+            // abandoned chunks leave partially-written loss/gradient
+            // buffers (which look finite), so nothing from this epoch may
+            // touch the parameters, loss curve, or recovery bookkeeping.
+            // The top-of-loop check turns the stop into a degradation.
+            drop(grads);
+            continue;
+        }
         if !healthy {
             // Non-finite loss or gradient: roll back to the last good
             // boundary, halve the learning rate, and replay — bounded by
@@ -673,6 +716,17 @@ pub fn try_train_traced(
         }
     }
 
+    if let Some(reason) = stopped {
+        budget.record_degradation(
+            telemetry,
+            "gcn",
+            reason,
+            epoch as u64,
+            (cfg.epochs - epoch) as f64 / cfg.epochs.max(1) as f64,
+        );
+    } else {
+        telemetry.progress("gcn", cfg.epochs as u64, cfg.epochs as u64);
+    }
     let (z_source, z_target) = match best {
         Some((_, z1, z2)) => (z1, z2),
         None => final_forward(&params, &layers, &a1, &a2, cfg.activation),

@@ -45,6 +45,7 @@
 //! ```
 
 pub mod bootstrap;
+pub mod budget;
 pub mod checkpoint;
 pub mod error;
 pub mod eval;
@@ -58,8 +59,10 @@ pub mod pipeline;
 #[allow(deprecated)]
 pub use bootstrap::run_bootstrapped;
 pub use bootstrap::{try_run_bootstrapped, BootstrapConfig, BootstrapOutput};
+pub use budget::{BudgetScope, CancelToken, ExecBudget, StopReason};
 pub use ceaff_telemetry::{
-    EventKind, InMemorySink, JsonLinesSink, NullSink, RunTrace, Sink, Telemetry, TraceEvent,
+    Degradation, EventKind, InMemorySink, JsonLinesSink, NullSink, RunTrace, Sink, Telemetry,
+    TraceEvent,
 };
 pub use checkpoint::{CheckpointPolicy, Checkpointer};
 pub use error::CeaffError;
@@ -72,15 +75,19 @@ pub use fusion::{
     FusionConfig, FusionReport,
 };
 pub use gcn::{
-    try_train_traced, Activation, GcnConfig, GcnEncoder, OptimKind, MAX_NUMERIC_RETRIES,
+    try_train_budgeted, try_train_traced, Activation, GcnConfig, GcnEncoder, OptimKind,
+    MAX_NUMERIC_RETRIES,
 };
 pub use lr::{learn_weights, LearnedWeights, LrConfig};
 pub use matching::{
-    Greedy, GreedyOneToOne, Hungarian, Matcher, MatcherKind, Matching, StableMarriage,
+    AnytimeOutcome, Greedy, GreedyOneToOne, Hungarian, Matcher, MatcherKind, Matching,
+    StableMarriage,
 };
 pub use pipeline::{
-    resume_from, try_run, try_run_checkpointed, try_run_single_stage, try_run_with_features,
-    CeaffConfig, CeaffConfigBuilder, CeaffOutput, EaInput, FeatureSet, WeightingMode,
+    resume_from, resume_from_with_budget, try_run, try_run_checkpointed,
+    try_run_checkpointed_with_budget, try_run_single_stage, try_run_with_budget,
+    try_run_with_features, try_run_with_features_budgeted, CeaffConfig, CeaffConfigBuilder,
+    CeaffOutput, EaInput, FeatureSet, WeightingMode,
 };
 #[allow(deprecated)]
 pub use pipeline::{run, run_single_stage, run_with_features};

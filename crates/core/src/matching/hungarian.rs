@@ -5,7 +5,8 @@
 //! against DAA's near-quadratic behaviour). Implemented here so the
 //! discussion is measurable (see the `matching` bench).
 
-use super::{Matcher, Matching};
+use super::{greedy_complete, AnytimeOutcome, Matcher, Matching};
+use crate::budget::ExecBudget;
 use ceaff_sim::SimilarityMatrix;
 use ceaff_telemetry::Telemetry;
 
@@ -119,6 +120,148 @@ impl Matcher for Hungarian {
         let (matching, iterations) = self.solve(m);
         telemetry.counter_add("matcher", "iterations", iterations);
         matching
+    }
+
+    /// Anytime Kuhn–Munkres. The granule is one row augmentation: after
+    /// each augmenting path the partial assignment of the processed rows
+    /// is a valid (optimal-so-far) one-to-one matching, so that is the
+    /// checkpoint. Cancel/deadline is also polled inside the O(cols²)
+    /// augmenting search — potentials mutate during the search but `p[]`
+    /// only changes in the final augment step, so aborting mid-search
+    /// leaves the last checkpoint intact. Rows never processed are
+    /// completed greedily. Note the degraded matching is *valid* but not
+    /// weight-optimal; unlike stable marriage there is no per-row
+    /// stability guarantee to preserve (optimal assignments legitimately
+    /// contain blocking pairs).
+    fn matching_budgeted(
+        &self,
+        m: &SimilarityMatrix,
+        budget: &ExecBudget,
+        telemetry: &Telemetry,
+    ) -> AnytimeOutcome {
+        if budget.is_unlimited() {
+            return AnytimeOutcome::exact(self.matching_traced(m, telemetry));
+        }
+        let _span = telemetry.span("matcher");
+        let mut iterations = 0u64;
+        let (n, t) = (m.sources(), m.targets());
+        if n == 0 || t == 0 {
+            return AnytimeOutcome::exact(Matching::from_pairs(Vec::new()));
+        }
+        let transposed = n > t;
+        let (rows, cols) = if transposed { (t, n) } else { (n, t) };
+        let cost = |i: usize, j: usize| -> f64 {
+            let v = if transposed { m.get(j, i) } else { m.get(i, j) };
+            -(v as f64)
+        };
+
+        const INF: f64 = f64::INFINITY;
+        let mut u = vec![0.0f64; rows + 1];
+        let mut v = vec![0.0f64; cols + 1];
+        let mut p = vec![0usize; cols + 1];
+        let mut way = vec![0usize; cols + 1];
+        let mut stop = None;
+        let mut rounds = 0u64;
+        'rows: for i in 1..=rows {
+            if let Some(reason) = budget.consume_step() {
+                stop = Some(reason);
+                break;
+            }
+            telemetry.progress("matcher", (i - 1) as u64, rows as u64);
+            p[0] = i;
+            let mut j0 = 0usize;
+            let mut minv = vec![INF; cols + 1];
+            let mut used = vec![false; cols + 1];
+            loop {
+                if iterations.is_multiple_of(64) {
+                    if let Some(reason) = budget.interrupt_reason() {
+                        stop = Some(reason);
+                        break 'rows; // p[] still holds the last checkpoint
+                    }
+                }
+                iterations += 1;
+                used[j0] = true;
+                let i0 = p[j0];
+                let mut delta = INF;
+                let mut j1 = 0usize;
+                for j in 1..=cols {
+                    if used[j] {
+                        continue;
+                    }
+                    let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+                for j in 0..=cols {
+                    if used[j] {
+                        u[p[j]] += delta;
+                        v[j] -= delta;
+                    } else {
+                        minv[j] -= delta;
+                    }
+                }
+                j0 = j1;
+                if p[j0] == 0 {
+                    break;
+                }
+            }
+            if stop.is_none() {
+                loop {
+                    let j1 = way[j0];
+                    p[j0] = p[j1];
+                    j0 = j1;
+                    if j0 == 0 {
+                        break;
+                    }
+                }
+                rounds += 1;
+            }
+        }
+
+        let mut pairs: Vec<(usize, usize)> = (1..=cols)
+            .filter(|&j| p[j] != 0)
+            .map(|j| {
+                let (r, c) = (p[j] - 1, j - 1);
+                if transposed {
+                    (c, r)
+                } else {
+                    (r, c)
+                }
+            })
+            .collect();
+        pairs.sort_unstable();
+        telemetry.counter_add("matcher", "iterations", iterations);
+        telemetry.progress("matcher", rows as u64, rows as u64);
+        let Some(reason) = stop else {
+            return AnytimeOutcome::exact(Matching::from_pairs(pairs));
+        };
+        let mut src_taken = vec![false; n];
+        let mut tgt_taken = vec![false; t];
+        for &(i, j) in &pairs {
+            src_taken[i] = true;
+            tgt_taken[j] = true;
+        }
+        let degraded_rows: Vec<usize> = (0..n).filter(|&i| !src_taken[i]).collect();
+        greedy_complete(m, &mut src_taken, &mut tgt_taken, &mut pairs);
+        pairs.sort_unstable();
+        let degradation = budget.record_degradation(
+            telemetry,
+            "matcher",
+            reason,
+            rounds,
+            degraded_rows.len() as f64 / n as f64,
+        );
+        AnytimeOutcome {
+            matching: Matching::from_pairs(pairs),
+            degradation: Some(degradation),
+            degraded_rows,
+        }
     }
 }
 

@@ -21,8 +21,9 @@ pub use greedy_one_to_one::GreedyOneToOne;
 pub use hungarian::Hungarian;
 pub use stable_marriage::StableMarriage;
 
+use crate::budget::ExecBudget;
 use ceaff_sim::SimilarityMatrix;
-use ceaff_telemetry::Telemetry;
+use ceaff_telemetry::{Degradation, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// The outcome of a matcher: `(source index, target index)` pairs in the
@@ -121,6 +122,83 @@ impl Matching {
     }
 }
 
+/// What a budget-aware matcher run produced: always a valid (one-to-one
+/// for collective strategies) matching, plus a degradation record when
+/// the execution budget cut the exact algorithm short.
+#[derive(Debug, Clone)]
+pub struct AnytimeOutcome {
+    /// The matching — exact when `degradation` is `None`, otherwise the
+    /// exact partial assignment completed greedily.
+    pub matching: Matching,
+    /// Present iff the budget stopped the exact algorithm early.
+    pub degradation: Option<Degradation>,
+    /// Source rows (similarity-matrix index space) the exact algorithm
+    /// had *not* settled when it was stopped — their assignments (if
+    /// any) come from the greedy completion. Empty for an exact run.
+    pub degraded_rows: Vec<usize>,
+}
+
+impl AnytimeOutcome {
+    /// Wrap a fully exact matching.
+    pub fn exact(matching: Matching) -> Self {
+        AnytimeOutcome {
+            matching,
+            degradation: None,
+            degraded_rows: Vec::new(),
+        }
+    }
+
+    /// Whether the exact algorithm ran to completion.
+    pub fn is_exact(&self) -> bool {
+        self.degradation.is_none()
+    }
+}
+
+/// Complete a partial assignment the way [`GreedyOneToOne`] would:
+/// visit the still-free cells in descending similarity (ties broken by
+/// row then column index) and match a pair whenever both sides are
+/// free. Mutates the taken-masks and appends to `pairs`; returns the
+/// rows that received a greedy assignment, ascending.
+pub(crate) fn greedy_complete(
+    m: &SimilarityMatrix,
+    src_taken: &mut [bool],
+    tgt_taken: &mut [bool],
+    pairs: &mut Vec<(usize, usize)>,
+) -> Vec<usize> {
+    let free_rows: Vec<usize> = (0..m.sources()).filter(|&i| !src_taken[i]).collect();
+    let free_targets = (0..m.targets()).filter(|&j| !tgt_taken[j]).count();
+    if free_rows.is_empty() || free_targets == 0 {
+        return Vec::new();
+    }
+    let mut cells: Vec<(f32, u32, u32)> = Vec::with_capacity(free_rows.len() * free_targets);
+    for &i in &free_rows {
+        for (j, &v) in m.row(i).iter().enumerate() {
+            if !tgt_taken[j] {
+                cells.push((v, i as u32, j as u32));
+            }
+        }
+    }
+    cells.sort_unstable_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .expect("similarity scores must not be NaN")
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+    });
+    let mut completed = Vec::new();
+    for (_, i, j) in cells {
+        let (i, j) = (i as usize, j as usize);
+        if src_taken[i] || tgt_taken[j] {
+            continue;
+        }
+        src_taken[i] = true;
+        tgt_taken[j] = true;
+        pairs.push((i, j));
+        completed.push(i);
+    }
+    completed.sort_unstable();
+    completed
+}
+
 /// A strategy turning a similarity matrix into an alignment decision.
 pub trait Matcher {
     /// Human-readable strategy name.
@@ -137,6 +215,26 @@ pub trait Matcher {
     fn matching_traced(&self, m: &SimilarityMatrix, telemetry: &Telemetry) -> Matching {
         let _span = telemetry.span("matcher");
         self.matching(m)
+    }
+
+    /// *Anytime* variant: run under `budget`, checkpointing the partial
+    /// assignment at each algorithm round. When the budget stops the run
+    /// (deadline, cancellation, step limit), unsettled rows are completed
+    /// by the [`GreedyOneToOne`] rule against the still-free targets and
+    /// the outcome carries a [`Degradation`] record. An unlimited budget
+    /// takes the exact [`Matcher::matching_traced`] path bit for bit; a
+    /// constrained budget that never fires produces the identical
+    /// matching with no degradation. The default implementation (greedy
+    /// strategies, whose single pass is itself the granule) always
+    /// returns the exact matching.
+    fn matching_budgeted(
+        &self,
+        m: &SimilarityMatrix,
+        budget: &ExecBudget,
+        telemetry: &Telemetry,
+    ) -> AnytimeOutcome {
+        let _ = budget;
+        AnytimeOutcome::exact(self.matching_traced(m, telemetry))
     }
 }
 

@@ -8,7 +8,8 @@
 //! provisional matches and trade up. The result is source-optimal and
 //! contains no blocking pair.
 
-use super::{Matcher, Matching};
+use super::{greedy_complete, AnytimeOutcome, Matcher, Matching};
+use crate::budget::ExecBudget;
 use ceaff_sim::SimilarityMatrix;
 use ceaff_telemetry::Telemetry;
 use std::collections::VecDeque;
@@ -131,6 +132,142 @@ impl Matcher for StableMarriage {
         telemetry.counter_add("matcher", "proposals", proposals);
         telemetry.counter_add("matcher", "trade_ups", trade_ups);
         matching
+    }
+
+    /// Anytime deferred acceptance. The granule is one queue pop (one
+    /// source starting its proposal run); cancel/deadline is also polled
+    /// inside long trade-up chains. On stop, every target keeps its
+    /// provisional holder — targets never vacate under DAA, so the held
+    /// pairs are exactly what the full run's intermediate state would be
+    /// and no blocking pair involves a settled source — and unsettled
+    /// sources are completed greedily against the still-free targets.
+    fn matching_budgeted(
+        &self,
+        m: &SimilarityMatrix,
+        budget: &ExecBudget,
+        telemetry: &Telemetry,
+    ) -> AnytimeOutcome {
+        if budget.is_unlimited() {
+            return AnytimeOutcome::exact(self.matching_traced(m, telemetry));
+        }
+        let _span = telemetry.span("matcher");
+        let mut proposals = 0u64;
+        let mut trade_ups = 0u64;
+        let mut pops = 0u64;
+        let (n, t) = (m.sources(), m.targets());
+        if n == 0 || t == 0 {
+            return AnytimeOutcome::exact(Matching::from_pairs(Vec::new()));
+        }
+        // Identical preference construction to the exact path (same
+        // comparator, same parallel split), so an unfired budget yields
+        // the identical proposal schedule.
+        let build_prefs = |i: usize| {
+            let row = m.row(i);
+            let mut idx: Vec<u32> = (0..t as u32).collect();
+            idx.sort_by(|&a, &b| {
+                row[b as usize]
+                    .partial_cmp(&row[a as usize])
+                    .expect("similarity scores must not be NaN")
+                    .then(a.cmp(&b))
+            });
+            idx
+        };
+        // An already-fired budget skips the `O(n·m·log m)` build outright;
+        // otherwise build and re-poll: if cancel/deadline fired *during*
+        // the parallel build, skipped chunks hold empty rows and the lists
+        // are unusable, so degrade everything to the greedy fallback.
+        // (Cancellation is sticky and deadlines are monotonic, so a clean
+        // post-build poll proves the probe never fired mid-build.)
+        let mut stop = budget.interrupt_reason();
+        let prefs: Vec<Vec<u32>> = if stop.is_some() {
+            Vec::new()
+        } else if n >= 64 {
+            ceaff_parallel::par_map(n, 16, build_prefs)
+        } else {
+            (0..n).map(build_prefs).collect()
+        };
+        if stop.is_none() {
+            stop = budget.interrupt_reason();
+        }
+        let mut holder: Vec<Option<usize>> = vec![None; t];
+        if stop.is_none() {
+            let mut next_proposal = vec![0usize; n];
+            let mut queue: VecDeque<usize> = (0..n).collect();
+            'outer: while let Some(u) = queue.pop_front() {
+                if let Some(reason) = budget.consume_step() {
+                    stop = Some(reason);
+                    break;
+                }
+                pops += 1;
+                if pops.is_multiple_of(256) {
+                    telemetry.progress("matcher", pops.min(n as u64), n as u64);
+                }
+                let mut u = u;
+                loop {
+                    if proposals.is_multiple_of(64) {
+                        if let Some(reason) = budget.interrupt_reason() {
+                            stop = Some(reason);
+                            break 'outer;
+                        }
+                    }
+                    let cursor = next_proposal[u];
+                    if cursor >= t {
+                        break;
+                    }
+                    next_proposal[u] += 1;
+                    proposals += 1;
+                    let v = prefs[u][cursor] as usize;
+                    match holder[v] {
+                        None => {
+                            holder[v] = Some(u);
+                            break;
+                        }
+                        Some(cur) => {
+                            if m.get(u, v) > m.get(cur, v) {
+                                holder[v] = Some(u);
+                                trade_ups += 1;
+                                u = cur;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut pairs: Vec<(usize, usize)> = holder
+            .iter()
+            .enumerate()
+            .filter_map(|(v, h)| h.map(|u| (u, v)))
+            .collect();
+        pairs.sort_unstable();
+        telemetry.counter_add("matcher", "iterations", proposals);
+        telemetry.counter_add("matcher", "proposals", proposals);
+        telemetry.counter_add("matcher", "trade_ups", trade_ups);
+        telemetry.progress("matcher", n as u64, n as u64);
+        let Some(reason) = stop else {
+            return AnytimeOutcome::exact(Matching::from_pairs(pairs));
+        };
+        let mut src_taken = vec![false; n];
+        let mut tgt_taken = vec![false; t];
+        for &(i, j) in &pairs {
+            src_taken[i] = true;
+            tgt_taken[j] = true;
+        }
+        let degraded_rows: Vec<usize> = (0..n).filter(|&i| !src_taken[i]).collect();
+        greedy_complete(m, &mut src_taken, &mut tgt_taken, &mut pairs);
+        pairs.sort_unstable();
+        let degradation = budget.record_degradation(
+            telemetry,
+            "matcher",
+            reason,
+            pops,
+            degraded_rows.len() as f64 / n as f64,
+        );
+        AnytimeOutcome {
+            matching: Matching::from_pairs(pairs),
+            degradation: Some(degradation),
+            degraded_rows,
+        }
     }
 }
 

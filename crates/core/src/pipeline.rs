@@ -8,6 +8,7 @@
 //! [`CeaffOutput::trace`] records stage timings, counters and (with an
 //! active event stream) the full event sequence of the run.
 
+use crate::budget::{ExecBudget, StopReason};
 use crate::checkpoint::{self, CheckpointPolicy, Checkpointer};
 use crate::error::CeaffError;
 use crate::eval::{accuracy, ranking_metrics, RankingMetrics};
@@ -119,10 +120,45 @@ impl CeaffConfig {
                 "gcn.margin must be finite and positive".into(),
             ));
         }
+        if !self.gcn.validation_fraction.is_finite()
+            || self.gcn.validation_fraction < 0.0
+            || self.gcn.validation_fraction >= 1.0
+        {
+            return Err(CeaffError::InvalidConfig(
+                "gcn.validation_fraction must be finite and in [0, 1)".into(),
+            ));
+        }
+        if self.gcn.validate_every == 0 {
+            return Err(CeaffError::InvalidConfig(
+                "gcn.validate_every must be positive".into(),
+            ));
+        }
+        if self.gcn.hard_negative_pool > 0 && self.gcn.hard_negative_refresh == 0 {
+            return Err(CeaffError::InvalidConfig(
+                "gcn.hard_negative_refresh must be positive when hard negatives are enabled".into(),
+            ));
+        }
         if self.embed_dim == 0 {
             return Err(CeaffError::InvalidConfig(
                 "embed_dim must be positive".into(),
             ));
+        }
+        if let WeightingMode::LogisticRegression(lr_cfg) = &self.weighting {
+            if lr_cfg.epochs == 0 {
+                return Err(CeaffError::InvalidConfig(
+                    "lr weighting epochs must be positive".into(),
+                ));
+            }
+            if lr_cfg.negatives_per_positive == 0 {
+                return Err(CeaffError::InvalidConfig(
+                    "lr weighting negatives_per_positive must be positive".into(),
+                ));
+            }
+            if !lr_cfg.lr.is_finite() || lr_cfg.lr <= 0.0 {
+                return Err(CeaffError::InvalidConfig(
+                    "lr weighting learning rate must be finite and positive".into(),
+                ));
+            }
         }
         if !self.fusion.theta1.is_finite() || !self.fusion.theta2.is_finite() {
             return Err(CeaffError::InvalidConfig(
@@ -512,6 +548,298 @@ impl FeatureSet {
         })
     }
 
+    /// Budget-aware [`FeatureSet::compute`]: GCN training consumes one
+    /// budget step per epoch (stopping at its best snapshot when the
+    /// budget runs out), each later feature consumes one step per stage,
+    /// and the memory cap is checked at every stage boundary.
+    ///
+    /// The first enabled feature is always computed — a run that produced
+    /// no feature at all could only fail, and the point of a budget is a
+    /// best-effort *result*. Later features that the exhausted budget
+    /// refuses are skipped and recorded as a `"features"`
+    /// [`Degradation`](ceaff_telemetry::Degradation); the
+    /// semantic/string kernels run under an uninterruptible probe scope
+    /// because their outputs feed fusion unconditionally (a
+    /// half-written matrix is never acceptable there).
+    pub fn try_compute_budgeted(
+        input: &EaInput<'_>,
+        cfg: &CeaffConfig,
+        budget: &ExecBudget,
+    ) -> Result<Self, CeaffError> {
+        let telemetry = &input.telemetry;
+        telemetry.gauge(
+            "parallel",
+            "threads",
+            None,
+            ceaff_parallel::current_threads() as f64,
+        );
+        let enabled = [cfg.use_structural, cfg.use_semantic, cfg.use_string]
+            .iter()
+            .filter(|&&on| on)
+            .count();
+        let mut computed = 0usize;
+        let mut skipped = 0usize;
+        let mut stop: Option<StopReason> = None;
+
+        let structural = if cfg.use_structural {
+            budget.check_mem("features")?;
+            let f = StructuralFeature::try_compute_budgeted(
+                input.pair, &cfg.gcn, telemetry, None, budget,
+            )?;
+            computed += 1;
+            Some(f)
+        } else {
+            None
+        };
+
+        let semantic = if cfg.use_semantic {
+            if computed > 0 && stop.is_none() {
+                stop = budget.consume_step();
+            }
+            if stop.is_none() {
+                budget.check_mem("features")?;
+                let _probe_off = crate::budget::uninterruptible_scope();
+                let _span = telemetry.span("semantic");
+                computed += 1;
+                Some(SemanticFeature::compute(
+                    input.pair,
+                    input.source_embedder,
+                    input.target_embedder,
+                ))
+            } else {
+                skipped += 1;
+                None
+            }
+        } else {
+            None
+        };
+
+        let string = if cfg.use_string {
+            if computed > 0 && stop.is_none() {
+                stop = budget.consume_step();
+            }
+            if stop.is_none() {
+                budget.check_mem("features")?;
+                let _probe_off = crate::budget::uninterruptible_scope();
+                let _span = telemetry.span("string");
+                computed += 1;
+                Some(StringFeature::compute(input.pair))
+            } else {
+                skipped += 1;
+                None
+            }
+        } else {
+            None
+        };
+
+        if skipped > 0 {
+            let reason = stop.expect("skipping implies a stop reason");
+            budget.record_degradation(
+                telemetry,
+                "features",
+                reason,
+                computed as u64,
+                skipped as f64 / enabled.max(1) as f64,
+            );
+        }
+        Ok(Self {
+            structural,
+            semantic,
+            string,
+            extra: Vec::new(),
+        })
+    }
+
+    /// Budget-aware [`FeatureSet::try_compute_checkpointed`]: stages
+    /// already on disk are restored for free (no budget steps), stages
+    /// that run follow the same budget rules as
+    /// [`FeatureSet::try_compute_budgeted`], and a stage the budget
+    /// stopped *short* is **not** saved as a completed artifact — the
+    /// GCN's in-flight training state stays on disk instead, so a later
+    /// resume continues training rather than mistaking the degraded
+    /// snapshot for the real stage output.
+    pub fn try_compute_checkpointed_budgeted(
+        input: &EaInput<'_>,
+        cfg: &CeaffConfig,
+        ck: &Checkpointer,
+        budget: &ExecBudget,
+    ) -> Result<Self, CeaffError> {
+        let telemetry = &input.telemetry;
+        telemetry.gauge(
+            "parallel",
+            "threads",
+            None,
+            ceaff_parallel::current_threads() as f64,
+        );
+        let stage_err = |file: &str| {
+            let file = file.to_owned();
+            move |reason: String| CeaffError::Checkpoint { file, reason }
+        };
+        let enabled = [cfg.use_structural, cfg.use_semantic, cfg.use_string]
+            .iter()
+            .filter(|&&on| on)
+            .count();
+        let mut computed = 0usize;
+        let mut skipped = 0usize;
+        let mut stop: Option<StopReason> = None;
+
+        let structural = if cfg.use_structural {
+            Some(match ck.load(checkpoint::STAGE_STRUCTURAL)? {
+                Some(bytes) => {
+                    let (zs, zt, test, loss_curve) = checkpoint::decode_structural(&bytes)
+                        .map_err(stage_err(checkpoint::STAGE_STRUCTURAL))?;
+                    telemetry.counter_add("checkpoint", "stages_resumed", 1);
+                    computed += 1;
+                    StructuralFeature::from_saved_parts(
+                        zs,
+                        zt,
+                        SimilarityMatrix::new(test),
+                        loss_curve,
+                    )
+                }
+                None => {
+                    budget.check_mem("features")?;
+                    let f = StructuralFeature::try_compute_budgeted(
+                        input.pair,
+                        &cfg.gcn,
+                        telemetry,
+                        Some(ck),
+                        budget,
+                    )?;
+                    if budget.stop_reason().is_none() {
+                        ck.save(
+                            checkpoint::STAGE_STRUCTURAL,
+                            &checkpoint::encode_structural(
+                                f.source_embeddings(),
+                                f.target_embeddings(),
+                                f.test_matrix().as_matrix(),
+                                &f.loss_curve,
+                            ),
+                        )?;
+                        // The in-flight training state is subsumed by the
+                        // completed stage artifact.
+                        ck.remove(checkpoint::TRAIN_FILE)?;
+                        telemetry.counter_add("checkpoint", "stages_saved", 1);
+                    }
+                    computed += 1;
+                    f
+                }
+            })
+        } else {
+            None
+        };
+
+        let semantic = if cfg.use_semantic {
+            match ck.load(checkpoint::STAGE_SEMANTIC)? {
+                Some(bytes) => {
+                    let (ns, nt, test) = checkpoint::decode_embedding_stage(&bytes)
+                        .map_err(stage_err(checkpoint::STAGE_SEMANTIC))?;
+                    telemetry.counter_add("checkpoint", "stages_resumed", 1);
+                    computed += 1;
+                    Some(SemanticFeature::from_saved_parts(
+                        ns,
+                        nt,
+                        SimilarityMatrix::new(test),
+                    ))
+                }
+                None => {
+                    if computed > 0 && stop.is_none() {
+                        stop = budget.consume_step();
+                    }
+                    if stop.is_none() {
+                        budget.check_mem("features")?;
+                        let f = {
+                            let _probe_off = crate::budget::uninterruptible_scope();
+                            let _span = telemetry.span("semantic");
+                            SemanticFeature::compute(
+                                input.pair,
+                                input.source_embedder,
+                                input.target_embedder,
+                            )
+                        };
+                        if budget.stop_reason().is_none() {
+                            ck.save(
+                                checkpoint::STAGE_SEMANTIC,
+                                &checkpoint::encode_embedding_stage(
+                                    f.source_embeddings(),
+                                    f.target_embeddings(),
+                                    f.test_matrix().as_matrix(),
+                                ),
+                            )?;
+                            telemetry.counter_add("checkpoint", "stages_saved", 1);
+                        }
+                        computed += 1;
+                        Some(f)
+                    } else {
+                        skipped += 1;
+                        None
+                    }
+                }
+            }
+        } else {
+            None
+        };
+
+        let string = if cfg.use_string {
+            match ck.load(checkpoint::STAGE_STRING)? {
+                Some(bytes) => {
+                    let test = checkpoint::decode_matrix_stage(&bytes)
+                        .map_err(stage_err(checkpoint::STAGE_STRING))?;
+                    telemetry.counter_add("checkpoint", "stages_resumed", 1);
+                    computed += 1;
+                    Some(StringFeature::from_saved_parts(
+                        input.pair,
+                        SimilarityMatrix::new(test),
+                    ))
+                }
+                None => {
+                    if computed > 0 && stop.is_none() {
+                        stop = budget.consume_step();
+                    }
+                    if stop.is_none() {
+                        budget.check_mem("features")?;
+                        let f = {
+                            let _probe_off = crate::budget::uninterruptible_scope();
+                            let _span = telemetry.span("string");
+                            StringFeature::compute(input.pair)
+                        };
+                        if budget.stop_reason().is_none() {
+                            ck.save(
+                                checkpoint::STAGE_STRING,
+                                &checkpoint::encode_matrix_stage(f.test_matrix().as_matrix()),
+                            )?;
+                            telemetry.counter_add("checkpoint", "stages_saved", 1);
+                        }
+                        computed += 1;
+                        Some(f)
+                    } else {
+                        skipped += 1;
+                        None
+                    }
+                }
+            }
+        } else {
+            None
+        };
+
+        if skipped > 0 {
+            let reason = stop.expect("skipping implies a stop reason");
+            budget.record_degradation(
+                telemetry,
+                "features",
+                reason,
+                computed as u64,
+                skipped as f64 / enabled.max(1) as f64,
+            );
+        }
+        Ok(Self {
+            structural,
+            semantic,
+            string,
+            extra: Vec::new(),
+        })
+    }
+
     /// Compute all three features regardless of the flags in `cfg` (for
     /// ablation sweeps that will toggle them afterwards).
     pub fn compute_all(input: &EaInput<'_>, cfg: &CeaffConfig) -> Self {
@@ -620,32 +948,21 @@ fn emit_flat_weights(telemetry: &Telemetry, weights: &[f32]) {
     }
 }
 
-/// Run fusion + matching on precomputed features.
-///
-/// Fails with [`CeaffError::InvalidConfig`] on a bad configuration,
-/// [`CeaffError::EmptyFeatureSet`] when `cfg` enables no feature that
-/// `features` actually contains, and [`CeaffError::ShapeMismatch`] when
-/// the active feature matrices disagree about the test-split shape.
-///
-/// Fusion and matching are timed under the `"fusion"` and `"matcher"`
-/// stages of `telemetry`; the drained trace is attached to the output.
-pub fn try_run_with_features(
+/// The fusion stage shared by [`try_run_with_features`] and its budgeted
+/// variant: preprocess every active feature matrix, then combine them
+/// under the configured weighting mode.
+#[allow(clippy::type_complexity)]
+fn fuse_active(
     pair: &KgPair,
     features: &FeatureSet,
+    active: &[&dyn Feature],
     cfg: &CeaffConfig,
-    telemetry: &Telemetry,
-) -> Result<CeaffOutput, CeaffError> {
-    cfg.validate()?;
-    let active = features.active(cfg);
-    check_features(&active)?;
-    telemetry.gauge(
-        "parallel",
-        "threads",
-        None,
-        ceaff_parallel::current_threads() as f64,
-    );
-
-    let fusion_span = telemetry.span("fusion");
+) -> (
+    SimilarityMatrix,
+    Option<FusionReport>,
+    Option<FusionReport>,
+    Option<Vec<f32>>,
+) {
     let normalized: Vec<SimilarityMatrix> = active
         .iter()
         .map(|f| preprocess(f.test_matrix(), cfg))
@@ -658,7 +975,7 @@ pub fn try_run_with_features(
         slot.insert(f.name(), m);
     }
 
-    let (fused, textual_fusion, final_fusion, flat_weights) = match &cfg.weighting {
+    match &cfg.weighting {
         WeightingMode::Adaptive => {
             if features.extra.is_empty() {
                 let (m, t, f) = two_stage_fuse(
@@ -696,11 +1013,41 @@ pub fn try_run_with_features(
             (fuse(&mats, &w), None, None, Some(w))
         }
         WeightingMode::LogisticRegression(lr_cfg) => {
-            let lw = learn_weights(&active, pair, lr_cfg);
+            let lw = learn_weights(active, pair, lr_cfg);
             let mats: Vec<&SimilarityMatrix> = normalized.iter().collect();
             (fuse(&mats, &lw.weights), None, None, Some(lw.weights))
         }
-    };
+    }
+}
+
+/// Run fusion + matching on precomputed features.
+///
+/// Fails with [`CeaffError::InvalidConfig`] on a bad configuration,
+/// [`CeaffError::EmptyFeatureSet`] when `cfg` enables no feature that
+/// `features` actually contains, and [`CeaffError::ShapeMismatch`] when
+/// the active feature matrices disagree about the test-split shape.
+///
+/// Fusion and matching are timed under the `"fusion"` and `"matcher"`
+/// stages of `telemetry`; the drained trace is attached to the output.
+pub fn try_run_with_features(
+    pair: &KgPair,
+    features: &FeatureSet,
+    cfg: &CeaffConfig,
+    telemetry: &Telemetry,
+) -> Result<CeaffOutput, CeaffError> {
+    cfg.validate()?;
+    let active = features.active(cfg);
+    check_features(&active)?;
+    telemetry.gauge(
+        "parallel",
+        "threads",
+        None,
+        ceaff_parallel::current_threads() as f64,
+    );
+
+    let fusion_span = telemetry.span("fusion");
+    let (fused, textual_fusion, final_fusion, flat_weights) =
+        fuse_active(pair, features, &active, cfg);
     if let Some(report) = &textual_fusion {
         emit_fusion_report(telemetry, "textual", report);
     }
@@ -717,6 +1064,80 @@ pub fn try_run_with_features(
     let ranking = ranking_metrics(&fused);
     telemetry.gauge("pipeline", "accuracy", None, acc);
     telemetry.gauge("pipeline", "matched_pairs", None, matching.len() as f64);
+    Ok(CeaffOutput {
+        fused,
+        matching,
+        accuracy: acc,
+        ranking,
+        textual_fusion,
+        final_fusion,
+        flat_weights,
+        trace: telemetry.take_trace(),
+    })
+}
+
+/// Budget-aware [`try_run_with_features`]: fusion runs uninterrupted
+/// (its output feeds matching unconditionally), the matcher becomes
+/// *anytime* — on deadline/cancel/step-limit it checkpoints its partial
+/// assignment and completes the unmatched rows greedily, recording a
+/// `"matcher"` [`Degradation`](ceaff_telemetry::Degradation) in the
+/// trace — and the memory cap is checked at each stage boundary.
+///
+/// An unlimited budget short-circuits to [`try_run_with_features`]
+/// itself, so the output is bitwise-identical to an unbudgeted run at
+/// any thread count.
+pub fn try_run_with_features_budgeted(
+    pair: &KgPair,
+    features: &FeatureSet,
+    cfg: &CeaffConfig,
+    telemetry: &Telemetry,
+    budget: &ExecBudget,
+) -> Result<CeaffOutput, CeaffError> {
+    if budget.is_unlimited() {
+        return try_run_with_features(pair, features, cfg, telemetry);
+    }
+    cfg.validate()?;
+    let _armed = budget.install();
+    let active = features.active(cfg);
+    check_features(&active)?;
+    telemetry.gauge(
+        "parallel",
+        "threads",
+        None,
+        ceaff_parallel::current_threads() as f64,
+    );
+
+    let fusion_span = telemetry.span("fusion");
+    let (fused, textual_fusion, final_fusion, flat_weights) = {
+        // Fusion (CSLS, normalisation, weight search) is short and
+        // non-degradable: finish its kernels, let the boundary checks
+        // below observe any stop.
+        let _probe_off = crate::budget::uninterruptible_scope();
+        fuse_active(pair, features, &active, cfg)
+    };
+    if let Some(report) = &textual_fusion {
+        emit_fusion_report(telemetry, "textual", report);
+    }
+    if let Some(report) = &final_fusion {
+        emit_fusion_report(telemetry, "final", report);
+    }
+    if let Some(weights) = &flat_weights {
+        emit_flat_weights(telemetry, weights);
+    }
+    fusion_span.finish();
+    budget.check_mem("fusion")?;
+
+    let outcome = cfg
+        .matcher
+        .build()
+        .matching_budgeted(&fused, budget, telemetry);
+    budget.check_mem("matcher")?;
+    let matching = outcome.matching;
+    let acc = accuracy(&matching, fused.sources());
+    let ranking = ranking_metrics(&fused);
+    telemetry.gauge("pipeline", "accuracy", None, acc);
+    telemetry.gauge("pipeline", "matched_pairs", None, matching.len() as f64);
+    budget.emit_counters(telemetry);
     Ok(CeaffOutput {
         fused,
         matching,
@@ -752,6 +1173,29 @@ pub fn try_run(input: &EaInput<'_>, cfg: &CeaffConfig) -> Result<CeaffOutput, Ce
     try_run_with_features(input.pair, &features, cfg, &input.telemetry)
 }
 
+/// Budget-aware [`try_run`]: the whole pipeline — GCN epochs, feature
+/// stages, fusion, matching — runs under `budget`, degrading gracefully
+/// on deadline/cancel/step-limit (partial-but-valid output plus
+/// [`Degradation`](ceaff_telemetry::Degradation) records in the trace)
+/// and failing with [`CeaffError::BudgetExceeded`] when the memory cap
+/// is crossed.
+///
+/// An unlimited budget short-circuits to [`try_run`], so the output is
+/// bitwise-identical to an unbudgeted run at any thread count.
+pub fn try_run_with_budget(
+    input: &EaInput<'_>,
+    cfg: &CeaffConfig,
+    budget: &ExecBudget,
+) -> Result<CeaffOutput, CeaffError> {
+    if budget.is_unlimited() {
+        return try_run(input, cfg);
+    }
+    cfg.validate()?;
+    let _armed = budget.install();
+    let features = FeatureSet::try_compute_budgeted(input, cfg, budget)?;
+    try_run_with_features_budgeted(input.pair, &features, cfg, &input.telemetry, budget)
+}
+
 /// [`try_run`] with crash-safe checkpointing: stage outputs (and, with
 /// [`CheckpointPolicy::EveryNEpochs`], the GCN training state) are saved
 /// to `dir` as the run progresses. Call [`resume_from`] on the same
@@ -776,6 +1220,33 @@ pub fn try_run_checkpointed(
     try_run_with_features(input.pair, &features, cfg, &input.telemetry)
 }
 
+/// Budget-aware [`try_run_checkpointed`]: checkpointing and execution
+/// budgets compose — completed stages restore for free, running stages
+/// obey the budget, and a stage the budget stopped short keeps its
+/// in-flight training state on disk (it is *not* saved as a completed
+/// artifact), so resuming later finishes the real computation.
+///
+/// An unlimited budget short-circuits to [`try_run_checkpointed`].
+pub fn try_run_checkpointed_with_budget(
+    input: &EaInput<'_>,
+    cfg: &CeaffConfig,
+    dir: impl AsRef<std::path::Path>,
+    policy: CheckpointPolicy,
+    budget: &ExecBudget,
+) -> Result<CeaffOutput, CeaffError> {
+    if budget.is_unlimited() {
+        return try_run_checkpointed(input, cfg, dir, policy);
+    }
+    cfg.validate()?;
+    if matches!(policy, CheckpointPolicy::Off) {
+        return try_run_with_budget(input, cfg, budget);
+    }
+    let _armed = budget.install();
+    let ck = Checkpointer::create(dir, policy, cfg)?;
+    let features = FeatureSet::try_compute_checkpointed_budgeted(input, cfg, &ck, budget)?;
+    try_run_with_features_budgeted(input.pair, &features, cfg, &input.telemetry, budget)
+}
+
 /// Resume an interrupted [`try_run_checkpointed`] run from its directory.
 ///
 /// The configuration (and policy) travel with the run directory, so the
@@ -791,6 +1262,25 @@ pub fn resume_from(
     cfg.validate()?;
     let features = FeatureSet::try_compute_checkpointed(input, &cfg, &ck)?;
     try_run_with_features(input.pair, &features, &cfg, &input.telemetry)
+}
+
+/// Budget-aware [`resume_from`]: resume an interrupted checkpointed run
+/// under an execution budget (see [`try_run_checkpointed_with_budget`]
+/// for the composition rules). An unlimited budget short-circuits to
+/// [`resume_from`].
+pub fn resume_from_with_budget(
+    dir: impl AsRef<std::path::Path>,
+    input: &EaInput<'_>,
+    budget: &ExecBudget,
+) -> Result<CeaffOutput, CeaffError> {
+    if budget.is_unlimited() {
+        return resume_from(dir, input);
+    }
+    let (ck, cfg) = Checkpointer::open(dir)?;
+    cfg.validate()?;
+    let _armed = budget.install();
+    let features = FeatureSet::try_compute_checkpointed_budgeted(input, &cfg, &ck, budget)?;
+    try_run_with_features_budgeted(input.pair, &features, &cfg, &input.telemetry, budget)
 }
 
 /// A single-adaptive-stage variant fusing all active features at once —
@@ -1027,6 +1517,68 @@ mod tests {
         expect_invalid(|c| c.gcn.margin = f32::NAN, "NaN margin");
         expect_invalid(|c| c.gcn.margin = -1.0, "negative margin");
         expect_invalid(|c| c.gcn.dim = 0, "zero dimension");
+        expect_invalid(
+            |c| c.gcn.validation_fraction = -0.1,
+            "negative validation fraction",
+        );
+        expect_invalid(
+            |c| c.gcn.validation_fraction = 1.0,
+            "validation fraction of one leaves no training seeds",
+        );
+        expect_invalid(
+            |c| c.gcn.validation_fraction = f64::NAN,
+            "NaN validation fraction",
+        );
+        expect_invalid(|c| c.gcn.validate_every = 0, "zero validate_every");
+        expect_invalid(
+            |c| {
+                c.gcn.hard_negative_pool = 8;
+                c.gcn.hard_negative_refresh = 0;
+            },
+            "hard negatives with zero refresh interval",
+        );
+        expect_invalid(
+            |c| {
+                c.weighting = WeightingMode::LogisticRegression(crate::lr::LrConfig {
+                    epochs: 0,
+                    ..Default::default()
+                })
+            },
+            "zero lr weighting epochs",
+        );
+        expect_invalid(
+            |c| {
+                c.weighting = WeightingMode::LogisticRegression(crate::lr::LrConfig {
+                    negatives_per_positive: 0,
+                    ..Default::default()
+                })
+            },
+            "zero lr weighting negatives",
+        );
+        expect_invalid(
+            |c| {
+                c.weighting = WeightingMode::LogisticRegression(crate::lr::LrConfig {
+                    lr: f32::NAN,
+                    ..Default::default()
+                })
+            },
+            "NaN lr weighting learning rate",
+        );
+        expect_invalid(
+            |c| {
+                c.weighting = WeightingMode::LogisticRegression(crate::lr::LrConfig {
+                    lr: -1.0,
+                    ..Default::default()
+                })
+            },
+            "negative lr weighting learning rate",
+        );
+        // A pool of zero means hard negatives are off; refresh is then
+        // irrelevant and must not be rejected.
+        let mut cfg = fast_cfg();
+        cfg.gcn.hard_negative_pool = 0;
+        cfg.gcn.hard_negative_refresh = 0;
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!     training loop reaches epoch `N` (simulates SIGKILL mid-run),
 //!   - `CEAFF_FI_FAIL_TRAIN_AT_EPOCH=N` — the training loop returns a
 //!     typed error at epoch `N` (graceful simulated crash, one-shot),
+//!   - `CEAFF_FI_SIGINT_AT_EPOCH=N` — raise SIGINT against the process
+//!     itself when the training loop reaches epoch `N` (one-shot; unix
+//!     only), driving a real signal through the CLI's cancel handler,
 //!   - `CEAFF_FI_NAN_LOSS_EPOCH=N` — force a NaN loss at epoch `N`
 //!     (one-shot),
 //!   - `CEAFF_FI_NAN_LOSS_ALWAYS=1` — force a NaN loss every epoch,
@@ -45,6 +48,10 @@ pub struct FaultPlan {
     /// Make the training loop return a typed error when it reaches this
     /// epoch — a graceful simulated crash, testable in-process (one-shot).
     pub fail_train_at_epoch: Option<usize>,
+    /// Raise SIGINT against the current process when the training loop
+    /// reaches this epoch (one-shot; unix only) — exercises a real signal
+    /// delivery through whatever handler the binary installed.
+    pub sigint_at_epoch: Option<usize>,
     /// Force a non-finite loss at this epoch (one-shot), exercising the
     /// rollback + learning-rate-halving recovery.
     pub nan_loss_at_epoch: Option<usize>,
@@ -62,6 +69,7 @@ static ACTIVE: Mutex<Option<FaultPlan>> = Mutex::new(None);
 /// One-shot latches (true = already fired).
 static FIRED_FAIL_TRAIN: AtomicBool = AtomicBool::new(false);
 static FIRED_NAN: AtomicBool = AtomicBool::new(false);
+static FIRED_SIGINT: AtomicBool = AtomicBool::new(false);
 
 fn env_usize(name: &str) -> Option<usize> {
     std::env::var(name).ok().and_then(|v| v.parse().ok())
@@ -74,6 +82,7 @@ fn env_plan() -> &'static FaultPlan {
     PLAN.get_or_init(|| FaultPlan {
         abort_at_epoch: env_usize("CEAFF_FI_ABORT_AT_EPOCH"),
         fail_train_at_epoch: env_usize("CEAFF_FI_FAIL_TRAIN_AT_EPOCH"),
+        sigint_at_epoch: env_usize("CEAFF_FI_SIGINT_AT_EPOCH"),
         nan_loss_at_epoch: env_usize("CEAFF_FI_NAN_LOSS_EPOCH"),
         nan_loss_always: std::env::var("CEAFF_FI_NAN_LOSS_ALWAYS").as_deref() == Ok("1"),
         io_error_substring: std::env::var("CEAFF_FI_IO_ERROR_MATCH").ok(),
@@ -105,6 +114,7 @@ impl FaultPlan {
         let lock = SCOPE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         FIRED_FAIL_TRAIN.store(false, Ordering::SeqCst);
         FIRED_NAN.store(false, Ordering::SeqCst);
+        FIRED_SIGINT.store(false, Ordering::SeqCst);
         *ACTIVE.lock().expect("fault plan lock") = Some(self);
         FaultScope { _lock: lock }
     }
@@ -123,6 +133,29 @@ pub fn abort_point(epoch: usize) {
     if effective().abort_at_epoch == Some(epoch) {
         eprintln!("ceaff-faultinject: aborting at epoch {epoch}");
         std::process::abort();
+    }
+}
+
+/// Training-loop hook: raise SIGINT against the current process when the
+/// armed plan says this epoch is interrupted. One-shot. Delivers a *real*
+/// signal (via `raise`), so whatever SIGINT handler the binary installed
+/// runs exactly as it would for a user's Ctrl-C; without a handler the
+/// default disposition terminates the process. No-op on non-unix targets.
+pub fn sigint_point(epoch: usize) {
+    if effective().sigint_at_epoch == Some(epoch) && !FIRED_SIGINT.swap(true, Ordering::SeqCst) {
+        #[cfg(unix)]
+        {
+            const SIGINT: i32 = 2;
+            extern "C" {
+                fn raise(sig: i32) -> i32;
+            }
+            eprintln!("ceaff-faultinject: raising SIGINT at epoch {epoch}");
+            unsafe {
+                raise(SIGINT);
+            }
+        }
+        #[cfg(not(unix))]
+        eprintln!("ceaff-faultinject: SIGINT injection unsupported on this target");
     }
 }
 

@@ -45,9 +45,54 @@
 
 mod pool;
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A cooperative cancellation probe: returns `true` once the dispatching
+/// scope wants in-flight kernels abandoned (deadline passed, cancel
+/// requested). Checked at chunk granularity by the pool.
+pub type CancelProbe = Arc<dyn Fn() -> bool + Send + Sync>;
+
+thread_local! {
+    /// Scoped cancel probe installed by [`install_cancel_probe`]. Captured
+    /// from the *dispatching* thread at `par_for` time and carried inside
+    /// the job, because pool workers are separate OS threads that never
+    /// see this thread-local.
+    static CANCEL_PROBE: RefCell<Option<CancelProbe>> = const { RefCell::new(None) };
+}
+
+/// Install `probe` as the cancel probe for every parallel region
+/// dispatched from this thread until the returned guard drops. Once the
+/// probe returns `true`, kernels stop executing chunk bodies and return
+/// early with **partially-written output** — callers own discarding the
+/// result. With no probe installed (the default) dispatch behaviour is
+/// bit-for-bit identical to before this hook existed.
+#[must_use = "the probe is uninstalled when the guard drops"]
+pub fn install_cancel_probe(probe: CancelProbe) -> CancelProbeGuard {
+    let prev = CANCEL_PROBE.with(|cell| cell.replace(Some(probe)));
+    CancelProbeGuard { prev }
+}
+
+/// Restores the previously-installed probe (if any) on drop; returned by
+/// [`install_cancel_probe`]. Nestable, innermost wins.
+pub struct CancelProbeGuard {
+    prev: Option<CancelProbe>,
+}
+
+impl Drop for CancelProbeGuard {
+    fn drop(&mut self) {
+        CANCEL_PROBE.with(|cell| cell.replace(self.prev.take()));
+    }
+}
+
+/// Whether this thread's installed cancel probe (if any) has fired.
+/// Callers use this between kernel launches to decide whether the buffers
+/// they just filled are trustworthy.
+pub fn cancel_probe_fired() -> bool {
+    CANCEL_PROBE.with(|cell| cell.borrow().as_ref().is_some_and(|probe| probe()))
+}
 
 /// Configuration for the pool, resolved from the environment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,7 +190,8 @@ pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
 /// partition of the problem; execution order across chunks is unspecified,
 /// so bodies must write disjoint data (each chunk owns its output range).
 pub fn par_for(chunks: usize, body: impl Fn(usize) + Sync) {
-    pool::execute(&body, chunks, current_threads());
+    let probe = CANCEL_PROBE.with(|cell| cell.borrow().clone());
+    pool::execute(&body, chunks, current_threads(), probe);
 }
 
 /// Split `data` into consecutive `chunk_size`-element chunks (the last may
@@ -200,7 +246,13 @@ pub fn par_range(len: usize, grain: usize, body: impl Fn(Range<usize>) + Sync) {
 /// Compute `f(i)` for every `i in 0..n` in parallel and collect the
 /// results in index order. Per-index outputs land in their own slot, so
 /// the result is identical for any thread count.
-pub fn par_map<T: Send>(n: usize, grain: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+///
+/// If an installed cancel probe fires mid-build, the chunks the pool
+/// skipped leave their slots at `T::default()` — the vector is then
+/// partially-written garbage that the caller owns discarding (poll
+/// [`cancel_probe_fired`] after the call), exactly as with the in-place
+/// kernels. With no probe, or an unfired one, every slot is computed.
+pub fn par_map<T: Send + Default>(n: usize, grain: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
     par_chunks_mut(&mut out, grain.max(1), |c, chunk| {
         let start = c * grain.max(1);
@@ -209,7 +261,7 @@ pub fn par_map<T: Send>(n: usize, grain: usize, f: impl Fn(usize) -> T + Sync) -
         }
     });
     out.into_iter()
-        .map(|slot| slot.expect("par_map fills every slot"))
+        .map(|slot| slot.unwrap_or_default())
         .collect()
 }
 
@@ -351,6 +403,58 @@ mod tests {
         cfg.install();
         assert!(default_threads() >= 1);
         set_default_threads(available_parallelism());
+    }
+
+    #[test]
+    fn cancel_probe_stops_chunk_execution() {
+        use std::sync::atomic::AtomicBool;
+        for threads in [1, 4] {
+            let flag = Arc::new(AtomicBool::new(false));
+            let probe_flag = flag.clone();
+            let guard = install_cancel_probe(Arc::new(move || probe_flag.load(Ordering::Relaxed)));
+            let executed = AtomicU64::new(0);
+            with_threads(threads, || {
+                par_for(1000, |c| {
+                    if c == 0 {
+                        flag.store(true, Ordering::Relaxed);
+                    }
+                    executed.fetch_add(1, Ordering::Relaxed);
+                    // Give other participants time to observe the flag.
+                    std::thread::yield_now();
+                });
+            });
+            drop(guard);
+            let ran = executed.load(Ordering::Relaxed);
+            assert!(
+                ran < 1000,
+                "cancel must skip most chunks at {threads} threads, ran {ran}"
+            );
+            assert!(!cancel_probe_fired(), "guard must uninstall the probe");
+        }
+    }
+
+    #[test]
+    fn probe_guard_nests_and_restores() {
+        assert!(!cancel_probe_fired());
+        let g1 = install_cancel_probe(Arc::new(|| false));
+        assert!(!cancel_probe_fired());
+        {
+            let _g2 = install_cancel_probe(Arc::new(|| true));
+            assert!(cancel_probe_fired());
+        }
+        assert!(
+            !cancel_probe_fired(),
+            "inner guard must restore outer probe"
+        );
+        drop(g1);
+        // With no probe the full chunk set runs.
+        let hits = AtomicU64::new(0);
+        with_threads(4, || {
+            par_for(64, |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
     }
 
     #[test]

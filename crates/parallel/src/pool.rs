@@ -8,7 +8,7 @@
 //! caller — the foundation of the crate's determinism guarantee.
 
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Hard ceiling on pool size; protects against absurd `CEAFF_THREADS`
@@ -34,6 +34,15 @@ struct JobCore {
     done_cv: Condvar,
     /// First panic payload raised by a chunk body, if any.
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Cooperative cancel probe captured from the dispatching thread.
+    /// Once it fires, remaining chunks are claimed-and-skipped: the
+    /// completion latch still reaches zero, but the bodies never run, so
+    /// the kernel returns quickly with partially-written output that the
+    /// caller must discard.
+    probe: Option<crate::CancelProbe>,
+    /// Set once any participant observed the probe firing; spares the
+    /// other participants further probe calls.
+    cancelled: AtomicBool,
 }
 
 // SAFETY: `body` points at a `Sync` closure, so invoking it from several
@@ -42,20 +51,39 @@ unsafe impl Send for JobCore {}
 unsafe impl Sync for JobCore {}
 
 impl JobCore {
-    /// Claim and run chunks until the cursor is exhausted.
+    /// Whether the cancel probe (if any) has fired for this job.
+    fn cancel_requested(&self) -> bool {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match &self.probe {
+            Some(probe) if probe() => {
+                self.cancelled.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Claim and run chunks until the cursor is exhausted. Once the
+    /// cancel probe fires, chunks are still claimed (the latch must reach
+    /// zero for `wait` to return) but their bodies are skipped.
     fn run_chunks(&self) {
         loop {
             let c = self.cursor.fetch_add(1, Ordering::Relaxed);
             if c >= self.chunks {
                 return;
             }
-            // SAFETY: a chunk index below `chunks` can only be claimed
-            // while `unfinished > 0`, and `Pool::execute` does not return
-            // (ending the borrow of `body`) until `unfinished == 0`.
-            let result = std::panic::catch_unwind(AssertUnwindSafe(|| unsafe { (*self.body)(c) }));
-            if let Err(payload) = result {
-                let mut slot = self.panic.lock().unwrap();
-                slot.get_or_insert(payload);
+            if self.probe.is_none() || !self.cancel_requested() {
+                // SAFETY: a chunk index below `chunks` can only be claimed
+                // while `unfinished > 0`, and `Pool::execute` does not return
+                // (ending the borrow of `body`) until `unfinished == 0`.
+                let result =
+                    std::panic::catch_unwind(AssertUnwindSafe(|| unsafe { (*self.body)(c) }));
+                if let Err(payload) = result {
+                    let mut slot = self.panic.lock().unwrap();
+                    slot.get_or_insert(payload);
+                }
             }
             if self.unfinished.fetch_sub(1, Ordering::AcqRel) == 1 {
                 *self.done.lock().unwrap() = true;
@@ -141,13 +169,32 @@ impl Pool {
     /// `unfinished` reaches zero before returning, so the borrow outlives
     /// every dereference. Panics inside chunks are caught, the latch is
     /// still released, and the first payload is re-raised on the caller.
-    pub(crate) fn execute(body: &(dyn Fn(usize) + Sync), chunks: usize, threads: usize) {
+    pub(crate) fn execute(
+        body: &(dyn Fn(usize) + Sync),
+        chunks: usize,
+        threads: usize,
+        probe: Option<crate::CancelProbe>,
+    ) {
         if chunks == 0 {
             return;
         }
         if threads <= 1 || chunks <= 1 {
-            for c in 0..chunks {
-                body(c);
+            match probe {
+                // The probed sequential path can simply stop: nothing else
+                // is waiting on a completion latch.
+                Some(probe) => {
+                    for c in 0..chunks {
+                        if probe() {
+                            return;
+                        }
+                        body(c);
+                    }
+                }
+                None => {
+                    for c in 0..chunks {
+                        body(c);
+                    }
+                }
             }
             return;
         }
@@ -167,6 +214,8 @@ impl Pool {
             done: Mutex::new(false),
             done_cv: Condvar::new(),
             panic: Mutex::new(None),
+            probe,
+            cancelled: AtomicBool::new(false),
         });
         {
             let mut state = pool.state.lock().unwrap();
@@ -195,6 +244,11 @@ impl Pool {
 }
 
 /// Entry point used by `lib.rs`.
-pub(crate) fn execute(body: &(dyn Fn(usize) + Sync), chunks: usize, threads: usize) {
-    Pool::execute(body, chunks, threads)
+pub(crate) fn execute(
+    body: &(dyn Fn(usize) + Sync),
+    chunks: usize,
+    threads: usize,
+    probe: Option<crate::CancelProbe>,
+) {
+    Pool::execute(body, chunks, threads, probe)
 }

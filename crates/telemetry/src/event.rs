@@ -52,9 +52,28 @@ pub struct CounterTotal {
     pub total: u64,
 }
 
-/// Everything one pipeline run recorded: always the stage timings and
-/// counter totals (cheap), plus the full event stream when telemetry was
-/// created with sinks ([`crate::Telemetry::new`]).
+/// A graceful-degradation record: one stage was stopped short of full
+/// completion by an execution budget (deadline, cancellation, step
+/// limit) and returned a best-effort result instead of its exact one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Degradation {
+    /// Stage that degraded (`"gcn"`, `"matcher"`, `"features"`, ...).
+    pub stage: String,
+    /// Why the stage stopped (`"deadline"`, `"cancelled"`,
+    /// `"step_limit"`).
+    pub reason: String,
+    /// How many of the stage's granules (epochs, matcher rounds) fully
+    /// completed before the stop.
+    pub rounds_completed: u64,
+    /// Fraction of the stage's work that was *not* done exactly: skipped
+    /// epochs over total epochs, greedily-completed rows over total rows.
+    pub fraction_degraded: f64,
+}
+
+/// Everything one pipeline run recorded: always the stage timings,
+/// counter totals and degradation records (cheap), plus the full event
+/// stream when telemetry was created with sinks
+/// ([`crate::Telemetry::new`]).
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct RunTrace {
     /// Per-stage wall-clock timings, in completion order.
@@ -63,6 +82,9 @@ pub struct RunTrace {
     pub counters: Vec<CounterTotal>,
     /// Ordered event stream; empty when telemetry was disabled.
     pub events: Vec<TraceEvent>,
+    /// Stages the execution budget cut short; empty for an unconstrained
+    /// run that completed exactly.
+    pub degradations: Vec<Degradation>,
 }
 
 impl RunTrace {
@@ -135,6 +157,12 @@ mod tests {
                 name: "epoch_loss".into(),
                 step: Some(3),
                 value: 0.125,
+            }],
+            degradations: vec![Degradation {
+                stage: "matcher".into(),
+                reason: "deadline".into(),
+                rounds_completed: 17,
+                fraction_degraded: 0.25,
             }],
         }
     }

@@ -39,6 +39,6 @@ mod event;
 mod sink;
 mod telemetry;
 
-pub use event::{CounterTotal, EventKind, RunTrace, StageTiming, TraceEvent};
+pub use event::{CounterTotal, Degradation, EventKind, RunTrace, StageTiming, TraceEvent};
 pub use sink::{InMemorySink, JsonLinesSink, NullSink, Sink};
 pub use telemetry::{Span, Telemetry};

@@ -1,6 +1,6 @@
 //! The [`Telemetry`] handle and stage [`Span`]s.
 
-use crate::event::{CounterTotal, EventKind, RunTrace, StageTiming, TraceEvent};
+use crate::event::{CounterTotal, Degradation, EventKind, RunTrace, StageTiming, TraceEvent};
 use crate::sink::Sink;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -15,6 +15,7 @@ struct Inner {
     events: Mutex<Vec<TraceEvent>>,
     stages: Mutex<Vec<StageTiming>>,
     counters: Mutex<BTreeMap<(String, String), u64>>,
+    degradations: Mutex<Vec<Degradation>>,
     seq: AtomicU64,
 }
 
@@ -102,6 +103,41 @@ impl Telemetry {
         }
     }
 
+    /// Watchdog heartbeat: a `progress` gauge recording that `done` of
+    /// `total` granules (epochs, matcher rounds, features) of `stage`
+    /// have completed. A stalled stage is then observable as a gauge
+    /// stream that stops advancing.
+    pub fn progress(&self, stage: &str, done: u64, total: u64) {
+        if self.inner.events_active {
+            let fraction = if total == 0 {
+                1.0
+            } else {
+                done as f64 / total as f64
+            };
+            self.emit(EventKind::Gauge, stage, "progress", Some(done), fraction);
+        }
+    }
+
+    /// Record that the execution budget cut `record.stage` short. Like
+    /// counters, degradation records are always kept — they are part of
+    /// every [`RunTrace`], enabled sinks or not.
+    pub fn degradation(&self, record: Degradation) {
+        if self.inner.events_active {
+            self.emit(
+                EventKind::Gauge,
+                &record.stage,
+                "degraded_fraction",
+                Some(record.rounds_completed),
+                record.fraction_degraded,
+            );
+        }
+        self.inner
+            .degradations
+            .lock()
+            .expect("telemetry poisoned")
+            .push(record);
+    }
+
     /// Start timing a pipeline stage. The timing is recorded when the
     /// returned [`Span`] is finished or dropped.
     pub fn span(&self, stage: &str) -> Span {
@@ -132,10 +168,13 @@ impl Telemetry {
                 .into_iter()
                 .map(|((stage, name), total)| CounterTotal { stage, name, total })
                 .collect();
+        let degradations =
+            std::mem::take(&mut *self.inner.degradations.lock().expect("telemetry poisoned"));
         RunTrace {
             stages,
             counters,
             events,
+            degradations,
         }
     }
 
@@ -181,6 +220,7 @@ impl Inner {
             events: Mutex::new(Vec::new()),
             stages: Mutex::new(Vec::new()),
             counters: Mutex::new(BTreeMap::new()),
+            degradations: Mutex::new(Vec::new()),
             seq: AtomicU64::new(0),
         }
     }
@@ -280,6 +320,44 @@ mod tests {
         assert!(second.counters.is_empty());
         assert!(second.events.is_empty());
         assert!(second.stages.is_empty());
+    }
+
+    #[test]
+    fn degradations_ride_the_trace_even_when_disabled() {
+        let telemetry = Telemetry::disabled();
+        telemetry.degradation(Degradation {
+            stage: "gcn".into(),
+            reason: "cancelled".into(),
+            rounds_completed: 12,
+            fraction_degraded: 0.52,
+        });
+        let trace = telemetry.take_trace();
+        assert_eq!(trace.degradations.len(), 1);
+        assert_eq!(trace.degradations[0].stage, "gcn");
+        assert!(trace.events.is_empty());
+        // Drained like everything else.
+        assert!(telemetry.take_trace().degradations.is_empty());
+    }
+
+    #[test]
+    fn progress_heartbeat_emits_gauges_when_enabled() {
+        let sink = Arc::new(InMemorySink::default());
+        let telemetry = Telemetry::with_sink(sink.clone());
+        telemetry.progress("matcher", 5, 20);
+        telemetry.progress("matcher", 20, 20);
+        let trace = telemetry.take_trace();
+        let beats: Vec<_> = trace
+            .events_of(EventKind::Gauge, "matcher")
+            .filter(|e| e.name == "progress")
+            .collect();
+        assert_eq!(beats.len(), 2);
+        assert_eq!(beats[0].step, Some(5));
+        assert!((beats[0].value - 0.25).abs() < 1e-12);
+        assert!((beats[1].value - 1.0).abs() < 1e-12);
+        // Disabled telemetry skips the event entirely.
+        let quiet = Telemetry::disabled();
+        quiet.progress("matcher", 1, 2);
+        assert!(quiet.take_trace().events.is_empty());
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Thread-local allocation accounting for [`Matrix`](crate::Matrix)
+//! buffers.
+//!
+//! CEAFF's tensors dominate the pipeline's footprint (similarity matrices
+//! are `|test| × |test|`, GCN activations `n × d` per layer), so a
+//! byte-denominated execution budget only needs to watch them. Every
+//! matrix constructor registers its buffer here; [`Drop`] releases it.
+//! When a limit is installed (via [`install_mem_limit`]) and the live
+//! total crosses it, a *sticky* `exceeded` flag is raised. Nothing
+//! aborts at the allocation site — the buffer was already reserved, and
+//! raising a typed error from deep inside a kernel would poison
+//! unrelated callers. Instead the pipeline polls [`mem_exceeded`] at
+//! stage/epoch boundaries and surfaces a typed `BudgetExceeded` error.
+//!
+//! The ledger is thread-local: the pipeline allocates its matrices on
+//! the thread that drives it (the parallel kernels only *fill* buffers
+//! the caller allocated), so per-thread accounting captures the whole
+//! footprint without atomics on the allocation path. Worker-thread
+//! scratch (chunk cursors, preference vectors) is deliberately outside
+//! the ledger.
+
+use std::cell::Cell;
+
+#[derive(Clone, Copy)]
+struct MemState {
+    limit: Option<usize>,
+    live: usize,
+    peak: usize,
+    exceeded: bool,
+}
+
+thread_local! {
+    static STATE: Cell<MemState> = const {
+        Cell::new(MemState {
+            limit: None,
+            live: 0,
+            peak: 0,
+            exceeded: false,
+        })
+    };
+}
+
+/// Register `bytes` of freshly-allocated matrix storage against the
+/// current thread's ledger and return `bytes` (so constructors can write
+/// `tracked: on_alloc(len * 4)`).
+pub(crate) fn on_alloc(bytes: usize) -> usize {
+    STATE.with(|cell| {
+        let mut s = cell.get();
+        s.live += bytes;
+        s.peak = s.peak.max(s.live);
+        if s.limit.is_some_and(|limit| s.live > limit) {
+            s.exceeded = true;
+        }
+        cell.set(s);
+    });
+    bytes
+}
+
+/// Release `bytes` previously registered with [`on_alloc`].
+pub(crate) fn on_release(bytes: usize) {
+    STATE.with(|cell| {
+        let mut s = cell.get();
+        s.live = s.live.saturating_sub(bytes);
+        cell.set(s);
+    });
+}
+
+/// Install a byte limit on this thread's live matrix storage, returning
+/// a guard that restores the previous limit (and exceeded flag) on drop.
+/// The peak watermark is re-based to the current live total so
+/// [`mem_peak_bytes`] reports the high-water mark *of the guarded
+/// scope*.
+#[must_use = "the limit is removed when the guard drops"]
+pub fn install_mem_limit(limit_bytes: usize) -> MemLimitGuard {
+    STATE.with(|cell| {
+        let mut s = cell.get();
+        let guard = MemLimitGuard {
+            prev_limit: s.limit,
+            prev_exceeded: s.exceeded,
+        };
+        s.limit = Some(limit_bytes);
+        s.exceeded = s.live > limit_bytes;
+        s.peak = s.live;
+        cell.set(s);
+        guard
+    })
+}
+
+/// Restores the previous memory-limit state when dropped; returned by
+/// [`install_mem_limit`].
+pub struct MemLimitGuard {
+    prev_limit: Option<usize>,
+    prev_exceeded: bool,
+}
+
+impl Drop for MemLimitGuard {
+    fn drop(&mut self) {
+        STATE.with(|cell| {
+            let mut s = cell.get();
+            s.limit = self.prev_limit;
+            s.exceeded = self.prev_exceeded;
+            cell.set(s);
+        });
+    }
+}
+
+/// Whether this thread's live matrix storage has crossed the installed
+/// limit at any point since the limit was installed (sticky).
+pub fn mem_exceeded() -> bool {
+    STATE.with(|cell| cell.get().exceeded)
+}
+
+/// Bytes of matrix storage currently live on this thread.
+pub fn mem_live_bytes() -> usize {
+    STATE.with(|cell| cell.get().live)
+}
+
+/// High-water mark of live bytes since the current limit was installed
+/// (or since the thread started, when no limit was ever installed).
+pub fn mem_peak_bytes() -> usize {
+    STATE.with(|cell| cell.get().peak)
+}
+
+/// The installed limit, if any.
+pub fn mem_limit_bytes() -> Option<usize> {
+    STATE.with(|cell| cell.get().limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    #[test]
+    fn matrices_register_and_release_bytes() {
+        let base = mem_live_bytes();
+        let m = Matrix::zeros(8, 8);
+        assert_eq!(mem_live_bytes(), base + 8 * 8 * 4);
+        let c = m.clone();
+        assert_eq!(mem_live_bytes(), base + 2 * 8 * 8 * 4);
+        drop(m);
+        drop(c);
+        assert_eq!(mem_live_bytes(), base);
+    }
+
+    #[test]
+    fn limit_trips_sticky_exceeded_flag() {
+        let base = mem_live_bytes();
+        let _guard = install_mem_limit(base + 100);
+        assert!(!mem_exceeded());
+        let small = Matrix::zeros(2, 2); // 16 bytes: under
+        assert!(!mem_exceeded());
+        let big = Matrix::zeros(10, 10); // 400 bytes: over
+        assert!(mem_exceeded());
+        drop(big);
+        drop(small);
+        // Sticky: releasing does not clear the flag.
+        assert!(mem_exceeded());
+        assert!(mem_peak_bytes() >= 416);
+    }
+
+    #[test]
+    fn guard_restores_previous_state() {
+        assert_eq!(mem_limit_bytes(), None);
+        {
+            let _g = install_mem_limit(0);
+            let _m = Matrix::zeros(1, 1);
+            assert!(mem_exceeded());
+        }
+        assert_eq!(mem_limit_bytes(), None);
+        assert!(!mem_exceeded());
+    }
+
+    #[test]
+    fn unlimited_accounting_never_trips() {
+        let _m = Matrix::zeros(64, 64);
+        assert!(!mem_exceeded());
+    }
+}

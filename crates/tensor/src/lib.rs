@@ -14,11 +14,15 @@
 //! row softmax and reductions — each with a finite-difference-verified
 //! gradient.
 
+pub mod budget;
 pub mod graph;
 pub mod init;
 pub mod matrix;
 pub mod optim;
 
+pub use budget::{
+    install_mem_limit, mem_exceeded, mem_limit_bytes, mem_live_bytes, mem_peak_bytes, MemLimitGuard,
+};
 pub use graph::{Graph, Var};
 pub use matrix::{dot, Matrix};
 pub use optim::{AdaGrad, Adam, OptimSlot, OptimState, Optimizer, ParamId, ParamSet, Sgd};

@@ -9,6 +9,7 @@
 //! accumulation order, so results are bitwise-identical for any
 //! `CEAFF_THREADS` (asserted by `tests/parallel_determinism.rs`).
 
+use crate::budget;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -63,11 +64,72 @@ fn for_each_elem(dst: &mut [f32], op: impl Fn(&mut f32) + Sync) {
 }
 
 /// A dense `rows × cols` matrix of `f32`, row-major.
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Every buffer is registered with the thread-local allocation ledger in
+/// [`crate::budget`] (and released on drop), so an execution budget can
+/// cap the pipeline's tensor footprint. `tracked` remembers how many
+/// bytes *this* value registered; it is invisible to equality and
+/// serialization.
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+    tracked: usize,
+}
+
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.clone(),
+            tracked: budget::on_alloc(self.data.len() * std::mem::size_of::<f32>()),
+        }
+    }
+}
+
+impl Drop for Matrix {
+    fn drop(&mut self) {
+        budget::on_release(self.tracked);
+    }
+}
+
+impl PartialEq for Matrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.data == other.data
+    }
+}
+
+// Manual (de)serialization keeps the wire format of the old
+// `#[derive(Serialize, Deserialize)]` — `{rows, cols, data}` — without
+// exposing the accounting field; deserialized buffers register against
+// the ledger like any other allocation.
+impl Serialize for Matrix {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("rows".to_owned(), self.rows.to_value()),
+            ("cols".to_owned(), self.cols.to_value()),
+            ("data".to_owned(), self.data.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Matrix {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected object for struct Matrix"))?;
+        let rows: usize = serde::de::field(entries, "rows")?;
+        let cols: usize = serde::de::field(entries, "cols")?;
+        let data: Vec<f32> = serde::de::field(entries, "data")?;
+        if data.len() != rows * cols {
+            return Err(serde::Error::custom(format!(
+                "matrix buffer length {} does not match {rows}x{cols}",
+                data.len()
+            )));
+        }
+        Ok(Matrix::from_vec(rows, cols, data))
+    }
 }
 
 impl fmt::Debug for Matrix {
@@ -89,6 +151,7 @@ impl Matrix {
             rows,
             cols,
             data: vec![0.0; rows * cols],
+            tracked: budget::on_alloc(rows * cols * std::mem::size_of::<f32>()),
         }
     }
 
@@ -98,6 +161,7 @@ impl Matrix {
             rows,
             cols,
             data: vec![value; rows * cols],
+            tracked: budget::on_alloc(rows * cols * std::mem::size_of::<f32>()),
         }
     }
 
@@ -112,7 +176,12 @@ impl Matrix {
             "buffer length {} does not match {rows}x{cols}",
             data.len()
         );
-        Self { rows, cols, data }
+        Self {
+            rows,
+            cols,
+            tracked: budget::on_alloc(data.len() * std::mem::size_of::<f32>()),
+            data,
+        }
     }
 
     /// Build from nested rows (test convenience).

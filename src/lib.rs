@@ -79,8 +79,9 @@ pub mod telemetry {
 pub mod prelude {
     pub use crate::task::DatasetTask;
     pub use ceaff_core::{
-        try_run, try_run_with_features, CeaffConfig, CeaffError, CeaffOutput, EaInput, FeatureSet,
-        FusionConfig, GcnConfig, MatcherKind, RunTrace, Telemetry, WeightingMode,
+        try_run, try_run_with_budget, try_run_with_features, AnytimeOutcome, CancelToken,
+        CeaffConfig, CeaffError, CeaffOutput, Degradation, EaInput, ExecBudget, FeatureSet,
+        FusionConfig, GcnConfig, MatcherKind, RunTrace, StopReason, Telemetry, WeightingMode,
     };
     pub use ceaff_datagen::{GenConfig, GeneratedDataset, NameChannel, Preset};
 }

@@ -3,6 +3,7 @@
 
 use ceaff::matching::{Greedy, Hungarian, Matcher, StableMarriage};
 use ceaff::prelude::*;
+use ceaff::{ExecBudget, Telemetry};
 
 fn fused_matrix(preset: Preset) -> (ceaff::sim::SimilarityMatrix, usize) {
     let task = DatasetTask::from_preset(preset, 0.1, 32);
@@ -40,6 +41,75 @@ fn utility_ordering_hungarian_ge_stable_ge_each_nonnegative() {
     // total is an upper bound on any one-to-one assignment.
     let g = Greedy.matching(&m).total_weight(&m);
     assert!(g >= h - 1e-4, "greedy row-max sum {g} < hungarian {h}");
+}
+
+#[test]
+fn budgeted_matchers_with_headroom_are_identical_to_exact() {
+    let (m, _) = fused_matrix(Preset::SrprsEnDe);
+    let telemetry = Telemetry::disabled();
+    for matcher in [&StableMarriage as &dyn Matcher, &Hungarian] {
+        let exact = matcher.matching(&m);
+        // Truly unlimited budget: short-circuits to the exact code path.
+        let unlimited = matcher.matching_budgeted(&m, &ExecBudget::unlimited(), &telemetry);
+        assert!(unlimited.is_exact());
+        assert_eq!(unlimited.matching.pairs(), exact.pairs());
+        // A *constrained* budget that never fires must take the anytime
+        // code path to the very same answer.
+        let roomy = ExecBudget::unlimited().with_step_limit(1_000_000);
+        let headroom = matcher.matching_budgeted(&m, &roomy, &telemetry);
+        assert!(headroom.is_exact(), "a roomy budget must not degrade");
+        assert_eq!(headroom.matching.pairs(), exact.pairs());
+    }
+}
+
+#[test]
+fn degraded_matchings_stay_one_to_one_and_perfect() {
+    let (m, n) = fused_matrix(Preset::SrprsEnDe);
+    let telemetry = Telemetry::disabled();
+    for matcher in [&StableMarriage as &dyn Matcher, &Hungarian] {
+        for limit in [0u64, 1, (n / 4) as u64, (n / 2) as u64] {
+            let budget = ExecBudget::unlimited().with_step_limit(limit);
+            let out = matcher.matching_budgeted(&m, &budget, &telemetry);
+            let d = out
+                .degradation
+                .as_ref()
+                .expect("a starved budget must degrade");
+            assert_eq!(d.stage, "matcher");
+            assert_eq!(d.reason, "step_limit");
+            assert!(!out.degraded_rows.is_empty());
+            assert!(d.fraction_degraded > 0.0 && d.fraction_degraded <= 1.0);
+            // The greedy completion must still deliver a perfect
+            // one-to-one matching on a square instance.
+            assert!(out.matching.is_one_to_one());
+            assert_eq!(out.matching.len(), n, "limit {limit}: not perfect");
+        }
+    }
+}
+
+#[test]
+fn degraded_stable_marriage_has_no_blocking_pair_among_settled_rows() {
+    let (m, n) = fused_matrix(Preset::Dbp15kJaEn);
+    let telemetry = Telemetry::disabled();
+    for limit in [1u64, (n / 4) as u64, (n / 2) as u64, (n - 1) as u64] {
+        let budget = ExecBudget::unlimited().with_step_limit(limit);
+        let out = StableMarriage.matching_budgeted(&m, &budget, &telemetry);
+        assert!(!out.is_exact(), "limit {limit} must starve n = {n} rows");
+        let degraded: std::collections::HashSet<usize> =
+            out.degraded_rows.iter().copied().collect();
+        // Rows the deferred-acceptance loop settled keep the stability
+        // guarantee even though the rest of the matching was completed
+        // greedily: targets never vacate, so every target a settled row
+        // prefers over its own is still held by a partner that target
+        // prefers.
+        for u in (0..n).filter(|u| !degraded.contains(u)) {
+            for v in 0..n {
+                assert!(
+                    !out.matching.is_blocking_pair(&m, u, v),
+                    "limit {limit}: settled row {u} forms a blocking pair with {v}"
+                );
+            }
+        }
+    }
 }
 
 #[test]
