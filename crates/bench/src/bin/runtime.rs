@@ -45,10 +45,10 @@ fn main() {
 
         // The §VI efficiency argument: DAA vs Hungarian on the fused matrix.
         let t2 = Instant::now();
-        let _ = StableMarriage.matching(&out.fused);
+        let _ = StableMarriage.matching_store(&out.fused);
         let t_daa = t2.elapsed().as_secs_f64();
         let t3 = Instant::now();
-        let _ = Hungarian.matching(&out.fused);
+        let _ = Hungarian.matching_store(&out.fused);
         let t_hun = t3.elapsed().as_secs_f64();
         println!("matching only: deferred acceptance {t_daa:.3}s vs hungarian {t_hun:.3}s");
 

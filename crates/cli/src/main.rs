@@ -47,6 +47,12 @@ USAGE:
         --matcher NAME    daa | hungarian | greedy1to1 | greedy [default daa]
         --threshold F     abstain below this fused similarity
         --csls K          CSLS hubness correction
+        --candidates MODE dense | blocked [default dense]: score every
+                          source-target pair, or block on name
+                          tokens/trigrams and score only the candidates
+                          (sub-quadratic memory; sparse top-k stores)
+        --topk K          per-row candidate cap with --candidates blocked
+                          [default 50]
         --trace FILE      stream telemetry events (stage timings, GCN
                           epoch losses, fusion weights, matcher counters,
                           watchdog progress heartbeats) as JSON lines to
@@ -334,6 +340,17 @@ fn cmd_align(args: &Args) {
             eprintln!("error: --csls expects an integer");
             std::process::exit(2);
         }));
+    }
+    match args.get("candidates").unwrap_or("dense") {
+        "dense" => {}
+        "blocked" => {
+            let k = args.get_parsed("topk", 50usize);
+            cfg = cfg.with_blocking(k);
+        }
+        other => {
+            eprintln!("error: unknown candidate strategy '{other}' (dense | blocked)");
+            std::process::exit(2);
+        }
     }
     cfg.matcher = match args.get("matcher").unwrap_or("daa") {
         "daa" => MatcherKind::StableMarriage,

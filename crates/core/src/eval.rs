@@ -10,7 +10,7 @@
 //! [`ceaff_graph::KgPair::test_sources`] / `test_targets` guarantees this).
 
 use crate::matching::Matching;
-use ceaff_sim::SimilarityMatrix;
+use ceaff_sim::{SimStore, SimilarityMatrix};
 
 /// Accuracy of a matching against the diagonal ground truth: the number of
 /// source entities matched to their true counterpart, divided by the total
@@ -113,6 +113,50 @@ pub fn ranking_metrics(m: &SimilarityMatrix) -> RankingMetrics {
     }
 }
 
+/// Hits@k over either store backend. The sparse arm ranks the ground-truth
+/// cell against stored entries plus the implicit zeros
+/// ([`ceaff_sim::SparseTopK::rank_of`]), so on a complete store it equals
+/// the dense rank exactly; on a blocked store a truth pair pruned by the
+/// candidate stage ranks behind every stored entry — blocking recall losses
+/// show up in the metric instead of being silently forgiven.
+pub fn hits_at_k_store(s: &SimStore, k: usize) -> f64 {
+    if s.sources() == 0 {
+        return 0.0;
+    }
+    let hits = (0..s.sources())
+        .filter(|&i| i < s.targets() && s.rank_of(i, i) <= k)
+        .count();
+    hits as f64 / s.sources() as f64
+}
+
+/// Mean reciprocal rank over either store backend (see [`hits_at_k_store`]
+/// for the sparse ranking semantics).
+pub fn mrr_store(s: &SimStore) -> f64 {
+    if s.sources() == 0 {
+        return 0.0;
+    }
+    let total: f64 = (0..s.sources())
+        .map(|i| {
+            if i < s.targets() {
+                1.0 / s.rank_of(i, i) as f64
+            } else {
+                0.0
+            }
+        })
+        .sum();
+    total / s.sources() as f64
+}
+
+/// Compute Hits@1/Hits@10/MRR through the store API. Dense stores
+/// reproduce [`ranking_metrics`] exactly.
+pub fn ranking_metrics_store(s: &SimStore) -> RankingMetrics {
+    RankingMetrics {
+        hits1: hits_at_k_store(s, 1),
+        hits10: hits_at_k_store(s, 10),
+        mrr: mrr_store(s),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,5 +232,31 @@ mod tests {
         let m = SimilarityMatrix::zeros(0, 0);
         assert_eq!(hits_at_k(&m, 1), 0.0);
         assert_eq!(mrr(&m), 0.0);
+    }
+
+    #[test]
+    fn store_metrics_match_dense_on_both_backends() {
+        use ceaff_sim::SparseTopK;
+        let m = toy_matrix();
+        let dense = ranking_metrics(&m);
+        assert_eq!(ranking_metrics_store(&SimStore::Dense(m.clone())), dense);
+        // A complete sparse store ranks identically.
+        let complete = SimStore::Sparse(SparseTopK::from_dense(&m, 3));
+        assert_eq!(ranking_metrics_store(&complete), dense);
+    }
+
+    #[test]
+    fn blocked_store_metrics_punish_pruned_truth() {
+        use ceaff_sim::SparseTopK;
+        // Row 1's truth cell (1,1)=0.5 survives a k=2 cut; row 2's truth
+        // (2,2)=0.3 does not — it must rank behind both stored entries
+        // *and* tie with the other implicit zero? No other zeros here:
+        // rank = 1 + 2 stored greater = 3.
+        let m = toy_matrix();
+        let blocked = SimStore::Sparse(SparseTopK::from_dense(&m, 2));
+        let r = ranking_metrics_store(&blocked);
+        assert!((r.hits1 - 1.0 / 3.0).abs() < 1e-9);
+        let expect_mrr = (1.0 + 0.5 + 1.0 / 3.0) / 3.0;
+        assert!((r.mrr - expect_mrr).abs() < 1e-9);
     }
 }

@@ -11,14 +11,14 @@
 
 use super::Feature;
 use ceaff_graph::{AttributeTable, EntityId, KgPair};
-use ceaff_sim::SimilarityMatrix;
+use ceaff_sim::{SimStore, SimilarityMatrix};
 
 /// A computed attribute feature.
 #[derive(Debug, Clone)]
 pub struct AttributeFeature {
     source: AttributeTable,
     target: AttributeTable,
-    test: SimilarityMatrix,
+    test: SimStore,
 }
 
 impl AttributeFeature {
@@ -46,7 +46,7 @@ impl AttributeFeature {
         Self {
             source: source.clone(),
             target: target.clone(),
-            test,
+            test: SimStore::Dense(test),
         }
     }
 }
@@ -56,7 +56,7 @@ impl Feature for AttributeFeature {
         "attribute"
     }
 
-    fn test_matrix(&self) -> &SimilarityMatrix {
+    fn test_store(&self) -> &SimStore {
         &self.test
     }
 

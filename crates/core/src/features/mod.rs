@@ -3,8 +3,10 @@
 //!
 //! Each computed feature exposes two views:
 //!
-//! * [`Feature::test_matrix`] — the `test-sources × test-targets`
-//!   similarity matrix (`Ms`, `Mn`, `Ml`) consumed by fusion and matching;
+//! * [`Feature::test_store`] — the `test-sources × test-targets`
+//!   similarity store (`Ms`, `Mn`, `Ml`) consumed by fusion and matching,
+//!   dense or sparse top-k depending on the candidate strategy the feature
+//!   was computed under;
 //! * [`Feature::score`] — the same similarity for *arbitrary* entity pairs,
 //!   which the learning-based (logistic regression) weighting baseline
 //!   needs to score seed pairs and their corruptions (§VII-E).
@@ -20,16 +22,29 @@ pub use string::StringFeature;
 pub use structural::StructuralFeature;
 
 use ceaff_graph::EntityId;
-use ceaff_sim::SimilarityMatrix;
+use ceaff_sim::{SimStore, SimilarityMatrix};
 
 /// A computed alignment feature.
 pub trait Feature {
     /// Short identifier (`"structural"`, `"semantic"`, `"string"`).
     fn name(&self) -> &'static str;
 
-    /// The test-set similarity matrix (rows = test sources in test order,
-    /// columns = test targets in test order).
-    fn test_matrix(&self) -> &SimilarityMatrix;
+    /// The test-set similarity store (rows = test sources in test order,
+    /// columns = test targets in test order) — dense for the paper's exact
+    /// pipeline, sparse top-k when the feature was scored over a blocked
+    /// candidate set.
+    fn test_store(&self) -> &SimStore;
+
+    /// Dense-only bridge to the pre-`SimStore` API.
+    ///
+    /// # Panics
+    /// Panics when the feature is backed by a sparse store — callers that
+    /// may see blocked features must use [`Feature::test_store`].
+    fn test_matrix(&self) -> &SimilarityMatrix {
+        self.test_store().as_dense().expect(
+            "Feature::test_matrix needs a dense store; use test_store() for blocked features",
+        )
+    }
 
     /// Similarity between any source-KG entity and any target-KG entity.
     fn score(&self, u: EntityId, v: EntityId) -> f32;

@@ -5,7 +5,7 @@
 use super::Feature;
 use ceaff_embed::{name_embedding_matrix, WordEmbedder};
 use ceaff_graph::{EntityId, KgPair, KnowledgeGraph};
-use ceaff_sim::{cosine_similarity_matrix, SimilarityMatrix};
+use ceaff_sim::{cosine_similarity_matrix, CandidateSet, SimStore, SimilarityMatrix, SparseTopK};
 use ceaff_tensor::Matrix;
 
 /// A computed semantic feature.
@@ -15,7 +15,7 @@ pub struct SemanticFeature {
     n_source: Matrix,
     /// L2-row-normalised name embeddings of every target entity.
     n_target: Matrix,
-    test: SimilarityMatrix,
+    test: SimStore,
 }
 
 fn all_names(kg: &KnowledgeGraph) -> Vec<&str> {
@@ -45,14 +45,49 @@ impl SemanticFeature {
         n_target.l2_normalize_rows();
         let src_idx: Vec<usize> = pair.test_sources().iter().map(|e| e.index()).collect();
         let tgt_idx: Vec<usize> = pair.test_targets().iter().map(|e| e.index()).collect();
-        let test = cosine_similarity_matrix(
+        let test = SimStore::Dense(cosine_similarity_matrix(
             &n_source.gather_rows(&src_idx),
             &n_target.gather_rows(&tgt_idx),
-        );
+        ));
         Self {
             n_source,
             n_target,
             test,
+        }
+    }
+
+    /// Like [`SemanticFeature::compute`], but scores only the blocked
+    /// candidate pairs into a sparse top-k store. Name embedding is still
+    /// linear in the KG sizes; only the `O(n·t)` pairwise cosine stage is
+    /// replaced by `O(|candidates|)` dot products.
+    pub fn compute_blocked(
+        pair: &KgPair,
+        source_embedder: &dyn WordEmbedder,
+        target_embedder: &dyn WordEmbedder,
+        candidates: &CandidateSet,
+        k: usize,
+    ) -> Self {
+        assert_eq!(
+            source_embedder.dim(),
+            target_embedder.dim(),
+            "embedders must share one vector space"
+        );
+        let mut n_source = name_embedding_matrix(source_embedder, &all_names(&pair.source));
+        let mut n_target = name_embedding_matrix(target_embedder, &all_names(&pair.target));
+        n_source.l2_normalize_rows();
+        n_target.l2_normalize_rows();
+        let src_idx: Vec<usize> = pair.test_sources().iter().map(|e| e.index()).collect();
+        let tgt_idx: Vec<usize> = pair.test_targets().iter().map(|e| e.index()).collect();
+        let zs = n_source.gather_rows(&src_idx);
+        let zt = n_target.gather_rows(&tgt_idx);
+        // Rows are unit-normalised, so the dot product is the cosine.
+        let sparse = SparseTopK::from_candidates(candidates, k, |i, j| {
+            ceaff_tensor::dot(zs.row(i), zt.row(j as usize))
+        });
+        Self {
+            n_source,
+            n_target,
+            test: SimStore::Sparse(sparse),
         }
     }
 
@@ -63,7 +98,7 @@ impl SemanticFeature {
         Self {
             n_source,
             n_target,
-            test,
+            test: SimStore::Dense(test),
         }
     }
 
@@ -91,7 +126,7 @@ impl Feature for SemanticFeature {
         "semantic"
     }
 
-    fn test_matrix(&self) -> &SimilarityMatrix {
+    fn test_store(&self) -> &SimStore {
         &self.test
     }
 

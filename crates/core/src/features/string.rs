@@ -8,7 +8,10 @@
 
 use super::Feature;
 use ceaff_graph::{EntityId, KgPair};
-use ceaff_sim::{levenshtein_ratio, string_similarity_matrix, SimilarityMatrix};
+use ceaff_sim::{
+    levenshtein_ratio, string_similarity_matrix, CandidateSet, SimStore, SimilarityMatrix,
+    SparseTopK,
+};
 
 /// A computed string feature. Entity names are retained so arbitrary pairs
 /// can be scored on demand (used by the logistic-regression baseline).
@@ -16,22 +19,27 @@ use ceaff_sim::{levenshtein_ratio, string_similarity_matrix, SimilarityMatrix};
 pub struct StringFeature {
     source_names: Vec<String>,
     target_names: Vec<String>,
-    test: SimilarityMatrix,
+    test: SimStore,
+}
+
+fn kg_names(pair: &KgPair) -> (Vec<String>, Vec<String>) {
+    let source_names: Vec<String> = pair
+        .source
+        .entity_ids()
+        .map(|e| pair.source.entity_name(e).expect("interned").to_owned())
+        .collect();
+    let target_names: Vec<String> = pair
+        .target
+        .entity_ids()
+        .map(|e| pair.target.entity_name(e).expect("interned").to_owned())
+        .collect();
+    (source_names, target_names)
 }
 
 impl StringFeature {
-    /// Compute the test-set Levenshtein-ratio matrix.
+    /// Compute the dense test-set Levenshtein-ratio matrix.
     pub fn compute(pair: &KgPair) -> Self {
-        let source_names: Vec<String> = pair
-            .source
-            .entity_ids()
-            .map(|e| pair.source.entity_name(e).expect("interned").to_owned())
-            .collect();
-        let target_names: Vec<String> = pair
-            .target
-            .entity_ids()
-            .map(|e| pair.target.entity_name(e).expect("interned").to_owned())
-            .collect();
+        let (source_names, target_names) = kg_names(pair);
         let src_test: Vec<&str> = pair
             .test_sources()
             .iter()
@@ -42,7 +50,7 @@ impl StringFeature {
             .iter()
             .map(|e| target_names[e.index()].as_str())
             .collect();
-        let test = string_similarity_matrix(&src_test, &tgt_test);
+        let test = SimStore::Dense(string_similarity_matrix(&src_test, &tgt_test));
         Self {
             source_names,
             target_names,
@@ -50,24 +58,40 @@ impl StringFeature {
         }
     }
 
+    /// Compute a sparse test store scoring only the blocked candidate
+    /// pairs: `O(|candidates|)` Levenshtein calls instead of the dense
+    /// `O(n·t)`. Rows keep at most `k` entries in canonical order.
+    pub fn compute_blocked(pair: &KgPair, candidates: &CandidateSet, k: usize) -> Self {
+        let (source_names, target_names) = kg_names(pair);
+        let src_test: Vec<&str> = pair
+            .test_sources()
+            .iter()
+            .map(|e| source_names[e.index()].as_str())
+            .collect();
+        let tgt_test: Vec<&str> = pair
+            .test_targets()
+            .iter()
+            .map(|e| target_names[e.index()].as_str())
+            .collect();
+        let sparse = SparseTopK::from_candidates(candidates, k, |i, j| {
+            levenshtein_ratio(src_test[i], tgt_test[j as usize])
+        });
+        Self {
+            source_names,
+            target_names,
+            test: SimStore::Sparse(sparse),
+        }
+    }
+
     /// Rebuild from a checkpointed test matrix. Names are cheap to derive
     /// from the KG pair again; only the O(n²·len²) similarity matrix is
     /// worth saving.
     pub fn from_saved_parts(pair: &KgPair, test: SimilarityMatrix) -> Self {
-        let source_names: Vec<String> = pair
-            .source
-            .entity_ids()
-            .map(|e| pair.source.entity_name(e).expect("interned").to_owned())
-            .collect();
-        let target_names: Vec<String> = pair
-            .target
-            .entity_ids()
-            .map(|e| pair.target.entity_name(e).expect("interned").to_owned())
-            .collect();
+        let (source_names, target_names) = kg_names(pair);
         Self {
             source_names,
             target_names,
-            test,
+            test: SimStore::Dense(test),
         }
     }
 }
@@ -77,7 +101,7 @@ impl Feature for StringFeature {
         "string"
     }
 
-    fn test_matrix(&self) -> &SimilarityMatrix {
+    fn test_store(&self) -> &SimStore {
         &self.test
     }
 

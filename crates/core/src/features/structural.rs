@@ -7,7 +7,7 @@ use crate::checkpoint::Checkpointer;
 use crate::error::CeaffError;
 use crate::gcn::{self, GcnConfig, GcnEncoder};
 use ceaff_graph::{EntityId, KgPair};
-use ceaff_sim::{cosine_similarity_matrix, SimilarityMatrix};
+use ceaff_sim::{cosine_similarity_matrix, CandidateSet, SimStore, SimilarityMatrix, SparseTopK};
 use ceaff_telemetry::Telemetry;
 use ceaff_tensor::Matrix;
 
@@ -18,7 +18,7 @@ pub struct StructuralFeature {
     z_source: Matrix,
     /// L2-row-normalised target embeddings (all entities).
     z_target: Matrix,
-    test: SimilarityMatrix,
+    test: SimStore,
     /// The encoder's training-loss trajectory (diagnostics).
     pub loss_curve: Vec<f32>,
 }
@@ -66,6 +66,23 @@ impl StructuralFeature {
         Ok(Self::from_encoder(pair, encoder))
     }
 
+    /// [`StructuralFeature::try_compute_budgeted`] scoring only the
+    /// blocked candidate pairs into a sparse top-k store. Training cost is
+    /// unchanged; the `O(n·t)` pairwise cosine stage shrinks to
+    /// `O(|candidates|)` dot products. No checkpointer: blocked runs are
+    /// cheap to restart and the checkpoint format is dense-only.
+    pub fn try_compute_budgeted_blocked(
+        pair: &KgPair,
+        cfg: &GcnConfig,
+        telemetry: &Telemetry,
+        budget: &ExecBudget,
+        candidates: &CandidateSet,
+        k: usize,
+    ) -> Result<Self, CeaffError> {
+        let encoder = gcn::try_train_budgeted(pair, cfg, telemetry, None, budget)?;
+        Ok(Self::from_encoder_blocked(pair, encoder, candidates, k))
+    }
+
     /// Build from an already-trained encoder (lets callers reuse one
     /// training run across ablations).
     pub fn from_encoder(pair: &KgPair, encoder: GcnEncoder) -> Self {
@@ -80,13 +97,56 @@ impl StructuralFeature {
         let tgt_idx: Vec<usize> = pair.test_targets().iter().map(|e| e.index()).collect();
         let zs = z_source.gather_rows(&src_idx);
         let zt = z_target.gather_rows(&tgt_idx);
-        let test = cosine_similarity_matrix(&zs, &zt);
+        let test = SimStore::Dense(cosine_similarity_matrix(&zs, &zt));
         Self {
             z_source,
             z_target,
             test,
             loss_curve,
         }
+    }
+
+    /// [`StructuralFeature::from_encoder`], scoring only the blocked
+    /// candidate pairs.
+    pub fn from_encoder_blocked(
+        pair: &KgPair,
+        encoder: GcnEncoder,
+        candidates: &CandidateSet,
+        k: usize,
+    ) -> Self {
+        let GcnEncoder {
+            mut z_source,
+            mut z_target,
+            loss_curve,
+        } = encoder;
+        z_source.l2_normalize_rows();
+        z_target.l2_normalize_rows();
+        let src_idx: Vec<usize> = pair.test_sources().iter().map(|e| e.index()).collect();
+        let tgt_idx: Vec<usize> = pair.test_targets().iter().map(|e| e.index()).collect();
+        let zs = z_source.gather_rows(&src_idx);
+        let zt = z_target.gather_rows(&tgt_idx);
+        // Rows are unit-normalised, so the dot product is the cosine.
+        let sparse = SparseTopK::from_candidates(candidates, k, |i, j| {
+            ceaff_tensor::dot(zs.row(i), zt.row(j as usize))
+        });
+        Self {
+            z_source,
+            z_target,
+            test: SimStore::Sparse(sparse),
+            loss_curve,
+        }
+    }
+
+    /// [`StructuralFeature::compute_traced`] over a blocked candidate set.
+    pub fn compute_traced_blocked(
+        pair: &KgPair,
+        cfg: &GcnConfig,
+        telemetry: &Telemetry,
+        candidates: &CandidateSet,
+        k: usize,
+    ) -> Self {
+        let encoder = gcn::train_traced(pair, cfg, telemetry);
+        Self::from_encoder_blocked(pair, encoder, candidates, k)
     }
 
     /// Rebuild from checkpointed parts without recomputing anything.
@@ -104,7 +164,7 @@ impl StructuralFeature {
         Self {
             z_source,
             z_target,
-            test,
+            test: SimStore::Dense(test),
             loss_curve,
         }
     }
@@ -125,7 +185,7 @@ impl Feature for StructuralFeature {
         "structural"
     }
 
-    fn test_matrix(&self) -> &SimilarityMatrix {
+    fn test_store(&self) -> &SimStore {
         &self.test
     }
 

@@ -23,9 +23,9 @@
 //! matrices fuse into a textual matrix first, which then fuses with the
 //! structural matrix (§V, "Feature Fusion with Adaptive Weight").
 
-use ceaff_sim::SimilarityMatrix;
+use ceaff_sim::{SimStore, SimilarityMatrix};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Thresholds of the adaptive strategy. Paper defaults: `θ1 = 0.98`,
 /// `θ2 = 0.1`, tuned on a validation set (§VII-A).
@@ -95,39 +95,58 @@ pub fn confident_correspondences(m: &SimilarityMatrix) -> Vec<Candidate> {
         .collect()
 }
 
-/// Stages 1–4: compute adaptive feature weights for `mats`.
-///
-/// Returns the normalised weights and the diagnostic report.
-///
-/// # Panics
-/// Panics if `mats` is empty or shapes disagree.
-pub fn adaptive_weights(mats: &[&SimilarityMatrix], cfg: &FusionConfig) -> FusionReport {
-    assert!(!mats.is_empty(), "need at least one feature matrix");
-    let shape = (mats[0].sources(), mats[0].targets());
-    assert!(
-        mats.iter().all(|m| (m.sources(), m.targets()) == shape),
-        "all feature matrices must share one shape"
-    );
-    let k = mats.len();
+/// Stage 1 over either backend. The dense arm is the exact
+/// [`confident_correspondences`]; the sparse arm reads row maxima from the
+/// stored rows (first entry — canonical order) and column maxima from a
+/// single pass over the stored cells, so it costs `O(nnz)` instead of
+/// `O(sources × targets)`. Tie-breaks match the dense path (lowest column
+/// along a row, lowest row along a column), so a complete store yields the
+/// identical candidate set.
+pub fn confident_correspondences_store(s: &SimStore) -> Vec<Candidate> {
+    match s {
+        SimStore::Dense(m) => confident_correspondences(m),
+        SimStore::Sparse(sp) => {
+            if sp.sources() == 0 || sp.targets() == 0 {
+                return Vec::new();
+            }
+            let col_best = sp.col_best();
+            (0..sp.sources())
+                .filter_map(|i| {
+                    let j = sp.row_argmax(i)?;
+                    match col_best[j] {
+                        Some((bi, score)) if bi == i => Some(Candidate {
+                            source: i,
+                            target: j,
+                            score,
+                        }),
+                        _ => None,
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+/// Stages 2–4, shared by the matrix and store entry points: filter the
+/// per-feature candidate sets and turn the retained occurrences into
+/// normalised feature weights.
+fn weights_from_candidates(per_feature: &[Vec<Candidate>], cfg: &FusionConfig) -> FusionReport {
+    let k = per_feature.len();
+    let candidates_per_feature: Vec<usize> = per_feature.iter().map(Vec::len).collect();
     if k == 1 {
         return FusionReport {
             weights: vec![1.0],
-            candidates_per_feature: vec![confident_correspondences(mats[0]).len()],
+            candidates_per_feature,
             retained_per_feature: vec![0],
             fallback_equal: false,
         };
     }
 
-    // Stage 1.
-    let per_feature: Vec<Vec<Candidate>> =
-        mats.iter().map(|m| confident_correspondences(m)).collect();
-    let candidates_per_feature: Vec<usize> = per_feature.iter().map(Vec::len).collect();
-
     // Stage 2a: drop every candidate of a source entity on which features
     // conflict (propose different targets).
     let mut target_of: HashMap<usize, usize> = HashMap::new();
     let mut conflicted: std::collections::HashSet<usize> = std::collections::HashSet::new();
-    for cands in &per_feature {
+    for cands in per_feature {
         for c in cands {
             match target_of.get(&c.source) {
                 Some(&t) if t != c.target => {
@@ -142,7 +161,7 @@ pub fn adaptive_weights(mats: &[&SimilarityMatrix], cfg: &FusionConfig) -> Fusio
     // Stage 2b: count how many features produced each (source, target) pair;
     // pairs produced by all k features are dropped.
     let mut appearances: HashMap<(usize, usize), usize> = HashMap::new();
-    for cands in &per_feature {
+    for cands in per_feature {
         for c in cands {
             *appearances.entry((c.source, c.target)).or_insert(0) += 1;
         }
@@ -183,6 +202,44 @@ pub fn adaptive_weights(mats: &[&SimilarityMatrix], cfg: &FusionConfig) -> Fusio
     }
 }
 
+/// Stages 1–4: compute adaptive feature weights for `mats`.
+///
+/// Returns the normalised weights and the diagnostic report.
+///
+/// # Panics
+/// Panics if `mats` is empty or shapes disagree.
+pub fn adaptive_weights(mats: &[&SimilarityMatrix], cfg: &FusionConfig) -> FusionReport {
+    assert!(!mats.is_empty(), "need at least one feature matrix");
+    let shape = (mats[0].sources(), mats[0].targets());
+    assert!(
+        mats.iter().all(|m| (m.sources(), m.targets()) == shape),
+        "all feature matrices must share one shape"
+    );
+    let per_feature: Vec<Vec<Candidate>> =
+        mats.iter().map(|m| confident_correspondences(m)).collect();
+    weights_from_candidates(&per_feature, cfg)
+}
+
+/// Stages 1–4 over stores: identical filtering and weighting, with stage 1
+/// dispatched per backend by [`confident_correspondences_store`]. All-dense
+/// inputs reproduce [`adaptive_weights`] bitwise.
+///
+/// # Panics
+/// Panics if `stores` is empty or shapes disagree.
+pub fn adaptive_weights_store(stores: &[&SimStore], cfg: &FusionConfig) -> FusionReport {
+    assert!(!stores.is_empty(), "need at least one feature store");
+    let shape = (stores[0].sources(), stores[0].targets());
+    assert!(
+        stores.iter().all(|s| (s.sources(), s.targets()) == shape),
+        "all feature stores must share one shape"
+    );
+    let per_feature: Vec<Vec<Candidate>> = stores
+        .iter()
+        .map(|s| confident_correspondences_store(s))
+        .collect();
+    weights_from_candidates(&per_feature, cfg)
+}
+
 /// Stage 5: the weighted sum of the matrices.
 ///
 /// # Panics
@@ -195,6 +252,52 @@ pub fn fuse(mats: &[&SimilarityMatrix], weights: &[f32]) -> SimilarityMatrix {
         out.add_scaled(m, w);
     }
     out
+}
+
+/// Stage 5 over stores. All-dense inputs take the exact dense [`fuse`]
+/// (bitwise the golden path). Otherwise the result is sparse: each row is
+/// the union of the inputs' stored candidates, every cell accumulated in
+/// feature order — the same per-cell f32 addition sequence the dense sweep
+/// performs — so complete stores fuse bitwise-identically to dense. Rows
+/// fan out across the pool; per-row work is sequential, keeping the result
+/// independent of thread count.
+///
+/// # Panics
+/// Panics if lengths or shapes disagree.
+pub fn fuse_store(stores: &[&SimStore], weights: &[f32]) -> SimStore {
+    use ceaff_sim::{SimScores, SparseTopK};
+    assert_eq!(stores.len(), weights.len(), "one weight per store");
+    assert!(!stores.is_empty(), "need at least one store");
+    let (n, t) = (stores[0].sources(), stores[0].targets());
+    assert!(
+        stores.iter().all(|s| (s.sources(), s.targets()) == (n, t)),
+        "all feature stores must share one shape"
+    );
+    if stores.iter().all(|s| !s.is_sparse()) {
+        let mats: Vec<&SimilarityMatrix> = stores
+            .iter()
+            .map(|s| s.as_dense().expect("all-dense checked above"))
+            .collect();
+        return SimStore::Dense(fuse(&mats, weights));
+    }
+    let build = |i: usize| -> Vec<(u32, f32)> {
+        // BTreeMap keys the union of this row's candidate columns; values
+        // accumulate contributions strictly in feature order.
+        let mut acc: BTreeMap<u32, f32> = BTreeMap::new();
+        for (s, &w) in stores.iter().zip(weights) {
+            s.for_each_row_entry(i, &mut |c, v| {
+                *acc.entry(c as u32).or_insert(0.0) += w * v;
+            });
+        }
+        acc.into_iter().collect()
+    };
+    let rows: Vec<Vec<(u32, f32)>> = if n < 64 {
+        (0..n).map(build).collect()
+    } else {
+        ceaff_parallel::par_map(n, 16, build)
+    };
+    let k = rows.iter().map(Vec::len).max().unwrap_or(0).max(1);
+    SimStore::Sparse(SparseTopK::from_rows(t, k, rows))
 }
 
 /// Adaptive fusion in one call: weights from [`adaptive_weights`], result
@@ -218,6 +321,13 @@ pub fn adaptive_fuse(
 ) -> (SimilarityMatrix, FusionReport) {
     let report = adaptive_weights(mats, cfg);
     (fuse(mats, &report.weights), report)
+}
+
+/// Adaptive fusion over stores: weights from [`adaptive_weights_store`],
+/// result from [`fuse_store`].
+pub fn adaptive_fuse_store(stores: &[&SimStore], cfg: &FusionConfig) -> (SimStore, FusionReport) {
+    let report = adaptive_weights_store(stores, cfg);
+    (fuse_store(stores, &report.weights), report)
 }
 
 /// The paper's two-stage composition: `Mn + Ml → Mt`, then `Ms + Mt → M`.
@@ -252,6 +362,36 @@ pub fn two_stage_fuse(
         (Some(s), None) => (s.clone(), None, None),
         (None, Some((t, trep))) => (t, trep, None),
         (None, None) => panic!("two_stage_fuse needs at least one feature matrix"),
+    }
+}
+
+/// The two-stage composition over stores: `Mn + Ml → Mt`, then
+/// `Ms + Mt → M`, each stage dispatched through [`adaptive_fuse_store`].
+/// All-dense inputs reproduce [`two_stage_fuse`] bitwise; sparse inputs
+/// keep the result sparse end to end.
+pub fn two_stage_fuse_store(
+    structural: Option<&SimStore>,
+    semantic: Option<&SimStore>,
+    string: Option<&SimStore>,
+    cfg: &FusionConfig,
+) -> (SimStore, Option<FusionReport>, Option<FusionReport>) {
+    let textual: Option<(SimStore, Option<FusionReport>)> = match (semantic, string) {
+        (Some(n), Some(l)) => {
+            let (t, rep) = adaptive_fuse_store(&[n, l], cfg);
+            Some((t, Some(rep)))
+        }
+        (Some(n), None) => Some((n.clone(), None)),
+        (None, Some(l)) => Some((l.clone(), None)),
+        (None, None) => None,
+    };
+    match (structural, textual) {
+        (Some(s), Some((t, trep))) => {
+            let (m, rep) = adaptive_fuse_store(&[s, &t], cfg);
+            (m, trep, Some(rep))
+        }
+        (Some(s), None) => (s.clone(), None, None),
+        (None, Some((t, trep))) => (t, trep, None),
+        (None, None) => panic!("two_stage_fuse needs at least one feature store"),
     }
 }
 
@@ -398,6 +538,80 @@ mod tests {
     #[should_panic(expected = "at least one feature")]
     fn two_stage_rejects_empty() {
         let _ = two_stage_fuse(None, None, None, &FusionConfig::default());
+    }
+
+    #[test]
+    fn store_fusion_dense_path_is_bitwise() {
+        let s = sm(&[&[0.9, 0.1], &[0.1, 0.8]]);
+        let n = sm(&[&[0.7, 0.2], &[0.3, 0.9]]);
+        let l = sm(&[&[0.8, 0.0], &[0.0, 0.6]]);
+        let cfg = FusionConfig::default();
+        let (dense, dt, df) = two_stage_fuse(Some(&s), Some(&n), Some(&l), &cfg);
+        let (store, st, sf) = two_stage_fuse_store(
+            Some(&SimStore::Dense(s)),
+            Some(&SimStore::Dense(n)),
+            Some(&SimStore::Dense(l)),
+            &cfg,
+        );
+        assert_eq!(store.as_dense().expect("dense in, dense out"), &dense);
+        assert_eq!(dt.map(|r| r.weights), st.map(|r| r.weights));
+        assert_eq!(df.map(|r| r.weights), sf.map(|r| r.weights));
+    }
+
+    #[test]
+    fn complete_sparse_fusion_matches_dense_bitwise() {
+        use ceaff_sim::SparseTopK;
+        let s = sm(&[&[0.9, 0.1, 0.3], &[0.1, 0.8, 0.2], &[0.4, 0.2, 0.7]]);
+        let n = sm(&[&[0.7, 0.2, 0.1], &[0.3, 0.9, 0.4], &[0.1, 0.5, 0.6]]);
+        let l = sm(&[&[0.8, 0.0, 0.2], &[0.0, 0.6, 0.1], &[0.2, 0.3, 0.9]]);
+        let cfg = FusionConfig::default();
+        let (dense, _, _) = two_stage_fuse(Some(&s), Some(&n), Some(&l), &cfg);
+        let sp = |m: &SimilarityMatrix| SimStore::Sparse(SparseTopK::from_dense(m, 3));
+        let (store, _, _) = two_stage_fuse_store(Some(&sp(&s)), Some(&sp(&n)), Some(&sp(&l)), &cfg);
+        let fused = store.as_sparse().expect("sparse in, sparse out");
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(
+                    fused.get(i, j).to_bits(),
+                    dense.get(i, j).to_bits(),
+                    "cell ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_confident_correspondences_match_dense_on_complete_store() {
+        use ceaff_sim::SparseTopK;
+        let m = sm(&[&[0.6, 0.5, 0.2], &[0.7, 1.0, 0.1], &[0.2, 0.2, 0.4]]);
+        let dense = confident_correspondences(&m);
+        let sparse =
+            confident_correspondences_store(&SimStore::Sparse(SparseTopK::from_dense(&m, 3)));
+        assert_eq!(dense, sparse);
+    }
+
+    #[test]
+    fn blocked_fusion_keeps_the_candidate_union() {
+        use ceaff_sim::SparseTopK;
+        // Two sparse features with different per-row candidate sets: the
+        // fused row must hold their union, accumulated per cell.
+        let a = SimStore::Sparse(SparseTopK::from_rows(
+            3,
+            1,
+            vec![vec![(0, 0.9)], vec![(1, 0.8)]],
+        ));
+        let b = SimStore::Sparse(SparseTopK::from_rows(
+            3,
+            1,
+            vec![vec![(2, 0.5)], vec![(1, 0.4)]],
+        ));
+        let fused = fuse_store(&[&a, &b], &[0.5, 0.5]);
+        let fused = fused.as_sparse().expect("sparse in, sparse out");
+        assert_eq!(fused.nnz(), 3);
+        assert!((fused.get(0, 0) - 0.45).abs() < 1e-6);
+        assert!((fused.get(0, 2) - 0.25).abs() < 1e-6);
+        assert!((fused.get(1, 1) - 0.6).abs() < 1e-6);
+        assert_eq!(fused.get(0, 1), 0.0, "never a candidate anywhere");
     }
 
     proptest! {

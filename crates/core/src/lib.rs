@@ -67,12 +67,14 @@ pub use ceaff_telemetry::{
 pub use checkpoint::{CheckpointPolicy, Checkpointer};
 pub use error::CeaffError;
 pub use eval::{
-    accuracy, hits_at_k, mrr, precision_recall, ranking_metrics, PrecisionRecall, RankingMetrics,
+    accuracy, hits_at_k, hits_at_k_store, mrr, mrr_store, precision_recall, ranking_metrics,
+    ranking_metrics_store, PrecisionRecall, RankingMetrics,
 };
 pub use features::{AttributeFeature, Feature, SemanticFeature, StringFeature, StructuralFeature};
 pub use fusion::{
-    adaptive_fuse, adaptive_weights, confident_correspondences, fuse, two_stage_fuse, Candidate,
-    FusionConfig, FusionReport,
+    adaptive_fuse, adaptive_fuse_store, adaptive_weights, adaptive_weights_store,
+    confident_correspondences, confident_correspondences_store, fuse, fuse_store, two_stage_fuse,
+    two_stage_fuse_store, Candidate, FusionConfig, FusionReport,
 };
 pub use gcn::{
     try_train_budgeted, try_train_traced, Activation, GcnConfig, GcnEncoder, OptimKind,
@@ -86,8 +88,8 @@ pub use matching::{
 pub use pipeline::{
     resume_from, resume_from_with_budget, try_run, try_run_checkpointed,
     try_run_checkpointed_with_budget, try_run_single_stage, try_run_with_budget,
-    try_run_with_features, try_run_with_features_budgeted, CeaffConfig, CeaffConfigBuilder,
-    CeaffOutput, EaInput, FeatureSet, WeightingMode,
+    try_run_with_features, try_run_with_features_budgeted, CandidateStrategy, CeaffConfig,
+    CeaffConfigBuilder, CeaffOutput, EaInput, FeatureSet, WeightingMode,
 };
 #[allow(deprecated)]
 pub use pipeline::{run, run_single_stage, run_with_features};

@@ -138,7 +138,7 @@ mod tests {
     struct DiagFeature {
         n: usize,
         strength: f32,
-        test: SimilarityMatrix,
+        test: ceaff_sim::SimStore,
     }
 
     impl DiagFeature {
@@ -150,7 +150,7 @@ mod tests {
             Self {
                 n,
                 strength,
-                test: SimilarityMatrix::new(m),
+                test: ceaff_sim::SimStore::Dense(SimilarityMatrix::new(m)),
             }
         }
     }
@@ -159,7 +159,7 @@ mod tests {
         fn name(&self) -> &'static str {
             "diag"
         }
-        fn test_matrix(&self) -> &SimilarityMatrix {
+        fn test_store(&self) -> &ceaff_sim::SimStore {
             &self.test
         }
         fn score(&self, u: EntityId, v: EntityId) -> f32 {
@@ -177,7 +177,7 @@ mod tests {
         fn name(&self) -> &'static str {
             "noise"
         }
-        fn test_matrix(&self) -> &SimilarityMatrix {
+        fn test_store(&self) -> &ceaff_sim::SimStore {
             unimplemented!("not needed for weight learning")
         }
         fn score(&self, _: EntityId, _: EntityId) -> f32 {

@@ -2,7 +2,7 @@
 //! decide alignments, and the paper's "w/o C" ablation.
 
 use super::{Matcher, Matching};
-use ceaff_sim::SimilarityMatrix;
+use ceaff_sim::{SimStore, SimilarityMatrix};
 use ceaff_telemetry::Telemetry;
 
 /// For every source row, pick the most similar target, independently of all
@@ -42,6 +42,45 @@ impl Matcher for Greedy {
         telemetry.counter_add("matcher", "iterations", matching.len() as u64);
         telemetry.counter_add("matcher", "conflicts", conflicts);
         matching
+    }
+
+    fn matching_store(&self, s: &SimStore) -> Matching {
+        match s {
+            SimStore::Dense(m) => self.matching(m),
+            SimStore::Sparse(sp) => {
+                if sp.targets() == 0 {
+                    return Matching::from_pairs(Vec::new());
+                }
+                // Rows are stored (score desc, col asc), so the first entry
+                // *is* the dense argmax (lowest column on ties). Rows with
+                // no surviving candidates stay unmatched.
+                let pairs = (0..sp.sources())
+                    .filter_map(|i| sp.row_argmax(i).map(|j| (i, j)))
+                    .collect();
+                Matching::from_pairs(pairs)
+            }
+        }
+    }
+
+    fn matching_store_traced(&self, s: &SimStore, telemetry: &Telemetry) -> Matching {
+        match s {
+            SimStore::Dense(m) => self.matching_traced(m, telemetry),
+            SimStore::Sparse(_) => {
+                let _span = telemetry.span("matcher");
+                let matching = self.matching_store(s);
+                let mut taken = vec![false; s.targets()];
+                let mut conflicts = 0u64;
+                for &(_, j) in matching.pairs() {
+                    if taken[j] {
+                        conflicts += 1;
+                    }
+                    taken[j] = true;
+                }
+                telemetry.counter_add("matcher", "iterations", matching.len() as u64);
+                telemetry.counter_add("matcher", "conflicts", conflicts);
+                matching
+            }
+        }
     }
 }
 

@@ -10,7 +10,7 @@
 //! scores are well calibrated.
 
 use super::{Matcher, Matching};
-use ceaff_sim::SimilarityMatrix;
+use ceaff_sim::{SimStore, SimilarityMatrix, SparseTopK};
 use ceaff_telemetry::Telemetry;
 
 /// Descending-score greedy one-to-one assignment.
@@ -61,6 +61,51 @@ impl GreedyOneToOne {
         pairs.sort_unstable();
         (Matching::from_pairs(pairs), visited, skipped)
     }
+
+    /// Sparse variant: only the stored candidate cells enter the global
+    /// sort — same comparator `(score desc, row asc, col asc)`, so on a
+    /// complete store (`k ≥ targets`) the visit order, and hence the
+    /// matching, is identical to the dense path.
+    fn solve_sparse(&self, s: &SparseTopK) -> (Matching, u64, u64) {
+        let mut visited = 0u64;
+        let mut skipped = 0u64;
+        let (n, t) = (s.sources(), s.targets());
+        if n == 0 || t == 0 || s.nnz() == 0 {
+            return (Matching::from_pairs(Vec::new()), visited, skipped);
+        }
+        let mut cells: Vec<(f32, u32, u32)> = Vec::with_capacity(s.nnz());
+        for i in 0..n {
+            let (cols, scores) = s.row_entries(i);
+            for (&j, &v) in cols.iter().zip(scores) {
+                cells.push((v, i as u32, j));
+            }
+        }
+        cells.sort_unstable_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("similarity scores must not be NaN")
+                .then(a.1.cmp(&b.1))
+                .then(a.2.cmp(&b.2))
+        });
+        let mut src_taken = vec![false; n];
+        let mut tgt_taken = vec![false; t];
+        let mut pairs = Vec::with_capacity(n.min(t));
+        for (_, i, j) in cells {
+            visited += 1;
+            let (i, j) = (i as usize, j as usize);
+            if src_taken[i] || tgt_taken[j] {
+                skipped += 1;
+                continue;
+            }
+            src_taken[i] = true;
+            tgt_taken[j] = true;
+            pairs.push((i, j));
+            if pairs.len() == n.min(t) {
+                break;
+            }
+        }
+        pairs.sort_unstable();
+        (Matching::from_pairs(pairs), visited, skipped)
+    }
 }
 
 impl Matcher for GreedyOneToOne {
@@ -78,6 +123,26 @@ impl Matcher for GreedyOneToOne {
         telemetry.counter_add("matcher", "iterations", visited);
         telemetry.counter_add("matcher", "conflicts", skipped);
         matching
+    }
+
+    fn matching_store(&self, s: &SimStore) -> Matching {
+        match s {
+            SimStore::Dense(m) => self.matching(m),
+            SimStore::Sparse(sp) => self.solve_sparse(sp).0,
+        }
+    }
+
+    fn matching_store_traced(&self, s: &SimStore, telemetry: &Telemetry) -> Matching {
+        match s {
+            SimStore::Dense(m) => self.matching_traced(m, telemetry),
+            SimStore::Sparse(sp) => {
+                let _span = telemetry.span("matcher");
+                let (matching, visited, skipped) = self.solve_sparse(sp);
+                telemetry.counter_add("matcher", "iterations", visited);
+                telemetry.counter_add("matcher", "conflicts", skipped);
+                matching
+            }
+        }
     }
 }
 

@@ -7,8 +7,9 @@
 
 use super::{greedy_complete, AnytimeOutcome, Matcher, Matching};
 use crate::budget::ExecBudget;
-use ceaff_sim::SimilarityMatrix;
+use ceaff_sim::{SimStore, SimilarityMatrix, SparseTopK};
 use ceaff_telemetry::Telemetry;
+use ceaff_tensor::Matrix;
 
 /// Kuhn–Munkres assignment maximising total similarity, O(n²·m).
 ///
@@ -103,6 +104,45 @@ impl Hungarian {
             .collect();
         pairs.sort_unstable();
         (Matching::from_pairs(pairs), iterations)
+    }
+
+    /// Densify only the candidate submatrix: the columns are the ascending
+    /// union of every row's stored candidates, missing cells become `0.0`.
+    /// Kuhn–Munkres is then exact over that submatrix — `O(n² · |union|)`
+    /// instead of `O(n² · targets)`. On a complete store the union is every
+    /// column, the submatrix is the dense matrix, and the column remap is
+    /// the identity, so results are bitwise those of the dense path.
+    fn densify_candidates(s: &SparseTopK) -> (SimilarityMatrix, Vec<usize>) {
+        let (n, t) = (s.sources(), s.targets());
+        let mut present = vec![false; t];
+        for i in 0..n {
+            for &c in s.row_entries(i).0 {
+                present[c as usize] = true;
+            }
+        }
+        let union: Vec<usize> = (0..t).filter(|&j| present[j]).collect();
+        let mut inv = vec![usize::MAX; t];
+        for (idx, &j) in union.iter().enumerate() {
+            inv[j] = idx;
+        }
+        let mut m = Matrix::zeros(n, union.len());
+        for i in 0..n {
+            let (cols, scores) = s.row_entries(i);
+            for (&c, &v) in cols.iter().zip(scores) {
+                m[(i, inv[c as usize])] = v;
+            }
+        }
+        (SimilarityMatrix::new(m), union)
+    }
+
+    /// Remap submatrix column indices back to original target indices.
+    fn remap(matching: Matching, union: &[usize]) -> Matching {
+        let pairs = matching
+            .pairs()
+            .iter()
+            .map(|&(i, j)| (i, union[j]))
+            .collect();
+        Matching::from_pairs(pairs)
     }
 }
 
@@ -261,6 +301,46 @@ impl Matcher for Hungarian {
             matching: Matching::from_pairs(pairs),
             degradation: Some(degradation),
             degraded_rows,
+        }
+    }
+
+    fn matching_store(&self, s: &SimStore) -> Matching {
+        match s {
+            SimStore::Dense(m) => self.matching(m),
+            SimStore::Sparse(sp) => {
+                let (sub, union) = Self::densify_candidates(sp);
+                Self::remap(self.matching(&sub), &union)
+            }
+        }
+    }
+
+    fn matching_store_traced(&self, s: &SimStore, telemetry: &Telemetry) -> Matching {
+        match s {
+            SimStore::Dense(m) => self.matching_traced(m, telemetry),
+            SimStore::Sparse(sp) => {
+                let (sub, union) = Self::densify_candidates(sp);
+                Self::remap(self.matching_traced(&sub, telemetry), &union)
+            }
+        }
+    }
+
+    fn matching_store_budgeted(
+        &self,
+        s: &SimStore,
+        budget: &ExecBudget,
+        telemetry: &Telemetry,
+    ) -> AnytimeOutcome {
+        match s {
+            SimStore::Dense(m) => self.matching_budgeted(m, budget, telemetry),
+            SimStore::Sparse(sp) => {
+                let (sub, union) = Self::densify_candidates(sp);
+                let out = self.matching_budgeted(&sub, budget, telemetry);
+                AnytimeOutcome {
+                    matching: Self::remap(out.matching, &union),
+                    degradation: out.degradation,
+                    degraded_rows: out.degraded_rows,
+                }
+            }
         }
     }
 }

@@ -22,7 +22,7 @@ pub use hungarian::Hungarian;
 pub use stable_marriage::StableMarriage;
 
 use crate::budget::ExecBudget;
-use ceaff_sim::SimilarityMatrix;
+use ceaff_sim::{SimScores, SimStore, SimilarityMatrix, SparseTopK};
 use ceaff_telemetry::{Degradation, Telemetry};
 use serde::{Deserialize, Serialize};
 
@@ -69,15 +69,16 @@ impl Matching {
         src.windows(2).all(|w| w[0] != w[1]) && tgt.windows(2).all(|w| w[0] != w[1])
     }
 
-    /// Sum of similarity scores over the matched pairs.
-    pub fn total_weight(&self, m: &SimilarityMatrix) -> f64 {
+    /// Sum of similarity scores over the matched pairs. Accepts any
+    /// similarity backend (dense matrix, sparse store, [`SimStore`]).
+    pub fn total_weight<S: SimScores + ?Sized>(&self, m: &S) -> f64 {
         self.pairs.iter().map(|&(i, j)| m.get(i, j) as f64).sum()
     }
 
     /// Whether `(u, v)` is a *blocking pair*: both prefer each other over
     /// their current partners (unmatched counts as least preferred). The
     /// paper's stability criterion — a stable matching has none.
-    pub fn is_blocking_pair(&self, m: &SimilarityMatrix, u: usize, v: usize) -> bool {
+    pub fn is_blocking_pair<S: SimScores + ?Sized>(&self, m: &S, u: usize, v: usize) -> bool {
         if self.pairs.contains(&(u, v)) {
             return false;
         }
@@ -98,7 +99,11 @@ impl Matching {
     /// counterpart, and matching them anyway trades precision for recall.
     /// Evaluate the filtered matching with
     /// [`crate::eval::precision_recall`].
-    pub fn filter_by_threshold(&self, m: &SimilarityMatrix, min_similarity: f32) -> Matching {
+    pub fn filter_by_threshold<S: SimScores + ?Sized>(
+        &self,
+        m: &S,
+        min_similarity: f32,
+    ) -> Matching {
         Matching::from_pairs(
             self.pairs
                 .iter()
@@ -110,7 +115,7 @@ impl Matching {
 
     /// Exhaustively search for any blocking pair (test/diagnostic helper;
     /// O(n·m)).
-    pub fn find_blocking_pair(&self, m: &SimilarityMatrix) -> Option<(usize, usize)> {
+    pub fn find_blocking_pair<S: SimScores + ?Sized>(&self, m: &S) -> Option<(usize, usize)> {
         for u in 0..m.sources() {
             for v in 0..m.targets() {
                 if self.is_blocking_pair(m, u, v) {
@@ -199,13 +204,97 @@ pub(crate) fn greedy_complete(
     completed
 }
 
+/// Sparse analogue of [`greedy_complete`]: visit the still-free *stored*
+/// cells in descending similarity (ties broken by row then column index)
+/// and match a pair whenever both sides are free. On a complete store
+/// (`k ≥ targets`) the cell set equals the dense cross product, so the
+/// completion is bitwise-identical to the dense helper. Rows whose every
+/// candidate is taken stay unmatched — a non-candidate is never assigned.
+pub(crate) fn greedy_complete_sparse(
+    s: &SparseTopK,
+    src_taken: &mut [bool],
+    tgt_taken: &mut [bool],
+    pairs: &mut Vec<(usize, usize)>,
+) -> Vec<usize> {
+    let mut cells: Vec<(f32, u32, u32)> = Vec::new();
+    for (i, &taken) in src_taken.iter().enumerate().take(s.sources()) {
+        if taken {
+            continue;
+        }
+        let (cols, scores) = s.row_entries(i);
+        for (&j, &v) in cols.iter().zip(scores) {
+            if !tgt_taken[j as usize] {
+                cells.push((v, i as u32, j));
+            }
+        }
+    }
+    cells.sort_unstable_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .expect("similarity scores must not be NaN")
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+    });
+    let mut completed = Vec::new();
+    for (_, i, j) in cells {
+        let (i, j) = (i as usize, j as usize);
+        if src_taken[i] || tgt_taken[j] {
+            continue;
+        }
+        src_taken[i] = true;
+        tgt_taken[j] = true;
+        pairs.push((i, j));
+        completed.push(i);
+    }
+    completed.sort_unstable();
+    completed
+}
+
 /// A strategy turning a similarity matrix into an alignment decision.
+///
+/// The `matching*` methods consume the dense [`SimilarityMatrix`]
+/// directly; the `matching_store*` methods accept either [`SimStore`]
+/// backend. Dense stores dispatch to the dense methods bit for bit. The
+/// built-in matchers override the sparse path to read candidate
+/// preference lists straight from the store (stable marriage, the
+/// greedy strategies) or to densify only the candidate submatrix
+/// (Hungarian); the default sparse fallback densifies the whole store
+/// and is intended for external [`Matcher`] impls only.
 pub trait Matcher {
     /// Human-readable strategy name.
     fn name(&self) -> &'static str;
 
     /// Compute the matching.
     fn matching(&self, m: &SimilarityMatrix) -> Matching;
+
+    /// Compute the matching from either store backend.
+    fn matching_store(&self, s: &SimStore) -> Matching {
+        match s {
+            SimStore::Dense(m) => self.matching(m),
+            SimStore::Sparse(sp) => self.matching(&sp.to_dense()),
+        }
+    }
+
+    /// [`Matcher::matching_store`] with telemetry (see
+    /// [`Matcher::matching_traced`] for the counters contract).
+    fn matching_store_traced(&self, s: &SimStore, telemetry: &Telemetry) -> Matching {
+        match s {
+            SimStore::Dense(m) => self.matching_traced(m, telemetry),
+            SimStore::Sparse(sp) => self.matching_traced(&sp.to_dense(), telemetry),
+        }
+    }
+
+    /// [`Matcher::matching_budgeted`] over either store backend.
+    fn matching_store_budgeted(
+        &self,
+        s: &SimStore,
+        budget: &ExecBudget,
+        telemetry: &Telemetry,
+    ) -> AnytimeOutcome {
+        match s {
+            SimStore::Dense(m) => self.matching_budgeted(m, budget, telemetry),
+            SimStore::Sparse(sp) => self.matching_budgeted(&sp.to_dense(), budget, telemetry),
+        }
+    }
 
     /// [`Matcher::matching`] with telemetry: the decision is timed under
     /// the `"matcher"` stage and implementations add algorithm-specific

@@ -8,9 +8,9 @@
 //! provisional matches and trade up. The result is source-optimal and
 //! contains no blocking pair.
 
-use super::{greedy_complete, AnytimeOutcome, Matcher, Matching};
+use super::{greedy_complete, greedy_complete_sparse, AnytimeOutcome, Matcher, Matching};
 use crate::budget::ExecBudget;
-use ceaff_sim::SimilarityMatrix;
+use ceaff_sim::{SimStore, SimilarityMatrix, SparseTopK};
 use ceaff_telemetry::Telemetry;
 use std::collections::VecDeque;
 
@@ -114,6 +114,60 @@ impl StableMarriage {
         pairs.sort_unstable();
         (Matching::from_pairs(pairs), proposals, trade_ups)
     }
+
+    /// Deferred acceptance over a sparse store. The stored rows *are* the
+    /// preference lists — already sorted (score desc, col asc), the exact
+    /// comparator of the dense build — so no sort happens at all. A source
+    /// that exhausts its candidate list stays unmatched (it never proposes
+    /// to a non-candidate). On a complete store the proposal schedule, and
+    /// hence the matching, is bitwise-identical to the dense solver.
+    fn solve_sparse(&self, s: &SparseTopK) -> (Matching, u64, u64) {
+        let mut proposals = 0u64;
+        let mut trade_ups = 0u64;
+        let (n, t) = (s.sources(), s.targets());
+        if n == 0 || t == 0 {
+            return (Matching::from_pairs(Vec::new()), proposals, trade_ups);
+        }
+        let mut next_proposal = vec![0usize; n];
+        let mut holder: Vec<Option<usize>> = vec![None; t];
+        let mut queue: VecDeque<usize> = (0..n).collect();
+
+        while let Some(u) = queue.pop_front() {
+            let mut u = u;
+            loop {
+                let (cols, scores) = s.row_entries(u);
+                let cursor = next_proposal[u];
+                if cursor >= cols.len() {
+                    break; // exhausted its candidates; stays unmatched
+                }
+                next_proposal[u] += 1;
+                proposals += 1;
+                let v = cols[cursor] as usize;
+                let uv = scores[cursor];
+                match holder[v] {
+                    None => {
+                        holder[v] = Some(u);
+                        break;
+                    }
+                    Some(cur) => {
+                        if uv > s.get(cur, v) {
+                            holder[v] = Some(u);
+                            trade_ups += 1;
+                            u = cur;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut pairs: Vec<(usize, usize)> = holder
+            .into_iter()
+            .enumerate()
+            .filter_map(|(v, h)| h.map(|u| (u, v)))
+            .collect();
+        pairs.sort_unstable();
+        (Matching::from_pairs(pairs), proposals, trade_ups)
+    }
 }
 
 impl Matcher for StableMarriage {
@@ -132,6 +186,137 @@ impl Matcher for StableMarriage {
         telemetry.counter_add("matcher", "proposals", proposals);
         telemetry.counter_add("matcher", "trade_ups", trade_ups);
         matching
+    }
+
+    fn matching_store(&self, s: &SimStore) -> Matching {
+        match s {
+            SimStore::Dense(m) => self.matching(m),
+            SimStore::Sparse(sp) => self.solve_sparse(sp).0,
+        }
+    }
+
+    fn matching_store_traced(&self, s: &SimStore, telemetry: &Telemetry) -> Matching {
+        match s {
+            SimStore::Dense(m) => self.matching_traced(m, telemetry),
+            SimStore::Sparse(sp) => {
+                let _span = telemetry.span("matcher");
+                let (matching, proposals, trade_ups) = self.solve_sparse(sp);
+                telemetry.counter_add("matcher", "iterations", proposals);
+                telemetry.counter_add("matcher", "proposals", proposals);
+                telemetry.counter_add("matcher", "trade_ups", trade_ups);
+                matching
+            }
+        }
+    }
+
+    /// Anytime deferred acceptance over either backend. The sparse path
+    /// mirrors the dense anytime loop (granule = one queue pop, inner
+    /// cancel poll every 64 proposals) minus the preference build — the
+    /// stored rows are the lists. Unsettled sources are completed greedily
+    /// against the still-free *candidate* cells.
+    fn matching_store_budgeted(
+        &self,
+        s: &SimStore,
+        budget: &ExecBudget,
+        telemetry: &Telemetry,
+    ) -> AnytimeOutcome {
+        let sp = match s {
+            SimStore::Dense(m) => return self.matching_budgeted(m, budget, telemetry),
+            SimStore::Sparse(sp) => sp,
+        };
+        if budget.is_unlimited() {
+            return AnytimeOutcome::exact(self.matching_store_traced(s, telemetry));
+        }
+        let _span = telemetry.span("matcher");
+        let mut proposals = 0u64;
+        let mut trade_ups = 0u64;
+        let mut pops = 0u64;
+        let (n, t) = (sp.sources(), sp.targets());
+        if n == 0 || t == 0 {
+            return AnytimeOutcome::exact(Matching::from_pairs(Vec::new()));
+        }
+        let mut stop = budget.interrupt_reason();
+        let mut holder: Vec<Option<usize>> = vec![None; t];
+        if stop.is_none() {
+            let mut next_proposal = vec![0usize; n];
+            let mut queue: VecDeque<usize> = (0..n).collect();
+            'outer: while let Some(u) = queue.pop_front() {
+                if let Some(reason) = budget.consume_step() {
+                    stop = Some(reason);
+                    break;
+                }
+                pops += 1;
+                if pops.is_multiple_of(256) {
+                    telemetry.progress("matcher", pops.min(n as u64), n as u64);
+                }
+                let mut u = u;
+                loop {
+                    if proposals.is_multiple_of(64) {
+                        if let Some(reason) = budget.interrupt_reason() {
+                            stop = Some(reason);
+                            break 'outer;
+                        }
+                    }
+                    let (cols, scores) = sp.row_entries(u);
+                    let cursor = next_proposal[u];
+                    if cursor >= cols.len() {
+                        break;
+                    }
+                    next_proposal[u] += 1;
+                    proposals += 1;
+                    let v = cols[cursor] as usize;
+                    let uv = scores[cursor];
+                    match holder[v] {
+                        None => {
+                            holder[v] = Some(u);
+                            break;
+                        }
+                        Some(cur) => {
+                            if uv > sp.get(cur, v) {
+                                holder[v] = Some(u);
+                                trade_ups += 1;
+                                u = cur;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut pairs: Vec<(usize, usize)> = holder
+            .iter()
+            .enumerate()
+            .filter_map(|(v, h)| h.map(|u| (u, v)))
+            .collect();
+        pairs.sort_unstable();
+        telemetry.counter_add("matcher", "iterations", proposals);
+        telemetry.counter_add("matcher", "proposals", proposals);
+        telemetry.counter_add("matcher", "trade_ups", trade_ups);
+        telemetry.progress("matcher", n as u64, n as u64);
+        let Some(reason) = stop else {
+            return AnytimeOutcome::exact(Matching::from_pairs(pairs));
+        };
+        let mut src_taken = vec![false; n];
+        let mut tgt_taken = vec![false; t];
+        for &(i, j) in &pairs {
+            src_taken[i] = true;
+            tgt_taken[j] = true;
+        }
+        let degraded_rows: Vec<usize> = (0..n).filter(|&i| !src_taken[i]).collect();
+        greedy_complete_sparse(sp, &mut src_taken, &mut tgt_taken, &mut pairs);
+        pairs.sort_unstable();
+        let degradation = budget.record_degradation(
+            telemetry,
+            "matcher",
+            reason,
+            pops,
+            degraded_rows.len() as f64 / n as f64,
+        );
+        AnytimeOutcome {
+            matching: Matching::from_pairs(pairs),
+            degradation: Some(degradation),
+            degraded_rows,
+        }
     }
 
     /// Anytime deferred acceptance. The granule is one queue pop (one

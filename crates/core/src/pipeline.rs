@@ -11,18 +11,70 @@
 use crate::budget::{ExecBudget, StopReason};
 use crate::checkpoint::{self, CheckpointPolicy, Checkpointer};
 use crate::error::CeaffError;
-use crate::eval::{accuracy, ranking_metrics, RankingMetrics};
+use crate::eval::{accuracy, ranking_metrics_store, RankingMetrics};
 use crate::features::{Feature, SemanticFeature, StringFeature, StructuralFeature};
 
-use crate::fusion::{adaptive_fuse, fuse, two_stage_fuse, FusionConfig, FusionReport};
+use crate::fusion::{
+    adaptive_fuse_store, fuse_store, two_stage_fuse_store, FusionConfig, FusionReport,
+};
 use crate::gcn::{GcnConfig, OptimKind};
 use crate::lr::{learn_weights, LrConfig};
 use crate::matching::{MatcherKind, Matching};
 use ceaff_embed::WordEmbedder;
 use ceaff_graph::KgPair;
-use ceaff_sim::SimilarityMatrix;
+use ceaff_sim::{BlockingConfig, CandidateSet, SimStore, SimilarityMatrix};
 use ceaff_telemetry::{RunTrace, Telemetry};
 use serde::{Deserialize, Serialize};
+
+/// How candidate target entities are generated for each test source
+/// (tentpole of the sub-quadratic redesign).
+#[derive(Debug, Clone, Serialize, Default, PartialEq)]
+pub enum CandidateStrategy {
+    /// Score every source against every target — the paper's exact
+    /// pipeline. Feature stores are dense; golden metrics are computed on
+    /// this path.
+    #[default]
+    Dense,
+    /// Generate candidates by name-trigram blocking
+    /// ([`ceaff_sim::build_candidates`]) and score only those pairs.
+    /// Feature stores are sparse top-k ([`ceaff_sim::SparseTopK`]); memory
+    /// and similarity-stage time drop from `O(n·t)` to `O(n·k)`.
+    Blocked {
+        /// Per-row candidate cap kept in each sparse store.
+        k: usize,
+        /// Blocking-stage tuning (trigram band width etc.).
+        blocking: BlockingConfig,
+    },
+}
+
+impl CandidateStrategy {
+    /// `true` for [`CandidateStrategy::Dense`].
+    pub fn is_dense(&self) -> bool {
+        matches!(self, CandidateStrategy::Dense)
+    }
+}
+
+// Hand-written so configs serialized before the `candidates` field existed
+// keep loading: the serde shim resolves a missing field to `Value::Null`,
+// which must mean "the default" (Dense) — the `#[serde(default)]`
+// semantics the shim's derive does not implement itself.
+impl Deserialize for CandidateStrategy {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Null => Ok(CandidateStrategy::Dense),
+            serde::Value::String(s) if s == "Dense" => Ok(CandidateStrategy::Dense),
+            _ => match v.get("Blocked").map(|p| p.as_object()) {
+                Some(Some(fields)) => Ok(CandidateStrategy::Blocked {
+                    k: serde::de::field(fields, "k")?,
+                    blocking: serde::de::field(fields, "blocking")?,
+                }),
+                _ => Err(serde::Error::custom(
+                    "expected \"Dense\" or {\"Blocked\": {..}} for CandidateStrategy",
+                )),
+            },
+        }
+    }
+}
 
 /// How feature matrices are weighted before matching.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -63,6 +115,12 @@ pub struct CeaffConfig {
     /// attacking the many-sources-one-target pathology at similarity level
     /// rather than (only) at decision level.
     pub csls: Option<usize>,
+    /// Candidate-generation strategy: dense all-pairs scoring (the paper's
+    /// exact pipeline, and the default) or blocking into sparse top-k
+    /// stores for sub-quadratic memory and similarity time. Defaults to
+    /// [`CandidateStrategy::Dense`] when absent from serialized configs.
+    #[serde(default)]
+    pub candidates: CandidateStrategy,
 }
 
 impl Default for CeaffConfig {
@@ -78,6 +136,7 @@ impl Default for CeaffConfig {
             matcher: MatcherKind::StableMarriage,
             normalize_features: true,
             csls: None,
+            candidates: CandidateStrategy::Dense,
         }
     }
 }
@@ -175,6 +234,23 @@ impl CeaffConfig {
                 "csls neighbourhood size must be at least 1".into(),
             ));
         }
+        if let CandidateStrategy::Blocked { k, blocking } = &self.candidates {
+            if *k == 0 {
+                return Err(CeaffError::InvalidConfig(
+                    "candidates.k must be at least 1".into(),
+                ));
+            }
+            if blocking.min_shared_keys == 0 {
+                return Err(CeaffError::InvalidConfig(
+                    "candidates.blocking.min_shared_keys must be at least 1".into(),
+                ));
+            }
+            if !blocking.index_tokens && !blocking.index_trigrams {
+                return Err(CeaffError::InvalidConfig(
+                    "candidates.blocking must index tokens, trigrams, or both".into(),
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -224,6 +300,16 @@ impl CeaffConfig {
     /// size `k` (10 is the conventional choice).
     pub fn with_csls(mut self, k: usize) -> Self {
         self.csls = Some(k);
+        self
+    }
+
+    /// Builder-style: blocked candidate generation with default blocking
+    /// tuning and per-row cap `k`.
+    pub fn with_blocking(mut self, k: usize) -> Self {
+        self.candidates = CandidateStrategy::Blocked {
+            k,
+            blocking: BlockingConfig::default(),
+        };
         self
     }
 }
@@ -313,6 +399,13 @@ impl CeaffConfigBuilder {
         self
     }
 
+    /// Candidate-generation strategy (dense all-pairs or blocked sparse
+    /// top-k).
+    pub fn candidate_strategy(mut self, candidates: CandidateStrategy) -> Self {
+        self.cfg.candidates = candidates;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<CeaffConfig, CeaffError> {
         self.cfg.validate()?;
@@ -378,10 +471,50 @@ pub struct FeatureSet {
     pub extra: Vec<Box<dyn Feature>>,
 }
 
+/// Build the blocked candidate set over the test split's entity names,
+/// under a `"blocking"` telemetry span, and report the blocking gauges:
+/// `blocking/recall` (fraction of diagonal gold pairs surviving blocking —
+/// the recall ceiling of every downstream stage), `blocking/candidates`
+/// (total candidate pairs) and `blocking/scored_fraction` (fraction of
+/// the dense cross product that will be scored).
+fn block_candidates(
+    pair: &KgPair,
+    blocking: &BlockingConfig,
+    k: usize,
+    telemetry: &Telemetry,
+) -> CandidateSet {
+    let _span = telemetry.span("blocking");
+    let src_names: Vec<&str> = pair
+        .test_sources()
+        .iter()
+        .map(|&e| pair.source.entity_name(e).expect("interned"))
+        .collect();
+    let tgt_names: Vec<&str> = pair
+        .test_targets()
+        .iter()
+        .map(|&e| pair.target.entity_name(e).expect("interned"))
+        .collect();
+    let candidates = ceaff_sim::build_candidates(&src_names, &tgt_names, blocking, k);
+    let gold: Vec<(usize, usize)> = (0..src_names.len().min(tgt_names.len()))
+        .map(|i| (i, i))
+        .collect();
+    telemetry.gauge("blocking", "recall", None, candidates.recall_of(&gold));
+    telemetry.gauge("blocking", "candidates", None, candidates.len() as f64);
+    telemetry.gauge(
+        "blocking",
+        "scored_fraction",
+        None,
+        candidates.stats().scored_fraction(),
+    );
+    candidates
+}
+
 impl FeatureSet {
     /// Compute every feature the configuration might need, reporting
     /// per-stage timings (and, with an active event stream, GCN training
-    /// gauges) to `input.telemetry`.
+    /// gauges) to `input.telemetry`. Under
+    /// [`CandidateStrategy::Blocked`] the candidate set is built once and
+    /// every feature scores exactly those pairs into a sparse top-k store.
     pub fn compute(input: &EaInput<'_>, cfg: &CeaffConfig) -> Self {
         let telemetry = &input.telemetry;
         telemetry.gauge(
@@ -390,16 +523,41 @@ impl FeatureSet {
             None,
             ceaff_parallel::current_threads() as f64,
         );
-        let structural = cfg
-            .use_structural
-            .then(|| StructuralFeature::compute_traced(input.pair, &cfg.gcn, telemetry));
+        let blocked = match &cfg.candidates {
+            CandidateStrategy::Dense => None,
+            CandidateStrategy::Blocked { k, blocking } => {
+                Some((block_candidates(input.pair, blocking, *k, telemetry), *k))
+            }
+        };
+        let structural = cfg.use_structural.then(|| match &blocked {
+            None => StructuralFeature::compute_traced(input.pair, &cfg.gcn, telemetry),
+            Some((cands, k)) => StructuralFeature::compute_traced_blocked(
+                input.pair, &cfg.gcn, telemetry, cands, *k,
+            ),
+        });
         let semantic = cfg.use_semantic.then(|| {
             let _span = telemetry.span("semantic");
-            SemanticFeature::compute(input.pair, input.source_embedder, input.target_embedder)
+            match &blocked {
+                None => SemanticFeature::compute(
+                    input.pair,
+                    input.source_embedder,
+                    input.target_embedder,
+                ),
+                Some((cands, k)) => SemanticFeature::compute_blocked(
+                    input.pair,
+                    input.source_embedder,
+                    input.target_embedder,
+                    cands,
+                    *k,
+                ),
+            }
         });
         let string = cfg.use_string.then(|| {
             let _span = telemetry.span("string");
-            StringFeature::compute(input.pair)
+            match &blocked {
+                None => StringFeature::compute(input.pair),
+                Some((cands, k)) => StringFeature::compute_blocked(input.pair, cands, *k),
+            }
         });
         Self {
             structural,
@@ -430,6 +588,12 @@ impl FeatureSet {
         cfg: &CeaffConfig,
         ck: &Checkpointer,
     ) -> Result<Self, CeaffError> {
+        if !cfg.candidates.is_dense() {
+            return Err(CeaffError::InvalidConfig(
+                "checkpointing requires CandidateStrategy::Dense (stage artifacts are dense-only)"
+                    .into(),
+            ));
+        }
         let telemetry = &input.telemetry;
         telemetry.gauge(
             "parallel",
@@ -581,11 +745,29 @@ impl FeatureSet {
         let mut skipped = 0usize;
         let mut stop: Option<StopReason> = None;
 
+        let blocked = match &cfg.candidates {
+            CandidateStrategy::Dense => None,
+            CandidateStrategy::Blocked { k, blocking } => {
+                // Blocking is cheap relative to any feature; run it
+                // uninterrupted and let the memory check below observe
+                // the candidate structure it allocated.
+                let _probe_off = crate::budget::uninterruptible_scope();
+                let cands = block_candidates(input.pair, blocking, *k, telemetry);
+                budget.check_mem("blocking")?;
+                Some((cands, *k))
+            }
+        };
+
         let structural = if cfg.use_structural {
             budget.check_mem("features")?;
-            let f = StructuralFeature::try_compute_budgeted(
-                input.pair, &cfg.gcn, telemetry, None, budget,
-            )?;
+            let f = match &blocked {
+                None => StructuralFeature::try_compute_budgeted(
+                    input.pair, &cfg.gcn, telemetry, None, budget,
+                )?,
+                Some((cands, k)) => StructuralFeature::try_compute_budgeted_blocked(
+                    input.pair, &cfg.gcn, telemetry, budget, cands, *k,
+                )?,
+            };
             computed += 1;
             Some(f)
         } else {
@@ -601,11 +783,20 @@ impl FeatureSet {
                 let _probe_off = crate::budget::uninterruptible_scope();
                 let _span = telemetry.span("semantic");
                 computed += 1;
-                Some(SemanticFeature::compute(
-                    input.pair,
-                    input.source_embedder,
-                    input.target_embedder,
-                ))
+                Some(match &blocked {
+                    None => SemanticFeature::compute(
+                        input.pair,
+                        input.source_embedder,
+                        input.target_embedder,
+                    ),
+                    Some((cands, k)) => SemanticFeature::compute_blocked(
+                        input.pair,
+                        input.source_embedder,
+                        input.target_embedder,
+                        cands,
+                        *k,
+                    ),
+                })
             } else {
                 skipped += 1;
                 None
@@ -623,7 +814,10 @@ impl FeatureSet {
                 let _probe_off = crate::budget::uninterruptible_scope();
                 let _span = telemetry.span("string");
                 computed += 1;
-                Some(StringFeature::compute(input.pair))
+                Some(match &blocked {
+                    None => StringFeature::compute(input.pair),
+                    Some((cands, k)) => StringFeature::compute_blocked(input.pair, cands, *k),
+                })
             } else {
                 skipped += 1;
                 None
@@ -664,6 +858,12 @@ impl FeatureSet {
         ck: &Checkpointer,
         budget: &ExecBudget,
     ) -> Result<Self, CeaffError> {
+        if !cfg.candidates.is_dense() {
+            return Err(CeaffError::InvalidConfig(
+                "checkpointing requires CandidateStrategy::Dense (stage artifacts are dense-only)"
+                    .into(),
+            ));
+        }
         let telemetry = &input.telemetry;
         telemetry.gauge(
             "parallel",
@@ -879,8 +1079,11 @@ impl FeatureSet {
 /// Everything a pipeline run produces.
 #[derive(Debug, Clone)]
 pub struct CeaffOutput {
-    /// The fused similarity matrix `M`.
-    pub fused: SimilarityMatrix,
+    /// The fused similarity store `M` — dense under
+    /// [`CandidateStrategy::Dense`] (bitwise-identical to the
+    /// pre-`SimStore` pipeline), sparse top-k under
+    /// [`CandidateStrategy::Blocked`].
+    pub fused: SimStore,
     /// The alignment decision.
     pub matching: Matching,
     /// Accuracy against the diagonal ground truth (the paper's metric).
@@ -904,15 +1107,15 @@ pub struct CeaffOutput {
     pub trace: RunTrace,
 }
 
-/// Validate the active feature set: at least one feature, all matrices on
+/// Validate the active feature set: at least one feature, all stores on
 /// one shape.
 fn check_features(active: &[&dyn Feature]) -> Result<(), CeaffError> {
     let Some(first) = active.first() else {
         return Err(CeaffError::EmptyFeatureSet);
     };
-    let expected = (first.test_matrix().sources(), first.test_matrix().targets());
+    let expected = (first.test_store().sources(), first.test_store().targets());
     for f in &active[1..] {
-        let found = (f.test_matrix().sources(), f.test_matrix().targets());
+        let found = (f.test_store().sources(), f.test_store().targets());
         if found != expected {
             return Err(CeaffError::ShapeMismatch {
                 feature: f.name().to_owned(),
@@ -949,8 +1152,11 @@ fn emit_flat_weights(telemetry: &Telemetry, weights: &[f32]) {
 }
 
 /// The fusion stage shared by [`try_run_with_features`] and its budgeted
-/// variant: preprocess every active feature matrix, then combine them
-/// under the configured weighting mode.
+/// variant: preprocess every active feature store, then combine them
+/// under the configured weighting mode. All-dense inputs take the
+/// bitwise-identical dense fusion path; any sparse input routes the
+/// merge through the sparse accumulator (see
+/// [`fuse_store`](crate::fusion::fuse_store)).
 #[allow(clippy::type_complexity)]
 fn fuse_active(
     pair: &KgPair,
@@ -958,19 +1164,18 @@ fn fuse_active(
     active: &[&dyn Feature],
     cfg: &CeaffConfig,
 ) -> (
-    SimilarityMatrix,
+    SimStore,
     Option<FusionReport>,
     Option<FusionReport>,
     Option<Vec<f32>>,
 ) {
-    let normalized: Vec<SimilarityMatrix> = active
+    let normalized: Vec<SimStore> = active
         .iter()
-        .map(|f| preprocess(f.test_matrix(), cfg))
+        .map(|f| preprocess_store(f.test_store(), cfg))
         .collect();
 
     // Map back to named slots for the two-stage composition.
-    let mut slot: std::collections::HashMap<&str, &SimilarityMatrix> =
-        std::collections::HashMap::new();
+    let mut slot: std::collections::HashMap<&str, &SimStore> = std::collections::HashMap::new();
     for (f, m) in active.iter().zip(&normalized) {
         slot.insert(f.name(), m);
     }
@@ -978,7 +1183,7 @@ fn fuse_active(
     match &cfg.weighting {
         WeightingMode::Adaptive => {
             if features.extra.is_empty() {
-                let (m, t, f) = two_stage_fuse(
+                let (m, t, f) = two_stage_fuse_store(
                     slot.get("structural").copied(),
                     slot.get("semantic").copied(),
                     slot.get("string").copied(),
@@ -988,7 +1193,7 @@ fn fuse_active(
             } else {
                 // Extra features join the textual stage (semantic +
                 // string + extras -> Mt), then Mt fuses with Ms.
-                let mut textual: Vec<&SimilarityMatrix> = Vec::new();
+                let mut textual: Vec<&SimStore> = Vec::new();
                 if let Some(m) = slot.get("semantic") {
                     textual.push(m);
                 }
@@ -997,10 +1202,10 @@ fn fuse_active(
                 }
                 let extra_start = active.len() - features.extra.len();
                 textual.extend(normalized[extra_start..].iter());
-                let (mt, trep) = adaptive_fuse(&textual, &cfg.fusion);
+                let (mt, trep) = adaptive_fuse_store(&textual, &cfg.fusion);
                 match slot.get("structural").copied() {
                     Some(ms) => {
-                        let (m, frep) = adaptive_fuse(&[ms, &mt], &cfg.fusion);
+                        let (m, frep) = adaptive_fuse_store(&[ms, &mt], &cfg.fusion);
                         (m, Some(trep), Some(frep), None)
                     }
                     None => (mt, Some(trep), None, None),
@@ -1008,14 +1213,19 @@ fn fuse_active(
             }
         }
         WeightingMode::Equal => {
-            let mats: Vec<&SimilarityMatrix> = normalized.iter().collect();
-            let w = vec![1.0 / mats.len() as f32; mats.len()];
-            (fuse(&mats, &w), None, None, Some(w))
+            let stores: Vec<&SimStore> = normalized.iter().collect();
+            let w = vec![1.0 / stores.len() as f32; stores.len()];
+            (fuse_store(&stores, &w), None, None, Some(w))
         }
         WeightingMode::LogisticRegression(lr_cfg) => {
             let lw = learn_weights(active, pair, lr_cfg);
-            let mats: Vec<&SimilarityMatrix> = normalized.iter().collect();
-            (fuse(&mats, &lw.weights), None, None, Some(lw.weights))
+            let stores: Vec<&SimStore> = normalized.iter().collect();
+            (
+                fuse_store(&stores, &lw.weights),
+                None,
+                None,
+                Some(lw.weights),
+            )
         }
     }
 }
@@ -1059,9 +1269,9 @@ pub fn try_run_with_features(
     }
     fusion_span.finish();
 
-    let matching = cfg.matcher.build().matching_traced(&fused, telemetry);
+    let matching = cfg.matcher.build().matching_store_traced(&fused, telemetry);
     let acc = accuracy(&matching, fused.sources());
-    let ranking = ranking_metrics(&fused);
+    let ranking = ranking_metrics_store(&fused);
     telemetry.gauge("pipeline", "accuracy", None, acc);
     telemetry.gauge("pipeline", "matched_pairs", None, matching.len() as f64);
     Ok(CeaffOutput {
@@ -1130,11 +1340,11 @@ pub fn try_run_with_features_budgeted(
     let outcome = cfg
         .matcher
         .build()
-        .matching_budgeted(&fused, budget, telemetry);
+        .matching_store_budgeted(&fused, budget, telemetry);
     budget.check_mem("matcher")?;
     let matching = outcome.matching;
     let acc = accuracy(&matching, fused.sources());
-    let ranking = ranking_metrics(&fused);
+    let ranking = ranking_metrics_store(&fused);
     telemetry.gauge("pipeline", "accuracy", None, acc);
     telemetry.gauge("pipeline", "matched_pairs", None, matching.len() as f64);
     budget.emit_counters(telemetry);
@@ -1150,18 +1360,21 @@ pub fn try_run_with_features_budgeted(
     })
 }
 
-/// Per-feature matrix preprocessing: optional CSLS hubness correction,
+/// Per-feature store preprocessing: optional CSLS hubness correction,
 /// then optional min–max normalisation (order matters — CSLS operates on
 /// the raw geometry, normalisation makes scales comparable for fusion).
-fn preprocess(m: &SimilarityMatrix, cfg: &CeaffConfig) -> SimilarityMatrix {
-    let m = match cfg.csls {
-        Some(k) => ceaff_sim::csls_adjusted(m, k),
-        None => m.clone(),
+/// Dense stores go through the exact dense kernels
+/// ([`ceaff_sim::csls_adjusted`]); sparse stores through their sparse
+/// counterparts, which agree on the stored entries.
+fn preprocess_store(s: &SimStore, cfg: &CeaffConfig) -> SimStore {
+    let s = match cfg.csls {
+        Some(k) => ceaff_sim::csls_adjusted_store(s, k),
+        None => s.clone(),
     };
     if cfg.normalize_features {
-        m.min_max_normalized()
+        s.min_max_normalized()
     } else {
-        m
+        s
     }
 }
 
@@ -1302,17 +1515,17 @@ pub fn try_run_single_stage(
         ceaff_parallel::current_threads() as f64,
     );
     let fusion_span = telemetry.span("fusion");
-    let normalized: Vec<SimilarityMatrix> = active
+    let normalized: Vec<SimStore> = active
         .iter()
-        .map(|f| preprocess(f.test_matrix(), cfg))
+        .map(|f| preprocess_store(f.test_store(), cfg))
         .collect();
-    let mats: Vec<&SimilarityMatrix> = normalized.iter().collect();
-    let (fused, report) = adaptive_fuse(&mats, &cfg.fusion);
+    let stores: Vec<&SimStore> = normalized.iter().collect();
+    let (fused, report) = adaptive_fuse_store(&stores, &cfg.fusion);
     emit_fusion_report(telemetry, "single", &report);
     fusion_span.finish();
-    let matching = cfg.matcher.build().matching_traced(&fused, telemetry);
+    let matching = cfg.matcher.build().matching_store_traced(&fused, telemetry);
     let acc = accuracy(&matching, fused.sources());
-    let ranking = ranking_metrics(&fused);
+    let ranking = ranking_metrics_store(&fused);
     telemetry.gauge("pipeline", "accuracy", None, acc);
     telemetry.gauge("pipeline", "matched_pairs", None, matching.len() as f64);
     Ok(CeaffOutput {
@@ -1485,6 +1698,97 @@ mod tests {
     }
 
     #[test]
+    fn validate_rejects_degenerate_blocking() {
+        let err = CeaffConfig::builder()
+            .candidate_strategy(CandidateStrategy::Blocked {
+                k: 0,
+                blocking: ceaff_sim::BlockingConfig::default(),
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CeaffError::InvalidConfig(_)));
+        let err = CeaffConfig::builder()
+            .candidate_strategy(CandidateStrategy::Blocked {
+                k: 10,
+                blocking: ceaff_sim::BlockingConfig {
+                    index_tokens: false,
+                    index_trigrams: false,
+                    ..ceaff_sim::BlockingConfig::default()
+                },
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CeaffError::InvalidConfig(_)));
+        assert!(fast_cfg().with_blocking(25).validate().is_ok());
+    }
+
+    #[test]
+    fn candidate_strategy_defaults_to_dense_in_old_serialized_configs() {
+        // Configs serialized before the field existed must keep loading,
+        // and must land on the dense (golden-metric) path.
+        let json = serde_json::to_string(&fast_cfg()).expect("serializes");
+        let stripped = json.replace("\"candidates\":\"Dense\"", "\"candidates\":null");
+        assert_ne!(json, stripped, "serialized config must contain the field");
+        let cfg: CeaffConfig = serde_json::from_str(&stripped).expect("old config loads");
+        assert!(cfg.candidates.is_dense());
+        // And the blocked variant round-trips.
+        let blocked = fast_cfg().with_blocking(40);
+        let json = serde_json::to_string(&blocked).expect("serializes");
+        let back: CeaffConfig = serde_json::from_str(&json).expect("roundtrips");
+        assert_eq!(back.candidates, blocked.candidates);
+    }
+
+    #[test]
+    fn blocked_pipeline_runs_sparse_end_to_end() {
+        let ds = dataset();
+        let src = ds.source_embedder(32);
+        let tgt = ds.target_embedder(32);
+        let sink = Arc::new(InMemorySink::default());
+        let input =
+            EaInput::new(&ds.pair, &src, &tgt).with_telemetry(Telemetry::with_sink(sink.clone()));
+        let cfg = fast_cfg().with_blocking(30);
+        let out = try_run(&input, &cfg).expect("blocked pipeline runs");
+        assert!(out.fused.is_sparse(), "blocked fusion must stay sparse");
+        let n = ds.pair.test_pairs().len();
+        assert!(
+            out.fused.nnz() < n * n,
+            "sparse store must hold fewer than n*t entries"
+        );
+        // Blocking telemetry: recall ceiling, candidate count, fraction.
+        let recall = out
+            .trace
+            .events_of(EventKind::Gauge, "blocking")
+            .find(|e| e.name == "recall")
+            .map(|e| e.value)
+            .expect("blocking/recall gauged");
+        assert!(recall > 0.8, "blocking recall too low: {recall}");
+        assert!(out
+            .trace
+            .events_of(EventKind::Gauge, "blocking")
+            .any(|e| e.name == "scored_fraction"));
+        // End-to-end quality holds up on the close-lingual benchmark.
+        assert!(
+            out.accuracy > 0.5,
+            "blocked pipeline accuracy {}",
+            out.accuracy
+        );
+        assert!(out.matching.is_one_to_one());
+    }
+
+    #[test]
+    fn blocked_pipeline_rejects_checkpointing() {
+        let ds = dataset();
+        let src = ds.source_embedder(32);
+        let tgt = ds.target_embedder(32);
+        let input = EaInput::new(&ds.pair, &src, &tgt);
+        let cfg = fast_cfg().with_blocking(25);
+        let dir = std::env::temp_dir().join(format!("ceaff-blocked-ck-{}", std::process::id()));
+        let err = try_run_checkpointed(&input, &cfg, &dir, CheckpointPolicy::PerStage).unwrap_err();
+        assert!(matches!(err, CeaffError::InvalidConfig(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn validate_rejects_degenerate_training_hyperparameters() {
         let expect_invalid = |mutate: fn(&mut CeaffConfig), what: &str| {
             let mut cfg = fast_cfg();
@@ -1645,14 +1949,20 @@ mod tests {
     }
 
     /// A constant-matrix feature used to provoke a shape mismatch.
-    struct FixedFeature(SimilarityMatrix);
+    struct FixedFeature(SimStore);
+
+    impl FixedFeature {
+        fn zeros(n: usize, t: usize) -> Self {
+            Self(SimStore::Dense(SimilarityMatrix::zeros(n, t)))
+        }
+    }
 
     impl Feature for FixedFeature {
         fn name(&self) -> &'static str {
             "fixed"
         }
 
-        fn test_matrix(&self) -> &SimilarityMatrix {
+        fn test_store(&self) -> &SimStore {
             &self.0
         }
 
@@ -1668,8 +1978,8 @@ mod tests {
         let tgt = ds.target_embedder(32);
         let input = EaInput::new(&ds.pair, &src, &tgt);
         let cfg = fast_cfg();
-        let features = FeatureSet::compute_all(&input, &cfg)
-            .with_extra(Box::new(FixedFeature(SimilarityMatrix::zeros(2, 3))));
+        let features =
+            FeatureSet::compute_all(&input, &cfg).with_extra(Box::new(FixedFeature::zeros(2, 3)));
         let err =
             try_run_with_features(&ds.pair, &features, &cfg, &Telemetry::disabled()).unwrap_err();
         match err {

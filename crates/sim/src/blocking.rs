@@ -14,10 +14,11 @@
 use crate::levenshtein::levenshtein_ratio;
 use crate::matrix::SimilarityMatrix;
 use ceaff_tensor::Matrix;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Blocking configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BlockingConfig {
     /// Minimum number of shared index keys (tokens + trigrams) for a pair
     /// to become a candidate.
@@ -39,7 +40,7 @@ impl Default for BlockingConfig {
 }
 
 /// Statistics of one blocked similarity computation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BlockingStats {
     /// Candidate pairs actually scored.
     pub pairs_scored: usize,
@@ -48,12 +49,144 @@ pub struct BlockingStats {
 }
 
 impl BlockingStats {
-    /// Fraction of the cross product that was scored.
+    /// Fraction of the cross product that was scored. Guards the
+    /// zero-candidate case (`pairs_total == 0`, i.e. an empty source or
+    /// target side) by returning `0.0` instead of dividing by zero.
     pub fn scored_fraction(&self) -> f64 {
         if self.pairs_total == 0 {
             return 0.0;
         }
         self.pairs_scored as f64 / self.pairs_total as f64
+    }
+}
+
+/// The candidate structure blocking proposes: for every source row, the
+/// ascending-sorted column indices that survived the shared-key filter
+/// (capped at `k` per row by shared-key count, ties toward the lower
+/// column). Every feature of one run scores exactly this structure, so
+/// their [`SparseTopK`](crate::store::SparseTopK) stores describe the
+/// same candidate pairs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateSet {
+    targets: usize,
+    row_ptr: Vec<usize>,
+    cols: Vec<u32>,
+}
+
+impl CandidateSet {
+    /// Number of source rows.
+    pub fn sources(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of target columns.
+    pub fn targets(&self) -> usize {
+        self.targets
+    }
+
+    /// Candidate columns of row `i`, ascending.
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.cols[self.row_ptr[i]..self.row_ptr[i + 1]]
+    }
+
+    /// Total number of candidate pairs.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Whether no pair survived blocking.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Whether `(i, j)` is a candidate pair.
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        self.row(i).binary_search(&(j as u32)).is_ok()
+    }
+
+    /// Blocking statistics of this candidate set.
+    pub fn stats(&self) -> BlockingStats {
+        BlockingStats {
+            pairs_scored: self.len(),
+            pairs_total: self.sources() * self.targets,
+        }
+    }
+
+    /// Fraction of `gold` pairs that survived blocking — the recall
+    /// ceiling of every downstream stage (a dropped gold pair can never
+    /// be matched). Returns `1.0` for an empty gold set.
+    pub fn recall_of(&self, gold: &[(usize, usize)]) -> f64 {
+        if gold.is_empty() {
+            return 1.0;
+        }
+        let hit = gold.iter().filter(|&&(i, j)| self.contains(i, j)).count();
+        hit as f64 / gold.len() as f64
+    }
+}
+
+/// Build the candidate set for `sources × targets` under `cfg`, keeping
+/// at most `k` candidates per row (ranked by shared-key count, ties
+/// toward the lower column). Rows fan out across the pool; each row's
+/// ranking is sequential, so the set is identical at any thread count.
+pub fn build_candidates<S: AsRef<str> + Sync, T: AsRef<str> + Sync>(
+    sources: &[S],
+    targets: &[T],
+    cfg: &BlockingConfig,
+    k: usize,
+) -> CandidateSet {
+    assert!(
+        cfg.index_tokens || cfg.index_trigrams,
+        "blocking needs at least one key kind enabled"
+    );
+    assert!(k > 0, "blocking needs k >= 1");
+    // Inverted index over target names.
+    let mut index: HashMap<String, Vec<u32>> = HashMap::new();
+    for (j, t) in targets.iter().enumerate() {
+        for key in keys_of(t.as_ref(), cfg) {
+            index.entry(key).or_default().push(j as u32);
+        }
+    }
+
+    let n = sources.len();
+    let row_of = |i: usize| -> Vec<u32> {
+        let mut shared: HashMap<u32, usize> = HashMap::new();
+        for key in keys_of(sources[i].as_ref(), cfg) {
+            if let Some(posting) = index.get(&key) {
+                for &j in posting {
+                    *shared.entry(j).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut ranked: Vec<(u32, usize)> = shared
+            .into_iter()
+            .filter(|&(_, count)| count >= cfg.min_shared_keys)
+            .collect();
+        // HashMap iteration order is arbitrary; the sort below makes the
+        // kept set deterministic: most shared keys first, ties toward the
+        // lower column.
+        ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        let mut cols: Vec<u32> = ranked.into_iter().map(|(j, _)| j).collect();
+        cols.sort_unstable();
+        cols
+    };
+    let rows: Vec<Vec<u32>> = if n < 64 {
+        (0..n).map(row_of).collect()
+    } else {
+        ceaff_parallel::par_map(n, 16, row_of)
+    };
+
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut cols = Vec::with_capacity(rows.iter().map(Vec::len).sum());
+    row_ptr.push(0);
+    for row in &rows {
+        cols.extend_from_slice(row);
+        row_ptr.push(cols.len());
+    }
+    CandidateSet {
+        targets: targets.len(),
+        row_ptr,
+        cols,
     }
 }
 
@@ -219,6 +352,87 @@ mod tests {
             "blocked string H@1 collapsed: {}/{n}",
             hits
         );
+    }
+
+    #[test]
+    fn scored_fraction_guards_the_zero_candidate_case() {
+        let empty = BlockingStats {
+            pairs_scored: 0,
+            pairs_total: 0,
+        };
+        assert_eq!(empty.scored_fraction(), 0.0);
+        let (_, stats) =
+            blocked_string_similarity_matrix::<&str, &str>(&[], &[], &BlockingConfig::default());
+        assert_eq!(stats.pairs_total, 0);
+        assert_eq!(stats.scored_fraction(), 0.0);
+    }
+
+    #[test]
+    fn candidate_set_matches_the_blocked_matrix_support() {
+        let s = ["New York City", "Berlin", "Tokyo Tower"];
+        let t = ["New York", "Berlin (city)", "Kyoto"];
+        let cfg = BlockingConfig::default();
+        let cands = build_candidates(&s, &t, &cfg, 10);
+        let (blocked, stats) = blocked_string_similarity_matrix(&s, &t, &cfg);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(
+                    cands.contains(i, j),
+                    blocked.get(i, j) > 0.0,
+                    "cell ({i},{j})"
+                );
+            }
+        }
+        assert_eq!(cands.stats(), stats);
+        assert_eq!(cands.len(), stats.pairs_scored);
+    }
+
+    #[test]
+    fn candidate_cap_keeps_rows_bounded_and_deterministic() {
+        let ds = ceaff_datagen::Preset::SrprsDbpWd.generate(0.2);
+        let s: Vec<String> = ds
+            .test_source_names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+        let t: Vec<String> = ds
+            .test_target_names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+        let cfg = BlockingConfig::default();
+        let capped = build_candidates(&s, &t, &cfg, 5);
+        for i in 0..capped.sources() {
+            assert!(capped.row(i).len() <= 5);
+            assert!(capped.row(i).windows(2).all(|w| w[0] < w[1]));
+        }
+        // Identical at any thread count.
+        let one = ceaff_parallel::with_threads(1, || build_candidates(&s, &t, &cfg, 5));
+        let eight = ceaff_parallel::with_threads(8, || build_candidates(&s, &t, &cfg, 5));
+        assert_eq!(one, capped);
+        assert_eq!(eight, capped);
+    }
+
+    #[test]
+    fn recall_counts_surviving_gold_pairs() {
+        // Gold is the diagonal of a mono-lingual benchmark: blocking must
+        // keep almost all of it.
+        let ds = ceaff_datagen::Preset::SrprsDbpWd.generate(0.2);
+        let s: Vec<String> = ds
+            .test_source_names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+        let t: Vec<String> = ds
+            .test_target_names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+        let cands = build_candidates(&s, &t, &BlockingConfig::default(), 50);
+        let gold: Vec<(usize, usize)> = (0..s.len()).map(|i| (i, i)).collect();
+        let recall = cands.recall_of(&gold);
+        assert!(recall > 0.9, "blocking recall collapsed: {recall}");
+        assert_eq!(cands.recall_of(&[]), 1.0, "empty gold set is vacuous");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! matching.
 
 use crate::matrix::SimilarityMatrix;
+use crate::store::{SimStore, SparseTopK};
 use ceaff_tensor::Matrix;
 use rayon::prelude::*;
 
@@ -56,6 +57,71 @@ pub fn csls_adjusted(m: &SimilarityMatrix, k: usize) -> SimilarityMatrix {
             }
         });
     SimilarityMatrix::new(out)
+}
+
+/// CSLS over a sparse store, touching only the stored entries.
+///
+/// `r_src(i)` is the mean of row `i`'s top-`k` *stored* scores (the rows
+/// are already sorted descending, so this is a prefix mean) and
+/// `r_tgt(j)` the mean of column `j`'s top-`k` stored scores. Only stored
+/// cells are adjusted — a non-candidate stays a non-candidate — and each
+/// row is re-sorted into canonical order afterwards (the CSLS map is not
+/// monotone across columns). On a complete store (`k_store ≥ targets`)
+/// the kept values agree with the dense [`csls_adjusted`] up to f32
+/// summation order in the neighbourhood means.
+pub fn csls_adjusted_sparse(s: &SparseTopK, k: usize) -> SparseTopK {
+    let (n, t) = (s.sources(), s.targets());
+    if n == 0 || t == 0 || s.nnz() == 0 {
+        return s.clone();
+    }
+    // Row densities: rows are stored (score desc, col asc), so the top-k
+    // mean is a prefix mean in storage order — deterministic by
+    // construction. Empty rows contribute 0 (they have no cells to
+    // adjust anyway).
+    let r_src: Vec<f32> = (0..n)
+        .map(|i| {
+            let (_, scores) = s.row_entries(i);
+            let kk = k.min(scores.len()).max(1);
+            if scores.is_empty() {
+                0.0
+            } else {
+                scores[..kk].iter().sum::<f32>() / kk as f32
+            }
+        })
+        .collect();
+    // Column densities: gather per-column stored scores in ascending row
+    // order (sequential O(nnz)), then take each column's top-k mean. The
+    // descending sort makes the summation order deterministic: equal
+    // values are interchangeable under addition, unequal values have a
+    // fixed sorted position.
+    let mut col_scores: Vec<Vec<f32>> = vec![Vec::new(); t];
+    for i in 0..n {
+        let (cols, scores) = s.row_entries(i);
+        for (&c, &v) in cols.iter().zip(scores) {
+            col_scores[c as usize].push(v);
+        }
+    }
+    let r_tgt: Vec<f32> = ceaff_parallel::par_map(t, 64, |j| {
+        let col = &col_scores[j];
+        if col.is_empty() {
+            return 0.0;
+        }
+        let mut v = col.clone();
+        v.sort_unstable_by(|a, b| b.partial_cmp(a).expect("scores are not NaN"));
+        let kk = k.min(v.len()).max(1);
+        v[..kk].iter().sum::<f32>() / kk as f32
+    });
+    s.mapped_entries(|i, c, v| 2.0 * v - r_src[i] - r_tgt[c as usize])
+}
+
+/// Apply CSLS rescaling through the store API: dense stores use the
+/// exact dense [`csls_adjusted`] (bitwise-unchanged golden path), sparse
+/// stores the candidate-restricted [`csls_adjusted_sparse`].
+pub fn csls_adjusted_store(s: &SimStore, k: usize) -> SimStore {
+    match s {
+        SimStore::Dense(m) => SimStore::Dense(csls_adjusted(m, k)),
+        SimStore::Sparse(sp) => SimStore::Sparse(csls_adjusted_sparse(sp, k)),
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +171,56 @@ mod tests {
         let m = SimilarityMatrix::zeros(0, 0);
         let c = csls_adjusted(&m, 5);
         assert_eq!(c.sources(), 0);
+    }
+
+    #[test]
+    fn sparse_csls_matches_dense_on_kept_entries() {
+        let m = SimilarityMatrix::new(Matrix::from_rows(&[
+            &[0.90, 0.80, 0.00],
+            &[0.92, 0.00, 0.89],
+            &[0.10, 0.40, 0.30],
+        ]));
+        let dense = csls_adjusted(&m, 2);
+        // Complete store: every cell kept, so every adjusted cell must
+        // match the dense result (up to f32 summation order in the
+        // neighbourhood means).
+        let full = SparseTopK::from_dense(&m, 3);
+        let adj = csls_adjusted_sparse(&full, 2);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(
+                    (adj.get(i, j) - dense.get(i, j)).abs() < 1e-5,
+                    "cell ({i},{j}): sparse {} dense {}",
+                    adj.get(i, j),
+                    dense.get(i, j)
+                );
+            }
+        }
+        // The sparse path demotes hubs the same way the dense one does.
+        assert_eq!(adj.row_argmax(0), dense.row_argmax(0));
+        assert_eq!(adj.row_argmax(1), dense.row_argmax(1));
+    }
+
+    #[test]
+    fn sparse_csls_keeps_the_candidate_structure() {
+        let s = SparseTopK::from_rows(4, 2, vec![vec![(0, 0.9), (2, 0.5)], vec![(1, 0.7)], vec![]]);
+        let adj = csls_adjusted_sparse(&s, 10);
+        assert_eq!(adj.nnz(), s.nnz());
+        for i in 0..3 {
+            let mut before: Vec<u32> = s.row_entries(i).0.to_vec();
+            let mut after: Vec<u32> = adj.row_entries(i).0.to_vec();
+            before.sort_unstable();
+            after.sort_unstable();
+            assert_eq!(before, after, "row {i} candidates must be unchanged");
+        }
+    }
+
+    #[test]
+    fn store_dispatch_keeps_dense_bitwise() {
+        let m = SimilarityMatrix::new(Matrix::from_rows(&[&[0.9, 0.8], &[0.2, 0.4]]));
+        let via_store = csls_adjusted_store(&SimStore::Dense(m.clone()), 2);
+        let direct = csls_adjusted(&m, 2);
+        assert_eq!(via_store.as_dense().expect("dense in, dense out"), &direct);
     }
 
     proptest! {

@@ -65,6 +65,20 @@ pub(crate) fn on_release(bytes: usize) {
     });
 }
 
+/// Register `bytes` of non-matrix buffer storage (e.g. sparse similarity
+/// stores in higher layers) against the current thread's ledger. The
+/// budget's byte denomination covers every structure that scales with the
+/// similarity footprint, not just `Matrix`; callers pair this with
+/// [`track_release`] in their `Drop`.
+pub fn track_alloc(bytes: usize) -> usize {
+    on_alloc(bytes)
+}
+
+/// Release `bytes` previously registered with [`track_alloc`].
+pub fn track_release(bytes: usize) {
+    on_release(bytes)
+}
+
 /// Install a byte limit on this thread's live matrix storage, returning
 /// a guard that restores the previous limit (and exceeded flag) on drop.
 /// The peak watermark is re-based to the current live total so

@@ -21,7 +21,8 @@ pub mod matrix;
 pub mod optim;
 
 pub use budget::{
-    install_mem_limit, mem_exceeded, mem_limit_bytes, mem_live_bytes, mem_peak_bytes, MemLimitGuard,
+    install_mem_limit, mem_exceeded, mem_limit_bytes, mem_live_bytes, mem_peak_bytes, track_alloc,
+    track_release, MemLimitGuard,
 };
 pub use graph::{Graph, Var};
 pub use matrix::{dot, Matrix};

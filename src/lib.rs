@@ -80,10 +80,12 @@ pub mod prelude {
     pub use crate::task::DatasetTask;
     pub use ceaff_core::{
         try_run, try_run_with_budget, try_run_with_features, AnytimeOutcome, CancelToken,
-        CeaffConfig, CeaffError, CeaffOutput, Degradation, EaInput, ExecBudget, FeatureSet,
-        FusionConfig, GcnConfig, MatcherKind, RunTrace, StopReason, Telemetry, WeightingMode,
+        CandidateStrategy, CeaffConfig, CeaffError, CeaffOutput, Degradation, EaInput, ExecBudget,
+        FeatureSet, FusionConfig, GcnConfig, MatcherKind, RunTrace, StopReason, Telemetry,
+        WeightingMode,
     };
     pub use ceaff_datagen::{GenConfig, GeneratedDataset, NameChannel, Preset};
+    pub use ceaff_sim::{BlockingConfig, SimStore, SparseTopK};
 }
 
 pub mod task {

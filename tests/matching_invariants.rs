@@ -12,7 +12,7 @@ fn fused_matrix(preset: Preset) -> (ceaff::sim::SimilarityMatrix, usize) {
     cfg.gcn.epochs = 25;
     let out = ceaff::try_run(&task.input(), &cfg).expect("pipeline runs");
     let n = task.dataset.pair.test_pairs().len();
-    (out.fused, n)
+    (out.fused.into_dense(), n)
 }
 
 #[test]
