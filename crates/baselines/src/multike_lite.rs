@@ -48,8 +48,7 @@ pub(crate) fn unify_views(views: &[(&Matrix, f32)]) -> Matrix {
     let mut offset = 0usize;
     for (m, w) in views {
         assert_eq!(m.rows(), rows, "views must cover the same entities");
-        let mut normed = (*m).clone();
-        normed.l2_normalize_rows();
+        let mut normed = m.l2_normalized_rows();
         normed.scale_assign(*w);
         for r in 0..rows {
             out.row_mut(r)[offset..offset + m.cols()].copy_from_slice(normed.row(r));

@@ -49,8 +49,7 @@ pub(crate) fn attend_neighbors(
     neighbor_weight: f32,
     temperature: f32,
 ) -> Matrix {
-    let mut normed = z.clone();
-    normed.l2_normalize_rows();
+    let normed = z.l2_normalized_rows();
     let mut out = z.clone();
     let d = z.cols();
     for e in kg.entity_ids() {

@@ -162,10 +162,8 @@ fn train_name_gcn(
     let z2v = g.matmul(h2, wv2);
 
     let blend = |z: &Matrix, n: &Matrix| -> Matrix {
-        let mut zz = z.clone();
-        zz.l2_normalize_rows();
-        let mut nn = n.clone();
-        nn.l2_normalize_rows();
+        let mut zz = z.l2_normalized_rows();
+        let nn = n.l2_normalized_rows();
         zz.scale_assign(propagated_weight);
         zz.add_scaled_assign(&nn, 1.0 - propagated_weight);
         zz

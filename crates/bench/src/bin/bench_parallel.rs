@@ -12,17 +12,23 @@
 //! data on every bench run.
 //!
 //! Writes `BENCH_parallel.json` (override with `--out PATH`); `--scale`
-//! sizes the dataset. Speedups are only meaningful on a multi-core
-//! machine; the JSON records the core count so a 1-core run is
-//! self-describing.
+//! sizes the dataset. Methodology matches `bench_kernels`: one warm-up
+//! run, median of 5 timed runs, and speedups are refused (`null`) when
+//! either side's median is under 10 ms — sub-timer-resolution ratios are
+//! noise, not data. Speedups are only meaningful on a multi-core
+//! machine; the JSON records the detected core count verbatim so a
+//! 1-core run (speedup ≈ 1.0×) is self-describing.
 
 use ceaff::prelude::*;
 use ceaff::Feature;
-use serde_json::json;
+use ceaff_bench::kernels::MIN_MEANINGFUL_SECS;
+use serde_json::{json, Value};
 use std::time::Instant;
 
-/// Median-of-`reps` wall-clock seconds of `f` under `threads` threads.
+/// One warm-up run, then median-of-`reps` wall-clock seconds of `f`
+/// under `threads` threads.
 fn time_with_threads<R>(threads: usize, reps: usize, f: impl Fn() -> R) -> (f64, R) {
+    let _ = ceaff_parallel::with_threads(threads, &f);
     let mut secs = Vec::with_capacity(reps);
     let mut last = None;
     for _ in 0..reps {
@@ -63,8 +69,18 @@ fn main() {
 
     let mut results = Vec::new();
     let mut record = |name: &str, seq: f64, par: f64| {
-        let speedup = seq / par.max(1e-12);
-        eprintln!("{name:<10} 1 thread {seq:>8.4}s   {threads} threads {par:>8.4}s   speedup {speedup:.2}x");
+        // A ratio of two sub-10 ms medians is timer noise — refuse it.
+        let speedup = if seq >= MIN_MEANINGFUL_SECS && par >= MIN_MEANINGFUL_SECS {
+            json!(seq / par)
+        } else {
+            Value::Null
+        };
+        let shown = speedup
+            .as_f64()
+            .map_or("n/a (too fast)".to_owned(), |s| format!("{s:.2}x"));
+        eprintln!(
+            "{name:<10} 1 thread {seq:>8.4}s   {threads} threads {par:>8.4}s   speedup {shown}"
+        );
         results.push(json!({
             "workload": name,
             "seconds_1_thread": seq,
@@ -82,8 +98,8 @@ fn main() {
             .map(|i| ((i % 97) as f32) * 0.021 - 1.0)
             .collect(),
     );
-    let (seq, m1) = time_with_threads(1, 3, || a.matmul_transpose(&a));
-    let (par, mn) = time_with_threads(threads, 3, || a.matmul_transpose(&a));
+    let (seq, m1) = time_with_threads(1, 5, || a.matmul_transpose(&a));
+    let (par, mn) = time_with_threads(threads, 5, || a.matmul_transpose(&a));
     assert_eq!(m1, mn, "matmul must be thread-count-independent");
     record("matmul", seq, par);
 
@@ -103,8 +119,8 @@ fn main() {
     let fuse = || {
         ceaff::fusion::two_stage_fuse(Some(&mats[0]), Some(&mats[1]), Some(&mats[2]), &cfg.fusion).0
     };
-    let (seq, f1) = time_with_threads(1, 3, fuse);
-    let (par, fnn) = time_with_threads(threads, 3, fuse);
+    let (seq, f1) = time_with_threads(1, 5, fuse);
+    let (par, fnn) = time_with_threads(threads, 5, fuse);
     assert_eq!(f1, fnn, "fusion must be thread-count-independent");
     record("fusion", seq, par);
 
@@ -114,8 +130,8 @@ fn main() {
         try_run_with_features(&task.dataset.pair, &features, &cfg, &telemetry)
             .expect("pipeline runs")
     };
-    let (seq, d1) = time_with_threads(1, 3, decide);
-    let (par, dn) = time_with_threads(threads, 3, decide);
+    let (seq, d1) = time_with_threads(1, 5, decide);
+    let (par, dn) = time_with_threads(threads, 5, decide);
     assert_eq!(
         d1.matching.pairs(),
         dn.matching.pairs(),
@@ -128,6 +144,8 @@ fn main() {
         "threads": threads,
         "cores": cores,
         "scale": scale,
+        "reps": 5,
+        "min_meaningful_secs": MIN_MEANINGFUL_SECS,
         "results": results,
     });
     let pretty = serde_json::to_string_pretty(&doc).expect("serialize bench output");

@@ -25,6 +25,8 @@ use ceaff::baselines::*;
 use ceaff::prelude::*;
 use serde_json::json;
 
+pub mod kernels;
+
 /// Command-line options shared by all experiment binaries.
 #[derive(Debug, Clone)]
 pub struct HarnessOpts {

@@ -745,10 +745,8 @@ fn validation_hits1(
     z2: &Matrix,
     val: &[(ceaff_graph::EntityId, ceaff_graph::EntityId)],
 ) -> f64 {
-    let mut n1 = z1.clone();
-    n1.l2_normalize_rows();
-    let mut n2 = z2.clone();
-    n2.l2_normalize_rows();
+    let n1 = z1.l2_normalized_rows();
+    let n2 = z2.l2_normalized_rows();
     let mut hits = 0usize;
     for &(u, v) in val {
         let row = n1.row(u.index());
@@ -766,8 +764,7 @@ fn validation_hits1(
 /// For each anchor entity, the `k` nearest other entities of its own KG
 /// under cosine similarity — the hard-negative candidate pools.
 fn nearest_pools(z: &Matrix, anchors: &[usize], k: usize) -> Vec<Vec<u32>> {
-    let mut normed = z.clone();
-    normed.l2_normalize_rows();
+    let normed = z.l2_normalized_rows();
     anchors
         .iter()
         .map(|&a| {

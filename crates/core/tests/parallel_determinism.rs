@@ -1,5 +1,6 @@
 //! End-to-end determinism: feature similarity matrices and the full CEAFF
-//! pipeline must produce bitwise-identical output for 1, 2 and 8 threads.
+//! pipeline must produce bitwise-identical output for 1, 2 and 8 threads
+//! — and for every kernel tile width (`ceaff_tensor::with_tile`).
 //!
 //! This is the integration-level counterpart of the kernel tests in
 //! `ceaff-tensor`: it exercises the real feature stack (GCN training,
@@ -127,6 +128,44 @@ fn full_pipeline_output_is_thread_count_independent() {
         assert_eq!(out.ranking.hits1, baseline.ranking.hits1);
         assert_eq!(out.ranking.hits10, baseline.ranking.hits10);
         assert_eq!(out.ranking.mrr, baseline.ranking.mrr);
+    }
+}
+
+#[test]
+fn full_pipeline_output_is_tile_width_independent() {
+    // The cache-blocked kernels promise that tile width only changes
+    // traversal order, never a single accumulation — so GCN training and
+    // every similarity matrix must be byte-identical across the
+    // {2, 8 threads} × {tile 16, tile 64} matrix.
+    let ds = dataset();
+    let src = ds.source_embedder(16);
+    let tgt = ds.target_embedder(16);
+    let cfg = fast_cfg();
+    let run = |threads: usize, tile: usize| {
+        with_threads(threads, || {
+            ceaff_tensor::with_tile(tile, || {
+                let input = EaInput::new(&ds.pair, &src, &tgt);
+                try_run(&input, &cfg).expect("pipeline runs")
+            })
+        })
+    };
+    let baseline = run(1, 64);
+    for threads in [2, 8] {
+        for tile in [16, 64] {
+            let out = run(threads, tile);
+            assert_eq!(
+                out.fused.as_matrix().as_slice(),
+                baseline.fused.as_matrix().as_slice(),
+                "fused matrix differs at {threads} threads, tile {tile}"
+            );
+            assert_eq!(
+                out.matching.pairs(),
+                baseline.matching.pairs(),
+                "matching differs at {threads} threads, tile {tile}"
+            );
+            assert_eq!(out.accuracy, baseline.accuracy);
+            assert_eq!(out.ranking.mrr, baseline.ranking.mrr);
+        }
     }
 }
 

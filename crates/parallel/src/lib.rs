@@ -185,6 +185,17 @@ pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// Whether splitting `len` items into fixed `chunk_size`-element chunks
+/// can engage more than one thread right now: more than one chunk *and* a
+/// current width above one. The partition — and therefore every result —
+/// is identical either way; this is purely a "skip the dispatch
+/// bookkeeping" gate for hot callers (kernels, benchmarks) that branch to
+/// a plain sequential loop, or refuse to report a parallel speedup, when
+/// no real parallelism can happen.
+pub fn would_parallelize(len: usize, chunk_size: usize) -> bool {
+    current_threads() > 1 && len.div_ceil(chunk_size.max(1)) > 1
+}
+
 /// Run `body(chunk_index)` for every index in `0..chunks` across
 /// [`current_threads`] OS threads. The chunk set is the caller's fixed
 /// partition of the problem; execution order across chunks is unspecified,
@@ -383,6 +394,20 @@ mod tests {
         let mut data = vec![0u8; 64];
         with_threads(4, || par_chunks_mut(&mut data, 8, |_, c| c.fill(1)));
         assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn would_parallelize_gates_on_width_and_chunk_count() {
+        with_threads(1, || {
+            assert!(!would_parallelize(10_000, 64), "width 1 never parallel");
+        });
+        with_threads(4, || {
+            assert!(would_parallelize(10_000, 64));
+            assert!(!would_parallelize(64, 64), "one chunk is sequential");
+            assert!(!would_parallelize(0, 64), "empty input is sequential");
+            // chunk_size 0 is clamped, not a division panic.
+            assert!(would_parallelize(2, 0));
+        });
     }
 
     #[test]

@@ -7,9 +7,10 @@ use ceaff_tensor::Matrix;
 /// `out[i][j] = a_i · b_j / (‖a_i‖ ‖b_j‖)`.
 ///
 /// This is the paper's `Sim_s` / `Sim_t` (§IV-A, §IV-B) applied to a whole
-/// test set at once: both operands are L2-row-normalised copies, then a
-/// single `A · Bᵀ` product yields the full matrix. Zero rows yield zero
-/// similarity against everything.
+/// test set at once: both operands pass through the fused copy+normalise
+/// kernel ([`Matrix::l2_normalized_rows`]), then a single tiled `A · Bᵀ`
+/// product yields the full matrix. Zero rows yield zero similarity
+/// against everything.
 ///
 /// # Panics
 /// Panics if the embedding dimensions differ.
@@ -21,10 +22,8 @@ pub fn cosine_similarity_matrix(a: &Matrix, b: &Matrix) -> SimilarityMatrix {
         a.cols(),
         b.cols()
     );
-    let mut an = a.clone();
-    an.l2_normalize_rows();
-    let mut bn = b.clone();
-    bn.l2_normalize_rows();
+    let an = a.l2_normalized_rows();
+    let bn = b.l2_normalized_rows();
     SimilarityMatrix::new(an.matmul_transpose(&bn))
 }
 

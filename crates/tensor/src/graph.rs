@@ -132,18 +132,9 @@ impl Graph {
         self.push(value, Op::Sub(a, b))
     }
 
-    /// Elementwise (Hadamard) product.
+    /// Elementwise (Hadamard) product (fused single-pass kernel).
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        assert_eq!(self.value(a).shape(), self.value(b).shape());
-        let bv = self.value(b).as_slice().to_vec();
-        let av = self.value(a);
-        let data: Vec<f32> = av
-            .as_slice()
-            .iter()
-            .zip(&bv)
-            .map(|(&x, &y)| x * y)
-            .collect();
-        let value = Matrix::from_vec(av.rows(), av.cols(), data);
+        let value = self.value(a).hadamard(self.value(b));
         self.push(value, Op::Mul(a, b))
     }
 
@@ -200,37 +191,17 @@ impl Graph {
     }
 
     /// Per-row L1 distance `‖a_i − b_i‖₁` as an n×1 column (the distance of
-    /// the paper's margin ranking loss, Eq. 1).
+    /// the paper's margin ranking loss, Eq. 1). Parallel over row blocks;
+    /// each row still sums left-to-right.
     pub fn row_l1_diff(&mut self, a: Var, b: Var) -> Var {
-        let (av, bv) = (self.value(a), self.value(b));
-        assert_eq!(av.shape(), bv.shape());
-        let mut out = Matrix::zeros(av.rows(), 1);
-        for r in 0..av.rows() {
-            let s: f32 = av
-                .row(r)
-                .iter()
-                .zip(bv.row(r))
-                .map(|(&x, &y)| (x - y).abs())
-                .sum();
-            out[(r, 0)] = s;
-        }
+        let out = self.value(a).row_l1_distances(self.value(b));
         self.push(out, Op::RowL1Diff(a, b))
     }
 
-    /// Per-row squared L2 distance as an n×1 column.
+    /// Per-row squared L2 distance as an n×1 column (same parallel
+    /// row-block scheme as [`Graph::row_l1_diff`]).
     pub fn row_l2_sq(&mut self, a: Var, b: Var) -> Var {
-        let (av, bv) = (self.value(a), self.value(b));
-        assert_eq!(av.shape(), bv.shape());
-        let mut out = Matrix::zeros(av.rows(), 1);
-        for r in 0..av.rows() {
-            let s: f32 = av
-                .row(r)
-                .iter()
-                .zip(bv.row(r))
-                .map(|(&x, &y)| (x - y) * (x - y))
-                .sum();
-            out[(r, 0)] = s;
-        }
+        let out = self.value(a).row_l2_sq_distances(self.value(b));
         self.push(out, Op::RowL2Sq(a, b))
     }
 
@@ -248,22 +219,10 @@ impl Graph {
         self.push(value, Op::Mean(a))
     }
 
-    /// Row-wise softmax.
+    /// Row-wise softmax (fused single-pass kernel, parallel over row
+    /// blocks).
     pub fn softmax_rows(&mut self, a: Var) -> Var {
-        let av = self.value(a);
-        let mut out = av.clone();
-        for r in 0..out.rows() {
-            let row = out.row_mut(r);
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut total = 0.0;
-            for v in row.iter_mut() {
-                *v = (*v - max).exp();
-                total += *v;
-            }
-            for v in row.iter_mut() {
-                *v /= total;
-            }
-        }
+        let out = self.value(a).softmax_rows();
         self.push(out, Op::SoftmaxRows(a))
     }
 
@@ -328,8 +287,8 @@ impl Graph {
                 }
                 Op::Mul(a, b) => {
                     let (a, b) = (*a, *b);
-                    let ga = hadamard(&grad, &self.nodes[b.0].value);
-                    let gb = hadamard(&grad, &self.nodes[a.0].value);
+                    let ga = grad.hadamard(&self.nodes[b.0].value);
+                    let gb = grad.hadamard(&self.nodes[a.0].value);
                     self.accumulate(a, ga);
                     self.accumulate(b, gb);
                 }
@@ -343,29 +302,33 @@ impl Graph {
                     let a = *a;
                     self.accumulate(a, grad);
                 }
+                // The activation backward passes fuse mask/derivative
+                // construction with the gradient product: one pass, no
+                // intermediate matrix. Each replays the exact arithmetic
+                // of the old two-step (build `ds`, then hadamard) form —
+                // `g * (expr)` with the same `expr` — so gradients are
+                // bitwise-unchanged.
                 Op::Relu(a) => {
                     let a = *a;
-                    let mask = self.nodes[a.0]
-                        .value
-                        .map(|x| if x > 0.0 { 1.0 } else { 0.0 });
-                    self.accumulate(a, hadamard(&grad, &mask));
+                    let ga = grad.zip_map(&self.nodes[a.0].value, |g, x| {
+                        g * if x > 0.0 { 1.0 } else { 0.0 }
+                    });
+                    self.accumulate(a, ga);
                 }
                 Op::Sigmoid(a) => {
                     let a = *a;
-                    let s = &self.nodes[i].value;
-                    let ds = s.map(|y| y * (1.0 - y));
-                    self.accumulate(a, hadamard(&grad, &ds));
+                    let ga = grad.zip_map(&self.nodes[i].value, |g, y| g * (y * (1.0 - y)));
+                    self.accumulate(a, ga);
                 }
                 Op::Tanh(a) => {
                     let a = *a;
-                    let t = &self.nodes[i].value;
-                    let dt = t.map(|y| 1.0 - y * y);
-                    self.accumulate(a, hadamard(&grad, &dt));
+                    let ga = grad.zip_map(&self.nodes[i].value, |g, y| g * (1.0 - y * y));
+                    self.accumulate(a, ga);
                 }
                 Op::Softplus(a) => {
                     let a = *a;
-                    let ds = self.nodes[a.0].value.map(stable_sigmoid);
-                    self.accumulate(a, hadamard(&grad, &ds));
+                    let ga = grad.zip_map(&self.nodes[a.0].value, |g, x| g * stable_sigmoid(x));
+                    self.accumulate(a, ga);
                 }
                 Op::GatherRows(a, idx, src_rows) => {
                     let (a, idx, src_rows) = (*a, Rc::clone(idx), *src_rows);
@@ -445,17 +408,6 @@ impl Graph {
             slot @ None => *slot = Some(g),
         }
     }
-}
-
-fn hadamard(a: &Matrix, b: &Matrix) -> Matrix {
-    debug_assert_eq!(a.shape(), b.shape());
-    let data: Vec<f32> = a
-        .as_slice()
-        .iter()
-        .zip(b.as_slice())
-        .map(|(&x, &y)| x * y)
-        .collect();
-    Matrix::from_vec(a.rows(), a.cols(), data)
 }
 
 #[inline]

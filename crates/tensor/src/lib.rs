@@ -17,6 +17,7 @@
 pub mod budget;
 pub mod graph;
 pub mod init;
+pub mod kernels;
 pub mod matrix;
 pub mod optim;
 
@@ -25,5 +26,6 @@ pub use budget::{
     track_release, MemLimitGuard,
 };
 pub use graph::{Graph, Var};
+pub use kernels::{tile_width, with_tile};
 pub use matrix::{dot, Matrix};
 pub use optim::{AdaGrad, Adam, OptimSlot, OptimState, Optimizer, ParamId, ParamSet, Sgd};

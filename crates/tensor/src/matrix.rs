@@ -1,15 +1,20 @@
 //! Dense row-major `f32` matrices with the kernels the EA encoders need.
 //!
-//! Kernel notes (per the Rust Performance Book): the inner loops are written
-//! in `ikj` order so the innermost traversal is contiguous in both operand
-//! and output. Large kernels dispatch onto the `ceaff-parallel` work pool
-//! (via the rayon shim): matmuls split over output rows, elementwise ops
-//! over fixed-size element chunks. Partitioning depends only on the problem
-//! shape — never the thread count — and each chunk keeps the sequential
-//! accumulation order, so results are bitwise-identical for any
-//! `CEAFF_THREADS` (asserted by `tests/parallel_determinism.rs`).
+//! Kernel notes: large matrix products dispatch onto the cache-blocked,
+//! SIMD-friendly implementations in [`crate::kernels`] (tiled loops, a
+//! packed B panel, fixed 64-row accumulation blocks); small shapes keep
+//! the naive loops retained in [`crate::kernels::reference`], which also
+//! define the accumulation order the tiled kernels must reproduce
+//! bitwise. Parallel kernels split over fixed output-row blocks,
+//! elementwise ops over fixed-size element chunks, via the
+//! `ceaff-parallel` work pool (through the rayon shim). Partitioning
+//! depends only on the problem shape — never the thread count — and each
+//! chunk keeps the sequential accumulation order, so results are
+//! bitwise-identical for any `CEAFF_THREADS` (asserted by
+//! `tests/parallel_determinism.rs` and `tests/kernel_parity.rs`).
 
 use crate::budget;
+use crate::kernels;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -17,6 +22,10 @@ use std::ops::{Index, IndexMut};
 
 /// Minimum number of rows before a kernel bothers dispatching to the pool.
 const PAR_ROW_THRESHOLD: usize = 64;
+
+/// Row-block width shared with [`crate::kernels`]: parallel row kernels
+/// are chunked in fixed 64-row blocks.
+const ROW_BLOCK: usize = kernels::ROW_BLOCK;
 
 /// Minimum number of elements before an elementwise op goes parallel.
 const PAR_ELEM_THRESHOLD: usize = 16 * 1024;
@@ -240,6 +249,12 @@ impl Matrix {
 
     /// Matrix product `self · other`.
     ///
+    /// Large shapes run the cache-blocked kernel
+    /// ([`crate::kernels::matmul_tiled`]); small shapes keep the naive
+    /// reference loop. Both produce bitwise-identical results — the tiled
+    /// kernel preserves the reference's per-cell accumulation order (`k`
+    /// increasing, `a == 0.0` skipped).
+    ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
@@ -248,108 +263,74 @@ impl Matrix {
             "matmul dimension mismatch: {}x{} · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        let n = other.cols;
-        let k_dim = self.cols;
-        let apply = |(r, out_row): (usize, &mut [f32])| {
-            let a_row = &self.data[r * k_dim..(r + 1) * k_dim];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        };
-        if self.rows >= PAR_ROW_THRESHOLD {
-            out.data
-                .par_chunks_mut(n)
-                .enumerate()
-                .for_each(|(r, row)| apply((r, row)));
+        if kernels::use_tiled(self.rows, other.cols, self.cols) {
+            let mut out = Matrix::zeros(self.rows, other.cols);
+            kernels::matmul_tiled(
+                &self.data,
+                self.rows,
+                self.cols,
+                &other.data,
+                other.cols,
+                &mut out.data,
+            );
+            out
         } else {
-            out.data
-                .chunks_mut(n)
-                .enumerate()
-                .for_each(|(r, row)| apply((r, row)));
+            kernels::reference::matmul(self, other)
         }
-        out
     }
 
     /// `self · otherᵀ` without materialising the transpose. The workhorse of
     /// pairwise similarity matrices (every output cell is a row·row dot).
+    ///
+    /// Large shapes run the j-tiled kernel
+    /// ([`crate::kernels::matmul_transpose_tiled`]), which keeps a tile of
+    /// `other`'s rows L1-resident across a 64-row block of `self` and
+    /// computes four dots per A-row load; every cell still reduces exactly
+    /// like [`dot`], so results are bitwise-identical to the naive loop.
     pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.cols,
             "matmul_transpose needs matching column counts: {}x{} · ({}x{})ᵀ",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        let n = other.rows;
-        let apply = |(r, out_row): (usize, &mut [f32])| {
-            let a_row = self.row(r);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = &other.data[j * other.cols..(j + 1) * other.cols];
-                *o = dot(a_row, b_row);
-            }
-        };
-        if self.rows >= PAR_ROW_THRESHOLD {
-            out.data
-                .par_chunks_mut(n)
-                .enumerate()
-                .for_each(|(r, row)| apply((r, row)));
+        if kernels::use_tiled(self.rows, other.rows, self.cols) {
+            let mut out = Matrix::zeros(self.rows, other.rows);
+            kernels::matmul_transpose_tiled(
+                &self.data,
+                self.rows,
+                self.cols,
+                &other.data,
+                other.rows,
+                &mut out.data,
+            );
+            out
         } else {
-            out.data
-                .chunks_mut(n)
-                .enumerate()
-                .for_each(|(r, row)| apply((r, row)));
+            kernels::reference::matmul_transpose(self, other)
         }
-        out
     }
 
     /// `selfᵀ · other`, used by matmul backward passes.
+    ///
+    /// Runs the r-streaming blocked kernel
+    /// ([`crate::kernels::transpose_matmul_blocked`]): 64-wide blocks of
+    /// output rows are rank-1-updated while A and B stream through once
+    /// per block, instead of the old parallel path's strided column walk.
+    /// Per-cell accumulation stays `r`-increasing with `a == 0.0` skipped,
+    /// so results are bitwise-identical to both old paths.
     pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, other.rows,
             "transpose_matmul needs matching row counts"
         );
         let mut out = Matrix::zeros(self.cols, other.cols);
-        if self.cols >= PAR_ROW_THRESHOLD {
-            // Each output row `k` accumulates `a[r][k] * b[r][·]` over `r`
-            // in increasing order — the same per-cell summation order as
-            // the sequential loop below, so the results agree bitwise.
-            let n = other.cols;
-            out.data
-                .par_chunks_mut(n)
-                .enumerate()
-                .for_each(|(k, out_row)| {
-                    for r in 0..self.rows {
-                        let a = self.data[r * self.cols + k];
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let b_row = &other.data[r * n..(r + 1) * n];
-                        for (o, &b) in out_row.iter_mut().zip(b_row) {
-                            *o += a * b;
-                        }
-                    }
-                });
-        } else {
-            for r in 0..self.rows {
-                let a_row = self.row(r);
-                let b_row = other.row(r);
-                for (k, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let out_row = &mut out.data[k * other.cols..(k + 1) * other.cols];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
-        }
+        kernels::transpose_matmul_blocked(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+        );
         out
     }
 
@@ -420,23 +401,198 @@ impl Matrix {
 
     /// Normalise every row to unit L2 norm in place; zero rows are left zero.
     /// (Paper §IV-A: the GCN input matrix is L2-normalised on rows.)
+    ///
+    /// Parallel work is chunked in fixed [`ROW_BLOCK`]-row blocks (one
+    /// pool dispatch per 64 rows instead of per row); each row is still
+    /// normalised independently, so the result is identical at any
+    /// thread count.
     pub fn l2_normalize_rows(&mut self) {
         if self.cols == 0 {
             return;
         }
-        let normalize = |row: &mut [f32]| {
-            let norm = dot(row, row).sqrt();
-            if norm > 0.0 {
-                for v in row {
-                    *v /= norm;
+        let cols = self.cols;
+        let normalize_block = |block: &mut [f32]| {
+            for row in block.chunks_mut(cols) {
+                let norm = dot(row, row).sqrt();
+                if norm > 0.0 {
+                    for v in row {
+                        *v /= norm;
+                    }
                 }
             }
         };
         if self.rows >= PAR_ROW_THRESHOLD {
-            self.data.par_chunks_mut(self.cols).for_each(normalize);
+            self.data
+                .par_chunks_mut(ROW_BLOCK * cols)
+                .for_each(normalize_block);
         } else {
-            self.data.chunks_mut(self.cols).for_each(normalize);
+            normalize_block(&mut self.data);
         }
+    }
+
+    /// Fused copy + row normalisation: returns a new matrix whose rows
+    /// are the unit-L2 rows of `self` (zero rows stay zero), computed in
+    /// one pass without mutating `self`.
+    ///
+    /// Bitwise-identical to `self.clone()` followed by
+    /// [`Matrix::l2_normalize_rows`], but skips the intermediate
+    /// clone-then-rescale traffic: each output row is written exactly
+    /// once as `src / norm`.
+    pub fn l2_normalized_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        if self.cols == 0 {
+            return out;
+        }
+        let cols = self.cols;
+        let src = &self.data;
+        let write_block = |(bi, block): (usize, &mut [f32])| {
+            let base = bi * ROW_BLOCK * cols;
+            for (ri, out_row) in block.chunks_mut(cols).enumerate() {
+                let start = base + ri * cols;
+                let row = &src[start..start + cols];
+                let norm = dot(row, row).sqrt();
+                if norm > 0.0 {
+                    for (o, &v) in out_row.iter_mut().zip(row) {
+                        *o = v / norm;
+                    }
+                } else {
+                    out_row.copy_from_slice(row);
+                }
+            }
+        };
+        if self.rows >= PAR_ROW_THRESHOLD {
+            out.data
+                .par_chunks_mut(ROW_BLOCK * cols)
+                .enumerate()
+                .for_each(write_block);
+        } else {
+            write_block((0, &mut out.data));
+        }
+        out
+    }
+
+    /// Fused elementwise combine: `out[i] = f(self[i], other[i])` in a
+    /// single pass, parallel above [`PAR_ELEM_THRESHOLD`] in fixed
+    /// [`ELEM_CHUNK`] chunks. Replaces clone-then-`zip_assign` patterns
+    /// (one write per element instead of a copy plus a rewrite).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32 + Sync) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        let (a, b) = (&self.data, &other.data);
+        if out.data.len() >= PAR_ELEM_THRESHOLD {
+            out.data
+                .par_chunks_mut(ELEM_CHUNK)
+                .enumerate()
+                .for_each(|(ci, chunk)| {
+                    let start = ci * ELEM_CHUNK;
+                    for (i, o) in chunk.iter_mut().enumerate() {
+                        *o = f(a[start + i], b[start + i]);
+                    }
+                });
+        } else {
+            for (i, o) in out.data.iter_mut().enumerate() {
+                *o = f(a[i], b[i]);
+            }
+        }
+        out
+    }
+
+    /// Elementwise (Hadamard) product, fused via [`Matrix::zip_map`].
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Per-row L1 distances `‖a_i − b_i‖₁` as an n×1 column. Each row sums
+    /// left-to-right (the sequential order the autograd tape always used);
+    /// rows are independent, so parallel blocks change nothing.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn row_l1_distances(&self, other: &Matrix) -> Matrix {
+        self.row_reduce(other, |a_row, b_row| {
+            a_row.iter().zip(b_row).map(|(&x, &y)| (x - y).abs()).sum()
+        })
+    }
+
+    /// Per-row squared L2 distances as an n×1 column (same ordering
+    /// contract as [`Matrix::row_l1_distances`]).
+    pub fn row_l2_sq_distances(&self, other: &Matrix) -> Matrix {
+        self.row_reduce(other, |a_row, b_row| {
+            a_row
+                .iter()
+                .zip(b_row)
+                .map(|(&x, &y)| (x - y) * (x - y))
+                .sum()
+        })
+    }
+
+    /// Shared driver for the per-row distance reductions: applies `f` to
+    /// matched rows, writing an n×1 column, parallel in fixed
+    /// [`ROW_BLOCK`]-row blocks.
+    fn row_reduce(&self, other: &Matrix, f: impl Fn(&[f32], &[f32]) -> f32 + Sync) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "row_reduce shape mismatch");
+        let mut out = Matrix::zeros(self.rows, 1);
+        let cols = self.cols;
+        let (a, b) = (&self.data, &other.data);
+        let fill_block = |(bi, block): (usize, &mut [f32])| {
+            let r0 = bi * ROW_BLOCK;
+            for (i, o) in block.iter_mut().enumerate() {
+                let start = (r0 + i) * cols;
+                *o = f(&a[start..start + cols], &b[start..start + cols]);
+            }
+        };
+        if self.rows >= PAR_ROW_THRESHOLD {
+            out.data
+                .par_chunks_mut(ROW_BLOCK)
+                .enumerate()
+                .for_each(fill_block);
+        } else {
+            fill_block((0, &mut out.data));
+        }
+        out
+    }
+
+    /// Row-wise softmax as a new matrix: per row, subtract the max,
+    /// exponentiate, and divide by the (sequentially accumulated) total.
+    /// Fused read-compute-write — no intermediate clone — and parallel in
+    /// fixed [`ROW_BLOCK`]-row blocks with the per-row operation order of
+    /// the old sequential loop, so results are identical at any thread
+    /// count.
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        if self.cols == 0 {
+            return out;
+        }
+        let cols = self.cols;
+        let src = &self.data;
+        let fill_block = |(bi, block): (usize, &mut [f32])| {
+            let base = bi * ROW_BLOCK * cols;
+            for (ri, out_row) in block.chunks_mut(cols).enumerate() {
+                let start = base + ri * cols;
+                let row = &src[start..start + cols];
+                let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut total = 0.0;
+                for (o, &v) in out_row.iter_mut().zip(row) {
+                    *o = (v - max).exp();
+                    total += *o;
+                }
+                for o in out_row.iter_mut() {
+                    *o /= total;
+                }
+            }
+        };
+        if self.rows >= PAR_ROW_THRESHOLD {
+            out.data
+                .par_chunks_mut(ROW_BLOCK * cols)
+                .enumerate()
+                .for_each(fill_block);
+        } else {
+            fill_block((0, &mut out.data));
+        }
+        out
     }
 
     /// L2 norm of row `r`.

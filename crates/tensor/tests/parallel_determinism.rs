@@ -1,5 +1,6 @@
 //! Determinism of the parallel matrix kernels: every kernel must produce
-//! bitwise-identical results for 1, 2 and 8 threads.
+//! bitwise-identical results for 1, 2 and 8 threads — and, for the tiled
+//! kernels, at every tile width.
 //!
 //! The guarantee comes from fixed chunk partitioning (chunks depend only
 //! on the problem shape, never the thread count) plus per-cell
@@ -8,7 +9,7 @@
 //! parallel-dispatch thresholds so the pool really runs.
 
 use ceaff_parallel::with_threads;
-use ceaff_tensor::Matrix;
+use ceaff_tensor::{with_tile, Matrix};
 use proptest::prelude::*;
 
 /// A reproducible pseudo-random matrix (no RNG dependency needed).
@@ -36,29 +37,63 @@ fn assert_thread_invariant(label: &str, f: impl Fn() -> Matrix) {
     }
 }
 
+/// Assert that `f` yields bitwise-identical matrices across the full
+/// {1, 2, 8 threads} × {tile 16, tile 64} matrix. The baseline is
+/// sequential at the default tile — neither knob may move a single bit.
+fn assert_thread_and_tile_invariant(label: &str, f: impl Fn() -> Matrix) {
+    let baseline = with_threads(1, &f);
+    for threads in [1, 2, 8] {
+        for tile in [16, 64] {
+            let m = with_threads(threads, || with_tile(tile, &f));
+            assert_eq!(
+                m.as_slice(),
+                baseline.as_slice(),
+                "{label}: results differ at {threads} threads, tile {tile}"
+            );
+        }
+    }
+}
+
 #[test]
-fn matmul_is_thread_count_independent() {
+fn matmul_is_thread_and_tile_independent() {
+    // Large enough that `use_tiled` picks the blocked kernel.
     let a = lcg_matrix(96, 70, 3);
     let b = lcg_matrix(70, 85, 5);
-    assert_thread_invariant("matmul", || a.matmul(&b));
+    assert_thread_and_tile_invariant("matmul", || a.matmul(&b));
 }
 
 #[test]
-fn matmul_transpose_is_thread_count_independent() {
+fn matmul_transpose_is_thread_and_tile_independent() {
     let a = lcg_matrix(96, 48, 7);
     let b = lcg_matrix(101, 48, 11);
-    assert_thread_invariant("matmul_transpose", || a.matmul_transpose(&b));
+    assert_thread_and_tile_invariant("matmul_transpose", || a.matmul_transpose(&b));
 }
 
 #[test]
-fn transpose_matmul_is_thread_count_independent() {
+fn transpose_matmul_is_thread_and_tile_independent() {
     let a = lcg_matrix(90, 96, 13);
     let b = lcg_matrix(90, 33, 17);
-    assert_thread_invariant("transpose_matmul", || a.transpose_matmul(&b));
+    assert_thread_and_tile_invariant("transpose_matmul", || a.transpose_matmul(&b));
     // And the parallel path agrees with the explicit transpose.
     let direct = a.transpose_matmul(&b);
     let explicit = a.transpose().matmul(&b);
     assert!(direct.max_abs_diff(&explicit) < 1e-4);
+}
+
+#[test]
+fn fused_kernels_are_thread_count_independent() {
+    let a = lcg_matrix(200, 40, 31);
+    let b = lcg_matrix(200, 40, 37);
+    assert_thread_invariant("l2_normalized_rows", || a.l2_normalized_rows());
+    assert_thread_invariant("hadamard", || a.hadamard(&b));
+    assert_thread_invariant("zip_map", || a.zip_map(&b, |x, y| x * 0.5 + y));
+    assert_thread_invariant("row_l1_distances", || a.row_l1_distances(&b));
+    assert_thread_invariant("row_l2_sq_distances", || a.row_l2_sq_distances(&b));
+    assert_thread_invariant("softmax_rows", || a.softmax_rows());
+    // The fused normalised copy must match clone-then-normalise bitwise.
+    let mut cloned = a.clone();
+    cloned.l2_normalize_rows();
+    assert_eq!(a.l2_normalized_rows().as_slice(), cloned.as_slice());
 }
 
 #[test]
