@@ -4,6 +4,7 @@
 //! ceaff generate <preset> --scale 0.3 --out DIR     write a synthetic benchmark
 //! ceaff stats --dir DIR                             inspect a benchmark directory
 //! ceaff align --dir DIR [--lexicon TSV] [...]       align and evaluate/emit pairs
+//! ceaff serve --dir DIR [--addr HOST:PORT] [...]    serve alignment over HTTP
 //! ceaff presets                                     list available presets
 //! ```
 //!
@@ -35,6 +36,30 @@ USAGE:
 
   ceaff stats --dir DIR
       Print statistics of a benchmark directory.
+
+  ceaff serve --dir DIR [options]
+      Warm up the full CEAFF pipeline once, then serve alignment over
+      HTTP (GET /health, GET /status, GET /topk?entity=N&k=K,
+      POST /align) until SIGTERM/SIGINT triggers a graceful drain.
+        --addr HOST:PORT  bind address [default 127.0.0.1:7077]; port 0
+                          picks a free port (printed as `listening on`)
+        --workers N       request worker threads      [default 2]
+        --queue-capacity N
+                          admission queue bound; excess connections are
+                          shed with 503 + Retry-After [default 16]
+        --default-deadline-ms N
+                          per-request deadline when the client sends no
+                          Deadline-Ms header          [default 10000]
+        --mem-quota-mb N  global tensor memory quota, split across the
+                          workers                     [default 512]
+        --drain-grace-ms N
+                          how long a drain waits before degrading the
+                          remaining in-flight work    [default 500]
+        --chaos-fraction F --chaos-seed N
+                          fault-inject a deterministic fraction of
+                          requests (testing/benchmark facility)
+        --dim/--epochs/--seed-fraction/--rng-seed/--matcher/
+        --candidates/--topk/--lossy/--trace as for `align`
 
   ceaff align --dir DIR [options]
       Align a benchmark directory with CEAFF and report metrics.
@@ -91,13 +116,26 @@ GLOBAL OPTIONS:
 SIGNALS:
   The first SIGINT (Ctrl-C) during `align` cancels cooperatively: the run
   stops at the next granule, degrades gracefully and reports its partial
-  result. A second SIGINT terminates immediately.
+  result, and the process exits 0. SIGTERM takes the same cooperative
+  path but exits 143 so supervisors can tell a terminated run from a
+  completed one. During `serve`, SIGTERM and SIGINT both trigger a
+  graceful drain: stop accepting, finish or degrade in-flight requests,
+  flush telemetry, exit 0. A second signal terminates immediately.
 ";
 
 /// Set by the SIGINT handler; `align` polls it through a
 /// [`CancelToken`](ceaff::CancelToken) so Ctrl-C degrades the run
 /// gracefully instead of killing it.
 static CANCEL_REQUESTED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Set (alongside [`CANCEL_REQUESTED`]) by the SIGTERM handler, so the
+/// run can degrade through the same cooperative path as Ctrl-C but exit
+/// non-zero afterwards — a supervisor that terminated the process should
+/// not see it report success.
+static TERM_REQUESTED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Conventional exit status for "terminated by SIGTERM" (128 + 15).
+const EXIT_SIGTERM: i32 = 143;
 
 /// Route SIGINT onto [`CANCEL_REQUESTED`]. The handler may only touch
 /// statics and async-signal-safe calls, which is exactly why
@@ -126,6 +164,32 @@ fn install_sigint_handler() {
 #[cfg(not(unix))]
 fn install_sigint_handler() {}
 
+/// Route SIGTERM onto the same cooperative-cancel flag as SIGINT, plus
+/// [`TERM_REQUESTED`] so the caller can pick the exit status. As with
+/// SIGINT, the default disposition is restored after the first signal:
+/// a second SIGTERM kills the process outright.
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    const SIGTERM: i32 = 15;
+    const SIG_DFL: usize = 0;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_sigterm(_sig: i32) {
+        TERM_REQUESTED.store(true, std::sync::atomic::Ordering::Relaxed);
+        CANCEL_REQUESTED.store(true, std::sync::atomic::Ordering::Relaxed);
+        unsafe {
+            signal(15, SIG_DFL);
+        }
+    }
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
+
 fn main() {
     let args = Args::parse(std::env::args().skip(1));
     if let Some(threads) = args.get("threads") {
@@ -140,6 +204,7 @@ fn main() {
         Some("generate") => cmd_generate(&args),
         Some("stats") => cmd_stats(&args),
         Some("align") => cmd_align(&args),
+        Some("serve") => cmd_serve(&args),
         Some(other) => {
             eprintln!("error: unknown command '{other}'\n\n{USAGE}");
             std::process::exit(2);
@@ -248,6 +313,21 @@ fn cmd_stats(args: &Args) {
     );
 }
 
+/// Map a CLI matcher label onto [`MatcherKind`], exiting on junk —
+/// shared by `align` and `serve`.
+fn parse_matcher(name: &str) -> MatcherKind {
+    match name {
+        "daa" => MatcherKind::StableMarriage,
+        "hungarian" => MatcherKind::Hungarian,
+        "greedy1to1" => MatcherKind::GreedyOneToOne,
+        "greedy" => MatcherKind::Greedy,
+        other => {
+            eprintln!("error: unknown matcher '{other}'");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn require_dir(args: &Args) -> String {
     match args.get("dir") {
         Some(d) => d.to_owned(),
@@ -352,16 +432,7 @@ fn cmd_align(args: &Args) {
             std::process::exit(2);
         }
     }
-    cfg.matcher = match args.get("matcher").unwrap_or("daa") {
-        "daa" => MatcherKind::StableMarriage,
-        "hungarian" => MatcherKind::Hungarian,
-        "greedy1to1" => MatcherKind::GreedyOneToOne,
-        "greedy" => MatcherKind::Greedy,
-        other => {
-            eprintln!("error: unknown matcher '{other}'");
-            std::process::exit(2);
-        }
-    };
+    cfg.matcher = parse_matcher(args.get("matcher").unwrap_or("daa"));
 
     if args.has_switch("trace") {
         eprintln!("error: --trace expects a file path");
@@ -384,9 +455,10 @@ fn cmd_align(args: &Args) {
     }
     let input = EaInput::new(&pair, &base, target_embedder).with_telemetry(telemetry);
 
-    // Every align run is cancellable (Ctrl-C degrades gracefully); the
-    // deadline and memory cap are opt-in.
+    // Every align run is cancellable (Ctrl-C and SIGTERM both degrade
+    // gracefully); the deadline and memory cap are opt-in.
     install_sigint_handler();
+    install_sigterm_handler();
     let mut budget = ceaff::ExecBudget::unlimited()
         .with_cancel(ceaff::CancelToken::from_static(&CANCEL_REQUESTED));
     if let Some(ms) = args.get("deadline-ms") {
@@ -489,4 +561,106 @@ fn cmd_align(args: &Args) {
         }
         println!("wrote {} pairs to {path}", final_matching.len());
     }
+
+    // A SIGTERM-ed run reported its clean partial result above, but the
+    // process must still tell its supervisor it was terminated.
+    if TERM_REQUESTED.load(std::sync::atomic::Ordering::Relaxed) {
+        eprintln!("terminated by SIGTERM after reporting partial results");
+        std::process::exit(EXIT_SIGTERM);
+    }
+}
+
+fn cmd_serve(args: &Args) {
+    let dir = require_dir(args);
+    let opts = ceaff_server::LoadOptions {
+        dim: args.get_parsed("dim", 64usize),
+        epochs: args.get_parsed("epochs", 100usize),
+        seed_fraction: args.get_parsed("seed-fraction", 0.3f64),
+        rng_seed: args.get_parsed("rng-seed", 7u64),
+        matcher: parse_matcher(args.get("matcher").unwrap_or("daa")),
+        blocked_topk: match args.get("candidates").unwrap_or("dense") {
+            "dense" => None,
+            "blocked" => Some(args.get_parsed("topk", 50usize)),
+            other => {
+                eprintln!("error: unknown candidate strategy '{other}' (dense | blocked)");
+                std::process::exit(2);
+            }
+        },
+        lossy: args.has_switch("lossy"),
+    };
+    let telemetry = match args.get("trace") {
+        Some(path) => {
+            let sink = ceaff::telemetry::JsonLinesSink::create(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot write trace {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("streaming telemetry to {path}");
+            Telemetry::with_sink(std::sync::Arc::new(sink))
+        }
+        None => Telemetry::disabled(),
+    };
+
+    eprintln!("warming up from {dir} ...");
+    let started = std::time::Instant::now();
+    let state = ceaff_server::WarmState::load_dir(std::path::Path::new(&dir), &opts, &telemetry)
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+    eprintln!(
+        "warm in {:.1}s: {}x{} fused similarity resident",
+        started.elapsed().as_secs_f64(),
+        state.fused.sources(),
+        state.fused.targets()
+    );
+
+    let chaos_fraction = args.get_parsed("chaos-fraction", 0.0f64);
+    let cfg = ceaff_server::ServerConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7077").to_owned(),
+        workers: args.get_parsed("workers", 2usize),
+        queue_capacity: args.get_parsed("queue-capacity", 16usize),
+        default_deadline_ms: args.get_parsed("default-deadline-ms", 10_000u64),
+        mem_quota_mb: args.get_parsed("mem-quota-mb", 512usize),
+        drain_grace_ms: args.get_parsed("drain-grace-ms", 500u64),
+        chaos: (chaos_fraction > 0.0).then(|| {
+            eprintln!(
+                "chaos: injecting faults into {:.0}% of requests (seed {})",
+                chaos_fraction * 100.0,
+                args.get_parsed("chaos-seed", 0u64)
+            );
+            ceaff_server::ChaosConfig {
+                fraction: chaos_fraction,
+                seed: args.get_parsed("chaos-seed", 0u64),
+            }
+        }),
+        ..ceaff_server::ServerConfig::default()
+    };
+    let server = ceaff_server::Server::start(std::sync::Arc::new(state), cfg, telemetry)
+        .unwrap_or_else(|e| {
+            eprintln!("error: cannot bind: {e}");
+            std::process::exit(1);
+        });
+
+    // Stdout so a supervisor (or the e2e tests) can parse the resolved
+    // port when binding to port 0.
+    println!("listening on {}", server.local_addr());
+    std::io::stdout().flush().expect("flush stdout");
+
+    install_sigint_handler();
+    install_sigterm_handler();
+    while !TERM_REQUESTED.load(std::sync::atomic::Ordering::Relaxed)
+        && !CANCEL_REQUESTED.load(std::sync::atomic::Ordering::Relaxed)
+    {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+
+    eprintln!("signal received: draining (grace for in-flight requests) ...");
+    server.drain();
+    let counters = server.join();
+    for (name, total) in &counters {
+        if *total > 0 {
+            eprintln!("  server/{name}: {total}");
+        }
+    }
+    eprintln!("drained cleanly");
 }

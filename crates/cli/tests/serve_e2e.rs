@@ -1,0 +1,362 @@
+//! End-to-end tests driving the real `ceaff` binary's serving path:
+//! SIGTERM semantics in `align` and `serve`, chaos-mode fault injection
+//! against a live server, and overload shedding + graceful drain.
+//!
+//! Unix-only: they deliver real signals.
+#![cfg(unix)]
+
+use ceaff_server::{Client, ClientConfig};
+use std::io::BufRead as _;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn ceaff() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ceaff"))
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ceaff-serve-e2e-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Generate the srprs-dbp-wd benchmark at scale 0.1 into a fresh dir.
+fn generated_dir(tag: &str) -> std::path::PathBuf {
+    let dir = tmp_dir(tag);
+    let out = ceaff()
+        .args([
+            "generate",
+            "srprs-dbp-wd",
+            "--scale",
+            "0.1",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    dir
+}
+
+fn send_sigterm(pid: u32) {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    unsafe {
+        kill(pid as i32, 15);
+    }
+}
+
+/// A running `ceaff serve` child; killed on drop so a panicking test
+/// cannot leak the process.
+struct ServeGuard {
+    child: Option<Child>,
+    addr: String,
+}
+
+impl ServeGuard {
+    /// Spawn `ceaff serve --dir DIR --addr 127.0.0.1:0 ...extra` and wait
+    /// for its `listening on` line to learn the bound port.
+    fn spawn(dir: &std::path::Path, extra: &[&str]) -> ServeGuard {
+        let mut child = ceaff()
+            .args([
+                "serve",
+                "--dir",
+                dir.to_str().unwrap(),
+                "--addr",
+                "127.0.0.1:0",
+                "--dim",
+                "16",
+                "--epochs",
+                "15",
+            ])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn ceaff serve");
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read listening line");
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected serve banner: {line:?}"))
+            .to_owned();
+        ServeGuard {
+            child: Some(child),
+            addr,
+        }
+    }
+
+    fn pid(&self) -> u32 {
+        self.child.as_ref().expect("child alive").id()
+    }
+
+    /// Wait for the (already-signalled) server to exit and collect its
+    /// status + stderr. Only one SIGTERM may ever be sent: the handler
+    /// restores the default disposition after the first, so a second
+    /// would kill the drain instead of completing it.
+    fn finish(mut self) -> (std::process::ExitStatus, String) {
+        let child = self.child.take().expect("child alive");
+        let out = child.wait_with_output().expect("wait for serve");
+        (
+            out.status,
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    }
+}
+
+impl Drop for ServeGuard {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+fn no_retry_client(addr: &str) -> Client {
+    Client::new(
+        addr,
+        ClientConfig {
+            max_retries: 0,
+            ..ClientConfig::default()
+        },
+    )
+}
+
+#[test]
+fn sigterm_mid_training_reports_partial_result_and_exits_143() {
+    let dir = generated_dir("sigterm-align");
+    // Fault injection raises a real SIGTERM at GCN epoch 5. The handler
+    // must route it through the same cooperative-cancel path as SIGINT —
+    // clean partial results on stdout — but, unlike SIGINT, the process
+    // must then exit 143 so a supervisor can tell it was terminated.
+    let out = ceaff()
+        .args([
+            "align",
+            "--dir",
+            dir.to_str().unwrap(),
+            "--dim",
+            "16",
+            "--epochs",
+            "25",
+        ])
+        .env("CEAFF_FI_SIGTERM_AT_EPOCH", "5")
+        .output()
+        .expect("run align");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(143),
+        "SIGTERM must exit 143, got {:?}: {err}",
+        out.status
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("accuracy:"), "partial result missing: {text}");
+    assert!(
+        err.contains("degraded:") && err.contains("cancelled"),
+        "degradation must be reported: {err}"
+    );
+    assert!(
+        err.contains("terminated by SIGTERM"),
+        "termination must be reported: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_requests_fail_typed_and_post_chaos_results_match_a_fresh_server() {
+    let dir = generated_dir("serve-chaos");
+    let chaotic = ServeGuard::spawn(
+        &dir,
+        &[
+            "--chaos-fraction",
+            "0.5",
+            "--chaos-seed",
+            "11",
+            "--workers",
+            "2",
+        ],
+    );
+    let clean = ServeGuard::spawn(&dir, &[]);
+
+    // Fire align requests into the chaotic server. Every answer must be
+    // either a valid 200 (possibly degraded) or a *typed* 500 — never a
+    // dead connection, never a crash.
+    let client = no_retry_client(&chaotic.addr);
+    let mut faulted = 0;
+    let mut typed_errors = 0;
+    for i in 0..12 {
+        let result = client
+            .request("POST", "/align", &[("Deadline-Ms", "1000")], b"", false)
+            .unwrap_or_else(|e| panic!("request {i} died on transport: {e}"));
+        if result.header("x-chaos").is_some() {
+            faulted += 1;
+        }
+        match result.status {
+            200 => {}
+            500 => {
+                typed_errors += 1;
+                let typed = ["internal_panic", "non_finite_scores", "response_io"]
+                    .iter()
+                    .any(|kind| result.body.contains(kind));
+                assert!(typed, "request {i}: untyped 500: {}", result.body);
+            }
+            other => panic!("request {i}: unexpected status {other}: {}", result.body),
+        }
+    }
+    assert!(
+        faulted >= 3,
+        "chaos at fraction 0.5 must fault >=20% of 12 requests, marked {faulted}"
+    );
+    assert!(typed_errors >= 1, "some fault must surface as a typed 500");
+
+    // The server survived all of it.
+    let health = client.get("/health").expect("health after chaos");
+    assert_eq!(health.status, 200, "{}", health.body);
+
+    // Warm state is not poisoned: an unfaulted request on the chaotic
+    // server is byte-identical to a fresh, chaos-free server's answer.
+    let ground_truth = no_retry_client(&clean.addr)
+        .post("/align", &[], b"")
+        .expect("clean server align");
+    assert_eq!(ground_truth.status, 200, "{}", ground_truth.body);
+    let post_chaos = client
+        .post("/align", &[("X-No-Chaos", "1")], b"")
+        .expect("post-chaos align");
+    assert_eq!(post_chaos.status, 200, "{}", post_chaos.body);
+    assert_eq!(
+        post_chaos.body, ground_truth.body,
+        "post-chaos answer diverged from a fresh server"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn overload_sheds_then_sigterm_drains_gracefully_with_telemetry_flushed() {
+    let dir = generated_dir("serve-overload");
+    let trace = dir.join("serve-trace.jsonl");
+    let serve = ServeGuard::spawn(
+        &dir,
+        &[
+            "--workers",
+            "1",
+            "--queue-capacity",
+            "1",
+            "--drain-grace-ms",
+            "2000",
+            "--trace",
+            trace.to_str().unwrap(),
+        ],
+    );
+    let addr = serve.addr.clone();
+
+    // Saturation burst: 6 concurrent slow requests against 1 worker + 1
+    // queue slot. Without retries, some must be shed with 503 +
+    // Retry-After while the admitted ones still answer 200.
+    let burst: Vec<_> = (0..6)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                no_retry_client(&addr).request("POST", "/align?debug-sleep-ms=300", &[], b"", false)
+            })
+        })
+        .collect();
+    let mut shed = 0;
+    let mut ok = 0;
+    for handle in burst {
+        let result = handle.join().unwrap().expect("burst request answered");
+        match result.status {
+            200 => ok += 1,
+            503 => {
+                assert!(
+                    result.header("retry-after").is_some(),
+                    "a shed must carry Retry-After"
+                );
+                shed += 1;
+            }
+            other => panic!("unexpected status {other}: {}", result.body),
+        }
+    }
+    assert!(shed >= 1, "saturation must shed at least one request");
+    assert!(ok >= 1, "admitted requests must still answer");
+
+    // Backoff recovery: a retrying client pushed into the same saturated
+    // server eventually lands a 200 instead of surfacing the shed.
+    let background: Vec<_> = (0..3)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let _ = no_retry_client(&addr).request(
+                    "POST",
+                    "/align?debug-sleep-ms=300",
+                    &[],
+                    b"",
+                    false,
+                );
+            })
+        })
+        .collect();
+    let retrying = Client::new(
+        &addr,
+        ClientConfig {
+            max_retries: 8,
+            base_backoff_ms: 50,
+            ..ClientConfig::default()
+        },
+    );
+    let recovered = retrying
+        .request("POST", "/align?debug-sleep-ms=50", &[], b"", false)
+        .expect("retrying client must get an answer");
+    assert_eq!(
+        recovered.status, 200,
+        "backoff must recover from sheds: {}",
+        recovered.body
+    );
+    for handle in background {
+        handle.join().unwrap();
+    }
+
+    // Graceful drain: SIGTERM lands while a request is in flight; the
+    // request still gets its answer, the process exits 0, and the
+    // telemetry trace is flushed to disk.
+    let inflight = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            no_retry_client(&addr).request("POST", "/align?debug-sleep-ms=400", &[], b"", false)
+        })
+    };
+    std::thread::sleep(Duration::from_millis(120));
+    let pid = serve.pid();
+    send_sigterm(pid);
+    let answered = inflight
+        .join()
+        .unwrap()
+        .expect("in-flight request answered");
+    assert_eq!(
+        answered.status, 200,
+        "drain must finish in-flight work: {}",
+        answered.body
+    );
+    let (status, stderr) = serve.finish();
+    assert!(status.success(), "drain must exit 0: {stderr}");
+    assert!(stderr.contains("drained cleanly"), "{stderr}");
+    assert!(
+        stderr.contains("server/requests"),
+        "final counters must be reported: {stderr}"
+    );
+    let trace_text = std::fs::read_to_string(&trace).expect("trace file written");
+    assert!(
+        trace_text.contains("server") && trace_text.contains("requests"),
+        "flushed telemetry must include the server counters: {trace_text}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -524,6 +524,7 @@ pub fn try_train_budgeted(
     while epoch < cfg.epochs {
         ceaff_faultinject::abort_point(epoch);
         ceaff_faultinject::sigint_point(epoch);
+        ceaff_faultinject::sigterm_point(epoch);
         if ceaff_faultinject::simulated_crash(epoch) {
             return Err(CeaffError::Checkpoint {
                 file: checkpoint::TRAIN_FILE.into(),

@@ -86,10 +86,10 @@ pub use matching::{
     StableMarriage,
 };
 pub use pipeline::{
-    resume_from, resume_from_with_budget, try_run, try_run_checkpointed,
+    resume_from, resume_from_with_budget, run_decision_budgeted, try_run, try_run_checkpointed,
     try_run_checkpointed_with_budget, try_run_single_stage, try_run_with_budget,
     try_run_with_features, try_run_with_features_budgeted, CandidateStrategy, CeaffConfig,
-    CeaffConfigBuilder, CeaffOutput, EaInput, FeatureSet, WeightingMode,
+    CeaffConfigBuilder, CeaffOutput, DecisionOutput, EaInput, FeatureSet, WeightingMode,
 };
 #[allow(deprecated)]
 pub use pipeline::{run, run_single_stage, run_with_features};

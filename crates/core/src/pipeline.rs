@@ -23,7 +23,7 @@ use crate::matching::{MatcherKind, Matching};
 use ceaff_embed::WordEmbedder;
 use ceaff_graph::KgPair;
 use ceaff_sim::{BlockingConfig, CandidateSet, SimStore, SimilarityMatrix};
-use ceaff_telemetry::{RunTrace, Telemetry};
+use ceaff_telemetry::{Degradation, RunTrace, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// How candidate target entities are generated for each test source
@@ -1356,6 +1356,74 @@ pub fn try_run_with_features_budgeted(
         textual_fusion,
         final_fusion,
         flat_weights,
+        trace: telemetry.take_trace(),
+    })
+}
+
+/// What [`run_decision_budgeted`] produced: the matching plus its quality
+/// metrics and the degradation record, without re-carrying the (possibly
+/// large, shared) similarity store the decision ran over.
+#[derive(Debug, Clone)]
+pub struct DecisionOutput {
+    /// The alignment decision — exact when `degradation` is `None`,
+    /// otherwise the exact partial assignment completed greedily.
+    pub matching: Matching,
+    /// Fraction of sources matched to their ground-truth target (test
+    /// splits are index-aligned, so "correct" is `i == j`).
+    pub accuracy: f64,
+    /// Present iff the budget cut the exact matcher short.
+    pub degradation: Option<Degradation>,
+    /// Source rows whose assignment came from the greedy completion
+    /// rather than the exact algorithm. Empty for an exact run.
+    pub degraded_rows: Vec<usize>,
+    /// Stage timings, counters, and degradations drained from
+    /// `telemetry`.
+    pub trace: RunTrace,
+}
+
+/// Run one budgeted alignment decision over an already-fused similarity
+/// store.
+///
+/// This is the serving-path entry point: a long-running process fuses
+/// features once (via [`try_run`] or [`FeatureSet::compute`] +
+/// [`try_run_with_features`]), keeps the resulting
+/// [`CeaffOutput::fused`] store warm, and then answers each request with
+/// this call — no feature recomputation, just the collective decision
+/// under that request's own [`ExecBudget`]. The budget is installed for
+/// the duration of the call (memory ledger + cancel probe on the calling
+/// thread), the matcher runs in its anytime form, and the memory cap is
+/// checked at the stage boundary. The warm store is only read, never
+/// mutated, so a degraded or failed decision cannot poison it.
+///
+/// With an unlimited (or never-fired) budget the matching is
+/// bitwise-identical to [`Matcher::matching_store_traced`] at any thread
+/// count — the anytime path short-circuits — so repeated identical
+/// requests return byte-identical responses.
+pub fn run_decision_budgeted(
+    fused: &SimStore,
+    matcher: MatcherKind,
+    budget: &ExecBudget,
+    telemetry: &Telemetry,
+) -> Result<DecisionOutput, CeaffError> {
+    let _armed = budget.install();
+    let outcome = matcher
+        .build()
+        .matching_store_budgeted(fused, budget, telemetry);
+    budget.check_mem("matcher")?;
+    let acc = accuracy(&outcome.matching, fused.sources());
+    telemetry.gauge("pipeline", "accuracy", None, acc);
+    telemetry.gauge(
+        "pipeline",
+        "matched_pairs",
+        None,
+        outcome.matching.len() as f64,
+    );
+    budget.emit_counters(telemetry);
+    Ok(DecisionOutput {
+        matching: outcome.matching,
+        accuracy: acc,
+        degradation: outcome.degradation,
+        degraded_rows: outcome.degraded_rows,
         trace: telemetry.take_trace(),
     })
 }

@@ -161,6 +161,78 @@ fn cancelled_before_start_still_returns_a_valid_result() {
 }
 
 #[test]
+fn already_expired_deadline_degrades_immediately_and_reproducibly() {
+    // A deadline that has already passed when the run *enters* the
+    // pipeline is the harshest anytime case: every stage must degrade at
+    // its first granule — no panic, no division by a zero round count —
+    // and still hand back a complete one-to-one matching. The degraded
+    // answer must also be bitwise-identical across thread counts, because
+    // the deadline check is per-granule, not per-thread-race.
+    let ds = dataset();
+    let src = ds.source_embedder(16);
+    let tgt = ds.target_embedder(16);
+    let cfg = cfg();
+
+    let run = |threads: usize| {
+        ceaff_parallel::with_threads(threads, || {
+            let budget = ExecBudget::unlimited().with_deadline(Duration::ZERO);
+            try_run_with_budget(&EaInput::new(&ds.pair, &src, &tgt), &cfg, &budget)
+                .expect("expired deadline degrades, not errors")
+        })
+    };
+    let out = run(1);
+    assert!(out.matching.is_one_to_one());
+    assert_eq!(out.matching.len(), ds.pair.test_pairs().len());
+    assert!(out.accuracy.is_finite());
+    assert!(
+        !out.trace.degradations.is_empty(),
+        "an expired deadline must be visible in the trace"
+    );
+    for d in &out.trace.degradations {
+        assert_eq!(d.reason, "deadline");
+        assert!((0.0..=1.0).contains(&d.fraction_degraded));
+    }
+    assert_bitwise_equal(&out, &run(4));
+}
+
+#[test]
+fn zero_step_limit_degrades_immediately_and_reproducibly() {
+    // Zero granules of budget at entry: the degenerate sibling of the
+    // expired deadline, exercising the step accounting's boundary (the
+    // very first `consume` must fire, never underflow or divide by the
+    // zero rounds completed).
+    let ds = dataset();
+    let src = ds.source_embedder(16);
+    let tgt = ds.target_embedder(16);
+    let cfg = cfg();
+
+    let run = |threads: usize| {
+        ceaff_parallel::with_threads(threads, || {
+            let budget = ExecBudget::unlimited().with_step_limit(0);
+            try_run_with_budget(&EaInput::new(&ds.pair, &src, &tgt), &cfg, &budget)
+                .expect("zero step limit degrades, not errors")
+        })
+    };
+    let out = run(1);
+    assert!(out.matching.is_one_to_one());
+    assert_eq!(out.matching.len(), ds.pair.test_pairs().len());
+    assert!(out.accuracy.is_finite());
+    assert!(!out.trace.degradations.is_empty());
+    for d in &out.trace.degradations {
+        assert_eq!(d.reason, "step_limit");
+        match d.stage.as_str() {
+            // The feature stage guarantees a minimal valid answer by
+            // always computing its first enabled feature before touching
+            // the budget, so even a zero budget completes one round there.
+            "features" => assert_eq!(d.rounds_completed, 1),
+            _ => assert_eq!(d.rounds_completed, 0, "no rounds fit in a zero budget"),
+        }
+        assert!((0.0..=1.0).contains(&d.fraction_degraded));
+    }
+    assert_bitwise_equal(&out, &run(4));
+}
+
+#[test]
 fn tiny_memory_budget_is_a_typed_error_not_an_abort() {
     let ds = dataset();
     let src = ds.source_embedder(16);

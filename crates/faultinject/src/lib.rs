@@ -4,20 +4,28 @@
 //!
 //! Test-support fault injection for the CEAFF fault-tolerance layer. The
 //! production code calls the cheap hooks in this crate at its recovery
-//! points (epoch boundaries of the GCN training loop, TSV loader opens);
-//! the hooks do nothing unless a fault plan is active, so every recovery
-//! path can be exercised by real tests without `#[cfg(test)]` seams in the
-//! pipeline itself.
+//! points (epoch boundaries of the GCN training loop, TSV loader opens,
+//! the alignment server's request handlers); the hooks do nothing unless
+//! a fault plan is active, so every recovery path can be exercised by
+//! real tests without `#[cfg(test)]` seams in the pipeline itself.
 //!
-//! Two ways to arm a plan:
+//! Three ways to arm a plan, innermost wins:
 //!
-//! * **Programmatic** — build a [`FaultPlan`] and call
+//! * **Thread-scoped** — build a [`FaultPlan`] and call
+//!   [`FaultPlan::activate_local`]. The plan is armed *only for the
+//!   current thread* until the returned [`LocalFaultScope`] drops, with
+//!   its own one-shot latches. This is the per-request mode: the
+//!   alignment server arms a fresh plan on the worker thread for the
+//!   duration of one chaotic request, so concurrent requests never race
+//!   on shared latch state the way a process-global plan would.
+//! * **Process-global programmatic** — build a [`FaultPlan`] and call
 //!   [`FaultPlan::activate`]. The returned [`FaultScope`] guard holds a
 //!   global lock (so concurrent tests serialize) and disarms the plan on
 //!   drop.
 //! * **Environment** — set `CEAFF_FI_*` variables before the process
-//!   starts. This is how the kill-and-resume e2e test drives a *child*
-//!   process into a mid-training abort:
+//!   starts (read once per process; this remains the default when no
+//!   programmatic plan is armed). This is how the kill-and-resume e2e
+//!   test drives a *child* process into a mid-training abort:
 //!   - `CEAFF_FI_ABORT_AT_EPOCH=N` — `std::process::abort()` when the
 //!     training loop reaches epoch `N` (simulates SIGKILL mid-run),
 //!   - `CEAFF_FI_FAIL_TRAIN_AT_EPOCH=N` — the training loop returns a
@@ -25,15 +33,24 @@
 //!   - `CEAFF_FI_SIGINT_AT_EPOCH=N` — raise SIGINT against the process
 //!     itself when the training loop reaches epoch `N` (one-shot; unix
 //!     only), driving a real signal through the CLI's cancel handler,
+//!   - `CEAFF_FI_SIGTERM_AT_EPOCH=N` — the SIGTERM sibling, driving the
+//!     CLI's terminate-with-partial-results path deterministically,
 //!   - `CEAFF_FI_NAN_LOSS_EPOCH=N` — force a NaN loss at epoch `N`
 //!     (one-shot),
 //!   - `CEAFF_FI_NAN_LOSS_ALWAYS=1` — force a NaN loss every epoch,
 //!   - `CEAFF_FI_IO_ERROR_MATCH=SUBSTR` — hooked file reads whose path
 //!     contains `SUBSTR` fail with an injected `io::Error`.
 //!
+//! The request-level hooks ([`panic_point`], [`sleep_point`],
+//! [`nan_point`]) exist for the serving path: a caught worker panic, an
+//! injected latency spike, and a forced non-finite score respectively.
+//! They match on a *point name* rather than an epoch because requests
+//! have no epoch structure.
+//!
 //! [`truncate_file`] and [`flip_byte`] round the harness out for
 //! corrupted-checkpoint tests.
 
+use std::cell::RefCell;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -52,6 +69,10 @@ pub struct FaultPlan {
     /// reaches this epoch (one-shot; unix only) — exercises a real signal
     /// delivery through whatever handler the binary installed.
     pub sigint_at_epoch: Option<usize>,
+    /// Raise SIGTERM against the current process when the training loop
+    /// reaches this epoch (one-shot; unix only) — the supervisor-initiated
+    /// sibling of [`FaultPlan::sigint_at_epoch`].
+    pub sigterm_at_epoch: Option<usize>,
     /// Force a non-finite loss at this epoch (one-shot), exercising the
     /// rollback + learning-rate-halving recovery.
     pub nan_loss_at_epoch: Option<usize>,
@@ -60,16 +81,62 @@ pub struct FaultPlan {
     pub nan_loss_always: bool,
     /// Fail any hooked I/O whose path contains this substring.
     pub io_error_substring: Option<String>,
+    /// Panic at the named [`panic_point`] (one-shot). The serving path
+    /// wraps request handlers in `catch_unwind`, so this exercises the
+    /// worker-panic → typed-500 conversion without poisoning warm state.
+    pub panic_at_point: Option<String>,
+    /// Sleep for the given milliseconds at the named [`sleep_point`]
+    /// (one-shot) — an injected latency spike that drives a per-request
+    /// deadline into graceful degradation.
+    pub sleep_at_point: Option<(String, u64)>,
+    /// Report `true` from the named [`nan_point`] (one-shot), telling the
+    /// caller to corrupt its in-flight scores with a NaN so the numeric
+    /// guards must catch it.
+    pub nan_at_point: Option<String>,
 }
 
-/// Serializes fault-injection tests within one process.
+/// One-shot latch state owned by whichever scope armed the plan, so a
+/// thread-local scope never races a global one (and consecutive scopes
+/// start fresh).
+#[derive(Debug, Default)]
+struct Latches {
+    fail_train: AtomicBool,
+    nan: AtomicBool,
+    sigint: AtomicBool,
+    sigterm: AtomicBool,
+    panic: AtomicBool,
+    sleep: AtomicBool,
+    nan_point: AtomicBool,
+}
+
+impl Latches {
+    /// Fire a one-shot latch: `true` the first time, `false` after.
+    fn fire(latch: &AtomicBool) -> bool {
+        !latch.swap(true, Ordering::SeqCst)
+    }
+}
+
+/// Serializes process-global fault-injection tests within one process.
 static SCOPE_LOCK: Mutex<()> = Mutex::new(());
-/// The programmatically armed plan, if any.
+/// The programmatically armed global plan, if any.
 static ACTIVE: Mutex<Option<FaultPlan>> = Mutex::new(None);
-/// One-shot latches (true = already fired).
-static FIRED_FAIL_TRAIN: AtomicBool = AtomicBool::new(false);
-static FIRED_NAN: AtomicBool = AtomicBool::new(false);
-static FIRED_SIGINT: AtomicBool = AtomicBool::new(false);
+/// Latches of the global plan (env or [`FaultPlan::activate`]).
+static GLOBAL_LATCHES: Latches = Latches {
+    fail_train: AtomicBool::new(false),
+    nan: AtomicBool::new(false),
+    sigint: AtomicBool::new(false),
+    sigterm: AtomicBool::new(false),
+    panic: AtomicBool::new(false),
+    sleep: AtomicBool::new(false),
+    nan_point: AtomicBool::new(false),
+};
+
+thread_local! {
+    /// The thread-scoped plan armed by [`FaultPlan::activate_local`],
+    /// with its own latch state. Innermost scope wins; nesting restores
+    /// the outer plan on drop.
+    static LOCAL: RefCell<Vec<(FaultPlan, std::rc::Rc<Latches>)>> = const { RefCell::new(Vec::new()) };
+}
 
 fn env_usize(name: &str) -> Option<usize> {
     std::env::var(name).ok().and_then(|v| v.parse().ok())
@@ -83,26 +150,45 @@ fn env_plan() -> &'static FaultPlan {
         abort_at_epoch: env_usize("CEAFF_FI_ABORT_AT_EPOCH"),
         fail_train_at_epoch: env_usize("CEAFF_FI_FAIL_TRAIN_AT_EPOCH"),
         sigint_at_epoch: env_usize("CEAFF_FI_SIGINT_AT_EPOCH"),
+        sigterm_at_epoch: env_usize("CEAFF_FI_SIGTERM_AT_EPOCH"),
         nan_loss_at_epoch: env_usize("CEAFF_FI_NAN_LOSS_EPOCH"),
         nan_loss_always: std::env::var("CEAFF_FI_NAN_LOSS_ALWAYS").as_deref() == Ok("1"),
         io_error_substring: std::env::var("CEAFF_FI_IO_ERROR_MATCH").ok(),
+        panic_at_point: None,
+        sleep_at_point: None,
+        nan_at_point: None,
     })
 }
 
-/// The effective plan right now: the programmatic one wins over the
-/// environment one.
-fn effective() -> FaultPlan {
+/// Run `f` against the effective plan and its latch state: the innermost
+/// thread-scoped plan wins, then the global programmatic plan, then the
+/// environment plan (the default).
+fn with_effective<R>(f: impl FnOnce(&FaultPlan, &Latches) -> R) -> R {
+    let local = LOCAL.with(|cell| {
+        cell.borrow()
+            .last()
+            .map(|(plan, latches)| (plan.clone(), latches.clone()))
+    });
+    if let Some((plan, latches)) = local {
+        return f(&plan, &latches);
+    }
     let armed = ACTIVE.lock().expect("fault plan lock");
     match &*armed {
-        Some(plan) => plan.clone(),
-        None => env_plan().clone(),
+        Some(plan) => f(plan, &GLOBAL_LATCHES),
+        None => f(env_plan(), &GLOBAL_LATCHES),
     }
 }
 
-/// Guard of an armed [`FaultPlan`]; dropping it disarms the plan and
-/// releases the global test lock.
+/// Guard of a process-globally armed [`FaultPlan`]; dropping it disarms
+/// the plan and releases the global test lock.
 pub struct FaultScope {
     _lock: MutexGuard<'static, ()>,
+}
+
+/// Guard of a thread-scoped [`FaultPlan`]; dropping it disarms the plan
+/// on this thread (restoring any outer scope).
+pub struct LocalFaultScope {
+    _not_send: std::marker::PhantomData<*const ()>,
 }
 
 impl FaultPlan {
@@ -112,11 +198,35 @@ impl FaultPlan {
         // A panicking previous test may have poisoned the lock; the plan
         // state is reset below either way.
         let lock = SCOPE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-        FIRED_FAIL_TRAIN.store(false, Ordering::SeqCst);
-        FIRED_NAN.store(false, Ordering::SeqCst);
-        FIRED_SIGINT.store(false, Ordering::SeqCst);
+        for latch in [
+            &GLOBAL_LATCHES.fail_train,
+            &GLOBAL_LATCHES.nan,
+            &GLOBAL_LATCHES.sigint,
+            &GLOBAL_LATCHES.sigterm,
+            &GLOBAL_LATCHES.panic,
+            &GLOBAL_LATCHES.sleep,
+            &GLOBAL_LATCHES.nan_point,
+        ] {
+            latch.store(false, Ordering::SeqCst);
+        }
         *ACTIVE.lock().expect("fault plan lock") = Some(self);
         FaultScope { _lock: lock }
+    }
+
+    /// Arm this plan *for the current thread only* until the returned
+    /// guard drops. No global lock is taken and latch state is private to
+    /// the scope, so many threads can each run their own plan
+    /// concurrently — the per-request chaos mode of the alignment
+    /// server. Nestable; the innermost scope wins; the guard is `!Send`
+    /// (it must drop on the arming thread).
+    pub fn activate_local(self) -> LocalFaultScope {
+        LOCAL.with(|cell| {
+            cell.borrow_mut()
+                .push((self, std::rc::Rc::new(Latches::default())))
+        });
+        LocalFaultScope {
+            _not_send: std::marker::PhantomData,
+        }
     }
 }
 
@@ -126,11 +236,19 @@ impl Drop for FaultScope {
     }
 }
 
+impl Drop for LocalFaultScope {
+    fn drop(&mut self) {
+        LOCAL.with(|cell| {
+            cell.borrow_mut().pop();
+        });
+    }
+}
+
 /// Training-loop hook: abort the process when the armed plan says this
 /// epoch dies. No unwinding, no destructors — the closest in-process
 /// approximation of a kill signal.
 pub fn abort_point(epoch: usize) {
-    if effective().abort_at_epoch == Some(epoch) {
+    if with_effective(|plan, _| plan.abort_at_epoch == Some(epoch)) {
         eprintln!("ceaff-faultinject: aborting at epoch {epoch}");
         std::process::abort();
     }
@@ -142,7 +260,10 @@ pub fn abort_point(epoch: usize) {
 /// runs exactly as it would for a user's Ctrl-C; without a handler the
 /// default disposition terminates the process. No-op on non-unix targets.
 pub fn sigint_point(epoch: usize) {
-    if effective().sigint_at_epoch == Some(epoch) && !FIRED_SIGINT.swap(true, Ordering::SeqCst) {
+    let fire = with_effective(|plan, latches| {
+        plan.sigint_at_epoch == Some(epoch) && Latches::fire(&latches.sigint)
+    });
+    if fire {
         #[cfg(unix)]
         {
             const SIGINT: i32 = 2;
@@ -159,33 +280,87 @@ pub fn sigint_point(epoch: usize) {
     }
 }
 
+/// Training-loop hook: raise SIGTERM against the current process when
+/// the armed plan says this epoch is terminated. One-shot; real signal
+/// delivery exactly as [`sigint_point`], but through the SIGTERM handler
+/// — the CLI's "supervisor asked us to stop" path. No-op on non-unix.
+pub fn sigterm_point(epoch: usize) {
+    let fire = with_effective(|plan, latches| {
+        plan.sigterm_at_epoch == Some(epoch) && Latches::fire(&latches.sigterm)
+    });
+    if fire {
+        #[cfg(unix)]
+        {
+            const SIGTERM: i32 = 15;
+            extern "C" {
+                fn raise(sig: i32) -> i32;
+            }
+            eprintln!("ceaff-faultinject: raising SIGTERM at epoch {epoch}");
+            unsafe {
+                raise(SIGTERM);
+            }
+        }
+        #[cfg(not(unix))]
+        eprintln!("ceaff-faultinject: SIGTERM injection unsupported on this target");
+    }
+}
+
 /// Training-loop hook: whether to simulate a graceful crash (typed error)
 /// at this epoch. One-shot — fires at most once per armed plan.
 pub fn simulated_crash(epoch: usize) -> bool {
-    if effective().fail_train_at_epoch == Some(epoch) {
-        return !FIRED_FAIL_TRAIN.swap(true, Ordering::SeqCst);
-    }
-    false
+    with_effective(|plan, latches| {
+        plan.fail_train_at_epoch == Some(epoch) && Latches::fire(&latches.fail_train)
+    })
 }
 
 /// Training-loop hook: whether the loss of this epoch must be forced to
 /// NaN. `nan_loss_at_epoch` is one-shot; `nan_loss_always` fires forever.
 pub fn nan_loss(epoch: usize) -> bool {
-    let plan = effective();
-    if plan.nan_loss_always {
-        return true;
+    with_effective(|plan, latches| {
+        if plan.nan_loss_always {
+            return true;
+        }
+        plan.nan_loss_at_epoch == Some(epoch) && Latches::fire(&latches.nan)
+    })
+}
+
+/// Request hook: panic when the armed plan names this point (one-shot).
+/// The serving path calls this inside the `catch_unwind` boundary of its
+/// worker loop, so an injected panic becomes a typed 500.
+pub fn panic_point(name: &str) {
+    let fire = with_effective(|plan, latches| {
+        plan.panic_at_point.as_deref() == Some(name) && Latches::fire(&latches.panic)
+    });
+    if fire {
+        panic!("ceaff-faultinject: injected panic at point '{name}'");
     }
-    if plan.nan_loss_at_epoch == Some(epoch) {
-        return !FIRED_NAN.swap(true, Ordering::SeqCst);
+}
+
+/// Request hook: sleep for the planned milliseconds when the armed plan
+/// names this point (one-shot) — an injected latency spike.
+pub fn sleep_point(name: &str) {
+    let ms = with_effective(|plan, latches| match &plan.sleep_at_point {
+        Some((point, ms)) if point == name && Latches::fire(&latches.sleep) => Some(*ms),
+        _ => None,
+    });
+    if let Some(ms) = ms {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
     }
-    false
+}
+
+/// Request hook: whether the caller must corrupt its in-flight scores
+/// with a NaN at this point (one-shot), exercising the numeric guards on
+/// the serving path.
+pub fn nan_point(name: &str) -> bool {
+    with_effective(|plan, latches| {
+        plan.nan_at_point.as_deref() == Some(name) && Latches::fire(&latches.nan_point)
+    })
 }
 
 /// I/O hook: an injected error for `path`, when the armed plan matches it.
 pub fn io_error(path: &Path) -> Option<io::Error> {
-    let plan = effective();
-    let pat = plan.io_error_substring.as_deref()?;
-    if !pat.is_empty() && path.to_string_lossy().contains(pat) {
+    let pat = with_effective(|plan, _| plan.io_error_substring.clone())?;
+    if !pat.is_empty() && path.to_string_lossy().contains(&pat) {
         Some(io::Error::other(format!(
             "injected i/o error for {}",
             path.display()
@@ -229,6 +404,9 @@ mod tests {
         assert!(!simulated_crash(0));
         assert!(!nan_loss(0));
         assert!(io_error(Path::new("/tmp/anything")).is_none());
+        panic_point("anything");
+        sleep_point("anything");
+        assert!(!nan_point("anything"));
     }
 
     #[test]
@@ -285,5 +463,90 @@ mod tests {
         flip_byte(&path, 1).unwrap();
         assert_eq!(std::fs::read(&path).unwrap(), vec![1, !2u8]);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn local_scope_shadows_global_and_restores_on_drop() {
+        let _global = FaultPlan {
+            fail_train_at_epoch: Some(1),
+            ..FaultPlan::default()
+        }
+        .activate();
+        {
+            let _local = FaultPlan {
+                nan_at_point: Some("req".into()),
+                ..FaultPlan::default()
+            }
+            .activate_local();
+            // The local plan has no fail_train fault — it shadows, not
+            // merges.
+            assert!(!simulated_crash(1));
+            assert!(nan_point("req"));
+            assert!(!nan_point("req"), "local one-shot");
+        }
+        // Outer (global) plan visible again, its latch untouched.
+        assert!(simulated_crash(1));
+        assert!(!nan_point("req"));
+    }
+
+    #[test]
+    fn local_scopes_have_independent_latches_across_threads() {
+        let fired: Vec<bool> = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        let _scope = FaultPlan {
+                            panic_at_point: Some("boom".into()),
+                            ..FaultPlan::default()
+                        }
+                        .activate_local();
+                        std::panic::catch_unwind(|| panic_point("boom")).is_err()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(
+            fired.iter().all(|&f| f),
+            "every thread's scope must fire its own one-shot: {fired:?}"
+        );
+    }
+
+    #[test]
+    fn local_scopes_nest_innermost_wins() {
+        let _outer = FaultPlan {
+            sleep_at_point: Some(("slow".into(), 0)),
+            ..FaultPlan::default()
+        }
+        .activate_local();
+        {
+            let _inner = FaultPlan::default().activate_local();
+            // Inner empty plan shadows the outer sleep plan.
+            sleep_point("slow");
+        }
+        // Outer scope intact with an unfired latch.
+        let t0 = std::time::Instant::now();
+        sleep_point("slow");
+        assert!(t0.elapsed() < std::time::Duration::from_secs(1));
+    }
+
+    #[test]
+    fn request_hooks_fire_from_a_local_plan() {
+        let _scope = FaultPlan {
+            panic_at_point: Some("server/handler".into()),
+            sleep_at_point: Some(("server/slow".into(), 1)),
+            nan_at_point: Some("server/scores".into()),
+            io_error_substring: Some("server/response".into()),
+            ..FaultPlan::default()
+        }
+        .activate_local();
+        assert!(std::panic::catch_unwind(|| panic_point("server/handler")).is_err());
+        let t0 = std::time::Instant::now();
+        sleep_point("server/slow");
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(1));
+        assert!(nan_point("server/scores"));
+        assert!(io_error(Path::new("ceaff-server/response")).is_some());
     }
 }

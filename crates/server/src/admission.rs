@@ -1,0 +1,135 @@
+//! Bounded admission queue: accepted connections either get a slot or
+//! are shed immediately — the queue never grows without bound, so a
+//! burst cannot take the whole server down with it.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Outcome of an admission attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Admit<T> {
+    /// The work was queued.
+    Queued,
+    /// The queue was full (or closed); the work is handed back so the
+    /// caller can shed it with a `503 + Retry-After`.
+    Shed(T),
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity MPMC queue: producers never block (overflow is an
+/// immediate [`Admit::Shed`]), consumers block until work or close.
+pub struct AdmissionQueue<T> {
+    inner: Mutex<Inner<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue admitting at most `capacity` waiting items.
+    pub fn new(capacity: usize) -> Self {
+        AdmissionQueue {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Try to admit `item` without blocking.
+    pub fn push(&self, item: T) -> Admit<T> {
+        let mut inner = self.inner.lock().expect("admission queue poisoned");
+        if inner.closed || inner.queue.len() >= self.capacity {
+            return Admit::Shed(item);
+        }
+        inner.queue.push_back(item);
+        drop(inner);
+        self.available.notify_one();
+        Admit::Queued
+    }
+
+    /// Block until an item is available or the queue is closed *and*
+    /// drained; `None` means no more work will ever arrive.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("admission queue poisoned");
+        loop {
+            if let Some(item) = inner.queue.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .available
+                .wait(inner)
+                .expect("admission queue poisoned");
+        }
+    }
+
+    /// Stop admitting; consumers drain the remainder, then [`Self::pop`]
+    /// returns `None` — the first step of a graceful drain.
+    pub fn close(&self) {
+        self.inner.lock().expect("admission queue poisoned").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Items currently waiting.
+    pub fn depth(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("admission queue poisoned")
+            .queue
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_beyond_capacity() {
+        let q = AdmissionQueue::new(2);
+        assert_eq!(q.push(1), Admit::Queued);
+        assert_eq!(q.push(2), Admit::Queued);
+        assert_eq!(q.push(3), Admit::Shed(3));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.push(3), Admit::Queued);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = AdmissionQueue::new(4);
+        q.push(1);
+        q.push(2);
+        q.close();
+        assert_eq!(q.push(3), Admit::Shed(3), "closed queue admits nothing");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(AdmissionQueue::<u32>::new(1));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(9);
+        q.close();
+        let got: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(got.iter().filter(|v| v.is_some()).count(), 1);
+        assert_eq!(got.iter().filter(|v| v.is_none()).count(), 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Deterministic per-request fault selection for the chaos harness.
+//!
+//! Chaos mode is a *server-side* test facility: the server, when started
+//! with a [`ChaosConfig`], derives from `(seed, request id)` whether a
+//! request is faulted and with which [`ChaosKind`], then arms a
+//! thread-scoped [`ceaff_faultinject::FaultPlan`] for exactly that
+//! request. Determinism matters: a chaos e2e run can predict which
+//! requests were faulted from the seed alone, and two runs with the same
+//! seed fault the same requests.
+
+/// One injected fault kind, mapped onto the repo's fault-injection hooks
+/// and the budget machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosKind {
+    /// Panic inside the request handler (`panic_point`), exercising the
+    /// catch-unwind → typed-500 conversion.
+    Panic,
+    /// Corrupt the request's computed scores with a NaN (`nan_point`),
+    /// exercising the finiteness guard. The warm store is never touched.
+    Nan,
+    /// Injected latency spike (`sleep_point`) that drives the request
+    /// deadline into graceful degradation.
+    SlowIo,
+    /// Injected response-write I/O failure (`io_error`).
+    FailIo,
+    /// Cancel the request's token mid-flight, exercising the anytime
+    /// matchers' cooperative-cancel degradation.
+    Cancel,
+}
+
+impl ChaosKind {
+    /// All kinds, in the order the picker cycles through.
+    pub const ALL: [ChaosKind; 5] = [
+        ChaosKind::Panic,
+        ChaosKind::Nan,
+        ChaosKind::SlowIo,
+        ChaosKind::FailIo,
+        ChaosKind::Cancel,
+    ];
+
+    /// Stable label for logs and the `X-Chaos` response header.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ChaosKind::Panic => "panic",
+            ChaosKind::Nan => "nan",
+            ChaosKind::SlowIo => "slow_io",
+            ChaosKind::FailIo => "fail_io",
+            ChaosKind::Cancel => "cancel",
+        }
+    }
+}
+
+/// Which fraction of requests get faulted, and with what seed.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Fraction of requests to fault, in `[0, 1]`.
+    pub fraction: f64,
+    /// Seed deriving the per-request decision.
+    pub seed: u64,
+}
+
+impl ChaosConfig {
+    /// The fault injected into request `request_id`, if any. Pure
+    /// function of `(self.seed, request_id)`.
+    pub fn fault_for(&self, request_id: u64) -> Option<ChaosKind> {
+        if self.fraction <= 0.0 {
+            return None;
+        }
+        let h = splitmix64(self.seed ^ request_id.wrapping_mul(0x9E3779B97F4A7C15));
+        // Top 53 bits → uniform in [0, 1).
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if unit < self.fraction {
+            let kind_bits = splitmix64(h);
+            Some(ChaosKind::ALL[(kind_bits % ChaosKind::ALL.len() as u64) as usize])
+        } else {
+            None
+        }
+    }
+}
+
+/// SplitMix64 — the standard 64-bit finalizer; tiny, stateless, and good
+/// enough to decorrelate sequential request ids.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_selection_is_deterministic() {
+        let cfg = ChaosConfig {
+            fraction: 0.3,
+            seed: 42,
+        };
+        for id in 0..100 {
+            assert_eq!(cfg.fault_for(id), cfg.fault_for(id));
+        }
+    }
+
+    #[test]
+    fn fraction_is_roughly_honoured() {
+        let cfg = ChaosConfig {
+            fraction: 0.3,
+            seed: 7,
+        };
+        let faulted = (0..10_000)
+            .filter(|&id| cfg.fault_for(id).is_some())
+            .count();
+        let observed = faulted as f64 / 10_000.0;
+        assert!(
+            (observed - 0.3).abs() < 0.05,
+            "observed fault fraction {observed}"
+        );
+    }
+
+    #[test]
+    fn zero_and_full_fractions() {
+        let none = ChaosConfig {
+            fraction: 0.0,
+            seed: 1,
+        };
+        let all = ChaosConfig {
+            fraction: 1.0,
+            seed: 1,
+        };
+        assert!((0..100).all(|id| none.fault_for(id).is_none()));
+        assert!((0..100).all(|id| all.fault_for(id).is_some()));
+    }
+
+    #[test]
+    fn every_kind_appears() {
+        let cfg = ChaosConfig {
+            fraction: 1.0,
+            seed: 3,
+        };
+        let mut seen = std::collections::BTreeSet::new();
+        for id in 0..200 {
+            if let Some(kind) = cfg.fault_for(id) {
+                seen.insert(kind.as_str());
+            }
+        }
+        assert_eq!(seen.len(), ChaosKind::ALL.len());
+    }
+}

@@ -1,0 +1,360 @@
+//! `ceaff-client`: a small deadline-aware HTTP client for the alignment
+//! service, with jittered exponential backoff.
+//!
+//! The retry contract mirrors the server's shedding semantics:
+//!
+//! * **`503 Service Unavailable`** (admission shed) is retried for *any*
+//!   method — a shed request was never executed, so retrying cannot
+//!   double-apply it. The server's `Retry-After` header, when present,
+//!   overrides the computed backoff.
+//! * **Transport errors** (refused, reset, timed out mid-exchange) are
+//!   retried only for idempotent `GET`s: a `POST` that died mid-flight
+//!   may or may not have executed.
+//! * Everything else — 2xx, 4xx, typed 5xxs — is returned to the caller
+//!   as the final answer; those are *responses*, not delivery failures.
+//!
+//! Backoff doubles from [`ClientConfig::base_backoff_ms`] up to
+//! [`ClientConfig::max_backoff_ms`], with multiplicative jitter in
+//! `[0.5, 1.0]` from a seeded xorshift (deterministic per client), and
+//! the whole retry loop respects [`ClientConfig::overall_deadline_ms`].
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Client behaviour knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Attempts beyond the first.
+    pub max_retries: u32,
+    /// First backoff, milliseconds.
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling, milliseconds.
+    pub max_backoff_ms: u64,
+    /// Give up (with [`ClientError::DeadlineExceeded`]) once this much
+    /// wall-clock has elapsed across all attempts.
+    pub overall_deadline_ms: Option<u64>,
+    /// Per-attempt socket read/write timeout, milliseconds.
+    pub request_timeout_ms: u64,
+    /// Jitter seed; same seed → same backoff sequence.
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            max_retries: 5,
+            base_backoff_ms: 25,
+            max_backoff_ms: 1_000,
+            overall_deadline_ms: None,
+            request_timeout_ms: 30_000,
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+/// What a completed exchange produced.
+#[derive(Debug, Clone)]
+pub struct HttpResult {
+    /// Status code.
+    pub status: u16,
+    /// Response headers, lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// Body text.
+    pub body: String,
+    /// Attempts performed (1 = no retry was needed).
+    pub attempts: u32,
+}
+
+impl HttpResult {
+    /// First header value for `name` (lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why the client gave up.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Retries exhausted; the last transport error or shed status.
+    Exhausted {
+        /// Attempts performed.
+        attempts: u32,
+        /// The last failure, displayable.
+        last: String,
+    },
+    /// The overall deadline elapsed before an answer arrived.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempt(s): {last}")
+            }
+            ClientError::DeadlineExceeded => write!(f, "client deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A client bound to one server address.
+pub struct Client {
+    addr: String,
+    cfg: ClientConfig,
+    rng: std::cell::Cell<u64>,
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>, cfg: ClientConfig) -> Self {
+        let seed = cfg.jitter_seed.max(1);
+        Client {
+            addr: addr.into(),
+            cfg,
+            rng: std::cell::Cell::new(seed),
+        }
+    }
+
+    /// `GET path` (idempotent: transport errors retry).
+    pub fn get(&self, path: &str) -> Result<HttpResult, ClientError> {
+        self.request("GET", path, &[], b"", true)
+    }
+
+    /// `POST path` with a body (transport errors do *not* retry; sheds do).
+    pub fn post(
+        &self,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> Result<HttpResult, ClientError> {
+        self.request("POST", path, headers, body, false)
+    }
+
+    /// One exchange with the retry loop around it.
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+        idempotent: bool,
+    ) -> Result<HttpResult, ClientError> {
+        let started = Instant::now();
+        let overall = self.cfg.overall_deadline_ms.map(Duration::from_millis);
+        let mut last_failure = String::new();
+        for attempt in 0..=self.cfg.max_retries {
+            if let Some(limit) = overall {
+                if started.elapsed() >= limit {
+                    return Err(ClientError::DeadlineExceeded);
+                }
+            }
+            match self.once(method, path, headers, body) {
+                Ok(mut result) => {
+                    result.attempts = attempt + 1;
+                    if result.status != 503 || attempt == self.cfg.max_retries {
+                        // 2xx/4xx/5xx answers are final; so is a 503 once
+                        // retries are spent — the caller sees the shed.
+                        return Ok(result);
+                    }
+                    // Shed: never executed, safe to retry any method.
+                    let retry_after = result
+                        .header("retry-after")
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .map(|secs| Duration::from_secs(secs.min(5)));
+                    last_failure = "503 overloaded".to_owned();
+                    self.sleep_backoff(attempt, retry_after, started, overall);
+                }
+                Err(e) => {
+                    last_failure = format!("transport: {e}");
+                    if !idempotent {
+                        return Err(ClientError::Exhausted {
+                            attempts: attempt + 1,
+                            last: last_failure,
+                        });
+                    }
+                    if attempt < self.cfg.max_retries {
+                        self.sleep_backoff(attempt, None, started, overall);
+                    }
+                }
+            }
+        }
+        Err(ClientError::Exhausted {
+            attempts: self.cfg.max_retries + 1,
+            last: last_failure,
+        })
+    }
+
+    /// One raw exchange, no retries.
+    fn once(
+        &self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<HttpResult> {
+        let timeout = Duration::from_millis(self.cfg.request_timeout_ms);
+        let mut stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+
+        let mut request = format!("{method} {path} HTTP/1.1\r\nHost: {}\r\n", self.addr);
+        for (name, value) in headers {
+            request.push_str(&format!("{name}: {value}\r\n"));
+        }
+        request.push_str(&format!(
+            "Content-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        ));
+        stream.write_all(request.as_bytes())?;
+        stream.write_all(body)?;
+
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw)?;
+        parse_response(&raw)
+    }
+
+    /// Sleep the next backoff: server-directed (`Retry-After`) when
+    /// given, else jittered exponential — both clipped to the overall
+    /// deadline so a retrying client still honours it.
+    fn sleep_backoff(
+        &self,
+        attempt: u32,
+        server_directed: Option<Duration>,
+        started: Instant,
+        overall: Option<Duration>,
+    ) {
+        let backoff = server_directed.unwrap_or_else(|| {
+            let exp = self
+                .cfg
+                .base_backoff_ms
+                .saturating_mul(1u64 << attempt.min(16))
+                .min(self.cfg.max_backoff_ms);
+            // Multiplicative jitter in [0.5, 1.0] — desynchronizes a
+            // thundering herd of shed clients.
+            let unit = (self.next_rand() >> 11) as f64 / (1u64 << 53) as f64;
+            Duration::from_millis((exp as f64 * (0.5 + unit / 2.0)).round() as u64)
+        });
+        let capped = match overall {
+            Some(limit) => backoff.min(limit.saturating_sub(started.elapsed())),
+            None => backoff,
+        };
+        std::thread::sleep(capped);
+    }
+
+    /// xorshift64* — cheap deterministic jitter, no external RNG dep.
+    fn next_rand(&self) -> u64 {
+        let mut x = self.rng.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng.set(x);
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+/// Parse a full HTTP/1.1 response held in memory (the server always
+/// closes the connection, so read-to-end framing is exact).
+fn parse_response(raw: &[u8]) -> io::Result<HttpResult> {
+    let text = std::str::from_utf8(raw)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response"))?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated response"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty response"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let headers = lines
+        .filter_map(|line| {
+            line.split_once(':')
+                .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_owned()))
+        })
+        .collect();
+    Ok(HttpResult {
+        status,
+        headers,
+        body: body.to_owned(),
+        attempts: 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_response() {
+        let raw =
+            b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 2\r\nContent-Length: 2\r\n\r\nhi";
+        let result = parse_response(raw).unwrap();
+        assert_eq!(result.status, 503);
+        assert_eq!(result.header("retry-after"), Some("2"));
+        assert_eq!(result.body, "hi");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let a = Client::new("127.0.0.1:1", ClientConfig::default());
+        let b = Client::new("127.0.0.1:1", ClientConfig::default());
+        let seq_a: Vec<u64> = (0..5).map(|_| a.next_rand()).collect();
+        let seq_b: Vec<u64> = (0..5).map(|_| b.next_rand()).collect();
+        assert_eq!(seq_a, seq_b);
+        let c = Client::new(
+            "127.0.0.1:1",
+            ClientConfig {
+                jitter_seed: 99,
+                ..ClientConfig::default()
+            },
+        );
+        let seq_c: Vec<u64> = (0..5).map(|_| c.next_rand()).collect();
+        assert_ne!(seq_a, seq_c);
+    }
+
+    #[test]
+    fn post_does_not_retry_transport_errors() {
+        // Nothing listens on this port (reserved, unroutable fast-fail).
+        let client = Client::new(
+            "127.0.0.1:1",
+            ClientConfig {
+                max_retries: 3,
+                base_backoff_ms: 1,
+                ..ClientConfig::default()
+            },
+        );
+        match client.post("/align", &[], b"{}") {
+            Err(ClientError::Exhausted { attempts, .. }) => assert_eq!(attempts, 1),
+            other => panic!("expected immediate exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overall_deadline_bounds_retries() {
+        let client = Client::new(
+            "127.0.0.1:1",
+            ClientConfig {
+                max_retries: 100,
+                base_backoff_ms: 20,
+                overall_deadline_ms: Some(80),
+                ..ClientConfig::default()
+            },
+        );
+        let started = Instant::now();
+        let result = client.get("/health");
+        assert!(matches!(
+            result,
+            Err(ClientError::DeadlineExceeded) | Err(ClientError::Exhausted { .. })
+        ));
+        assert!(started.elapsed() < Duration::from_secs(3));
+    }
+}

@@ -1,0 +1,337 @@
+//! A deliberately small HTTP/1.1 subset over std I/O — just enough for
+//! the alignment service and its client: one request per connection
+//! (`Connection: close`), bounded request line / header count / body
+//! size, `Content-Length` bodies only (no chunked encoding), and
+//! percent-decoded query strings.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Longest accepted request line (method + path + version), bytes.
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Most accepted headers per request.
+pub const MAX_HEADERS: usize = 32;
+/// Largest accepted request body, bytes.
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// Why a request could not be parsed; maps directly onto a 4xx status.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Malformed request line, header syntax, or header/line limits.
+    Bad(&'static str),
+    /// Body longer than [`MAX_BODY`].
+    TooLarge,
+    /// The peer closed or the socket failed mid-parse.
+    Io(io::Error),
+}
+
+impl ParseError {
+    /// The HTTP status this parse failure answers with.
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::Bad(_) => 400,
+            ParseError::TooLarge => 413,
+            ParseError::Io(_) => 400,
+        }
+    }
+
+    /// Human-readable reason for the error body.
+    pub fn reason(&self) -> String {
+        match self {
+            ParseError::Bad(msg) => (*msg).to_owned(),
+            ParseError::TooLarge => format!("body exceeds {MAX_BODY} bytes"),
+            ParseError::Io(e) => format!("i/o while reading request: {e}"),
+        }
+    }
+}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path without the query string, e.g. `/topk`.
+    pub path: String,
+    /// Percent-decoded `key=value` query pairs, in order.
+    pub query: Vec<(String, String)>,
+    /// Headers with lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query value for `key`, if present.
+    pub fn query_get(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First header value for `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read one request from `stream`, enforcing the parse limits.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
+    let mut reader = BufReader::new(stream);
+    let line = read_line_limited(&mut reader, MAX_REQUEST_LINE)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(ParseError::Bad("empty request line"))?
+        .to_owned();
+    let target = parts
+        .next()
+        .ok_or(ParseError::Bad("missing request path"))?;
+    let version = parts
+        .next()
+        .ok_or(ParseError::Bad("missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Bad("unsupported HTTP version"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), parse_query(q)),
+        None => (target.to_owned(), Vec::new()),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line_limited(&mut reader, MAX_REQUEST_LINE)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ParseError::Bad("too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(ParseError::Bad("malformed header line"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let content_length: usize = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v
+            .parse()
+            .map_err(|_| ParseError::Bad("bad content-length"))?,
+        None => 0,
+    };
+    if content_length > MAX_BODY {
+        return Err(ParseError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Read a CRLF- (or LF-) terminated line of at most `max` bytes.
+fn read_line_limited<R: BufRead>(reader: &mut R, max: usize) -> Result<String, ParseError> {
+    let mut buf = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte)? {
+            0 => {
+                if buf.is_empty() {
+                    return Err(ParseError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed before request",
+                    )));
+                }
+                break;
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                if byte[0] != b'\r' {
+                    buf.push(byte[0]);
+                }
+                if buf.len() > max {
+                    return Err(ParseError::Bad("request line or header too long"));
+                }
+            }
+        }
+    }
+    String::from_utf8(buf).map_err(|_| ParseError::Bad("non-UTF-8 request bytes"))
+}
+
+/// Split and percent-decode `a=1&b=two%20words`.
+fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect()
+}
+
+/// Decode `%XX` escapes and `+`-for-space. Invalid escapes pass through
+/// verbatim (lenient, like browsers).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => match u8::from_str_radix(&s[i + 1..i + 3], 16) {
+                Ok(b) => {
+                    out.push(b);
+                    i += 3;
+                }
+                Err(_) => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Percent-encode a query value (RFC 3986 unreserved characters pass).
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// A response to serialize. Every response closes the connection.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond `Content-Type`/`Content-Length`/`Connection`.
+    pub headers: Vec<(String, String)>,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A typed JSON error body: `{"error": KIND, "message": MSG}`.
+    pub fn error(status: u16, kind: &str, message: &str) -> Self {
+        let body = serde_json::to_string(&serde_json::Value::Object(vec![
+            ("error".to_owned(), serde_json::Value::String(kind.into())),
+            (
+                "message".to_owned(),
+                serde_json::Value::String(message.into()),
+            ),
+        ]))
+        .expect("serialize error body");
+        Response::json(status, body)
+    }
+
+    /// Attach a header.
+    pub fn with_header(mut self, name: &str, value: String) -> Self {
+        self.headers.push((name.to_owned(), value));
+        self
+    }
+
+    /// Serialize onto `w` (adds `Content-Length` and `Connection: close`).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let reason = reason_phrase(self.status);
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status, reason)?;
+        write!(w, "Content-Type: {}\r\n", self.content_type)?;
+        write!(w, "Content-Length: {}\r\n", self.body.len())?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        write!(w, "Connection: close\r\n\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_parsing_decodes_escapes() {
+        let q = parse_query("entity=fr%20caf%C3%A9&k=5&flag");
+        assert_eq!(q[0], ("entity".into(), "fr café".into()));
+        assert_eq!(q[1], ("k".into(), "5".into()));
+        assert_eq!(q[2], ("flag".into(), String::new()));
+    }
+
+    #[test]
+    fn percent_round_trip() {
+        let original = "entity/42 café+";
+        assert_eq!(percent_decode(&percent_encode(original)), original);
+    }
+
+    #[test]
+    fn response_serializes_with_length_and_close() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}".into())
+            .with_header("Retry-After", "1".into())
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

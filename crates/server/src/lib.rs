@@ -1,0 +1,77 @@
+#![warn(missing_docs)]
+
+//! # ceaff-server — alignment as a service
+//!
+//! A std-only HTTP/1.1 server (plain `TcpListener`, no external
+//! dependencies, matching the workspace's vendored-stub discipline) that
+//! loads a KG pair and its fused similarity state **once**, keeps it
+//! warm, and serves concurrent alignment requests. Robustness is the
+//! headline, built from the repo's existing reliability substrate:
+//!
+//! * **Per-request budgets** — every request runs under its own
+//!   [`ceaff_core::ExecBudget`]: a deadline from the `Deadline-Ms`
+//!   header (or the server default), an equal share of a global tensor
+//!   memory quota, and a private cancel token flipped by client
+//!   disconnect, a drain, or the chaos harness. Budget overruns degrade
+//!   via the anytime matchers — a valid partial answer plus a
+//!   degradation record, never a crash.
+//! * **Admission control** — a bounded queue ([`AdmissionQueue`]); when
+//!   it is full, excess connections are shed immediately with
+//!   `503 + Retry-After` instead of queueing unboundedly.
+//! * **Panic containment** — worker panics are caught per request and
+//!   converted to typed 500s; the warm state is read-only to handlers,
+//!   so a faulted request cannot poison it.
+//! * **Graceful drain** — [`Server::drain`] (wired to `SIGTERM` in the
+//!   CLI) stops accepting, finishes or degrades in-flight requests, and
+//!   flushes telemetry.
+//! * **Chaos testing** — with a [`ChaosConfig`], the server itself arms
+//!   thread-scoped [`ceaff_faultinject`] plans for a deterministic
+//!   fraction of requests (panics, NaN scores, latency spikes, response
+//!   I/O failures, mid-request cancellation), which is how the e2e suite
+//!   proves all of the above.
+//!
+//! Endpoints: `GET /health`, `GET /status`, `GET /topk?entity=N&k=K`,
+//! `POST /align`. The companion [`client`] module implements the retry
+//! contract (retry sheds for any method, transport errors only for
+//! idempotent requests, jittered exponential backoff, overall
+//! deadline).
+
+pub mod admission;
+pub mod chaos;
+pub mod client;
+pub mod http;
+pub mod server;
+pub mod state;
+
+pub use admission::{AdmissionQueue, Admit};
+pub use chaos::{ChaosConfig, ChaosKind};
+pub use client::{Client, ClientConfig, ClientError, HttpResult};
+pub use server::{DrainHandle, Server, ServerConfig, ServerCounters};
+pub use state::{LoadOptions, WarmState};
+
+/// Server-layer failures (distinct from [`ceaff_core::CeaffError`],
+/// which covers the pipeline itself).
+#[derive(Debug)]
+pub enum ServerError {
+    /// The benchmark directory could not be loaded.
+    Load(String),
+    /// The warm-up pipeline run failed.
+    Core(ceaff_core::CeaffError),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Load(msg) => write!(f, "load: {msg}"),
+            ServerError::Core(e) => write!(f, "pipeline: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<ceaff_core::CeaffError> for ServerError {
+    fn from(e: ceaff_core::CeaffError) -> Self {
+        ServerError::Core(e)
+    }
+}

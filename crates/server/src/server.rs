@@ -1,0 +1,731 @@
+//! The server proper: accept loop, bounded admission, worker pool,
+//! per-request budgets, panic containment, and graceful drain.
+
+use crate::admission::{AdmissionQueue, Admit};
+use crate::chaos::{ChaosConfig, ChaosKind};
+use crate::http::{self, Request, Response};
+use crate::state::WarmState;
+use ceaff_core::{CancelToken, CeaffError, ExecBudget, MatcherKind, Telemetry};
+use serde_json::{Number, Value};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How a server instance behaves under load and faults.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Admission-queue capacity; connections beyond it are shed with
+    /// `503 + Retry-After`.
+    pub queue_capacity: usize,
+    /// Deadline applied when a request carries no `Deadline-Ms` header.
+    pub default_deadline_ms: u64,
+    /// Global tensor-memory quota; each worker's requests get an equal
+    /// share as their per-request cap.
+    pub mem_quota_mb: usize,
+    /// `Retry-After` value (seconds) sent with shed responses.
+    pub retry_after_secs: u64,
+    /// How long a graceful drain waits for in-flight requests before
+    /// cancelling their budgets (they then degrade and finish).
+    pub drain_grace_ms: u64,
+    /// Per-connection socket read timeout.
+    pub read_timeout_ms: u64,
+    /// Chaos mode: fault a deterministic fraction of requests.
+    pub chaos: Option<ChaosConfig>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            queue_capacity: 16,
+            default_deadline_ms: 10_000,
+            mem_quota_mb: 512,
+            retry_after_secs: 1,
+            drain_grace_ms: 500,
+            read_timeout_ms: 10_000,
+            chaos: None,
+        }
+    }
+}
+
+/// Liveness counters, readable without draining the telemetry trace
+/// (the `/status` endpoint reads these; the final drained trace carries
+/// them as `server/*` counter totals).
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    /// Connections accepted.
+    pub requests: AtomicU64,
+    /// Connections shed by admission control.
+    pub shed: AtomicU64,
+    /// Requests answered 2xx.
+    pub ok: AtomicU64,
+    /// Requests answered with a typed error status.
+    pub errors: AtomicU64,
+    /// Requests that returned a degraded (budget-cut) result.
+    pub degraded: AtomicU64,
+    /// Worker panics caught and converted to typed 500s.
+    pub panics: AtomicU64,
+    /// Client disconnects that cancelled an in-flight request.
+    pub disconnects: AtomicU64,
+}
+
+impl ServerCounters {
+    fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("requests", self.requests.load(Ordering::Relaxed)),
+            ("shed", self.shed.load(Ordering::Relaxed)),
+            ("ok", self.ok.load(Ordering::Relaxed)),
+            ("errors", self.errors.load(Ordering::Relaxed)),
+            ("degraded", self.degraded.load(Ordering::Relaxed)),
+            ("panics", self.panics.load(Ordering::Relaxed)),
+            ("disconnects", self.disconnects.load(Ordering::Relaxed)),
+        ]
+    }
+}
+
+struct Conn {
+    stream: TcpStream,
+    request_id: u64,
+}
+
+struct Shared {
+    state: Arc<WarmState>,
+    cfg: ServerConfig,
+    counters: ServerCounters,
+    telemetry: Telemetry,
+    inflight: Mutex<HashMap<u64, CancelToken>>,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+/// A running server. Dropping the handle does *not* stop it; call
+/// [`Server::drain`] then [`Server::join`] for a graceful stop.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    queue: Arc<AdmissionQueue<Conn>>,
+}
+
+impl Server {
+    /// Bind, spawn the accept loop and workers, and start serving.
+    pub fn start(
+        state: Arc<WarmState>,
+        cfg: ServerConfig,
+        telemetry: Telemetry,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let queue = Arc::new(AdmissionQueue::new(cfg.queue_capacity));
+        let shared = Arc::new(Shared {
+            state,
+            cfg,
+            counters: ServerCounters::default(),
+            telemetry,
+            inflight: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+        });
+
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|n| {
+                let queue = queue.clone();
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("ceaff-worker-{n}"))
+                    .spawn(move || worker_loop(&queue, &shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let accept_thread = {
+            let queue = queue.clone();
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("ceaff-accept".to_owned())
+                .spawn(move || accept_loop(listener, &queue, &shared))
+                .expect("spawn accept loop")
+        };
+
+        Ok(Server {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            workers,
+            queue,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begin a graceful drain: stop accepting, let queued and in-flight
+    /// requests finish. Idempotent; [`Server::join`] completes it.
+    pub fn drain(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// A cheap handle that can trigger [`Server::drain`] from another
+    /// thread (e.g. a signal-watcher).
+    pub fn drain_handle(&self) -> DrainHandle {
+        DrainHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Complete a drain: wait up to `drain_grace_ms` for in-flight work,
+    /// then cancel the remaining requests' budgets (they degrade and
+    /// answer), join every thread, record the final `server/*` counter
+    /// totals, and flush telemetry. Returns the final counter snapshot.
+    pub fn join(mut self) -> Vec<(&'static str, u64)> {
+        self.drain();
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        // The accept loop closed the queue on its way out; wait out the
+        // grace period (skipping it when the server is already idle).
+        let grace_until = Instant::now() + Duration::from_millis(self.shared.cfg.drain_grace_ms);
+        while Instant::now() < grace_until {
+            let idle = self.queue.depth() == 0
+                && self
+                    .shared
+                    .inflight
+                    .lock()
+                    .expect("inflight lock")
+                    .is_empty();
+            if idle {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Past the grace period: degrade whatever is still running, and
+        // keep sweeping so requests admitted after a sweep still stop.
+        while self.workers.iter().any(|w| !w.is_finished()) {
+            for token in self.shared.inflight.lock().expect("inflight lock").values() {
+                token.cancel();
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        let snapshot = self.shared.counters.snapshot();
+        for (name, total) in &snapshot {
+            if *total > 0 {
+                self.shared.telemetry.counter_add("server", name, *total);
+            }
+        }
+        self.shared.telemetry.flush();
+        snapshot
+    }
+}
+
+/// Triggers a graceful drain from any thread.
+#[derive(Clone)]
+pub struct DrainHandle {
+    shared: Arc<Shared>,
+}
+
+impl DrainHandle {
+    /// Request the drain (idempotent).
+    pub fn drain(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+fn accept_loop(listener: TcpListener, queue: &AdmissionQueue<Conn>, shared: &Shared) {
+    let mut next_id: u64 = 0;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let request_id = next_id;
+                next_id += 1;
+                shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.set_nonblocking(false);
+                match queue.push(Conn { stream, request_id }) {
+                    Admit::Queued => {}
+                    Admit::Shed(conn) => shed(conn, shared),
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    // No more producers: drain the queued remainder, then workers exit.
+    queue.close();
+}
+
+/// Answer a shed connection immediately — the whole point of admission
+/// control is that overload costs one small write, not a queue slot.
+/// The write-and-drain happens on a detached thread so a burst of sheds
+/// never stalls the accept loop.
+fn shed(conn: Conn, shared: &Shared) {
+    shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+    let response = Response::error(503, "overloaded", "admission queue is full")
+        .with_header("Retry-After", shared.cfg.retry_after_secs.to_string());
+    std::thread::spawn(move || respond_and_close(conn.stream, &response));
+}
+
+/// Write `response`, half-close, then drain whatever request bytes the
+/// peer sent. Closing with unread data in the receive buffer makes the
+/// kernel RST the connection, which destroys the response before the
+/// client reads it — the drain is what makes a shed *observable* as a
+/// 503 rather than a reset.
+fn respond_and_close(mut stream: TcpStream, response: &Response) {
+    let _ = stream.set_nonblocking(false);
+    if response.write_to(&mut stream).is_err() {
+        return;
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut sink = [0u8; 4096];
+    for _ in 0..256 {
+        match std::io::Read::read(&mut stream, &mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+fn worker_loop(queue: &AdmissionQueue<Conn>, shared: &Shared) {
+    while let Some(conn) = queue.pop() {
+        handle_conn(conn, shared);
+    }
+}
+
+/// Parse, dispatch (with chaos plan + budget armed), respond. All fault
+/// paths end in a typed response on this connection; none of them can
+/// poison the warm state, the worker, or the pool.
+fn handle_conn(mut conn: Conn, shared: &Shared) {
+    let _ = conn
+        .stream
+        .set_read_timeout(Some(Duration::from_millis(shared.cfg.read_timeout_ms)));
+    let request = match http::read_request(&mut conn.stream) {
+        Ok(request) => request,
+        Err(e) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            let status = if matches!(&e, http::ParseError::Io(io) if io.kind() == std::io::ErrorKind::WouldBlock || io.kind() == std::io::ErrorKind::TimedOut)
+            {
+                408
+            } else {
+                e.status()
+            };
+            respond_and_close(
+                conn.stream,
+                &Response::error(status, "bad_request", &e.reason()),
+            );
+            return;
+        }
+    };
+
+    // `/health` answers even mid-chaos and mid-drain: it is the probe
+    // that tells an orchestrator the process is alive at all. A request
+    // can also opt out of chaos (`X-No-Chaos`) — that is how the chaos
+    // harness takes its ground-truth measurement from a chaotic server.
+    let chaos = match (&shared.cfg.chaos, request.path.as_str()) {
+        (Some(chaos), path) if path != "/health" && request.header("x-no-chaos").is_none() => {
+            chaos.fault_for(conn.request_id)
+        }
+        _ => None,
+    };
+
+    let deadline_ms = request
+        .header("deadline-ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(shared.cfg.default_deadline_ms);
+
+    // Per-request execution budget: this request's deadline, an equal
+    // share of the global memory quota, and a private cancel token that
+    // a client disconnect, the chaos harness, or a drain can flip.
+    let cancel = CancelToken::new();
+    let mem_share = (shared.cfg.mem_quota_mb * 1024 * 1024) / shared.cfg.workers.max(1);
+    let budget = ExecBudget::unlimited()
+        .with_deadline(Duration::from_millis(deadline_ms))
+        .with_cancel(cancel.clone())
+        .with_max_mem_bytes(mem_share.max(1));
+    shared
+        .inflight
+        .lock()
+        .expect("inflight lock")
+        .insert(conn.request_id, cancel.clone());
+
+    // Arm this request's fault plan — thread-scoped, so concurrent
+    // requests with different faults never race.
+    let mut plan = ceaff_faultinject::FaultPlan::default();
+    if let Some(kind) = chaos {
+        match kind {
+            ChaosKind::Panic => plan.panic_at_point = Some("server/handler".to_owned()),
+            ChaosKind::Nan => plan.nan_at_point = Some("server/scores".to_owned()),
+            ChaosKind::SlowIo => {
+                plan.sleep_at_point = Some(("server/handler".to_owned(), deadline_ms + 50))
+            }
+            ChaosKind::FailIo => plan.io_error_substring = Some("ceaff-server/response".to_owned()),
+            ChaosKind::Cancel => {
+                // Mid-request cancellation: a detached timer flips this
+                // request's token a quarter-deadline in; the anytime
+                // matcher then degrades cooperatively.
+                let token = cancel.clone();
+                let delay = Duration::from_millis((deadline_ms / 4).max(1));
+                std::thread::spawn(move || {
+                    std::thread::sleep(delay);
+                    token.cancel();
+                });
+            }
+        }
+    }
+    let _fault_scope = plan.activate_local();
+
+    // Watch for the client hanging up mid-request so its budget cancels
+    // and the work stops. The watcher peeks a nonblocking clone of the
+    // stream; O_NONBLOCK is shared with the worker's fd, so blocking
+    // mode is restored before the response is written.
+    let watcher_stop = Arc::new(AtomicBool::new(false));
+    let watcher = conn.stream.try_clone().ok().map(|peek_stream| {
+        let stop = watcher_stop.clone();
+        let token = cancel.clone();
+        let _ = peek_stream.set_nonblocking(true);
+        std::thread::spawn(move || {
+            let mut buf = [0u8; 1];
+            while !stop.load(Ordering::Relaxed) {
+                match peek_stream.peek(&mut buf) {
+                    Ok(0) => {
+                        token.cancel();
+                        return true;
+                    }
+                    Ok(_) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                    Err(_) => {
+                        token.cancel();
+                        return true;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            false
+        })
+    });
+
+    // The handler runs inside a panic boundary: an injected (or real)
+    // worker panic becomes a typed 500, the worker thread survives, and
+    // the warm state — which the handler only reads — stays valid.
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        dispatch(&request, conn.request_id, shared, &budget)
+    }));
+    let mut response = match outcome {
+        Ok(response) => response,
+        Err(_) => {
+            shared.counters.panics.fetch_add(1, Ordering::Relaxed);
+            Response::error(
+                500,
+                "internal_panic",
+                "request handler panicked; the fault was contained to this request",
+            )
+        }
+    };
+
+    // Injected response-write failure: the handler's work is discarded
+    // and the client gets a typed error instead of a broken stream.
+    if let Some(e) = ceaff_faultinject::io_error(Path::new("ceaff-server/response")) {
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        response = Response::error(500, "response_io", &e.to_string());
+    } else if response.status < 400 {
+        shared.counters.ok.fetch_add(1, Ordering::Relaxed);
+    } else {
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Some(kind) = chaos {
+        response = response.with_header("X-Chaos", kind.as_str().to_owned());
+    }
+
+    watcher_stop.store(true, Ordering::Relaxed);
+    let disconnected = watcher.and_then(|w| w.join().ok()).unwrap_or(false);
+    if disconnected {
+        shared.counters.disconnects.fetch_add(1, Ordering::Relaxed);
+    }
+    let _ = conn.stream.set_nonblocking(false);
+    respond_and_close(conn.stream, &response);
+
+    shared
+        .inflight
+        .lock()
+        .expect("inflight lock")
+        .remove(&conn.request_id);
+}
+
+/// Route a parsed request. Every path returns a `Response`; handler
+/// panics are caught one level up.
+fn dispatch(request: &Request, request_id: u64, shared: &Shared, budget: &ExecBudget) -> Response {
+    // Chaos hooks for the non-health endpoints: an injected latency
+    // spike (so the deadline fires) and an injected handler panic.
+    if request.path != "/health" {
+        ceaff_faultinject::sleep_point("server/handler");
+        ceaff_faultinject::panic_point("server/handler");
+    }
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/health") => Response::json(200, "{\"status\":\"ok\"}".to_owned()),
+        ("GET", "/status") => status_response(shared),
+        ("GET", "/topk") => topk_response(request, shared),
+        ("POST", "/align") => align_response(request, request_id, shared, budget),
+        ("GET", "/align") => Response::error(405, "method_not_allowed", "use POST /align"),
+        _ => Response::error(404, "not_found", "unknown endpoint"),
+    }
+}
+
+fn status_response(shared: &Shared) -> Response {
+    let counters = shared
+        .counters
+        .snapshot()
+        .into_iter()
+        .map(|(name, total)| (name.to_owned(), junsigned(total)))
+        .collect();
+    let body = Value::Object(vec![
+        (
+            "uptime_secs".to_owned(),
+            jfloat(shared.started.elapsed().as_secs_f64()),
+        ),
+        (
+            "draining".to_owned(),
+            Value::Bool(shared.shutdown.load(Ordering::SeqCst)),
+        ),
+        (
+            "inflight".to_owned(),
+            junsigned(shared.inflight.lock().expect("inflight lock").len() as u64),
+        ),
+        ("counters".to_owned(), Value::Object(counters)),
+        (
+            "sources".to_owned(),
+            junsigned(shared.state.fused.sources() as u64),
+        ),
+        (
+            "targets".to_owned(),
+            junsigned(shared.state.fused.targets() as u64),
+        ),
+    ]);
+    Response::json(200, serde_json::to_string(&body).expect("status json"))
+}
+
+fn topk_response(request: &Request, shared: &Shared) -> Response {
+    let Some(entity) = request.query_get("entity") else {
+        return Response::error(400, "bad_request", "missing ?entity=NAME");
+    };
+    let k = request
+        .query_get("k")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(10)
+        .clamp(1, 1000);
+    let Some(row) = shared.state.source_row(entity) else {
+        return Response::error(
+            404,
+            "unknown_entity",
+            &format!("no source entity '{entity}'"),
+        );
+    };
+    let matches = shared.state.topk(row, k);
+    // Finiteness guard: an injected NaN must become a typed error, never
+    // a corrupt JSON body.
+    let corrupt = ceaff_faultinject::nan_point("server/scores");
+    if corrupt || matches.iter().any(|(_, v)| !v.is_finite()) {
+        return Response::error(
+            500,
+            "non_finite_scores",
+            "similarity scores were non-finite",
+        );
+    }
+    let body = Value::Object(vec![
+        ("entity".to_owned(), Value::String(entity.to_owned())),
+        (
+            "matches".to_owned(),
+            Value::Array(
+                matches
+                    .into_iter()
+                    .map(|(name, score)| {
+                        Value::Object(vec![
+                            ("target".to_owned(), Value::String(name.to_owned())),
+                            ("score".to_owned(), jfloat(score as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    Response::json(200, serde_json::to_string(&body).expect("topk json"))
+}
+
+fn align_response(
+    request: &Request,
+    _request_id: u64,
+    shared: &Shared,
+    budget: &ExecBudget,
+) -> Response {
+    // Optional JSON body: {"matcher": "daa"|"hungarian"|"greedy1to1"|
+    // "greedy", "include_pairs": bool}.
+    let mut matcher = shared.state.matcher;
+    let mut include_pairs = true;
+    if !request.body.is_empty() {
+        let text = match std::str::from_utf8(&request.body) {
+            Ok(text) => text,
+            Err(_) => return Response::error(400, "bad_request", "body is not UTF-8"),
+        };
+        let parsed: Value = match serde_json::from_str(text) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, "bad_request", &format!("bad JSON body: {e}")),
+        };
+        if let Some(name) = parsed.get("matcher").and_then(Value::as_str) {
+            matcher = match name {
+                "daa" => MatcherKind::StableMarriage,
+                "hungarian" => MatcherKind::Hungarian,
+                "greedy1to1" => MatcherKind::GreedyOneToOne,
+                "greedy" => MatcherKind::Greedy,
+                other => {
+                    return Response::error(
+                        400,
+                        "bad_request",
+                        &format!("unknown matcher '{other}'"),
+                    )
+                }
+            };
+        }
+        if let Some(flag) = parsed.get("include_pairs").and_then(Value::as_bool) {
+            include_pairs = flag;
+        }
+    }
+    // Load-testing aid: hold the worker before deciding, so tests and
+    // the bench can saturate the admission queue deterministically.
+    if let Some(ms) = request
+        .query_get("debug-sleep-ms")
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        std::thread::sleep(Duration::from_millis(ms.min(10_000)));
+    }
+
+    let telemetry = shared.telemetry.child();
+    let decision = match shared.state.decide(matcher, budget, &telemetry) {
+        Ok(decision) => decision,
+        Err(CeaffError::BudgetExceeded {
+            stage,
+            limit_bytes,
+            peak_bytes,
+        }) => {
+            return Response::error(
+                500,
+                "budget_exceeded",
+                &format!("stage {stage} peaked at {peak_bytes} bytes (limit {limit_bytes})"),
+            )
+        }
+        Err(e) => return Response::error(500, "pipeline_error", &e.to_string()),
+    };
+    if decision.degradation.is_some() {
+        shared.counters.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // An injected NaN corrupts this request's *copy* of the scores; the
+    // finiteness guard turns it into a typed error. The warm store is
+    // untouched, so the next request is clean.
+    let corrupt = ceaff_faultinject::nan_point("server/scores");
+    let mut scored: Vec<(usize, usize, f32)> = decision
+        .matching
+        .pairs()
+        .iter()
+        .map(|&(i, j)| (i, j, shared.state.fused.get(i, j)))
+        .collect();
+    if corrupt {
+        if let Some(first) = scored.first_mut() {
+            first.2 = f32::NAN;
+        }
+    }
+    if scored.iter().any(|(_, _, v)| !v.is_finite()) {
+        return Response::error(
+            500,
+            "non_finite_scores",
+            "similarity scores were non-finite",
+        );
+    }
+
+    let mut fields = vec![
+        (
+            "matcher".to_owned(),
+            Value::String(matcher_label(matcher).to_owned()),
+        ),
+        (
+            "matched".to_owned(),
+            junsigned(decision.matching.len() as u64),
+        ),
+        ("accuracy".to_owned(), jfloat(decision.accuracy)),
+        (
+            "degraded".to_owned(),
+            Value::Bool(decision.degradation.is_some()),
+        ),
+    ];
+    if let Some(d) = &decision.degradation {
+        fields.push((
+            "degradation".to_owned(),
+            Value::Object(vec![
+                ("stage".to_owned(), Value::String(d.stage.clone())),
+                ("reason".to_owned(), Value::String(d.reason.clone())),
+                ("rounds_completed".to_owned(), junsigned(d.rounds_completed)),
+                ("fraction_degraded".to_owned(), jfloat(d.fraction_degraded)),
+                (
+                    "degraded_rows".to_owned(),
+                    junsigned(decision.degraded_rows.len() as u64),
+                ),
+            ]),
+        ));
+    }
+    if include_pairs {
+        fields.push((
+            "pairs".to_owned(),
+            Value::Array(
+                scored
+                    .iter()
+                    .map(|&(i, j, score)| {
+                        Value::Array(vec![
+                            Value::String(shared.state.source_names[i].clone()),
+                            Value::String(shared.state.target_names[j].clone()),
+                            jfloat(score as f64),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    Response::json(
+        200,
+        serde_json::to_string(&Value::Object(fields)).expect("align json"),
+    )
+}
+
+fn matcher_label(kind: MatcherKind) -> &'static str {
+    match kind {
+        MatcherKind::StableMarriage => "daa",
+        MatcherKind::Hungarian => "hungarian",
+        MatcherKind::GreedyOneToOne => "greedy1to1",
+        MatcherKind::Greedy => "greedy",
+    }
+}
+
+fn jfloat(x: f64) -> Value {
+    Value::Number(Number::F64(x))
+}
+
+fn junsigned(x: u64) -> Value {
+    Value::Number(Number::U64(x))
+}

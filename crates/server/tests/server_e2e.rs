@@ -1,0 +1,374 @@
+//! In-process end-to-end tests: a real `Server` on an ephemeral port,
+//! driven through real sockets by the `Client`.
+
+use ceaff_core::{InMemorySink, MatcherKind, Telemetry};
+use ceaff_server::{ChaosConfig, Client, ClientConfig, Server, ServerConfig, WarmState};
+use ceaff_sim::{SimStore, SimilarityMatrix};
+use serde_json::Value;
+use std::sync::Arc;
+
+/// A diagonally-dominant warm state: source `e{i}` truly matches target
+/// `t{i}`, so matchers align perfectly and `accuracy == 1.0`.
+fn warm_state(n: usize) -> Arc<WarmState> {
+    let mut m = SimilarityMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            // Deterministic off-diagonal noise in [0, 0.5).
+            let noise = ((i * 31 + j * 17) % 50) as f32 / 100.0;
+            m.set(i, j, if i == j { 0.9 } else { noise });
+        }
+    }
+    Arc::new(WarmState::from_parts(
+        SimStore::Dense(m),
+        MatcherKind::StableMarriage,
+        (0..n).map(|i| format!("e{i}")).collect(),
+        (0..n).map(|i| format!("t{i}")).collect(),
+    ))
+}
+
+fn start(cfg: ServerConfig) -> (Server, Client) {
+    let server = Server::start(warm_state(24), cfg, Telemetry::disabled()).expect("server starts");
+    let client = Client::new(server.local_addr().to_string(), ClientConfig::default());
+    (server, client)
+}
+
+#[test]
+fn health_status_and_topk_endpoints() {
+    let (server, client) = start(ServerConfig::default());
+
+    let health = client.get("/health").unwrap();
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, "{\"status\":\"ok\"}");
+
+    let topk = client.get("/topk?entity=e3&k=2").unwrap();
+    assert_eq!(topk.status, 200);
+    let parsed: Value = serde_json::from_str(&topk.body).unwrap();
+    let matches = parsed["matches"].as_array().unwrap();
+    assert_eq!(matches.len(), 2);
+    assert_eq!(matches[0]["target"].as_str(), Some("t3"));
+    assert!(matches[0]["score"].as_f64().unwrap() > matches[1]["score"].as_f64().unwrap());
+
+    assert_eq!(client.get("/topk?entity=nope").unwrap().status, 404);
+    assert_eq!(client.get("/topk").unwrap().status, 400);
+    assert_eq!(client.get("/nowhere").unwrap().status, 404);
+    assert_eq!(client.get("/align").unwrap().status, 405);
+
+    let status = client.get("/status").unwrap();
+    assert_eq!(status.status, 200);
+    let parsed: Value = serde_json::from_str(&status.body).unwrap();
+    assert_eq!(parsed["draining"].as_bool(), Some(false));
+    assert!(parsed["counters"]["requests"].as_u64().unwrap() >= 1);
+    assert_eq!(parsed["sources"].as_u64(), Some(24));
+
+    server.join();
+}
+
+#[test]
+fn align_is_deterministic_across_requests_and_servers() {
+    let (server_a, client_a) = start(ServerConfig::default());
+    let first = client_a.post("/align", &[], b"").unwrap();
+    let second = client_a.post("/align", &[], b"").unwrap();
+    assert_eq!(first.status, 200);
+    assert_eq!(
+        first.body, second.body,
+        "identical requests must return byte-identical bodies"
+    );
+    let parsed: Value = serde_json::from_str(&first.body).unwrap();
+    assert_eq!(parsed["degraded"].as_bool(), Some(false));
+    assert_eq!(parsed["matched"].as_u64(), Some(24));
+    assert!((parsed["accuracy"].as_f64().unwrap() - 1.0).abs() < 1e-12);
+    server_a.join();
+
+    // A *fresh* server over the same warm state answers byte-identically.
+    let (server_b, client_b) = start(ServerConfig::default());
+    let fresh = client_b.post("/align", &[], b"").unwrap();
+    assert_eq!(first.body, fresh.body);
+    server_b.join();
+}
+
+#[test]
+fn align_accepts_matcher_overrides_and_rejects_junk() {
+    let (server, client) = start(ServerConfig::default());
+    for matcher in ["daa", "hungarian", "greedy1to1", "greedy"] {
+        let body = format!("{{\"matcher\":\"{matcher}\",\"include_pairs\":false}}");
+        let result = client.post("/align", &[], body.as_bytes()).unwrap();
+        assert_eq!(result.status, 200, "matcher {matcher}");
+        let parsed: Value = serde_json::from_str(&result.body).unwrap();
+        assert_eq!(parsed["matcher"].as_str(), Some(matcher));
+        assert!(parsed.get("pairs").is_none());
+    }
+    assert_eq!(
+        client
+            .post("/align", &[], b"{\"matcher\":\"quantum\"}")
+            .unwrap()
+            .status,
+        400
+    );
+    assert_eq!(client.post("/align", &[], b"not json").unwrap().status, 400);
+    server.join();
+}
+
+#[test]
+fn expired_deadline_degrades_cleanly_not_500() {
+    let (server, client) = start(ServerConfig::default());
+    // Deadline-Ms: 0 is already expired at entry — the matcher must
+    // degrade immediately and still return a valid, complete response.
+    let result = client.post("/align", &[("Deadline-Ms", "0")], b"").unwrap();
+    assert_eq!(result.status, 200);
+    let parsed: Value = serde_json::from_str(&result.body).unwrap();
+    assert_eq!(parsed["degraded"].as_bool(), Some(true));
+    assert_eq!(parsed["degradation"]["reason"].as_str(), Some("deadline"));
+    assert_eq!(
+        parsed["matched"].as_u64(),
+        Some(24),
+        "degraded is still complete"
+    );
+    server.join();
+}
+
+#[test]
+fn overload_sheds_with_retry_after_and_backoff_recovers() {
+    let (server, _) = start(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        retry_after_secs: 1,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr().to_string();
+
+    // Saturate: the single worker sleeps 400 ms per request, the queue
+    // holds one more, so a burst of 6 must shed at least 4 connections.
+    let no_retry = ClientConfig {
+        max_retries: 0,
+        ..ClientConfig::default()
+    };
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            let addr = addr.clone();
+            let cfg = no_retry.clone();
+            std::thread::spawn(move || {
+                let client = Client::new(
+                    addr,
+                    ClientConfig {
+                        jitter_seed: i + 1,
+                        ..cfg
+                    },
+                );
+                client.request(
+                    "POST",
+                    "/align?debug-sleep-ms=400",
+                    &[],
+                    b"{\"include_pairs\":false}",
+                    false,
+                )
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let shed = results
+        .iter()
+        .filter(|r| matches!(r, Ok(res) if res.status == 503))
+        .count();
+    let ok = results
+        .iter()
+        .filter(|r| matches!(r, Ok(res) if res.status == 200))
+        .count();
+    assert!(shed >= 1, "burst must shed; statuses: {results:?}");
+    assert!(
+        ok >= 1,
+        "some requests must be served; statuses: {results:?}"
+    );
+    for res in results.iter().flatten() {
+        if res.status == 503 {
+            assert!(
+                res.header("retry-after").is_some(),
+                "shed responses carry Retry-After"
+            );
+        }
+    }
+
+    // A retrying client pointed at the still-busy server succeeds once
+    // capacity frees up.
+    let retrying = Client::new(
+        addr,
+        ClientConfig {
+            max_retries: 10,
+            base_backoff_ms: 50,
+            ..ClientConfig::default()
+        },
+    );
+    let result = retrying
+        .post("/align", &[], b"{\"include_pairs\":false}")
+        .unwrap();
+    assert_eq!(result.status, 200);
+    server.join();
+}
+
+#[test]
+fn client_disconnect_cancels_inflight_request() {
+    let (server, client) = start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    // Fire a slow request and hang up before the response arrives.
+    {
+        use std::io::Write as _;
+        let mut raw = std::net::TcpStream::connect(addr).unwrap();
+        raw.write_all(
+            b"POST /align?debug-sleep-ms=500 HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+        )
+        .unwrap();
+        raw.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        // Dropping the stream closes the socket: the watcher's peek sees
+        // EOF and cancels the request's budget.
+    }
+    // Give the worker time to finish the cancelled request.
+    std::thread::sleep(std::time::Duration::from_millis(700));
+    let status = client.get("/status").unwrap();
+    let parsed: Value = serde_json::from_str(&status.body).unwrap();
+    assert!(
+        parsed["counters"]["disconnects"].as_u64().unwrap() >= 1,
+        "disconnect must be detected: {}",
+        status.body
+    );
+    server.join();
+}
+
+#[test]
+fn drain_finishes_inflight_work_and_flushes_telemetry() {
+    let sink = Arc::new(InMemorySink::default());
+    let telemetry = Telemetry::with_sink(sink.clone());
+    let server = Server::start(
+        warm_state(24),
+        ServerConfig {
+            workers: 2,
+            drain_grace_ms: 2_000,
+            ..ServerConfig::default()
+        },
+        telemetry,
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+
+    // A request in flight while the drain starts must still be answered.
+    let inflight = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let client = Client::new(addr, ClientConfig::default());
+            client.request(
+                "POST",
+                "/align?debug-sleep-ms=300",
+                &[],
+                b"{\"include_pairs\":false}",
+                false,
+            )
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    server.drain();
+    let counters = server.join();
+    let result = inflight
+        .join()
+        .unwrap()
+        .expect("in-flight request answered");
+    assert_eq!(result.status, 200);
+
+    // The drained server no longer accepts connections.
+    let late = Client::new(
+        addr,
+        ClientConfig {
+            max_retries: 0,
+            ..ClientConfig::default()
+        },
+    );
+    assert!(late.get("/health").is_err());
+
+    // Final counters were recorded and the sink flushed.
+    let requests = counters
+        .iter()
+        .find(|(name, _)| *name == "requests")
+        .unwrap()
+        .1;
+    assert!(requests >= 1);
+    assert!(
+        sink.snapshot()
+            .iter()
+            .any(|e| e.stage == "server" && e.name == "requests"),
+        "server counters must reach the sink on drain"
+    );
+}
+
+#[test]
+fn chaos_requests_fail_typed_or_degrade_and_state_stays_clean() {
+    let chaos = ChaosConfig {
+        fraction: 1.0,
+        seed: 11,
+    };
+    let (server, client) = start(ServerConfig {
+        workers: 2,
+        chaos: Some(chaos),
+        default_deadline_ms: 300,
+        ..ServerConfig::default()
+    });
+
+    let mut outcomes = Vec::new();
+    for _ in 0..10 {
+        let result = client
+            .request(
+                "POST",
+                "/align",
+                &[("Deadline-Ms", "300")],
+                b"{\"include_pairs\":false}",
+                false,
+            )
+            .unwrap();
+        // Every chaotic response is either a typed error or a valid
+        // (possibly degraded) result — never a transport failure, since
+        // even injected response-write faults answer with typed 500s.
+        match result.status {
+            200 => {
+                let parsed: Value = serde_json::from_str(&result.body).unwrap();
+                assert!(parsed.get("matched").is_some());
+                outcomes.push(format!("200/{}", parsed["degraded"].as_bool().unwrap()));
+            }
+            500 => {
+                let parsed: Value = serde_json::from_str(&result.body).unwrap();
+                let kind = parsed["error"].as_str().unwrap().to_owned();
+                assert!(
+                    ["internal_panic", "non_finite_scores", "response_io"].contains(&kind.as_str()),
+                    "unexpected error kind {kind}"
+                );
+                outcomes.push(kind);
+            }
+            other => panic!("unexpected status {other}: {}", result.body),
+        }
+    }
+    // With fraction 1.0 every request was faulted; at least one must
+    // have produced a typed error (not all faults degrade).
+    assert!(
+        outcomes.iter().any(|o| !o.starts_with("200")),
+        "outcomes: {outcomes:?}"
+    );
+
+    // Health stays green throughout.
+    assert_eq!(client.get("/health").unwrap().status, 200);
+
+    // An opt-out request on the chaotic server is byte-identical to a
+    // fresh, chaos-free server's answer: no fault poisoned warm state.
+    let post_chaos = client
+        .request("POST", "/align", &[("X-No-Chaos", "1")], b"", false)
+        .unwrap();
+    assert_eq!(post_chaos.status, 200);
+    server.join();
+
+    let (clean_server, clean_client) = start(ServerConfig::default());
+    let clean = clean_client.post("/align", &[], b"").unwrap();
+    assert_eq!(
+        post_chaos.body, clean.body,
+        "post-chaos output must be bitwise-identical to an unfaulted server's"
+    );
+    clean_server.join();
+}

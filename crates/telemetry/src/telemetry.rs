@@ -69,6 +69,25 @@ impl Telemetry {
         Telemetry::new(vec![sink])
     }
 
+    /// A fresh handle that shares this one's sinks and event-stream mode
+    /// but accumulates its *own* stage timings, counters, events, and
+    /// degradations.
+    ///
+    /// A plain [`Clone`] shares the internal buffers, which is right for
+    /// a single run but makes a long-lived handle grow without bound and
+    /// lets concurrent runs interleave their traces. A long-running
+    /// server instead hands each request a child: the request's trace is
+    /// drained per-response via [`Telemetry::take_trace`], while sink
+    /// output still lands in one place.
+    pub fn child(&self) -> Self {
+        Telemetry {
+            inner: Arc::new(Inner::new(
+                self.inner.events_active,
+                self.inner.sinks.clone(),
+            )),
+        }
+    }
+
     /// Whether the event stream is active. Instrumented code with a
     /// non-trivial cost to *compute* a metric (not just report it) should
     /// check this first.
@@ -358,6 +377,21 @@ mod tests {
         let quiet = Telemetry::disabled();
         quiet.progress("matcher", 1, 2);
         assert!(quiet.take_trace().events.is_empty());
+    }
+
+    #[test]
+    fn child_isolates_buffers_but_shares_sinks() {
+        let sink = Arc::new(InMemorySink::default());
+        let parent = Telemetry::with_sink(sink.clone());
+        let child = parent.child();
+        child.counter_add("req", "n", 2);
+        // The parent's trace buffers never saw the child's counter...
+        assert_eq!(parent.take_trace().counter("req", "n"), None);
+        // ...but the shared sink did, and the child trace holds it.
+        assert_eq!(sink.snapshot().len(), 1);
+        assert_eq!(child.take_trace().counter("req", "n"), Some(2));
+        // A child of disabled telemetry is disabled too.
+        assert!(!Telemetry::disabled().child().is_enabled());
     }
 
     #[test]
