@@ -58,6 +58,9 @@ USAGE:
         --chaos-fraction F --chaos-seed N
                           fault-inject a deterministic fraction of
                           requests (testing/benchmark facility)
+        --debug-endpoints honor test-only request knobs such as
+                          /align?debug-sleep-ms=N (off by default: it
+                          lets any client hold a worker)
         --dim/--epochs/--seed-fraction/--rng-seed/--matcher/
         --candidates/--topk/--lossy/--trace as for `align`
 
@@ -622,6 +625,7 @@ fn cmd_serve(args: &Args) {
         default_deadline_ms: args.get_parsed("default-deadline-ms", 10_000u64),
         mem_quota_mb: args.get_parsed("mem-quota-mb", 512usize),
         drain_grace_ms: args.get_parsed("drain-grace-ms", 500u64),
+        debug_endpoints: args.has_switch("debug-endpoints"),
         chaos: (chaos_fraction > 0.0).then(|| {
             eprintln!(
                 "chaos: injecting faults into {:.0}% of requests (seed {})",

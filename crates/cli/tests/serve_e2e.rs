@@ -253,6 +253,7 @@ fn overload_sheds_then_sigterm_drains_gracefully_with_telemetry_flushed() {
             "1",
             "--drain-grace-ms",
             "2000",
+            "--debug-endpoints",
             "--trace",
             trace.to_str().unwrap(),
         ],

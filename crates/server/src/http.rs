@@ -186,7 +186,9 @@ fn parse_query(q: &str) -> Vec<(String, String)> {
 }
 
 /// Decode `%XX` escapes and `+`-for-space. Invalid escapes pass through
-/// verbatim (lenient, like browsers).
+/// verbatim (lenient, like browsers). Works on raw bytes throughout —
+/// a `%` followed by multi-byte UTF-8 must not be sliced on a char
+/// boundary it does not have.
 pub fn percent_decode(s: &str) -> String {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
@@ -197,16 +199,18 @@ pub fn percent_decode(s: &str) -> String {
                 out.push(b' ');
                 i += 1;
             }
-            b'%' if i + 2 < bytes.len() => match u8::from_str_radix(&s[i + 1..i + 3], 16) {
-                Ok(b) => {
-                    out.push(b);
-                    i += 3;
+            b'%' if i + 2 < bytes.len() => {
+                match (hex_val(bytes[i + 1]), hex_val(bytes[i + 2])) {
+                    (Some(hi), Some(lo)) => {
+                        out.push(hi << 4 | lo);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
                 }
-                Err(_) => {
-                    out.push(b'%');
-                    i += 1;
-                }
-            },
+            }
             b => {
                 out.push(b);
                 i += 1;
@@ -214,6 +218,16 @@ pub fn percent_decode(s: &str) -> String {
         }
     }
     String::from_utf8_lossy(&out).into_owned()
+}
+
+/// The value of one ASCII hex digit, if `b` is one.
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
 }
 
 /// Percent-encode a query value (RFC 3986 unreserved characters pass).
@@ -318,6 +332,18 @@ mod tests {
     fn percent_round_trip() {
         let original = "entity/42 café+";
         assert_eq!(percent_decode(&percent_encode(original)), original);
+    }
+
+    #[test]
+    fn percent_decode_survives_multibyte_after_escape() {
+        // `%` followed by one hex digit and a multi-byte char: the old
+        // string-sliced decoder panicked on the char boundary here.
+        assert_eq!(percent_decode("%aé"), "%aé");
+        assert_eq!(percent_decode("%é1"), "%é1");
+        assert_eq!(percent_decode("é%41é"), "éAé");
+        // Truncated escapes at end-of-string pass through verbatim.
+        assert_eq!(percent_decode("%4"), "%4");
+        assert_eq!(percent_decode("%"), "%");
     }
 
     #[test]

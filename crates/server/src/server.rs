@@ -38,6 +38,13 @@ pub struct ServerConfig {
     pub drain_grace_ms: u64,
     /// Per-connection socket read timeout.
     pub read_timeout_ms: u64,
+    /// Per-connection socket write timeout: a client that never reads
+    /// its response cannot pin a worker (or shed responder) forever.
+    pub write_timeout_ms: u64,
+    /// Honor test-only request knobs (`?debug-sleep-ms=` on `/align`).
+    /// Off by default: a production server must not hand unauthenticated
+    /// clients a worker-occupancy lever.
+    pub debug_endpoints: bool,
     /// Chaos mode: fault a deterministic fraction of requests.
     pub chaos: Option<ChaosConfig>,
 }
@@ -53,6 +60,8 @@ impl Default for ServerConfig {
             retry_after_secs: 1,
             drain_grace_ms: 500,
             read_timeout_ms: 10_000,
+            write_timeout_ms: 5_000,
+            debug_endpoints: false,
             chaos: None,
         }
     }
@@ -104,8 +113,18 @@ struct Shared {
     counters: ServerCounters,
     telemetry: Telemetry,
     inflight: Mutex<HashMap<u64, CancelToken>>,
+    shed_threads: AtomicU64,
     shutdown: AtomicBool,
     started: Instant,
+}
+
+/// The in-flight map, recovering from poisoning: a caught worker panic
+/// must never cascade into every other lock user panicking too.
+fn inflight(shared: &Shared) -> std::sync::MutexGuard<'_, HashMap<u64, CancelToken>> {
+    shared
+        .inflight
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// A running server. Dropping the handle does *not* stop it; call
@@ -135,6 +154,7 @@ impl Server {
             counters: ServerCounters::default(),
             telemetry,
             inflight: Mutex::new(HashMap::new()),
+            shed_threads: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
         });
@@ -200,13 +220,7 @@ impl Server {
         // grace period (skipping it when the server is already idle).
         let grace_until = Instant::now() + Duration::from_millis(self.shared.cfg.drain_grace_ms);
         while Instant::now() < grace_until {
-            let idle = self.queue.depth() == 0
-                && self
-                    .shared
-                    .inflight
-                    .lock()
-                    .expect("inflight lock")
-                    .is_empty();
+            let idle = self.queue.depth() == 0 && inflight(&self.shared).is_empty();
             if idle {
                 break;
             }
@@ -215,7 +229,7 @@ impl Server {
         // Past the grace period: degrade whatever is still running, and
         // keep sweeping so requests admitted after a sweep still stop.
         while self.workers.iter().any(|w| !w.is_finished()) {
-            for token in self.shared.inflight.lock().expect("inflight lock").values() {
+            for token in inflight(&self.shared).values() {
                 token.cancel();
             }
             std::thread::sleep(Duration::from_millis(5));
@@ -247,7 +261,7 @@ impl DrainHandle {
     }
 }
 
-fn accept_loop(listener: TcpListener, queue: &AdmissionQueue<Conn>, shared: &Shared) {
+fn accept_loop(listener: TcpListener, queue: &AdmissionQueue<Conn>, shared: &Arc<Shared>) {
     let mut next_id: u64 = 0;
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -274,31 +288,70 @@ fn accept_loop(listener: TcpListener, queue: &AdmissionQueue<Conn>, shared: &Sha
     queue.close();
 }
 
-/// Answer a shed connection immediately — the whole point of admission
-/// control is that overload costs one small write, not a queue slot.
-/// The write-and-drain happens on a detached thread so a burst of sheds
-/// never stalls the accept loop.
-fn shed(conn: Conn, shared: &Shared) {
-    shared.counters.shed.fetch_add(1, Ordering::Relaxed);
-    let response = Response::error(503, "overloaded", "admission queue is full")
-        .with_header("Retry-After", shared.cfg.retry_after_secs.to_string());
-    std::thread::spawn(move || respond_and_close(conn.stream, &response));
+/// Most shed responders alive at once. Beyond this the connection is
+/// dropped unanswered: under that much overload a TCP reset is still a
+/// cheap, immediate backpressure signal, and a bounded pool is the whole
+/// point — admission control must not be its own resource exhaustion.
+const MAX_SHED_THREADS: u64 = 32;
+
+/// Releases one shed-responder slot when dropped, whether the responder
+/// thread ran or its spawn failed.
+struct ShedSlot(Arc<Shared>);
+
+impl Drop for ShedSlot {
+    fn drop(&mut self) {
+        self.0.shed_threads.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
-/// Write `response`, half-close, then drain whatever request bytes the
-/// peer sent. Closing with unread data in the receive buffer makes the
-/// kernel RST the connection, which destroys the response before the
-/// client reads it — the drain is what makes a shed *observable* as a
-/// 503 rather than a reset.
-fn respond_and_close(mut stream: TcpStream, response: &Response) {
+/// Answer a shed connection immediately — the whole point of admission
+/// control is that overload costs one small write, not a queue slot.
+/// The write-and-drain happens on a detached thread (so a burst of
+/// sheds never stalls the accept loop) taken from a bounded pool (so a
+/// sustained burst of slow-reading peers cannot mint threads without
+/// limit).
+fn shed(conn: Conn, shared: &Arc<Shared>) {
+    shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+    if shared.shed_threads.fetch_add(1, Ordering::AcqRel) >= MAX_SHED_THREADS {
+        shared.shed_threads.fetch_sub(1, Ordering::AcqRel);
+        return; // dropping `conn` closes the socket
+    }
+    let slot = ShedSlot(shared.clone());
+    let response = Response::error(503, "overloaded", "admission queue is full")
+        .with_header("Retry-After", shared.cfg.retry_after_secs.to_string());
+    let write_timeout = Duration::from_millis(shared.cfg.write_timeout_ms.max(1));
+    let _ = std::thread::Builder::new()
+        .name("ceaff-shed".to_owned())
+        .spawn(move || {
+            let _slot = slot; // freed on thread exit — or here, if spawn failed
+            respond_and_close(conn.stream, &response, write_timeout);
+        });
+}
+
+/// Hard cap on the post-response drain: a slow-dripping peer must not
+/// hold a responder for 256 × read-timeout.
+const DRAIN_CAP: Duration = Duration::from_secs(2);
+
+/// Write `response` (under a write timeout, so a never-reading peer
+/// cannot block forever on a full send buffer), half-close, then drain
+/// whatever request bytes the peer sent. Closing with unread data in
+/// the receive buffer makes the kernel RST the connection, which
+/// destroys the response before the client reads it — the drain is what
+/// makes a shed *observable* as a 503 rather than a reset.
+fn respond_and_close(mut stream: TcpStream, response: &Response, write_timeout: Duration) {
     let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(write_timeout));
     if response.write_to(&mut stream).is_err() {
         return;
     }
     let _ = stream.shutdown(std::net::Shutdown::Write);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
     let mut sink = [0u8; 4096];
+    let drain_until = Instant::now() + DRAIN_CAP;
     for _ in 0..256 {
+        if Instant::now() >= drain_until {
+            break;
+        }
         match std::io::Read::read(&mut stream, &mut sink) {
             Ok(0) | Err(_) => break,
             Ok(_) => {}
@@ -308,7 +361,18 @@ fn respond_and_close(mut stream: TcpStream, response: &Response) {
 
 fn worker_loop(queue: &AdmissionQueue<Conn>, shared: &Shared) {
     while let Some(conn) = queue.pop() {
-        handle_conn(conn, shared);
+        let request_id = conn.request_id;
+        // Backstop boundary: `handle_conn` has its own catch_unwind
+        // around the handler, but a panic anywhere outside it (request
+        // parsing, response serialization) must not kill the worker
+        // either — each dead worker would permanently shrink the pool
+        // until crafted requests turn the whole server into a queue that
+        // never serves. The connection just drops; the pool survives.
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| handle_conn(conn, shared)));
+        if outcome.is_err() {
+            shared.counters.panics.fetch_add(1, Ordering::Relaxed);
+            inflight(shared).remove(&request_id);
+        }
     }
 }
 
@@ -332,6 +396,7 @@ fn handle_conn(mut conn: Conn, shared: &Shared) {
             respond_and_close(
                 conn.stream,
                 &Response::error(status, "bad_request", &e.reason()),
+                Duration::from_millis(shared.cfg.write_timeout_ms.max(1)),
             );
             return;
         }
@@ -362,11 +427,7 @@ fn handle_conn(mut conn: Conn, shared: &Shared) {
         .with_deadline(Duration::from_millis(deadline_ms))
         .with_cancel(cancel.clone())
         .with_max_mem_bytes(mem_share.max(1));
-    shared
-        .inflight
-        .lock()
-        .expect("inflight lock")
-        .insert(conn.request_id, cancel.clone());
+    inflight(shared).insert(conn.request_id, cancel.clone());
 
     // Arm this request's fault plan — thread-scoped, so concurrent
     // requests with different faults never race.
@@ -398,6 +459,14 @@ fn handle_conn(mut conn: Conn, shared: &Shared) {
     // and the work stops. The watcher peeks a nonblocking clone of the
     // stream; O_NONBLOCK is shared with the worker's fd, so blocking
     // mode is restored before the response is written.
+    //
+    // EOF on the request stream is treated as the client abandoning the
+    // request. A half-closing client (`shutdown(Write)` after sending
+    // the full request, still reading) is indistinguishable from a full
+    // close at this end without writing, so half-close is explicitly
+    // *unsupported* by this one-request-per-connection protocol: such a
+    // client may get a degraded response. The bundled `Client` never
+    // half-closes.
     let watcher_stop = Arc::new(AtomicBool::new(false));
     let watcher = conn.stream.try_clone().ok().map(|peek_stream| {
         let stop = watcher_stop.clone();
@@ -462,13 +531,13 @@ fn handle_conn(mut conn: Conn, shared: &Shared) {
         shared.counters.disconnects.fetch_add(1, Ordering::Relaxed);
     }
     let _ = conn.stream.set_nonblocking(false);
-    respond_and_close(conn.stream, &response);
+    respond_and_close(
+        conn.stream,
+        &response,
+        Duration::from_millis(shared.cfg.write_timeout_ms.max(1)),
+    );
 
-    shared
-        .inflight
-        .lock()
-        .expect("inflight lock")
-        .remove(&conn.request_id);
+    inflight(shared).remove(&conn.request_id);
 }
 
 /// Route a parsed request. Every path returns a `Response`; handler
@@ -508,7 +577,7 @@ fn status_response(shared: &Shared) -> Response {
         ),
         (
             "inflight".to_owned(),
-            junsigned(shared.inflight.lock().expect("inflight lock").len() as u64),
+            junsigned(inflight(shared).len() as u64),
         ),
         ("counters".to_owned(), Value::Object(counters)),
         (
@@ -610,11 +679,15 @@ fn align_response(
     }
     // Load-testing aid: hold the worker before deciding, so tests and
     // the bench can saturate the admission queue deterministically.
-    if let Some(ms) = request
-        .query_get("debug-sleep-ms")
-        .and_then(|v| v.parse::<u64>().ok())
-    {
-        std::thread::sleep(Duration::from_millis(ms.min(10_000)));
+    // Gated behind `debug_endpoints` — on a production server this would
+    // hand any unauthenticated client a capacity-exhaustion lever.
+    if shared.cfg.debug_endpoints {
+        if let Some(ms) = request
+            .query_get("debug-sleep-ms")
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            std::thread::sleep(Duration::from_millis(ms.min(10_000)));
+        }
     }
 
     let telemetry = shared.telemetry.child();

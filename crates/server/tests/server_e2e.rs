@@ -132,6 +132,7 @@ fn overload_sheds_with_retry_after_and_backoff_recovers() {
         workers: 1,
         queue_capacity: 1,
         retry_after_secs: 1,
+        debug_endpoints: true,
         ..ServerConfig::default()
     });
     let addr = server.local_addr().to_string();
@@ -205,9 +206,67 @@ fn overload_sheds_with_retry_after_and_backoff_recovers() {
 }
 
 #[test]
+fn malformed_percent_encoding_never_kills_workers() {
+    // Default config: 2 workers. `%` followed by a multi-byte UTF-8
+    // char used to panic the percent-decoder *outside* the handler's
+    // panic boundary, permanently killing one worker per request; after
+    // `workers` such requests the server queued forever. Fire more bad
+    // requests than workers and assert every one is answered and the
+    // server still serves.
+    let (server, client) = start(ServerConfig::default());
+    let addr = server.local_addr();
+    for _ in 0..4 {
+        use std::io::{Read as _, Write as _};
+        let mut raw = std::net::TcpStream::connect(addr).unwrap();
+        raw.write_all(
+            "GET /topk?entity=%aé HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n".as_bytes(),
+        )
+        .unwrap();
+        raw.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        let mut reply = String::new();
+        raw.read_to_string(&mut reply)
+            .expect("a malformed escape must still get a response");
+        // Lenient decoding: the bad escape passes through verbatim, so
+        // this is simply an unknown entity, not a dead connection.
+        assert!(reply.starts_with("HTTP/1.1 404"), "got: {reply}");
+    }
+    assert_eq!(client.get("/health").unwrap().status, 200);
+    let status = client.get("/status").unwrap();
+    let parsed: Value = serde_json::from_str(&status.body).unwrap();
+    assert_eq!(parsed["counters"]["panics"].as_u64(), Some(0));
+    server.join();
+}
+
+#[test]
+fn debug_sleep_is_ignored_unless_enabled() {
+    // `debug_endpoints` defaults to off: the sleep knob must be inert,
+    // otherwise any client can pin a worker for 10 s per request.
+    let (server, client) = start(ServerConfig::default());
+    let started = std::time::Instant::now();
+    let result = client
+        .request(
+            "POST",
+            "/align?debug-sleep-ms=8000",
+            &[],
+            b"{\"include_pairs\":false}",
+            false,
+        )
+        .unwrap();
+    assert_eq!(result.status, 200);
+    assert!(
+        started.elapsed() < std::time::Duration::from_millis(4_000),
+        "debug sleep must not be honored by default (took {:?})",
+        started.elapsed()
+    );
+    server.join();
+}
+
+#[test]
 fn client_disconnect_cancels_inflight_request() {
     let (server, client) = start(ServerConfig {
         workers: 1,
+        debug_endpoints: true,
         ..ServerConfig::default()
     });
     let addr = server.local_addr();
@@ -246,6 +305,7 @@ fn drain_finishes_inflight_work_and_flushes_telemetry() {
         ServerConfig {
             workers: 2,
             drain_grace_ms: 2_000,
+            debug_endpoints: true,
             ..ServerConfig::default()
         },
         telemetry,
