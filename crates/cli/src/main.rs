@@ -33,6 +33,11 @@ USAGE:
   ceaff generate <preset> [--scale F] [--out DIR] [--seed-fraction F]
       Generate a synthetic benchmark; write TSVs to DIR (and a lexicon
       file when the pair is cross-lingual).
+        --evolve N        also write DIR/deltas.jsonl: a replayable
+                          N-step edit stream over the generated pair
+                          (one timestamped KgDelta per line), the input
+                          of `align --deltas`
+        --evolve-seed S   edit-stream RNG seed        [default 7]
 
   ceaff stats --dir DIR
       Print statistics of a benchmark directory.
@@ -61,6 +66,12 @@ USAGE:
         --debug-endpoints honor test-only request knobs such as
                           /align?debug-sleep-ms=N (off by default: it
                           lets any client hold a worker)
+        --incremental     accept POST /delta edit batches (KgDelta JSON
+                          bodies): the warm state absorbs each edit by
+                          dirty-region recompute and /topk, /align and
+                          /status serve the evolved KG. Implies the
+                          training-free propagation structural encoder
+                          (--prop-layers, default 2)
         --dim/--epochs/--seed-fraction/--rng-seed/--matcher/
         --candidates/--topk/--lossy/--trace as for `align`
 
@@ -106,6 +117,17 @@ USAGE:
         --resume          resume from --checkpoint-dir (configuration is
                           restored from the checkpoint; pass the same
                           --dim and data directory as the original run)
+        --deltas FILE     incremental mode: warm the pipeline on the
+                          directory, then replay the JSONL edit stream
+                          (one timestamped KgDelta per line, as written
+                          by `generate --evolve`) through dirty-region
+                          recompute, reporting an alignment diff per
+                          delta. Implies the training-free propagation
+                          structural mode; final metrics and --out refer
+                          to the evolved pair. Incompatible with
+                          --checkpoint-dir/--resume.
+        --prop-layers N   propagation layers in incremental mode; an
+                          edit dirties at most this many hops [default 2]
         --no-structural / --no-semantic / --no-string
         --equal-weights   fixed equal weights instead of adaptive fusion
 
@@ -285,6 +307,46 @@ fn cmd_generate(args: &Args) {
         } else {
             println!("wrote {dir}/{{triples_*, entities_*, links}}");
         }
+        if let Some(steps) = args.get("evolve") {
+            let steps: usize = steps.parse().unwrap_or_else(|_| {
+                eprintln!("error: --evolve expects a positive integer");
+                std::process::exit(2);
+            });
+            // Validate the stream against the pair as `align` will see it:
+            // the TSV roundtrip drops interned-but-unused relations, and
+            // the seed/test split is drawn at load time — so evolve over a
+            // reload of what was just written (align's default split).
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(args.get_parsed("rng-seed", 7u64));
+            let (reloaded, _) = io::load_pair_from_dir_with(
+                dir,
+                args.get_parsed("seed-fraction", 0.3),
+                &mut rng,
+                io::LoadMode::Strict,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("error: cannot reload {dir} for --evolve: {e}");
+                std::process::exit(1);
+            });
+            let stream = ceaff::datagen::evolve(
+                &reloaded,
+                &ceaff::datagen::EvolveConfig {
+                    steps,
+                    seed: args.get_parsed("evolve-seed", 7u64),
+                    ..ceaff::datagen::EvolveConfig::default()
+                },
+            );
+            let path = std::path::Path::new(dir).join("deltas.jsonl");
+            let mut f =
+                std::io::BufWriter::new(std::fs::File::create(&path).expect("create deltas file"));
+            for td in &stream {
+                let line = serde_json::to_string(td).expect("delta serializes");
+                writeln!(f, "{line}").expect("write delta");
+            }
+            println!("wrote {} edit(s) to {}", stream.len(), path.display());
+        }
+    } else if args.get("evolve").is_some() {
+        eprintln!("error: --evolve needs --out DIR to write deltas.jsonl");
+        std::process::exit(2);
     }
 }
 
@@ -378,6 +440,15 @@ fn cmd_align(args: &Args) {
         eprintln!("error: --resume requires --checkpoint-dir");
         std::process::exit(2);
     }
+    if args.get("deltas").is_some()
+        && (args.get("checkpoint-dir").is_some() || args.has_switch("resume"))
+    {
+        eprintln!(
+            "error: --deltas replays an edit stream over warm in-memory state; \
+             it cannot be combined with --checkpoint-dir/--resume"
+        );
+        std::process::exit(2);
+    }
     let dim = args.get_parsed("dim", 64usize);
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(args.get_parsed("rng-seed", 7u64));
     let (pair, load_report) = load_dir(args, &dir, &mut rng);
@@ -436,6 +507,11 @@ fn cmd_align(args: &Args) {
         }
     }
     cfg.matcher = parse_matcher(args.get("matcher").unwrap_or("daa"));
+    if args.get("deltas").is_some() && cfg.use_structural {
+        // The trained GCN has no dirty region smaller than the whole KG;
+        // incremental mode needs the training-free propagation encoder.
+        cfg = cfg.with_propagation(args.get_parsed("prop-layers", 2usize));
+    }
 
     if args.has_switch("trace") {
         eprintln!("error: --trace expects a file path");
@@ -477,6 +553,94 @@ fn cmd_align(args: &Args) {
             std::process::exit(2);
         });
         budget = budget.with_max_mem_bytes(mb.saturating_mul(1024 * 1024));
+    }
+
+    if let Some(deltas_path) = args.get("deltas") {
+        let raw = std::fs::read_to_string(deltas_path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {deltas_path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "warming incremental state on {} test pair(s) ...",
+            pair.test_pairs().len()
+        );
+        let mut state = ceaff::DeltaState::new(&input, &cfg).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "warm: accuracy {:.4}, fingerprint {:#010x}",
+            state.output().accuracy,
+            state.fingerprint()
+        );
+        for (lineno, line) in raw.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let td: ceaff::datagen::TimestampedDelta =
+                serde_json::from_str(line).unwrap_or_else(|e| {
+                    eprintln!("error: {deltas_path}:{}: bad delta: {e}", lineno + 1);
+                    std::process::exit(1);
+                });
+            let diff = state
+                .apply_budgeted(&td.delta, &base, target_embedder, &budget)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: delta {} failed: {e}", td.step);
+                    std::process::exit(1);
+                });
+            println!(
+                "delta {} @{}: accuracy {:.4}, matched {}, +{} -{} ~{}, recompute {:.1}%, fp {:#010x}",
+                diff.step,
+                td.at_unix_ms,
+                diff.accuracy,
+                diff.matched,
+                diff.added.len(),
+                diff.removed.len(),
+                diff.changed.len(),
+                diff.recompute_fraction * 100.0,
+                diff.fingerprint
+            );
+            for (s, t) in &diff.added {
+                println!("  + {s} -> {t}");
+            }
+            for (s, t) in &diff.removed {
+                println!("  - {s} -> {t}");
+            }
+            for (s, old, new) in &diff.changed {
+                println!("  ~ {s}: {old} -> {new}");
+            }
+        }
+        let out = state.output();
+        let evolved = state.pair();
+        println!(
+            "final accuracy: {:.4} (step {})",
+            out.accuracy,
+            state.step()
+        );
+        if let Some(path) = args.get("out") {
+            let sources = evolved.test_sources();
+            let targets = evolved.test_targets();
+            let mut f = std::io::BufWriter::new(std::fs::File::create(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            }));
+            for &(i, j) in out.matching.pairs() {
+                writeln!(
+                    f,
+                    "{}\t{}\t{:.4}",
+                    evolved.source.entity_name(sources[i]).expect("interned"),
+                    evolved.target.entity_name(targets[j]).expect("interned"),
+                    out.fused.get(i, j)
+                )
+                .expect("write pair");
+            }
+            println!("wrote {} pairs to {path}", out.matching.len());
+        }
+        if TERM_REQUESTED.load(std::sync::atomic::Ordering::Relaxed) {
+            eprintln!("terminated by SIGTERM after reporting partial results");
+            std::process::exit(EXIT_SIGTERM);
+        }
+        return;
     }
 
     eprintln!(
@@ -590,6 +754,9 @@ fn cmd_serve(args: &Args) {
             }
         },
         lossy: args.has_switch("lossy"),
+        incremental: args
+            .has_switch("incremental")
+            .then(|| args.get_parsed("prop-layers", 2usize)),
     };
     let telemetry = match args.get("trace") {
         Some(path) => {
@@ -610,12 +777,19 @@ fn cmd_serve(args: &Args) {
             eprintln!("error: {e}");
             std::process::exit(1);
         });
+    let core = state.snapshot();
     eprintln!(
-        "warm in {:.1}s: {}x{} fused similarity resident",
+        "warm in {:.1}s: {}x{} fused similarity resident{}",
         started.elapsed().as_secs_f64(),
-        state.fused.sources(),
-        state.fused.targets()
+        core.fused.sources(),
+        core.fused.targets(),
+        if state.is_incremental() {
+            " (incremental: POST /delta accepted)"
+        } else {
+            ""
+        }
     );
+    drop(core);
 
     let chaos_fraction = args.get_parsed("chaos-fraction", 0.0f64);
     let cfg = ceaff_server::ServerConfig {

@@ -431,3 +431,89 @@ fn matcher_flag_is_validated() {
         .expect("run");
     assert!(!out.status.success());
 }
+
+#[test]
+fn evolve_and_delta_replay_roundtrip() {
+    let dir = tmp_dir("evolve");
+    let dir_s = dir.display().to_string();
+
+    // generate with an edit stream riding along
+    let out = ceaff()
+        .args([
+            "generate",
+            "srprs-dbp-wd",
+            "--scale",
+            "0.1",
+            "--out",
+            &dir_s,
+            "--evolve",
+            "6",
+        ])
+        .output()
+        .expect("run generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let deltas = dir.join("deltas.jsonl");
+    assert!(deltas.exists(), "deltas.jsonl must be written");
+    let stream = std::fs::read_to_string(&deltas).unwrap();
+    assert_eq!(stream.lines().count(), 6, "one JSON delta per line");
+
+    // incremental replay: one diff line per delta plus a final accuracy
+    let pred = dir.join("pred.tsv");
+    let out = ceaff()
+        .args([
+            "align",
+            "--dir",
+            &dir_s,
+            "--deltas",
+            deltas.to_str().unwrap(),
+            "--dim",
+            "16",
+            "--out",
+            pred.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run align --deltas");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{err}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    for step in 1..=6 {
+        assert!(
+            text.contains(&format!("delta {step} @")),
+            "missing per-delta summary for step {step}: {text}"
+        );
+    }
+    assert!(text.contains("final accuracy:"), "{text}");
+    assert!(err.contains("warm: accuracy"), "{err}");
+    let tsv = std::fs::read_to_string(&pred).unwrap();
+    assert!(!tsv.is_empty(), "predictions must be written");
+    for line in tsv.lines() {
+        assert_eq!(line.split('\t').count(), 3, "bad TSV line: {line}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn deltas_with_checkpointing_is_a_usage_error() {
+    let out = ceaff()
+        .args([
+            "align",
+            "--dir",
+            "/nonexistent",
+            "--deltas",
+            "/nonexistent/deltas.jsonl",
+            "--checkpoint-dir",
+            "/tmp/ck",
+        ])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--deltas") && err.contains("--checkpoint-dir"),
+        "{err}"
+    );
+}

@@ -47,6 +47,13 @@ pub enum CeaffError {
         /// Recovery attempts performed before giving up.
         retries: usize,
     },
+    /// A [`crate::delta::DeltaState`] refused or failed to apply a KG
+    /// delta: the edit stream is invalid against the current pair
+    /// (surfacing the underlying
+    /// [`GraphError`](ceaff_graph::GraphError)), or the configuration
+    /// cannot be updated incrementally (e.g. the trained-GCN structural
+    /// mode). The warm state is left exactly as it was.
+    Delta(String),
     /// The run's live tensor footprint crossed the memory budget
     /// installed via [`crate::budget::ExecBudget::with_max_mem_bytes`].
     /// Returned instead of letting the allocator OOM-abort; no partial
@@ -91,6 +98,7 @@ impl fmt::Display for CeaffError {
                 "stage '{stage}' diverged numerically at epoch {epoch} \
                  after {retries} recovery attempts"
             ),
+            CeaffError::Delta(msg) => write!(f, "delta not applied: {msg}"),
             CeaffError::BudgetExceeded {
                 stage,
                 limit_bytes,
@@ -144,6 +152,10 @@ mod tests {
         };
         assert!(e.to_string().contains("epoch 42"));
         assert!(e.to_string().contains("3 recovery attempts"));
+        assert_eq!(
+            CeaffError::Delta("delta op 3 rejected: unknown entity".into()).to_string(),
+            "delta not applied: delta op 3 rejected: unknown entity"
+        );
         let e = CeaffError::BudgetExceeded {
             stage: "features".into(),
             limit_bytes: 1 << 20,

@@ -25,7 +25,7 @@ use ceaff_graph::EntityId;
 use ceaff_sim::{SimStore, SimilarityMatrix};
 
 /// A computed alignment feature.
-pub trait Feature {
+pub trait Feature: Send + Sync {
     /// Short identifier (`"structural"`, `"semantic"`, `"string"`).
     fn name(&self) -> &'static str;
 

@@ -102,6 +102,18 @@ impl SemanticFeature {
         }
     }
 
+    /// Assemble from already-patched parts (the delta pipeline's
+    /// constructor). Same normalisation contract as
+    /// [`SemanticFeature::from_saved_parts`], but store-shaped so both
+    /// the dense and the sparse candidate strategy go through it.
+    pub(crate) fn from_store_parts(n_source: Matrix, n_target: Matrix, test: SimStore) -> Self {
+        Self {
+            n_source,
+            n_target,
+            test,
+        }
+    }
+
     /// The full source name-embedding matrix `N₁`.
     pub fn source_embeddings(&self) -> &Matrix {
         &self.n_source

@@ -94,6 +94,17 @@ impl StringFeature {
             test: SimStore::Dense(test),
         }
     }
+
+    /// Assemble from an already-patched store (the delta pipeline's
+    /// constructor); names are re-derived from the updated pair.
+    pub(crate) fn from_store(pair: &KgPair, test: SimStore) -> Self {
+        let (source_names, target_names) = kg_names(pair);
+        Self {
+            source_names,
+            target_names,
+            test,
+        }
+    }
 }
 
 impl Feature for StringFeature {

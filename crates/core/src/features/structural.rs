@@ -169,6 +169,24 @@ impl StructuralFeature {
         }
     }
 
+    /// Assemble from already-patched parts (the delta pipeline's
+    /// constructor). The embeddings must carry whatever normalisation
+    /// [`StructuralFeature::from_encoder`] would have applied — the
+    /// delta patcher reproduces it bit-for-bit.
+    pub(crate) fn from_store_parts(
+        z_source: Matrix,
+        z_target: Matrix,
+        test: SimStore,
+        loss_curve: Vec<f32>,
+    ) -> Self {
+        Self {
+            z_source,
+            z_target,
+            test,
+            loss_curve,
+        }
+    }
+
     /// The full (all-entity) source embedding matrix.
     pub fn source_embeddings(&self) -> &Matrix {
         &self.z_source

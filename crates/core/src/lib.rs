@@ -47,6 +47,7 @@
 pub mod bootstrap;
 pub mod budget;
 pub mod checkpoint;
+pub mod delta;
 pub mod error;
 pub mod eval;
 pub mod features;
@@ -55,6 +56,7 @@ pub mod gcn;
 pub mod lr;
 pub mod matching;
 pub mod pipeline;
+pub mod propagation;
 
 #[allow(deprecated)]
 pub use bootstrap::run_bootstrapped;
@@ -65,6 +67,7 @@ pub use ceaff_telemetry::{
     TraceEvent,
 };
 pub use checkpoint::{CheckpointPolicy, Checkpointer};
+pub use delta::{AlignmentDiff, DeltaState};
 pub use error::CeaffError;
 pub use eval::{
     accuracy, hits_at_k, hits_at_k_store, mrr, mrr_store, precision_recall, ranking_metrics,
@@ -89,7 +92,8 @@ pub use pipeline::{
     resume_from, resume_from_with_budget, run_decision_budgeted, try_run, try_run_checkpointed,
     try_run_checkpointed_with_budget, try_run_single_stage, try_run_with_budget,
     try_run_with_features, try_run_with_features_budgeted, CandidateStrategy, CeaffConfig,
-    CeaffConfigBuilder, CeaffOutput, DecisionOutput, EaInput, FeatureSet, WeightingMode,
+    CeaffConfigBuilder, CeaffOutput, DecisionOutput, EaInput, FeatureSet, StructuralMode,
+    WeightingMode,
 };
 #[allow(deprecated)]
 pub use pipeline::{run, run_single_stage, run_with_features};

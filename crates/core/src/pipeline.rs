@@ -76,6 +76,50 @@ impl Deserialize for CandidateStrategy {
     }
 }
 
+/// How the structural feature `Ms` is encoded.
+#[derive(Debug, Clone, Copy, Serialize, Default, PartialEq)]
+pub enum StructuralMode {
+    /// The paper's GCN, trained on the seed alignment with a margin
+    /// ranking loss. Highest quality, but every epoch couples all
+    /// entities through the shared weights — a single edge edit
+    /// invalidates the whole embedding table, so this mode cannot be
+    /// updated incrementally.
+    #[default]
+    Trained,
+    /// Training-free neighbourhood propagation
+    /// ([`crate::propagation`]): deterministic name-seeded layer 0,
+    /// then `layers` rounds of symmetrically-normalised mean
+    /// propagation. Entity `i`'s vector depends only on its
+    /// `layers`-hop neighbourhood, which is what lets
+    /// [`crate::delta::DeltaState`] recompute just the dirty region.
+    Propagation {
+        /// Number of propagation rounds (≥ 1); the effective receptive
+        /// field of each entity is its `layers`-hop neighbourhood.
+        layers: usize,
+    },
+}
+
+// Hand-written for the same reason as `CandidateStrategy`: configs
+// serialized before the `structural` field existed resolve the missing
+// field to `Value::Null`, which must deserialize to the default
+// (Trained).
+impl Deserialize for StructuralMode {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Null => Ok(StructuralMode::Trained),
+            serde::Value::String(s) if s == "Trained" => Ok(StructuralMode::Trained),
+            _ => match v.get("Propagation").map(|p| p.as_object()) {
+                Some(Some(fields)) => Ok(StructuralMode::Propagation {
+                    layers: serde::de::field(fields, "layers")?,
+                }),
+                _ => Err(serde::Error::custom(
+                    "expected \"Trained\" or {\"Propagation\": {..}} for StructuralMode",
+                )),
+            },
+        }
+    }
+}
+
 /// How feature matrices are weighted before matching.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub enum WeightingMode {
@@ -121,6 +165,12 @@ pub struct CeaffConfig {
     /// [`CandidateStrategy::Dense`] when absent from serialized configs.
     #[serde(default)]
     pub candidates: CandidateStrategy,
+    /// Structural encoder: the paper's trained GCN (the default) or
+    /// training-free neighbourhood propagation, the mode required by the
+    /// incremental delta pipeline. Defaults to
+    /// [`StructuralMode::Trained`] when absent from serialized configs.
+    #[serde(default)]
+    pub structural: StructuralMode,
 }
 
 impl Default for CeaffConfig {
@@ -137,6 +187,7 @@ impl Default for CeaffConfig {
             normalize_features: true,
             csls: None,
             candidates: CandidateStrategy::Dense,
+            structural: StructuralMode::Trained,
         }
     }
 }
@@ -251,6 +302,13 @@ impl CeaffConfig {
                 ));
             }
         }
+        if let StructuralMode::Propagation { layers } = self.structural {
+            if layers == 0 {
+                return Err(CeaffError::InvalidConfig(
+                    "structural propagation layers must be at least 1".into(),
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -310,6 +368,14 @@ impl CeaffConfig {
             k,
             blocking: BlockingConfig::default(),
         };
+        self
+    }
+
+    /// Builder-style: training-free propagation structural encoding with
+    /// the given number of layers (the mode the incremental delta
+    /// pipeline requires).
+    pub fn with_propagation(mut self, layers: usize) -> Self {
+        self.structural = StructuralMode::Propagation { layers };
         self
     }
 }
@@ -406,6 +472,12 @@ impl CeaffConfigBuilder {
         self
     }
 
+    /// Structural encoder mode (trained GCN or propagation).
+    pub fn structural_mode(mut self, mode: StructuralMode) -> Self {
+        self.cfg.structural = mode;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<CeaffConfig, CeaffError> {
         self.cfg.validate()?;
@@ -477,7 +549,7 @@ pub struct FeatureSet {
 /// the recall ceiling of every downstream stage), `blocking/candidates`
 /// (total candidate pairs) and `blocking/scored_fraction` (fraction of
 /// the dense cross product that will be scored).
-fn block_candidates(
+pub(crate) fn block_candidates(
     pair: &KgPair,
     blocking: &BlockingConfig,
     k: usize,
@@ -509,6 +581,36 @@ fn block_candidates(
     candidates
 }
 
+/// Compute the structural feature under the configured encoder mode:
+/// GCN training for [`StructuralMode::Trained`], the deterministic
+/// propagation encoder (timed under a `"propagation"` span) for
+/// [`StructuralMode::Propagation`].
+fn compute_structural(
+    input: &EaInput<'_>,
+    cfg: &CeaffConfig,
+    telemetry: &Telemetry,
+    blocked: Option<(&CandidateSet, usize)>,
+) -> StructuralFeature {
+    match cfg.structural {
+        StructuralMode::Trained => match blocked {
+            None => StructuralFeature::compute_traced(input.pair, &cfg.gcn, telemetry),
+            Some((cands, k)) => {
+                StructuralFeature::compute_traced_blocked(input.pair, &cfg.gcn, telemetry, cands, k)
+            }
+        },
+        StructuralMode::Propagation { layers } => {
+            let _span = telemetry.span("propagation");
+            let encoder = crate::propagation::encode(input.pair, cfg.gcn.dim, layers);
+            match blocked {
+                None => StructuralFeature::from_encoder(input.pair, encoder),
+                Some((cands, k)) => {
+                    StructuralFeature::from_encoder_blocked(input.pair, encoder, cands, k)
+                }
+            }
+        }
+    }
+}
+
 impl FeatureSet {
     /// Compute every feature the configuration might need, reporting
     /// per-stage timings (and, with an active event stream, GCN training
@@ -529,11 +631,13 @@ impl FeatureSet {
                 Some((block_candidates(input.pair, blocking, *k, telemetry), *k))
             }
         };
-        let structural = cfg.use_structural.then(|| match &blocked {
-            None => StructuralFeature::compute_traced(input.pair, &cfg.gcn, telemetry),
-            Some((cands, k)) => StructuralFeature::compute_traced_blocked(
-                input.pair, &cfg.gcn, telemetry, cands, *k,
-            ),
+        let structural = cfg.use_structural.then(|| {
+            compute_structural(
+                input,
+                cfg,
+                telemetry,
+                blocked.as_ref().map(|(c, k)| (c, *k)),
+            )
         });
         let semantic = cfg.use_semantic.then(|| {
             let _span = telemetry.span("semantic");
@@ -590,7 +694,9 @@ impl FeatureSet {
     ) -> Result<Self, CeaffError> {
         if !cfg.candidates.is_dense() {
             return Err(CeaffError::InvalidConfig(
-                "checkpointing requires CandidateStrategy::Dense (stage artifacts are dense-only)"
+                "`--checkpoint-dir` cannot be combined with `--candidates blocked`: \
+                 checkpoint stage artifacts are dense-only, so checkpointing requires \
+                 CandidateStrategy::Dense"
                     .into(),
             ));
         }
@@ -606,7 +712,13 @@ impl FeatureSet {
             move |reason: String| CeaffError::Checkpoint { file, reason }
         };
 
-        let structural = if cfg.use_structural {
+        let structural = if !cfg.use_structural {
+            None
+        } else if !matches!(cfg.structural, StructuralMode::Trained) {
+            // Propagation is deterministic and cheap; recomputing beats
+            // persisting an artifact, so the checkpoint store is bypassed.
+            Some(compute_structural(input, cfg, telemetry, None))
+        } else {
             Some(match ck.load(checkpoint::STAGE_STRUCTURAL)? {
                 Some(bytes) => {
                     let (zs, zt, test, loss_curve) = checkpoint::decode_structural(&bytes)
@@ -642,8 +754,6 @@ impl FeatureSet {
                     f
                 }
             })
-        } else {
-            None
         };
 
         let semantic = if cfg.use_semantic {
@@ -760,13 +870,25 @@ impl FeatureSet {
 
         let structural = if cfg.use_structural {
             budget.check_mem("features")?;
-            let f = match &blocked {
-                None => StructuralFeature::try_compute_budgeted(
-                    input.pair, &cfg.gcn, telemetry, None, budget,
-                )?,
-                Some((cands, k)) => StructuralFeature::try_compute_budgeted_blocked(
-                    input.pair, &cfg.gcn, telemetry, budget, cands, *k,
-                )?,
+            let f = if !matches!(cfg.structural, StructuralMode::Trained) {
+                // Propagation has no epoch granularity to meter; it runs
+                // uninterrupted like the other closed-form features.
+                let _probe_off = crate::budget::uninterruptible_scope();
+                compute_structural(
+                    input,
+                    cfg,
+                    telemetry,
+                    blocked.as_ref().map(|(c, k)| (c, *k)),
+                )
+            } else {
+                match &blocked {
+                    None => StructuralFeature::try_compute_budgeted(
+                        input.pair, &cfg.gcn, telemetry, None, budget,
+                    )?,
+                    Some((cands, k)) => StructuralFeature::try_compute_budgeted_blocked(
+                        input.pair, &cfg.gcn, telemetry, budget, cands, *k,
+                    )?,
+                }
             };
             computed += 1;
             Some(f)
@@ -860,7 +982,9 @@ impl FeatureSet {
     ) -> Result<Self, CeaffError> {
         if !cfg.candidates.is_dense() {
             return Err(CeaffError::InvalidConfig(
-                "checkpointing requires CandidateStrategy::Dense (stage artifacts are dense-only)"
+                "`--checkpoint-dir` cannot be combined with `--candidates blocked`: \
+                 checkpoint stage artifacts are dense-only, so checkpointing requires \
+                 CandidateStrategy::Dense"
                     .into(),
             ));
         }
@@ -883,7 +1007,19 @@ impl FeatureSet {
         let mut skipped = 0usize;
         let mut stop: Option<StopReason> = None;
 
-        let structural = if cfg.use_structural {
+        let structural = if !cfg.use_structural {
+            None
+        } else if !matches!(cfg.structural, StructuralMode::Trained) {
+            // Deterministic and cheap: recompute, bypassing the
+            // checkpoint store (see `try_compute_checkpointed`).
+            budget.check_mem("features")?;
+            let f = {
+                let _probe_off = crate::budget::uninterruptible_scope();
+                compute_structural(input, cfg, telemetry, None)
+            };
+            computed += 1;
+            Some(f)
+        } else {
             Some(match ck.load(checkpoint::STAGE_STRUCTURAL)? {
                 Some(bytes) => {
                     let (zs, zt, test, loss_curve) = checkpoint::decode_structural(&bytes)
@@ -925,8 +1061,6 @@ impl FeatureSet {
                     f
                 }
             })
-        } else {
-            None
         };
 
         let semantic = if cfg.use_semantic {
@@ -1852,7 +1986,15 @@ mod tests {
         let cfg = fast_cfg().with_blocking(25);
         let dir = std::env::temp_dir().join(format!("ceaff-blocked-ck-{}", std::process::id()));
         let err = try_run_checkpointed(&input, &cfg, &dir, CheckpointPolicy::PerStage).unwrap_err();
-        assert!(matches!(err, CeaffError::InvalidConfig(_)), "{err}");
+        match &err {
+            // The message must name both offending flags so a CLI user
+            // knows exactly which pair of options conflicts.
+            CeaffError::InvalidConfig(msg) => {
+                assert!(msg.contains("--checkpoint-dir"), "{msg}");
+                assert!(msg.contains("--candidates blocked"), "{msg}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

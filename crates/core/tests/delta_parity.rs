@@ -1,0 +1,184 @@
+//! The incremental≡from-scratch parity gate (CI job `incremental`).
+//!
+//! Replays a generated 50-edit stream through a warm [`DeltaState`] and
+//! asserts, at several checkpoints along the stream and at the end, that
+//! the warm state is **bitwise-identical** to a from-scratch pipeline run
+//! on the edited pair: fused store bits, matching pairs, and accuracy
+//! bits. Runs under whatever `CEAFF_THREADS` the environment sets — the
+//! CI job executes it at 1 and at 4 threads.
+
+use ceaff_core::delta::DeltaState;
+use ceaff_core::pipeline::{try_run_with_features, CeaffConfig, CeaffOutput, EaInput, FeatureSet};
+use ceaff_core::{GcnConfig, Telemetry};
+use ceaff_datagen::{evolve, EvolveConfig, GenConfig, NameChannel};
+use ceaff_graph::KgPair;
+use ceaff_sim::SimStore;
+
+const STREAM_LEN: usize = 50;
+/// From-scratch comparison points (a full pipeline run each — kept sparse
+/// so the gate stays fast; the final step is always checked).
+const CHECKPOINTS: [usize; 5] = [1, 13, 25, 40, STREAM_LEN];
+
+fn dataset() -> ceaff_datagen::GeneratedDataset {
+    ceaff_datagen::generate(&GenConfig {
+        aligned_entities: 80,
+        channel: NameChannel::Identical { typo_rate: 0.05 },
+        ..GenConfig::default()
+    })
+}
+
+fn config(blocked: bool) -> CeaffConfig {
+    let mut cfg = CeaffConfig::builder()
+        .gcn(GcnConfig {
+            dim: 16,
+            ..GcnConfig::default()
+        })
+        .embed_dim(32)
+        .build()
+        .expect("valid config")
+        .with_propagation(2);
+    if blocked {
+        cfg = cfg.with_blocking(8);
+    }
+    cfg
+}
+
+fn assert_bitwise_equal(warm: &CeaffOutput, fresh: &CeaffOutput, step: usize) {
+    assert_eq!(
+        warm.matching.pairs(),
+        fresh.matching.pairs(),
+        "matching diverged at step {step}"
+    );
+    assert_eq!(
+        warm.accuracy.to_bits(),
+        fresh.accuracy.to_bits(),
+        "accuracy diverged at step {step}: {} vs {}",
+        warm.accuracy,
+        fresh.accuracy
+    );
+    match (&warm.fused, &fresh.fused) {
+        (SimStore::Dense(a), SimStore::Dense(b)) => {
+            assert_eq!(
+                a.sources(),
+                b.sources(),
+                "fused row count diverged at step {step}"
+            );
+            let (am, bm) = (a.as_matrix().as_slice(), b.as_matrix().as_slice());
+            assert_eq!(am.len(), bm.len(), "fused size diverged at step {step}");
+            for (i, (x, y)) in am.iter().zip(bm).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "fused store diverged at step {step}, flat cell {i}: {x} vs {y}"
+                );
+            }
+        }
+        (SimStore::Sparse(a), SimStore::Sparse(b)) => {
+            assert_eq!(a, b, "sparse fused store diverged at step {step}");
+        }
+        _ => panic!("store kinds diverged at step {step}"),
+    }
+}
+
+fn from_scratch(
+    pair: &KgPair,
+    cfg: &CeaffConfig,
+    ds: &ceaff_datagen::GeneratedDataset,
+) -> CeaffOutput {
+    let src = ds.source_embedder(32);
+    let tgt = ds.target_embedder(32);
+    let input = EaInput::new(pair, &src, &tgt);
+    let features = FeatureSet::compute(&input, cfg);
+    try_run_with_features(pair, &features, cfg, &Telemetry::disabled()).expect("fresh run")
+}
+
+fn replay_and_compare(blocked: bool) {
+    let ds = dataset();
+    let cfg = config(blocked);
+    let src = ds.source_embedder(32);
+    let tgt = ds.target_embedder(32);
+
+    let stream = evolve(
+        &ds.pair,
+        &EvolveConfig {
+            steps: STREAM_LEN,
+            seed: 11,
+            ..EvolveConfig::default()
+        },
+    );
+    assert_eq!(stream.len(), STREAM_LEN);
+
+    let mut state = DeltaState::new(&EaInput::new(&ds.pair, &src, &tgt), &cfg).expect("warm state");
+    // Step 0: the warm state itself must equal a from-scratch run.
+    assert_bitwise_equal(state.output(), &from_scratch(&ds.pair, &cfg, &ds), 0);
+
+    let mut cur = ds.pair.clone();
+    let mut fractions = Vec::with_capacity(STREAM_LEN);
+    for td in &stream {
+        cur = td.delta.apply(&cur).expect("stream replays").pair;
+        let diff = state
+            .apply(&td.delta, &src, &tgt)
+            .unwrap_or_else(|e| panic!("delta step {} must apply: {e}", td.step));
+        assert_eq!(diff.step, td.step);
+        fractions.push(diff.recompute_fraction);
+        if CHECKPOINTS.contains(&td.step) {
+            assert_eq!(
+                state.pair(),
+                &cur,
+                "pair state diverged at step {}",
+                td.step
+            );
+            assert_bitwise_equal(state.output(), &from_scratch(&cur, &cfg, &ds), td.step);
+        }
+    }
+
+    // The incremental path must actually be incremental: on average most
+    // of the store survives each edit untouched.
+    let mean = fractions.iter().sum::<f64>() / fractions.len() as f64;
+    assert!(
+        mean < 0.6,
+        "mean recompute fraction {mean:.3} — dirty tracking is not pruning work"
+    );
+}
+
+#[test]
+fn fifty_edit_stream_parity_dense() {
+    replay_and_compare(false);
+}
+
+#[test]
+fn fifty_edit_stream_parity_blocked() {
+    replay_and_compare(true);
+}
+
+/// The fingerprint chain is a pure function of (config, edit stream):
+/// two independent replays agree step by step, and the blocked/dense
+/// configurations disagree from step 0.
+#[test]
+fn fingerprint_chain_identifies_history() {
+    let ds = dataset();
+    let src = ds.source_embedder(32);
+    let tgt = ds.target_embedder(32);
+    let stream = evolve(
+        &ds.pair,
+        &EvolveConfig {
+            steps: 5,
+            seed: 3,
+            ..EvolveConfig::default()
+        },
+    );
+    let cfg_a = config(false);
+    let cfg_b = config(true);
+    let input = EaInput::new(&ds.pair, &src, &tgt);
+    let mut a1 = DeltaState::new(&input, &cfg_a).expect("a1");
+    let mut a2 = DeltaState::new(&input, &cfg_a).expect("a2");
+    let mut b = DeltaState::new(&input, &cfg_b).expect("b");
+    assert_ne!(a1.fingerprint(), b.fingerprint());
+    for td in &stream {
+        let f1 = a1.apply(&td.delta, &src, &tgt).expect("a1 applies");
+        let f2 = a2.apply(&td.delta, &src, &tgt).expect("a2 applies");
+        let fb = b.apply(&td.delta, &src, &tgt).expect("b applies");
+        assert_eq!(f1.fingerprint, f2.fingerprint, "step {}", td.step);
+        assert_ne!(f1.fingerprint, fb.fingerprint, "step {}", td.step);
+    }
+}

@@ -14,12 +14,14 @@
 //! The entry points are the nine [`Preset`]s mirroring the paper's KG
 //! pairs, or a custom [`GenConfig`] passed to [`generate`].
 
+pub mod evolve;
 pub mod kggen;
 pub mod names;
 pub mod presets;
 pub mod sampling;
 pub mod translate;
 
+pub use evolve::{evolve, EvolveConfig, TimestampedDelta};
 pub use kggen::{generate, GenConfig, GeneratedDataset, SrprsSampling};
 pub use names::Vocabulary;
 pub use presets::Preset;

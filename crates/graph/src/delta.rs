@@ -1,0 +1,646 @@
+//! Edit operations on a loaded [`KgPair`]: the graph half of the
+//! incremental-alignment subsystem (ROADMAP item 4).
+//!
+//! A [`KgDelta`] is a validated batch of entity / relation / triple / link
+//! edits. Application is **atomic** (the delta either applies in full to a
+//! fresh copy of the pair or nothing is mutated) and **invertible**: every
+//! successful application also returns the exact inverse delta, with
+//! positional information filled in so that applying the inverse restores
+//! the original pair *byte-for-byte* — triple order, per-entity edge-index
+//! layout, interner id assignment and seed/test split order included.
+//! That property is what lets checkpoint fingerprints chain over delta
+//! sequences and is property-tested in `tests/delta_roundtrip.rs`.
+//!
+//! Operations address entities, relations and links **by name**, not by
+//! id: ids shift when entities are removed, names are stable across edits
+//! and are what edit streams (JSONL files, `POST /delta` bodies) carry.
+
+use crate::error::GraphError;
+use crate::ids::EntityId;
+use crate::kg::KnowledgeGraph;
+use crate::pair::KgPair;
+use crate::triple::Triple;
+use serde::{Deserialize, Serialize};
+
+/// Which graph of the pair an operation targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Side {
+    /// The source graph `G1`.
+    Source,
+    /// The target graph `G2`.
+    Target,
+}
+
+impl Side {
+    /// Human-readable side name for error messages.
+    fn label(self) -> &'static str {
+        match self {
+            Side::Source => "source",
+            Side::Target => "target",
+        }
+    }
+}
+
+/// Which half of the seed/test split a gold link lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkSplit {
+    /// Training seeds (visible to the aligner).
+    Seed,
+    /// Test pairs (the evaluation set; rows/columns of feature matrices).
+    Test,
+}
+
+/// A single edit against a [`KgPair`].
+///
+/// The `at` / `*_at` fields pin list positions so inverses restore the
+/// original layout exactly; edit streams normally omit them (append /
+/// first-match semantics apply).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DeltaOp {
+    /// Intern a new entity. Rejected if the name already exists.
+    AddEntity {
+        /// Graph to edit.
+        side: Side,
+        /// Fresh entity name.
+        name: String,
+        /// Id to insert at (defaults to the end; ids `>= at` shift up).
+        at: Option<u32>,
+    },
+    /// Remove an entity. Rejected while any triple or gold link still
+    /// references it.
+    RemoveEntity {
+        /// Graph to edit.
+        side: Side,
+        /// Entity name to remove.
+        name: String,
+    },
+    /// Intern a new relation. Rejected if the name already exists.
+    AddRelation {
+        /// Graph to edit.
+        side: Side,
+        /// Fresh relation name.
+        name: String,
+        /// Id to insert at (defaults to the end).
+        at: Option<u32>,
+    },
+    /// Remove a relation. Rejected while any triple still uses it.
+    RemoveRelation {
+        /// Graph to edit.
+        side: Side,
+        /// Relation name to remove.
+        name: String,
+    },
+    /// Add a triple between already-interned names.
+    AddTriple {
+        /// Graph to edit.
+        side: Side,
+        /// Head entity name.
+        head: String,
+        /// Relation name.
+        relation: String,
+        /// Tail entity name.
+        tail: String,
+        /// Triple-list position to insert at (defaults to the end).
+        at: Option<u32>,
+    },
+    /// Remove a triple. With `at: None` the first match is removed.
+    RemoveTriple {
+        /// Graph to edit.
+        side: Side,
+        /// Head entity name.
+        head: String,
+        /// Relation name.
+        relation: String,
+        /// Tail entity name.
+        tail: String,
+        /// Exact triple-list position (must match the named triple).
+        at: Option<u32>,
+    },
+    /// Add a gold link between existing entities (defaults to the test
+    /// split, i.e. it grows the evaluation set). Rejected if either side
+    /// is already aligned.
+    AddLink {
+        /// Source entity name.
+        source: String,
+        /// Target entity name.
+        target: String,
+        /// Which split receives the link (defaults to `Test`).
+        split: Option<LinkSplit>,
+        /// Position within the full alignment list (defaults to the end).
+        alignment_at: Option<u32>,
+        /// Position within the chosen split list (defaults to the end).
+        split_at: Option<u32>,
+    },
+    /// Remove a gold link (from the alignment and whichever split holds
+    /// it).
+    RemoveLink {
+        /// Source entity name.
+        source: String,
+        /// Target entity name.
+        target: String,
+    },
+}
+
+/// A validated, atomic, invertible batch of edits.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct KgDelta {
+    /// Operations, applied in order.
+    pub ops: Vec<DeltaOp>,
+}
+
+/// Result of successfully applying a delta.
+#[derive(Debug, Clone)]
+pub struct AppliedDelta {
+    /// The edited pair (the input pair is untouched).
+    pub pair: KgPair,
+    /// The exact inverse: applying it to `pair` restores the input pair
+    /// byte-for-byte, positions and id layout included.
+    pub inverse: KgDelta,
+}
+
+impl KgDelta {
+    /// A delta over the given operations.
+    pub fn new(ops: Vec<DeltaOp>) -> Self {
+        Self { ops }
+    }
+
+    /// Apply every operation in order to a copy of `pair`.
+    ///
+    /// Atomic: on the first rejected operation the copy is discarded and
+    /// `GraphError::DeltaRejected` identifies the offending op; `pair`
+    /// itself is never mutated.
+    pub fn apply(&self, pair: &KgPair) -> Result<AppliedDelta, GraphError> {
+        let mut next = pair.clone();
+        let mut inverse = Vec::with_capacity(self.ops.len());
+        for (i, op) in self.ops.iter().enumerate() {
+            let inv = apply_op(&mut next, op)
+                .map_err(|reason| GraphError::DeltaRejected { op: i, reason })?;
+            inverse.push(inv);
+        }
+        // Undoing must unwind in reverse application order.
+        inverse.reverse();
+        Ok(AppliedDelta {
+            pair: next,
+            inverse: KgDelta { ops: inverse },
+        })
+    }
+}
+
+fn kg_mut(pair: &mut KgPair, side: Side) -> &mut KnowledgeGraph {
+    match side {
+        Side::Source => &mut pair.source,
+        Side::Target => &mut pair.target,
+    }
+}
+
+fn kg_ref(pair: &KgPair, side: Side) -> &KnowledgeGraph {
+    match side {
+        Side::Source => &pair.source,
+        Side::Target => &pair.target,
+    }
+}
+
+fn link_id(pair: &mut (EntityId, EntityId), side: Side) -> &mut EntityId {
+    match side {
+        Side::Source => &mut pair.0,
+        Side::Target => &mut pair.1,
+    }
+}
+
+/// Renumber link endpoints on `side` after inserting or
+/// removing the entity at `pos`.
+fn shift_links(pair: &mut KgPair, side: Side, pos: u32, up: bool) {
+    let adjust = |list: &mut Vec<(EntityId, EntityId)>| {
+        for link in list.iter_mut() {
+            let id = link_id(link, side);
+            if up {
+                if id.0 >= pos {
+                    id.0 += 1;
+                }
+            } else {
+                debug_assert_ne!(id.0, pos, "removed entity still linked");
+                if id.0 > pos {
+                    id.0 -= 1;
+                }
+            }
+        }
+    };
+    adjust(pair.alignment.pairs_mut());
+    adjust(pair.split.seed_mut());
+    adjust(pair.split.test_mut());
+}
+
+/// Whether any gold link (alignment or split) references entity `id` on
+/// `side`.
+fn is_linked(pair: &KgPair, side: Side, id: EntityId) -> bool {
+    let hit = |l: &(EntityId, EntityId)| match side {
+        Side::Source => l.0 == id,
+        Side::Target => l.1 == id,
+    };
+    pair.alignment.iter().any(hit)
+        || pair.split.seed().iter().any(hit)
+        || pair.split.test().iter().any(hit)
+}
+
+fn resolve_pos(at: Option<u32>, len: usize, what: &str) -> Result<usize, String> {
+    let pos = at.map_or(len, |p| p as usize);
+    if pos > len {
+        return Err(format!("{what} position {pos} out of range (len {len})"));
+    }
+    Ok(pos)
+}
+
+/// Apply one operation, returning its exact inverse.
+fn apply_op(pair: &mut KgPair, op: &DeltaOp) -> Result<DeltaOp, String> {
+    match op {
+        DeltaOp::AddEntity { side, name, at } => {
+            let kg = kg_mut(pair, *side);
+            if kg.entity_id(name).is_some() {
+                return Err(format!("{} entity `{name}` already exists", side.label()));
+            }
+            let pos = resolve_pos(*at, kg.num_entities(), "entity")?;
+            kg.insert_entity_at(pos, name);
+            shift_links(pair, *side, pos as u32, true);
+            Ok(DeltaOp::RemoveEntity {
+                side: *side,
+                name: name.clone(),
+            })
+        }
+        DeltaOp::RemoveEntity { side, name } => {
+            let kg = kg_ref(pair, *side);
+            let id = kg
+                .entity_id(name)
+                .ok_or_else(|| format!("{} entity `{name}` does not exist", side.label()))?;
+            if kg.degree(id) > 0 {
+                return Err(format!(
+                    "{} entity `{name}` still referenced by {} triple(s)",
+                    side.label(),
+                    kg.degree(id)
+                ));
+            }
+            if is_linked(pair, *side, id) {
+                return Err(format!(
+                    "{} entity `{name}` still referenced by a gold link",
+                    side.label()
+                ));
+            }
+            kg_mut(pair, *side).remove_entity_at(id.index());
+            shift_links(pair, *side, id.0, false);
+            Ok(DeltaOp::AddEntity {
+                side: *side,
+                name: name.clone(),
+                at: Some(id.0),
+            })
+        }
+        DeltaOp::AddRelation { side, name, at } => {
+            let kg = kg_mut(pair, *side);
+            if kg.relations().get(name).is_some() {
+                return Err(format!("{} relation `{name}` already exists", side.label()));
+            }
+            let pos = resolve_pos(*at, kg.num_relations(), "relation")?;
+            kg.insert_relation_at(pos, name);
+            Ok(DeltaOp::RemoveRelation {
+                side: *side,
+                name: name.clone(),
+            })
+        }
+        DeltaOp::RemoveRelation { side, name } => {
+            let kg = kg_ref(pair, *side);
+            let id = kg
+                .relations()
+                .get(name)
+                .ok_or_else(|| format!("{} relation `{name}` does not exist", side.label()))?;
+            let uses = kg.triples().iter().filter(|t| t.relation.0 == id).count();
+            if uses > 0 {
+                return Err(format!(
+                    "{} relation `{name}` still used by {uses} triple(s)",
+                    side.label()
+                ));
+            }
+            kg_mut(pair, *side).remove_relation_at(id as usize);
+            Ok(DeltaOp::AddRelation {
+                side: *side,
+                name: name.clone(),
+                at: Some(id),
+            })
+        }
+        DeltaOp::AddTriple {
+            side,
+            head,
+            relation,
+            tail,
+            at,
+        } => {
+            let kg = kg_ref(pair, *side);
+            let h = kg
+                .entity_id(head)
+                .ok_or_else(|| format!("{} head `{head}` does not exist", side.label()))?;
+            let t = kg
+                .entity_id(tail)
+                .ok_or_else(|| format!("{} tail `{tail}` does not exist", side.label()))?;
+            let r = kg.relations().get(relation).ok_or_else(|| {
+                format!(
+                    "{} relation `{relation}` does not exist (AddRelation first)",
+                    side.label()
+                )
+            })?;
+            let pos = resolve_pos(*at, kg.num_triples(), "triple")?;
+            kg_mut(pair, *side)
+                .insert_triple_at(pos, Triple::new(h, crate::ids::RelationId::new(r), t));
+            Ok(DeltaOp::RemoveTriple {
+                side: *side,
+                head: head.clone(),
+                relation: relation.clone(),
+                tail: tail.clone(),
+                at: Some(pos as u32),
+            })
+        }
+        DeltaOp::RemoveTriple {
+            side,
+            head,
+            relation,
+            tail,
+            at,
+        } => {
+            let kg = kg_ref(pair, *side);
+            let h = kg
+                .entity_id(head)
+                .ok_or_else(|| format!("{} head `{head}` does not exist", side.label()))?;
+            let t = kg
+                .entity_id(tail)
+                .ok_or_else(|| format!("{} tail `{tail}` does not exist", side.label()))?;
+            let r = kg
+                .relations()
+                .get(relation)
+                .ok_or_else(|| format!("{} relation `{relation}` does not exist", side.label()))?;
+            let wanted = Triple::new(h, crate::ids::RelationId::new(r), t);
+            let pos = match at {
+                Some(p) => {
+                    let p = *p as usize;
+                    match kg.triples().get(p) {
+                        Some(found) if *found == wanted => p,
+                        Some(_) => {
+                            return Err(format!(
+                                "triple at position {p} is not ({head}, {relation}, {tail})"
+                            ))
+                        }
+                        None => return Err(format!("triple position {p} out of range")),
+                    }
+                }
+                None => kg
+                    .triples()
+                    .iter()
+                    .position(|x| *x == wanted)
+                    .ok_or_else(|| {
+                        format!(
+                            "{} triple ({head}, {relation}, {tail}) does not exist",
+                            side.label()
+                        )
+                    })?,
+            };
+            kg_mut(pair, *side).remove_triple_at(pos);
+            Ok(DeltaOp::AddTriple {
+                side: *side,
+                head: head.clone(),
+                relation: relation.clone(),
+                tail: tail.clone(),
+                at: Some(pos as u32),
+            })
+        }
+        DeltaOp::AddLink {
+            source,
+            target,
+            split,
+            alignment_at,
+            split_at,
+        } => {
+            let u = pair
+                .source
+                .entity_id(source)
+                .ok_or_else(|| format!("source entity `{source}` does not exist"))?;
+            let v = pair
+                .target
+                .entity_id(target)
+                .ok_or_else(|| format!("target entity `{target}` does not exist"))?;
+            if is_linked(pair, Side::Source, u) {
+                return Err(format!("source entity `{source}` is already aligned"));
+            }
+            if is_linked(pair, Side::Target, v) {
+                return Err(format!("target entity `{target}` is already aligned"));
+            }
+            let which = split.unwrap_or(LinkSplit::Test);
+            let a_pos = resolve_pos(*alignment_at, pair.alignment.len(), "alignment")?;
+            let s_len = match which {
+                LinkSplit::Seed => pair.split.seed().len(),
+                LinkSplit::Test => pair.split.test().len(),
+            };
+            let s_pos = resolve_pos(*split_at, s_len, "split")?;
+            pair.alignment.pairs_mut().insert(a_pos, (u, v));
+            match which {
+                LinkSplit::Seed => pair.split.seed_mut().insert(s_pos, (u, v)),
+                LinkSplit::Test => pair.split.test_mut().insert(s_pos, (u, v)),
+            }
+            Ok(DeltaOp::RemoveLink {
+                source: source.clone(),
+                target: target.clone(),
+            })
+        }
+        DeltaOp::RemoveLink { source, target } => {
+            let u = pair
+                .source
+                .entity_id(source)
+                .ok_or_else(|| format!("source entity `{source}` does not exist"))?;
+            let v = pair
+                .target
+                .entity_id(target)
+                .ok_or_else(|| format!("target entity `{target}` does not exist"))?;
+            let a_pos = pair
+                .alignment
+                .iter()
+                .position(|&l| l == (u, v))
+                .ok_or_else(|| format!("link ({source}, {target}) does not exist"))?;
+            let (which, s_pos) =
+                if let Some(p) = pair.split.seed().iter().position(|&l| l == (u, v)) {
+                    (LinkSplit::Seed, p)
+                } else if let Some(p) = pair.split.test().iter().position(|&l| l == (u, v)) {
+                    (LinkSplit::Test, p)
+                } else {
+                    return Err(format!(
+                        "link ({source}, {target}) is in the alignment but in neither split"
+                    ));
+                };
+            pair.alignment.pairs_mut().remove(a_pos);
+            match which {
+                LinkSplit::Seed => pair.split.seed_mut().remove(s_pos),
+                LinkSplit::Test => pair.split.test_mut().remove(s_pos),
+            };
+            Ok(DeltaOp::AddLink {
+                source: source.clone(),
+                target: target.clone(),
+                split: Some(which),
+                alignment_at: Some(a_pos as u32),
+                split_at: Some(s_pos as u32),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pair::{Alignment, SeedSplit};
+
+    /// Two tiny parallel graphs with 2 seed + 2 test links.
+    fn toy_pair() -> KgPair {
+        let mut src = KnowledgeGraph::new();
+        let mut tgt = KnowledgeGraph::new();
+        for i in 0..4 {
+            src.add_entity(&format!("s{i}"));
+            tgt.add_entity(&format!("t{i}"));
+        }
+        src.add_fact("s0", "r", "s1");
+        src.add_fact("s1", "r", "s2");
+        tgt.add_fact("t0", "r", "t1");
+        tgt.add_fact("t1", "r", "t3");
+        // s3/t3 stay unaligned so tests can link fresh entities to them.
+        let pairs: Vec<_> = (0..3)
+            .map(|i| (EntityId::new(i), EntityId::new(i)))
+            .collect();
+        let alignment = Alignment::new(pairs.clone()).unwrap();
+        let split = SeedSplit::from_parts(pairs[..2].to_vec(), pairs[2..].to_vec());
+        KgPair {
+            source: src,
+            target: tgt,
+            alignment,
+            split,
+        }
+    }
+
+    #[test]
+    fn add_then_inverse_restores_pair() {
+        let pair = toy_pair();
+        let delta = KgDelta::new(vec![
+            DeltaOp::AddEntity {
+                side: Side::Source,
+                name: "s4".into(),
+                at: None,
+            },
+            DeltaOp::AddTriple {
+                side: Side::Source,
+                head: "s4".into(),
+                relation: "r".into(),
+                tail: "s0".into(),
+                at: None,
+            },
+            DeltaOp::AddLink {
+                source: "s4".into(),
+                target: "t3".into(),
+                split: None,
+                alignment_at: None,
+                split_at: None,
+            },
+        ]);
+        let applied = delta.apply(&pair).unwrap();
+        assert_eq!(applied.pair.source.num_entities(), 5);
+        assert_eq!(applied.pair.test_pairs().len(), 2);
+        let restored = applied.inverse.apply(&applied.pair).unwrap();
+        assert_eq!(restored.pair, pair);
+    }
+
+    #[test]
+    fn mid_list_removal_round_trips_positions() {
+        let pair = toy_pair();
+        // Remove a mid-list triple and a seed link; the inverse must put
+        // both back at their original positions.
+        let delta = KgDelta::new(vec![
+            DeltaOp::RemoveTriple {
+                side: Side::Source,
+                head: "s0".into(),
+                relation: "r".into(),
+                tail: "s1".into(),
+                at: None,
+            },
+            DeltaOp::RemoveLink {
+                source: "s0".into(),
+                target: "t0".into(),
+            },
+        ]);
+        let applied = delta.apply(&pair).unwrap();
+        assert_eq!(applied.pair.source.num_triples(), 1);
+        assert_eq!(applied.pair.seeds().len(), 1);
+        let restored = applied.inverse.apply(&applied.pair).unwrap();
+        assert_eq!(restored.pair, pair);
+    }
+
+    #[test]
+    fn rejection_is_atomic_and_names_the_op() {
+        let pair = toy_pair();
+        let delta = KgDelta::new(vec![
+            DeltaOp::AddEntity {
+                side: Side::Source,
+                name: "s4".into(),
+                at: None,
+            },
+            // t2 has no triples but is linked: removal must be rejected,
+            // and the op index reported.
+            DeltaOp::RemoveEntity {
+                side: Side::Target,
+                name: "t2".into(),
+            },
+        ]);
+        match delta.apply(&pair) {
+            Err(GraphError::DeltaRejected { op, reason }) => {
+                assert_eq!(op, 1);
+                assert!(reason.contains("gold link"), "reason: {reason}");
+            }
+            other => panic!("expected DeltaRejected, got {other:?}"),
+        }
+        // Atomicity: the partially-valid prefix must not have leaked.
+        assert_eq!(pair.source.num_entities(), 4);
+    }
+
+    #[test]
+    fn remove_entity_requires_no_triples() {
+        let pair = toy_pair();
+        let delta = KgDelta::new(vec![DeltaOp::RemoveEntity {
+            side: Side::Target,
+            name: "t1".into(),
+        }]);
+        let err = delta.apply(&pair).unwrap_err();
+        assert!(err.to_string().contains("triple"), "got: {err}");
+    }
+
+    #[test]
+    fn ops_round_trip_through_json() {
+        let delta = KgDelta::new(vec![
+            DeltaOp::AddTriple {
+                side: Side::Target,
+                head: "a".into(),
+                relation: "r".into(),
+                tail: "b".into(),
+                at: None,
+            },
+            DeltaOp::RemoveLink {
+                source: "x".into(),
+                target: "y".into(),
+            },
+        ]);
+        let text = serde_json::to_string(&delta).unwrap();
+        let back: KgDelta = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, delta);
+    }
+
+    #[test]
+    fn omitted_positions_parse_as_none() {
+        let text = r#"{"ops":[{"AddEntity":{"side":"Source","name":"e9"}}]}"#;
+        let delta: KgDelta = serde_json::from_str(text).unwrap();
+        assert_eq!(
+            delta.ops,
+            vec![DeltaOp::AddEntity {
+                side: Side::Source,
+                name: "e9".into(),
+                at: None,
+            }]
+        );
+    }
+}

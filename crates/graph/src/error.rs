@@ -28,6 +28,14 @@ pub enum GraphError {
         /// What was provided.
         got: usize,
     },
+    /// A delta operation failed validation against the current `KgPair`.
+    /// Nothing is mutated when this is returned — application is atomic.
+    DeltaRejected {
+        /// 0-based index of the offending operation within the delta.
+        op: usize,
+        /// Why the operation cannot be applied.
+        reason: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -42,6 +50,9 @@ impl fmt::Display for GraphError {
             GraphError::InvalidAlignment(msg) => write!(f, "invalid alignment: {msg}"),
             GraphError::Dimension { expected, got } => {
                 write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            GraphError::DeltaRejected { op, reason } => {
+                write!(f, "delta op {op} rejected: {reason}")
             }
         }
     }

@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A bijection between strings and dense indices `0..len`.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Interner {
     names: Vec<String>,
     index: HashMap<String, u32>,
@@ -60,6 +60,45 @@ impl Interner {
     /// Whether the interner is empty.
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()
+    }
+
+    /// Insert a fresh name at position `pos`, shifting every id `>= pos`
+    /// up by one. The caller must renumber any external references.
+    ///
+    /// # Panics
+    /// Panics if `name` is already interned or `pos > len` — delta
+    /// validation happens before layout mutation.
+    pub(crate) fn insert_at(&mut self, pos: usize, name: &str) {
+        assert!(
+            !self.index.contains_key(name),
+            "insert_at: name already interned"
+        );
+        assert!(pos <= self.names.len(), "insert_at: position out of range");
+        for id in self.index.values_mut() {
+            if *id as usize >= pos {
+                *id += 1;
+            }
+        }
+        self.names.insert(pos, name.to_owned());
+        self.index.insert(name.to_owned(), pos as u32);
+    }
+
+    /// Remove the name at position `pos`, shifting every id `> pos` down
+    /// by one. Returns the removed name. The caller must renumber any
+    /// external references.
+    ///
+    /// # Panics
+    /// Panics if `pos >= len`.
+    pub(crate) fn remove_at(&mut self, pos: usize) -> String {
+        assert!(pos < self.names.len(), "remove_at: position out of range");
+        let name = self.names.remove(pos);
+        self.index.remove(&name);
+        for id in self.index.values_mut() {
+            if *id as usize > pos {
+                *id -= 1;
+            }
+        }
+        name
     }
 
     /// Iterate over `(id, name)` pairs in id order.

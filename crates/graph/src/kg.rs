@@ -24,7 +24,7 @@ use std::collections::HashSet;
 /// assert_eq!(kg.in_degree(france), 2);
 /// assert_eq!(kg.neighbors(france).len(), 2);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct KnowledgeGraph {
     entities: Interner,
     relations: Interner,
@@ -191,6 +191,129 @@ impl KnowledgeGraph {
     /// Iterate over all relation ids.
     pub fn relation_ids(&self) -> impl Iterator<Item = RelationId> {
         (0..self.num_relations() as u32).map(RelationId::new)
+    }
+
+    /// Insert a fresh entity at id `pos`, shifting every entity id `>= pos`
+    /// up by one (triples included). Used by the delta machinery so that a
+    /// removal can be inverted back to the original id layout.
+    ///
+    /// # Panics
+    /// Panics if the name is already interned or `pos > num_entities()` —
+    /// delta validation rejects such operations before mutating.
+    pub(crate) fn insert_entity_at(&mut self, pos: usize, name: &str) {
+        self.entities.insert_at(pos, name);
+        self.out_edges.insert(pos, Vec::new());
+        self.in_edges.insert(pos, Vec::new());
+        for t in &mut self.triples {
+            if t.head.index() >= pos {
+                t.head = EntityId::new(t.head.0 + 1);
+            }
+            if t.tail.index() >= pos {
+                t.tail = EntityId::new(t.tail.0 + 1);
+            }
+        }
+    }
+
+    /// Remove the entity at id `pos`, shifting every entity id `> pos` down
+    /// by one. Returns the removed name.
+    ///
+    /// # Panics
+    /// Panics if `pos` is out of range or the entity still participates in
+    /// a triple — the caller must validate first.
+    pub(crate) fn remove_entity_at(&mut self, pos: usize) -> String {
+        assert!(
+            self.out_edges[pos].is_empty() && self.in_edges[pos].is_empty(),
+            "remove_entity_at: entity still referenced by triples"
+        );
+        let name = self.entities.remove_at(pos);
+        self.out_edges.remove(pos);
+        self.in_edges.remove(pos);
+        for t in &mut self.triples {
+            if t.head.index() > pos {
+                t.head = EntityId::new(t.head.0 - 1);
+            }
+            if t.tail.index() > pos {
+                t.tail = EntityId::new(t.tail.0 - 1);
+            }
+        }
+        name
+    }
+
+    /// Insert a fresh relation at id `pos`, shifting every relation id
+    /// `>= pos` up by one (triples included).
+    pub(crate) fn insert_relation_at(&mut self, pos: usize, name: &str) {
+        self.relations.insert_at(pos, name);
+        for t in &mut self.triples {
+            if t.relation.index() >= pos {
+                t.relation = RelationId::new(t.relation.0 + 1);
+            }
+        }
+    }
+
+    /// Remove the relation at id `pos`, shifting every relation id `> pos`
+    /// down by one. Returns the removed name.
+    ///
+    /// # Panics
+    /// Panics if any triple still uses the relation — validate first.
+    pub(crate) fn remove_relation_at(&mut self, pos: usize) -> String {
+        assert!(
+            !self.triples.iter().any(|t| t.relation.index() == pos),
+            "remove_relation_at: relation still referenced by triples"
+        );
+        let name = self.relations.remove_at(pos);
+        for t in &mut self.triples {
+            if t.relation.index() > pos {
+                t.relation = RelationId::new(t.relation.0 - 1);
+            }
+        }
+        name
+    }
+
+    /// Insert `triple` at position `pos` in the triple list, renumbering
+    /// the per-entity edge indexes so the layout is identical to having
+    /// built the final triple list with [`KnowledgeGraph::add_triple`]
+    /// from scratch (edge lists stay sorted ascending).
+    pub(crate) fn insert_triple_at(&mut self, pos: usize, triple: Triple) {
+        assert!(pos <= self.triples.len(), "insert_triple_at: out of range");
+        assert!(
+            triple.head.index() < self.num_entities()
+                && triple.tail.index() < self.num_entities()
+                && triple.relation.index() < self.num_relations(),
+            "insert_triple_at: unknown id"
+        );
+        for list in self.out_edges.iter_mut().chain(self.in_edges.iter_mut()) {
+            for idx in list.iter_mut() {
+                if *idx as usize >= pos {
+                    *idx += 1;
+                }
+            }
+        }
+        let p = pos as u32;
+        let out = &mut self.out_edges[triple.head.index()];
+        let at = out.partition_point(|&i| i < p);
+        out.insert(at, p);
+        let inn = &mut self.in_edges[triple.tail.index()];
+        let at = inn.partition_point(|&i| i < p);
+        inn.insert(at, p);
+        self.triples.insert(pos, triple);
+    }
+
+    /// Remove the triple at position `pos`, renumbering edge indexes.
+    /// Returns the removed triple.
+    pub(crate) fn remove_triple_at(&mut self, pos: usize) -> Triple {
+        assert!(pos < self.triples.len(), "remove_triple_at: out of range");
+        let triple = self.triples.remove(pos);
+        let p = pos as u32;
+        self.out_edges[triple.head.index()].retain(|&i| i != p);
+        self.in_edges[triple.tail.index()].retain(|&i| i != p);
+        for list in self.out_edges.iter_mut().chain(self.in_edges.iter_mut()) {
+            for idx in list.iter_mut() {
+                if *idx > p {
+                    *idx -= 1;
+                }
+            }
+        }
+        triple
     }
 
     /// Relation *functionality* statistics used by the GCN-Align adjacency

@@ -27,6 +27,7 @@
 pub mod adjacency;
 pub mod attributes;
 pub mod csr;
+pub mod delta;
 pub mod error;
 pub mod ids;
 pub mod interner;
@@ -40,6 +41,7 @@ pub mod walks;
 pub use adjacency::{build_adjacency, AdjacencyKind};
 pub use attributes::AttributeTable;
 pub use csr::CsrMatrix;
+pub use delta::{AppliedDelta, DeltaOp, KgDelta, LinkSplit, Side};
 pub use error::GraphError;
 pub use ids::{EntityId, RelationId};
 pub use interner::Interner;

@@ -13,7 +13,7 @@ use std::collections::HashSet;
 /// The paper's task definition (§III): the reference links
 /// `{(u, v) | u ∈ E1, v ∈ E2, u ↔ v}`. Both sides must be duplicate-free so
 /// that the alignment is a partial bijection.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Alignment {
     pairs: Vec<(EntityId, EntityId)>,
 }
@@ -57,13 +57,19 @@ impl Alignment {
     pub fn iter(&self) -> impl Iterator<Item = &(EntityId, EntityId)> {
         self.pairs.iter()
     }
+
+    /// Mutable access to the raw pair list, for the delta machinery.
+    /// Callers are responsible for keeping the alignment one-to-one.
+    pub(crate) fn pairs_mut(&mut self) -> &mut Vec<(EntityId, EntityId)> {
+        &mut self.pairs
+    }
 }
 
 /// A train/test split of gold links into *seed* alignment (available to the
 /// aligner) and *test* alignment (what the aligner is evaluated on).
 ///
 /// The paper uses 30% of the gold standard as seeds (§VII-A).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SeedSplit {
     seed: Vec<(EntityId, EntityId)>,
     test: Vec<(EntityId, EntityId)>,
@@ -100,11 +106,21 @@ impl SeedSplit {
     pub fn test(&self) -> &[(EntityId, EntityId)] {
         &self.test
     }
+
+    /// Mutable access to the seed list, for the delta machinery.
+    pub(crate) fn seed_mut(&mut self) -> &mut Vec<(EntityId, EntityId)> {
+        &mut self.seed
+    }
+
+    /// Mutable access to the test list, for the delta machinery.
+    pub(crate) fn test_mut(&mut self) -> &mut Vec<(EntityId, EntityId)> {
+        &mut self.test
+    }
 }
 
 /// An entity-alignment problem instance: source KG `G1`, target KG `G2`,
 /// and the gold alignment with its seed/test split.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KgPair {
     /// Source knowledge graph `G1`.
     pub source: KnowledgeGraph,

@@ -1,0 +1,299 @@
+//! Property test: applying a [`KgDelta`] and then its inverse restores the
+//! original [`KgPair`] **byte-for-byte** — interner id assignment, triple
+//! order, per-entity edge-index layout, alignment and seed/test split order,
+//! and the derived CSR adjacency (row pointers, column indices and value
+//! bits) all included.
+
+use ceaff_graph::delta::{DeltaOp, KgDelta, LinkSplit, Side};
+use ceaff_graph::{
+    build_adjacency, AdjacencyKind, Alignment, CsrMatrix, EntityId, KgPair, KnowledgeGraph,
+    SeedSplit,
+};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A deterministic random alignment task: two graphs with a few triples and
+/// a partial gold alignment split into seeds and test pairs.
+fn random_pair(rng: &mut ChaCha8Rng) -> KgPair {
+    let n_src = rng.gen_range(4..12);
+    let n_tgt = rng.gen_range(4..12);
+    let mut src = KnowledgeGraph::new();
+    let mut tgt = KnowledgeGraph::new();
+    for i in 0..n_src {
+        src.add_entity(&format!("s{i}"));
+    }
+    for i in 0..n_tgt {
+        tgt.add_entity(&format!("t{i}"));
+    }
+    for side in [0, 1] {
+        let (kg, n) = if side == 0 {
+            (&mut src, n_src)
+        } else {
+            (&mut tgt, n_tgt)
+        };
+        let prefix = if side == 0 { "s" } else { "t" };
+        let triples = rng.gen_range(0..2 * n);
+        for _ in 0..triples {
+            let h = rng.gen_range(0..n);
+            let t = rng.gen_range(0..n);
+            let r = rng.gen_range(0..3);
+            kg.add_fact(
+                &format!("{prefix}{h}"),
+                &format!("r{r}"),
+                &format!("{prefix}{t}"),
+            );
+        }
+    }
+    let linked = rng.gen_range(0..n_src.min(n_tgt));
+    let pairs: Vec<_> = (0..linked)
+        .map(|i| (EntityId::new(i as u32), EntityId::new(i as u32)))
+        .collect();
+    let n_seed = if linked == 0 {
+        0
+    } else {
+        rng.gen_range(0..=linked)
+    };
+    let alignment = Alignment::new(pairs.clone()).unwrap();
+    let split = SeedSplit::from_parts(pairs[..n_seed].to_vec(), pairs[n_seed..].to_vec());
+    KgPair {
+        source: src,
+        target: tgt,
+        alignment,
+        split,
+    }
+}
+
+fn pick_side(rng: &mut ChaCha8Rng) -> Side {
+    if rng.gen_bool(0.5) {
+        Side::Source
+    } else {
+        Side::Target
+    }
+}
+
+fn kg_of(pair: &KgPair, side: Side) -> &KnowledgeGraph {
+    match side {
+        Side::Source => &pair.source,
+        Side::Target => &pair.target,
+    }
+}
+
+fn entity_name(kg: &KnowledgeGraph, idx: usize) -> String {
+    kg.entities().resolve(idx as u32).unwrap().to_owned()
+}
+
+/// Sample one operation that is valid against `pair`. Falls back to
+/// `AddEntity` (always valid with a fresh name) when the rolled kind has no
+/// valid instance.
+fn random_valid_op(pair: &KgPair, rng: &mut ChaCha8Rng, fresh: &mut u32) -> DeltaOp {
+    for _ in 0..16 {
+        match rng.gen_range(0..8) {
+            0 => {
+                // AddTriple between random existing entities; the relation
+                // may be fresh, in which case AddRelation must come first —
+                // so only use existing relations here.
+                let side = pick_side(rng);
+                let kg = kg_of(pair, side);
+                if kg.num_entities() == 0 || kg.num_relations() == 0 {
+                    continue;
+                }
+                let h = entity_name(kg, rng.gen_range(0..kg.num_entities()));
+                let t = entity_name(kg, rng.gen_range(0..kg.num_entities()));
+                let r = kg
+                    .relations()
+                    .resolve(rng.gen_range(0..kg.num_relations()) as u32)
+                    .unwrap()
+                    .to_owned();
+                return DeltaOp::AddTriple {
+                    side,
+                    head: h,
+                    relation: r,
+                    tail: t,
+                    at: None,
+                };
+            }
+            1 => {
+                let side = pick_side(rng);
+                let kg = kg_of(pair, side);
+                if kg.num_triples() == 0 {
+                    continue;
+                }
+                let triple = kg.triples()[rng.gen_range(0..kg.num_triples())];
+                return DeltaOp::RemoveTriple {
+                    side,
+                    head: kg.entity_name(triple.head).unwrap().to_owned(),
+                    relation: kg.relation_name(triple.relation).unwrap().to_owned(),
+                    tail: kg.entity_name(triple.tail).unwrap().to_owned(),
+                    at: None,
+                };
+            }
+            2 => {
+                // RemoveEntity: needs an unlinked, triple-free entity.
+                let side = pick_side(rng);
+                let kg = kg_of(pair, side);
+                let free: Vec<_> = (0..kg.num_entities())
+                    .filter(|&i| {
+                        let id = EntityId::new(i as u32);
+                        kg.degree(id) == 0
+                            && !pair.alignment.iter().any(|&(u, v)| match side {
+                                Side::Source => u == id,
+                                Side::Target => v == id,
+                            })
+                    })
+                    .collect();
+                if free.is_empty() {
+                    continue;
+                }
+                let name = entity_name(kg, free[rng.gen_range(0..free.len())]);
+                return DeltaOp::RemoveEntity { side, name };
+            }
+            3 => {
+                let side = pick_side(rng);
+                *fresh += 1;
+                return DeltaOp::AddRelation {
+                    side,
+                    name: format!("fresh rel {fresh}"),
+                    at: None,
+                };
+            }
+            4 => {
+                // RemoveRelation: needs a relation with no triples.
+                let side = pick_side(rng);
+                let kg = kg_of(pair, side);
+                let unused: Vec<_> = (0..kg.num_relations())
+                    .filter(|&r| !kg.triples().iter().any(|t| t.relation.index() == r))
+                    .collect();
+                if unused.is_empty() {
+                    continue;
+                }
+                let name = kg
+                    .relations()
+                    .resolve(unused[rng.gen_range(0..unused.len())] as u32)
+                    .unwrap()
+                    .to_owned();
+                return DeltaOp::RemoveRelation { side, name };
+            }
+            5 => {
+                // AddLink between unaligned entities.
+                let src_free: Vec<_> = (0..pair.source.num_entities())
+                    .filter(|&i| {
+                        !pair
+                            .alignment
+                            .iter()
+                            .any(|&(u, _)| u == EntityId::new(i as u32))
+                    })
+                    .collect();
+                let tgt_free: Vec<_> = (0..pair.target.num_entities())
+                    .filter(|&i| {
+                        !pair
+                            .alignment
+                            .iter()
+                            .any(|&(_, v)| v == EntityId::new(i as u32))
+                    })
+                    .collect();
+                if src_free.is_empty() || tgt_free.is_empty() {
+                    continue;
+                }
+                let split = match rng.gen_range(0..3) {
+                    0 => Some(LinkSplit::Seed),
+                    1 => Some(LinkSplit::Test),
+                    _ => None,
+                };
+                return DeltaOp::AddLink {
+                    source: entity_name(&pair.source, src_free[rng.gen_range(0..src_free.len())]),
+                    target: entity_name(&pair.target, tgt_free[rng.gen_range(0..tgt_free.len())]),
+                    split,
+                    alignment_at: None,
+                    split_at: None,
+                };
+            }
+            6 => {
+                if pair.alignment.is_empty() {
+                    continue;
+                }
+                let &(u, v) = pair
+                    .alignment
+                    .pairs()
+                    .get(rng.gen_range(0..pair.alignment.len()))
+                    .unwrap();
+                return DeltaOp::RemoveLink {
+                    source: pair.source.entity_name(u).unwrap().to_owned(),
+                    target: pair.target.entity_name(v).unwrap().to_owned(),
+                };
+            }
+            _ => break,
+        }
+    }
+    *fresh += 1;
+    DeltaOp::AddEntity {
+        side: pick_side(rng),
+        name: format!("fresh entity {fresh}"),
+        at: None,
+    }
+}
+
+/// Bitwise comparison of two CSR matrices (dimensions, pointers, column
+/// indices, and the exact value bits).
+fn assert_csr_bitwise_eq(a: &CsrMatrix, b: &CsrMatrix) {
+    assert_eq!(a.rows(), b.rows());
+    assert_eq!(a.cols(), b.cols());
+    assert_eq!(a.nnz(), b.nnz());
+    let cells = |m: &CsrMatrix| -> Vec<(usize, usize, u32)> {
+        m.iter().map(|(r, c, v)| (r, c, v.to_bits())).collect()
+    };
+    assert_eq!(cells(a), cells(b));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// delta ∘ inverse = identity, byte-for-byte, including the derived
+    /// CSR adjacency layout of both graphs.
+    #[test]
+    fn delta_then_inverse_restores_pair(seed in 0u64..1_000_000, n_ops in 1usize..24) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let original = random_pair(&mut rng);
+
+        // Build a valid op sequence by evolving a scratch copy op-by-op.
+        let mut scratch = original.clone();
+        let mut ops = Vec::with_capacity(n_ops);
+        let mut fresh = 0u32;
+        for _ in 0..n_ops {
+            let op = random_valid_op(&scratch, &mut rng, &mut fresh);
+            scratch = KgDelta::new(vec![op.clone()])
+                .apply(&scratch)
+                .expect("sampled op is valid")
+                .pair;
+            ops.push(op);
+        }
+
+        // The batched delta must reproduce the op-by-op evolution…
+        let delta = KgDelta::new(ops);
+        let applied = delta.apply(&original).expect("batched delta applies");
+        prop_assert_eq!(&applied.pair, &scratch);
+
+        // …and its inverse must restore the original pair exactly.
+        let restored = applied.inverse.apply(&applied.pair).expect("inverse applies");
+        prop_assert_eq!(&restored.pair, &original);
+
+        // Byte-level check on the derived sparse adjacency: identical
+        // structure AND identical f32 bit patterns.
+        for kind in [AdjacencyKind::SelfLoopNormalized, AdjacencyKind::Functionality] {
+            assert_csr_bitwise_eq(
+                &build_adjacency(&restored.pair.source, kind),
+                &build_adjacency(&original.source, kind),
+            );
+            assert_csr_bitwise_eq(
+                &build_adjacency(&restored.pair.target, kind),
+                &build_adjacency(&original.target, kind),
+            );
+        }
+
+        // And the serialized forms agree byte-for-byte (interner maps are
+        // serialized through their ordered name vectors).
+        let a = serde_json::to_string(&restored.pair).expect("serialize restored");
+        let b = serde_json::to_string(&original).expect("serialize original");
+        prop_assert_eq!(a, b);
+    }
+}

@@ -47,7 +47,7 @@ pub use admission::{AdmissionQueue, Admit};
 pub use chaos::{ChaosConfig, ChaosKind};
 pub use client::{Client, ClientConfig, ClientError, HttpResult};
 pub use server::{DrainHandle, Server, ServerConfig, ServerCounters};
-pub use state::{LoadOptions, WarmState};
+pub use state::{LoadOptions, ServeCore, WarmState};
 
 /// Server-layer failures (distinct from [`ceaff_core::CeaffError`],
 /// which covers the pipeline itself).

@@ -555,6 +555,8 @@ fn dispatch(request: &Request, request_id: u64, shared: &Shared, budget: &ExecBu
         ("GET", "/topk") => topk_response(request, shared),
         ("POST", "/align") => align_response(request, request_id, shared, budget),
         ("GET", "/align") => Response::error(405, "method_not_allowed", "use POST /align"),
+        ("POST", "/delta") => delta_response(request, shared, budget),
+        ("GET", "/delta") => Response::error(405, "method_not_allowed", "use POST /delta"),
         _ => Response::error(404, "not_found", "unknown endpoint"),
     }
 }
@@ -566,7 +568,8 @@ fn status_response(shared: &Shared) -> Response {
         .into_iter()
         .map(|(name, total)| (name.to_owned(), junsigned(total)))
         .collect();
-    let body = Value::Object(vec![
+    let core = shared.state.snapshot();
+    let mut fields = vec![
         (
             "uptime_secs".to_owned(),
             jfloat(shared.started.elapsed().as_secs_f64()),
@@ -580,16 +583,22 @@ fn status_response(shared: &Shared) -> Response {
             junsigned(inflight(shared).len() as u64),
         ),
         ("counters".to_owned(), Value::Object(counters)),
-        (
-            "sources".to_owned(),
-            junsigned(shared.state.fused.sources() as u64),
-        ),
-        (
-            "targets".to_owned(),
-            junsigned(shared.state.fused.targets() as u64),
-        ),
-    ]);
-    Response::json(200, serde_json::to_string(&body).expect("status json"))
+        ("sources".to_owned(), junsigned(core.fused.sources() as u64)),
+        ("targets".to_owned(), junsigned(core.fused.targets() as u64)),
+    ];
+    if let Some((step, fingerprint)) = core.incremental {
+        fields.push((
+            "incremental".to_owned(),
+            Value::Object(vec![
+                ("step".to_owned(), junsigned(step as u64)),
+                ("fingerprint".to_owned(), junsigned(fingerprint as u64)),
+            ]),
+        ));
+    }
+    Response::json(
+        200,
+        serde_json::to_string(&Value::Object(fields)).expect("status json"),
+    )
 }
 
 fn topk_response(request: &Request, shared: &Shared) -> Response {
@@ -601,14 +610,15 @@ fn topk_response(request: &Request, shared: &Shared) -> Response {
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(10)
         .clamp(1, 1000);
-    let Some(row) = shared.state.source_row(entity) else {
+    let core = shared.state.snapshot();
+    let Some(row) = core.source_row(entity) else {
         return Response::error(
             404,
             "unknown_entity",
             &format!("no source entity '{entity}'"),
         );
     };
-    let matches = shared.state.topk(row, k);
+    let matches = core.topk(row, k);
     // Finiteness guard: an injected NaN must become a typed error, never
     // a corrupt JSON body.
     let corrupt = ceaff_faultinject::nan_point("server/scores");
@@ -690,8 +700,12 @@ fn align_response(
         }
     }
 
+    // One snapshot for the whole request: the decision, its scores, and
+    // the name tables all come from the same state even if a delta lands
+    // mid-request.
+    let core = shared.state.snapshot();
     let telemetry = shared.telemetry.child();
-    let decision = match shared.state.decide(matcher, budget, &telemetry) {
+    let decision = match core.decide(matcher, budget, &telemetry) {
         Ok(decision) => decision,
         Err(CeaffError::BudgetExceeded {
             stage,
@@ -718,7 +732,7 @@ fn align_response(
         .matching
         .pairs()
         .iter()
-        .map(|&(i, j)| (i, j, shared.state.fused.get(i, j)))
+        .map(|&(i, j)| (i, j, core.fused.get(i, j)))
         .collect();
     if corrupt {
         if let Some(first) = scored.first_mut() {
@@ -771,8 +785,8 @@ fn align_response(
                     .iter()
                     .map(|&(i, j, score)| {
                         Value::Array(vec![
-                            Value::String(shared.state.source_names[i].clone()),
-                            Value::String(shared.state.target_names[j].clone()),
+                            Value::String(core.source_names[i].clone()),
+                            Value::String(core.target_names[j].clone()),
                             jfloat(score as f64),
                         ])
                     })
@@ -784,6 +798,88 @@ fn align_response(
         200,
         serde_json::to_string(&Value::Object(fields)).expect("align json"),
     )
+}
+
+/// `POST /delta` — apply one edit batch to the warm incremental state
+/// and report what it changed. Body: the JSON of a
+/// [`ceaff_graph::KgDelta`] (the `delta` field of a `deltas.jsonl`
+/// line). Rejected edits (unknown entity, duplicate name, …) answer 400
+/// and leave the state untouched; a server loaded without
+/// `--incremental` answers 409.
+fn delta_response(request: &Request, shared: &Shared, budget: &ExecBudget) -> Response {
+    if !shared.state.is_incremental() {
+        return Response::error(
+            409,
+            "not_incremental",
+            "this server was loaded without --incremental; its warm state is immutable",
+        );
+    }
+    if request.body.is_empty() {
+        return Response::error(400, "bad_request", "missing KgDelta JSON body");
+    }
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return Response::error(400, "bad_request", "body is not UTF-8"),
+    };
+    let delta: ceaff_graph::KgDelta = match serde_json::from_str(text) {
+        Ok(d) => d,
+        Err(e) => return Response::error(400, "bad_request", &format!("bad KgDelta body: {e}")),
+    };
+    let diff = match shared.state.apply_delta(&delta, budget) {
+        Ok(diff) => diff,
+        Err(CeaffError::Delta(msg)) => return Response::error(400, "rejected_delta", &msg),
+        Err(CeaffError::BudgetExceeded {
+            stage,
+            limit_bytes,
+            peak_bytes,
+        }) => {
+            return Response::error(
+                500,
+                "budget_exceeded",
+                &format!("stage {stage} peaked at {peak_bytes} bytes (limit {limit_bytes})"),
+            )
+        }
+        Err(e) => return Response::error(500, "pipeline_error", &e.to_string()),
+    };
+    let jpairs = |pairs: &[(String, String)]| {
+        Value::Array(
+            pairs
+                .iter()
+                .map(|(s, t)| {
+                    Value::Array(vec![Value::String(s.clone()), Value::String(t.clone())])
+                })
+                .collect(),
+        )
+    };
+    let body = Value::Object(vec![
+        ("step".to_owned(), junsigned(diff.step as u64)),
+        ("fingerprint".to_owned(), junsigned(diff.fingerprint as u64)),
+        ("accuracy".to_owned(), jfloat(diff.accuracy)),
+        ("matched".to_owned(), junsigned(diff.matched as u64)),
+        ("quiet".to_owned(), Value::Bool(diff.is_quiet())),
+        (
+            "recompute_fraction".to_owned(),
+            jfloat(diff.recompute_fraction),
+        ),
+        ("added".to_owned(), jpairs(&diff.added)),
+        ("removed".to_owned(), jpairs(&diff.removed)),
+        (
+            "changed".to_owned(),
+            Value::Array(
+                diff.changed
+                    .iter()
+                    .map(|(s, old, new)| {
+                        Value::Array(vec![
+                            Value::String(s.clone()),
+                            Value::String(old.clone()),
+                            Value::String(new.clone()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    Response::json(200, serde_json::to_string(&body).expect("delta json"))
 }
 
 fn matcher_label(kind: MatcherKind) -> &'static str {

@@ -1,36 +1,151 @@
-//! The warm, immutable alignment state a server instance loads once and
-//! every request reads.
+//! The warm alignment state a server instance loads once and every
+//! request reads — plus the optional incremental engine behind
+//! `POST /delta` that advances it between snapshots.
 
 use crate::ServerError;
 use ceaff_core::{
-    run_decision_budgeted, CeaffConfig, CeaffError, DecisionOutput, EaInput, ExecBudget,
-    MatcherKind, Telemetry,
+    run_decision_budgeted, AlignmentDiff, CeaffConfig, CeaffError, DecisionOutput, DeltaState,
+    EaInput, ExecBudget, MatcherKind, Telemetry,
 };
 use ceaff_embed::{BilingualLexicon, LexiconEmbedder, SubwordEmbedder, WordEmbedder};
 use ceaff_graph::io::{self, LoadMode};
+use ceaff_graph::KgDelta;
 use ceaff_sim::SimStore;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::{Arc, Mutex, RwLock};
 
-/// Everything the serving path needs, computed once at startup and then
-/// only read: the fused similarity store over the test split, the
-/// matcher to answer `/align` with, and the entity-name tables backing
-/// `/topk`. Requests never mutate this state — a panicking, degraded, or
-/// cancelled request cannot poison it — which is also why repeated
-/// identical requests return byte-identical responses.
-pub struct WarmState {
+/// One immutable, internally-consistent snapshot of the servable state:
+/// the fused similarity store over the test split and the entity-name
+/// tables backing `/topk` and `/align`. Handlers take one snapshot per
+/// request ([`WarmState::snapshot`]) and never observe a half-applied
+/// delta; repeated identical requests against the same snapshot return
+/// byte-identical responses.
+pub struct ServeCore {
     /// Fused similarity over the test split (feature generation + fusion
     /// already applied).
     pub fused: SimStore,
-    /// Matcher `/align` runs (per request, under that request's budget).
-    pub matcher: MatcherKind,
     /// Row index → source entity name.
     pub source_names: Vec<String>,
     /// Column index → target entity name.
     pub target_names: Vec<String>,
+    /// `(step, fingerprint)` of the incremental state this snapshot was
+    /// cut from; `None` on a server without an incremental engine.
+    pub incremental: Option<(usize, u32)>,
     /// Source entity name → row index.
     source_index: HashMap<String, usize>,
+}
+
+impl ServeCore {
+    fn from_parts(
+        fused: SimStore,
+        source_names: Vec<String>,
+        target_names: Vec<String>,
+        incremental: Option<(usize, u32)>,
+    ) -> Self {
+        assert_eq!(fused.sources(), source_names.len(), "row/name mismatch");
+        assert_eq!(fused.targets(), target_names.len(), "col/name mismatch");
+        let source_index = source_names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (name.clone(), i))
+            .collect();
+        ServeCore {
+            fused,
+            source_names,
+            target_names,
+            incremental,
+            source_index,
+        }
+    }
+
+    /// Cut a snapshot from warm incremental state.
+    fn of_delta_state(state: &DeltaState) -> Self {
+        let pair = state.pair();
+        let source_names = pair
+            .test_sources()
+            .iter()
+            .map(|&e| pair.source.entity_name(e).expect("interned").to_owned())
+            .collect();
+        let target_names = pair
+            .test_targets()
+            .iter()
+            .map(|&e| pair.target.entity_name(e).expect("interned").to_owned())
+            .collect();
+        ServeCore::from_parts(
+            state.output().fused.clone(),
+            source_names,
+            target_names,
+            Some((state.step(), state.fingerprint())),
+        )
+    }
+
+    /// Row index of a source entity name.
+    pub fn source_row(&self, name: &str) -> Option<usize> {
+        self.source_index.get(name).copied()
+    }
+
+    /// Top-`k` targets for source row `i`, as `(target name, score)`
+    /// descending (ties by column index, matching the sparse store's
+    /// canonical row order).
+    pub fn topk(&self, i: usize, k: usize) -> Vec<(&str, f32)> {
+        let mut entries: Vec<(f32, usize)> = match &self.fused {
+            SimStore::Dense(m) => (0..m.targets()).map(|j| (m.get(i, j), j)).collect(),
+            SimStore::Sparse(sp) => {
+                let (cols, scores) = sp.row_entries(i);
+                scores
+                    .iter()
+                    .zip(cols)
+                    .map(|(&v, &j)| (v, j as usize))
+                    .collect()
+            }
+        };
+        entries.sort_unstable_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("similarity scores must not be NaN")
+                .then(a.1.cmp(&b.1))
+        });
+        entries.truncate(k);
+        entries
+            .into_iter()
+            .map(|(v, j)| (self.target_names[j].as_str(), v))
+            .collect()
+    }
+
+    /// Run one budgeted alignment decision over this snapshot (the
+    /// `/align` body). Read-only.
+    pub fn decide(
+        &self,
+        matcher: MatcherKind,
+        budget: &ExecBudget,
+        telemetry: &Telemetry,
+    ) -> Result<DecisionOutput, CeaffError> {
+        run_decision_budgeted(&self.fused, matcher, budget, telemetry)
+    }
+}
+
+/// The mutable half of an incremental server: warm [`DeltaState`] plus
+/// the embedders edits are materialised through. Lives behind its own
+/// mutex so an in-flight `POST /delta` never blocks readers — they keep
+/// serving the previous snapshot until the swap.
+struct DeltaEngine {
+    state: DeltaState,
+    base: SubwordEmbedder,
+    lexicon: Option<LexiconEmbedder>,
+}
+
+/// Everything the serving path needs: an atomically-swappable snapshot
+/// ([`ServeCore`]) that requests read, and — when the server was loaded
+/// with [`LoadOptions::incremental`] — the delta engine that `POST
+/// /delta` advances. A panicking, degraded, or cancelled request cannot
+/// poison either: requests read snapshots, and a failed delta leaves the
+/// engine untouched (deltas are atomic end to end).
+pub struct WarmState {
+    core: RwLock<Arc<ServeCore>>,
+    /// Matcher `/align` runs (per request, under that request's budget).
+    pub matcher: MatcherKind,
+    engine: Option<Mutex<DeltaEngine>>,
 }
 
 /// Options for [`WarmState::load_dir`], mirroring the CLI's `align`
@@ -53,6 +168,12 @@ pub struct LoadOptions {
     pub blocked_topk: Option<usize>,
     /// Skip malformed TSV lines instead of failing the load.
     pub lossy: bool,
+    /// `Some(layers)`: accept `POST /delta` edits, recomputing only the
+    /// dirty region of each feature store. Implies the training-free
+    /// propagation structural encoder with this many layers (the trained
+    /// GCN has no dirty region smaller than the whole KG). `None`: the
+    /// warm state is immutable and `/delta` answers 409.
+    pub incremental: Option<usize>,
 }
 
 impl Default for LoadOptions {
@@ -65,32 +186,30 @@ impl Default for LoadOptions {
             matcher: MatcherKind::StableMarriage,
             blocked_topk: None,
             lossy: false,
+            incremental: None,
         }
     }
 }
 
 impl WarmState {
     /// Wrap an already-fused store (the test-support constructor; the
-    /// binary path goes through [`WarmState::load_dir`]).
+    /// binary path goes through [`WarmState::load_dir`]). No incremental
+    /// engine: `/delta` answers 409.
     pub fn from_parts(
         fused: SimStore,
         matcher: MatcherKind,
         source_names: Vec<String>,
         target_names: Vec<String>,
     ) -> Self {
-        assert_eq!(fused.sources(), source_names.len(), "row/name mismatch");
-        assert_eq!(fused.targets(), target_names.len(), "col/name mismatch");
-        let source_index = source_names
-            .iter()
-            .enumerate()
-            .map(|(i, name)| (name.clone(), i))
-            .collect();
         WarmState {
-            fused,
+            core: RwLock::new(Arc::new(ServeCore::from_parts(
+                fused,
+                source_names,
+                target_names,
+                None,
+            ))),
             matcher,
-            source_names,
-            target_names,
-            source_index,
+            engine: None,
         }
     }
 
@@ -138,6 +257,23 @@ impl WarmState {
             cfg = cfg.with_blocking(k);
         }
 
+        if let Some(layers) = opts.incremental {
+            let cfg = cfg.with_propagation(layers);
+            let input =
+                EaInput::new(&pair, &base, target_embedder).with_telemetry(telemetry.child());
+            let state = DeltaState::new(&input, &cfg)?;
+            let core = ServeCore::of_delta_state(&state);
+            return Ok(WarmState {
+                core: RwLock::new(Arc::new(core)),
+                matcher: opts.matcher,
+                engine: Some(Mutex::new(DeltaEngine {
+                    state,
+                    base,
+                    lexicon: lexicon_embedder,
+                })),
+            });
+        }
+
         let input = EaInput::new(&pair, &base, target_embedder).with_telemetry(telemetry.child());
         let out = ceaff_core::try_run(&input, &cfg)?;
 
@@ -159,47 +295,50 @@ impl WarmState {
         ))
     }
 
-    /// Row index of a source entity name.
-    pub fn source_row(&self, name: &str) -> Option<usize> {
-        self.source_index.get(name).copied()
+    /// The current servable snapshot. Cheap (one `Arc` clone under a
+    /// read lock); handlers take exactly one per request so every read
+    /// within the request is consistent.
+    pub fn snapshot(&self) -> Arc<ServeCore> {
+        self.core.read().expect("core lock").clone()
     }
 
-    /// Top-`k` targets for source row `i`, as `(target name, score)`
-    /// descending (ties by column index, matching the sparse store's
-    /// canonical row order).
-    pub fn topk(&self, i: usize, k: usize) -> Vec<(&str, f32)> {
-        let mut entries: Vec<(f32, usize)> = match &self.fused {
-            SimStore::Dense(m) => (0..m.targets()).map(|j| (m.get(i, j), j)).collect(),
-            SimStore::Sparse(sp) => {
-                let (cols, scores) = sp.row_entries(i);
-                scores
-                    .iter()
-                    .zip(cols)
-                    .map(|(&v, &j)| (v, j as usize))
-                    .collect()
-            }
-        };
-        entries.sort_unstable_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .expect("similarity scores must not be NaN")
-                .then(a.1.cmp(&b.1))
-        });
-        entries.truncate(k);
-        entries
-            .into_iter()
-            .map(|(v, j)| (self.target_names[j].as_str(), v))
-            .collect()
+    /// Whether `POST /delta` is supported (the state was loaded with
+    /// [`LoadOptions::incremental`]).
+    pub fn is_incremental(&self) -> bool {
+        self.engine.is_some()
     }
 
-    /// Run one budgeted alignment decision over the warm store (the
-    /// `/align` body). Read-only on `self`.
-    pub fn decide(
+    /// Apply one edit batch to the warm incremental state, then publish a
+    /// fresh snapshot. Serialised across callers by the engine mutex;
+    /// readers keep the previous snapshot until the swap, so they never
+    /// block on an in-flight delta. On error the engine *and* the
+    /// snapshot are untouched.
+    ///
+    /// Panics if the state has no incremental engine — callers gate on
+    /// [`WarmState::is_incremental`].
+    pub fn apply_delta(
         &self,
-        matcher: MatcherKind,
+        delta: &KgDelta,
         budget: &ExecBudget,
-        telemetry: &Telemetry,
-    ) -> Result<DecisionOutput, CeaffError> {
-        run_decision_budgeted(&self.fused, matcher, budget, telemetry)
+    ) -> Result<AlignmentDiff, CeaffError> {
+        let engine = self
+            .engine
+            .as_ref()
+            .expect("apply_delta requires incremental mode");
+        let mut engine = engine.lock().expect("engine lock");
+        let DeltaEngine {
+            state,
+            base,
+            lexicon,
+        } = &mut *engine;
+        let target: &dyn WordEmbedder = match lexicon {
+            Some(l) => l,
+            None => base,
+        };
+        let diff = state.apply_budgeted(delta, base, target, budget)?;
+        let core = Arc::new(ServeCore::of_delta_state(state));
+        *self.core.write().expect("core lock") = core;
+        Ok(diff)
     }
 }
 
@@ -225,18 +364,18 @@ mod tests {
 
     #[test]
     fn topk_orders_by_score_then_column() {
-        let state = tiny_state();
-        let row = state.source_row("b").unwrap();
-        let top = state.topk(row, 2);
+        let core = tiny_state().snapshot();
+        let row = core.source_row("b").unwrap();
+        let top = core.topk(row, 2);
         assert_eq!(top[0], ("y", 0.9));
         assert_eq!(top[1], ("z", 0.3));
-        assert!(state.source_row("nope").is_none());
+        assert!(core.source_row("nope").is_none());
     }
 
     #[test]
     fn decide_is_exact_under_unlimited_budget() {
-        let state = tiny_state();
-        let out = state
+        let core = tiny_state().snapshot();
+        let out = core
             .decide(
                 MatcherKind::StableMarriage,
                 &ExecBudget::unlimited(),
@@ -246,5 +385,12 @@ mod tests {
         assert!(out.degradation.is_none());
         assert_eq!(out.matching.len(), 3);
         assert!((out.accuracy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_parts_state_is_not_incremental() {
+        let state = tiny_state();
+        assert!(!state.is_incremental());
+        assert_eq!(state.snapshot().incremental, None);
     }
 }

@@ -432,3 +432,99 @@ fn chaos_requests_fail_typed_or_degrade_and_state_stays_clean() {
     );
     clean_server.join();
 }
+
+#[test]
+fn delta_on_immutable_server_is_a_conflict() {
+    let (server, client) = start(ServerConfig::default());
+    let res = client.post("/delta", &[], br#"{"ops":[]}"#).unwrap();
+    assert_eq!(res.status, 409, "{}", res.body);
+    let parsed: Value = serde_json::from_str(&res.body).unwrap();
+    assert_eq!(parsed["error"].as_str(), Some("not_incremental"));
+    assert_eq!(client.get("/delta").unwrap().status, 405);
+    server.join();
+}
+
+/// The full incremental serving loop: load a generated benchmark with
+/// the delta engine on, post edits, and watch /status, /topk and /align
+/// serve the evolved KG — while a rejected edit leaves everything
+/// untouched.
+#[test]
+fn incremental_server_absorbs_deltas() {
+    use ceaff_datagen::{generate, GenConfig, NameChannel};
+    use ceaff_server::LoadOptions;
+
+    let dir = std::env::temp_dir().join(format!("ceaff-server-delta-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let ds = generate(&GenConfig {
+        aligned_entities: 40,
+        channel: NameChannel::Identical { typo_rate: 0.05 },
+        ..GenConfig::default()
+    });
+    ceaff_graph::io::save_pair_to_dir(&ds.pair, dir.to_str().unwrap()).expect("save pair");
+
+    let opts = LoadOptions {
+        dim: 16,
+        epochs: 5,
+        incremental: Some(2),
+        ..LoadOptions::default()
+    };
+    let state = ceaff_server::WarmState::load_dir(&dir, &opts, &Telemetry::disabled())
+        .expect("incremental warm-up");
+    assert!(state.is_incremental());
+    let server = Server::start(
+        Arc::new(state),
+        ServerConfig::default(),
+        Telemetry::disabled(),
+    )
+    .expect("server starts");
+    let client = Client::new(server.local_addr().to_string(), ClientConfig::default());
+
+    let status: Value = serde_json::from_str(&client.get("/status").unwrap().body).unwrap();
+    assert_eq!(status["incremental"]["step"].as_u64(), Some(0));
+    let sources_before = status["sources"].as_u64().unwrap();
+    let fp0 = status["incremental"]["fingerprint"].as_u64().unwrap();
+
+    // A fresh aligned test pair, wired into both graphs.
+    let body = r#"{"ops":[
+        {"AddEntity":{"side":"Source","name":"delta probe entity","at":null}},
+        {"AddEntity":{"side":"Target","name":"delta probe entity","at":null}},
+        {"AddLink":{"source":"delta probe entity","target":"delta probe entity",
+                    "split":"Test","alignment_at":null,"split_at":null}}
+    ]}"#;
+    let res = client.post("/delta", &[], body.as_bytes()).unwrap();
+    assert_eq!(res.status, 200, "{}", res.body);
+    let diff: Value = serde_json::from_str(&res.body).unwrap();
+    assert_eq!(diff["step"].as_u64(), Some(1));
+    assert!(diff["recompute_fraction"].as_f64().unwrap() < 0.5);
+
+    // The published snapshot now serves the evolved KG.
+    let status: Value = serde_json::from_str(&client.get("/status").unwrap().body).unwrap();
+    assert_eq!(status["incremental"]["step"].as_u64(), Some(1));
+    assert_ne!(status["incremental"]["fingerprint"].as_u64(), Some(fp0));
+    assert_eq!(status["sources"].as_u64(), Some(sources_before + 1));
+    let topk = client
+        .get("/topk?entity=delta%20probe%20entity&k=3")
+        .unwrap();
+    assert_eq!(topk.status, 200, "{}", topk.body);
+
+    // A rejected edit answers 400 and advances nothing.
+    let res = client
+        .post(
+            "/delta",
+            &[],
+            br#"{"ops":[{"RemoveEntity":{"side":"Source","name":"no such entity"}}]}"#,
+        )
+        .unwrap();
+    assert_eq!(res.status, 400, "{}", res.body);
+    let parsed: Value = serde_json::from_str(&res.body).unwrap();
+    assert_eq!(parsed["error"].as_str(), Some("rejected_delta"));
+    let status: Value = serde_json::from_str(&client.get("/status").unwrap().body).unwrap();
+    assert_eq!(status["incremental"]["step"].as_u64(), Some(1));
+
+    // /align still works over the evolved snapshot.
+    let align = client.post("/align", &[], b"").unwrap();
+    assert_eq!(align.status, 200, "{}", align.body);
+
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -122,6 +122,95 @@ impl CandidateSet {
         let hit = gold.iter().filter(|&&(i, j)| self.contains(i, j)).count();
         hit as f64 / gold.len() as f64
     }
+
+    /// Assemble a candidate set from per-row column lists (each ascending,
+    /// exactly as [`TargetIndex::candidate_row`] produces them). This is
+    /// the constructor the incremental path uses after patching only the
+    /// dirty rows; the layout is identical to [`build_candidates`] run on
+    /// the same rows.
+    pub fn from_rows(targets: usize, rows: Vec<Vec<u32>>) -> Self {
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        let mut cols = Vec::with_capacity(rows.iter().map(Vec::len).sum());
+        row_ptr.push(0);
+        for row in &rows {
+            debug_assert!(row.windows(2).all(|w| w[0] < w[1]), "row not ascending");
+            cols.extend_from_slice(row);
+            row_ptr.push(cols.len());
+        }
+        CandidateSet {
+            targets,
+            row_ptr,
+            cols,
+        }
+    }
+}
+
+/// An inverted index over target names, reusable across source rows.
+///
+/// [`build_candidates`] builds one per call; the incremental path keeps
+/// rebuilding it per delta (cheap, `O(targets · keys)`) and recomputes
+/// [`candidate_row`](TargetIndex::candidate_row) only for dirty rows —
+/// the per-row logic is exactly the one `build_candidates` uses, so a
+/// patched candidate set is bitwise-identical to a fresh one.
+#[derive(Debug, Clone)]
+pub struct TargetIndex {
+    index: HashMap<String, Vec<u32>>,
+    targets: usize,
+    cfg: BlockingConfig,
+}
+
+impl TargetIndex {
+    /// Index `targets` under `cfg`.
+    pub fn build<T: AsRef<str>>(targets: &[T], cfg: &BlockingConfig) -> Self {
+        assert!(
+            cfg.index_tokens || cfg.index_trigrams,
+            "blocking needs at least one key kind enabled"
+        );
+        let mut index: HashMap<String, Vec<u32>> = HashMap::new();
+        for (j, t) in targets.iter().enumerate() {
+            for key in keys_of(t.as_ref(), cfg) {
+                index.entry(key).or_default().push(j as u32);
+            }
+        }
+        Self {
+            index,
+            targets: targets.len(),
+            cfg: *cfg,
+        }
+    }
+
+    /// Number of indexed target columns.
+    pub fn targets(&self) -> usize {
+        self.targets
+    }
+
+    /// The candidate columns for one source name: targets sharing at least
+    /// `min_shared_keys` keys, ranked (most shared keys first, ties toward
+    /// the lower column), truncated to `k`, returned ascending.
+    ///
+    /// Deterministic for a given index regardless of thread count.
+    pub fn candidate_row(&self, source: &str, k: usize) -> Vec<u32> {
+        let mut shared: HashMap<u32, usize> = HashMap::new();
+        for key in keys_of(source, &self.cfg) {
+            if let Some(posting) = self.index.get(&key) {
+                for &j in posting {
+                    *shared.entry(j).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut ranked: Vec<(u32, usize)> = shared
+            .into_iter()
+            .filter(|&(_, count)| count >= self.cfg.min_shared_keys)
+            .collect();
+        // HashMap iteration order is arbitrary; the sort below makes the
+        // kept set deterministic: most shared keys first, ties toward the
+        // lower column.
+        ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        let mut cols: Vec<u32> = ranked.into_iter().map(|(j, _)| j).collect();
+        cols.sort_unstable();
+        cols
+    }
 }
 
 /// Build the candidate set for `sources × targets` under `cfg`, keeping
@@ -134,63 +223,22 @@ pub fn build_candidates<S: AsRef<str> + Sync, T: AsRef<str> + Sync>(
     cfg: &BlockingConfig,
     k: usize,
 ) -> CandidateSet {
-    assert!(
-        cfg.index_tokens || cfg.index_trigrams,
-        "blocking needs at least one key kind enabled"
-    );
     assert!(k > 0, "blocking needs k >= 1");
-    // Inverted index over target names.
-    let mut index: HashMap<String, Vec<u32>> = HashMap::new();
-    for (j, t) in targets.iter().enumerate() {
-        for key in keys_of(t.as_ref(), cfg) {
-            index.entry(key).or_default().push(j as u32);
-        }
-    }
-
+    let index = TargetIndex::build(targets, cfg);
     let n = sources.len();
-    let row_of = |i: usize| -> Vec<u32> {
-        let mut shared: HashMap<u32, usize> = HashMap::new();
-        for key in keys_of(sources[i].as_ref(), cfg) {
-            if let Some(posting) = index.get(&key) {
-                for &j in posting {
-                    *shared.entry(j).or_insert(0) += 1;
-                }
-            }
-        }
-        let mut ranked: Vec<(u32, usize)> = shared
-            .into_iter()
-            .filter(|&(_, count)| count >= cfg.min_shared_keys)
-            .collect();
-        // HashMap iteration order is arbitrary; the sort below makes the
-        // kept set deterministic: most shared keys first, ties toward the
-        // lower column.
-        ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        ranked.truncate(k);
-        let mut cols: Vec<u32> = ranked.into_iter().map(|(j, _)| j).collect();
-        cols.sort_unstable();
-        cols
-    };
+    let row_of = |i: usize| -> Vec<u32> { index.candidate_row(sources[i].as_ref(), k) };
     let rows: Vec<Vec<u32>> = if n < 64 {
         (0..n).map(row_of).collect()
     } else {
         ceaff_parallel::par_map(n, 16, row_of)
     };
-
-    let mut row_ptr = Vec::with_capacity(n + 1);
-    let mut cols = Vec::with_capacity(rows.iter().map(Vec::len).sum());
-    row_ptr.push(0);
-    for row in &rows {
-        cols.extend_from_slice(row);
-        row_ptr.push(cols.len());
-    }
-    CandidateSet {
-        targets: targets.len(),
-        row_ptr,
-        cols,
-    }
+    CandidateSet::from_rows(targets.len(), rows)
 }
 
-fn keys_of(name: &str, cfg: &BlockingConfig) -> Vec<String> {
+/// The blocking keys of one name under `cfg`: lowercase tokens and/or
+/// character trigrams, sorted and deduplicated. Public so the incremental
+/// path can tell which source rows share a key with an edited target name.
+pub fn keys_of(name: &str, cfg: &BlockingConfig) -> Vec<String> {
     let mut keys = Vec::new();
     for token in name.split(|c: char| !c.is_alphanumeric()) {
         if token.is_empty() {
@@ -411,6 +459,19 @@ mod tests {
         let eight = ceaff_parallel::with_threads(8, || build_candidates(&s, &t, &cfg, 5));
         assert_eq!(one, capped);
         assert_eq!(eight, capped);
+    }
+
+    #[test]
+    fn target_index_rows_match_build_candidates() {
+        let s = ["New York City", "Berlin", "Tokyo Tower", "york minster"];
+        let t = ["New York", "Berlin (city)", "Kyoto", "York"];
+        let cfg = BlockingConfig::default();
+        for k in [1, 3, 10] {
+            let cands = build_candidates(&s, &t, &cfg, k);
+            let index = TargetIndex::build(&t, &cfg);
+            let rows: Vec<Vec<u32>> = (0..s.len()).map(|i| index.candidate_row(s[i], k)).collect();
+            assert_eq!(CandidateSet::from_rows(t.len(), rows), cands, "k={k}");
+        }
     }
 
     #[test]

@@ -18,7 +18,8 @@ pub mod matrix;
 pub mod store;
 
 pub use blocking::{
-    blocked_string_similarity_matrix, build_candidates, BlockingConfig, BlockingStats, CandidateSet,
+    blocked_string_similarity_matrix, build_candidates, keys_of, BlockingConfig, BlockingStats,
+    CandidateSet, TargetIndex,
 };
 pub use cosine::{cosine, cosine_similarity_matrix};
 pub use csls::{csls_adjusted, csls_adjusted_sparse, csls_adjusted_store};

@@ -235,6 +235,66 @@ impl SparseTopK {
         Self::from_sorted_rows(candidates.targets(), k, rows)
     }
 
+    /// Row `i`'s stored entries as an owned vector, in canonical order —
+    /// the starting point for row patching.
+    pub fn row_vec(&self, i: usize) -> Vec<(u32, f32)> {
+        let (cols, scores) = self.row_entries(i);
+        cols.iter().copied().zip(scores.iter().copied()).collect()
+    }
+
+    /// Rebuild the store for an edited task: rows are permuted / added /
+    /// dropped through `row_map`, surviving columns renumbered through
+    /// `col_map`, and dirty rows replaced wholesale.
+    ///
+    /// * `row_map[old_row] = Some(new_row)` keeps a row (at its new
+    ///   index), `None` drops it.
+    /// * `col_map[old_col] = Some(new_col)` renumbers a column. It must be
+    ///   strictly monotone over its `Some` entries — then both the
+    ///   ascending candidate order and the canonical (score desc, col asc)
+    ///   tie order survive the remap, so clean rows keep their exact
+    ///   layout. A clean row referencing a dropped column panics: the
+    ///   caller's dirty-row set was an under-approximation.
+    /// * `dirty[new_row] = Some(entries)` replaces that row with freshly
+    ///   scored entries (any order; they are canonicalised and truncated
+    ///   to `k` exactly like [`SparseTopK::from_rows`] would).
+    ///
+    /// The result is bitwise-identical to building the store from scratch
+    /// on the edited task, provided every row whose fresh content differs
+    /// is listed in `dirty`.
+    pub fn patched(
+        &self,
+        new_targets: usize,
+        row_map: &[Option<usize>],
+        col_map: &[Option<u32>],
+        dirty: &[Option<Vec<(u32, f32)>>],
+    ) -> Self {
+        assert_eq!(row_map.len(), self.sources(), "row_map length mismatch");
+        assert_eq!(col_map.len(), self.targets, "col_map length mismatch");
+        let mut rows: Vec<Option<Vec<(u32, f32)>>> = dirty.to_vec();
+        for (old, new) in row_map.iter().enumerate() {
+            let Some(new) = *new else { continue };
+            if rows[new].is_some() {
+                continue; // dirty replacement wins
+            }
+            let remapped = self
+                .row_vec(old)
+                .into_iter()
+                .map(|(c, v)| {
+                    let c = col_map[c as usize]
+                        .unwrap_or_else(|| panic!("clean row {old} references dropped column {c}"));
+                    (c, v)
+                })
+                .collect();
+            rows[new] = Some(remapped);
+        }
+        let rows: Vec<Vec<(u32, f32)>> = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.unwrap_or_else(|| panic!("new row {i} neither kept nor dirty")))
+            .collect();
+        Self::from_rows(new_targets, self.k, rows)
+    }
+
     /// Register the CSR buffers with the tensor byte ledger.
     fn register(&mut self) {
         debug_assert_eq!(self.tracked_bytes, 0);
@@ -701,6 +761,44 @@ mod tests {
         let (cols, scores) = neg.row_entries(0);
         assert_eq!(cols, &[2, 1, 0]);
         assert_eq!(scores, &[-0.1, -0.5, -0.9]);
+    }
+
+    #[test]
+    fn patched_rebuild_matches_from_scratch() {
+        // Base store over 4 targets, 3 rows.
+        let base = SparseTopK::from_rows(
+            4,
+            3,
+            vec![
+                vec![(0, 0.9), (2, 0.4)],
+                vec![(1, 0.8), (3, 0.3)],
+                vec![(2, 0.7)],
+            ],
+        );
+        // Edit: drop row 1 and column 1 (only row 1 stored it — that row
+        // is gone), append a fresh dirty row. Columns 2, 3 shift to 1, 2.
+        let row_map = [Some(0), None, Some(1)];
+        let col_map = [Some(0), None, Some(1), Some(2)];
+        let dirty = [None, None, Some(vec![(2, 0.6), (0, 0.95)])];
+        let patched = base.patched(3, &row_map, &col_map, &dirty);
+        let scratch = SparseTopK::from_rows(
+            3,
+            3,
+            vec![
+                vec![(0, 0.9), (1, 0.4)],
+                vec![(1, 0.7)],
+                vec![(0, 0.95), (2, 0.6)],
+            ],
+        );
+        assert_eq!(patched, scratch);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropped column")]
+    fn patched_rejects_underapproximated_dirty_sets() {
+        let base = SparseTopK::from_rows(2, 2, vec![vec![(0, 0.5), (1, 0.4)]]);
+        // Column 1 is dropped but row 0 (which stores it) is kept clean.
+        let _ = base.patched(1, &[Some(0)], &[Some(0), None], &[None]);
     }
 
     #[test]
