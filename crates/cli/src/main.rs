@@ -72,6 +72,18 @@ USAGE:
                           /status serve the evolved KG. Implies the
                           training-free propagation structural encoder
                           (--prop-layers, default 2)
+        --wal-dir DIR     durable incremental serving (requires
+                          --incremental): fsync every accepted delta to
+                          a write-ahead log in DIR before acknowledging
+                          it, and snapshot the warm state periodically.
+                          A restart on the same DIR recovers from the
+                          latest valid snapshot + WAL tail (bitwise the
+                          uninterrupted state) instead of recomputing
+                          features
+        --snapshot-every N
+                          snapshot/rotation cadence in applied deltas
+                          with --wal-dir [default 8]; 0 keeps only the
+                          initial snapshot
         --dim/--epochs/--seed-fraction/--rng-seed/--matcher/
         --candidates/--topk/--lossy/--trace as for `align`
 
@@ -757,7 +769,15 @@ fn cmd_serve(args: &Args) {
         incremental: args
             .has_switch("incremental")
             .then(|| args.get_parsed("prop-layers", 2usize)),
+        wal: args.get("wal-dir").map(|d| ceaff_server::WalOptions {
+            dir: std::path::PathBuf::from(d),
+            snapshot_every: args.get_parsed("snapshot-every", 8usize),
+        }),
     };
+    if opts.wal.is_some() && opts.incremental.is_none() {
+        eprintln!("error: --wal-dir requires --incremental");
+        std::process::exit(2);
+    }
     let telemetry = match args.get("trace") {
         Some(path) => {
             let sink = ceaff::telemetry::JsonLinesSink::create(path).unwrap_or_else(|e| {
@@ -789,6 +809,30 @@ fn cmd_serve(args: &Args) {
             ""
         }
     );
+    if let Some(rec) = state.recovery_report() {
+        if rec.cold {
+            eprintln!(
+                "durable start: cold build (no usable snapshot), {} delta(s) replayed from the wal",
+                rec.replayed
+            );
+        } else {
+            eprintln!(
+                "warm restart from snapshot step {} + {} replayed delta(s){}{}",
+                rec.snapshot_step.unwrap_or(0),
+                rec.replayed,
+                if rec.torn_tail_dropped {
+                    " (torn tail dropped)"
+                } else {
+                    ""
+                },
+                if rec.snapshots_skipped > 0 {
+                    " (fell back past a corrupt snapshot)"
+                } else {
+                    ""
+                },
+            );
+        }
+    }
     drop(core);
 
     let chaos_fraction = args.get_parsed("chaos-fraction", 0.0f64);

@@ -1,0 +1,381 @@
+//! Crash-anywhere durability e2e: `ceaff serve --incremental --wal-dir`
+//! children are killed (via `ceaff-faultinject`'s `durable_write` hook)
+//! at **every** fsync/rename/append point in the WAL protocol, restarted
+//! on the same directory, and driven to the end of the same delta
+//! stream — the recovered server's fingerprint chain and final `/align`
+//! body must be bitwise-identical to an uninterrupted run's.
+//!
+//! Unix-only (process abort + SIGTERM semantics).
+#![cfg(unix)]
+
+use ceaff_server::{Client, ClientConfig};
+use serde_json::Value;
+use std::io::BufRead as _;
+use std::process::{Child, Command, Stdio};
+
+/// Number of `durable_write` events in one full run of this test's
+/// workload (4 deltas, `--snapshot-every 2`):
+///
+/// | events | point                                        |
+/// |-------:|----------------------------------------------|
+/// |  1..3  | initial snapshot: write, rename, rotate      |
+/// |  4..5  | delta 1: append, sync                        |
+/// |  6..10 | delta 2: append, sync + snapshot (3 events)  |
+/// | 11..12 | delta 3: append, sync                        |
+/// | 13..17 | delta 4: append, sync + snapshot (3 events)  |
+const TOTAL_EVENTS: usize = 17;
+const DELTAS: usize = 4;
+
+fn ceaff() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ceaff"))
+}
+
+/// Scratch root. `CEAFF_DURABILITY_KEEP_DIR` (set by the CI durability
+/// job) pins it to a stable path: scratch is removed on success but a
+/// panicking run leaves the offending WAL directory behind, and CI
+/// uploads that path as an artifact of the failed matrix entry.
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let base = std::env::var_os("CEAFF_DURABILITY_KEEP_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    let dir = base.join(format!("ceaff-durable-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Generate a small benchmark once; every scenario reloads it.
+fn generated_dir(tag: &str) -> std::path::PathBuf {
+    let dir = tmp_dir(tag);
+    let out = ceaff()
+        .args([
+            "generate",
+            "srprs-dbp-wd",
+            "--scale",
+            "0.05",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    dir
+}
+
+fn send_sigterm(pid: u32) {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    unsafe {
+        kill(pid as i32, 15);
+    }
+}
+
+/// A durable `ceaff serve` child. Unlike the plain e2e guard, spawning
+/// tolerates a child that dies during warm-up (a crash point inside the
+/// initial snapshot install): `addr` is `None` in that case.
+struct DurableServe {
+    child: Option<Child>,
+    addr: Option<String>,
+}
+
+impl DurableServe {
+    fn spawn(data: &std::path::Path, wal: &std::path::Path, envs: &[(&str, &str)]) -> DurableServe {
+        let mut cmd = ceaff();
+        cmd.args([
+            "serve",
+            "--dir",
+            data.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--dim",
+            "16",
+            "--epochs",
+            "10",
+            "--incremental",
+            "--wal-dir",
+            wal.to_str().unwrap(),
+            "--snapshot-every",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+        for (k, v) in envs {
+            cmd.env(k, v);
+        }
+        let mut child = cmd.spawn().expect("spawn ceaff serve");
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read banner");
+        let addr = line.trim().strip_prefix("listening on ").map(str::to_owned);
+        DurableServe {
+            child: Some(child),
+            addr,
+        }
+    }
+
+    /// Block until the (crashed or signalled) child exits.
+    fn wait(&mut self) -> std::process::ExitStatus {
+        self.child
+            .as_mut()
+            .expect("child alive")
+            .wait()
+            .expect("wait")
+    }
+
+    fn pid(&self) -> u32 {
+        self.child.as_ref().expect("child alive").id()
+    }
+
+    fn finish(mut self) -> (std::process::ExitStatus, String) {
+        let child = self.child.take().expect("child alive");
+        let out = child.wait_with_output().expect("wait for serve");
+        (
+            out.status,
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    }
+}
+
+impl Drop for DurableServe {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+fn client(addr: &str) -> Client {
+    Client::new(
+        addr,
+        ClientConfig {
+            max_retries: 0,
+            ..ClientConfig::default()
+        },
+    )
+}
+
+/// The `i`-th delta: a fresh aligned entity pair, valid against any KG.
+fn delta_body(i: usize) -> String {
+    format!(
+        r#"{{"ops":[
+            {{"AddEntity":{{"side":"Source","name":"durable probe {i}","at":null}}}},
+            {{"AddEntity":{{"side":"Target","name":"durable probe {i}","at":null}}}},
+            {{"AddLink":{{"source":"durable probe {i}","target":"durable probe {i}",
+                          "split":null,"alignment_at":null,"split_at":null}}}}
+        ]}}"#
+    )
+}
+
+fn status(c: &Client) -> Value {
+    serde_json::from_str(&c.get("/status").expect("status").body).expect("status json")
+}
+
+fn step_and_fingerprint(c: &Client) -> (usize, u64) {
+    let s = status(c);
+    (
+        s["incremental"]["step"].as_u64().expect("step") as usize,
+        s["incremental"]["fingerprint"]
+            .as_u64()
+            .expect("fingerprint"),
+    )
+}
+
+/// The ground truth an interrupted run must reproduce: the fingerprint
+/// after every step and the final `/align` response body.
+struct Reference {
+    fingerprints: Vec<u64>, // index = step, 0..=DELTAS
+    align_body: String,
+}
+
+fn reference(data: &std::path::Path, root: &std::path::Path) -> Reference {
+    let wal = root.join("wal-reference");
+    let serve = DurableServe::spawn(data, &wal, &[]);
+    let addr = serve.addr.clone().expect("reference server starts");
+    let c = client(&addr);
+    let mut fingerprints = vec![step_and_fingerprint(&c).1];
+    for i in 1..=DELTAS {
+        let res = c.post("/delta", &[], delta_body(i).as_bytes()).unwrap();
+        assert_eq!(res.status, 200, "{}", res.body);
+        let (step, fp) = step_and_fingerprint(&c);
+        assert_eq!(step, i);
+        fingerprints.push(fp);
+    }
+    let align = c.post("/align", &[], b"").unwrap();
+    assert_eq!(align.status, 200, "{}", align.body);
+    Reference {
+        fingerprints,
+        align_body: align.body,
+    }
+}
+
+/// Run one matrix entry: crash the server at durable-write event `n`,
+/// restart it on the same WAL dir, finish the delta stream, and assert
+/// bitwise parity with the reference.
+fn crash_point(data: &std::path::Path, root: &std::path::Path, reference: &Reference, n: usize) {
+    let wal = root.join(format!("wal-crash-{n}"));
+    let mut victim =
+        DurableServe::spawn(data, &wal, &[("CEAFF_FI_CRASH_AT_WRITE", &n.to_string())]);
+
+    // Feed deltas until the injected crash kills the child. A crash
+    // inside the initial snapshot install (n <= 3) never yields a
+    // banner, so there is nothing to feed.
+    if let Some(addr) = victim.addr.clone() {
+        let c = client(&addr);
+        for i in 1..=DELTAS {
+            match c.post("/delta", &[], delta_body(i).as_bytes()) {
+                Ok(res) if res.status == 200 => {
+                    // Acked ⇒ durable: this step must survive the crash.
+                    let parsed: Value = serde_json::from_str(&res.body).unwrap();
+                    assert_eq!(parsed["step"].as_u64(), Some(i as u64));
+                }
+                // Transport death or an error status: the crash landed
+                // while this delta was in flight; it was never acked.
+                _ => break,
+            }
+        }
+    }
+    let exit = victim.wait();
+    assert!(
+        !exit.success(),
+        "crash point {n}: the victim must die by injected abort, got {exit:?}"
+    );
+    drop(victim);
+
+    // Clean restart on the same WAL directory.
+    let restarted = DurableServe::spawn(data, &wal, &[]);
+    let addr = restarted
+        .addr
+        .clone()
+        .unwrap_or_else(|| panic!("crash point {n}: restarted server must come up"));
+    let c = client(&addr);
+
+    // Wherever recovery landed, its fingerprint must sit exactly on the
+    // reference chain — an un-acked in-flight delta may lawfully be
+    // either durable (crash after its fsync) or dropped (crash before).
+    let (step, fp) = step_and_fingerprint(&c);
+    assert!(
+        step <= DELTAS,
+        "crash point {n}: impossible recovered step {step}"
+    );
+    assert_eq!(
+        fp, reference.fingerprints[step],
+        "crash point {n}: recovered fingerprint diverges from the chain at step {step}"
+    );
+
+    // Finish the stream and re-prove the chain step by step.
+    for i in (step + 1)..=DELTAS {
+        let res = c.post("/delta", &[], delta_body(i).as_bytes()).unwrap();
+        assert_eq!(res.status, 200, "crash point {n}, delta {i}: {}", res.body);
+        let (now, fp) = step_and_fingerprint(&c);
+        assert_eq!(now, i);
+        assert_eq!(
+            fp, reference.fingerprints[i],
+            "crash point {n}: fingerprint diverges after replaying delta {i}"
+        );
+    }
+
+    // The headline guarantee: the final answers are bitwise-identical.
+    let align = c.post("/align", &[], b"").unwrap();
+    assert_eq!(align.status, 200, "{}", align.body);
+    assert_eq!(
+        align.body, reference.align_body,
+        "crash point {n}: /align diverged after recovery"
+    );
+    drop(restarted);
+    std::fs::remove_dir_all(&wal).ok();
+}
+
+/// The chaos matrix. Release builds (the CI durability job) sweep every
+/// event; debug builds sample every other one to keep `cargo test`
+/// tolerable — the sampled set still covers every *kind* of point
+/// (snapshot write/rename/rotate, append, sync).
+#[test]
+fn crash_at_every_durable_write_point_recovers_bitwise_identically() {
+    let root = tmp_dir("crash-matrix");
+    let data = generated_dir("crash-matrix-data");
+    let reference = reference(&data, &root);
+
+    let points: Vec<usize> = if cfg!(debug_assertions) {
+        (1..=TOTAL_EVENTS).step_by(2).collect()
+    } else {
+        (1..=TOTAL_EVENTS).collect()
+    };
+    for n in points {
+        crash_point(&data, &root, &reference, n);
+    }
+    std::fs::remove_dir_all(&root).ok();
+    std::fs::remove_dir_all(&data).ok();
+}
+
+/// A torn write (partial frame + abort) at the third append: the
+/// restarted server must drop the torn tail, report it, land on the
+/// snapshot, and still converge to the bitwise-identical end state.
+#[test]
+fn torn_append_is_dropped_and_reported_on_restart() {
+    let root = tmp_dir("torn-append");
+    let data = generated_dir("torn-append-data");
+    let reference = reference(&data, &root);
+
+    let wal = root.join("wal-torn");
+    // Tear the 3rd append (delta 3) 5 bytes in: the frame for step 3 is
+    // written incomplete and fsynced, then the process aborts.
+    let mut victim = DurableServe::spawn(data.as_path(), &wal, &[("CEAFF_FI_TORN_WRITE", "3:5")]);
+    let addr = victim.addr.clone().expect("victim starts");
+    let c = client(&addr);
+    for i in 1..=2 {
+        let res = c.post("/delta", &[], delta_body(i).as_bytes()).unwrap();
+        assert_eq!(res.status, 200, "{}", res.body);
+    }
+    assert!(
+        c.post("/delta", &[], delta_body(3).as_bytes())
+            .map(|r| r.status != 200)
+            .unwrap_or(true),
+        "the torn append must abort before the ack"
+    );
+    assert!(!victim.wait().success(), "torn write must abort the victim");
+    drop(victim);
+
+    let restarted = DurableServe::spawn(data.as_path(), &wal, &[]);
+    let addr = restarted.addr.clone().expect("restarted server comes up");
+    let c = client(&addr);
+    let (step, fp) = step_and_fingerprint(&c);
+    assert_eq!(
+        step, 2,
+        "the torn frame must be dropped, landing on the snapshot"
+    );
+    assert_eq!(fp, reference.fingerprints[2]);
+
+    // The healed log keeps accepting appends.
+    for i in 3..=DELTAS {
+        let res = c.post("/delta", &[], delta_body(i).as_bytes()).unwrap();
+        assert_eq!(res.status, 200, "{}", res.body);
+        assert_eq!(step_and_fingerprint(&c).1, reference.fingerprints[i]);
+    }
+    let align = c.post("/align", &[], b"").unwrap();
+    assert_eq!(
+        align.body, reference.align_body,
+        "post-torn /align diverged"
+    );
+
+    // The operator-visible recovery banner names what happened.
+    send_sigterm(restarted.pid());
+    let (exit, stderr) = restarted.finish();
+    assert!(exit.success(), "clean drain after recovery: {stderr}");
+    assert!(
+        stderr.contains(
+            "warm restart from snapshot step 2 + 0 replayed delta(s) (torn tail dropped)"
+        ),
+        "recovery banner missing or wrong: {stderr}"
+    );
+
+    std::fs::remove_dir_all(&root).ok();
+    std::fs::remove_dir_all(&data).ok();
+}

@@ -554,6 +554,45 @@ impl DeltaState {
     pub fn step(&self) -> usize {
         self.step
     }
+
+    /// The cached feature set (the snapshot codec's view).
+    pub(crate) fn features(&self) -> &FeatureSet {
+        &self.features
+    }
+
+    /// The cached propagation layers per graph (empty when the
+    /// structural feature is off).
+    pub(crate) fn prop_layers(&self) -> (&[Matrix], &[Matrix]) {
+        (&self.prop_source, &self.prop_target)
+    }
+
+    /// Reassemble a state from snapshot-decoded parts (the durability
+    /// layer's constructor — see [`crate::snapshot`]). The caller passes
+    /// back exactly what [`crate::snapshot::encode_delta_state`]
+    /// captured; nothing is recomputed, so a decoded state is bitwise
+    /// the state that was encoded.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        cfg: CeaffConfig,
+        pair: KgPair,
+        features: FeatureSet,
+        prop_source: Vec<Matrix>,
+        prop_target: Vec<Matrix>,
+        output: CeaffOutput,
+        fingerprint: u32,
+        step: usize,
+    ) -> Self {
+        Self {
+            cfg,
+            pair,
+            features,
+            prop_source,
+            prop_target,
+            output,
+            fingerprint,
+            step,
+        }
+    }
 }
 
 /// Blocking context shared by every sparse-store patch of one delta.

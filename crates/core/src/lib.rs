@@ -57,6 +57,7 @@ pub mod lr;
 pub mod matching;
 pub mod pipeline;
 pub mod propagation;
+pub mod snapshot;
 
 #[allow(deprecated)]
 pub use bootstrap::run_bootstrapped;

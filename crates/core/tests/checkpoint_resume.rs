@@ -251,3 +251,122 @@ fn resume_rejects_a_directory_from_another_config() {
     assert!(matches!(err, CeaffError::Checkpoint { .. }));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Flip one byte in the middle of a file — a minimal, realistic disk
+/// corruption (bit rot, torn sector) that CRC verification must catch.
+fn flip_middle_byte(path: &std::path::Path) {
+    let mut bytes = std::fs::read(path).expect("read checkpoint file");
+    assert!(!bytes.is_empty(), "cannot corrupt an empty file");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(path, bytes).expect("write corrupted file");
+}
+
+/// A run directory left by a mid-training crash under the every-N
+/// policy: `gcn_train.ckpt` plus its manifest entry are on disk.
+fn crashed_gcn_run_dir(
+    tag: &str,
+    ds: &GeneratedDataset,
+    src: &ceaff_embed::SubwordEmbedder,
+    tgt: &ceaff_embed::LexiconEmbedder,
+) -> PathBuf {
+    let dir = run_dir(tag);
+    let _scope = FaultPlan {
+        fail_train_at_epoch: Some(17),
+        ..FaultPlan::default()
+    }
+    .activate();
+    let input = EaInput::new(&ds.pair, src, tgt);
+    let crashed = try_run_checkpointed(&input, &cfg(), &dir, CheckpointPolicy::EveryNEpochs(5));
+    assert!(crashed.is_err(), "the injected crash must abort the run");
+    assert!(dir.join("gcn_train.ckpt").exists());
+    dir
+}
+
+/// A run directory from a *completed* per-stage run: all three stage
+/// artifacts plus the manifest.
+fn completed_stage_run_dir(
+    tag: &str,
+    ds: &GeneratedDataset,
+    src: &ceaff_embed::SubwordEmbedder,
+    tgt: &ceaff_embed::LexiconEmbedder,
+) -> PathBuf {
+    let dir = run_dir(tag);
+    let _quiet = FaultPlan::default().activate();
+    let input = EaInput::new(&ds.pair, src, tgt);
+    try_run_checkpointed(&input, &cfg(), &dir, CheckpointPolicy::PerStage)
+        .expect("per-stage run completes");
+    assert!(dir.join("stage_semantic.bin").exists());
+    dir
+}
+
+/// One flipped byte in an artifact payload must surface as a typed
+/// [`CeaffError::Checkpoint`] naming the damaged file — never a panic,
+/// and never a silently-wrong resume.
+#[test]
+fn corrupted_artifact_payload_is_rejected_with_a_typed_error() {
+    let ds = dataset();
+    let src = ds.source_embedder(16);
+    let tgt = ds.target_embedder(16);
+
+    // GCN training-state kind. The quiet scope must end before the next
+    // helper activates its own plan — the global scope lock is held for
+    // a guard's whole lifetime and is not reentrant.
+    let dir = crashed_gcn_run_dir("corrupt-train", &ds, &src, &tgt);
+    flip_middle_byte(&dir.join("gcn_train.ckpt"));
+    {
+        let _quiet = FaultPlan::default().activate();
+        let input = EaInput::new(&ds.pair, &src, &tgt);
+        let err = resume_from(&dir, &input).expect_err("corrupt training state must be rejected");
+        match &err {
+            CeaffError::Checkpoint { file, .. } => assert_eq!(file, "gcn_train.ckpt"),
+            other => panic!("expected a typed checkpoint error, got {other:?}"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Per-stage kind.
+    let dir = completed_stage_run_dir("corrupt-stage", &ds, &src, &tgt);
+    flip_middle_byte(&dir.join("stage_semantic.bin"));
+    let _quiet = FaultPlan::default().activate();
+    let input = EaInput::new(&ds.pair, &src, &tgt);
+    let err = resume_from(&dir, &input).expect_err("corrupt stage artifact must be rejected");
+    match &err {
+        CeaffError::Checkpoint { file, .. } => assert_eq!(file, "stage_semantic.bin"),
+        other => panic!("expected a typed checkpoint error, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// One flipped byte in `manifest.json` must likewise fail typed — for
+/// both checkpoint kinds — whether the flip breaks the JSON, a recorded
+/// CRC, or a field name.
+#[test]
+fn corrupted_manifest_is_rejected_with_a_typed_error() {
+    let ds = dataset();
+    let src = ds.source_embedder(16);
+    let tgt = ds.target_embedder(16);
+
+    for (dir, kind) in [
+        (
+            crashed_gcn_run_dir("manifest-train", &ds, &src, &tgt),
+            "every-N",
+        ),
+        (
+            completed_stage_run_dir("manifest-stage", &ds, &src, &tgt),
+            "per-stage",
+        ),
+    ] {
+        flip_middle_byte(&dir.join("manifest.json"));
+        let _quiet = FaultPlan::default().activate();
+        let input = EaInput::new(&ds.pair, &src, &tgt);
+        let err = resume_from(&dir, &input)
+            .map(|_| ())
+            .expect_err("corrupt manifest must be rejected");
+        assert!(
+            matches!(err, CeaffError::Checkpoint { .. }),
+            "{kind}: expected a typed checkpoint error, got {err:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

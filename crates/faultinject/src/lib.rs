@@ -39,7 +39,14 @@
 //!     (one-shot),
 //!   - `CEAFF_FI_NAN_LOSS_ALWAYS=1` — force a NaN loss every epoch,
 //!   - `CEAFF_FI_IO_ERROR_MATCH=SUBSTR` — hooked file reads whose path
-//!     contains `SUBSTR` fail with an injected `io::Error`.
+//!     contains `SUBSTR` fail with an injected `io::Error`,
+//!   - `CEAFF_FI_CRASH_AT_WRITE=N` — `std::process::abort()` at the
+//!     `N`-th [`durable_write`] event (1-based), simulating a power cut
+//!     at any WAL append, fsync, snapshot write, or rename,
+//!   - `CEAFF_FI_TORN_WRITE=OFF` or `N:OFF` — tear the `N`-th (default
+//!     first) append-class [`durable_write`] event `OFF` bytes in: the
+//!     caller truncates the in-flight record at that offset and aborts,
+//!     leaving a torn tail the recovery path must detect and drop.
 //!
 //! The request-level hooks ([`panic_point`], [`sleep_point`],
 //! [`nan_point`]) exist for the serving path: a caught worker panic, an
@@ -53,7 +60,7 @@
 use std::cell::RefCell;
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// What faults to inject, and where.
@@ -93,6 +100,32 @@ pub struct FaultPlan {
     /// caller to corrupt its in-flight scores with a NaN so the numeric
     /// guards must catch it.
     pub nan_at_point: Option<String>,
+    /// Abort the process at the `n`-th [`durable_write`] event (1-based,
+    /// counted across all labels within the armed scope) — a power cut
+    /// injected at an exact WAL append / fsync / snapshot write / rename.
+    pub crash_at_write: Option<usize>,
+    /// Tear the `n`-th append-class [`durable_write`] event: the hook
+    /// returns [`WriteFault::Torn`] with the byte offset, and the caller
+    /// is expected to truncate its in-flight record there and abort,
+    /// leaving a partial frame on disk.
+    pub torn_write: Option<(usize, u64)>,
+}
+
+/// Decision returned by [`durable_write`]: what fault, if any, the armed
+/// plan injects at this write event. The *caller* performs the abort (for
+/// `Crash`, immediately; for `Torn`, after truncating its in-flight
+/// record at the given offset) so that unit tests can observe decisions
+/// without dying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// No fault at this event.
+    None,
+    /// Simulated power cut: the caller must `std::process::abort()`
+    /// without completing the write.
+    Crash,
+    /// Torn write: the caller must truncate the record it just wrote to
+    /// this many bytes past the record start, then abort.
+    Torn(u64),
 }
 
 /// One-shot latch state owned by whichever scope armed the plan, so a
@@ -107,6 +140,10 @@ struct Latches {
     panic: AtomicBool,
     sleep: AtomicBool,
     nan_point: AtomicBool,
+    /// Durable-write events seen by this scope (all labels).
+    writes: AtomicUsize,
+    /// Append-class durable-write events seen by this scope.
+    appends: AtomicUsize,
 }
 
 impl Latches {
@@ -129,6 +166,8 @@ static GLOBAL_LATCHES: Latches = Latches {
     panic: AtomicBool::new(false),
     sleep: AtomicBool::new(false),
     nan_point: AtomicBool::new(false),
+    writes: AtomicUsize::new(0),
+    appends: AtomicUsize::new(0),
 };
 
 thread_local! {
@@ -140,6 +179,15 @@ thread_local! {
 
 fn env_usize(name: &str) -> Option<usize> {
     std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// Parse a `CEAFF_FI_TORN_WRITE` value: either `OFF` (tear the first
+/// append `OFF` bytes in) or `N:OFF` (tear the `N`-th append).
+fn parse_torn(v: &str) -> Option<(usize, u64)> {
+    match v.split_once(':') {
+        Some((n, off)) => Some((n.trim().parse().ok()?, off.trim().parse().ok()?)),
+        None => Some((1, v.trim().parse().ok()?)),
+    }
 }
 
 /// The plan described by `CEAFF_FI_*` environment variables, read once per
@@ -157,6 +205,10 @@ fn env_plan() -> &'static FaultPlan {
         panic_at_point: None,
         sleep_at_point: None,
         nan_at_point: None,
+        crash_at_write: env_usize("CEAFF_FI_CRASH_AT_WRITE"),
+        torn_write: std::env::var("CEAFF_FI_TORN_WRITE")
+            .ok()
+            .and_then(|v| parse_torn(&v)),
     })
 }
 
@@ -209,6 +261,8 @@ impl FaultPlan {
         ] {
             latch.store(false, Ordering::SeqCst);
         }
+        GLOBAL_LATCHES.writes.store(0, Ordering::SeqCst);
+        GLOBAL_LATCHES.appends.store(0, Ordering::SeqCst);
         *ACTIVE.lock().expect("fault plan lock") = Some(self);
         FaultScope { _lock: lock }
     }
@@ -355,6 +409,61 @@ pub fn nan_point(name: &str) -> bool {
     with_effective(|plan, latches| {
         plan.nan_at_point.as_deref() == Some(name) && Latches::fire(&latches.nan_point)
     })
+}
+
+/// Durability hook: called by the WAL/snapshot layer at every point where
+/// a crash must be recoverable — frame appends, fsyncs, snapshot tmp
+/// writes, renames, rotations. Each call is one *write event*; the armed
+/// plan's [`FaultPlan::crash_at_write`] targets the `n`-th event overall,
+/// while [`FaultPlan::torn_write`] targets the `n`-th event whose label
+/// ends in `"append"` (only appends can tear — a rename is atomic).
+///
+/// Counting is per armed scope and entirely inert without a plan that
+/// sets one of the two fields, so production pays one branch per event.
+/// The decision is returned, not executed: the caller aborts (see
+/// [`WriteFault`]), which keeps this testable in-process.
+pub fn durable_write(label: &str) -> WriteFault {
+    fn decide(label: &str, plan: &FaultPlan, latches: &Latches) -> WriteFault {
+        if plan.crash_at_write.is_none() && plan.torn_write.is_none() {
+            return WriteFault::None;
+        }
+        let event = latches.writes.fetch_add(1, Ordering::SeqCst) + 1;
+        if plan.crash_at_write == Some(event) {
+            return WriteFault::Crash;
+        }
+        if label.ends_with("append") {
+            let nth = latches.appends.fetch_add(1, Ordering::SeqCst) + 1;
+            if let Some((at, offset)) = plan.torn_write {
+                if at == nth {
+                    return WriteFault::Torn(offset);
+                }
+            }
+        }
+        WriteFault::None
+    }
+
+    // Durable-write faults simulate the whole *process* dying, so an
+    // inert scope cannot shield them the way it shields request-level
+    // faults: resolution skips any scope that expresses no opinion
+    // (both fields `None`) and keeps the process-wide event numbering
+    // in the global latches. A scope that *does* arm a durable-write
+    // fault wins innermost-first and counts on its own latches.
+    let local = LOCAL.with(|cell| {
+        cell.borrow().iter().rev().find_map(|(plan, latches)| {
+            (plan.crash_at_write.is_some() || plan.torn_write.is_some())
+                .then(|| (plan.clone(), latches.clone()))
+        })
+    });
+    if let Some((plan, latches)) = local {
+        return decide(label, &plan, &latches);
+    }
+    let armed = ACTIVE.lock().expect("fault plan lock");
+    match &*armed {
+        Some(plan) if plan.crash_at_write.is_some() || plan.torn_write.is_some() => {
+            decide(label, plan, &GLOBAL_LATCHES)
+        }
+        Some(_) | None => decide(label, env_plan(), &GLOBAL_LATCHES),
+    }
 }
 
 /// I/O hook: an injected error for `path`, when the armed plan matches it.
@@ -530,6 +639,102 @@ mod tests {
         let t0 = std::time::Instant::now();
         sleep_point("slow");
         assert!(t0.elapsed() < std::time::Duration::from_secs(1));
+    }
+
+    #[test]
+    fn durable_write_is_inert_without_write_faults() {
+        let _scope = FaultPlan {
+            fail_train_at_epoch: Some(1),
+            ..FaultPlan::default()
+        }
+        .activate();
+        for _ in 0..5 {
+            assert_eq!(durable_write("wal/append"), WriteFault::None);
+        }
+    }
+
+    #[test]
+    fn crash_at_write_fires_at_exactly_the_nth_event() {
+        let _scope = FaultPlan {
+            crash_at_write: Some(3),
+            ..FaultPlan::default()
+        }
+        .activate();
+        assert_eq!(durable_write("wal/append"), WriteFault::None);
+        assert_eq!(durable_write("wal/sync"), WriteFault::None);
+        assert_eq!(durable_write("snap/rename"), WriteFault::Crash);
+        // Later events pass: the plan targets one exact power-cut point.
+        assert_eq!(durable_write("wal/append"), WriteFault::None);
+    }
+
+    #[test]
+    fn torn_write_targets_the_nth_append_only() {
+        let _scope = FaultPlan {
+            torn_write: Some((2, 5)),
+            ..FaultPlan::default()
+        }
+        .activate();
+        // Non-append events advance the global counter but never tear and
+        // never consume the append count.
+        assert_eq!(durable_write("wal/sync"), WriteFault::None);
+        assert_eq!(durable_write("wal/append"), WriteFault::None);
+        assert_eq!(durable_write("snap/rename"), WriteFault::None);
+        assert_eq!(durable_write("wal/append"), WriteFault::Torn(5));
+        assert_eq!(durable_write("wal/append"), WriteFault::None);
+    }
+
+    #[test]
+    fn write_counters_reset_between_scopes() {
+        {
+            let _scope = FaultPlan {
+                crash_at_write: Some(2),
+                ..FaultPlan::default()
+            }
+            .activate();
+            assert_eq!(durable_write("wal/append"), WriteFault::None);
+        }
+        let _scope = FaultPlan {
+            crash_at_write: Some(2),
+            ..FaultPlan::default()
+        }
+        .activate();
+        // A fresh scope starts counting from zero again.
+        assert_eq!(durable_write("wal/append"), WriteFault::None);
+        assert_eq!(durable_write("wal/sync"), WriteFault::Crash);
+    }
+
+    #[test]
+    fn local_write_plans_count_independently_per_thread() {
+        let results: Vec<bool> = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        let _scope = FaultPlan {
+                            crash_at_write: Some(2),
+                            ..FaultPlan::default()
+                        }
+                        .activate_local();
+                        durable_write("wal/append") == WriteFault::None
+                            && durable_write("wal/sync") == WriteFault::Crash
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(
+            results.iter().all(|&ok| ok),
+            "each thread's local scope must own its own event counter: {results:?}"
+        );
+    }
+
+    #[test]
+    fn torn_env_value_parses_both_forms() {
+        assert_eq!(parse_torn("7"), Some((1, 7)));
+        assert_eq!(parse_torn("3:12"), Some((3, 12)));
+        assert_eq!(parse_torn("bogus"), None);
+        assert_eq!(parse_torn("x:1"), None);
     }
 
     #[test]

@@ -24,6 +24,11 @@
 //! * **Graceful drain** — [`Server::drain`] (wired to `SIGTERM` in the
 //!   CLI) stops accepting, finishes or degrades in-flight requests, and
 //!   flushes telemetry.
+//! * **Durability** — with [`WalOptions`], every accepted `POST /delta`
+//!   is fsynced to a CRC-framed write-ahead log *before* it is
+//!   acknowledged, and the warm state is periodically snapshotted; a
+//!   restarted server recovers from snapshot + WAL tail (see [`wal`])
+//!   with bitwise-identical answers instead of recomputing features.
 //! * **Chaos testing** — with a [`ChaosConfig`], the server itself arms
 //!   thread-scoped [`ceaff_faultinject`] plans for a deterministic
 //!   fraction of requests (panics, NaN scores, latency spikes, response
@@ -42,12 +47,14 @@ pub mod client;
 pub mod http;
 pub mod server;
 pub mod state;
+pub mod wal;
 
 pub use admission::{AdmissionQueue, Admit};
 pub use chaos::{ChaosConfig, ChaosKind};
 pub use client::{Client, ClientConfig, ClientError, HttpResult};
 pub use server::{DrainHandle, Server, ServerConfig, ServerCounters};
-pub use state::{LoadOptions, ServeCore, WarmState};
+pub use state::{LoadOptions, RecoveryReport, ServeCore, WarmState};
+pub use wal::{WalOptions, WalStatus};
 
 /// Server-layer failures (distinct from [`ceaff_core::CeaffError`],
 /// which covers the pipeline itself).

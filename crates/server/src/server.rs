@@ -116,6 +116,10 @@ struct Shared {
     shed_threads: AtomicU64,
     shutdown: AtomicBool,
     started: Instant,
+    /// The admission queue, shared with the accept loop so `/status`
+    /// can report its depth (shed/503 behavior must be diagnosable from
+    /// the outside).
+    queue: Arc<AdmissionQueue<Conn>>,
 }
 
 /// The in-flight map, recovering from poisoning: a caught worker panic
@@ -157,6 +161,7 @@ impl Server {
             shed_threads: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
+            queue: queue.clone(),
         });
 
         let workers = (0..shared.cfg.workers.max(1))
@@ -569,6 +574,8 @@ fn status_response(shared: &Shared) -> Response {
         .map(|(name, total)| (name.to_owned(), junsigned(total)))
         .collect();
     let core = shared.state.snapshot();
+    let workers = shared.cfg.workers.max(1);
+    let busy = inflight(shared).len();
     let mut fields = vec![
         (
             "uptime_secs".to_owned(),
@@ -578,22 +585,39 @@ fn status_response(shared: &Shared) -> Response {
             "draining".to_owned(),
             Value::Bool(shared.shutdown.load(Ordering::SeqCst)),
         ),
+        ("inflight".to_owned(), junsigned(busy as u64)),
         (
-            "inflight".to_owned(),
-            junsigned(inflight(shared).len() as u64),
+            "queue_depth".to_owned(),
+            junsigned(shared.queue.depth() as u64),
         ),
+        ("workers".to_owned(), junsigned(workers as u64)),
+        ("occupancy".to_owned(), jfloat(busy as f64 / workers as f64)),
         ("counters".to_owned(), Value::Object(counters)),
         ("sources".to_owned(), junsigned(core.fused.sources() as u64)),
         ("targets".to_owned(), junsigned(core.fused.targets() as u64)),
     ];
     if let Some((step, fingerprint)) = core.incremental {
-        fields.push((
-            "incremental".to_owned(),
-            Value::Object(vec![
-                ("step".to_owned(), junsigned(step as u64)),
-                ("fingerprint".to_owned(), junsigned(fingerprint as u64)),
-            ]),
-        ));
+        let mut incremental = vec![
+            ("step".to_owned(), junsigned(step as u64)),
+            ("fingerprint".to_owned(), junsigned(fingerprint as u64)),
+        ];
+        if let Some(wal) = shared.state.durability() {
+            incremental.push((
+                "wal".to_owned(),
+                Value::Object(vec![
+                    ("generation".to_owned(), junsigned(wal.generation as u64)),
+                    (
+                        "durable_step".to_owned(),
+                        junsigned(wal.durable_step as u64),
+                    ),
+                    (
+                        "last_snapshot_step".to_owned(),
+                        junsigned(wal.last_snapshot_step as u64),
+                    ),
+                ]),
+            ));
+        }
+        fields.push(("incremental".to_owned(), Value::Object(incremental)));
     }
     Response::json(
         200,
@@ -828,6 +852,12 @@ fn delta_response(request: &Request, shared: &Shared, budget: &ExecBudget) -> Re
     let diff = match shared.state.apply_delta(&delta, budget) {
         Ok(diff) => diff,
         Err(CeaffError::Delta(msg)) => return Response::error(400, "rejected_delta", &msg),
+        // The delta applied in memory but could not be made durable; it
+        // was NOT acknowledged and further deltas are refused until a
+        // restart re-syncs state and log (reads keep serving).
+        Err(CeaffError::Checkpoint { file, reason }) => {
+            return Response::error(500, "durability_failure", &format!("{file}: {reason}"))
+        }
         Err(CeaffError::BudgetExceeded {
             stage,
             limit_bytes,

@@ -2,6 +2,7 @@
 //! request reads — plus the optional incremental engine behind
 //! `POST /delta` that advances it between snapshots.
 
+use crate::wal::{self, Wal, WalOptions, WalStatus};
 use crate::ServerError;
 use ceaff_core::{
     run_decision_budgeted, AlignmentDiff, CeaffConfig, CeaffError, DecisionOutput, DeltaState,
@@ -133,6 +134,10 @@ struct DeltaEngine {
     state: DeltaState,
     base: SubwordEmbedder,
     lexicon: Option<LexiconEmbedder>,
+    /// The write-ahead log, when the server was loaded durably. Appends
+    /// happen under the engine mutex, between the in-memory apply and
+    /// the snapshot swap — a delta is acknowledged only once durable.
+    wal: Option<Wal>,
 }
 
 /// Everything the serving path needs: an atomically-swappable snapshot
@@ -146,6 +151,31 @@ pub struct WarmState {
     /// Matcher `/align` runs (per request, under that request's budget).
     pub matcher: MatcherKind,
     engine: Option<Mutex<DeltaEngine>>,
+    /// Durability counters mirrored out of the engine after every
+    /// durable apply, so `/status` never blocks behind an in-flight
+    /// delta holding the engine mutex.
+    wal_status: Mutex<Option<WalStatus>>,
+    /// How this state came to be (cold build vs snapshot + replay);
+    /// `None` when loaded without a WAL directory.
+    recovery: Option<RecoveryReport>,
+}
+
+/// How a durable load rebuilt its warm state — the restart banner's and
+/// the e2e suite's evidence that a warm restart did *not* recompute
+/// features.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// `true` when no usable snapshot existed and the full pipeline ran.
+    pub cold: bool,
+    /// Step of the snapshot the state was decoded from, if any.
+    pub snapshot_step: Option<usize>,
+    /// WAL frames replayed on top of the snapshot (or the cold build).
+    pub replayed: usize,
+    /// Whether a torn tail was dropped from the newest log generation.
+    pub torn_tail_dropped: bool,
+    /// Snapshot files skipped for CRC/decode/config mismatches before
+    /// one was accepted.
+    pub snapshots_skipped: usize,
 }
 
 /// Options for [`WarmState::load_dir`], mirroring the CLI's `align`
@@ -174,6 +204,12 @@ pub struct LoadOptions {
     /// GCN has no dirty region smaller than the whole KG). `None`: the
     /// warm state is immutable and `/delta` answers 409.
     pub incremental: Option<usize>,
+    /// `Some`: durable incremental serving — deltas are WAL-logged and
+    /// the warm state periodically snapshotted under this directory, and
+    /// the load itself becomes a *recovery* (latest valid snapshot + WAL
+    /// tail replay instead of recomputing features). Requires
+    /// [`LoadOptions::incremental`].
+    pub wal: Option<WalOptions>,
 }
 
 impl Default for LoadOptions {
@@ -187,6 +223,7 @@ impl Default for LoadOptions {
             blocked_topk: None,
             lossy: false,
             incremental: None,
+            wal: None,
         }
     }
 }
@@ -210,6 +247,8 @@ impl WarmState {
             ))),
             matcher,
             engine: None,
+            wal_status: Mutex::new(None),
+            recovery: None,
         }
     }
 
@@ -257,11 +296,30 @@ impl WarmState {
             cfg = cfg.with_blocking(k);
         }
 
+        if opts.wal.is_some() && opts.incremental.is_none() {
+            return Err(ServerError::Load(
+                "a WAL directory requires incremental mode (--incremental)".into(),
+            ));
+        }
         if let Some(layers) = opts.incremental {
             let cfg = cfg.with_propagation(layers);
-            let input =
-                EaInput::new(&pair, &base, target_embedder).with_telemetry(telemetry.child());
-            let state = DeltaState::new(&input, &cfg)?;
+            let (state, wal, recovery) = match &opts.wal {
+                None => {
+                    let input = EaInput::new(&pair, &base, target_embedder)
+                        .with_telemetry(telemetry.child());
+                    (DeltaState::new(&input, &cfg)?, None, None)
+                }
+                Some(walopts) => {
+                    let target: &dyn WordEmbedder = match &lexicon_embedder {
+                        Some(l) => l,
+                        None => &base,
+                    };
+                    let (state, wal, report) =
+                        recover_durable(walopts, &cfg, &pair, &base, target, telemetry)?;
+                    (state, Some(wal), Some(report))
+                }
+            };
+            let wal_status = wal.as_ref().map(|w| w.status());
             let core = ServeCore::of_delta_state(&state);
             return Ok(WarmState {
                 core: RwLock::new(Arc::new(core)),
@@ -270,7 +328,10 @@ impl WarmState {
                     state,
                     base,
                     lexicon: lexicon_embedder,
+                    wal,
                 })),
+                wal_status: Mutex::new(wal_status),
+                recovery,
             });
         }
 
@@ -330,16 +391,140 @@ impl WarmState {
             state,
             base,
             lexicon,
+            wal,
         } = &mut *engine;
         let target: &dyn WordEmbedder = match lexicon {
             Some(l) => l,
             None => base,
         };
         let diff = state.apply_budgeted(delta, base, target, budget)?;
+        // Durability before visibility: the frame (and, when due, a
+        // snapshot) must be fsynced before readers — or the client ack —
+        // can observe the new step. On failure the log poisons itself
+        // (subsequent deltas are refused; a restart re-syncs from disk)
+        // and readers keep the last published snapshot.
+        if let Some(wal) = wal {
+            let wal_err = |e: wal::WalError| CeaffError::Checkpoint {
+                file: "wal".into(),
+                reason: e.to_string(),
+            };
+            wal.append(delta, state.step(), state.fingerprint())
+                .map_err(wal_err)?;
+            if wal.snapshot_due() {
+                let payload = ceaff_core::snapshot::encode_delta_state(state)?;
+                wal.install_snapshot(&payload).map_err(wal_err)?;
+            }
+            *self.wal_status.lock().expect("wal status lock") = Some(wal.status());
+        }
         let core = Arc::new(ServeCore::of_delta_state(state));
         *self.core.write().expect("core lock") = core;
         Ok(diff)
     }
+
+    /// Durability counters for `/status`; `None` when the state was
+    /// loaded without a WAL directory. Lock-free with respect to the
+    /// engine: an in-flight delta never blocks this.
+    pub fn durability(&self) -> Option<WalStatus> {
+        *self.wal_status.lock().expect("wal status lock")
+    }
+
+    /// How a durable load rebuilt this state; `None` without a WAL
+    /// directory.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+}
+
+/// Rebuild warm state from a WAL directory: newest valid snapshot (with
+/// fallback to the previous generation), then replay the WAL tail,
+/// re-proving the fingerprint chain frame by frame. Falls back to a cold
+/// pipeline run only when no snapshot is usable — and even then replays
+/// whatever contiguous history the log holds. Returns the recovered
+/// state, an opened log positioned for the next append, and the report.
+fn recover_durable(
+    walopts: &WalOptions,
+    cfg: &CeaffConfig,
+    pair: &ceaff_graph::KgPair,
+    base: &SubwordEmbedder,
+    target: &dyn WordEmbedder,
+    telemetry: &Telemetry,
+) -> Result<(DeltaState, Wal, RecoveryReport), ServerError> {
+    let load_err = |msg: String| ServerError::Load(msg);
+    let rec = wal::recover(&walopts.dir).map_err(|e| load_err(e.to_string()))?;
+
+    let mut snapshots_skipped = rec.skipped_snapshots;
+    let mut chosen: Option<(usize, DeltaState)> = None;
+    for (step, payload) in &rec.snapshots {
+        match ceaff_core::snapshot::decode_delta_state(payload, cfg) {
+            Ok(state) => {
+                chosen = Some((*step, state));
+                break;
+            }
+            Err(_) => snapshots_skipped += 1,
+        }
+    }
+    let (snapshot_step, mut state) = match chosen {
+        Some((step, state)) => (Some(step), state),
+        None => {
+            let input = EaInput::new(pair, base, target).with_telemetry(telemetry.child());
+            (None, DeltaState::new(&input, cfg)?)
+        }
+    };
+
+    let mut replayed = 0usize;
+    for frame in &rec.frames {
+        if frame.step <= state.step() {
+            continue;
+        }
+        if frame.step != state.step() + 1 {
+            return Err(load_err(format!(
+                "wal replay gap: recovered state is at step {} but the next durable frame \
+                 is step {} — the log no longer reaches back to a usable snapshot",
+                state.step(),
+                frame.step
+            )));
+        }
+        state.apply(&frame.delta, base, target)?;
+        if state.fingerprint() != frame.fingerprint {
+            return Err(load_err(format!(
+                "fingerprint chain broke at replayed step {}: frame recorded {:#010x}, \
+                 replay produced {:#010x}",
+                frame.step,
+                frame.fingerprint,
+                state.fingerprint()
+            )));
+        }
+        replayed += 1;
+    }
+
+    let gen = rec.max_gen.unwrap_or(0).max(snapshot_step.unwrap_or(0));
+    let mut wal = Wal::open(
+        walopts.clone(),
+        gen,
+        state.step(),
+        snapshot_step.unwrap_or(0),
+    )
+    .map_err(|e| load_err(e.to_string()))?;
+    // Guarantee a usable base on disk: first durable start writes
+    // snap-0, and a recovery that replayed a full interval's worth of
+    // frames (or fell back cold) re-snapshots immediately.
+    let needs_snapshot = match snapshot_step {
+        None => true,
+        Some(step) => walopts.snapshot_every > 0 && state.step() - step >= walopts.snapshot_every,
+    };
+    if needs_snapshot {
+        let payload = ceaff_core::snapshot::encode_delta_state(&state)?;
+        wal.install_snapshot(&payload)
+            .map_err(|e| load_err(e.to_string()))?;
+    }
+    let report = RecoveryReport {
+        cold: snapshot_step.is_none(),
+        snapshot_step,
+        replayed,
+        torn_tail_dropped: rec.torn_tail_dropped,
+        snapshots_skipped,
+    };
+    Ok((state, wal, report))
 }
 
 #[cfg(test)]

@@ -60,6 +60,18 @@ fn health_status_and_topk_endpoints() {
     assert!(parsed["counters"]["requests"].as_u64().unwrap() >= 1);
     assert_eq!(parsed["sources"].as_u64(), Some(24));
 
+    // Operability fields: queue pressure, worker occupancy, uptime. The
+    // /status request itself occupies a worker, so occupancy is in
+    // (0, 1]; the queue is idle by the time the handler samples it.
+    assert_eq!(parsed["queue_depth"].as_u64(), Some(0));
+    let workers = parsed["workers"].as_u64().unwrap();
+    assert!(workers >= 1);
+    let occupancy = parsed["occupancy"].as_f64().unwrap();
+    assert!(occupancy > 0.0 && occupancy <= 1.0, "occupancy {occupancy}");
+    assert!(parsed["uptime_secs"].as_f64().unwrap() >= 0.0);
+    // No WAL on this server: the incremental block carries no wal field.
+    assert!(parsed["incremental"]["wal"].is_null());
+
     server.join();
 }
 
